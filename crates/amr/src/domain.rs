@@ -1,0 +1,208 @@
+//! Problem domains: the index-space extent of a level, with periodicity.
+
+use crate::boxes::IBox;
+use crate::intvect::{IntVect, DIM};
+
+/// The computational domain of one AMR level: a box plus periodic flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProblemDomain {
+    domain_box: IBox,
+    periodic: [bool; DIM],
+}
+
+impl ProblemDomain {
+    /// A non-periodic domain covering `domain_box`.
+    pub fn new(domain_box: IBox) -> Self {
+        ProblemDomain {
+            domain_box,
+            periodic: [false; DIM],
+        }
+    }
+
+    /// A domain with per-direction periodicity.
+    pub fn with_periodicity(domain_box: IBox, periodic: [bool; DIM]) -> Self {
+        ProblemDomain {
+            domain_box,
+            periodic,
+        }
+    }
+
+    /// A fully periodic domain.
+    pub fn periodic(domain_box: IBox) -> Self {
+        ProblemDomain {
+            domain_box,
+            periodic: [true; DIM],
+        }
+    }
+
+    /// The covering box.
+    #[inline]
+    pub fn domain_box(&self) -> IBox {
+        self.domain_box
+    }
+
+    /// Whether direction `d` is periodic.
+    #[inline]
+    pub fn is_periodic(&self, d: usize) -> bool {
+        self.periodic[d]
+    }
+
+    /// Whether any direction is periodic.
+    #[inline]
+    pub fn is_any_periodic(&self) -> bool {
+        self.periodic.iter().any(|&p| p)
+    }
+
+    /// Refine the domain to the next finer level.
+    pub fn refine(&self, ratio: i64) -> ProblemDomain {
+        ProblemDomain {
+            domain_box: self.domain_box.refine(ratio),
+            periodic: self.periodic,
+        }
+    }
+
+    /// Coarsen the domain to the next coarser level.
+    pub fn coarsen(&self, ratio: i64) -> ProblemDomain {
+        ProblemDomain {
+            domain_box: self.domain_box.coarsen(ratio),
+            periodic: self.periodic,
+        }
+    }
+
+    /// Clip `b` against the domain in non-periodic directions only.
+    /// In periodic directions the box is allowed to extend beyond the
+    /// domain (ghost cells wrap around).
+    pub fn clip(&self, b: &IBox) -> IBox {
+        if b.is_empty() {
+            return IBox::EMPTY;
+        }
+        let mut lo = b.lo();
+        let mut hi = b.hi();
+        for d in 0..DIM {
+            if !self.periodic[d] {
+                lo[d] = lo[d].max(self.domain_box.lo()[d]);
+                hi[d] = hi[d].min(self.domain_box.hi()[d]);
+            }
+        }
+        IBox::new(lo, hi)
+    }
+
+    /// True if `b` (after periodic wrapping) lies within the domain.
+    pub fn contains_box(&self, b: &IBox) -> bool {
+        self.clip(b) == *b
+    }
+
+    /// The periodic shift vectors under which `b` images intersect `target`.
+    ///
+    /// Returns the set of shifts `s` (multiples of the domain size in the
+    /// periodic directions, including the zero shift *only if nonzero images
+    /// exist is irrelevant — zero is excluded*) such that `b.shift(s)`
+    /// intersects `target`. Used during ghost exchange to find wrapped
+    /// neighbor copies.
+    pub fn periodic_shifts(&self, b: &IBox, target: &IBox) -> Vec<IntVect> {
+        if !self.is_any_periodic() || b.is_empty() || target.is_empty() {
+            return Vec::new();
+        }
+        let size = self.domain_box.size();
+        let mut shifts = Vec::new();
+        // In each periodic direction the image may be shifted by -1, 0 or +1
+        // domain lengths (ghost regions never exceed one domain width).
+        let range = |d: usize| -> Vec<i64> {
+            if self.periodic[d] {
+                vec![-1, 0, 1]
+            } else {
+                vec![0]
+            }
+        };
+        for sx in range(0) {
+            for sy in range(1) {
+                for sz in range(2) {
+                    if sx == 0 && sy == 0 && sz == 0 {
+                        continue;
+                    }
+                    let s = IntVect::new(sx * size[0], sy * size[1], sz * size[2]);
+                    if b.shift(s).intersects(target) {
+                        shifts.push(s);
+                    }
+                }
+            }
+        }
+        shifts
+    }
+
+    /// Map a cell index into the domain by periodic wrapping. Non-periodic
+    /// components are returned unchanged.
+    pub fn wrap(&self, iv: IntVect) -> IntVect {
+        let mut out = iv;
+        let lo = self.domain_box.lo();
+        let size = self.domain_box.size();
+        for d in 0..DIM {
+            if self.periodic[d] {
+                out[d] = lo[d] + (iv[d] - lo[d]).rem_euclid(size[d]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_non_periodic() {
+        let dom = ProblemDomain::new(IBox::cube(8));
+        let b = IBox::new(IntVect::splat(-2), IntVect::splat(9));
+        assert_eq!(dom.clip(&b), IBox::cube(8));
+    }
+
+    #[test]
+    fn clip_periodic_leaves_ghosts() {
+        let dom = ProblemDomain::periodic(IBox::cube(8));
+        let b = IBox::new(IntVect::splat(-2), IntVect::splat(9));
+        assert_eq!(dom.clip(&b), b);
+    }
+
+    #[test]
+    fn mixed_periodicity() {
+        let dom = ProblemDomain::with_periodicity(IBox::cube(8), [true, false, false]);
+        let b = IBox::new(IntVect::new(-2, -2, 0), IntVect::new(9, 9, 7));
+        let c = dom.clip(&b);
+        assert_eq!(c.lo(), IntVect::new(-2, 0, 0));
+        assert_eq!(c.hi(), IntVect::new(9, 7, 7));
+    }
+
+    #[test]
+    fn wrap_indices() {
+        let dom = ProblemDomain::periodic(IBox::cube(8));
+        assert_eq!(dom.wrap(IntVect::new(-1, 8, 3)), IntVect::new(7, 0, 3));
+        assert_eq!(dom.wrap(IntVect::new(16, -9, 0)), IntVect::new(0, 7, 0));
+    }
+
+    #[test]
+    fn periodic_shifts_found() {
+        let dom = ProblemDomain::periodic(IBox::cube(8));
+        // Box at low edge; target is ghost region hanging off the high edge.
+        let b = IBox::new(IntVect::new(0, 0, 0), IntVect::new(1, 7, 7));
+        let target = IBox::new(IntVect::new(8, 0, 0), IntVect::new(9, 7, 7));
+        let shifts = dom.periodic_shifts(&b, &target);
+        assert_eq!(shifts, vec![IntVect::new(8, 0, 0)]);
+    }
+
+    #[test]
+    fn no_shifts_without_periodicity() {
+        let dom = ProblemDomain::new(IBox::cube(8));
+        let b = IBox::cube(8);
+        let t = b.shift(IntVect::new(8, 0, 0));
+        assert!(dom.periodic_shifts(&b, &t).is_empty());
+    }
+
+    #[test]
+    fn refine_coarsen() {
+        let dom = ProblemDomain::periodic(IBox::cube(8));
+        let f = dom.refine(2);
+        assert_eq!(f.domain_box(), IBox::cube(16));
+        assert!(f.is_periodic(0));
+        assert_eq!(f.coarsen(2), dom);
+    }
+}

@@ -1,0 +1,296 @@
+//! Integer vectors indexing cells of a 3-D structured grid.
+//!
+//! `IntVect` is the fundamental index type of the AMR substrate, playing the
+//! same role as Chombo's `IntVect`: it names a cell (or node) of a uniform
+//! lattice at some refinement level.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Number of spatial dimensions. The paper's workloads are 3-D.
+pub const DIM: usize = 3;
+
+/// An integer point in `DIM`-dimensional index space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct IntVect(pub [i64; DIM]);
+
+impl IntVect {
+    /// The zero vector.
+    pub const ZERO: IntVect = IntVect([0; DIM]);
+    /// The unit vector (1, 1, 1).
+    pub const UNIT: IntVect = IntVect([1; DIM]);
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(i: i64, j: i64, k: i64) -> Self {
+        IntVect([i, j, k])
+    }
+
+    /// A vector with every component equal to `v`.
+    #[inline]
+    pub const fn splat(v: i64) -> Self {
+        IntVect([v; DIM])
+    }
+
+    /// The basis vector along direction `d` (0 ≤ d < DIM).
+    #[inline]
+    pub fn basis(d: usize) -> Self {
+        let mut iv = IntVect::ZERO;
+        iv.0[d] = 1;
+        iv
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] = r.0[d].min(other.0[d]);
+        }
+        r
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] = r.0[d].max(other.0[d]);
+        }
+        r
+    }
+
+    /// Floor division by a positive refinement ratio, component-wise.
+    ///
+    /// This is the *coarsening* map: it rounds toward negative infinity so
+    /// that cells with negative indices coarsen correctly (Chombo's
+    /// `coarsen` semantics).
+    #[inline]
+    pub fn coarsen(self, ratio: i64) -> Self {
+        debug_assert!(ratio > 0);
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] = r.0[d].div_euclid(ratio);
+        }
+        r
+    }
+
+    /// Multiplication by a positive refinement ratio, component-wise.
+    #[inline]
+    pub fn refine(self, ratio: i64) -> Self {
+        debug_assert!(ratio > 0);
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] *= ratio;
+        }
+        r
+    }
+
+    /// Sum of all components.
+    #[inline]
+    pub fn sum(self) -> i64 {
+        self.0.iter().sum()
+    }
+
+    /// Product of all components.
+    #[inline]
+    pub fn product(self) -> i64 {
+        self.0.iter().product()
+    }
+
+    /// True if every component of `self` is ≤ the matching component of `other`.
+    #[inline]
+    pub fn all_le(self, other: Self) -> bool {
+        (0..DIM).all(|d| self.0[d] <= other.0[d])
+    }
+
+    /// True if every component of `self` is ≥ the matching component of `other`.
+    #[inline]
+    pub fn all_ge(self, other: Self) -> bool {
+        (0..DIM).all(|d| self.0[d] >= other.0[d])
+    }
+
+    /// The maximum component value.
+    #[inline]
+    pub fn max_component(self) -> i64 {
+        *self.0.iter().max().expect("DIM > 0")
+    }
+
+    /// The minimum component value.
+    #[inline]
+    pub fn min_component(self) -> i64 {
+        *self.0.iter().min().expect("DIM > 0")
+    }
+}
+
+impl Index<usize> for IntVect {
+    type Output = i64;
+    #[inline]
+    fn index(&self, d: usize) -> &i64 {
+        &self.0[d]
+    }
+}
+
+impl IndexMut<usize> for IntVect {
+    #[inline]
+    fn index_mut(&mut self, d: usize) -> &mut i64 {
+        &mut self.0[d]
+    }
+}
+
+impl Add for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] += rhs.0[d];
+        }
+        r
+    }
+}
+
+impl AddAssign for IntVect {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for d in 0..DIM {
+            self.0[d] += rhs.0[d];
+        }
+    }
+}
+
+impl Sub for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] -= rhs.0[d];
+        }
+        r
+    }
+}
+
+impl SubAssign for IntVect {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        for d in 0..DIM {
+            self.0[d] -= rhs.0[d];
+        }
+    }
+}
+
+impl Mul<i64> for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn mul(self, s: i64) -> Self {
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] *= s;
+        }
+        r
+    }
+}
+
+impl Div<i64> for IntVect {
+    type Output = IntVect;
+    /// Truncating division (like integer `/`). For coarsening use
+    /// [`IntVect::coarsen`], which floors.
+    #[inline]
+    fn div(self, s: i64) -> Self {
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] /= s;
+        }
+        r
+    }
+}
+
+impl Neg for IntVect {
+    type Output = IntVect;
+    #[inline]
+    fn neg(self) -> Self {
+        let mut r = self;
+        for d in 0..DIM {
+            r.0[d] = -r.0[d];
+        }
+        r
+    }
+}
+
+impl fmt::Debug for IntVect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+impl fmt::Display for IntVect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<[i64; DIM]> for IntVect {
+    fn from(a: [i64; DIM]) -> Self {
+        IntVect(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = IntVect::new(1, 2, 3);
+        let b = IntVect::new(4, 5, 6);
+        assert_eq!(a + b, IntVect::new(5, 7, 9));
+        assert_eq!(b - a, IntVect::new(3, 3, 3));
+        assert_eq!(a * 2, IntVect::new(2, 4, 6));
+        assert_eq!(-a, IntVect::new(-1, -2, -3));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = IntVect::new(1, 5, 3);
+        let b = IntVect::new(4, 2, 6);
+        assert_eq!(a.min(b), IntVect::new(1, 2, 3));
+        assert_eq!(a.max(b), IntVect::new(4, 5, 6));
+        assert_eq!(a.max_component(), 5);
+        assert_eq!(a.min_component(), 1);
+    }
+
+    #[test]
+    fn coarsen_floors_toward_negative_infinity() {
+        assert_eq!(IntVect::new(-1, -2, -4).coarsen(2), IntVect::new(-1, -1, -2));
+        assert_eq!(IntVect::new(3, 4, 5).coarsen(2), IntVect::new(1, 2, 2));
+        assert_eq!(IntVect::new(-3, 0, 7).coarsen(4), IntVect::new(-1, 0, 1));
+    }
+
+    #[test]
+    fn refine_then_coarsen_is_identity() {
+        for r in [2, 4, 8] {
+            for v in [-7i64, -1, 0, 1, 13] {
+                let iv = IntVect::splat(v);
+                assert_eq!(iv.refine(r).coarsen(r), iv);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_vectors() {
+        assert_eq!(IntVect::basis(0), IntVect::new(1, 0, 0));
+        assert_eq!(IntVect::basis(1), IntVect::new(0, 1, 0));
+        assert_eq!(IntVect::basis(2), IntVect::new(0, 0, 1));
+    }
+
+    #[test]
+    fn reductions_and_comparisons() {
+        let a = IntVect::new(2, 3, 4);
+        assert_eq!(a.sum(), 9);
+        assert_eq!(a.product(), 24);
+        assert!(a.all_le(IntVect::splat(4)));
+        assert!(!a.all_le(IntVect::splat(3)));
+        assert!(a.all_ge(IntVect::splat(2)));
+    }
+}

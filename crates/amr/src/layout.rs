@@ -1,0 +1,335 @@
+//! `BoxLayout`: a disjoint decomposition of a level's grid into boxes, each
+//! assigned to an owning rank (Chombo's `DisjointBoxLayout`).
+
+use crate::boxes::IBox;
+use crate::domain::ProblemDomain;
+use crate::intvect::IntVect;
+
+/// One grid of a layout: a box plus its owning rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    /// The region this grid covers.
+    pub bx: IBox,
+    /// Owning rank (process index).
+    pub rank: usize,
+}
+
+/// A disjoint set of boxes covering part of a level, with rank assignments.
+#[derive(Clone, Debug, Default)]
+pub struct BoxLayout {
+    grids: Vec<Grid>,
+    nranks: usize,
+}
+
+impl BoxLayout {
+    /// Build from `(box, rank)` pairs. Panics in debug builds if the boxes
+    /// overlap or a rank is out of range.
+    pub fn new(grids: Vec<Grid>, nranks: usize) -> Self {
+        debug_assert!(nranks > 0);
+        #[cfg(debug_assertions)]
+        {
+            for (i, a) in grids.iter().enumerate() {
+                assert!(a.rank < nranks, "rank {} out of range", a.rank);
+                assert!(!a.bx.is_empty(), "empty box in layout");
+                for b in &grids[i + 1..] {
+                    assert!(
+                        !a.bx.intersects(&b.bx),
+                        "layout boxes overlap: {:?} vs {:?}",
+                        a.bx,
+                        b.bx
+                    );
+                }
+            }
+        }
+        BoxLayout { grids, nranks }
+    }
+
+    /// Decompose `domain` into boxes of at most `max_size` cells per side and
+    /// assign them round-robin over `nranks` ranks.
+    pub fn decompose(domain: &ProblemDomain, max_size: i64, nranks: usize) -> Self {
+        let boxes = split_box(domain.domain_box(), max_size);
+        let grids = boxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, bx)| Grid {
+                bx,
+                rank: i % nranks,
+            })
+            .collect();
+        BoxLayout::new(grids, nranks)
+    }
+
+    /// Build from bare boxes with all grids on rank 0 (useful for serial tests).
+    pub fn from_boxes(boxes: Vec<IBox>) -> Self {
+        BoxLayout::new(
+            boxes.into_iter().map(|bx| Grid { bx, rank: 0 }).collect(),
+            1,
+        )
+    }
+
+    /// The grids in index order.
+    pub fn grids(&self) -> &[Grid] {
+        &self.grids
+    }
+
+    /// Number of grids.
+    pub fn len(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// True if the layout has no grids.
+    pub fn is_empty(&self) -> bool {
+        self.grids.is_empty()
+    }
+
+    /// Number of ranks this layout is distributed over.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The box of grid `i`.
+    pub fn ibox(&self, i: usize) -> IBox {
+        self.grids[i].bx
+    }
+
+    /// The owning rank of grid `i`.
+    pub fn rank(&self, i: usize) -> usize {
+        self.grids[i].rank
+    }
+
+    /// Total cells across all grids.
+    pub fn total_cells(&self) -> u64 {
+        self.grids.iter().map(|g| g.bx.num_cells()).sum()
+    }
+
+    /// Cells owned by each rank.
+    pub fn cells_per_rank(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.nranks];
+        for g in &self.grids {
+            v[g.rank] += g.bx.num_cells();
+        }
+        v
+    }
+
+    /// Load imbalance: max over mean cells per rank (1.0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        let per = self.cells_per_rank();
+        let max = *per.iter().max().unwrap_or(&0) as f64;
+        let mean = self.total_cells() as f64 / self.nranks as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Indices of grids whose box intersects `region`.
+    pub fn intersecting(&self, region: &IBox) -> Vec<usize> {
+        self.grids
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.bx.intersects(region))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The smallest box covering every grid.
+    pub fn bounding_box(&self) -> IBox {
+        self.grids
+            .iter()
+            .fold(IBox::EMPTY, |acc, g| acc.hull(&g.bx))
+    }
+
+    /// True if the union of grids covers `region` completely.
+    pub fn covers(&self, region: &IBox) -> bool {
+        let mut remaining = vec![*region];
+        for g in &self.grids {
+            let mut next = Vec::new();
+            for r in remaining {
+                next.extend(r.subtract(&g.bx));
+            }
+            remaining = next;
+            if remaining.is_empty() {
+                return true;
+            }
+        }
+        remaining.is_empty()
+    }
+
+    /// Reassign ranks according to `assignment` (one entry per grid).
+    pub fn with_ranks(&self, assignment: &[usize], nranks: usize) -> BoxLayout {
+        assert_eq!(assignment.len(), self.grids.len());
+        BoxLayout::new(
+            self.grids
+                .iter()
+                .zip(assignment)
+                .map(|(g, &rank)| Grid { bx: g.bx, rank })
+                .collect(),
+            nranks,
+        )
+    }
+
+    /// Coarsen every box (used to compare against a coarser level).
+    pub fn coarsen(&self, ratio: i64) -> BoxLayout {
+        BoxLayout {
+            grids: self
+                .grids
+                .iter()
+                .map(|g| Grid {
+                    bx: g.bx.coarsen(ratio),
+                    rank: g.rank,
+                })
+                .collect(),
+            nranks: self.nranks,
+        }
+    }
+}
+
+/// Split a box into pieces with every side ≤ `max_size`, by recursive
+/// halving along the longest direction.
+pub fn split_box(bx: IBox, max_size: i64) -> Vec<IBox> {
+    assert!(max_size > 0);
+    let mut out = Vec::new();
+    let mut stack = vec![bx];
+    while let Some(b) = stack.pop() {
+        if b.is_empty() {
+            continue;
+        }
+        if b.longest_side() <= max_size {
+            out.push(b);
+            continue;
+        }
+        let d = b.longest_dir();
+        let mid = b.lo()[d] + b.size()[d] / 2;
+        let (l, r) = b.split_at(d, mid);
+        stack.push(l);
+        stack.push(r);
+    }
+    // Deterministic order: sort by lo corner.
+    out.sort_by_key(|b| (b.lo()[2], b.lo()[1], b.lo()[0]));
+    out
+}
+
+/// Split a box targeting a given number of pieces (for N-rank decomposition),
+/// halving the longest direction until at least `pieces` boxes exist.
+pub fn split_into(bx: IBox, pieces: usize) -> Vec<IBox> {
+    assert!(pieces > 0);
+    let mut out = vec![bx];
+    while out.len() < pieces {
+        // Split the largest box.
+        let (idx, _) = out
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.num_cells())
+            .expect("non-empty");
+        let b = out.swap_remove(idx);
+        if b.longest_side() < 2 {
+            out.push(b);
+            break; // cannot split further
+        }
+        let d = b.longest_dir();
+        let mid = b.lo()[d] + b.size()[d] / 2;
+        let (l, r) = b.split_at(d, mid);
+        out.push(l);
+        out.push(r);
+    }
+    out.sort_by_key(|b| (b.lo()[2], b.lo()[1], b.lo()[0]));
+    out
+}
+
+/// A shift-annotated copy operation between two grids: destination grid
+/// `dst` receives data over `region` read from grid `src` at `+shift`
+/// (nonzero only for periodic wrapping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyOp {
+    /// Index of the source grid in the source layout.
+    pub src: usize,
+    /// Index of the destination grid in the destination layout.
+    pub dst: usize,
+    /// Destination-index region to fill.
+    pub region: IBox,
+    /// Source is read at `cell + shift`.
+    pub shift: IntVect,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(n: i64) -> ProblemDomain {
+        ProblemDomain::new(IBox::cube(n))
+    }
+
+    #[test]
+    fn decompose_covers_domain_disjointly() {
+        let d = dom(32);
+        let l = BoxLayout::decompose(&d, 8, 4);
+        assert_eq!(l.total_cells(), 32 * 32 * 32);
+        assert!(l.covers(&d.domain_box()));
+        assert_eq!(l.len(), 64); // (32/8)^3
+        for g in l.grids() {
+            assert!(g.bx.longest_side() <= 8);
+        }
+    }
+
+    #[test]
+    fn decompose_nondivisible() {
+        let d = dom(20);
+        let l = BoxLayout::decompose(&d, 8, 3);
+        assert_eq!(l.total_cells(), 20 * 20 * 20);
+        assert!(l.covers(&d.domain_box()));
+    }
+
+    #[test]
+    fn split_into_reaches_count() {
+        let pieces = split_into(IBox::cube(16), 10);
+        assert!(pieces.len() >= 10);
+        let total: u64 = pieces.iter().map(|b| b.num_cells()).sum();
+        assert_eq!(total, 16 * 16 * 16);
+    }
+
+    #[test]
+    fn rank_accounting() {
+        let d = dom(16);
+        let l = BoxLayout::decompose(&d, 8, 2);
+        let per = l.cells_per_rank();
+        assert_eq!(per.iter().sum::<u64>(), l.total_cells());
+        assert_eq!(per.len(), 2);
+        assert!((l.imbalance() - 1.0).abs() < 1e-12); // 8 equal boxes over 2 ranks
+    }
+
+    #[test]
+    fn intersecting_query() {
+        let d = dom(16);
+        let l = BoxLayout::decompose(&d, 8, 1);
+        let probe = IBox::new(IntVect::splat(7), IntVect::splat(8));
+        let hits = l.intersecting(&probe);
+        assert_eq!(hits.len(), 8); // probe straddles all 8 octants
+    }
+
+    #[test]
+    fn covers_detects_holes() {
+        let l = BoxLayout::from_boxes(vec![
+            IBox::new(IntVect::ZERO, IntVect::new(7, 15, 15)),
+            // hole: x in [8,9]
+            IBox::new(IntVect::new(10, 0, 0), IntVect::new(15, 15, 15)),
+        ]);
+        assert!(!l.covers(&IBox::cube(16)));
+        assert!(l.covers(&IBox::new(IntVect::ZERO, IntVect::new(7, 15, 15))));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn overlapping_layout_panics() {
+        BoxLayout::from_boxes(vec![IBox::cube(4), IBox::cube(2)]);
+    }
+
+    #[test]
+    fn with_ranks_reassigns() {
+        let l = BoxLayout::from_boxes(vec![IBox::cube(4), IBox::cube(4).shift(IntVect::splat(4))]);
+        let l2 = l.with_ranks(&[1, 0], 2);
+        assert_eq!(l2.rank(0), 1);
+        assert_eq!(l2.rank(1), 0);
+    }
+}

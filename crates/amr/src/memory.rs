@@ -1,0 +1,166 @@
+//! Per-rank memory profiling of an AMR hierarchy.
+//!
+//! The paper's Fig. 1 plots the distribution of peak memory per process for
+//! a Chombo Polytropic Gas run: erratic growth over time and strong
+//! imbalance across ranks. This module extracts exactly those observables
+//! from a hierarchy, and they feed the Monitor (`xlayer-core`).
+
+use crate::hierarchy::AmrHierarchy;
+
+/// Snapshot of memory usage across ranks at one time step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryProfile {
+    /// Simulation time step the snapshot was taken at.
+    pub step: u64,
+    /// Payload bytes held by each rank (grid data incl. ghosts).
+    pub bytes_per_rank: Vec<u64>,
+}
+
+impl MemoryProfile {
+    /// Capture the current per-rank memory of `h`.
+    pub fn capture(step: u64, h: &AmrHierarchy) -> Self {
+        MemoryProfile {
+            step,
+            bytes_per_rank: h.bytes_per_rank(),
+        }
+    }
+
+    /// Total bytes across all ranks.
+    pub fn total(&self) -> u64 {
+        self.bytes_per_rank.iter().sum()
+    }
+
+    /// Max bytes on any rank.
+    pub fn max(&self) -> u64 {
+        *self.bytes_per_rank.iter().max().unwrap_or(&0)
+    }
+
+    /// Min bytes on any rank.
+    pub fn min(&self) -> u64 {
+        *self.bytes_per_rank.iter().min().unwrap_or(&0)
+    }
+
+    /// Mean bytes per rank.
+    pub fn mean(&self) -> f64 {
+        if self.bytes_per_rank.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.bytes_per_rank.len() as f64
+        }
+    }
+
+    /// Max-over-mean imbalance (1.0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            1.0
+        } else {
+            self.max() as f64 / m
+        }
+    }
+
+    /// Percentile (0–100) of the per-rank distribution, nearest-rank method.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.bytes_per_rank.is_empty() {
+            return 0;
+        }
+        let mut v = self.bytes_per_rank.clone();
+        v.sort_unstable();
+        let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+        v[rank.clamp(1, v.len()) - 1]
+    }
+}
+
+/// A time series of memory profiles — the raw material of Fig. 1.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryHistory {
+    profiles: Vec<MemoryProfile>,
+}
+
+impl MemoryHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a snapshot.
+    pub fn record(&mut self, p: MemoryProfile) {
+        self.profiles.push(p);
+    }
+
+    /// All snapshots in order.
+    pub fn profiles(&self) -> &[MemoryProfile] {
+        &self.profiles
+    }
+
+    /// Peak memory observed on each rank over the whole history.
+    pub fn peak_per_rank(&self) -> Vec<u64> {
+        let Some(first) = self.profiles.first() else {
+            return Vec::new();
+        };
+        let n = first.bytes_per_rank.len();
+        let mut peak = vec![0u64; n];
+        for p in &self.profiles {
+            for (i, &b) in p.bytes_per_rank.iter().enumerate() {
+                peak[i] = peak[i].max(b);
+            }
+        }
+        peak
+    }
+
+    /// Step-over-step growth of total memory (bytes; may be negative after
+    /// coarsening).
+    pub fn growth(&self) -> Vec<i64> {
+        self.profiles
+            .windows(2)
+            .map(|w| w[1].total() as i64 - w[0].total() as i64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(step: u64, bytes: &[u64]) -> MemoryProfile {
+        MemoryProfile {
+            step,
+            bytes_per_rank: bytes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn stats() {
+        let p = profile(0, &[10, 20, 30, 40]);
+        assert_eq!(p.total(), 100);
+        assert_eq!(p.max(), 40);
+        assert_eq!(p.min(), 10);
+        assert_eq!(p.mean(), 25.0);
+        assert_eq!(p.imbalance(), 1.6);
+    }
+
+    #[test]
+    fn percentiles() {
+        let p = profile(0, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(p.percentile(50.0), 5);
+        assert_eq!(p.percentile(100.0), 10);
+        assert_eq!(p.percentile(10.0), 1);
+    }
+
+    #[test]
+    fn history_peaks_and_growth() {
+        let mut h = MemoryHistory::new();
+        h.record(profile(0, &[10, 50]));
+        h.record(profile(1, &[30, 20]));
+        h.record(profile(2, &[25, 60]));
+        assert_eq!(h.peak_per_rank(), vec![30, 60]);
+        assert_eq!(h.growth(), vec![-10, 35]);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = MemoryHistory::new();
+        assert!(h.peak_per_rank().is_empty());
+        assert!(h.growth().is_empty());
+    }
+}

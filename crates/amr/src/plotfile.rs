@@ -1,0 +1,394 @@
+//! Plotfile I/O: serializing AMR hierarchies to disk and back.
+//!
+//! The traditional post-processing pipeline the paper argues against
+//! (§1, §6) writes every step's hierarchy to the parallel filesystem; this
+//! module provides that path for the native workflow — a compact,
+//! self-describing binary format (magic, version, per-level layouts,
+//! Fortran-ordered fab payloads, checksum).
+
+use crate::boxes::IBox;
+use crate::domain::ProblemDomain;
+use crate::hierarchy::{AmrHierarchy, HierarchyConfig};
+use crate::intvect::{IntVect, DIM};
+use crate::layout::{BoxLayout, Grid};
+use crate::level_data::LevelData;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"XLAYERPF";
+const VERSION: u32 = 1;
+
+/// Errors from plotfile reading.
+#[derive(Debug)]
+pub enum PlotfileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a plotfile, or an unsupported version.
+    Format(String),
+    /// Payload checksum mismatch (corrupted file).
+    Checksum,
+}
+
+impl From<io::Error> for PlotfileError {
+    fn from(e: io::Error) -> Self {
+        PlotfileError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PlotfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlotfileError::Io(e) => write!(f, "plotfile I/O error: {e}"),
+            PlotfileError::Format(m) => write!(f, "plotfile format error: {m}"),
+            PlotfileError::Checksum => write!(f, "plotfile checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PlotfileError {}
+
+/// A deserialized plotfile: per-level data plus metadata.
+#[derive(Debug)]
+pub struct Plotfile {
+    /// Simulation step the file captures.
+    pub step: u64,
+    /// Simulated time.
+    pub time: f64,
+    /// Refinement ratio between levels.
+    pub ref_ratio: i64,
+    /// Level data, coarsest first.
+    pub levels: Vec<LevelData>,
+}
+
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_i64(r: &mut impl Read) -> io::Result<i64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+fn r_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn w_ivec(w: &mut impl Write, v: IntVect) -> io::Result<()> {
+    for d in 0..DIM {
+        w_i64(w, v[d])?;
+    }
+    Ok(())
+}
+fn r_ivec(r: &mut impl Read) -> io::Result<IntVect> {
+    let mut v = IntVect::ZERO;
+    for d in 0..DIM {
+        v[d] = r_i64(r)?;
+    }
+    Ok(v)
+}
+
+/// FNV-1a over the payload doubles, for corruption detection.
+fn checksum_update(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// Write a hierarchy snapshot. Returns bytes written.
+pub fn write_plotfile(
+    w: &mut impl Write,
+    h: &AmrHierarchy,
+    step: u64,
+    time: f64,
+) -> io::Result<u64> {
+    let mut written = 0u64;
+    let mut track = |n: usize| written += n as u64;
+
+    w.write_all(MAGIC)?;
+    track(8);
+    w_u32(w, VERSION)?;
+    track(4);
+    w_u64(w, step)?;
+    track(8);
+    w_f64(w, time)?;
+    track(8);
+    w_i64(w, h.ref_ratio())?;
+    track(8);
+    w_u32(w, h.num_levels() as u32)?;
+    track(4);
+
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for l in 0..h.num_levels() {
+        let ld = h.level(l);
+        let dom = h.domain(l);
+        w_ivec(w, dom.domain_box().lo())?;
+        w_ivec(w, dom.domain_box().hi())?;
+        track(48);
+        let mut periodic = 0u32;
+        for d in 0..DIM {
+            if dom.is_periodic(d) {
+                periodic |= 1 << d;
+            }
+        }
+        w_u32(w, periodic)?;
+        track(4);
+        w_u32(w, ld.ncomp() as u32)?;
+        w_i64(w, ld.nghost())?;
+        w_u32(w, ld.len() as u32)?;
+        w_u32(w, ld.layout().nranks() as u32)?;
+        track(20);
+        for i in 0..ld.len() {
+            let vb = ld.valid_box(i);
+            w_ivec(w, vb.lo())?;
+            w_ivec(w, vb.hi())?;
+            w_u32(w, ld.layout().rank(i) as u32)?;
+            track(52);
+            // Valid-region payload only (ghosts are re-derivable).
+            for comp in 0..ld.ncomp() {
+                for iv in vb.cells() {
+                    let bytes = ld.fab(i).get(iv, comp).to_le_bytes();
+                    checksum_update(&mut hash, &bytes);
+                    w.write_all(&bytes)?;
+                    track(8);
+                }
+            }
+        }
+    }
+    w_u64(w, hash)?;
+    track(8);
+    Ok(written)
+}
+
+/// Read a hierarchy snapshot.
+pub fn read_plotfile(r: &mut impl Read) -> Result<Plotfile, PlotfileError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PlotfileError::Format("bad magic".into()));
+    }
+    let version = r_u32(r)?;
+    if version != VERSION {
+        return Err(PlotfileError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let step = r_u64(r)?;
+    let time = r_f64(r)?;
+    let ref_ratio = r_i64(r)?;
+    let nlevels = r_u32(r)? as usize;
+    if nlevels == 0 || nlevels > 64 {
+        return Err(PlotfileError::Format(format!("bad level count {nlevels}")));
+    }
+
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut levels = Vec::with_capacity(nlevels);
+    for _ in 0..nlevels {
+        let lo = r_ivec(r)?;
+        let hi = r_ivec(r)?;
+        let periodic_bits = r_u32(r)?;
+        let mut periodic = [false; DIM];
+        for (d, p) in periodic.iter_mut().enumerate() {
+            *p = periodic_bits & (1 << d) != 0;
+        }
+        let domain = ProblemDomain::with_periodicity(IBox::new(lo, hi), periodic);
+        let ncomp = r_u32(r)? as usize;
+        let nghost = r_i64(r)?;
+        let ngrids = r_u32(r)? as usize;
+        let nranks = r_u32(r)? as usize;
+        if ncomp == 0 || ngrids > 1 << 24 || nranks == 0 {
+            return Err(PlotfileError::Format("implausible level header".into()));
+        }
+        let mut grids = Vec::with_capacity(ngrids);
+        let mut payload: Vec<Vec<f64>> = Vec::with_capacity(ngrids);
+        for _ in 0..ngrids {
+            let glo = r_ivec(r)?;
+            let ghi = r_ivec(r)?;
+            let rank = r_u32(r)? as usize;
+            let bx = IBox::new(glo, ghi);
+            if bx.is_empty() {
+                return Err(PlotfileError::Format("empty grid box".into()));
+            }
+            let n = bx.num_cells() as usize * ncomp;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut b = [0u8; 8];
+                r.read_exact(&mut b)?;
+                checksum_update(&mut hash, &b);
+                vals.push(f64::from_le_bytes(b));
+            }
+            grids.push(Grid { bx, rank });
+            payload.push(vals);
+        }
+        let layout = BoxLayout::new(grids, nranks);
+        let mut ld = LevelData::new(layout, domain, ncomp, nghost);
+        for (i, vals) in payload.iter().enumerate() {
+            let vb = ld.valid_box(i);
+            let mut at = 0usize;
+            for comp in 0..ncomp {
+                for iv in vb.cells() {
+                    ld.fab_mut(i).set(iv, comp, vals[at]);
+                    at += 1;
+                }
+            }
+        }
+        levels.push(ld);
+    }
+    let expect = r_u64(r)?;
+    if expect != hash {
+        return Err(PlotfileError::Checksum);
+    }
+    Ok(Plotfile {
+        step,
+        time,
+        ref_ratio,
+        levels,
+    })
+}
+
+/// Rebuild an [`AmrHierarchy`]-equivalent from a plotfile for further
+/// analysis (the post-processing reader). The hierarchy config is inferred.
+pub fn plotfile_config(p: &Plotfile) -> HierarchyConfig {
+    HierarchyConfig {
+        max_levels: p.levels.len().max(1),
+        ref_ratio: p.ref_ratio,
+        ncomp: p.levels.first().map_or(1, |l| l.ncomp()),
+        nghost: p.levels.first().map_or(0, |l| l.nghost()),
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterParams;
+    use crate::tagging::IntVectSet;
+
+    fn sample_hierarchy() -> AmrHierarchy {
+        let dom = ProblemDomain::periodic(IBox::cube(16));
+        let mut h = AmrHierarchy::new(
+            dom,
+            HierarchyConfig {
+                max_levels: 2,
+                base_max_box: 8,
+                ncomp: 2,
+                nghost: 1,
+                nranks: 3,
+                cluster: ClusterParams {
+                    blocking_factor: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        // distinctive data
+        for i in 0..h.level(0).len() {
+            let vb = h.level(0).valid_box(i);
+            for iv in vb.cells() {
+                h.level_mut(0)
+                    .fab_mut(i)
+                    .set(iv, 0, (iv[0] * 100 + iv[1] * 10 + iv[2]) as f64);
+                h.level_mut(0).fab_mut(i).set(iv, 1, -(iv[0] as f64));
+            }
+        }
+        let mut tags = IntVectSet::new();
+        tags.insert_box(&IBox::new(IntVect::splat(6), IntVect::splat(9)));
+        h.regrid(&[tags]);
+        h
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let h = sample_hierarchy();
+        let mut buf = Vec::new();
+        let written = write_plotfile(&mut buf, &h, 17, 3.25).expect("write");
+        assert_eq!(written as usize, buf.len());
+
+        let p = read_plotfile(&mut buf.as_slice()).expect("read");
+        assert_eq!(p.step, 17);
+        assert_eq!(p.time, 3.25);
+        assert_eq!(p.ref_ratio, h.ref_ratio());
+        assert_eq!(p.levels.len(), h.num_levels());
+        for l in 0..h.num_levels() {
+            let a = h.level(l);
+            let b = &p.levels[l];
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.ncomp(), b.ncomp());
+            for i in 0..a.len() {
+                assert_eq!(a.valid_box(i), b.valid_box(i));
+                assert_eq!(a.layout().rank(i), b.layout().rank(i));
+                for comp in 0..a.ncomp() {
+                    for iv in a.valid_box(i).cells() {
+                        assert_eq!(a.fab(i).get(iv, comp), b.fab(i).get(iv, comp));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let h = sample_hierarchy();
+        let mut buf = Vec::new();
+        write_plotfile(&mut buf, &h, 1, 0.0).expect("write");
+        // flip a payload byte somewhere in the middle
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        match read_plotfile(&mut buf.as_slice()) {
+            Err(PlotfileError::Checksum) | Err(PlotfileError::Format(_)) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTAPLOT00000000".to_vec();
+        assert!(matches!(
+            read_plotfile(&mut buf.as_slice()),
+            Err(PlotfileError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let h = sample_hierarchy();
+        let mut buf = Vec::new();
+        write_plotfile(&mut buf, &h, 1, 0.0).expect("write");
+        buf.truncate(buf.len() / 3);
+        assert!(matches!(
+            read_plotfile(&mut buf.as_slice()),
+            Err(PlotfileError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn config_inference() {
+        let h = sample_hierarchy();
+        let mut buf = Vec::new();
+        write_plotfile(&mut buf, &h, 1, 0.0).expect("write");
+        let p = read_plotfile(&mut buf.as_slice()).expect("read");
+        let cfg = plotfile_config(&p);
+        assert_eq!(cfg.max_levels, 2);
+        assert_eq!(cfg.ncomp, 2);
+        assert_eq!(cfg.ref_ratio, 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Cell tagging: marking cells that need refinement.
+//!
+//! Taggers inspect a `LevelData` and produce an [`IntVectSet`] of cells whose
+//! local solution structure (gradients, undivided differences) exceeds a
+//! threshold — the input to the Berger–Rigoutsos clusterer.
+
+use crate::boxes::IBox;
+use crate::intvect::{IntVect, DIM};
+use crate::level_data::LevelData;
+use std::collections::HashSet;
+
+/// A set of tagged cells.
+#[derive(Clone, Debug, Default)]
+pub struct IntVectSet {
+    cells: HashSet<IntVect>,
+}
+
+impl IntVectSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one cell.
+    pub fn insert(&mut self, iv: IntVect) {
+        self.cells.insert(iv);
+    }
+
+    /// Insert every cell of a box.
+    pub fn insert_box(&mut self, b: &IBox) {
+        for iv in b.cells() {
+            self.cells.insert(iv);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, iv: IntVect) -> bool {
+        self.cells.contains(&iv)
+    }
+
+    /// Number of tagged cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cells are tagged.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterate over tagged cells (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &IntVect> {
+        self.cells.iter()
+    }
+
+    /// The smallest box containing every tagged cell.
+    pub fn bounding_box(&self) -> IBox {
+        let mut it = self.cells.iter();
+        let Some(&first) = it.next() else {
+            return IBox::EMPTY;
+        };
+        let (lo, hi) = it.fold((first, first), |(lo, hi), &iv| (lo.min(iv), hi.max(iv)));
+        IBox::new(lo, hi)
+    }
+
+    /// Union in-place.
+    pub fn union(&mut self, other: &IntVectSet) {
+        self.cells.extend(other.cells.iter().copied());
+    }
+
+    /// Grow the set by `n` cells in every direction (tag buffering), clipped
+    /// to `within`.
+    pub fn grow(&self, n: i64, within: &IBox) -> IntVectSet {
+        let mut out = IntVectSet::new();
+        for &iv in &self.cells {
+            let b = IBox::single(iv).grow(n).intersect(within);
+            out.insert_box(&b);
+        }
+        out
+    }
+
+    /// Retain only cells inside `b`.
+    pub fn clip(&self, b: &IBox) -> IntVectSet {
+        IntVectSet {
+            cells: self.cells.iter().copied().filter(|&iv| b.contains(iv)).collect(),
+        }
+    }
+
+    /// Coarsen every tag by `ratio` (deduplicating).
+    pub fn coarsen(&self, ratio: i64) -> IntVectSet {
+        IntVectSet {
+            cells: self.cells.iter().map(|iv| iv.coarsen(ratio)).collect(),
+        }
+    }
+
+    /// Count of tags inside `b`.
+    pub fn count_in(&self, b: &IBox) -> usize {
+        if (b.num_cells() as usize) < self.cells.len() {
+            b.cells().filter(|&iv| self.contains(iv)).count()
+        } else {
+            self.cells.iter().filter(|&&iv| b.contains(iv)).count()
+        }
+    }
+}
+
+impl FromIterator<IntVect> for IntVectSet {
+    fn from_iter<T: IntoIterator<Item = IntVect>>(iter: T) -> Self {
+        IntVectSet {
+            cells: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Tag cells where the undivided gradient of component `comp` exceeds
+/// `threshold`. Requires at least one ghost cell (exchange first).
+///
+/// The undivided gradient at cell `i` is
+/// `max_d |u[i+e_d] - u[i-e_d]| / 2` — Chombo's standard refinement
+/// criterion for its example applications.
+pub fn tag_undivided_gradient(data: &LevelData, comp: usize, threshold: f64) -> IntVectSet {
+    assert!(data.nghost() >= 1, "gradient tagging needs ghost cells");
+    let mut tags = IntVectSet::new();
+    let dom_box = data.domain().domain_box();
+    for i in 0..data.len() {
+        let valid = data.valid_box(i);
+        let fab = data.fab(i);
+        let avail = fab.ibox();
+        for iv in valid.cells() {
+            let mut g: f64 = 0.0;
+            for d in 0..DIM {
+                let e = IntVect::basis(d);
+                // One-sided at physical boundaries where no ghost exists.
+                let (p, m) = (iv + e, iv - e);
+                let up = if avail.contains(p) { fab.get(p, comp) } else { fab.get(iv, comp) };
+                let um = if avail.contains(m) { fab.get(m, comp) } else { fab.get(iv, comp) };
+                g = g.max((up - um).abs() * 0.5);
+            }
+            if g > threshold && dom_box.contains(iv) {
+                tags.insert(iv);
+            }
+        }
+    }
+    tags
+}
+
+/// Tag cells whose value of `comp` exceeds `threshold` (simple amplitude
+/// tagger, used by blob-tracking advection problems).
+pub fn tag_amplitude(data: &LevelData, comp: usize, threshold: f64) -> IntVectSet {
+    let mut tags = IntVectSet::new();
+    for i in 0..data.len() {
+        let valid = data.valid_box(i);
+        let fab = data.fab(i);
+        for iv in valid.cells() {
+            if fab.get(iv, comp) > threshold {
+                tags.insert(iv);
+            }
+        }
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ProblemDomain;
+    use crate::layout::BoxLayout;
+
+    #[test]
+    fn set_operations() {
+        let mut s = IntVectSet::new();
+        s.insert(IntVect::new(1, 1, 1));
+        s.insert(IntVect::new(3, 3, 3));
+        s.insert(IntVect::new(1, 1, 1)); // dup
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(IntVect::new(3, 3, 3)));
+        assert_eq!(
+            s.bounding_box(),
+            IBox::new(IntVect::splat(1), IntVect::splat(3))
+        );
+    }
+
+    #[test]
+    fn grow_clips() {
+        let mut s = IntVectSet::new();
+        s.insert(IntVect::ZERO);
+        let within = IBox::cube(4);
+        let g = s.grow(1, &within);
+        // 2x2x2 corner (clipped from 3x3x3)
+        assert_eq!(g.len(), 8);
+    }
+
+    #[test]
+    fn coarsen_dedups() {
+        let mut s = IntVectSet::new();
+        s.insert(IntVect::new(0, 0, 0));
+        s.insert(IntVect::new(1, 1, 1));
+        let c = s.coarsen(2);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(IntVect::ZERO));
+    }
+
+    #[test]
+    fn gradient_tagger_finds_jump() {
+        let domain = ProblemDomain::new(IBox::cube(8));
+        let layout = BoxLayout::decompose(&domain, 8, 1);
+        let mut ld = LevelData::new(layout, domain, 1, 1);
+        // Step function: u = 1 for x >= 4 else 0.
+        ld.for_each_mut(|vb, fab| {
+            for iv in vb.cells() {
+                fab.set(iv, 0, if iv[0] >= 4 { 1.0 } else { 0.0 });
+            }
+        });
+        ld.exchange();
+        let tags = tag_undivided_gradient(&ld, 0, 0.25);
+        // Cells adjacent to the jump (x=3 and x=4) tag: |1-0|/2 = 0.5 > 0.25.
+        assert_eq!(tags.len(), 2 * 8 * 8);
+        assert!(tags.contains(IntVect::new(3, 0, 0)));
+        assert!(tags.contains(IntVect::new(4, 5, 5)));
+        assert!(!tags.contains(IntVect::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn amplitude_tagger() {
+        let domain = ProblemDomain::new(IBox::cube(4));
+        let layout = BoxLayout::decompose(&domain, 4, 1);
+        let mut ld = LevelData::new(layout, domain, 1, 0);
+        ld.fab_mut(0).set(IntVect::new(2, 2, 2), 0, 5.0);
+        let tags = tag_amplitude(&ld, 0, 1.0);
+        assert_eq!(tags.len(), 1);
+        assert!(tags.contains(IntVect::new(2, 2, 2)));
+    }
+
+    #[test]
+    fn count_in_region() {
+        let mut s = IntVectSet::new();
+        s.insert_box(&IBox::cube(2));
+        assert_eq!(s.count_in(&IBox::cube(4)), 8);
+        assert_eq!(s.count_in(&IBox::single(IntVect::ZERO)), 1);
+    }
+}

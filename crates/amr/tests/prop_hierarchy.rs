@@ -1,0 +1,130 @@
+//! Property-based tests of the AMR hierarchy: regridding, interpolation
+//! and averaging invariants over randomized tag sets.
+
+use proptest::prelude::*;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::cluster::ClusterParams;
+use xlayer_amr::domain::ProblemDomain;
+use xlayer_amr::hierarchy::{AmrHierarchy, HierarchyConfig};
+use xlayer_amr::intvect::IntVect;
+use xlayer_amr::tagging::IntVectSet;
+
+fn arb_tags(n: i64) -> impl Strategy<Value = IntVectSet> {
+    proptest::collection::vec(
+        (0..n, 0..n, 0..n).prop_map(|(x, y, z)| IntVect::new(x, y, z)),
+        1..25,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+fn hierarchy(nranks: usize) -> AmrHierarchy {
+    AmrHierarchy::new(
+        ProblemDomain::periodic(IBox::cube(16)),
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 8,
+            nranks,
+            nghost: 1,
+            cluster: ClusterParams {
+                blocking_factor: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn regrid_covers_every_tag(tags in arb_tags(16), nranks in 1usize..5) {
+        let mut h = hierarchy(nranks);
+        h.regrid(std::slice::from_ref(&tags));
+        prop_assert_eq!(h.num_levels(), 2);
+        for iv in tags.iter() {
+            let fine = IBox::single(*iv).refine(2);
+            let covered = h
+                .level(1)
+                .layout()
+                .grids()
+                .iter()
+                .any(|g| g.bx.contains_box(&fine));
+            prop_assert!(covered, "tag {:?} uncovered", iv);
+        }
+    }
+
+    #[test]
+    fn fine_layout_is_disjoint_and_in_domain(tags in arb_tags(16)) {
+        let mut h = hierarchy(1);
+        h.regrid(std::slice::from_ref(&tags));
+        let dom = h.domain(1).domain_box();
+        let grids = h.level(1).layout().grids();
+        for (i, a) in grids.iter().enumerate() {
+            prop_assert!(dom.contains_box(&a.bx));
+            prop_assert!(a.bx.is_aligned(2), "unaligned fine box {:?}", a.bx);
+            for b in &grids[i + 1..] {
+                prop_assert!(!a.bx.intersects(&b.bx));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_field_survives_regrid_and_ghost_fill(
+        tags in arb_tags(16),
+        value in -10.0f64..10.0,
+    ) {
+        let mut h = hierarchy(2);
+        h.level_mut(0).fill(value);
+        h.regrid(std::slice::from_ref(&tags));
+        h.fill_ghosts();
+        for l in 0..h.num_levels() {
+            for i in 0..h.level(l).len() {
+                let fb = h.level(l).fab(i);
+                for iv in fb.ibox().cells() {
+                    prop_assert!(
+                        (fb.get(iv, 0) - value).abs() < 1e-12,
+                        "level {} cell {:?}: {}",
+                        l,
+                        iv,
+                        fb.get(iv, 0)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composite_sum_invariant_under_regrid(
+        tags_a in arb_tags(16),
+        tags_b in arb_tags(16),
+    ) {
+        // Piecewise-constant interpolation + averaging keep the composite
+        // integral of a coarse-defined field invariant across regrids.
+        let mut h = hierarchy(1);
+        // smooth-ish deterministic field on the base level
+        for i in 0..h.level(0).len() {
+            let vb = h.level(0).valid_box(i);
+            for iv in vb.cells() {
+                let v = ((iv[0] * 3 + iv[1] * 5 + iv[2] * 7) % 11) as f64;
+                h.level_mut(0).fab_mut(i).set(iv, 0, v);
+            }
+        }
+        let s0 = h.composite_sum(0);
+        h.regrid(std::slice::from_ref(&tags_a));
+        let s1 = h.composite_sum(0);
+        prop_assert!((s1 - s0).abs() < 1e-9 * s0.abs().max(1.0), "{} -> {}", s0, s1);
+        h.regrid(std::slice::from_ref(&tags_b));
+        let s2 = h.composite_sum(0);
+        prop_assert!((s2 - s0).abs() < 1e-9 * s0.abs().max(1.0), "{} -> {}", s0, s2);
+    }
+
+    #[test]
+    fn bytes_per_rank_sums_to_total(tags in arb_tags(16), nranks in 1usize..6) {
+        let mut h = hierarchy(nranks);
+        h.regrid(std::slice::from_ref(&tags));
+        let per = h.bytes_per_rank();
+        prop_assert_eq!(per.len(), nranks);
+        prop_assert_eq!(per.iter().sum::<u64>(), h.total_bytes());
+    }
+}

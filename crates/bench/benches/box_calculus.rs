@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the box calculus — the hot path of ghost-exchange
+//! planning, clustering and regridding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xlayer_amr::{IBox, IntVect};
+
+fn bench_box_ops(c: &mut Criterion) {
+    let a = IBox::new(IntVect::new(-10, -10, -10), IntVect::new(21, 21, 21));
+    let b = IBox::new(IntVect::new(5, 5, 5), IntVect::new(40, 40, 40));
+
+    c.bench_function("box_intersect", |bench| {
+        bench.iter(|| black_box(a).intersect(&black_box(b)))
+    });
+
+    c.bench_function("box_subtract", |bench| {
+        bench.iter(|| black_box(a).subtract(&black_box(b)))
+    });
+
+    c.bench_function("box_refine_coarsen", |bench| {
+        bench.iter(|| black_box(a).refine(black_box(4)).coarsen(black_box(4)))
+    });
+
+    c.bench_function("box_cells_iterate_32k", |bench| {
+        let big = IBox::cube(32);
+        bench.iter(|| {
+            let mut acc = 0i64;
+            for iv in black_box(big).cells() {
+                acc += iv[0];
+            }
+            acc
+        })
+    });
+
+    c.bench_function("box_offsets_32k", |bench| {
+        let big = IBox::cube(32);
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for iv in big.cells() {
+                acc = acc.wrapping_add(big.offset(black_box(iv)));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_box_ops);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Grid generation: Berger–Rigoutsos clustering and full-hierarchy regrid —
+//! the cost the simulation pays at every refinement event.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xlayer_amr::balance::{assign_ranks, Balancer};
+use xlayer_amr::cluster::{cluster_tags, ClusterParams};
+use xlayer_amr::hierarchy::{AmrHierarchy, HierarchyConfig};
+use xlayer_amr::tagging::IntVectSet;
+use xlayer_amr::{IBox, ProblemDomain};
+
+fn shell_tags(n: i64, r: f64) -> IntVectSet {
+    let c = n as f64 / 2.0;
+    let mut tags = IntVectSet::new();
+    for iv in IBox::cube(n).cells() {
+        let d = ((iv[0] as f64 + 0.5 - c).powi(2)
+            + (iv[1] as f64 + 0.5 - c).powi(2)
+            + (iv[2] as f64 + 0.5 - c).powi(2))
+        .sqrt();
+        if (d - r).abs() < 1.0 {
+            tags.insert(iv);
+        }
+    }
+    tags
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let tags = shell_tags(32, 10.0);
+    let within = IBox::cube(32);
+
+    c.bench_function("berger_rigoutsos_shell_32c", |b| {
+        b.iter(|| cluster_tags(&tags, &within, &ClusterParams::default()))
+    });
+
+    let boxes = cluster_tags(&tags, &within, &ClusterParams::default());
+    for bal in [Balancer::Knapsack, Balancer::MortonSfc, Balancer::RoundRobin] {
+        c.bench_function(&format!("balance_{bal:?}"), |b| {
+            b.iter(|| assign_ranks(&boxes, 64, bal))
+        });
+    }
+
+    c.bench_function("hierarchy_regrid_2level", |b| {
+        let dom = ProblemDomain::new(IBox::cube(32));
+        let mut h = AmrHierarchy::new(
+            dom,
+            HierarchyConfig {
+                max_levels: 2,
+                base_max_box: 16,
+                nranks: 8,
+                ..Default::default()
+            },
+        );
+        h.level_mut(0).fill(1.0);
+        let tags = shell_tags(32, 10.0);
+        b.iter(|| h.regrid(std::slice::from_ref(&tags)))
+    });
+
+    c.bench_function("tag_grow_buffer", |b| {
+        let tags = shell_tags(32, 10.0);
+        b.iter(|| tags.grow(1, &IBox::cube(32)))
+    });
+
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! The application-layer reduction operators: per-block entropy (Eq. 11)
+//! and factor-X down-sampling (`f_data_reduce`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xlayer_amr::{Fab, IBox};
+use xlayer_viz::downsample::downsample_fab;
+use xlayer_viz::entropy::block_entropy;
+
+fn noisy_fab(n: i64) -> Fab {
+    let b = IBox::cube(n);
+    let mut f = Fab::new(b, 1);
+    let mut state: u64 = 42;
+    for iv in b.cells() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        f.set(iv, 0, (state >> 33) as f64 / (1u64 << 31) as f64);
+    }
+    f
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let fab = noisy_fab(32);
+    let region = IBox::cube(32);
+
+    let mut group = c.benchmark_group("entropy");
+    for bins in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
+            b.iter(|| block_entropy(&fab, 0, &region, bins))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("downsample_32c");
+    for x in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, &x| {
+            b.iter(|| downsample_fab(&fab, 0, x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

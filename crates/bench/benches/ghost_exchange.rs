@@ -1,0 +1,46 @@
+//! Ghost exchange over a multi-grid level — the communication pattern whose
+//! cross-rank volume the platform model charges as network traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xlayer_amr::domain::ProblemDomain;
+use xlayer_amr::layout::BoxLayout;
+use xlayer_amr::level_data::LevelData;
+use xlayer_amr::IBox;
+
+fn level(n: i64, max_box: i64, periodic: bool, nghost: i64) -> LevelData {
+    let b = IBox::cube(n);
+    let domain = if periodic {
+        ProblemDomain::periodic(b)
+    } else {
+        ProblemDomain::new(b)
+    };
+    let layout = BoxLayout::decompose(&domain, max_box, 4);
+    let mut ld = LevelData::new(layout, domain, 1, nghost);
+    ld.fill(1.0);
+    ld
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    c.bench_function("exchange_plan_32c_8box", |b| {
+        let ld = level(32, 8, false, 1);
+        b.iter(|| ld.exchange_plan())
+    });
+
+    c.bench_function("exchange_32c_8box_1ghost", |b| {
+        let mut ld = level(32, 8, false, 1);
+        b.iter(|| ld.exchange())
+    });
+
+    c.bench_function("exchange_32c_8box_periodic", |b| {
+        let mut ld = level(32, 8, true, 1);
+        b.iter(|| ld.exchange())
+    });
+
+    c.bench_function("exchange_32c_8box_2ghost", |b| {
+        let mut ld = level(32, 8, false, 2);
+        b.iter(|| ld.exchange())
+    });
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The visualization service's extraction kernel: cost scales with cells
+//! scanned plus surface crossed (the `analysis_time_surface` model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xlayer_amr::{Fab, IBox};
+use xlayer_viz::extract_block;
+
+fn sphere_fab(n: i64) -> Fab {
+    let b = IBox::cube(n);
+    let mut f = Fab::new(b, 1);
+    let c = n as f64 / 2.0;
+    for iv in b.cells() {
+        let r = ((iv[0] as f64 + 0.5 - c).powi(2)
+            + (iv[1] as f64 + 0.5 - c).powi(2)
+            + (iv[2] as f64 + 0.5 - c).powi(2))
+        .sqrt();
+        f.set(iv, 0, r);
+    }
+    f
+}
+
+fn bench_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marching_cubes");
+    for n in [16i64, 32] {
+        let fab = sphere_fab(n);
+        let region = IBox::cube(n);
+        // Surface work: isovalue inside the volume.
+        group.bench_with_input(BenchmarkId::new("sphere", n), &n, |b, &n| {
+            b.iter(|| extract_block(&fab, 0, &region, n as f64 / 3.0, 1.0, [0.0; 3]))
+        });
+        // Scan-only: isovalue outside → quick-reject path.
+        group.bench_with_input(BenchmarkId::new("scan_only", n), &n, |b, &n| {
+            b.iter(|| extract_block(&fab, 0, &region, 10.0 * n as f64, 1.0, [0.0; 3]))
+        });
+    }
+    group.finish();
+
+    c.bench_function("weld_sphere_32", |b| {
+        let fab = sphere_fab(32);
+        let mesh = extract_block(&fab, 0, &IBox::cube(32), 10.0, 1.0, [0.0; 3]);
+        b.iter(|| mesh.welded(1e-9))
+    });
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

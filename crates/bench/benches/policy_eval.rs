@@ -1,0 +1,67 @@
+//! Adaptation-policy evaluation cost: the paper requires policies that
+//! "can be efficiently and scalably implemented at runtime on very large
+//! scale systems" (§4) — these must be microseconds, not milliseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xlayer_core::policy::{app, middleware, resource};
+use xlayer_core::{
+    min_time_engine, EngineConfig, Estimator, OperationalState, UserHints,
+};
+use xlayer_platform::{CostModel, MachineSpec};
+
+fn state() -> OperationalState {
+    OperationalState {
+        step: 17,
+        now: 500.0,
+        data_bytes: 8 << 30,
+        cells: (8u64 << 30) / 8,
+        surface_cells: (8u64 << 30) / 80,
+        last_sim_time: 42.0,
+        intransit_busy_until: 510.0,
+        sim_cores: 16384,
+        staging_cores: 1024,
+        staging_cores_max: 1024,
+        mem_available_insitu: 1 << 28,
+        mem_available_intransit: 1 << 40,
+        ..Default::default()
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let est = Estimator::new(CostModel::new(MachineSpec::titan()));
+    let s = state();
+
+    c.bench_function("policy_app_select_factor", |b| {
+        b.iter(|| app::select_factor(8 << 30, &[2, 4, 8, 16], 1 << 28))
+    });
+
+    c.bench_function("policy_middleware_placement", |b| {
+        b.iter(|| middleware::decide_placement(&est, &s, s.data_bytes, s.cells, s.surface_cells))
+    });
+
+    c.bench_function("policy_resource_allocation", |b| {
+        b.iter(|| {
+            resource::select_staging_cores(
+                &est,
+                s.data_bytes,
+                s.cells,
+                s.surface_cells,
+                s.last_sim_time,
+                s.sim_cores,
+                s.staging_cores_max,
+            )
+        })
+    });
+
+    c.bench_function("engine_adapt_global", |b| {
+        let engine = min_time_engine(
+            UserHints::paper_fig5_schedule(20),
+            EngineConfig::global(),
+            Estimator::new(CostModel::new(MachineSpec::titan())),
+        );
+        b.iter(|| engine.adapt(&s))
+    });
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

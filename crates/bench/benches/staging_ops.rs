@@ -1,0 +1,54 @@
+//! Staging-substrate operations: put/get/query/assembly over the sharded
+//! space — the per-object costs the staging servers pay per time step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xlayer_amr::{Fab, IBox, IntVect};
+use xlayer_staging::{DataObject, DataSpace, Sharding};
+
+fn obj(version: u64, lo: i64, n: i64) -> DataObject {
+    let b = IBox::cube(n).shift(IntVect::splat(lo));
+    let fab = Fab::filled(b, 1, 1.0);
+    DataObject::from_fab("rho", version, &fab, 0, &b, 0)
+}
+
+fn bench_staging(c: &mut Criterion) {
+    c.bench_function("object_pack_16c", |b| {
+        let bx = IBox::cube(16);
+        let fab = Fab::filled(bx, 1, 1.0);
+        b.iter(|| DataObject::from_fab("rho", 1, &fab, 0, &bx, 0))
+    });
+
+    c.bench_function("object_unpack_16c", |b| {
+        let o = obj(1, 0, 16);
+        b.iter(|| o.to_fab())
+    });
+
+    c.bench_function("space_put_bboxhash", |b| {
+        let space = DataSpace::new(8, u64::MAX / 16, Sharding::BboxHash);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            space.put(obj(v, (v as i64 % 64) * 8, 8)).expect("put")
+        })
+    });
+
+    c.bench_function("space_get_region_64obj", |b| {
+        let space = DataSpace::new(8, u64::MAX / 16, Sharding::BboxHash);
+        for i in 0..64i64 {
+            space.put(obj(1, i * 8, 8)).expect("put");
+        }
+        let query = IBox::new(IntVect::splat(100), IntVect::splat(180));
+        b.iter(|| space.get_region("rho", 1, &query))
+    });
+
+    c.bench_function("space_describe_64obj", |b| {
+        let space = DataSpace::new(8, u64::MAX / 16, Sharding::BboxHash);
+        for i in 0..64i64 {
+            space.put(obj(1, i * 8, 8)).expect("put");
+        }
+        b.iter(|| space.describe("rho", 1))
+    });
+}
+
+criterion_group!(benches, bench_staging);
+criterion_main!(benches);

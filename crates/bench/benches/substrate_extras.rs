@@ -1,0 +1,156 @@
+//! Micro-benchmarks of the later substrate additions: flux registers,
+//! descriptive statistics, plotfile I/O and pub/sub dispatch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use xlayer_amr::hierarchy::{AmrHierarchy, HierarchyConfig};
+use xlayer_amr::layout::Grid;
+use xlayer_amr::plotfile::{read_plotfile, write_plotfile};
+use xlayer_amr::tagging::IntVectSet;
+use xlayer_amr::{BoxLayout, Fab, FluxRegister, IBox, IntVect, ProblemDomain};
+use xlayer_staging::{DataObject, DataSpace, PubSubSpace, Sharding};
+use xlayer_viz::stats::{subset, BlockStats, Histogram};
+
+fn hierarchy_2level() -> AmrHierarchy {
+    let dom = ProblemDomain::periodic(IBox::cube(16));
+    let mut h = AmrHierarchy::new(
+        dom,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 8,
+            ..Default::default()
+        },
+    );
+    h.level_mut(0).fill(1.0);
+    let mut tags = IntVectSet::new();
+    tags.insert_box(&IBox::new(IntVect::splat(6), IntVect::splat(9)));
+    h.regrid(&[tags]);
+    h
+}
+
+fn bench_extras(c: &mut Criterion) {
+    c.bench_function("flux_register_build", |b| {
+        let layout = BoxLayout::new(
+            vec![Grid {
+                bx: IBox::new(IntVect::splat(8), IntVect::splat(23)),
+                rank: 0,
+            }],
+            1,
+        );
+        b.iter(|| FluxRegister::new(&layout, 2, 5))
+    });
+
+    c.bench_function("flux_register_cycle", |b| {
+        let layout = BoxLayout::new(
+            vec![Grid {
+                bx: IBox::new(IntVect::splat(8), IntVect::splat(23)),
+                rank: 0,
+            }],
+            1,
+        );
+        let mut reg = FluxRegister::new(&layout, 2, 1);
+        let cflux = Fab::filled(IBox::cube(33), 1, 1.0);
+        let fflux = Fab::filled(IBox::cube(34).grow(2), 1, 1.0);
+        let domain = ProblemDomain::new(IBox::cube(16));
+        let coarse_layout = BoxLayout::decompose(&domain, 16, 1);
+        let mut coarse =
+            xlayer_amr::LevelData::new(coarse_layout, domain, 1, 0);
+        b.iter(|| {
+            reg.set_to_zero();
+            for d in 0..3 {
+                reg.increment_coarse(&cflux, d);
+                reg.increment_fine(&fflux, d);
+            }
+            reg.reflux(&mut coarse, 0.1);
+        })
+    });
+
+    c.bench_function("block_stats_32c", |b| {
+        let fab = Fab::filled(IBox::cube(32), 1, 1.5);
+        b.iter(|| BlockStats::compute(&fab, 0, &IBox::cube(32)))
+    });
+
+    c.bench_function("histogram_32c_256bins", |b| {
+        let mut fab = Fab::new(IBox::cube(32), 1);
+        for iv in IBox::cube(32).cells() {
+            fab.set(iv, 0, ((iv[0] * 7 + iv[1] * 3 + iv[2]) % 97) as f64);
+        }
+        b.iter(|| Histogram::compute(&fab, 0, &IBox::cube(32), 0.0, 97.0, 256))
+    });
+
+    c.bench_function("subset_query_32c", |b| {
+        let mut fab = Fab::new(IBox::cube(32), 1);
+        for iv in IBox::cube(32).cells() {
+            fab.set(iv, 0, (iv[0] + iv[1] + iv[2]) as f64);
+        }
+        b.iter(|| subset(&fab, 0, &IBox::cube(32), 40.0, 50.0))
+    });
+
+    c.bench_function("plotfile_write_2level", |b| {
+        let h = hierarchy_2level();
+        let mut buf = Vec::with_capacity(1 << 22);
+        b.iter(|| {
+            buf.clear();
+            write_plotfile(&mut buf, &h, 1, 0.5).expect("write")
+        })
+    });
+
+    c.bench_function("plotfile_read_2level", |b| {
+        let h = hierarchy_2level();
+        let mut buf = Vec::new();
+        write_plotfile(&mut buf, &h, 1, 0.5).expect("write");
+        b.iter(|| read_plotfile(&mut buf.as_slice()).expect("read"))
+    });
+
+    c.bench_function("compress_smooth_32c", |b| {
+        let bx = IBox::cube(32);
+        let mut fab = Fab::new(bx, 1);
+        for iv in bx.cells() {
+            fab.set(iv, 0, (iv[0] as f64 * 0.2).sin() + (iv[1] as f64 * 0.1).cos());
+        }
+        b.iter(|| xlayer_viz::compress_fab(&fab, 0, &bx, 1e-4))
+    });
+
+    c.bench_function("decompress_smooth_32c", |b| {
+        let bx = IBox::cube(32);
+        let mut fab = Fab::new(bx, 1);
+        for iv in bx.cells() {
+            fab.set(iv, 0, (iv[0] as f64 * 0.2).sin() + (iv[1] as f64 * 0.1).cos());
+        }
+        let c2 = xlayer_viz::compress_fab(&fab, 0, &bx, 1e-4);
+        b.iter(|| xlayer_viz::decompress(&c2).expect("decode"))
+    });
+
+    c.bench_function("bucket_index_query_256obj", |b| {
+        let mut idx = xlayer_staging::BucketIndex::new(16);
+        for i in 0..256i64 {
+            idx.insert(IBox::cube(8).shift(IntVect::new((i % 16) * 8, (i / 16) * 8, 0)));
+        }
+        let probe = IBox::new(IntVect::new(40, 40, 0), IntVect::new(80, 80, 7));
+        b.iter(|| idx.query(&probe))
+    });
+
+    c.bench_function("pubsub_publish_8subs", |b| {
+        let ps = PubSubSpace::new(Arc::new(DataSpace::new(
+            4,
+            u64::MAX / 8,
+            Sharding::BboxHash,
+        )));
+        let subs: Vec<_> = (0..8).map(|_| ps.subscribe("u", None)).collect();
+        let bx = IBox::cube(8);
+        let fab = Fab::filled(bx, 1, 1.0);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            let obj = DataObject::from_fab("u", v, &fab, 0, &bx, 0);
+            let n = ps.publish(obj).expect("publish");
+            for s in &subs {
+                let _ = s.rx.try_recv();
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(benches, bench_extras);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation: the two in-situ data-reduction operators the paper's
+//! application layer can select between (§3: "down-sample factor,
+//! compression rate, etc.") — volumetric down-sampling vs error-bounded
+//! compression — on real blast-wave density data.
+//!
+//! Down-sampling gives a fixed, resolution-style reduction; compression
+//! adapts to the field's information content with a hard error bound.
+
+use xlayer_amr::hierarchy::HierarchyConfig;
+use xlayer_amr::{IBox, ProblemDomain};
+use xlayer_bench::print_table;
+use xlayer_solvers::{AmrSimulation, DriverConfig, EulerSolver, GasProblem};
+use xlayer_viz::compress::{compress_fab, decompress};
+use xlayer_viz::downsample::{downsample_fab, reconstruction_mse};
+
+fn main() {
+    // Real evolved blast density on the base level.
+    let n = 16i64;
+    let domain = ProblemDomain::new(IBox::cube(n));
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 16,
+            ..Default::default()
+        },
+        EulerSolver::default(),
+        DriverConfig {
+            cfl: 0.3,
+            regrid_interval: 2,
+            tag_threshold: 0.04,
+            base_dx: 1.0,
+            subcycle: false,
+            reflux: false,
+        },
+    );
+    let problem = GasProblem::Blast {
+        center: [8.0; 3],
+        radius: 3.0,
+        p_in: 10.0,
+        p_out: 0.1,
+    };
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+    sim.regrid_now();
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+    for _ in 0..10 {
+        sim.advance();
+    }
+    let level = sim.hierarchy.level(0);
+    let fab = level.fab(0);
+    let region = level.valid_box(0);
+    let raw_bytes = region.num_cells() * 8;
+
+    let mut rows = Vec::new();
+    // Down-sampling arm: per-dimension strides.
+    for x in [2u32, 4] {
+        let ds = downsample_fab(fab, 0, x);
+        let bytes = ds.ibox().num_cells() * 8;
+        let mse = reconstruction_mse(fab, 0, x);
+        rows.push(vec![
+            format!("downsample {x}x/dim"),
+            format!("{bytes}"),
+            format!("{:.1}x", raw_bytes as f64 / bytes as f64),
+            format!("{:.3e}", mse.sqrt()),
+            "resolution loss".into(),
+        ]);
+    }
+    // Compression arm: error-bounded.
+    for tol in [1e-2f64, 1e-4] {
+        let c = compress_fab(fab, 0, &region, tol);
+        let back = decompress(&c).expect("decode");
+        let mut se = 0.0;
+        for iv in region.cells() {
+            se += (back.get(iv, 0) - fab.get(iv, 0)).powi(2);
+        }
+        let rmse = (se / region.num_cells() as f64).sqrt();
+        rows.push(vec![
+            format!("compress tol={tol:.0e}"),
+            format!("{}", c.bytes()),
+            format!("{:.1}x", c.ratio()),
+            format!("{:.3e}", rmse),
+            format!("max err ≤ {:.0e}", tol / 2.0),
+        ]);
+    }
+    print_table(
+        &format!("Ablation — reduction operators on blast density ({raw_bytes} raw bytes)"),
+        &["operator", "bytes", "ratio", "RMSE", "guarantee"],
+        &rows,
+    );
+    println!("\nCompression reaches similar ratios at orders-of-magnitude lower error on");
+    println!("smooth regions, but offers no resolution semantics; down-sampling composes");
+    println!("with marching cubes directly. The §3 reduction module exposes both knobs.");
+}

@@ -1,0 +1,132 @@
+//! Figure 6 — entropy-based data down-sampling (quantitative equivalent).
+//!
+//! The paper renders two isosurfaces of the Polytropic Gas density at step
+//! 60 before and after entropy-adaptive reduction: regions with high
+//! entropy (9.21 bits) keep full resolution, regions with low entropy
+//! (5.14 bits) are down-sampled 4× with little visual loss; finest-level
+//! block entropies span 5.14–9.85 bits.
+//!
+//! Without a display we report the quantitative equivalent per block:
+//! entropy, chosen factor, isosurface triangle counts at full vs adapted
+//! resolution, and the reconstruction MSE.
+
+use xlayer_amr::hierarchy::HierarchyConfig;
+use xlayer_amr::{IBox, ProblemDomain};
+use xlayer_bench::print_table;
+use xlayer_solvers::{AmrSimulation, DriverConfig, EulerSolver, GasProblem};
+use xlayer_viz::downsample::{downsample_fab, reconstruction_mse};
+use xlayer_viz::entropy::{block_entropy, factors_from_entropy, DEFAULT_BINS};
+use xlayer_viz::extract_block;
+
+fn main() {
+    let n = 16i64;
+    let domain = ProblemDomain::new(IBox::cube(n));
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 3,
+            base_max_box: 8,
+            nranks: 8,
+            ..Default::default()
+        },
+        EulerSolver::default(),
+        DriverConfig {
+            cfl: 0.3,
+            regrid_interval: 2,
+            tag_threshold: 0.04,
+            base_dx: 1.0,
+            subcycle: false,
+            reflux: false,
+        },
+    );
+    let problem = GasProblem::Blast {
+        center: [n as f64 / 2.0; 3],
+        radius: n as f64 / 8.0,
+        p_in: 10.0,
+        p_out: 0.1,
+    };
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+    sim.regrid_now();
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+
+    // Evolve the blast so the density field develops structure.
+    for _ in 0..20 {
+        sim.advance();
+    }
+    sim.hierarchy.fill_ghosts();
+
+    // Finest level blocks, density component (0).
+    let finest = sim.hierarchy.num_levels() - 1;
+    let level = sim.hierarchy.level(finest);
+    let comp = 0;
+    let entropies: Vec<f64> = (0..level.len())
+        .map(|i| block_entropy(level.fab(i), comp, &level.valid_box(i), DEFAULT_BINS))
+        .collect();
+    let h_lo = entropies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let h_hi = entropies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    // Thresholds: below the 40th percentile of the observed range → 4×;
+    // mid-range → 2×; high entropy → full resolution.
+    let t1 = h_lo + 0.4 * (h_hi - h_lo);
+    let t2 = h_lo + 0.7 * (h_hi - h_lo);
+    let thresholds = [(0.0, 4u32), (t1, 2), (t2, 1)];
+    let factors = factors_from_entropy(&entropies, &thresholds);
+
+    // Isovalue: median density over the level.
+    let iso = 0.5 * (level.min(comp) + level.max(comp));
+
+    let mut rows = Vec::new();
+    let (mut tri_full_total, mut tri_adapt_total) = (0usize, 0usize);
+    let (mut bytes_full, mut bytes_adapt) = (0u64, 0u64);
+    for i in 0..level.len() {
+        let fab = level.fab(i);
+        let region = level.valid_box(i);
+        let full = extract_block(fab, comp, &region, iso, 1.0, [0.0; 3]);
+        let ds = downsample_fab(fab, comp, factors[i]);
+        let adapted = extract_block(
+            &ds,
+            0,
+            &region.coarsen(factors[i] as i64),
+            iso,
+            factors[i] as f64,
+            [0.0; 3],
+        );
+        let mse = reconstruction_mse(fab, comp, factors[i]);
+        tri_full_total += full.num_triangles();
+        tri_adapt_total += adapted.num_triangles();
+        bytes_full += region.num_cells() * 8;
+        bytes_adapt += region.coarsen(factors[i] as i64).num_cells() * 8;
+        rows.push(vec![
+            format!("{i}"),
+            format!("{:.2}", entropies[i]),
+            format!("{}", factors[i]),
+            format!("{}", full.num_triangles()),
+            format!("{}", adapted.num_triangles()),
+            format!("{:.2e}", mse),
+        ]);
+    }
+
+    print_table(
+        "Fig. 6 — entropy-adaptive down-sampling of the finest-level density",
+        &["block", "entropy(bits)", "factor", "tris full", "tris adapted", "recon MSE"],
+        &rows,
+    );
+    println!("\nblock entropy range: {h_lo:.2} – {h_hi:.2} bits (paper: 5.14 – 9.85)");
+    println!(
+        "data: {:.1} KB -> {:.1} KB ({:.1}% of full)",
+        bytes_full as f64 / 1024.0,
+        bytes_adapt as f64 / 1024.0,
+        100.0 * bytes_adapt as f64 / bytes_full as f64
+    );
+    println!(
+        "triangles: {tri_full_total} -> {tri_adapt_total} ({:.1}% kept; high-entropy regions preserved)",
+        100.0 * tri_adapt_total as f64 / tri_full_total.max(1) as f64
+    );
+    // The defining property: high-entropy blocks keep full resolution.
+    let preserved = entropies
+        .iter()
+        .zip(&factors)
+        .filter(|(h, f)| **h >= t2 && **f == 1)
+        .count();
+    println!("high-entropy blocks kept at full resolution: {preserved}");
+}

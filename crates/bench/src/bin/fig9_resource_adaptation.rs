@@ -1,0 +1,50 @@
+//! Figure 9 + §5.2.3 — resource-layer adaptation: number of in-transit
+//! cores per time step, static (256) vs adaptive, for the Polytropic Gas
+//! workload with 4,096 simulation cores.
+//!
+//! Paper result: early in the run only ~50 in-transit cores are needed;
+//! as the grid refines and data grows, more staging cores are allocated.
+//! CPU utilization efficiency (Eq. 12): 87.11% adaptive vs 54.57% static.
+
+use xlayer_bench::{euler_trace, pct, print_table};
+use xlayer_core::EngineConfig;
+use xlayer_workflow::{ModeledWorkflow, Strategy, TraceDriver, WorkflowConfig};
+
+fn main() {
+    const STEPS: u64 = 40;
+    let trace = euler_trace(16, 3, STEPS);
+    // Virtual domain: paper's 128×64×64 Polytropic Gas base on Intrepid.
+    let scale = trace.scale_to(128 * 64 * 64) * 48.0; // ×48: 3 refined levels' working set
+
+    let run = |strategy| {
+        let mut cfg = WorkflowConfig::intrepid_gas(strategy);
+        cfg.scale = scale;
+        let wf = ModeledWorkflow::new(cfg);
+        let mut d = TraceDriver::new(trace.points.clone());
+        wf.run(&mut d, STEPS)
+    };
+
+    let stat = run(Strategy::StaticInTransit);
+    let adapt = run(Strategy::Adaptive(EngineConfig::resource_only()));
+
+    let series = adapt.staging_core_series();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|(step, m)| vec![format!("{step}"), "256".into(), format!("{m}")])
+        .collect();
+    print_table(
+        "Fig. 9 — in-transit cores per time step (Polytropic Gas, 4K sim cores)",
+        &["step", "static", "adaptive"],
+        &rows,
+    );
+
+    let first = series.first().expect("non-empty").1;
+    let last = series.last().expect("non-empty").1;
+    println!("\nadaptive allocation: {first} cores at start → {last} cores at end (paper: ~50 → grows with refinement)");
+    println!(
+        "CPU utilization efficiency (Eq. 12): adaptive {} vs static {}",
+        pct(adapt.staging_efficiency()),
+        pct(stat.staging_efficiency())
+    );
+    println!("Paper: 87.11% adaptive vs 54.57% static.");
+}

@@ -1,0 +1,173 @@
+//! `xlayer_run` — command-line driver for modeled-scale workflow runs.
+//!
+//! ```sh
+//! cargo run --release -p xlayer-bench --bin xlayer_run -- \
+//!     --workload advect --strategy global --cores 4096 --steps 40
+//! ```
+//!
+//! Options (defaults in parentheses):
+//! ```text
+//!   --workload advect|gas        driving AMR workload        (advect)
+//!   --strategy insitu|intransit|postproc|local|global        (global)
+//!   --machine titan|intrepid     target machine              (titan)
+//!   --cores N                    simulation cores            (4096)
+//!   --steps N                    time steps                  (40)
+//!   --virt-cells N               virtual base-domain cells   (2^30)
+//!   --max-interval K             temporal-adaptation cap     (1)
+//!   --roi F                      region-of-interest fraction (1.0)
+//!   --hybrid true|false          allow hybrid placement      (false)
+//! ```
+
+use xlayer_bench::{advect_trace, euler_trace, gb, pct, print_table, secs, Trace};
+use xlayer_core::EngineConfig;
+use xlayer_workflow::{ModeledWorkflow, Strategy, TraceDriver, WorkflowConfig};
+
+struct Args {
+    workload: String,
+    strategy: String,
+    machine: String,
+    cores: usize,
+    steps: u64,
+    virt_cells: u64,
+    max_interval: u64,
+    roi: f64,
+    hybrid: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        workload: "advect".into(),
+        strategy: "global".into(),
+        machine: "titan".into(),
+        cores: 4096,
+        steps: 40,
+        virt_cells: 1 << 30,
+        max_interval: 1,
+        roi: 1.0,
+        hybrid: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let val = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {key}"))?;
+        match key {
+            "--workload" => a.workload = val.clone(),
+            "--strategy" => a.strategy = val.clone(),
+            "--machine" => a.machine = val.clone(),
+            "--cores" => a.cores = val.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--steps" => a.steps = val.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--virt-cells" => {
+                a.virt_cells = val.parse().map_err(|e| format!("--virt-cells: {e}"))?
+            }
+            "--max-interval" => {
+                a.max_interval = val.parse().map_err(|e| format!("--max-interval: {e}"))?
+            }
+            "--roi" => a.roi = val.parse().map_err(|e| format!("--roi: {e}"))?,
+            "--hybrid" => a.hybrid = val.parse().map_err(|e| format!("--hybrid: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 2;
+    }
+    Ok(a)
+}
+
+fn strategy_of(name: &str, hybrid: bool) -> Result<Strategy, String> {
+    let with_hybrid = |mut c: EngineConfig| {
+        c.enable_hybrid = hybrid;
+        c
+    };
+    Ok(match name {
+        "insitu" => Strategy::StaticInSitu,
+        "intransit" => Strategy::StaticInTransit,
+        "postproc" => Strategy::PostProcessing,
+        "local" => Strategy::Adaptive(with_hybrid(EngineConfig::middleware_only())),
+        "global" => Strategy::Adaptive(with_hybrid(EngineConfig::global())),
+        "app" => Strategy::Adaptive(with_hybrid(EngineConfig::app_only())),
+        "resource" => Strategy::Adaptive(with_hybrid(EngineConfig::resource_only())),
+        other => return Err(format!("unknown strategy {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nsee the module docs for usage");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "recording a real {} AMR trace ({} steps)…",
+        args.workload, args.steps
+    );
+    let trace: Trace = match args.workload.as_str() {
+        "advect" => advect_trace(16, 2, args.steps, 0),
+        "gas" => euler_trace(16, 3, args.steps),
+        other => {
+            eprintln!("error: unknown workload {other}");
+            std::process::exit(2);
+        }
+    };
+    let strategy = match strategy_of(&args.strategy, args.hybrid) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cfg = match args.machine.as_str() {
+        "titan" => WorkflowConfig::titan_advect(args.cores, strategy),
+        "intrepid" => {
+            let mut c = WorkflowConfig::intrepid_gas(strategy);
+            c.partition.sim_cores = args.cores;
+            c
+        }
+        other => {
+            eprintln!("error: unknown machine {other}");
+            std::process::exit(2);
+        }
+    };
+    cfg.scale = trace.scale_to(args.virt_cells);
+    cfg.hints.max_analysis_interval = args.max_interval;
+    cfg.hints.roi_fraction = args.roi;
+
+    let wf = ModeledWorkflow::new(cfg);
+    let mut d = TraceDriver::new(trace.points.clone());
+    let r = wf.run(&mut d, args.steps);
+
+    let (insitu, intransit) = r.placement_counts();
+    let analyzed = r.steps.iter().filter(|s| s.analyzed).count();
+    print_table(
+        &format!(
+            "xlayer_run — {} / {} on {} ({} cores, {} steps)",
+            args.workload, args.strategy, args.machine, args.cores, args.steps
+        ),
+        &["metric", "value"],
+        &[
+            vec!["sim time (s)".into(), secs(r.end_to_end.sim_time)],
+            vec!["overhead (s)".into(), secs(r.end_to_end.overhead)],
+            vec!["total (s)".into(), secs(r.end_to_end.total())],
+            vec![
+                "overhead / sim".into(),
+                pct(r.end_to_end.overhead_fraction()),
+            ],
+            vec!["data moved (GB)".into(), gb(r.data_moved())],
+            vec!["in-situ steps".into(), insitu.to_string()],
+            vec!["in-transit steps".into(), intransit.to_string()],
+            vec!["steps analyzed".into(), format!("{analyzed}/{}", args.steps)],
+            vec![
+                "staging efficiency".into(),
+                pct(r.staging_efficiency()),
+            ],
+            vec![
+                "energy (MJ)".into(),
+                format!("{:.1}", r.energy.total() / 1e6),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,218 @@
+//! # xlayer-bench — the experiment harness
+//!
+//! Shared machinery for the `figN_*` / `table2_*` experiment binaries that
+//! regenerate every figure and table of the paper's evaluation (§5), plus
+//! the Criterion micro-benchmarks of the substrate hot paths.
+//!
+//! Each experiment drives the *modeled-scale* workflow with a trace
+//! recorded from a *real* small AMR run (see `xlayer-workflow::drive`), so
+//! the dynamics — erratic growth, imbalance, regrid bursts — are genuine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use xlayer_amr::hierarchy::HierarchyConfig;
+use xlayer_amr::{IBox, ProblemDomain};
+use xlayer_solvers::{
+    AdvectDiffuseSolver, AmrSimulation, DriverConfig, EulerSolver, GasProblem, LevelSolver,
+    ScalarProblem, VelocityField,
+};
+use xlayer_workflow::{AmrDriver, DrivePoint, WorkloadDriver};
+
+/// A recorded workload trace plus the real run's base-grid size, used to
+/// compute virtual-scale factors.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Per-step drive points from the real run.
+    pub points: Vec<DrivePoint>,
+    /// Cells of the real run's base grid.
+    pub base_cells: u64,
+}
+
+impl Trace {
+    /// Scale factor mapping this trace onto a virtual base domain of
+    /// `virtual_cells` cells.
+    pub fn scale_to(&self, virtual_cells: u64) -> f64 {
+        virtual_cells as f64 / self.base_cells as f64
+    }
+}
+
+/// Build the advection–diffusion workload of §5.2.2: a Gaussian blob in a
+/// vortex with dynamic refinement, run for `steps` real steps on an
+/// `n`³ base grid.
+pub fn advect_trace(n: i64, max_levels: usize, steps: u64, seed_shift: i64) -> Trace {
+    let domain = ProblemDomain::periodic(IBox::cube(n));
+    let solver = AdvectDiffuseSolver::new(
+        VelocityField::Vortex {
+            center: [n as f64 / 2.0, n as f64 / 2.0],
+            strength: 0.08,
+        },
+        0.01,
+        n,
+    );
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels,
+            base_max_box: 8,
+            nranks: 16,
+            ..Default::default()
+        },
+        solver,
+        DriverConfig {
+            tag_threshold: 0.02,
+            regrid_interval: 4,
+            ..Default::default()
+        },
+    );
+    let c = n as f64 / 2.0;
+    ScalarProblem::Gaussian {
+        center: [c + seed_shift as f64, c, c],
+        sigma: n as f64 / 8.0,
+    }
+    .init_hierarchy(&mut sim.hierarchy);
+    sim.regrid_now();
+    record(sim, steps, n)
+}
+
+/// Build the Polytropic Gas workload of §5.2.1/§5.2.3: a 3-D blast wave
+/// with dynamic refinement (growing refined region ⇒ growing memory,
+/// Fig. 1 / Fig. 9 dynamics).
+pub fn euler_trace(n: i64, max_levels: usize, steps: u64) -> Trace {
+    let domain = ProblemDomain::new(IBox::cube(n));
+    let solver = EulerSolver::default();
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels,
+            base_max_box: 8,
+            nranks: 16,
+            ..Default::default()
+        },
+        solver,
+        DriverConfig {
+            cfl: 0.3,
+            regrid_interval: 2,
+            tag_threshold: 0.04,
+            base_dx: 1.0,
+            subcycle: false,
+            reflux: false,
+        },
+    );
+    let problem = GasProblem::Blast {
+        center: [n as f64 / 2.0; 3],
+        radius: n as f64 / 8.0,
+        p_in: 10.0,
+        p_out: 0.1,
+    };
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+    sim.regrid_now();
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+    record(sim, steps, n)
+}
+
+fn record<S: LevelSolver>(sim: AmrSimulation<S>, steps: u64, n: i64) -> Trace {
+    let mut driver = AmrDriver::new(sim);
+    let points = (0..steps).map(|_| driver.next_point()).collect();
+    Trace {
+        points,
+        base_cells: (n * n * n) as u64,
+    }
+}
+
+/// The §5.2.2 scale sweep: (simulation cores, virtual domain cells).
+/// Domains are 1024²×512, 1024³, 2048×1024², 2048²×1024.
+pub const SCALE_SWEEP: [(usize, u64); 4] = [
+    (2048, 1024 * 1024 * 512),
+    (4096, 1024 * 1024 * 1024),
+    (8192, 2048 * 1024 * 1024),
+    (16384, 2048 * 2048 * 1024),
+];
+
+/// Run one modeled workflow over `trace` at virtual scale.
+pub fn run_strategy(
+    trace: &Trace,
+    sim_cores: usize,
+    virt_cells: u64,
+    strategy: xlayer_workflow::Strategy,
+    hints: Option<xlayer_core::UserHints>,
+) -> xlayer_workflow::WorkflowReport {
+    let mut cfg = xlayer_workflow::WorkflowConfig::titan_advect(sim_cores, strategy);
+    cfg.scale = trace.scale_to(virt_cells);
+    if let Some(h) = hints {
+        cfg.hints = h;
+    }
+    let wf = xlayer_workflow::ModeledWorkflow::new(cfg);
+    let mut driver = xlayer_workflow::TraceDriver::new(trace.points.clone());
+    wf.run(&mut driver, trace.points.len() as u64)
+}
+
+/// Render an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+/// Format bytes as GB with 2 decimals.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1u64 << 30) as f64)
+}
+
+/// Format seconds with 1 decimal.
+pub fn secs(t: f64) -> String {
+    format!("{t:.1}")
+}
+
+/// Format a percentage with 2 decimals.
+pub fn pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advect_trace_is_dynamic() {
+        let t = advect_trace(16, 2, 6, 0);
+        assert_eq!(t.points.len(), 6);
+        assert!(t.points.iter().all(|p| p.cells > 0 && p.bytes > 0));
+        assert!(t.points.iter().all(|p| p.imbalance >= 1.0));
+        assert!(t.scale_to(1 << 29) > 1.0);
+    }
+
+    #[test]
+    fn euler_trace_grows() {
+        let t = euler_trace(16, 2, 6);
+        assert_eq!(t.points.len(), 6);
+        let first = t.points.first().unwrap().bytes;
+        let max = t.points.iter().map(|p| p.bytes).max().unwrap();
+        assert!(max >= first);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(gb(1 << 30), "1.00");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(pct(0.8711), "87.11%");
+    }
+}

@@ -1,0 +1,36 @@
+//! # xlayer-core — the cross-layer adaptation runtime
+//!
+//! The primary contribution of *Jin et al., "Using Cross-Layer Adaptations
+//! for Dynamic Data Management in Large Scale Coupled Scientific
+//! Workflows"* (SC '13): an autonomic runtime of three components —
+//!
+//! * the [`monitor::Monitor`] samples the operational state across the
+//!   application, middleware and resource layers (§3, Fig. 3),
+//! * the [`engine::AdaptationEngine`] selects and executes adaptations
+//!   based on user [`prefs`] (preferences + hints) and the current
+//!   [`state::OperationalState`],
+//! * the [`policy`] module implements the per-layer policies (Eqs. 1–10)
+//!   and the root–leaf cross-layer coordinator (§4.4).
+//!
+//! [`estimate::Estimator`] supplies the Table 1 estimators
+//! (`T_insitu`, `T_intransit`, `T_sd`, `T_recv`, `Mem_*`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod estimate;
+pub mod monitor;
+pub mod policy;
+pub mod prefs;
+pub mod state;
+
+pub use engine::{min_time_engine, AdaptationEngine, Adaptations, EngineConfig};
+pub use estimate::{Calibrator, Estimator};
+pub use monitor::Monitor;
+pub use policy::app::AppDecision;
+pub use policy::cross::{plan, CrossLayerPlan, Mechanism};
+pub use policy::middleware::{hybrid_split, Placement, PlacementDecision, PlacementReason};
+pub use policy::resource::ResourceDecision;
+pub use prefs::{FactorPhase, Objective, UserHints, UserPreferences};
+pub use state::OperationalState;

@@ -1,0 +1,134 @@
+//! The Monitor (paper §3, Fig. 3): periodically samples the operational
+//! state of the workflow and forwards it to the Adaptation Engine.
+
+use crate::state::OperationalState;
+
+/// Periodic sampler and history of operational states.
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    interval: u64,
+    history: Vec<OperationalState>,
+}
+
+impl Monitor {
+    /// Sample every `interval` steps (≥ 1).
+    pub fn new(interval: u64) -> Self {
+        Monitor {
+            interval: interval.max(1),
+            history: Vec::new(),
+        }
+    }
+
+    /// The sampling period in steps.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// True if `step` is a sampling point ("after every specified number of
+    /// simulation time steps", §3).
+    pub fn should_sample(&self, step: u64) -> bool {
+        step.is_multiple_of(self.interval)
+    }
+
+    /// Record a snapshot (call at sampling points). Returns a reference to
+    /// the stored state.
+    pub fn record(&mut self, state: OperationalState) -> &OperationalState {
+        self.history.push(state);
+        self.history.last().expect("just pushed")
+    }
+
+    /// Most recent snapshot.
+    pub fn last(&self) -> Option<&OperationalState> {
+        self.history.last()
+    }
+
+    /// Full history, oldest first.
+    pub fn history(&self) -> &[OperationalState] {
+        &self.history
+    }
+
+    /// Exponentially-smoothed simulation step time over the history — a
+    /// more stable `T_(i+1)_sim` predictor than the last sample alone.
+    pub fn smoothed_sim_time(&self) -> f64 {
+        let mut est = 0.0;
+        let mut init = false;
+        for s in &self.history {
+            if !init {
+                est = s.last_sim_time;
+                init = true;
+            } else {
+                est = 0.7 * est + 0.3 * s.last_sim_time;
+            }
+        }
+        est
+    }
+
+    /// Trend of the output data size over the last `window` samples, as
+    /// bytes per step (positive while the AMR hierarchy is refining).
+    pub fn data_growth_rate(&self, window: usize) -> f64 {
+        let n = self.history.len();
+        if n < 2 || window < 2 {
+            return 0.0;
+        }
+        let w = window.min(n);
+        let first = &self.history[n - w];
+        let last = &self.history[n - 1];
+        let dsteps = (last.step - first.step).max(1);
+        (last.data_bytes as f64 - first.data_bytes as f64) / dsteps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(step: u64, sim_time: f64, bytes: u64) -> OperationalState {
+        OperationalState {
+            step,
+            last_sim_time: sim_time,
+            data_bytes: bytes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sampling_period() {
+        let m = Monitor::new(5);
+        assert!(m.should_sample(0));
+        assert!(!m.should_sample(3));
+        assert!(m.should_sample(10));
+        // interval 0 is clamped to 1
+        assert!(Monitor::new(0).should_sample(7));
+    }
+
+    #[test]
+    fn history_and_last() {
+        let mut m = Monitor::new(1);
+        assert!(m.last().is_none());
+        m.record(state(1, 2.0, 100));
+        m.record(state(2, 4.0, 200));
+        assert_eq!(m.last().unwrap().step, 2);
+        assert_eq!(m.history().len(), 2);
+    }
+
+    #[test]
+    fn smoothing_converges_toward_recent_values() {
+        let mut m = Monitor::new(1);
+        for i in 0..20 {
+            m.record(state(i, if i < 10 { 1.0 } else { 5.0 }, 0));
+        }
+        let s = m.smoothed_sim_time();
+        assert!(s > 3.0 && s < 5.0, "smoothed {s}");
+    }
+
+    #[test]
+    fn growth_rate() {
+        let mut m = Monitor::new(1);
+        m.record(state(0, 1.0, 1000));
+        m.record(state(1, 1.0, 1500));
+        m.record(state(2, 1.0, 2000));
+        assert!((m.data_growth_rate(3) - 500.0).abs() < 1e-9);
+        assert_eq!(m.data_growth_rate(1), 0.0);
+        assert_eq!(Monitor::new(1).data_growth_rate(3), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Application-layer adaptation policy (paper §4.1, Eqs. 1–3): choose the
+//! down-sampling factor `X`.
+//!
+//! Maximize the data retained, `S_data − f_data_reduce(S_data, X)` removed —
+//! i.e. pick the *smallest* acceptable `X` — subject to the memory needed to
+//! perform the reduction, `Mem_data_reduce(S_data, X) ≤ Mem_available`, with
+//! `X` drawn from the user-hinted set (Eq. 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Reduced output size at factor `x`: `f_data_reduce(S_data, X)` with `X`
+/// the *volumetric* divisor — the paper's acceptable sets {2,4} / {2,4,8,16}
+/// divide the data volume by X (a per-dimension stride of X^(1/3)). The
+/// observed data-movement reductions of Fig. 11 (5–46%) and the gradual
+/// factor escalation of Fig. 5 both imply this reading; a per-dimension X
+/// would shrink volumes by X³ = 64–4096×, far beyond what the paper reports.
+pub fn reduced_bytes(s_data: u64, x: u32) -> u64 {
+    s_data.div_ceil(x as u64)
+}
+
+/// Cells surviving a volumetric factor-`x` reduction.
+pub fn reduced_cells(cells: u64, x: u32) -> u64 {
+    cells / (x as u64).max(1)
+}
+
+/// Surface-crossing cells surviving a volumetric factor-`x` reduction:
+/// linear resolution drops by x^(1/3), so a 2-D surface keeps x^(-2/3) of
+/// its cells.
+pub fn reduced_surface(surface_cells: u64, x: u32) -> u64 {
+    (surface_cells as f64 / (x as f64).powf(2.0 / 3.0)) as u64
+}
+
+/// Memory needed to perform the reduction at factor `x`
+/// (`Mem_data_reduce`, Eq. 2): input and output are resident together.
+pub fn reduction_memory(s_data: u64, x: u32) -> u64 {
+    s_data + reduced_bytes(s_data, x)
+}
+
+/// Temporal-resolution policy: the paper's application layer can also
+/// "adapt the spatial and/or **temporal** resolution of the data being
+/// written and processed" — analyze every `k`-th step instead of every
+/// step.
+///
+/// Picks the smallest interval `k ∈ [1, max_interval]` such that the
+/// amortized analysis cost stays within `budget_frac` of the simulation
+/// time: `t_analysis / k ≤ budget_frac · t_sim`.
+pub fn select_interval(
+    t_analysis: f64,
+    t_sim: f64,
+    budget_frac: f64,
+    max_interval: u64,
+) -> u64 {
+    assert!(budget_frac > 0.0, "analysis budget must be positive");
+    if t_sim <= 0.0 || !t_analysis.is_finite() {
+        return max_interval.max(1);
+    }
+    let k = (t_analysis / (budget_frac * t_sim)).ceil();
+    (k as u64).clamp(1, max_interval.max(1))
+}
+
+/// The outcome of the application-layer policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppDecision {
+    /// Chosen down-sampling factor.
+    pub factor: u32,
+    /// Output size after reduction.
+    pub reduced_bytes: u64,
+    /// True if even the largest acceptable factor violates the memory
+    /// constraint (the policy then degrades to that largest factor).
+    pub memory_exceeded: bool,
+}
+
+/// Select the down-sampling factor per Eqs. 1–3.
+///
+/// `factors` is the user-hinted acceptable set (Eq. 3); `s_data` the step's
+/// output size; `mem_available` the free memory where the reduction runs.
+pub fn select_factor(s_data: u64, factors: &[u32], mem_available: u64) -> AppDecision {
+    assert!(!factors.is_empty(), "need at least one acceptable factor");
+    let mut sorted: Vec<u32> = factors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    // Smallest X whose reduction memory fits (Eq. 1 maximized s.t. Eq. 2).
+    for &x in &sorted {
+        if reduction_memory(s_data, x) <= mem_available {
+            return AppDecision {
+                factor: x,
+                reduced_bytes: reduced_bytes(s_data, x),
+                memory_exceeded: false,
+            };
+        }
+    }
+    // Nothing fits: fall back to the most aggressive reduction and flag it.
+    let x = *sorted.last().expect("non-empty");
+    AppDecision {
+        factor: x,
+        reduced_bytes: reduced_bytes(s_data, x),
+        memory_exceeded: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plentiful_memory_selects_smallest_factor() {
+        // Fig. 5, steps 0–30: memory is ample, the minimum factor wins.
+        let d = select_factor(100 << 20, &[2, 4], u64::MAX);
+        assert_eq!(d.factor, 2);
+        assert!(!d.memory_exceeded);
+        assert_eq!(d.reduced_bytes, (100 << 20) / 2);
+    }
+
+    #[test]
+    fn tight_memory_escalates_factor() {
+        // Fig. 5, step ≥ 31: the minimum factor no longer fits.
+        let s: u64 = 100 << 20;
+        // memory fits s + s/4 (x=4) but not s + s/2 (x=2)
+        let mem = s + s / 3;
+        let d = select_factor(s, &[2, 4], mem);
+        assert_eq!(d.factor, 4);
+        assert!(!d.memory_exceeded);
+    }
+
+    #[test]
+    fn escalation_is_gradual_across_the_hint_set() {
+        // As availability shrinks, the factor steps 2 → 4 → 8 → 16 (the
+        // Fig. 5 second-half schedule), each boundary distinct.
+        let s: u64 = 1 << 30;
+        let factors = [2, 4, 8, 16];
+        let chosen: Vec<u32> = [s + s / 2, s + s / 4, s + s / 8, s + s / 16]
+            .iter()
+            .map(|&mem| select_factor(s, &factors, mem).factor)
+            .collect();
+        assert_eq!(chosen, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn exhausted_memory_flags_and_degrades() {
+        let s: u64 = 100 << 20;
+        let d = select_factor(s, &[2, 4, 8, 16], s / 2);
+        assert_eq!(d.factor, 16);
+        assert!(d.memory_exceeded);
+    }
+
+    #[test]
+    fn interval_one_when_analysis_is_cheap() {
+        // analysis at 5% of sim time, 10% budget → every step.
+        assert_eq!(select_interval(0.5, 10.0, 0.1, 8), 1);
+    }
+
+    #[test]
+    fn interval_grows_with_analysis_cost() {
+        // analysis = 30% of sim, budget 10% → every 3rd step.
+        assert_eq!(select_interval(3.0, 10.0, 0.1, 8), 3);
+        // analysis = sim, budget 10% → every 10th, capped at 8.
+        assert_eq!(select_interval(10.0, 10.0, 0.1, 8), 8);
+    }
+
+    #[test]
+    fn interval_caps_and_degenerate_inputs() {
+        assert_eq!(select_interval(100.0, 1.0, 0.1, 4), 4);
+        assert_eq!(select_interval(1.0, 0.0, 0.1, 4), 4);
+        assert_eq!(select_interval(0.0, 1.0, 0.1, 4), 1);
+        // max_interval 0 is treated as 1 (always analyze)
+        assert_eq!(select_interval(100.0, 1.0, 0.1, 0), 1);
+    }
+
+    #[test]
+    fn surface_reduction_is_two_thirds_power() {
+        // x=8 → linear factor 2 → surface keeps 1/4.
+        assert_eq!(reduced_surface(1000, 8), 250);
+        assert_eq!(reduced_surface(1000, 1), 1000);
+    }
+
+    #[test]
+    fn unsorted_input_factors() {
+        let d = select_factor(1 << 20, &[16, 2, 8, 4], u64::MAX);
+        assert_eq!(d.factor, 2);
+    }
+
+    #[test]
+    fn factor_one_means_no_reduction() {
+        let d = select_factor(1000, &[1, 2], u64::MAX);
+        assert_eq!(d.factor, 1);
+        assert_eq!(d.reduced_bytes, 1000);
+    }
+
+    #[test]
+    fn boundary_exact_fit() {
+        let s = 64u64;
+        // x=2: needs 64 + 32 = 96.
+        let d = select_factor(s, &[2], 96);
+        assert_eq!(d.factor, 2);
+        assert!(!d.memory_exceeded);
+        let d2 = select_factor(s, &[2], 95);
+        assert!(d2.memory_exceeded);
+    }
+}

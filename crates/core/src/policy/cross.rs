@@ -1,0 +1,138 @@
+//! Combined cross-layer adaptation (paper §4.4): the heuristic root–leaf
+//! policy that selects, orders and coordinates the three mechanisms.
+//!
+//! 1. *Look up roots*: mechanisms whose objective matches the user's.
+//! 2. *Look up leaves*: mechanisms whose outputs feed a root's inputs
+//!    (`S_data` from the application layer, `M` from the resource layer
+//!    both feed the middleware formulation).
+//! 3. *Execute* leaves before roots, leaves in data-dependency order
+//!    (application before resource, since `S_data` feeds Eq. 9–10).
+
+use crate::prefs::Objective;
+use serde::{Deserialize, Serialize};
+
+/// The three adaptation mechanisms (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Application layer: spatial/temporal resolution of the data (§4.1).
+    AppLayer,
+    /// Middleware layer: in-situ/in-transit placement (§4.2).
+    Middleware,
+    /// Resource layer: number of in-transit cores (§4.3).
+    ResourceLayer,
+}
+
+/// An execution plan: which mechanisms run, in what order, and which are
+/// roots vs leaves.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossLayerPlan {
+    /// Mechanisms sharing the user objective.
+    pub roots: Vec<Mechanism>,
+    /// Mechanisms feeding the roots' inputs.
+    pub leaves: Vec<Mechanism>,
+    /// Full execution order (leaves first, dependency-sorted).
+    pub order: Vec<Mechanism>,
+}
+
+/// Build the root–leaf plan for `objective` (§4.4).
+pub fn plan(objective: Objective) -> CrossLayerPlan {
+    match objective {
+        // §4.4's worked example: middleware shares the min-time objective;
+        // S_data (application layer) and M (resource layer) are its inputs.
+        // Application runs first because S_data also feeds the resource
+        // mechanism.
+        Objective::MinimizeTimeToSolution => CrossLayerPlan {
+            roots: vec![Mechanism::Middleware],
+            leaves: vec![Mechanism::AppLayer, Mechanism::ResourceLayer],
+            order: vec![
+                Mechanism::AppLayer,
+                Mechanism::ResourceLayer,
+                Mechanism::Middleware,
+            ],
+        },
+        // §4.4's second example: resource layer is the root, application
+        // layer the leaf; middleware has no data dependency with the root
+        // and is excluded.
+        Objective::MaximizeStagingUtilization => CrossLayerPlan {
+            roots: vec![Mechanism::ResourceLayer],
+            leaves: vec![Mechanism::AppLayer],
+            order: vec![Mechanism::AppLayer, Mechanism::ResourceLayer],
+        },
+        // Data movement is minimized by reducing at the source; the
+        // middleware mechanism also moves data so it is consulted after.
+        Objective::MinimizeDataMovement => CrossLayerPlan {
+            roots: vec![Mechanism::AppLayer],
+            leaves: vec![],
+            order: vec![Mechanism::AppLayer, Mechanism::Middleware],
+        },
+        // Highest resolution pins the application layer to factor 1 and
+        // leaves placement/resources adaptive.
+        Objective::HighestResolution => CrossLayerPlan {
+            roots: vec![Mechanism::Middleware],
+            leaves: vec![Mechanism::ResourceLayer],
+            order: vec![Mechanism::ResourceLayer, Mechanism::Middleware],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_time_plan_matches_paper_example() {
+        let p = plan(Objective::MinimizeTimeToSolution);
+        assert_eq!(p.roots, vec![Mechanism::Middleware]);
+        assert!(p.leaves.contains(&Mechanism::AppLayer));
+        assert!(p.leaves.contains(&Mechanism::ResourceLayer));
+        // app before resource before middleware
+        let pos = |m| p.order.iter().position(|&x| x == m).unwrap();
+        assert!(pos(Mechanism::AppLayer) < pos(Mechanism::ResourceLayer));
+        assert!(pos(Mechanism::ResourceLayer) < pos(Mechanism::Middleware));
+    }
+
+    #[test]
+    fn utilization_plan_excludes_middleware() {
+        let p = plan(Objective::MaximizeStagingUtilization);
+        assert_eq!(p.roots, vec![Mechanism::ResourceLayer]);
+        assert_eq!(p.leaves, vec![Mechanism::AppLayer]);
+        assert!(!p.order.contains(&Mechanism::Middleware));
+    }
+
+    #[test]
+    fn leaves_always_precede_roots() {
+        for obj in [
+            Objective::MinimizeTimeToSolution,
+            Objective::MaximizeStagingUtilization,
+            Objective::MinimizeDataMovement,
+            Objective::HighestResolution,
+        ] {
+            let p = plan(obj);
+            let pos = |m: Mechanism| p.order.iter().position(|&x| x == m);
+            for leaf in &p.leaves {
+                for root in &p.roots {
+                    let (l, r) = (pos(*leaf), pos(*root));
+                    if let (Some(l), Some(r)) = (l, r) {
+                        assert!(l < r, "{leaf:?} must precede {root:?} for {obj:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_ordered_mechanism_is_root_or_leaf_or_auxiliary() {
+        for obj in [
+            Objective::MinimizeTimeToSolution,
+            Objective::MaximizeStagingUtilization,
+        ] {
+            let p = plan(obj);
+            for m in &p.order {
+                assert!(
+                    p.roots.contains(m) || p.leaves.contains(m),
+                    "{m:?} in order but neither root nor leaf for {obj:?}"
+                );
+            }
+        }
+    }
+}

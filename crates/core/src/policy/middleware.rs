@@ -1,0 +1,300 @@
+//! Middleware-layer adaptation policy (paper §4.2, Eqs. 4–8): place each
+//! step's analysis in-situ or in-transit to minimize time-to-solution.
+//!
+//! The three trigger cases of §4.2:
+//! 1. memory available at only one location → place there;
+//! 2. memory at both and in-transit cores idle → in-transit (it overlaps
+//!    the next simulation step);
+//! 3. in-transit cores busy → compare the estimated completion if queued
+//!    in-transit (`T_remaining + T_intransit`) against in-situ
+//!    (`T_insitu`), and take the faster (Eq. 7).
+
+use crate::estimate::Estimator;
+use crate::state::OperationalState;
+use serde::{Deserialize, Serialize};
+use xlayer_platform::SimTime;
+
+/// Where the analysis runs (`D_i` of Table 1: 1 = in-situ, 0 = in-transit;
+/// §3 also names the third option, "hybrid (in-situ + in-transit)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// On the simulation cores, blocking the simulation.
+    InSitu,
+    /// On the staging cores, overlapping the simulation.
+    InTransit,
+    /// Split: a fraction runs in-situ while the rest is shipped in-transit.
+    Hybrid,
+}
+
+/// The work split of a hybrid placement: the fraction analyzed in-situ
+/// (per-mille, so the decision stays `Copy + Eq`).
+pub type InSituPermille = u16;
+
+/// Pipeline keep-up split: the in-situ fraction `f` such that the
+/// in-transit share finishes within one production period —
+/// `remaining + t_xfer + (1 − f) · t_intransit = t_sim_next`, i.e.
+/// `f = 1 − (t_sim_next − remaining − t_xfer) / t_intransit`.
+///
+/// `f ≤ 0` means staging keeps up unaided (pure in-transit); `f ≥ 1` means
+/// staging is hopeless this step (pure in-situ, Eq. 7's regime); interior
+/// `f` is the §3 hybrid: ship what staging can absorb, analyze the
+/// overflow in-situ.
+pub fn hybrid_split(
+    t_sim_next: SimTime,
+    t_intransit: SimTime,
+    remaining: SimTime,
+    t_xfer: SimTime,
+) -> f64 {
+    if t_intransit <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - (t_sim_next - remaining - t_xfer) / t_intransit).clamp(0.0, 1.0)
+}
+
+/// Why the policy picked its placement (for logs and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementReason {
+    /// Only one side had the memory (case 1).
+    MemoryOnlyInSitu,
+    /// Only one side had the memory (case 1).
+    MemoryOnlyInTransit,
+    /// Staging idle, memory at both (case 2).
+    StagingIdle,
+    /// Staging busy; estimated in-situ finish was earlier (case 3).
+    EstimatedFasterInSitu,
+    /// Staging busy; estimated in-transit finish was earlier (case 3).
+    EstimatedFasterInTransit,
+    /// Neither side had memory: forced in-situ at degraded resolution
+    /// (the application layer must reduce further).
+    MemoryExhaustedBoth,
+}
+
+/// The placement decision with its estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    /// Chosen placement.
+    pub placement: Placement,
+    /// Why.
+    pub reason: PlacementReason,
+    /// Estimated in-situ analysis time (`T_insitu(N, S_i)`).
+    pub t_insitu: SimTime,
+    /// Estimated completion of in-transit analysis, counted from now:
+    /// remaining queue + transfer + analysis.
+    pub t_intransit_completion: SimTime,
+    /// For [`Placement::Hybrid`]: the in-situ share of the work, in
+    /// per-mille (0 for the pure placements).
+    pub insitu_permille: InSituPermille,
+}
+
+/// Decide the placement of this step's analysis.
+///
+/// `analysis_bytes`/`analysis_cells` describe the (possibly already
+/// reduced) data the analysis will consume.
+pub fn decide_placement(
+    est: &Estimator,
+    state: &OperationalState,
+    analysis_bytes: u64,
+    analysis_cells: u64,
+    analysis_surface: u64,
+) -> PlacementDecision {
+    decide_placement_opts(est, state, analysis_bytes, analysis_cells, analysis_surface, false)
+}
+
+/// [`decide_placement`] with the hybrid placement enabled: when the staging
+/// queue is busy but will drain mid-analysis, splitting the work
+/// (`hybrid_split`) beats both pure choices.
+pub fn decide_placement_opts(
+    est: &Estimator,
+    state: &OperationalState,
+    analysis_bytes: u64,
+    analysis_cells: u64,
+    analysis_surface: u64,
+    allow_hybrid: bool,
+) -> PlacementDecision {
+    let t_insitu = est.t_insitu(analysis_cells, analysis_surface, state.sim_cores);
+    let t_xfer = est.t_send(analysis_bytes, state.sim_cores)
+        + est.t_recv(analysis_bytes, state.staging_cores);
+    let t_intransit = state.intransit_remaining()
+        + t_xfer
+        + est.t_intransit(analysis_cells, analysis_surface, state.staging_cores);
+
+    let mem_in_situ_ok =
+        est.mem_insitu(analysis_bytes, state.sim_cores, 1.0) <= state.mem_available_insitu;
+    let mem_in_transit_ok = est.mem_intransit(analysis_bytes) <= state.mem_available_intransit;
+
+    let mut insitu_permille: InSituPermille = 0;
+    let (placement, reason) = match (mem_in_situ_ok, mem_in_transit_ok) {
+        (false, false) => (Placement::InSitu, PlacementReason::MemoryExhaustedBoth),
+        (true, false) => (Placement::InSitu, PlacementReason::MemoryOnlyInSitu),
+        (false, true) => (Placement::InTransit, PlacementReason::MemoryOnlyInTransit),
+        (true, true) => {
+            let t_it_work =
+                est.t_intransit(analysis_cells, analysis_surface, state.staging_cores);
+            let f_keepup = hybrid_split(
+                state.last_sim_time,
+                t_it_work,
+                state.intransit_remaining(),
+                t_xfer,
+            );
+            if allow_hybrid && (0.05..=0.95).contains(&f_keepup) {
+                // §3's hybrid: staging can absorb only part of this step
+                // within one production period — analyze the overflow
+                // in-situ so the pipeline stays balanced.
+                insitu_permille = (f_keepup * 1000.0) as InSituPermille;
+                (Placement::Hybrid, PlacementReason::EstimatedFasterInTransit)
+            } else if state.intransit_idle() {
+                // Case 2: staging idle → overlap analysis with simulation.
+                (Placement::InTransit, PlacementReason::StagingIdle)
+            } else if t_insitu < state.intransit_remaining() {
+                // Case 3, Eq. 7: the staging queue won't drain before an
+                // in-situ run would already be done → run in-situ directly.
+                (Placement::InSitu, PlacementReason::EstimatedFasterInSitu)
+            } else {
+                // Queue drains soon: send asynchronously, processed as soon
+                // as the in-transit cores free up.
+                (
+                    Placement::InTransit,
+                    PlacementReason::EstimatedFasterInTransit,
+                )
+            }
+        }
+    };
+    PlacementDecision {
+        placement,
+        reason,
+        t_insitu,
+        t_intransit_completion: t_intransit,
+        insitu_permille,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_platform::{CostModel, MachineSpec};
+
+    fn est() -> Estimator {
+        Estimator::new(CostModel::new(MachineSpec::titan()))
+    }
+
+    fn state() -> OperationalState {
+        OperationalState {
+            step: 10,
+            now: 100.0,
+            data_bytes: 1 << 30,
+            cells: (1 << 30) / 8,
+            surface_cells: (1 << 30) / 80,
+            sim_cores: 4096,
+            staging_cores: 256,
+            staging_cores_max: 512,
+            mem_available_insitu: u64::MAX,
+            mem_available_intransit: u64::MAX,
+            intransit_busy_until: 0.0, // idle
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn idle_staging_goes_intransit() {
+        // Paper Fig. 4, ts=1,2: idle staging → in-transit.
+        let s = state();
+        let d = decide_placement(&est(), &s, s.data_bytes, s.cells, s.surface_cells);
+        assert_eq!(d.placement, Placement::InTransit);
+        assert_eq!(d.reason, PlacementReason::StagingIdle);
+    }
+
+    #[test]
+    fn busy_staging_with_long_queue_goes_insitu() {
+        // Paper Fig. 4, ts=30: staging busy for a long time → in-situ is
+        // estimated faster.
+        let mut s = state();
+        s.intransit_busy_until = s.now + 1e6;
+        let d = decide_placement(&est(), &s, s.data_bytes, s.cells, s.surface_cells);
+        assert_eq!(d.placement, Placement::InSitu);
+        assert_eq!(d.reason, PlacementReason::EstimatedFasterInSitu);
+        assert!(d.t_insitu < d.t_intransit_completion);
+    }
+
+    #[test]
+    fn briefly_busy_staging_goes_intransit() {
+        // Eq. 7: the queue drains long before an in-situ run would finish,
+        // so the data is sent asynchronously and processed when cores free.
+        let mut s = state();
+        s.intransit_busy_until = s.now + 1e-9;
+        let d = decide_placement(&est(), &s, s.data_bytes, s.cells, s.surface_cells);
+        assert_eq!(d.placement, Placement::InTransit);
+        assert_eq!(d.reason, PlacementReason::EstimatedFasterInTransit);
+        assert!(d.t_intransit_completion > 0.0 && d.t_insitu > 0.0);
+    }
+
+    #[test]
+    fn hybrid_split_formula() {
+        // staging absorbs everything within the period → 0 (pure in-transit)
+        assert_eq!(hybrid_split(10.0, 5.0, 0.0, 0.0), 0.0);
+        // staging can absorb half: t_sim 10, t_it 10, queue 5 → f = 0.5
+        assert!((hybrid_split(10.0, 10.0, 5.0, 0.0) - 0.5).abs() < 1e-12);
+        // hopeless queue → 1 (pure in-situ regime)
+        assert_eq!(hybrid_split(1.0, 1.0, 100.0, 0.0), 1.0);
+        // degenerate
+        assert_eq!(hybrid_split(0.0, 0.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn hybrid_chosen_when_staging_cannot_keep_up() {
+        // In-transit analysis takes longer than the production period:
+        // with hybrid enabled the overflow fraction runs in-situ.
+        let mut s = state();
+        let e = est();
+        let t_it = e.t_intransit(s.cells, s.surface_cells, s.staging_cores);
+        s.last_sim_time = 0.6 * t_it; // staging absorbs only ~60%
+        s.intransit_busy_until = 0.0; // idle queue
+        let pure = decide_placement(&e, &s, s.data_bytes, s.cells, s.surface_cells);
+        assert_eq!(pure.placement, Placement::InTransit);
+        let hybrid =
+            decide_placement_opts(&e, &s, s.data_bytes, s.cells, s.surface_cells, true);
+        assert_eq!(hybrid.placement, Placement::Hybrid);
+        // f = 1 - 0.6 = 0.4 minus the small transfer term
+        assert!(
+            (300..=450).contains(&hybrid.insitu_permille),
+            "split {}",
+            hybrid.insitu_permille
+        );
+    }
+
+    #[test]
+    fn memory_gates_placement_insitu_only() {
+        let mut s = state();
+        s.mem_available_intransit = 0;
+        let d = decide_placement(&est(), &s, s.data_bytes, s.cells, s.surface_cells);
+        assert_eq!(d.placement, Placement::InSitu);
+        assert_eq!(d.reason, PlacementReason::MemoryOnlyInSitu);
+    }
+
+    #[test]
+    fn memory_gates_placement_intransit_only() {
+        let mut s = state();
+        s.mem_available_insitu = 0;
+        let d = decide_placement(&est(), &s, s.data_bytes, s.cells, s.surface_cells);
+        assert_eq!(d.placement, Placement::InTransit);
+        assert_eq!(d.reason, PlacementReason::MemoryOnlyInTransit);
+    }
+
+    #[test]
+    fn both_exhausted_flags() {
+        let mut s = state();
+        s.mem_available_insitu = 0;
+        s.mem_available_intransit = 0;
+        let d = decide_placement(&est(), &s, s.data_bytes, s.cells, s.surface_cells);
+        assert_eq!(d.reason, PlacementReason::MemoryExhaustedBoth);
+    }
+
+    #[test]
+    fn reduced_data_shrinks_both_estimates() {
+        let s = state();
+        let e = est();
+        let full = decide_placement(&e, &s, s.data_bytes, s.cells, s.surface_cells);
+        let reduced = decide_placement(&e, &s, s.data_bytes / 64, s.cells / 64, s.surface_cells / 16);
+        assert!(reduced.t_insitu < full.t_insitu);
+        assert!(reduced.t_intransit_completion < full.t_intransit_completion);
+    }
+}

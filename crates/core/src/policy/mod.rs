@@ -1,0 +1,7 @@
+//! Adaptation policies for the three layers and their cross-layer
+//! combination (paper §4).
+
+pub mod app;
+pub mod cross;
+pub mod middleware;
+pub mod resource;

@@ -1,0 +1,165 @@
+//! Resource-layer adaptation policy (paper §4.3, Eqs. 9–10): choose the
+//! minimal number of in-transit cores `M`.
+//!
+//! "Minimize M subject to
+//!    `T_(i+1)_sim(N) + T_(i+1)_sd = T_intransit(M, S_data) + T_recv`
+//!  (pipeline balance, Eq. 9) and `Mem_intransit ≥ S_data` (Eq. 10)."
+//!
+//! The minimal `M` first satisfies the memory bound, then grows until the
+//! in-transit side keeps up with the simulation's production rate.
+
+use crate::estimate::Estimator;
+use serde::{Deserialize, Serialize};
+use xlayer_platform::SimTime;
+
+/// The outcome of the resource-layer policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceDecision {
+    /// Chosen number of in-transit cores.
+    pub staging_cores: usize,
+    /// The memory lower bound on `M` (Eq. 10).
+    pub memory_floor: usize,
+    /// True if even `max_cores` cannot keep the pipeline balanced
+    /// (analysis will lag the simulation).
+    pub saturated: bool,
+}
+
+/// Select `M` per Eqs. 9–10.
+///
+/// * `analysis_bytes` / `analysis_cells` — the data the staging area must
+///   cache and analyze per step (post-reduction).
+/// * `t_sim_next` — the simulation's per-step time (`T_(i+1)_sim(N)`),
+///   i.e. the production period the analysis must match.
+/// * `sim_cores` — `N`, for the send-latency term.
+/// * `max_cores` — the allocation's upper bound on `M`.
+#[allow(clippy::too_many_arguments)]
+pub fn select_staging_cores(
+    est: &Estimator,
+    analysis_bytes: u64,
+    analysis_cells: u64,
+    analysis_surface: u64,
+    t_sim_next: SimTime,
+    sim_cores: usize,
+    max_cores: usize,
+) -> ResourceDecision {
+    assert!(max_cores >= 1);
+    // Eq. 10: enough staging memory to cache the step's data.
+    let memory_floor = est.min_cores_for_memory(analysis_bytes).min(max_cores);
+
+    // Eq. 9: grow M until the in-transit side's period (analysis + receive)
+    // is no longer than the simulation side's period (step + send).
+    let budget = t_sim_next + est.t_send(analysis_bytes, sim_cores);
+    let mut m = memory_floor.max(1);
+    let mut saturated = false;
+    loop {
+        let period =
+            est.t_intransit(analysis_cells, analysis_surface, m) + est.t_recv(analysis_bytes, m);
+        if period <= budget {
+            break;
+        }
+        if m >= max_cores {
+            saturated = true;
+            break;
+        }
+        // Grow geometrically then refine: policies must be cheap at runtime
+        // (paper §4: "efficiently and scalably implemented").
+        m = (m * 2).min(max_cores);
+    }
+    // Tighten: shrink back while the balance still holds (undoes the
+    // geometric overshoot; keeps the memory floor).
+    while m > memory_floor.max(1) {
+        let m_try = m - 1;
+        let period = est.t_intransit(analysis_cells, analysis_surface, m_try)
+            + est.t_recv(analysis_bytes, m_try);
+        if period <= budget {
+            m = m_try;
+        } else {
+            break;
+        }
+    }
+    ResourceDecision {
+        staging_cores: m,
+        memory_floor,
+        saturated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_platform::{CostModel, MachineSpec};
+
+    fn est() -> Estimator {
+        Estimator::new(CostModel::new(MachineSpec::titan()))
+    }
+
+    #[test]
+    fn memory_floor_respected() {
+        let e = est();
+        // 100 GB of data: needs many cores just to cache it.
+        let bytes = 100u64 << 30;
+        let d = select_staging_cores(&e, bytes, bytes / 8, bytes / 80, 1e9, 4096, 1024);
+        assert!(d.staging_cores >= d.memory_floor);
+        assert!(e.staging_capacity(d.staging_cores) >= bytes);
+    }
+
+    #[test]
+    fn small_data_needs_few_cores() {
+        // Fig. 9, early steps: small data → ~tens of cores.
+        let e = est();
+        let bytes = 1u64 << 28; // 256 MB
+        let cells = bytes / 8;
+        // generous sim step (slow simulation): analysis easily keeps up.
+        let d = select_staging_cores(&e, bytes, cells, cells / 10, 100.0, 4096, 1024);
+        assert!(!d.saturated);
+        assert!(
+            d.staging_cores < 64,
+            "expected few cores, got {}",
+            d.staging_cores
+        );
+    }
+
+    #[test]
+    fn faster_simulation_demands_more_cores() {
+        let e = est();
+        let bytes = 8u64 << 30;
+        let cells = bytes / 8;
+        let slow = select_staging_cores(&e, bytes, cells, cells / 10, 100.0, 4096, 2048);
+        let fast = select_staging_cores(&e, bytes, cells, cells / 10, 1.0, 4096, 2048);
+        assert!(fast.staging_cores >= slow.staging_cores);
+    }
+
+    #[test]
+    fn bigger_data_demands_more_cores() {
+        // Fig. 9: refinement grows the data → more staging cores.
+        let e = est();
+        let small = select_staging_cores(&e, 1 << 28, (1 << 28) / 8, (1 << 28) / 80, 5.0, 4096, 1024);
+        let large = select_staging_cores(&e, 16 << 28, (16u64 << 28) / 8, (16u64 << 28) / 80, 5.0, 4096, 1024);
+        assert!(large.staging_cores > small.staging_cores);
+    }
+
+    #[test]
+    fn saturation_flagged_at_cap() {
+        let e = est();
+        // Impossible budget: huge data, immediate deadline, tiny cap.
+        let d = select_staging_cores(&e, 1 << 40, (1u64 << 40) / 8, (1u64 << 40) / 80, 1e-6, 4096, 4);
+        assert!(d.saturated);
+        assert_eq!(d.staging_cores, 4);
+    }
+
+    #[test]
+    fn result_is_minimal() {
+        // One fewer core must violate balance (or the memory floor).
+        let e = est();
+        let bytes = 4u64 << 30;
+        let cells = bytes / 8;
+        let t_sim = 2.0;
+        let d = select_staging_cores(&e, bytes, cells, cells / 10, t_sim, 4096, 2048);
+        if d.staging_cores > d.memory_floor.max(1) && !d.saturated {
+            let m = d.staging_cores - 1;
+            let budget = t_sim + e.t_send(bytes, 4096);
+            let period = e.t_intransit(cells, cells / 10, m) + e.t_recv(bytes, m);
+            assert!(period > budget, "M={} was not minimal", d.staging_cores);
+        }
+    }
+}

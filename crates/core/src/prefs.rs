@@ -1,0 +1,169 @@
+//! User inputs to the adaptation runtime (paper §3): *preferences* define
+//! the objective; *hints* carry application knowledge (acceptable
+//! down-sampling factors, entropy thresholds, adaptation phases).
+
+use serde::{Deserialize, Serialize};
+
+/// The user-defined objective driving policy selection (§3, §4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize end-to-end time-to-solution (the Figs. 7/10 objective).
+    MinimizeTimeToSolution,
+    /// Minimize simulation→staging data movement.
+    MinimizeDataMovement,
+    /// Maximize in-transit resource utilization (§4.4's second example).
+    MaximizeStagingUtilization,
+    /// Always analyze at the highest resolution memory permits.
+    HighestResolution,
+}
+
+/// User preferences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserPreferences {
+    /// The optimization objective.
+    pub objective: Objective,
+}
+
+impl Default for UserPreferences {
+    fn default() -> Self {
+        UserPreferences {
+            objective: Objective::MinimizeTimeToSolution,
+        }
+    }
+}
+
+/// One phase of the acceptable-factor schedule: from `from_step` onward,
+/// `factors` are permitted. §5.2.1 uses {2,4} for the first half of the run
+/// and {2,4,8,16} for the second half.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactorPhase {
+    /// First step this phase applies to.
+    pub from_step: u64,
+    /// Acceptable down-sampling factors in this phase (1 = no reduction).
+    pub factors: Vec<u32>,
+}
+
+/// User hints: application knowledge the engine cannot derive itself.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UserHints {
+    /// Acceptable down-sampling factors, by phase (sorted by `from_step`).
+    pub factor_schedule: Vec<FactorPhase>,
+    /// Entropy thresholds `(min_entropy_bits, factor)` for the
+    /// entropy-based reduction variant; `None` selects the range-based
+    /// variant.
+    pub entropy_thresholds: Option<Vec<(f64, u32)>>,
+    /// Sampling period in steps: the Monitor reports every `monitor_interval`
+    /// steps (§3: "periodically, e.g. after every specified number of
+    /// simulation time steps").
+    pub monitor_interval: u64,
+    /// Largest tolerable analysis interval for the temporal-resolution
+    /// mechanism: 1 = analyze every step (disables the mechanism);
+    /// k allows analyzing as rarely as every k-th step under load.
+    pub max_analysis_interval: u64,
+    /// Budget for amortized analysis cost as a fraction of simulation time,
+    /// used by the temporal-resolution policy.
+    pub analysis_budget_frac: f64,
+    /// Region of interest, as the fraction of the domain the user cares to
+    /// analyze (1.0 = everything): "limit the analytics to 'interesting'
+    /// regions" (§2). Analysis cost and output scale by this fraction.
+    pub roi_fraction: f64,
+}
+
+impl Default for UserHints {
+    fn default() -> Self {
+        UserHints {
+            factor_schedule: vec![FactorPhase {
+                from_step: 0,
+                factors: vec![1, 2, 4],
+            }],
+            entropy_thresholds: None,
+            monitor_interval: 1,
+            max_analysis_interval: 1,
+            analysis_budget_frac: 0.1,
+            roi_fraction: 1.0,
+        }
+    }
+}
+
+impl UserHints {
+    /// The §5.2.1 schedule: factors {2,4} for steps below `half`, then
+    /// {2,4,8,16}.
+    pub fn paper_fig5_schedule(half: u64) -> Self {
+        UserHints {
+            factor_schedule: vec![
+                FactorPhase {
+                    from_step: 0,
+                    factors: vec![2, 4],
+                },
+                FactorPhase {
+                    from_step: half,
+                    factors: vec![2, 4, 8, 16],
+                },
+            ],
+            entropy_thresholds: None,
+            monitor_interval: 1,
+            max_analysis_interval: 1,
+            analysis_budget_frac: 0.1,
+            roi_fraction: 1.0,
+        }
+    }
+
+    /// Acceptable factors at `step` (the active phase's set, ascending).
+    pub fn factors_at(&self, step: u64) -> Vec<u32> {
+        let mut active: Option<&FactorPhase> = None;
+        for p in &self.factor_schedule {
+            if p.from_step <= step {
+                match active {
+                    Some(a) if a.from_step >= p.from_step => {}
+                    _ => active = Some(p),
+                }
+            }
+        }
+        let mut f = active.map(|p| p.factors.clone()).unwrap_or(vec![1]);
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hints_allow_identity() {
+        let h = UserHints::default();
+        assert_eq!(h.factors_at(0), vec![1, 2, 4]);
+        assert_eq!(h.factors_at(1000), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn fig5_schedule_switches_at_half() {
+        let h = UserHints::paper_fig5_schedule(20);
+        assert_eq!(h.factors_at(0), vec![2, 4]);
+        assert_eq!(h.factors_at(19), vec![2, 4]);
+        assert_eq!(h.factors_at(20), vec![2, 4, 8, 16]);
+        assert_eq!(h.factors_at(40), vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn factors_sorted_and_deduped() {
+        let h = UserHints {
+            factor_schedule: vec![FactorPhase {
+                from_step: 0,
+                factors: vec![8, 2, 8, 4],
+            }],
+            ..Default::default()
+        };
+        assert_eq!(h.factors_at(5), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_schedule_falls_back_to_identity() {
+        let h = UserHints {
+            factor_schedule: vec![],
+            ..Default::default()
+        };
+        assert_eq!(h.factors_at(3), vec![1]);
+    }
+}

@@ -1,0 +1,104 @@
+//! The operational state: what the Monitor reports to the Adaptation
+//! Engine every sampling period (paper §3, Fig. 3).
+//!
+//! "Status information includes resource utilization and resource
+//! availability (memory, bandwidth, CPU cores) as well as application
+//! execution time, analysis time and the size of the generated data."
+
+use serde::{Deserialize, Serialize};
+use xlayer_platform::SimTime;
+
+/// A snapshot of the workflow across all three layers at one sampling point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OperationalState {
+    /// Simulation time step the snapshot describes.
+    pub step: u64,
+    /// Virtual wall-clock time of the snapshot (seconds).
+    pub now: SimTime,
+
+    // --- application layer ---
+    /// Size of the simulation output this step, before any reduction
+    /// (`S_data`, Table 1).
+    pub data_bytes: u64,
+    /// Composite-grid cells in the output (drives analysis cost estimates).
+    pub cells: u64,
+    /// Cells crossing the isosurface of interest (drives the
+    /// surface-proportional part of the analysis cost; the Monitor
+    /// estimates it from the refined-region size).
+    pub surface_cells: u64,
+    /// Observed duration of the last simulation step (`T_i_sim(N)`).
+    pub last_sim_time: SimTime,
+    /// Observed duration of the last analysis, wherever it ran.
+    pub last_analysis_time: Option<SimTime>,
+
+    // --- middleware layer ---
+    /// When the in-transit cores finish the work already queued on them
+    /// (absolute virtual time; `≤ now` means idle). Feeds Eq. 7's
+    /// `T_j_intransit_remaining`.
+    pub intransit_busy_until: SimTime,
+
+    // --- resource layer ---
+    /// Simulation cores (`N`).
+    pub sim_cores: usize,
+    /// Currently allocated in-transit cores (`M`).
+    pub staging_cores: usize,
+    /// Upper bound on in-transit cores the allocation permits.
+    pub staging_cores_max: usize,
+    /// Free memory on the most loaded simulation rank, in bytes
+    /// (`Mem_available` of Eq. 2 — the binding constraint is the worst rank).
+    pub mem_available_insitu: u64,
+    /// Free staging-area memory in bytes.
+    pub mem_available_intransit: u64,
+}
+
+impl OperationalState {
+    /// Remaining busy time on the staging cores relative to `now`
+    /// (`T_j_intransit_remaining`, Eq. 7). Zero when idle.
+    pub fn intransit_remaining(&self) -> SimTime {
+        (self.intransit_busy_until - self.now).max(0.0)
+    }
+
+    /// True if the staging cores are idle at `now`.
+    pub fn intransit_idle(&self) -> bool {
+        self.intransit_busy_until <= self.now
+    }
+}
+
+impl Default for OperationalState {
+    fn default() -> Self {
+        OperationalState {
+            step: 0,
+            now: 0.0,
+            data_bytes: 0,
+            cells: 0,
+            surface_cells: 0,
+            last_sim_time: 0.0,
+            last_analysis_time: None,
+            intransit_busy_until: 0.0,
+            sim_cores: 1,
+            staging_cores: 1,
+            staging_cores_max: 1,
+            mem_available_insitu: u64::MAX,
+            mem_available_intransit: u64::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_time_clamps_at_zero() {
+        let mut s = OperationalState {
+            now: 10.0,
+            intransit_busy_until: 7.0,
+            ..Default::default()
+        };
+        assert_eq!(s.intransit_remaining(), 0.0);
+        assert!(s.intransit_idle());
+        s.intransit_busy_until = 12.5;
+        assert!((s.intransit_remaining() - 2.5).abs() < 1e-12);
+        assert!(!s.intransit_idle());
+    }
+}

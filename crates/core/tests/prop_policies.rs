@@ -1,0 +1,263 @@
+//! Property-based tests of the adaptation policies: the constraint
+//! satisfaction the paper's formulations (Eqs. 1–10) promise must hold for
+//! *every* operational state, not just the evaluated ones.
+
+use proptest::prelude::*;
+use xlayer_core::policy::{app, middleware, resource};
+use xlayer_core::{
+    min_time_engine, EngineConfig, Estimator, Objective, OperationalState, Placement,
+    UserHints, UserPreferences,
+};
+use xlayer_platform::{CostModel, MachineSpec};
+
+fn est() -> Estimator {
+    Estimator::new(CostModel::new(MachineSpec::titan()))
+}
+
+fn arb_factors() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..32, 1..6)
+}
+
+proptest! {
+    // ---- application layer (Eqs. 1–3) ----
+
+    #[test]
+    fn app_factor_is_from_the_hint_set(
+        s_data in 1u64..(1 << 40),
+        factors in arb_factors(),
+        mem in 0u64..(1 << 41),
+    ) {
+        let d = app::select_factor(s_data, &factors, mem);
+        prop_assert!(factors.contains(&d.factor));
+    }
+
+    #[test]
+    fn app_memory_constraint_satisfied_unless_flagged(
+        s_data in 1u64..(1 << 40),
+        factors in arb_factors(),
+        mem in 0u64..(1 << 41),
+    ) {
+        let d = app::select_factor(s_data, &factors, mem);
+        if !d.memory_exceeded {
+            prop_assert!(app::reduction_memory(s_data, d.factor) <= mem);
+        }
+    }
+
+    #[test]
+    fn app_choice_is_maximal_resolution(
+        s_data in 1u64..(1 << 40),
+        factors in arb_factors(),
+        mem in 0u64..(1 << 41),
+    ) {
+        // Eq. 1: no *smaller* acceptable factor may fit in memory.
+        let d = app::select_factor(s_data, &factors, mem);
+        if !d.memory_exceeded {
+            for &f in factors.iter().filter(|&&f| f < d.factor) {
+                prop_assert!(app::reduction_memory(s_data, f) > mem);
+            }
+        }
+    }
+
+    #[test]
+    fn app_reduction_is_monotone_in_factor(
+        s_data in 1u64..(1 << 40),
+        x in 1u32..64,
+    ) {
+        prop_assert!(app::reduced_bytes(s_data, x + 1) <= app::reduced_bytes(s_data, x));
+        prop_assert!(app::reduced_surface(s_data, x + 1) <= app::reduced_surface(s_data, x));
+    }
+
+    #[test]
+    fn app_interval_within_bounds(
+        t_an in 0.0f64..1e6,
+        t_sim in 1e-6f64..1e6,
+        budget in 0.001f64..1.0,
+        max in 1u64..32,
+    ) {
+        let k = app::select_interval(t_an, t_sim, budget, max);
+        prop_assert!(k >= 1 && k <= max);
+        // the amortized budget holds unless capped
+        if k < max {
+            prop_assert!(t_an / k as f64 <= budget * t_sim * (1.0 + 1e-9));
+        }
+    }
+
+    // ---- resource layer (Eqs. 9–10) ----
+
+    #[test]
+    fn resource_memory_floor_always_met(
+        bytes in 1u64..(1 << 42),
+        t_sim in 0.001f64..1e5,
+        max in 1usize..4096,
+    ) {
+        let e = est();
+        let cells = bytes / 8;
+        let d = resource::select_staging_cores(&e, bytes, cells, cells / 10, t_sim, 4096, max);
+        prop_assert!(d.staging_cores >= 1 && d.staging_cores <= max);
+        // Eq. 10 up to the allocation cap:
+        if d.staging_cores < max {
+            prop_assert!(e.staging_capacity(d.staging_cores) >= bytes);
+        }
+    }
+
+    #[test]
+    fn resource_balance_met_unless_saturated(
+        bytes in (1u64 << 20)..(1 << 38),
+        t_sim in 0.01f64..1e4,
+        max in 2usize..4096,
+    ) {
+        let e = est();
+        let cells = bytes / 8;
+        let surface = cells / 10;
+        let d = resource::select_staging_cores(&e, bytes, cells, surface, t_sim, 4096, max);
+        let budget = t_sim + e.t_send(bytes, 4096);
+        let period = e.t_intransit(cells, surface, d.staging_cores)
+            + e.t_recv(bytes, d.staging_cores);
+        if d.saturated {
+            prop_assert_eq!(d.staging_cores, max);
+        } else {
+            prop_assert!(period <= budget * (1.0 + 1e-9));
+        }
+    }
+
+    // ---- middleware layer (Eqs. 4–8) ----
+
+    #[test]
+    fn middleware_memory_gating_is_respected(
+        bytes in (1u64 << 20)..(1 << 38),
+        busy in 0.0f64..1e4,
+        mem_insitu in 0u64..(1 << 38),
+        mem_intransit in 0u64..(1 << 38),
+    ) {
+        let e = est();
+        let cells = bytes / 8;
+        let state = OperationalState {
+            now: 100.0,
+            intransit_busy_until: 100.0 + busy,
+            data_bytes: bytes,
+            cells,
+            surface_cells: cells / 10,
+            sim_cores: 4096,
+            staging_cores: 256,
+            staging_cores_max: 512,
+            mem_available_insitu: mem_insitu,
+            mem_available_intransit: mem_intransit,
+            ..Default::default()
+        };
+        let d = middleware::decide_placement(&e, &state, bytes, cells, cells / 10);
+        let fits_insitu = e.mem_insitu(bytes, 4096, 1.0) <= mem_insitu;
+        let fits_intransit = e.mem_intransit(bytes) <= mem_intransit;
+        match (fits_insitu, fits_intransit) {
+            (true, false) => prop_assert_eq!(d.placement, Placement::InSitu),
+            (false, true) => prop_assert_eq!(d.placement, Placement::InTransit),
+            _ => {} // both or neither: time-based or forced path
+        }
+    }
+
+    #[test]
+    fn middleware_idle_staging_always_wins(
+        bytes in (1u64 << 20)..(1 << 38),
+    ) {
+        // Case 2: memory at both + idle staging ⇒ in-transit, always.
+        let e = est();
+        let cells = bytes / 8;
+        let state = OperationalState {
+            now: 100.0,
+            intransit_busy_until: 0.0,
+            data_bytes: bytes,
+            cells,
+            surface_cells: cells / 10,
+            sim_cores: 4096,
+            staging_cores: 256,
+            staging_cores_max: 512,
+            mem_available_insitu: u64::MAX,
+            mem_available_intransit: u64::MAX,
+            ..Default::default()
+        };
+        let d = middleware::decide_placement(&e, &state, bytes, cells, cells / 10);
+        prop_assert_eq!(d.placement, Placement::InTransit);
+    }
+
+    // ---- engine invariants ----
+
+    #[test]
+    fn engine_never_panics_and_outputs_are_consistent(
+        bytes in 1u64..(1 << 40),
+        busy in 0.0f64..1e5,
+        t_sim in 0.0f64..1e5,
+        mem_a in 0u64..(1 << 40),
+        mem_b in 0u64..(1 << 40),
+        step in 0u64..1000,
+        roi in 0.0f64..1.0,
+    ) {
+        let mut hints = UserHints::paper_fig5_schedule(20);
+        hints.roi_fraction = roi;
+        hints.max_analysis_interval = 8;
+        let engine = min_time_engine(hints, EngineConfig::global(), est());
+        let cells = bytes / 8;
+        let state = OperationalState {
+            step,
+            now: 1000.0,
+            intransit_busy_until: 1000.0 + busy,
+            data_bytes: bytes,
+            cells,
+            surface_cells: cells / 10,
+            last_sim_time: t_sim,
+            sim_cores: 4096,
+            staging_cores: 256,
+            staging_cores_max: 1024,
+            mem_available_insitu: mem_a,
+            mem_available_intransit: mem_b,
+            ..Default::default()
+        };
+        let a = engine.adapt(&state);
+        prop_assert!(a.analysis_bytes <= bytes);
+        prop_assert!(a.analysis_cells <= cells);
+        prop_assert!(a.analysis_interval >= 1 && a.analysis_interval <= 8);
+        if let Some(r) = a.resource {
+            prop_assert!(r.staging_cores >= 1 && r.staging_cores <= 1024);
+        }
+        prop_assert!(a.placement.is_some());
+    }
+
+    #[test]
+    fn objective_determines_executed_mechanisms(
+        bytes in (1u64 << 20)..(1 << 38),
+    ) {
+        let cells = bytes / 8;
+        let state = OperationalState {
+            data_bytes: bytes,
+            cells,
+            surface_cells: cells / 10,
+            last_sim_time: 10.0,
+            sim_cores: 4096,
+            staging_cores: 256,
+            staging_cores_max: 512,
+            ..Default::default()
+        };
+        for objective in [
+            Objective::MinimizeTimeToSolution,
+            Objective::MaximizeStagingUtilization,
+            Objective::MinimizeDataMovement,
+            Objective::HighestResolution,
+        ] {
+            let engine = xlayer_core::AdaptationEngine::new(
+                UserPreferences { objective },
+                UserHints::default(),
+                EngineConfig::global(),
+                est(),
+            );
+            let a = engine.adapt(&state);
+            match objective {
+                Objective::MaximizeStagingUtilization => {
+                    prop_assert!(a.placement.is_none());
+                    prop_assert!(a.resource.is_some());
+                }
+                Objective::HighestResolution => {
+                    prop_assert!(a.app.is_none());
+                }
+                _ => prop_assert!(a.placement.is_some()),
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Parallel-filesystem model: the traditional post-processing path the
+//! paper's introduction argues against ("the increasing performance gap
+//! between computation and I/O ... renders traditional post-processing
+//! data analysis approaches based on disk I/O infeasible", §6).
+
+use crate::des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate-filesystem parameters as seen by one job.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Sustained write bandwidth available to the job, B/s.
+    pub write_bandwidth: f64,
+    /// Sustained read bandwidth available to the job, B/s.
+    pub read_bandwidth: f64,
+    /// Per-operation latency (metadata + stripe setup), seconds.
+    pub op_latency: SimTime,
+}
+
+impl DiskModel {
+    /// Intrepid's GPFS as shared by one mid-size job: the system peaks at
+    /// ~60 GB/s; a single job typically sustains a few GB/s.
+    pub fn intrepid() -> Self {
+        DiskModel {
+            write_bandwidth: 2.5e9,
+            read_bandwidth: 3.0e9,
+            op_latency: 0.01,
+        }
+    }
+
+    /// Titan's Spider/Lustre as shared by one job (system peak ~240 GB/s,
+    /// per-job sustained a few GB/s).
+    pub fn titan() -> Self {
+        DiskModel {
+            write_bandwidth: 5.0e9,
+            read_bandwidth: 6.0e9,
+            op_latency: 0.005,
+        }
+    }
+
+    /// Time to write `bytes` in one dump.
+    pub fn write_time(&self, bytes: u64) -> SimTime {
+        self.op_latency + bytes as f64 / self.write_bandwidth
+    }
+
+    /// Time to read `bytes` back.
+    pub fn read_time(&self, bytes: u64) -> SimTime {
+        self.op_latency + bytes as f64 / self.read_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_time_formula() {
+        let d = DiskModel {
+            write_bandwidth: 1e9,
+            read_bandwidth: 2e9,
+            op_latency: 0.01,
+        };
+        assert!((d.write_time(1_000_000_000) - 1.01).abs() < 1e-12);
+        assert!((d.read_time(1_000_000_000) - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_presets_ordered() {
+        // Titan's filesystem is faster than Intrepid's.
+        assert!(DiskModel::titan().write_bandwidth > DiskModel::intrepid().write_bandwidth);
+    }
+}

@@ -1,0 +1,138 @@
+//! Machine models of the two evaluation systems (paper §5.1):
+//! Intrepid (IBM BlueGene/P, ANL) and Titan (Cray XK7, ORNL).
+//!
+//! The adaptation policies consume only *observables* — memory budgets,
+//! compute rates, transfer rates — so a parameterized machine model driven
+//! by real AMR data volumes reproduces the policies' decision inputs
+//! (DESIGN.md, substitution table).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of a target system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Cores per compute node.
+    pub cores_per_node: usize,
+    /// Memory per node in bytes.
+    pub memory_per_node: u64,
+    /// Effective per-core compute rate in flop/s (sustained, not peak).
+    pub core_flops: f64,
+    /// Per-node network injection bandwidth in B/s.
+    pub injection_bandwidth: f64,
+    /// Per-message network latency in seconds.
+    pub message_latency: f64,
+}
+
+impl MachineSpec {
+    /// Intrepid: IBM BlueGene/P at Argonne. 40,960 nodes, 850 MHz quad-core
+    /// PowerPC 450, 2 GB RAM per node (512 MB/core), 3-D torus with
+    /// 425 MB/s per link; 557 Tflop/s peak over 163,840 cores.
+    pub fn intrepid() -> Self {
+        MachineSpec {
+            name: "Intrepid (IBM BlueGene/P)".into(),
+            cores_per_node: 4,
+            memory_per_node: 2 * (1 << 30),
+            // 557 TF / 163840 cores = 3.4 GF peak; ~25% sustained on stencils.
+            core_flops: 0.85e9,
+            injection_bandwidth: 425.0e6,
+            message_latency: 3.5e-6,
+        }
+    }
+
+    /// Titan: Cray XK7 at Oak Ridge. 18,688 nodes, one 16-core AMD Opteron
+    /// 6274 per node, 32 GB/node, Gemini interconnect (~6 GB/s injection);
+    /// 20 Pflop/s system peak (mostly GPUs; CPU-side sustained used here).
+    pub fn titan() -> Self {
+        MachineSpec {
+            name: "Titan (Cray XK7)".into(),
+            cores_per_node: 16,
+            memory_per_node: 32 * (1 << 30),
+            core_flops: 2.2e9,
+            injection_bandwidth: 6.0e9,
+            message_latency: 1.5e-6,
+        }
+    }
+
+    /// Memory available to each core when all cores of a node are used.
+    pub fn memory_per_core(&self) -> u64 {
+        self.memory_per_node / self.cores_per_node as u64
+    }
+
+    /// Aggregate compute rate of `cores` cores.
+    pub fn flops(&self, cores: usize) -> f64 {
+        self.core_flops * cores as f64
+    }
+
+    /// Aggregate injection bandwidth of the nodes hosting `cores` cores
+    /// (cores ÷ cores-per-node nodes, each contributing its link).
+    pub fn aggregate_bandwidth(&self, cores: usize) -> f64 {
+        let nodes = cores.div_ceil(self.cores_per_node);
+        self.injection_bandwidth * nodes as f64
+    }
+}
+
+/// The split of an allocation into simulation and staging (in-transit)
+/// cores — the paper runs e.g. 4K simulation cores with 256 staging cores
+/// (16:1, §5.2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Cores running the simulation (the paper's `N`).
+    pub sim_cores: usize,
+    /// Cores allocated as in-transit staging resources (the paper's `M`).
+    pub staging_cores: usize,
+}
+
+impl Partition {
+    /// A partition with a `ratio : 1` simulation-to-staging core ratio.
+    pub fn with_ratio(sim_cores: usize, ratio: usize) -> Self {
+        assert!(ratio > 0);
+        Partition {
+            sim_cores,
+            staging_cores: (sim_cores / ratio).max(1),
+        }
+    }
+
+    /// Total cores in the allocation.
+    pub fn total(&self) -> usize {
+        self.sim_cores + self.staging_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrepid_memory_per_core_is_512mb() {
+        let m = MachineSpec::intrepid();
+        assert_eq!(m.memory_per_core(), 512 * (1 << 20));
+    }
+
+    #[test]
+    fn titan_has_16_cores_per_node() {
+        let m = MachineSpec::titan();
+        assert_eq!(m.cores_per_node, 16);
+        assert_eq!(m.memory_per_core(), 2 * (1 << 30));
+    }
+
+    #[test]
+    fn aggregate_rates_scale_with_cores() {
+        let m = MachineSpec::titan();
+        assert_eq!(m.flops(32), 2.0 * m.flops(16));
+        // 16 cores = 1 node, 17 cores = 2 nodes.
+        assert_eq!(m.aggregate_bandwidth(16), m.injection_bandwidth);
+        assert_eq!(m.aggregate_bandwidth(17), 2.0 * m.injection_bandwidth);
+    }
+
+    #[test]
+    fn partition_ratio() {
+        let p = Partition::with_ratio(4096, 16);
+        assert_eq!(p.sim_cores, 4096);
+        assert_eq!(p.staging_cores, 256);
+        assert_eq!(p.total(), 4352);
+        // tiny allocations still get one staging core
+        assert_eq!(Partition::with_ratio(8, 16).staging_cores, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Workflow metrics: in-transit CPU utilization (paper Eq. 12), the
+//! Table 2 utilization buckets, and end-to-end time/overhead accounting
+//! (Figs. 7, 10).
+
+use crate::des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-time-step record of in-transit core usage.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StagingStepRecord {
+    /// Time step index.
+    pub step: u64,
+    /// Cores allocated to the staging area this step (`M_j`).
+    pub allocated: usize,
+    /// Cores that actually ran analysis this step.
+    pub used: usize,
+    /// Total analysis busy time over used cores (`Σ_i T_analysis_ij`).
+    pub analysis_time: SimTime,
+    /// Wall-clock span of the step on the staging side
+    /// (`T_total` per core is this span).
+    pub span: SimTime,
+}
+
+/// The Eq. 12 accumulator plus Table 2 bucket counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StagingUtilization {
+    records: Vec<StagingStepRecord>,
+}
+
+/// Table 2 row: time steps bucketed by the fraction of preallocated
+/// in-transit cores actually used.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationBuckets {
+    /// Steps using 100% of preallocated cores.
+    pub full: usize,
+    /// Steps using ≥ 75% (but < 100%).
+    pub three_quarters: usize,
+    /// Steps using ≥ 50% (but < 75%).
+    pub half: usize,
+    /// Steps using < 50%.
+    pub less_than_half: usize,
+}
+
+impl UtilizationBuckets {
+    /// Total steps recorded.
+    pub fn total(&self) -> usize {
+        self.full + self.three_quarters + self.half + self.less_than_half
+    }
+}
+
+impl StagingUtilization {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one step.
+    pub fn record(&mut self, r: StagingStepRecord) {
+        self.records.push(r);
+    }
+
+    /// The recorded steps.
+    pub fn records(&self) -> &[StagingStepRecord] {
+        &self.records
+    }
+
+    /// CPU utilization efficiency (Eq. 12):
+    /// `Σ_j Σ_i T_analysis_ij / Σ_j Σ_i T_total_ij`,
+    /// with `T_total_ij` the step's wall span for each allocated core.
+    pub fn efficiency(&self) -> f64 {
+        let num: f64 = self.records.iter().map(|r| r.analysis_time).sum();
+        let den: f64 = self
+            .records
+            .iter()
+            .map(|r| r.span * r.allocated as f64)
+            .sum();
+        if den <= 0.0 {
+            0.0
+        } else {
+            (num / den).min(1.0)
+        }
+    }
+
+    /// Table 2 buckets over the records, relative to `preallocated` cores.
+    /// Only steps that actually performed in-transit analysis count (the
+    /// paper's "while performing in-transit analysis"; its per-case totals
+    /// are below the run length).
+    pub fn buckets(&self, preallocated: usize) -> UtilizationBuckets {
+        let mut b = UtilizationBuckets::default();
+        for r in self.records.iter().filter(|r| r.used > 0) {
+            let frac = r.used as f64 / preallocated.max(1) as f64;
+            if frac >= 1.0 {
+                b.full += 1;
+            } else if frac >= 0.75 {
+                b.three_quarters += 1;
+            } else if frac >= 0.5 {
+                b.half += 1;
+            } else {
+                b.less_than_half += 1;
+            }
+        }
+        b
+    }
+
+    /// Mean cores used per step.
+    pub fn mean_used(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.used as f64).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+/// End-to-end accounting for one workflow execution (the two stacked bars
+/// of Figs. 7 and 10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EndToEnd {
+    /// Pure simulation compute time summed over steps.
+    pub sim_time: SimTime,
+    /// Everything else on the critical path: analysis blocking the
+    /// simulation, synchronous transfer waits, adaptation overhead.
+    pub overhead: SimTime,
+    /// Total bytes moved from simulation to staging (Figs. 8, 11).
+    pub data_moved: u64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Steps whose analysis ran in-situ.
+    pub insitu_steps: u64,
+    /// Steps whose analysis ran in-transit.
+    pub intransit_steps: u64,
+}
+
+impl EndToEnd {
+    /// Cumulative end-to-end execution time (the full bar height).
+    pub fn total(&self) -> SimTime {
+        self.sim_time + self.overhead
+    }
+
+    /// Overhead as a fraction of simulation time (the paper reports < 6%
+    /// for the adaptive runs).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.sim_time <= 0.0 {
+            0.0
+        } else {
+            self.overhead / self.sim_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64, allocated: usize, used: usize, analysis: f64, span: f64) -> StagingStepRecord {
+        StagingStepRecord {
+            step,
+            allocated,
+            used,
+            analysis_time: analysis,
+            span,
+        }
+    }
+
+    #[test]
+    fn efficiency_full_busy_is_one() {
+        let mut u = StagingUtilization::new();
+        u.record(rec(1, 4, 4, 40.0, 10.0));
+        assert!((u.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_half_busy() {
+        let mut u = StagingUtilization::new();
+        // 4 cores over a 10 s span = 40 core-s available; 20 core-s busy.
+        u.record(rec(1, 4, 2, 20.0, 10.0));
+        assert!((u.efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_aggregates_steps() {
+        let mut u = StagingUtilization::new();
+        u.record(rec(1, 2, 2, 10.0, 10.0)); // 10/20
+        u.record(rec(2, 2, 2, 20.0, 10.0)); // 20/20
+        assert!((u.efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(StagingUtilization::new().efficiency(), 0.0);
+        assert_eq!(StagingUtilization::new().mean_used(), 0.0);
+    }
+
+    #[test]
+    fn table2_buckets() {
+        let mut u = StagingUtilization::new();
+        u.record(rec(1, 256, 256, 1.0, 1.0)); // 100%
+        u.record(rec(2, 256, 200, 1.0, 1.0)); // 78% -> 75 bucket
+        u.record(rec(3, 256, 130, 1.0, 1.0)); // 50.8% -> 50 bucket
+        u.record(rec(4, 256, 60, 1.0, 1.0)); // <50%
+        u.record(rec(5, 256, 10, 1.0, 1.0)); // <50%
+        let b = u.buckets(256);
+        assert_eq!(
+            b,
+            UtilizationBuckets {
+                full: 1,
+                three_quarters: 1,
+                half: 1,
+                less_than_half: 2
+            }
+        );
+        assert_eq!(b.total(), 5);
+    }
+
+    #[test]
+    fn end_to_end_totals() {
+        let e = EndToEnd {
+            sim_time: 1000.0,
+            overhead: 50.0,
+            data_moved: 1 << 30,
+            steps: 40,
+            insitu_steps: 15,
+            intransit_steps: 25,
+        };
+        assert_eq!(e.total(), 1050.0);
+        assert!((e.overhead_fraction() - 0.05).abs() < 1e-12);
+    }
+}

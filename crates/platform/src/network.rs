@@ -1,0 +1,157 @@
+//! Network transfer models: latency + bandwidth with shared-link
+//! contention at the staging ingress.
+//!
+//! These supply the paper's `T_sd` (send latency) and `T_recv` (receive
+//! latency) estimators (Table 1, Eq. 9).
+
+use crate::des::{FifoResource, SimTime};
+use crate::machine::MachineSpec;
+
+/// A latency/bandwidth point-to-point transfer model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferModel {
+    /// Per-message latency in seconds.
+    pub latency: SimTime,
+    /// Bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl TransferModel {
+    /// The model for messages between two nodes of `machine`.
+    pub fn for_machine(machine: &MachineSpec) -> Self {
+        TransferModel {
+            latency: machine.message_latency,
+            bandwidth: machine.injection_bandwidth,
+        }
+    }
+
+    /// Time to move `bytes` in one message.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Time to move `bytes` split into `messages` messages (latency paid
+    /// per message, bandwidth shared sequentially).
+    pub fn transfer_time_msgs(&self, bytes: u64, messages: u64) -> SimTime {
+        self.latency * messages.max(1) as f64 + bytes as f64 / self.bandwidth
+    }
+}
+
+/// The staging ingress: `links` parallel links, each a FIFO resource.
+/// Models the aggregate bandwidth of the staging partition's nodes —
+/// transfers from many simulation ranks contend here.
+#[derive(Clone, Debug)]
+pub struct StagingIngress {
+    model: TransferModel,
+    links: Vec<FifoResource>,
+}
+
+impl StagingIngress {
+    /// An ingress of `links` links, each with `model`'s parameters.
+    pub fn new(model: TransferModel, links: usize) -> Self {
+        assert!(links > 0);
+        StagingIngress {
+            model,
+            links: vec![FifoResource::new(); links],
+        }
+    }
+
+    /// Ingress sized for `staging_cores` cores of `machine` (one link per
+    /// staging node).
+    pub fn for_partition(machine: &MachineSpec, staging_cores: usize) -> Self {
+        let nodes = staging_cores.div_ceil(machine.cores_per_node).max(1);
+        StagingIngress::new(TransferModel::for_machine(machine), nodes)
+    }
+
+    /// Number of parallel links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Submit a transfer of `bytes` at time `now`; it runs on the
+    /// earliest-free link. Returns `(start, end)`.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let dur = self.model.transfer_time(bytes);
+        let idx = self
+            .links
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.free_at().partial_cmp(&b.free_at()).expect("no NaN"))
+            .map(|(i, _)| i)
+            .expect("links non-empty");
+        self.links[idx].acquire(now, dur)
+    }
+
+    /// When every link is idle.
+    pub fn drained_at(&self) -> SimTime {
+        self.links.iter().map(|l| l.free_at()).fold(0.0, f64::max)
+    }
+
+    /// Total bytes/second the ingress can absorb.
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        self.model.bandwidth * self.links.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_formula() {
+        let m = TransferModel {
+            latency: 1e-3,
+            bandwidth: 1e6,
+        };
+        assert!((m.transfer_time(1_000_000) - 1.001).abs() < 1e-12);
+        assert!((m.transfer_time(0) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn message_count_multiplies_latency() {
+        let m = TransferModel {
+            latency: 0.01,
+            bandwidth: 1e6,
+        };
+        let t = m.transfer_time_msgs(2_000_000, 10);
+        assert!((t - (0.1 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ingress_contention_serializes_on_one_link() {
+        let m = TransferModel {
+            latency: 0.0,
+            bandwidth: 1e6,
+        };
+        let mut ing = StagingIngress::new(m, 1);
+        let (s1, e1) = ing.transfer(0.0, 1_000_000);
+        let (s2, e2) = ing.transfer(0.0, 1_000_000);
+        assert_eq!((s1, e1), (0.0, 1.0));
+        assert_eq!((s2, e2), (1.0, 2.0));
+    }
+
+    #[test]
+    fn parallel_links_overlap() {
+        let m = TransferModel {
+            latency: 0.0,
+            bandwidth: 1e6,
+        };
+        let mut ing = StagingIngress::new(m, 2);
+        let (_, e1) = ing.transfer(0.0, 1_000_000);
+        let (_, e2) = ing.transfer(0.0, 1_000_000);
+        assert_eq!(e1, 1.0);
+        assert_eq!(e2, 1.0);
+        assert_eq!(ing.drained_at(), 1.0);
+    }
+
+    #[test]
+    fn partition_sizing_uses_nodes() {
+        let titan = MachineSpec::titan();
+        let ing = StagingIngress::for_partition(&titan, 256);
+        assert_eq!(ing.num_links(), 16); // 256 cores / 16 per node
+        assert_eq!(
+            ing.aggregate_bandwidth(),
+            16.0 * titan.injection_bandwidth
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Power and energy models — the paper's stated future work ("utilizing
+//! such approach on power management in dynamic simulations", §7),
+//! implemented as an extension: per-core active/idle power plus a
+//! per-byte network transfer cost, so workflow runs report the energy
+//! consequences of placement, reduction and allocation decisions.
+
+use crate::des::SimTime;
+use crate::machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-component power parameters of a machine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Watts drawn by a core running at full tilt.
+    pub active_w_per_core: f64,
+    /// Watts drawn by an idle (allocated but waiting) core.
+    pub idle_w_per_core: f64,
+    /// Joules to move one byte across the interconnect.
+    pub network_j_per_byte: f64,
+}
+
+impl PowerModel {
+    /// Intrepid (BG/P): ~31 kW per 4096-core rack ⇒ ~7.5 W/core active;
+    /// PowerPC 450 idles near 40 % of active; 3-D torus ≈ 0.6 nJ/byte.
+    pub fn intrepid() -> Self {
+        PowerModel {
+            active_w_per_core: 7.5,
+            idle_w_per_core: 3.0,
+            network_j_per_byte: 0.6e-9,
+        }
+    }
+
+    /// Titan (XK7): Opteron 6274 ≈ 115 W per 16-core socket ⇒ ~7.2 W/core
+    /// active plus node overheads ⇒ ~12 W/core; Gemini ≈ 0.5 nJ/byte.
+    pub fn titan() -> Self {
+        PowerModel {
+            active_w_per_core: 12.0,
+            idle_w_per_core: 5.0,
+            network_j_per_byte: 0.5e-9,
+        }
+    }
+
+    /// The model matching a [`MachineSpec`] by name, defaulting to Titan's
+    /// parameters for unknown machines.
+    pub fn for_machine(machine: &MachineSpec) -> Self {
+        if machine.name.contains("BlueGene") || machine.name.contains("Intrepid") {
+            PowerModel::intrepid()
+        } else {
+            PowerModel::titan()
+        }
+    }
+
+    /// Energy (J) of `cores` cores busy for `busy` seconds within an
+    /// allocation window of `span` seconds (idle for the remainder).
+    pub fn core_energy(&self, cores: usize, busy: SimTime, span: SimTime) -> f64 {
+        let busy = busy.min(span).max(0.0);
+        let idle = (span - busy).max(0.0);
+        cores as f64 * (busy * self.active_w_per_core + idle * self.idle_w_per_core)
+    }
+
+    /// Energy (J) to move `bytes` across the network.
+    pub fn transfer_energy(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.network_j_per_byte
+    }
+}
+
+/// Energy accounting for one workflow execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Joules on the simulation partition (compute + in-situ analysis +
+    /// idle waiting).
+    pub sim_joules: f64,
+    /// Joules on the staging partition (in-transit analysis + idle).
+    pub staging_joules: f64,
+    /// Joules moving data simulation → staging.
+    pub network_joules: f64,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.sim_joules + self.staging_joules + self.network_joules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_costs_more_than_idle() {
+        let p = PowerModel::titan();
+        let busy = p.core_energy(100, 10.0, 10.0);
+        let idle = p.core_energy(100, 0.0, 10.0);
+        assert!(busy > idle);
+        assert_eq!(idle, 100.0 * 10.0 * p.idle_w_per_core);
+    }
+
+    #[test]
+    fn busy_clamped_to_span() {
+        let p = PowerModel::intrepid();
+        // busy longer than span counts as fully-active span
+        assert_eq!(
+            p.core_energy(1, 20.0, 10.0),
+            p.core_energy(1, 10.0, 10.0)
+        );
+    }
+
+    #[test]
+    fn transfer_energy_linear() {
+        let p = PowerModel::titan();
+        assert!((p.transfer_energy(2_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn machine_matching() {
+        let i = PowerModel::for_machine(&MachineSpec::intrepid());
+        let t = PowerModel::for_machine(&MachineSpec::titan());
+        assert_eq!(i, PowerModel::intrepid());
+        assert_eq!(t, PowerModel::titan());
+    }
+
+    #[test]
+    fn report_totals() {
+        let r = EnergyReport {
+            sim_joules: 10.0,
+            staging_joules: 5.0,
+            network_joules: 1.0,
+        };
+        assert_eq!(r.total(), 16.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Initial conditions for the paper's two workloads.
+
+use crate::euler::{Conserved, EulerSolver, Primitive};
+use xlayer_amr::hierarchy::AmrHierarchy;
+use xlayer_amr::intvect::IntVect;
+use xlayer_amr::level_data::LevelData;
+
+/// Gas-dynamics initial conditions (Polytropic Gas).
+#[derive(Clone, Copy, Debug)]
+pub enum GasProblem {
+    /// A spherical over-pressured region at `center` (cell coordinates) of
+    /// radius `radius` — the classic 3-D blast wave.
+    Blast {
+        /// Center in cell coordinates.
+        center: [f64; 3],
+        /// Radius in cells.
+        radius: f64,
+        /// Pressure inside / outside.
+        p_in: f64,
+        /// Ambient pressure.
+        p_out: f64,
+    },
+    /// A planar Sod shock tube along x: left state for `x < x_jump`.
+    SodX {
+        /// Jump plane (cell coordinate).
+        x_jump: f64,
+    },
+    /// A smooth density sinusoid advected at constant velocity — for
+    /// convergence/steady tests.
+    DensityWave {
+        /// Domain cells along x (wavelength).
+        nx: i64,
+        /// Advection velocity.
+        velocity: [f64; 3],
+    },
+}
+
+impl GasProblem {
+    /// The primitive state at cell `iv`.
+    pub fn primitive_at(&self, iv: IntVect) -> Primitive {
+        match *self {
+            GasProblem::Blast {
+                center,
+                radius,
+                p_in,
+                p_out,
+            } => {
+                let dx = iv[0] as f64 + 0.5 - center[0];
+                let dy = iv[1] as f64 + 0.5 - center[1];
+                let dz = iv[2] as f64 + 0.5 - center[2];
+                let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                Primitive {
+                    rho: 1.0,
+                    vel: [0.0; 3],
+                    p: if r <= radius { p_in } else { p_out },
+                }
+            }
+            GasProblem::SodX { x_jump } => {
+                if (iv[0] as f64 + 0.5) < x_jump {
+                    Primitive {
+                        rho: 1.0,
+                        vel: [0.0; 3],
+                        p: 1.0,
+                    }
+                } else {
+                    Primitive {
+                        rho: 0.125,
+                        vel: [0.0; 3],
+                        p: 0.1,
+                    }
+                }
+            }
+            GasProblem::DensityWave { nx, velocity } => {
+                let x = (iv[0] as f64 + 0.5) / nx as f64;
+                Primitive {
+                    rho: 1.0 + 0.2 * (2.0 * std::f64::consts::PI * x).sin(),
+                    vel: velocity,
+                    p: 1.0,
+                }
+            }
+        }
+    }
+
+    /// The conserved state at cell `iv`.
+    pub fn conserved_at(&self, iv: IntVect, gamma: f64) -> Conserved {
+        self.primitive_at(iv).to_conserved(gamma)
+    }
+
+    /// Initialize every level of a hierarchy (5-component data expected).
+    pub fn init_hierarchy(&self, h: &mut AmrHierarchy, gamma: f64) {
+        for l in 0..h.num_levels() {
+            let scale = h.ref_ratio().pow(l as u32) as f64;
+            self.init_level(h.level_mut(l), gamma, scale);
+        }
+    }
+
+    /// Initialize one level whose cells are `1/scale` the size of base cells
+    /// (cell coordinates divided by `scale` map to base coordinates).
+    pub fn init_level(&self, ld: &mut LevelData, gamma: f64, scale: f64) {
+        ld.for_each_mut(|vb, fab| {
+            for iv in vb.cells() {
+                // Map fine cell to base-coordinate sample point.
+                let base_iv = IntVect::new(
+                    ((iv[0] as f64 + 0.5) / scale - 0.5).round() as i64,
+                    ((iv[1] as f64 + 0.5) / scale - 0.5).round() as i64,
+                    ((iv[2] as f64 + 0.5) / scale - 0.5).round() as i64,
+                );
+                let mut sample = self.conserved_at(base_iv, gamma);
+                // For smooth problems sample at the fine position instead.
+                if scale != 1.0 {
+                    if let GasProblem::Blast {
+                        center,
+                        radius,
+                        p_in,
+                        p_out,
+                    } = *self
+                    {
+                        let x = (iv[0] as f64 + 0.5) / scale - center[0];
+                        let y = (iv[1] as f64 + 0.5) / scale - center[1];
+                        let z = (iv[2] as f64 + 0.5) / scale - center[2];
+                        let r = (x * x + y * y + z * z).sqrt();
+                        sample = Primitive {
+                            rho: 1.0,
+                            vel: [0.0; 3],
+                            p: if r <= radius { p_in } else { p_out },
+                        }
+                        .to_conserved(gamma);
+                    }
+                }
+                EulerSolver::set_state(fab, iv, sample);
+            }
+        });
+    }
+}
+
+/// Scalar initial conditions (Advection–Diffusion).
+#[derive(Clone, Copy, Debug)]
+pub enum ScalarProblem {
+    /// A Gaussian blob centered at `center` with width `sigma` (cells).
+    Gaussian {
+        /// Center in cell coordinates.
+        center: [f64; 3],
+        /// Standard deviation in cells.
+        sigma: f64,
+    },
+    /// A solid sphere of value 1.
+    Ball {
+        /// Center in cell coordinates.
+        center: [f64; 3],
+        /// Radius in cells.
+        radius: f64,
+    },
+}
+
+impl ScalarProblem {
+    /// The scalar value at cell `iv` in base coordinates scaled by `scale`.
+    pub fn value_at(&self, iv: IntVect, scale: f64) -> f64 {
+        let p = [
+            (iv[0] as f64 + 0.5) / scale,
+            (iv[1] as f64 + 0.5) / scale,
+            (iv[2] as f64 + 0.5) / scale,
+        ];
+        match *self {
+            ScalarProblem::Gaussian { center, sigma } => {
+                let r2 = (0..3).map(|d| (p[d] - center[d]).powi(2)).sum::<f64>();
+                (-r2 / (2.0 * sigma * sigma)).exp()
+            }
+            ScalarProblem::Ball { center, radius } => {
+                let r2 = (0..3).map(|d| (p[d] - center[d]).powi(2)).sum::<f64>();
+                if r2.sqrt() <= radius {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Initialize every level of a 1-component hierarchy.
+    pub fn init_hierarchy(&self, h: &mut AmrHierarchy) {
+        for l in 0..h.num_levels() {
+            let scale = h.ref_ratio().pow(l as u32) as f64;
+            let ld = h.level_mut(l);
+            ld.for_each_mut(|vb, fab| {
+                for iv in vb.cells() {
+                    fab.set(iv, 0, self.value_at(iv, scale));
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blast_has_pressure_jump() {
+        let p = GasProblem::Blast {
+            center: [8.0, 8.0, 8.0],
+            radius: 2.0,
+            p_in: 10.0,
+            p_out: 0.1,
+        };
+        assert_eq!(p.primitive_at(IntVect::new(8, 8, 8)).p, 10.0);
+        assert_eq!(p.primitive_at(IntVect::new(0, 0, 0)).p, 0.1);
+    }
+
+    #[test]
+    fn sod_left_right_states() {
+        let p = GasProblem::SodX { x_jump: 8.0 };
+        let l = p.primitive_at(IntVect::new(0, 0, 0));
+        let r = p.primitive_at(IntVect::new(15, 0, 0));
+        assert_eq!(l.rho, 1.0);
+        assert_eq!(r.rho, 0.125);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_center() {
+        let p = ScalarProblem::Gaussian {
+            center: [8.5, 8.5, 8.5],
+            sigma: 2.0,
+        };
+        let at_center = p.value_at(IntVect::new(8, 8, 8), 1.0);
+        let off = p.value_at(IntVect::new(0, 0, 0), 1.0);
+        assert!(at_center > 0.99);
+        assert!(off < at_center);
+    }
+
+    #[test]
+    fn ball_indicator() {
+        let p = ScalarProblem::Ball {
+            center: [4.0, 4.0, 4.0],
+            radius: 1.5,
+        };
+        assert_eq!(p.value_at(IntVect::new(3, 3, 3), 1.0), 1.0);
+        assert_eq!(p.value_at(IntVect::new(0, 0, 0), 1.0), 0.0);
+    }
+
+    #[test]
+    fn fine_level_sampling_respects_scale() {
+        // A fine cell at (17, 17, 17) with scale 2 maps near base (8.5,...)
+        let p = ScalarProblem::Gaussian {
+            center: [8.75, 8.75, 8.75],
+            sigma: 2.0,
+        };
+        let fine = p.value_at(IntVect::new(17, 17, 17), 2.0);
+        assert!(fine > 0.99, "fine sample {fine}");
+    }
+}

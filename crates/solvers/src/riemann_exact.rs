@@ -1,0 +1,300 @@
+//! Exact Riemann solver for the 1-D Euler equations (Toro §4): the
+//! reference solution used to validate the HLLC-based Godunov scheme.
+//!
+//! Given left/right states, iterates on the star-region pressure with
+//! Newton–Raphson and samples the self-similar solution `W(x/t)` — the
+//! standard verification oracle for compressible-flow codes (the Sod test
+//! in `tests/`).
+
+use crate::euler::Primitive;
+
+/// A 1-D primitive state (ρ, u, p) for the exact solver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct State1d {
+    /// Density.
+    pub rho: f64,
+    /// Normal velocity.
+    pub u: f64,
+    /// Pressure.
+    pub p: f64,
+}
+
+impl State1d {
+    /// Sound speed.
+    pub fn sound_speed(&self, gamma: f64) -> f64 {
+        (gamma * self.p / self.rho).sqrt()
+    }
+
+    /// Lift into the 3-D primitive type (transverse velocities zero).
+    pub fn to_primitive(self) -> Primitive {
+        Primitive {
+            rho: self.rho,
+            vel: [self.u, 0.0, 0.0],
+            p: self.p,
+        }
+    }
+}
+
+/// The exact solution of a Riemann problem.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactRiemann {
+    left: State1d,
+    right: State1d,
+    gamma: f64,
+    /// Star-region pressure.
+    pub p_star: f64,
+    /// Star-region (contact) velocity.
+    pub u_star: f64,
+}
+
+impl ExactRiemann {
+    /// Solve the Riemann problem `(left, right)` for ratio of specific
+    /// heats `gamma`. Panics on vacuum-generating data.
+    pub fn solve(left: State1d, right: State1d, gamma: f64) -> Self {
+        let cl = left.sound_speed(gamma);
+        let cr = right.sound_speed(gamma);
+        // Vacuum check (Toro Eq. 4.82).
+        assert!(
+            2.0 * (cl + cr) / (gamma - 1.0) > right.u - left.u,
+            "vacuum-generating Riemann data"
+        );
+
+        // f(p, W): velocity jump across the wave connecting to state W.
+        let f = |p: f64, w: &State1d, c: f64| -> f64 {
+            if p > w.p {
+                // shock (Rankine–Hugoniot)
+                let a = 2.0 / ((gamma + 1.0) * w.rho);
+                let b = (gamma - 1.0) / (gamma + 1.0) * w.p;
+                (p - w.p) * (a / (p + b)).sqrt()
+            } else {
+                // rarefaction (isentropic)
+                2.0 * c / (gamma - 1.0) * ((p / w.p).powf((gamma - 1.0) / (2.0 * gamma)) - 1.0)
+            }
+        };
+        let fprime = |p: f64, w: &State1d, c: f64| -> f64 {
+            if p > w.p {
+                let a = 2.0 / ((gamma + 1.0) * w.rho);
+                let b = (gamma - 1.0) / (gamma + 1.0) * w.p;
+                (a / (p + b)).sqrt() * (1.0 - (p - w.p) / (2.0 * (p + b)))
+            } else {
+                (p / w.p).powf(-(gamma + 1.0) / (2.0 * gamma)) / (w.rho * c)
+            }
+        };
+
+        // Initial guess: two-rarefaction approximation, floored.
+        let du = right.u - left.u;
+        let p_pv = 0.5 * (left.p + right.p)
+            - 0.125 * du * (left.rho + right.rho) * (cl + cr);
+        let mut p = p_pv.max(1e-8 * (left.p.min(right.p)));
+        for _ in 0..60 {
+            let g = f(p, &left, cl) + f(p, &right, cr) + du;
+            let gp = fprime(p, &left, cl) + fprime(p, &right, cr);
+            let p_new = (p - g / gp).max(1e-12);
+            if (p_new - p).abs() / (0.5 * (p_new + p)) < 1e-12 {
+                p = p_new;
+                break;
+            }
+            p = p_new;
+        }
+        let u_star = 0.5 * (left.u + right.u) + 0.5 * (f(p, &right, cr) - f(p, &left, cl));
+        ExactRiemann {
+            left,
+            right,
+            gamma,
+            p_star: p,
+            u_star,
+        }
+    }
+
+    /// Sample the solution at similarity coordinate `xi = x / t`.
+    pub fn sample(&self, xi: f64) -> State1d {
+        let g = self.gamma;
+        let (w, c, sign) = if xi <= self.u_star {
+            (self.left, self.left.sound_speed(g), 1.0)
+        } else {
+            (self.right, self.right.sound_speed(g), -1.0)
+        };
+        // Work in a frame where the wave of interest moves right for the
+        // left side (sign = +1) and mirror for the right side.
+        let u = sign * w.u;
+        let xi_s = sign * xi;
+        let u_star = sign * self.u_star;
+
+        if self.p_star > w.p {
+            // shock on this side
+            let ms = c * ((g + 1.0) / (2.0 * g) * self.p_star / w.p
+                + (g - 1.0) / (2.0 * g))
+                .sqrt();
+            let s = u - ms; // shock speed (in mirrored frame, moving left of state)
+            if xi_s <= s {
+                return mirror(w, sign);
+            }
+            let rho_star = w.rho
+                * ((self.p_star / w.p + (g - 1.0) / (g + 1.0))
+                    / ((g - 1.0) / (g + 1.0) * self.p_star / w.p + 1.0));
+            mirror(
+                State1d {
+                    rho: rho_star,
+                    u: u_star,
+                    p: self.p_star,
+                },
+                sign,
+            )
+        } else {
+            // rarefaction on this side
+            let c_star = c * (self.p_star / w.p).powf((g - 1.0) / (2.0 * g));
+            let head = u - c;
+            let tail = u_star - c_star;
+            if xi_s <= head {
+                mirror(w, sign)
+            } else if xi_s >= tail {
+                let rho_star = w.rho * (self.p_star / w.p).powf(1.0 / g);
+                mirror(
+                    State1d {
+                        rho: rho_star,
+                        u: u_star,
+                        p: self.p_star,
+                    },
+                    sign,
+                )
+            } else {
+                // inside the fan (Toro Eqs. 4.56)
+                let u_fan = 2.0 / (g + 1.0) * (c + (g - 1.0) / 2.0 * u + xi_s);
+                let c_fan = c - (g - 1.0) / 2.0 * (u_fan - u);
+                let rho = w.rho * (c_fan / c).powf(2.0 / (g - 1.0));
+                let p = w.p * (c_fan / c).powf(2.0 * g / (g - 1.0));
+                mirror(State1d { rho, u: u_fan, p }, sign)
+            }
+        }
+    }
+}
+
+fn mirror(s: State1d, sign: f64) -> State1d {
+    State1d {
+        rho: s.rho,
+        u: sign * s.u,
+        p: s.p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GAMMA: f64 = 1.4;
+
+    fn sod() -> (State1d, State1d) {
+        (
+            State1d {
+                rho: 1.0,
+                u: 0.0,
+                p: 1.0,
+            },
+            State1d {
+                rho: 0.125,
+                u: 0.0,
+                p: 0.1,
+            },
+        )
+    }
+
+    #[test]
+    fn sod_star_state_matches_toro() {
+        // Toro Table 4.2, Test 1: p* = 0.30313, u* = 0.92745.
+        let (l, r) = sod();
+        let ex = ExactRiemann::solve(l, r, GAMMA);
+        assert!((ex.p_star - 0.30313).abs() < 1e-4, "p* = {}", ex.p_star);
+        assert!((ex.u_star - 0.92745).abs() < 1e-4, "u* = {}", ex.u_star);
+    }
+
+    #[test]
+    fn sod_wave_structure() {
+        let (l, r) = sod();
+        let ex = ExactRiemann::solve(l, r, GAMMA);
+        // far left: undisturbed left state
+        let s = ex.sample(-2.0);
+        assert!((s.rho - 1.0).abs() < 1e-12);
+        // far right: undisturbed right state
+        let s = ex.sample(2.0);
+        assert!((s.rho - 0.125).abs() < 1e-12);
+        // contact: velocity and pressure continuous, density jumps
+        let eps = 1e-6;
+        let sl = ex.sample(ex.u_star - eps);
+        let sr = ex.sample(ex.u_star + eps);
+        assert!((sl.p - sr.p).abs() < 1e-6);
+        assert!((sl.u - sr.u).abs() < 1e-6);
+        assert!(sl.rho > sr.rho, "contact density jump missing");
+    }
+
+    #[test]
+    fn symmetric_colliding_flows_produce_double_shock() {
+        // Toro Test 3-like: equal states colliding → p* > p on both sides.
+        let l = State1d {
+            rho: 1.0,
+            u: 1.0,
+            p: 1.0,
+        };
+        let r = State1d {
+            rho: 1.0,
+            u: -1.0,
+            p: 1.0,
+        };
+        let ex = ExactRiemann::solve(l, r, GAMMA);
+        assert!(ex.p_star > 1.0);
+        assert!(ex.u_star.abs() < 1e-12, "symmetry: u* = {}", ex.u_star);
+        // symmetric sampling
+        let a = ex.sample(-0.5);
+        let b = ex.sample(0.5);
+        assert!((a.rho - b.rho).abs() < 1e-9);
+        assert!((a.u + b.u).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receding_flows_produce_double_rarefaction() {
+        let l = State1d {
+            rho: 1.0,
+            u: -0.5,
+            p: 1.0,
+        };
+        let r = State1d {
+            rho: 1.0,
+            u: 0.5,
+            p: 1.0,
+        };
+        let ex = ExactRiemann::solve(l, r, GAMMA);
+        assert!(ex.p_star < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vacuum_data_panics() {
+        let l = State1d {
+            rho: 1.0,
+            u: -100.0,
+            p: 1.0,
+        };
+        let r = State1d {
+            rho: 1.0,
+            u: 100.0,
+            p: 1.0,
+        };
+        ExactRiemann::solve(l, r, GAMMA);
+    }
+
+    #[test]
+    fn uniform_state_is_trivial() {
+        let w = State1d {
+            rho: 1.0,
+            u: 0.3,
+            p: 2.0,
+        };
+        let ex = ExactRiemann::solve(w, w, GAMMA);
+        assert!((ex.p_star - 2.0).abs() < 1e-9);
+        assert!((ex.u_star - 0.3).abs() < 1e-9);
+        for xi in [-1.0, 0.0, 0.3, 1.0] {
+            let s = ex.sample(xi);
+            assert!((s.rho - 1.0).abs() < 1e-9);
+            assert!((s.p - 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Spatial indexing of staged objects: a uniform bucket grid over bounding
+//! boxes, the DHT-style lookup structure that lets a staging server answer
+//! `(variable, version, bbox)` queries without scanning every object
+//! (DataSpaces indexes object extents the same way).
+
+use std::collections::HashMap;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::intvect::IntVect;
+
+/// A bucket-grid index over object bounding boxes.
+#[derive(Debug, Default)]
+pub struct BucketIndex {
+    bucket: i64,
+    buckets: HashMap<IntVect, Vec<usize>>,
+    /// Bounding boxes by object id (for verification and re-queries).
+    bboxes: Vec<IBox>,
+}
+
+impl BucketIndex {
+    /// An index with `bucket`-cell-wide buckets (≥ 1).
+    pub fn new(bucket: i64) -> Self {
+        BucketIndex {
+            bucket: bucket.max(1),
+            buckets: HashMap::new(),
+            bboxes: Vec::new(),
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.bboxes.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.bboxes.is_empty()
+    }
+
+    /// The bucket coordinates a box overlaps.
+    fn bucket_range(&self, bbox: &IBox) -> IBox {
+        IBox::new(bbox.lo().coarsen(self.bucket), bbox.hi().coarsen(self.bucket))
+    }
+
+    /// Add an object's bounding box; returns its id.
+    pub fn insert(&mut self, bbox: IBox) -> usize {
+        let id = self.bboxes.len();
+        self.bboxes.push(bbox);
+        for b in self.bucket_range(&bbox).cells() {
+            self.buckets.entry(b).or_default().push(id);
+        }
+        id
+    }
+
+    /// The bounding box of object `id`.
+    pub fn bbox(&self, id: usize) -> IBox {
+        self.bboxes[id]
+    }
+
+    /// Ids of objects whose bbox intersects `query`, ascending and deduped.
+    pub fn query(&self, query: &IBox) -> Vec<usize> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for b in self.bucket_range(query).cells() {
+            if let Some(ids) = self.buckets.get(&b) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&id| self.bboxes[id].intersects(query));
+        out
+    }
+
+    /// Rebuild keeping only the ids for which `keep` returns true; returns
+    /// the mapping old-id → new-id.
+    pub fn retain(&mut self, keep: impl Fn(usize) -> bool) -> HashMap<usize, usize> {
+        let old = std::mem::take(&mut self.bboxes);
+        self.buckets.clear();
+        let mut remap = HashMap::new();
+        for (old_id, bbox) in old.into_iter().enumerate() {
+            if keep(old_id) {
+                let new_id = self.insert(bbox);
+                remap.insert(old_id, new_id);
+            }
+        }
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_at(lo: i64, n: i64) -> IBox {
+        IBox::cube(n).shift(IntVect::splat(lo))
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let mut idx = BucketIndex::new(8);
+        let boxes = [
+            cube_at(0, 4),
+            cube_at(6, 4),
+            cube_at(20, 8),
+            cube_at(-12, 6),
+            IBox::new(IntVect::new(0, 30, 0), IntVect::new(40, 33, 3)),
+        ];
+        for b in &boxes {
+            idx.insert(*b);
+        }
+        for probe in [
+            cube_at(2, 4),
+            cube_at(100, 4),
+            IBox::new(IntVect::new(-20, -20, -20), IntVect::new(50, 50, 50)),
+            IBox::new(IntVect::new(5, 31, 1), IntVect::new(6, 31, 1)),
+        ] {
+            let got = idx.query(&probe);
+            let expect: Vec<usize> = boxes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.intersects(&probe))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, expect, "probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn empty_query_is_empty() {
+        let mut idx = BucketIndex::new(4);
+        idx.insert(cube_at(0, 4));
+        assert!(idx.query(&IBox::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let mut idx = BucketIndex::new(8);
+        idx.insert(cube_at(-8, 8)); // [-8,-1]^3 — exactly one bucket at -1
+        assert_eq!(idx.query(&cube_at(-8, 8)), vec![0]);
+        assert!(idx.query(&cube_at(0, 8)).is_empty());
+    }
+
+    #[test]
+    fn dedup_across_buckets() {
+        let mut idx = BucketIndex::new(4);
+        // spans many buckets
+        idx.insert(IBox::new(IntVect::ZERO, IntVect::new(30, 3, 3)));
+        let hits = idx.query(&IBox::new(IntVect::ZERO, IntVect::new(30, 3, 3)));
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn retain_rebuilds() {
+        let mut idx = BucketIndex::new(8);
+        idx.insert(cube_at(0, 4));
+        idx.insert(cube_at(8, 4));
+        idx.insert(cube_at(16, 4));
+        let remap = idx.retain(|id| id != 1);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(remap.len(), 2);
+        // All remaining ids queryable
+        let all = idx.query(&IBox::new(IntVect::splat(-50), IntVect::splat(50)));
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # xlayer-staging — the DataSpaces-like staging substrate
+//!
+//! An in-memory, versioned, spatially-indexed object store with sharded
+//! servers and asynchronous transport: the "interaction and coordination
+//! framework" the paper's adaptation runtime is built on (§5.1,
+//! DataSpaces [Docan et al., HPDC'10]).
+//!
+//! * [`object`] — `(variable, version, bbox)`-addressed data objects,
+//! * [`server`] — staging servers with memory caps (paper Eq. 10),
+//! * [`space`] — the sharded put/get/query space,
+//! * [`transport`] — asynchronous transfers with back-pressure,
+//! * [`lock`] — version gates for coupled producer/consumer coordination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod lock;
+pub mod object;
+pub mod pubsub;
+pub mod server;
+pub mod space;
+pub mod transport;
+
+pub use index::BucketIndex;
+pub use lock::VersionGate;
+pub use object::{DataObject, ObjectDesc, ObjectKey};
+pub use pubsub::{PubSubSpace, Subscription};
+pub use server::{StagingError, StagingServer};
+pub use space::{DataSpace, Sharding};
+pub use transport::AsyncStager;

@@ -1,0 +1,106 @@
+//! Version coordination between coupled producers and consumers.
+//!
+//! DataSpaces coordinates coupled codes through versioned publication: a
+//! reader of version `v` blocks until the writer publishes `v`. This is the
+//! "interaction and coordination" service of the substrate (paper §5.1).
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A monotone version gate: writers `publish(v)`, readers `wait_for(v)`.
+#[derive(Debug, Default)]
+pub struct VersionGate {
+    state: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl VersionGate {
+    /// A gate with nothing published (version 0 means "none").
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish version `v` (and implicitly all versions below it).
+    /// Versions are monotone: publishing an older version is a no-op.
+    pub fn publish(&self, v: u64) {
+        let mut cur = self.state.lock();
+        if v > *cur {
+            *cur = v;
+            self.cv.notify_all();
+        }
+    }
+
+    /// The newest published version (0 if none).
+    pub fn current(&self) -> u64 {
+        *self.state.lock()
+    }
+
+    /// Block until version `v` (or newer) is published.
+    pub fn wait_for(&self, v: u64) {
+        let mut cur = self.state.lock();
+        while *cur < v {
+            self.cv.wait(&mut cur);
+        }
+    }
+
+    /// Block until version `v` is published or `timeout` elapses.
+    /// Returns `true` if the version arrived.
+    pub fn wait_for_timeout(&self, v: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut cur = self.state.lock();
+        while *cur < v {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self.cv.wait_until(&mut cur, deadline).timed_out() {
+                return *cur >= v;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_then_wait_is_immediate() {
+        let g = VersionGate::new();
+        g.publish(3);
+        g.wait_for(2);
+        g.wait_for(3);
+        assert_eq!(g.current(), 3);
+    }
+
+    #[test]
+    fn versions_are_monotone() {
+        let g = VersionGate::new();
+        g.publish(5);
+        g.publish(2);
+        assert_eq!(g.current(), 5);
+    }
+
+    #[test]
+    fn reader_blocks_until_writer_publishes() {
+        let g = Arc::new(VersionGate::new());
+        let g2 = Arc::clone(&g);
+        let reader = std::thread::spawn(move || {
+            g2.wait_for(7);
+            g2.current()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        g.publish(7);
+        assert_eq!(reader.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn timeout_fires_when_never_published() {
+        let g = VersionGate::new();
+        assert!(!g.wait_for_timeout(1, Duration::from_millis(20)));
+        g.publish(1);
+        assert!(g.wait_for_timeout(1, Duration::from_millis(20)));
+    }
+}

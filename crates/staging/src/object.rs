@@ -1,0 +1,165 @@
+//! Staged data objects: the unit of the DataSpaces-style put/get API.
+//!
+//! An object is one variable's data over a bounding box at one version
+//! (time step) — exactly DataSpaces' `(var, version, bbox)` addressing.
+
+use bytes::Bytes;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::fab::Fab;
+
+/// Addressing key of a staged object.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ObjectKey {
+    /// Variable name (e.g. `"density"`).
+    pub name: String,
+    /// Version — the simulation time step that produced the data.
+    pub version: u64,
+}
+
+impl ObjectKey {
+    /// Construct a key.
+    pub fn new(name: impl Into<String>, version: u64) -> Self {
+        ObjectKey {
+            name: name.into(),
+            version,
+        }
+    }
+}
+
+/// Descriptor of a staged object (metadata only).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectDesc {
+    /// Addressing key.
+    pub key: ObjectKey,
+    /// Region of index space the object covers.
+    pub bbox: IBox,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Rank that produced the object.
+    pub origin_rank: usize,
+}
+
+/// A staged object: descriptor plus payload.
+///
+/// The payload is reference-counted ([`Bytes`]), so copies between the
+/// transport queue, the server store and readers share one allocation —
+/// mirroring RDMA's zero-copy semantics.
+#[derive(Clone, Debug)]
+pub struct DataObject {
+    /// Metadata.
+    pub desc: ObjectDesc,
+    /// Raw little-endian `f64` payload in Fortran order over `desc.bbox`.
+    pub payload: Bytes,
+}
+
+impl DataObject {
+    /// Package one component of a fab region into an object.
+    pub fn from_fab(
+        name: impl Into<String>,
+        version: u64,
+        fab: &Fab,
+        comp: usize,
+        region: &IBox,
+        origin_rank: usize,
+    ) -> Self {
+        let r = region.intersect(&fab.ibox());
+        let mut buf = Vec::with_capacity(r.num_cells() as usize * 8);
+        for iv in r.cells() {
+            buf.extend_from_slice(&fab.get(iv, comp).to_le_bytes());
+        }
+        let payload = Bytes::from(buf);
+        DataObject {
+            desc: ObjectDesc {
+                key: ObjectKey::new(name, version),
+                bbox: r,
+                bytes: payload.len() as u64,
+                origin_rank,
+            },
+            payload,
+        }
+    }
+
+    /// Reconstruct the object's values as a fab over its bbox.
+    pub fn to_fab(&self) -> Fab {
+        let mut fab = Fab::new(self.desc.bbox, 1);
+        let mut off = 0usize;
+        for iv in self.desc.bbox.cells() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.payload[off..off + 8]);
+            fab.set(iv, 0, f64::from_le_bytes(b));
+            off += 8;
+        }
+        fab
+    }
+
+    /// Copy the overlap of this object into `dst` (component 0).
+    pub fn copy_into(&self, dst: &mut Fab) {
+        let overlap = self.desc.bbox.intersect(&dst.ibox());
+        if overlap.is_empty() {
+            return;
+        }
+        for iv in overlap.cells() {
+            let off = self.desc.bbox.offset(iv) * 8;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.payload[off..off + 8]);
+            dst.set(iv, 0, f64::from_le_bytes(b));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::intvect::IntVect;
+
+    fn coord_fab(n: i64) -> Fab {
+        let b = IBox::cube(n);
+        let mut f = Fab::new(b, 2);
+        for iv in b.cells() {
+            f.set(iv, 1, (iv[0] * 100 + iv[1] * 10 + iv[2]) as f64);
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_through_payload() {
+        let f = coord_fab(4);
+        let obj = DataObject::from_fab("rho", 7, &f, 1, &IBox::cube(4), 3);
+        assert_eq!(obj.desc.key, ObjectKey::new("rho", 7));
+        assert_eq!(obj.desc.bytes, 64 * 8);
+        assert_eq!(obj.desc.origin_rank, 3);
+        let back = obj.to_fab();
+        for iv in IBox::cube(4).cells() {
+            assert_eq!(back.get(iv, 0), f.get(iv, 1));
+        }
+    }
+
+    #[test]
+    fn region_clipping() {
+        let f = coord_fab(4);
+        let sub = IBox::new(IntVect::splat(1), IntVect::splat(10));
+        let obj = DataObject::from_fab("rho", 0, &f, 1, &sub, 0);
+        assert_eq!(obj.desc.bbox, IBox::new(IntVect::splat(1), IntVect::splat(3)));
+        assert_eq!(obj.desc.bytes, 27 * 8);
+    }
+
+    #[test]
+    fn copy_into_partial_overlap() {
+        let f = coord_fab(4);
+        let obj = DataObject::from_fab("rho", 0, &f, 1, &IBox::cube(4), 0);
+        let mut dst = Fab::new(IBox::new(IntVect::splat(2), IntVect::splat(5)), 1);
+        obj.copy_into(&mut dst);
+        // Overlap [2,3]^3 copied, rest zero.
+        assert_eq!(dst.get(IntVect::splat(3), 0), 333.0);
+        assert_eq!(dst.get(IntVect::splat(5), 0), 0.0);
+    }
+
+    #[test]
+    fn payload_is_shared_not_copied() {
+        let f = coord_fab(4);
+        let obj = DataObject::from_fab("rho", 0, &f, 0, &IBox::cube(4), 0);
+        let clone = obj.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(obj.payload.as_ptr(), clone.payload.as_ptr());
+    }
+}

@@ -1,0 +1,225 @@
+//! Publish/subscribe on the staging space: the flexible data
+//! publish-and-subscribe service the authors built on the staging area in
+//! their companion work (paper §6, "Our previous work also integrates
+//! messaging system on the staging area to support flexible data publish
+//! and subscribe" — Jin et al., HiPC'12).
+//!
+//! Subscribers register an interest `(variable, region)`; every put whose
+//! object intersects a registered interest is delivered to that
+//! subscriber's channel — the push-mode coupling primitive, complementing
+//! the pull-mode `get`.
+
+use crate::object::DataObject;
+use crate::space::DataSpace;
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use xlayer_amr::boxes::IBox;
+
+/// A subscriber's registered interest.
+#[derive(Clone, Debug)]
+struct Interest {
+    name: String,
+    region: Option<IBox>,
+    tx: Sender<DataObject>,
+    id: u64,
+}
+
+/// A staging space with push-mode notification.
+pub struct PubSubSpace {
+    space: Arc<DataSpace>,
+    interests: Mutex<Vec<Interest>>,
+    next_id: Mutex<u64>,
+}
+
+/// A subscription handle: receive matching objects; drop to keep the
+/// registration (unsubscribe explicitly via [`PubSubSpace::unsubscribe`]).
+pub struct Subscription {
+    /// Channel of matching objects, in publication order.
+    pub rx: Receiver<DataObject>,
+    /// Registration id for unsubscribing.
+    pub id: u64,
+}
+
+impl PubSubSpace {
+    /// Wrap a staging space.
+    pub fn new(space: Arc<DataSpace>) -> Self {
+        PubSubSpace {
+            space,
+            interests: Mutex::new(Vec::new()),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// The underlying space (pull-mode access still works).
+    pub fn space(&self) -> &Arc<DataSpace> {
+        &self.space
+    }
+
+    /// Register an interest in `name`, optionally restricted to objects
+    /// intersecting `region`.
+    pub fn subscribe(&self, name: impl Into<String>, region: Option<IBox>) -> Subscription {
+        let (tx, rx) = unbounded();
+        let mut id_guard = self.next_id.lock();
+        let id = *id_guard;
+        *id_guard += 1;
+        drop(id_guard);
+        self.interests.lock().push(Interest {
+            name: name.into(),
+            region,
+            tx,
+            id,
+        });
+        Subscription { rx, id }
+    }
+
+    /// Remove a registration. Returns true if it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut ints = self.interests.lock();
+        let before = ints.len();
+        ints.retain(|i| i.id != id);
+        ints.len() != before
+    }
+
+    /// Number of live registrations.
+    pub fn num_subscribers(&self) -> usize {
+        self.interests.lock().len()
+    }
+
+    /// Publish: store the object in the space and deliver it to every
+    /// matching subscriber. Returns the number of deliveries, or the
+    /// staging error if the store rejected the object (no delivery then —
+    /// subscribers only see durable data).
+    pub fn publish(&self, obj: DataObject) -> Result<usize, crate::server::StagingError> {
+        self.space.put(obj.clone())?;
+        let mut delivered = 0;
+        let mut dead = Vec::new();
+        let ints = self.interests.lock();
+        for i in ints.iter() {
+            let name_ok = i.name == obj.desc.key.name;
+            let region_ok = i
+                .region
+                .is_none_or(|r| r.intersects(&obj.desc.bbox));
+            if name_ok && region_ok {
+                match i.tx.try_send(obj.clone()) {
+                    Ok(()) => delivered += 1,
+                    Err(TrySendError::Disconnected(_)) => dead.push(i.id),
+                    Err(TrySendError::Full(_)) => unreachable!("unbounded channel"),
+                }
+            }
+        }
+        drop(ints);
+        if !dead.is_empty() {
+            let mut ints = self.interests.lock();
+            ints.retain(|i| !dead.contains(&i.id));
+        }
+        Ok(delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Sharding;
+    use xlayer_amr::{Fab, IntVect};
+
+    fn obj(name: &str, version: u64, lo: i64, n: i64) -> DataObject {
+        let b = IBox::cube(n).shift(IntVect::splat(lo));
+        let fab = Fab::filled(b, 1, version as f64);
+        DataObject::from_fab(name, version, &fab, 0, &b, 0)
+    }
+
+    fn space() -> PubSubSpace {
+        PubSubSpace::new(Arc::new(DataSpace::new(2, 1 << 24, Sharding::BboxHash)))
+    }
+
+    #[test]
+    fn subscriber_receives_matching_variable() {
+        let ps = space();
+        let sub = ps.subscribe("rho", None);
+        assert_eq!(ps.publish(obj("rho", 1, 0, 4)).unwrap(), 1);
+        assert_eq!(ps.publish(obj("p", 1, 0, 4)).unwrap(), 0);
+        let got = sub.rx.try_recv().expect("delivery");
+        assert_eq!(got.desc.key.name, "rho");
+        assert!(sub.rx.try_recv().is_err(), "p must not be delivered");
+    }
+
+    #[test]
+    fn region_filter_applies() {
+        let ps = space();
+        let sub = ps.subscribe("rho", Some(IBox::cube(4)));
+        ps.publish(obj("rho", 1, 0, 4)).unwrap(); // intersects
+        ps.publish(obj("rho", 2, 100, 4)).unwrap(); // far away
+        assert_eq!(sub.rx.try_recv().unwrap().desc.key.version, 1);
+        assert!(sub.rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let ps = space();
+        let a = ps.subscribe("rho", None);
+        let b = ps.subscribe("rho", None);
+        assert_eq!(ps.publish(obj("rho", 1, 0, 4)).unwrap(), 2);
+        assert!(a.rx.try_recv().is_ok());
+        assert!(b.rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let ps = space();
+        let sub = ps.subscribe("rho", None);
+        assert!(ps.unsubscribe(sub.id));
+        assert!(!ps.unsubscribe(sub.id));
+        assert_eq!(ps.publish(obj("rho", 1, 0, 4)).unwrap(), 0);
+        assert_eq!(ps.num_subscribers(), 0);
+    }
+
+    #[test]
+    fn dropped_receivers_are_pruned() {
+        let ps = space();
+        let sub = ps.subscribe("rho", None);
+        drop(sub.rx);
+        assert_eq!(ps.publish(obj("rho", 1, 0, 4)).unwrap(), 0);
+        assert_eq!(ps.num_subscribers(), 0, "dead subscriber not pruned");
+    }
+
+    #[test]
+    fn published_objects_are_durable_in_the_space() {
+        let ps = space();
+        let _sub = ps.subscribe("rho", None);
+        ps.publish(obj("rho", 9, 0, 4)).unwrap();
+        assert_eq!(ps.space().get("rho", 9, None).len(), 1);
+    }
+
+    #[test]
+    fn rejected_put_delivers_nothing() {
+        // Tiny space: second object overflows, subscriber must not see it.
+        let ps = PubSubSpace::new(Arc::new(DataSpace::new(1, 600, Sharding::RoundRobin)));
+        let sub = ps.subscribe("rho", None);
+        assert!(ps.publish(obj("rho", 1, 0, 4)).is_ok());
+        assert!(ps.publish(obj("rho", 2, 0, 4)).is_err());
+        assert_eq!(sub.rx.try_recv().unwrap().desc.key.version, 1);
+        assert!(sub.rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn push_pull_coupling_pattern() {
+        // Producer publishes; consumer thread reacts to pushes.
+        let ps = Arc::new(space());
+        let sub = ps.subscribe("rho", None);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Ok(o) = sub.rx.recv() {
+                seen.push(o.desc.key.version);
+                if seen.len() == 3 {
+                    break;
+                }
+            }
+            seen
+        });
+        for v in 1..=3 {
+            ps.publish(obj("rho", v, (v as i64) * 8, 4)).unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), vec![1, 2, 3]);
+    }
+}

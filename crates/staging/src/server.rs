@@ -1,0 +1,251 @@
+//! A staging server: one in-transit node's share of the space, with a
+//! memory cap (the in-transit memory constraint of paper Eq. 10).
+
+use crate::index::BucketIndex;
+use crate::object::{DataObject, ObjectDesc, ObjectKey};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Bucket width of the per-key spatial index (cells).
+const INDEX_BUCKET: i64 = 16;
+
+/// Why a put was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StagingError {
+    /// Accepting the object would exceed the server's memory cap.
+    OutOfMemory {
+        /// The server's capacity in bytes.
+        cap: u64,
+        /// Bytes already resident.
+        used: u64,
+        /// Size of the rejected object.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for StagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagingError::OutOfMemory { cap, used, requested } => write!(
+                f,
+                "staging server out of memory: cap {cap} B, used {used} B, requested {requested} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StagingError {}
+
+/// One staging server: an object store with memory accounting.
+#[derive(Debug)]
+pub struct StagingServer {
+    id: usize,
+    memory_cap: u64,
+    inner: Mutex<Store>,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    objects: HashMap<ObjectKey, (Vec<DataObject>, BucketIndex)>,
+    used: u64,
+    peak: u64,
+    puts: u64,
+    gets: u64,
+}
+
+impl StagingServer {
+    /// A server with `memory_cap` bytes of staging memory.
+    pub fn new(id: usize, memory_cap: u64) -> Self {
+        StagingServer {
+            id,
+            memory_cap,
+            inner: Mutex::new(Store::default()),
+        }
+    }
+
+    /// Server id (its index in the staging partition).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Memory capacity in bytes.
+    pub fn memory_cap(&self) -> u64 {
+        self.memory_cap
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    /// High-water mark of resident bytes.
+    pub fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    /// (puts, gets) served.
+    pub fn op_counts(&self) -> (u64, u64) {
+        let s = self.inner.lock();
+        (s.puts, s.gets)
+    }
+
+    /// Store an object. Fails if it would exceed the memory cap.
+    pub fn put(&self, obj: DataObject) -> Result<(), StagingError> {
+        let mut s = self.inner.lock();
+        let bytes = obj.desc.bytes;
+        if s.used + bytes > self.memory_cap {
+            return Err(StagingError::OutOfMemory {
+                cap: self.memory_cap,
+                used: s.used,
+                requested: bytes,
+            });
+        }
+        s.used += bytes;
+        s.peak = s.peak.max(s.used);
+        s.puts += 1;
+        let entry = s
+            .objects
+            .entry(obj.desc.key.clone())
+            .or_insert_with(|| (Vec::new(), BucketIndex::new(INDEX_BUCKET)));
+        entry.1.insert(obj.desc.bbox);
+        entry.0.push(obj);
+        Ok(())
+    }
+
+    /// Objects under `key` whose bbox intersects `query` (all, if `query`
+    /// is `None`). Spatial queries go through the per-key bucket index.
+    pub fn get(&self, key: &ObjectKey, query: Option<&xlayer_amr::boxes::IBox>) -> Vec<DataObject> {
+        let mut s = self.inner.lock();
+        s.gets += 1;
+        let Some((objs, index)) = s.objects.get(key) else {
+            return Vec::new();
+        };
+        match query {
+            None => objs.clone(),
+            Some(q) => index.query(q).into_iter().map(|id| objs[id].clone()).collect(),
+        }
+    }
+
+    /// Descriptors of everything under `key`.
+    pub fn describe(&self, key: &ObjectKey) -> Vec<ObjectDesc> {
+        self.inner
+            .lock()
+            .objects
+            .get(key)
+            .map(|(v, _)| v.iter().map(|o| o.desc.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drop every object older than `min_version` under variable `name`
+    /// (the space reclaims consumed time steps). Returns bytes freed.
+    pub fn evict_before(&self, name: &str, min_version: u64) -> u64 {
+        let mut s = self.inner.lock();
+        let mut freed = 0;
+        s.objects.retain(|k, (v, _)| {
+            if k.name == name && k.version < min_version {
+                freed += v.iter().map(|o| o.desc.bytes).sum::<u64>();
+                false
+            } else {
+                true
+            }
+        });
+        s.used -= freed;
+        freed
+    }
+
+    /// Drop everything. Returns bytes freed.
+    pub fn clear(&self) -> u64 {
+        let mut s = self.inner.lock();
+        let freed = s.used;
+        s.objects.clear();
+        s.used = 0;
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::boxes::IBox;
+    use xlayer_amr::fab::Fab;
+    use xlayer_amr::intvect::IntVect;
+
+    fn obj(name: &str, version: u64, lo: i64, n: i64) -> DataObject {
+        let b = IBox::cube(n).shift(IntVect::splat(lo));
+        let fab = Fab::filled(b, 1, 1.0);
+        DataObject::from_fab(name, version, &fab, 0, &b, 0)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = StagingServer::new(0, 1 << 20);
+        s.put(obj("rho", 1, 0, 4)).unwrap();
+        s.put(obj("rho", 1, 8, 4)).unwrap();
+        s.put(obj("rho", 2, 0, 4)).unwrap();
+        let key = ObjectKey::new("rho", 1);
+        assert_eq!(s.get(&key, None).len(), 2);
+        assert_eq!(s.get(&ObjectKey::new("rho", 2), None).len(), 1);
+        assert_eq!(s.get(&ObjectKey::new("p", 1), None).len(), 0);
+    }
+
+    #[test]
+    fn spatial_query_filters() {
+        let s = StagingServer::new(0, 1 << 20);
+        s.put(obj("rho", 1, 0, 4)).unwrap();
+        s.put(obj("rho", 1, 8, 4)).unwrap();
+        let key = ObjectKey::new("rho", 1);
+        let q = IBox::cube(4);
+        let hits = s.get(&key, Some(&q));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].desc.bbox, IBox::cube(4));
+    }
+
+    #[test]
+    fn memory_cap_enforced() {
+        let one = obj("rho", 1, 0, 4); // 64 cells * 8 B = 512 B
+        let s = StagingServer::new(0, 1000);
+        s.put(one.clone()).unwrap();
+        let err = s.put(one).unwrap_err();
+        match err {
+            StagingError::OutOfMemory { cap, used, requested } => {
+                assert_eq!(cap, 1000);
+                assert_eq!(used, 512);
+                assert_eq!(requested, 512);
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_frees_memory() {
+        let s = StagingServer::new(0, 1 << 20);
+        s.put(obj("rho", 1, 0, 4)).unwrap();
+        s.put(obj("rho", 2, 0, 4)).unwrap();
+        s.put(obj("p", 1, 0, 4)).unwrap();
+        let used0 = s.used();
+        let freed = s.evict_before("rho", 2);
+        assert_eq!(freed, 512);
+        assert_eq!(s.used(), used0 - 512);
+        // rho v2 and p v1 survive
+        assert_eq!(s.get(&ObjectKey::new("rho", 2), None).len(), 1);
+        assert_eq!(s.get(&ObjectKey::new("p", 1), None).len(), 1);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let s = StagingServer::new(0, 1 << 20);
+        s.put(obj("rho", 1, 0, 4)).unwrap();
+        s.put(obj("rho", 2, 0, 4)).unwrap();
+        s.clear();
+        assert_eq!(s.used(), 0);
+        assert_eq!(s.peak(), 1024);
+    }
+
+    #[test]
+    fn op_counts() {
+        let s = StagingServer::new(0, 1 << 20);
+        s.put(obj("rho", 1, 0, 4)).unwrap();
+        s.get(&ObjectKey::new("rho", 1), None);
+        s.get(&ObjectKey::new("rho", 1), None);
+        assert_eq!(s.op_counts(), (1, 2));
+    }
+}

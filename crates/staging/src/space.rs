@@ -1,0 +1,282 @@
+//! The DataSpace: a sharded collection of staging servers presenting the
+//! DataSpaces-style `put`/`get`/`query` API over `(variable, version, bbox)`.
+
+use crate::object::{DataObject, ObjectDesc, ObjectKey};
+use crate::server::{StagingError, StagingServer};
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::fab::Fab;
+
+/// How objects map to servers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sharding {
+    /// Hash of the object's bbox low corner — spatially deterministic, so a
+    /// reader can locate an object without a directory (DataSpaces' DHT).
+    BboxHash,
+    /// Cycle through servers in put order.
+    RoundRobin,
+}
+
+/// A sharded staging space.
+///
+/// ```
+/// use xlayer_amr::{Fab, IBox};
+/// use xlayer_staging::{DataObject, DataSpace, Sharding};
+///
+/// let space = DataSpace::new(4, 1 << 20, Sharding::BboxHash);
+/// let region = IBox::cube(4);
+/// let fab = Fab::filled(region, 1, 2.5);
+/// space.put(DataObject::from_fab("rho", 1, &fab, 0, &region, 0)).unwrap();
+///
+/// let (back, bytes) = space.get_region("rho", 1, &region);
+/// assert_eq!(bytes, region.num_cells() * 8);
+/// assert_eq!(back.get(xlayer_amr::IntVect::ZERO, 0), 2.5);
+/// ```
+#[derive(Debug)]
+pub struct DataSpace {
+    servers: Vec<StagingServer>,
+    sharding: Sharding,
+    rr_next: parking_lot::Mutex<usize>,
+}
+
+impl DataSpace {
+    /// A space of `nservers` servers, each with `memory_per_server` bytes.
+    pub fn new(nservers: usize, memory_per_server: u64, sharding: Sharding) -> Self {
+        assert!(nservers > 0);
+        DataSpace {
+            servers: (0..nservers)
+                .map(|i| StagingServer::new(i, memory_per_server))
+                .collect(),
+            sharding,
+            rr_next: parking_lot::Mutex::new(0),
+        }
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The servers (for metrics inspection).
+    pub fn servers(&self) -> &[StagingServer] {
+        &self.servers
+    }
+
+    /// Total bytes resident across servers.
+    pub fn used(&self) -> u64 {
+        self.servers.iter().map(|s| s.used()).sum()
+    }
+
+    /// Total capacity across servers.
+    pub fn capacity(&self) -> u64 {
+        self.servers.iter().map(|s| s.memory_cap()).sum()
+    }
+
+    /// Which server an object lands on.
+    fn shard(&self, obj: &DataObject) -> usize {
+        match self.sharding {
+            Sharding::BboxHash => {
+                let lo = obj.desc.bbox.lo();
+                // FNV-1a over the three coordinates.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for d in 0..3 {
+                    for b in lo[d].to_le_bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100000001b3);
+                    }
+                }
+                (h % self.servers.len() as u64) as usize
+            }
+            Sharding::RoundRobin => {
+                let mut n = self.rr_next.lock();
+                let s = *n;
+                *n = (*n + 1) % self.servers.len();
+                s
+            }
+        }
+    }
+
+    /// Store an object; on `BboxHash` collision pressure (target full), the
+    /// put spills to the least-loaded server instead of failing, mirroring
+    /// DataSpaces' overflow behaviour. Fails only when every server is full.
+    pub fn put(&self, obj: DataObject) -> Result<usize, StagingError> {
+        let target = self.shard(&obj);
+        match self.servers[target].put(obj.clone()) {
+            Ok(()) => Ok(target),
+            Err(first_err) => {
+                // Spill to the emptiest server that can take it.
+                let mut order: Vec<usize> = (0..self.servers.len()).collect();
+                order.sort_by_key(|&i| self.servers[i].used());
+                for i in order {
+                    if i == target {
+                        continue;
+                    }
+                    if self.servers[i].put(obj.clone()).is_ok() {
+                        return Ok(i);
+                    }
+                }
+                Err(first_err)
+            }
+        }
+    }
+
+    /// All objects under `(name, version)` intersecting `query`
+    /// (all objects of the version if `query` is `None`).
+    pub fn get(&self, name: &str, version: u64, query: Option<&IBox>) -> Vec<DataObject> {
+        let key = ObjectKey::new(name, version);
+        let mut out = Vec::new();
+        for s in &self.servers {
+            out.extend(s.get(&key, query));
+        }
+        out
+    }
+
+    /// Assemble a fab over `region` from every stored piece of
+    /// `(name, version)` that intersects it. Cells not covered stay 0.
+    /// Returns `(fab, bytes_read)`.
+    pub fn get_region(&self, name: &str, version: u64, region: &IBox) -> (Fab, u64) {
+        let mut fab = Fab::new(*region, 1);
+        let mut bytes = 0;
+        for obj in self.get(name, version, Some(region)) {
+            bytes += obj.desc.bbox.intersect(region).num_cells() * 8;
+            obj.copy_into(&mut fab);
+        }
+        (fab, bytes)
+    }
+
+    /// Descriptors of every piece of `(name, version)`.
+    pub fn describe(&self, name: &str, version: u64) -> Vec<ObjectDesc> {
+        let key = ObjectKey::new(name, version);
+        let mut out = Vec::new();
+        for s in &self.servers {
+            out.extend(s.describe(&key));
+        }
+        out
+    }
+
+    /// Evict versions of `name` older than `min_version` on every server.
+    /// Returns total bytes freed.
+    pub fn evict_before(&self, name: &str, min_version: u64) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| s.evict_before(name, min_version))
+            .sum()
+    }
+
+    /// Per-server resident bytes (shard balance diagnostics).
+    pub fn used_per_server(&self) -> Vec<u64> {
+        self.servers.iter().map(|s| s.used()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::intvect::IntVect;
+
+    fn obj(name: &str, version: u64, lo: i64, n: i64) -> DataObject {
+        let b = IBox::cube(n).shift(IntVect::splat(lo));
+        let mut fab = Fab::new(b, 1);
+        for iv in b.cells() {
+            fab.set(iv, 0, (iv[0] + iv[1] + iv[2]) as f64);
+        }
+        DataObject::from_fab(name, version, &fab, 0, &b, 0)
+    }
+
+    #[test]
+    fn put_get_across_shards() {
+        let space = DataSpace::new(4, 1 << 20, Sharding::BboxHash);
+        for lo in [0i64, 8, 16, 24] {
+            space.put(obj("rho", 5, lo, 4)).unwrap();
+        }
+        assert_eq!(space.get("rho", 5, None).len(), 4);
+        assert_eq!(space.get("rho", 4, None).len(), 0);
+    }
+
+    #[test]
+    fn bbox_hash_is_deterministic() {
+        let a = DataSpace::new(4, 1 << 20, Sharding::BboxHash);
+        let b = DataSpace::new(4, 1 << 20, Sharding::BboxHash);
+        let s1 = a.put(obj("rho", 1, 8, 4)).unwrap();
+        let s2 = b.put(obj("rho", 1, 8, 4)).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let space = DataSpace::new(3, 1 << 20, Sharding::RoundRobin);
+        let shards: Vec<usize> = (0..6)
+            .map(|i| space.put(obj("rho", 1, i * 8, 4)).unwrap())
+            .collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    fn slab(name: &str, version: u64, xlo: i64, xhi: i64) -> DataObject {
+        let b = IBox::new(IntVect::new(xlo, 0, 0), IntVect::new(xhi, 7, 7));
+        let mut fab = Fab::new(b, 1);
+        for iv in b.cells() {
+            fab.set(iv, 0, (iv[0] + iv[1] + iv[2]) as f64);
+        }
+        DataObject::from_fab(name, version, &fab, 0, &b, 0)
+    }
+
+    #[test]
+    fn get_region_assembles_pieces() {
+        // Two x-slabs tile [0,8)^3; a query straddling the seam must be
+        // assembled from both.
+        let space = DataSpace::new(2, 1 << 20, Sharding::BboxHash);
+        space.put(slab("rho", 1, 0, 3)).unwrap();
+        space.put(slab("rho", 1, 4, 7)).unwrap();
+        let region = IBox::new(IntVect::splat(2), IntVect::splat(5));
+        let (fab, bytes) = space.get_region("rho", 1, &region);
+        assert!(bytes > 0);
+        for iv in region.cells() {
+            assert_eq!(fab.get(iv, 0), (iv[0] + iv[1] + iv[2]) as f64, "at {iv:?}");
+        }
+    }
+
+    #[test]
+    fn spill_on_full_shard() {
+        // One tiny server and one large one: objects hashing to the tiny one
+        // must spill rather than fail.
+        let space = DataSpace::new(2, 600, Sharding::BboxHash);
+        // each object is 512 B; two objects with identical lo hash to the
+        // same shard, second must spill.
+        space.put(obj("rho", 1, 0, 4)).unwrap();
+        space.put(obj("rho", 2, 0, 4)).unwrap();
+        assert_eq!(space.get("rho", 1, None).len(), 1);
+        assert_eq!(space.get("rho", 2, None).len(), 1);
+        let per = space.used_per_server();
+        assert_eq!(per.iter().filter(|&&u| u == 512).count(), 2);
+    }
+
+    #[test]
+    fn out_of_memory_when_everything_full() {
+        let space = DataSpace::new(2, 600, Sharding::RoundRobin);
+        space.put(obj("rho", 1, 0, 4)).unwrap();
+        space.put(obj("rho", 2, 0, 4)).unwrap();
+        let err = space.put(obj("rho", 3, 0, 4));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn eviction_across_servers() {
+        let space = DataSpace::new(3, 1 << 20, Sharding::RoundRobin);
+        for v in 1..=4 {
+            space.put(obj("rho", v, 0, 4)).unwrap();
+        }
+        let freed = space.evict_before("rho", 3);
+        assert_eq!(freed, 2 * 512);
+        assert!(space.get("rho", 1, None).is_empty());
+        assert!(space.get("rho", 2, None).is_empty());
+        assert_eq!(space.get("rho", 3, None).len(), 1);
+    }
+
+    #[test]
+    fn describe_lists_metadata_without_payload_cost() {
+        let space = DataSpace::new(2, 1 << 20, Sharding::BboxHash);
+        space.put(obj("rho", 1, 0, 4)).unwrap();
+        let descs = space.describe("rho", 1);
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].bytes, 512);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the staging substrate: payload fidelity, memory
+//! accounting, and query correctness over arbitrary object streams.
+
+use proptest::prelude::*;
+use xlayer_amr::{Fab, IBox, IntVect};
+use xlayer_staging::{DataObject, DataSpace, ObjectKey, Sharding, StagingServer};
+
+fn arb_box() -> impl Strategy<Value = IBox> {
+    ((-8i64..8, -8i64..8, -8i64..8), (1i64..6, 1i64..6, 1i64..6)).prop_map(|((x, y, z), (a, b, c))| {
+        let lo = IntVect::new(x, y, z);
+        IBox::new(lo, lo + IntVect::new(a, b, c))
+    })
+}
+
+fn coord_fab(b: IBox) -> Fab {
+    let mut f = Fab::new(b, 1);
+    for iv in b.cells() {
+        f.set(iv, 0, (iv[0] * 10007 + iv[1] * 101 + iv[2]) as f64);
+    }
+    f
+}
+
+proptest! {
+    #[test]
+    fn object_roundtrip_is_exact(b in arb_box(), version in 0u64..100) {
+        let fab = coord_fab(b);
+        let obj = DataObject::from_fab("u", version, &fab, 0, &b, 3);
+        prop_assert_eq!(obj.desc.bytes, b.num_cells() * 8);
+        prop_assert_eq!(obj.desc.key.version, version);
+        let back = obj.to_fab();
+        for iv in b.cells() {
+            prop_assert_eq!(back.get(iv, 0), fab.get(iv, 0));
+        }
+    }
+
+    #[test]
+    fn server_memory_accounting_balances(
+        boxes in proptest::collection::vec(arb_box(), 1..12),
+    ) {
+        let server = StagingServer::new(0, u64::MAX / 2);
+        let mut expect = 0u64;
+        for (v, b) in boxes.iter().enumerate() {
+            let fab = coord_fab(*b);
+            server.put(DataObject::from_fab("u", v as u64, &fab, 0, b, 0)).unwrap();
+            expect += b.num_cells() * 8;
+        }
+        prop_assert_eq!(server.used(), expect);
+        prop_assert_eq!(server.peak(), expect);
+        // evicting everything returns to zero
+        let freed = server.evict_before("u", u64::MAX);
+        prop_assert_eq!(freed, expect);
+        prop_assert_eq!(server.used(), 0);
+    }
+
+    #[test]
+    fn space_query_equals_linear_scan(
+        boxes in proptest::collection::vec(arb_box(), 1..16),
+        probe in arb_box(),
+    ) {
+        let space = DataSpace::new(4, u64::MAX / 8, Sharding::BboxHash);
+        for b in &boxes {
+            let fab = coord_fab(*b);
+            space.put(DataObject::from_fab("u", 1, &fab, 0, b, 0)).unwrap();
+        }
+        let hits = space.get("u", 1, Some(&probe));
+        let expect = boxes.iter().filter(|b| b.intersects(&probe)).count();
+        prop_assert_eq!(hits.len(), expect);
+        for h in hits {
+            prop_assert!(h.desc.bbox.intersects(&probe));
+        }
+    }
+
+    #[test]
+    fn get_region_reassembles_disjoint_pieces(
+        split_at in 1i64..7,
+    ) {
+        // Two disjoint x-slabs tile a box: every covered cell reassembles.
+        let whole = IBox::cube(8);
+        let (lo, hi) = whole.split_at(0, split_at);
+        let fab = coord_fab(whole);
+        let space = DataSpace::new(3, u64::MAX / 8, Sharding::BboxHash);
+        space.put(DataObject::from_fab("u", 1, &fab, 0, &lo, 0)).unwrap();
+        space.put(DataObject::from_fab("u", 1, &fab, 0, &hi, 0)).unwrap();
+        let (out, bytes) = space.get_region("u", 1, &whole);
+        prop_assert_eq!(bytes, whole.num_cells() * 8);
+        for iv in whole.cells() {
+            prop_assert_eq!(out.get(iv, 0), fab.get(iv, 0));
+        }
+    }
+
+    #[test]
+    fn sharding_preserves_every_object(
+        boxes in proptest::collection::vec(arb_box(), 1..20),
+        sharding in prop_oneof![Just(Sharding::BboxHash), Just(Sharding::RoundRobin)],
+    ) {
+        let space = DataSpace::new(5, u64::MAX / 8, Sharding::BboxHash);
+        let _ = sharding;
+        let mut total = 0u64;
+        for (v, b) in boxes.iter().enumerate() {
+            let fab = coord_fab(*b);
+            space.put(DataObject::from_fab("u", v as u64, &fab, 0, b, 0)).unwrap();
+            total += b.num_cells() * 8;
+        }
+        prop_assert_eq!(space.used(), total);
+        prop_assert_eq!(space.used_per_server().iter().sum::<u64>(), total);
+        for v in 0..boxes.len() as u64 {
+            prop_assert_eq!(space.get("u", v, None).len(), 1);
+        }
+    }
+
+    #[test]
+    fn eviction_is_exactly_by_version(
+        cutoff in 0u64..12,
+    ) {
+        let space = DataSpace::new(2, u64::MAX / 8, Sharding::RoundRobin);
+        let b = IBox::cube(4);
+        for v in 0..12u64 {
+            let fab = coord_fab(b);
+            space.put(DataObject::from_fab("u", v, &fab, 0, &b, 0)).unwrap();
+        }
+        space.evict_before("u", cutoff);
+        for v in 0..12u64 {
+            let found = !space.get("u", v, None).is_empty();
+            prop_assert_eq!(found, v >= cutoff, "version {}", v);
+        }
+    }
+
+    #[test]
+    fn describe_matches_contents(
+        boxes in proptest::collection::vec(arb_box(), 1..10),
+    ) {
+        let space = DataSpace::new(3, u64::MAX / 8, Sharding::BboxHash);
+        for b in &boxes {
+            let fab = coord_fab(*b);
+            space.put(DataObject::from_fab("u", 7, &fab, 0, b, 0)).unwrap();
+        }
+        let descs = space.describe("u", 7);
+        prop_assert_eq!(descs.len(), boxes.len());
+        let total: u64 = descs.iter().map(|d| d.bytes).sum();
+        prop_assert_eq!(total, boxes.iter().map(|b| b.num_cells() * 8).sum::<u64>());
+        for d in &descs {
+            prop_assert_eq!(&d.key, &ObjectKey::new("u", 7));
+        }
+    }
+}

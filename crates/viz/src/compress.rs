@@ -1,0 +1,222 @@
+//! Error-bounded lossy compression: the paper's other in-situ reduction
+//! operator (§3: the application layer selects "the parameters of the data
+//! reduction module (e.g., down-sample factor, compression rate, etc.)",
+//! and §6 cites ISABELA-style compressed analytics).
+//!
+//! The codec quantizes values to a user tolerance, delta-encodes the
+//! quantized integers, and varint-packs them — simple, fast, and with a
+//! hard per-value error bound of `tolerance / 2`, the property analysis
+//! pipelines need. Smooth fields (the common case on refined AMR blocks)
+//! compress by an order of magnitude.
+
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::fab::Fab;
+
+/// A compressed block: one component over a box.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedBlock {
+    /// Region the block covers.
+    pub bbox: IBox,
+    /// Quantization step; reconstruction error ≤ `tolerance / 2` per value.
+    pub tolerance: f64,
+    /// Varint-packed zigzag deltas of the quantized values.
+    pub data: Vec<u8>,
+}
+
+impl CompressedBlock {
+    /// Compressed payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Compression ratio vs the raw f64 payload.
+    pub fn ratio(&self) -> f64 {
+        let raw = self.bbox.num_cells() as f64 * 8.0;
+        raw / self.data.len().max(1) as f64
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], at: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*at)?;
+        *at += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Compress component `comp` of `fab` over `region ∩ fab.box` with the
+/// given error tolerance (> 0).
+pub fn compress_fab(fab: &Fab, comp: usize, region: &IBox, tolerance: f64) -> CompressedBlock {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let r = region.intersect(&fab.ibox());
+    let mut data = Vec::new();
+    let mut prev: i64 = 0;
+    for iv in r.cells() {
+        let q = (fab.get(iv, comp) / tolerance).round() as i64;
+        push_varint(&mut data, zigzag(q - prev));
+        prev = q;
+    }
+    CompressedBlock {
+        bbox: r,
+        tolerance,
+        data,
+    }
+}
+
+/// Decompression error.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CorruptBlock;
+
+impl std::fmt::Display for CorruptBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt compressed block")
+    }
+}
+
+impl std::error::Error for CorruptBlock {}
+
+/// Reconstruct the block into a fresh single-component fab over its bbox.
+pub fn decompress(block: &CompressedBlock) -> Result<Fab, CorruptBlock> {
+    let mut fab = Fab::new(block.bbox, 1);
+    let mut at = 0usize;
+    let mut prev: i64 = 0;
+    for iv in block.bbox.cells() {
+        let delta = unzigzag(read_varint(&block.data, &mut at).ok_or(CorruptBlock)?);
+        prev += delta;
+        fab.set(iv, 0, prev as f64 * block.tolerance);
+    }
+    if at != block.data.len() {
+        return Err(CorruptBlock);
+    }
+    Ok(fab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::intvect::IntVect;
+
+    fn smooth_fab(n: i64) -> Fab {
+        let b = IBox::cube(n);
+        let mut f = Fab::new(b, 1);
+        for iv in b.cells() {
+            let x = iv[0] as f64 / n as f64;
+            let y = iv[1] as f64 / n as f64;
+            let z = iv[2] as f64 / n as f64;
+            f.set(iv, 0, (x * 3.1).sin() + 0.5 * (y * 2.0).cos() + 0.1 * z);
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound() {
+        let f = smooth_fab(16);
+        for tol in [1e-2, 1e-4, 1e-6] {
+            let c = compress_fab(&f, 0, &IBox::cube(16), tol);
+            let back = decompress(&c).expect("decode");
+            for iv in IBox::cube(16).cells() {
+                let err = (back.get(iv, 0) - f.get(iv, 0)).abs();
+                assert!(err <= tol / 2.0 + 1e-15, "err {err} > {}/2", tol);
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_fields_compress_well() {
+        let f = smooth_fab(16);
+        let c = compress_fab(&f, 0, &IBox::cube(16), 1e-3);
+        assert!(c.ratio() > 4.0, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn tighter_tolerance_costs_more() {
+        let f = smooth_fab(16);
+        let loose = compress_fab(&f, 0, &IBox::cube(16), 1e-2);
+        let tight = compress_fab(&f, 0, &IBox::cube(16), 1e-8);
+        assert!(tight.bytes() > loose.bytes());
+    }
+
+    #[test]
+    fn constant_field_is_tiny() {
+        let f = Fab::filled(IBox::cube(16), 1, 3.25);
+        let c = compress_fab(&f, 0, &IBox::cube(16), 1e-6);
+        // first value + 4095 zero deltas, each 1 byte minimum
+        assert!(c.bytes() < 4096 + 16, "bytes {}", c.bytes());
+        let back = decompress(&c).expect("decode");
+        assert!((back.get(IntVect::splat(5), 0) - 3.25).abs() <= 5e-7);
+    }
+
+    #[test]
+    fn noisy_field_still_roundtrips() {
+        let b = IBox::cube(8);
+        let mut f = Fab::new(b, 1);
+        let mut state: u64 = 99;
+        for iv in b.cells() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            f.set(iv, 0, (state >> 33) as f64 / (1u64 << 31) as f64 * 100.0);
+        }
+        let c = compress_fab(&f, 0, &b, 1e-3);
+        let back = decompress(&c).expect("decode");
+        for iv in b.cells() {
+            assert!((back.get(iv, 0) - f.get(iv, 0)).abs() <= 5e-4 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let f = smooth_fab(8);
+        let mut c = compress_fab(&f, 0, &IBox::cube(8), 1e-3);
+        c.data.truncate(c.data.len() / 2);
+        assert!(decompress(&c).is_err());
+        // trailing garbage also rejected
+        let mut c2 = compress_fab(&f, 0, &IBox::cube(8), 1e-3);
+        c2.data.push(0);
+        assert!(decompress(&c2).is_err());
+    }
+
+    #[test]
+    fn zigzag_varint_primitives() {
+        for v in [0i64, 1, -1, 63, -64, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 1 << 20, u64::MAX] {
+            buf.clear();
+            push_varint(&mut buf, v);
+            let mut at = 0;
+            assert_eq!(read_varint(&buf, &mut at), Some(v));
+            assert_eq!(at, buf.len());
+        }
+    }
+}

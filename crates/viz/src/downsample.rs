@@ -1,0 +1,202 @@
+//! Spatial down-sampling: the application-layer data-reduction mechanism
+//! (paper §4.1, Eqs. 1–3).
+//!
+//! `f_data_reduce(S_data, X)` reduces a block by factor `X` per direction
+//! (X³ in volume) by block-averaging, and the memory model
+//! `Mem_data_reduce` mirrors the policy's constraint (Eq. 2).
+
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::fab::Fab;
+use xlayer_amr::level_data::LevelData;
+
+/// Down-sample `comp` of `fab` over its whole box by factor `x` per
+/// direction, averaging each x³ block (partial edge blocks average the
+/// cells present). The result covers `fab.box().coarsen(x)`.
+pub fn downsample_fab(fab: &Fab, comp: usize, x: u32) -> Fab {
+    assert!(x >= 1);
+    let x = x as i64;
+    let src_box = fab.ibox();
+    let dst_box = src_box.coarsen(x);
+    let mut out = Fab::new(dst_box, 1);
+    for civ in dst_box.cells() {
+        let fine = IBox::single(civ).refine(x).intersect(&src_box);
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        for fiv in fine.cells() {
+            acc += fab.get(fiv, comp);
+            n += 1;
+        }
+        out.set(civ, 0, if n > 0 { acc / n as f64 } else { 0.0 });
+    }
+    out
+}
+
+/// Down-sample every grid of a level by a per-grid factor.
+/// Returns one reduced fab per grid plus the factor that produced it.
+pub fn downsample_level(data: &LevelData, comp: usize, factors: &[u32]) -> Vec<(Fab, u32)> {
+    assert_eq!(factors.len(), data.len());
+    (0..data.len())
+        .map(|i| {
+            // Reduce the valid region only — ghosts are re-derivable.
+            let valid = data.valid_box(i);
+            let mut tight = Fab::new(valid, 1);
+            tight.copy_from_comp(data.fab(i), &valid, comp);
+            (downsample_fab(&tight, 0, factors[i]), factors[i])
+        })
+        .collect()
+}
+
+/// Bytes of the reduced output of a block of `bytes` reduced by factor `x`
+/// per direction — the policy objective term `f_data_reduce(S_data, X)`
+/// (Eq. 1).
+pub fn reduced_bytes(bytes: u64, x: u32) -> u64 {
+    let v = (x as u64).pow(3);
+    bytes.div_ceil(v)
+}
+
+/// Transient memory needed to perform the reduction of a block of `bytes`
+/// at factor `x`: the input stays resident while the output is built —
+/// `Mem_data_reduce(S_data, X)` (Eq. 2).
+pub fn reduction_memory(bytes: u64, x: u32) -> u64 {
+    bytes + reduced_bytes(bytes, x)
+}
+
+/// Mean-squared error between a fab and the reconstruction of its
+/// down-sampled version (piecewise-constant upsampling) — quantifies the
+/// information lost by factor `x`, the quantity the entropy policy trades
+/// against memory.
+pub fn reconstruction_mse(fab: &Fab, comp: usize, x: u32) -> f64 {
+    let ds = downsample_fab(fab, comp, x);
+    let src_box = fab.ibox();
+    let mut acc = 0.0;
+    for iv in src_box.cells() {
+        let civ = iv.coarsen(x as i64);
+        let d = fab.get(iv, comp) - ds.get(civ, 0);
+        acc += d * d;
+    }
+    acc / src_box.num_cells() as f64
+}
+
+/// Extension trait: copy a single component between fabs.
+trait CopyComp {
+    fn copy_from_comp(&mut self, src: &Fab, region: &IBox, comp: usize);
+}
+
+impl CopyComp for Fab {
+    fn copy_from_comp(&mut self, src: &Fab, region: &IBox, comp: usize) {
+        let r = region.intersect(&self.ibox()).intersect(&src.ibox());
+        for iv in r.cells() {
+            self.set(iv, 0, src.get(iv, comp));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::intvect::IntVect;
+
+    fn coord_fab(n: i64) -> Fab {
+        let b = IBox::cube(n);
+        let mut f = Fab::new(b, 1);
+        for iv in b.cells() {
+            f.set(iv, 0, iv[0] as f64);
+        }
+        f
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let f = coord_fab(8);
+        let d = downsample_fab(&f, 0, 1);
+        assert_eq!(d.ibox(), f.ibox());
+        for iv in f.ibox().cells() {
+            assert_eq!(d.get(iv, 0), f.get(iv, 0));
+        }
+    }
+
+    #[test]
+    fn averaging_preserves_mean() {
+        let f = coord_fab(8);
+        let d = downsample_fab(&f, 0, 2);
+        let mean_src = f.sum_on(&f.ibox(), 0) / f.ibox().num_cells() as f64;
+        let mean_dst = d.sum_on(&d.ibox(), 0) / d.ibox().num_cells() as f64;
+        assert!((mean_src - mean_dst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_box_coarsens() {
+        let f = coord_fab(8);
+        let d = downsample_fab(&f, 0, 4);
+        assert_eq!(d.ibox(), IBox::cube(2));
+        // Each coarse cell holds the average of its 4^3 block:
+        // x-average of {0..3} = 1.5, of {4..7} = 5.5.
+        assert_eq!(d.get(IntVect::ZERO, 0), 1.5);
+        assert_eq!(d.get(IntVect::new(1, 0, 0), 0), 5.5);
+    }
+
+    #[test]
+    fn nondivisible_extent_averages_partial_blocks() {
+        let b = IBox::cube(5);
+        let mut f = Fab::new(b, 1);
+        for iv in b.cells() {
+            f.set(iv, 0, 2.0);
+        }
+        let d = downsample_fab(&f, 0, 2);
+        // 5 coarsened by 2 → 3 cells; all averages are 2.0.
+        assert_eq!(d.ibox(), IBox::cube(3));
+        for iv in d.ibox().cells() {
+            assert_eq!(d.get(iv, 0), 2.0);
+        }
+    }
+
+    #[test]
+    fn reduced_bytes_scales_cubically() {
+        assert_eq!(reduced_bytes(8000, 1), 8000);
+        assert_eq!(reduced_bytes(8000, 2), 1000);
+        assert_eq!(reduced_bytes(8000, 10), 8);
+        // ceil behaviour
+        assert_eq!(reduced_bytes(9, 2), 2);
+    }
+
+    #[test]
+    fn reduction_memory_includes_both_buffers() {
+        assert_eq!(reduction_memory(8000, 2), 9000);
+        assert!(reduction_memory(8000, 16) > 8000);
+    }
+
+    #[test]
+    fn mse_grows_with_factor_on_nonconstant_data() {
+        let f = coord_fab(16);
+        let m2 = reconstruction_mse(&f, 0, 2);
+        let m4 = reconstruction_mse(&f, 0, 4);
+        assert!(m2 > 0.0);
+        assert!(m4 > m2, "mse(4)={m4} should exceed mse(2)={m2}");
+    }
+
+    #[test]
+    fn mse_zero_on_constant_data() {
+        let b = IBox::cube(8);
+        let f = Fab::filled(b, 1, 7.0);
+        assert_eq!(reconstruction_mse(&f, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn downsample_level_respects_per_grid_factors() {
+        use xlayer_amr::domain::ProblemDomain;
+        use xlayer_amr::layout::BoxLayout;
+        use xlayer_amr::level_data::LevelData;
+        let domain = ProblemDomain::new(IBox::cube(8));
+        let layout = BoxLayout::decompose(&domain, 4, 1);
+        let mut ld = LevelData::new(layout, domain, 1, 1);
+        ld.fill(1.0);
+        let n = ld.len();
+        let mut factors = vec![1u32; n];
+        factors[0] = 4;
+        let out = downsample_level(&ld, 0, &factors);
+        assert_eq!(out.len(), n);
+        assert_eq!(out[0].0.ibox().num_cells(), 1); // 4^3 -> 1
+        assert_eq!(out[1].0.ibox().num_cells(), 64);
+        assert_eq!(out[0].1, 4);
+    }
+}

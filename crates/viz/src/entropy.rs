@@ -1,0 +1,161 @@
+//! Shannon entropy of data blocks (paper Eq. 11).
+//!
+//! The entropy-based application-layer adaptation (§5.2.1, Fig. 6) computes,
+//! for each AMR data block, `H(X) = -Σ p(x)·log2 p(x)` over a histogram of
+//! the block's values, and down-samples aggressively only where H is low.
+
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::fab::Fab;
+use xlayer_amr::level_data::LevelData;
+
+/// Number of histogram bins used to estimate p(x). The paper reports
+/// entropies of 5.14–9.85 bits at the finest level; 1024 bins (10 bits max)
+/// covers that range.
+pub const DEFAULT_BINS: usize = 1024;
+
+/// Shannon entropy (bits) of the values of `comp` over `region ∩ fab.box`,
+/// estimated from a `bins`-bin histogram over the region's value range.
+///
+/// Returns 0 for constant or empty regions.
+pub fn block_entropy(fab: &Fab, comp: usize, region: &IBox, bins: usize) -> f64 {
+    assert!(bins >= 2);
+    let r = region.intersect(&fab.ibox());
+    let n = r.num_cells();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for iv in r.cells() {
+        let v = fab.get(iv, comp);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi <= lo {
+        return 0.0;
+    }
+    let scale = bins as f64 / (hi - lo);
+    let mut hist = vec![0u64; bins];
+    for iv in r.cells() {
+        let v = fab.get(iv, comp);
+        let b = (((v - lo) * scale) as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+    let total = n as f64;
+    let mut h = 0.0;
+    for &c in &hist {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Entropy of every grid of a level (bits per grid).
+pub fn level_entropies(data: &LevelData, comp: usize, bins: usize) -> Vec<f64> {
+    (0..data.len())
+        .map(|i| block_entropy(data.fab(i), comp, &data.valid_box(i), bins))
+        .collect()
+}
+
+/// Map per-block entropies to per-block down-sampling factors.
+///
+/// `thresholds` is a sorted list of `(min_entropy, factor)` pairs: a block
+/// with entropy ≥ the largest matching `min_entropy` gets that factor. The
+/// convention matches §5.2.1: high-entropy blocks keep full resolution
+/// (factor 1), low-entropy blocks are reduced aggressively.
+pub fn factors_from_entropy(entropies: &[f64], thresholds: &[(f64, u32)]) -> Vec<u32> {
+    assert!(!thresholds.is_empty());
+    let mut sorted = thresholds.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN thresholds"));
+    entropies
+        .iter()
+        .map(|&h| {
+            let mut f = sorted[0].1;
+            for &(min_h, factor) in &sorted {
+                if h >= min_h {
+                    f = factor;
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::intvect::IntVect;
+
+    fn fab_with(values: impl Fn(IntVect) -> f64, n: i64) -> Fab {
+        let b = IBox::cube(n);
+        let mut f = Fab::new(b, 1);
+        for iv in b.cells() {
+            f.set(iv, 0, values(iv));
+        }
+        f
+    }
+
+    #[test]
+    fn constant_block_has_zero_entropy() {
+        let f = fab_with(|_| 3.0, 8);
+        assert_eq!(block_entropy(&f, 0, &IBox::cube(8), 64), 0.0);
+    }
+
+    #[test]
+    fn two_equal_halves_have_one_bit() {
+        let f = fab_with(|iv| if iv[0] < 4 { 0.0 } else { 1.0 }, 8);
+        let h = block_entropy(&f, 0, &IBox::cube(8), 64);
+        assert!((h - 1.0).abs() < 1e-12, "H = {h}");
+    }
+
+    #[test]
+    fn uniform_spread_maximizes_entropy() {
+        // 512 distinct values over 512 bins-worth of range → H ≈ log2(bins).
+        let f = fab_with(
+            |iv| (iv[0] + 8 * iv[1] + 64 * iv[2]) as f64,
+            8,
+        );
+        let h = block_entropy(&f, 0, &IBox::cube(8), 512);
+        assert!(h > 8.9, "H = {h}, expected ≈ 9 bits");
+    }
+
+    #[test]
+    fn entropy_upper_bound_is_log2_bins() {
+        let f = fab_with(|iv| (iv[0] * 31 + iv[1] * 57 + iv[2] * 13) as f64, 8);
+        for bins in [4usize, 16, 64] {
+            let h = block_entropy(&f, 0, &IBox::cube(8), bins);
+            assert!(h <= (bins as f64).log2() + 1e-12);
+            assert!(h >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_region_zero() {
+        let f = fab_with(|_| 1.0, 4);
+        let far = IBox::cube(4).shift(IntVect::splat(100));
+        assert_eq!(block_entropy(&f, 0, &far, 16), 0.0);
+    }
+
+    #[test]
+    fn factors_pick_largest_matching_threshold() {
+        // High-entropy keeps resolution (factor 1), low gets 4.
+        let factors = factors_from_entropy(&[9.2, 5.1, 7.0], &[(0.0, 4), (6.0, 2), (8.0, 1)]);
+        assert_eq!(factors, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn structured_region_has_higher_entropy_than_flat() {
+        // The Fig. 6 scenario: a structured (high-information) block vs a
+        // nearly-flat one.
+        let structured = fab_with(
+            |iv| ((iv[0] as f64) * 0.7).sin() + ((iv[1] as f64) * 1.3).cos() * (iv[2] as f64),
+            8,
+        );
+        let flat = fab_with(|iv| 1.0 + 1e-6 * (iv[0] % 2) as f64, 8);
+        let hs = block_entropy(&structured, 0, &IBox::cube(8), DEFAULT_BINS);
+        let hf = block_entropy(&flat, 0, &IBox::cube(8), DEFAULT_BINS);
+        assert!(hs > hf + 3.0, "structured {hs} vs flat {hf}");
+    }
+}

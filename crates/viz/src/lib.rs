@@ -1,0 +1,29 @@
+//! # xlayer-viz — the visualization / analysis service
+//!
+//! The analysis side of the paper's coupled workflow (§5.1):
+//!
+//! * [`marching_cubes`] — communication-free isosurface extraction over AMR
+//!   level data (the paper's visualization service),
+//! * [`entropy`] — per-block Shannon entropy (Eq. 11), driving the
+//!   entropy-based application-layer adaptation (Fig. 6),
+//! * [`downsample`] — the `f_data_reduce(S_data, X)` reduction operator and
+//!   its memory model (Eqs. 1–2),
+//! * [`mesh`] — triangle meshes with size accounting for the data-movement
+//!   bookkeeping (Figs. 8, 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod downsample;
+pub mod entropy;
+pub mod marching_cubes;
+pub mod mesh;
+pub mod stats;
+
+pub use compress::{compress_fab, decompress, CompressedBlock};
+pub use downsample::{downsample_fab, downsample_level, reduced_bytes, reduction_memory};
+pub use entropy::{block_entropy, factors_from_entropy, level_entropies};
+pub use marching_cubes::{extract_block, extract_level, merge_surfaces, GridSurface};
+pub use mesh::TriMesh;
+pub use stats::{level_stats, subset, BlockStats, Histogram};

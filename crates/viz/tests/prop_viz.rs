@@ -1,0 +1,150 @@
+//! Property-based tests of the visualization service: watertightness and
+//! area sanity of extracted surfaces, conservation of down-sampling, and
+//! entropy bounds — over randomized fields.
+
+use proptest::prelude::*;
+use xlayer_amr::{Fab, IBox};
+use xlayer_viz::downsample::{downsample_fab, reconstruction_mse};
+use xlayer_viz::entropy::block_entropy;
+use xlayer_viz::extract_block;
+
+/// A smooth random field: sum of a few random Gaussians.
+fn blob_fab(n: i64, blobs: &[(f64, f64, f64, f64)]) -> Fab {
+    let b = IBox::cube(n);
+    let mut f = Fab::new(b, 1);
+    for iv in b.cells() {
+        let (x, y, z) = (
+            iv[0] as f64 + 0.5,
+            iv[1] as f64 + 0.5,
+            iv[2] as f64 + 0.5,
+        );
+        let mut v = 0.0;
+        for &(cx, cy, cz, s) in blobs {
+            let r2 = (x - cx).powi(2) + (y - cy).powi(2) + (z - cz).powi(2);
+            v += (-r2 / (2.0 * s * s)).exp();
+        }
+        f.set(iv, 0, v);
+    }
+    f
+}
+
+fn arb_blobs(n: i64) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
+    proptest::collection::vec(
+        (
+            2.0..(n as f64 - 2.0),
+            2.0..(n as f64 - 2.0),
+            2.0..(n as f64 - 2.0),
+            1.0..3.0f64,
+        ),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extracted_surfaces_are_watertight(blobs in arb_blobs(12), iso in 0.2f64..0.8) {
+        // Isosurfaces of a smooth field that vanishes at the boundary are
+        // closed; the tetrahedral decomposition must produce zero boundary
+        // edges whenever the surface doesn't touch the sampled hull.
+        let fab = blob_fab(12, &blobs);
+        let region = IBox::cube(12);
+        let mesh = extract_block(&fab, 0, &region, iso, 1.0, [0.0; 3]);
+        // Only check watertightness when the surface is interior: every
+        // vertex strictly inside the sampled hull [0.5, 11.5].
+        let interior = mesh
+            .vertices
+            .iter()
+            .all(|v| v.iter().all(|&c| c > 0.51 && c < 11.49));
+        if interior && !mesh.is_empty() {
+            prop_assert_eq!(mesh.boundary_edge_count(1e-9), 0);
+        }
+    }
+
+    #[test]
+    fn vertices_lie_inside_the_region(blobs in arb_blobs(12), iso in 0.1f64..0.9) {
+        let fab = blob_fab(12, &blobs);
+        let region = IBox::cube(12);
+        let mesh = extract_block(&fab, 0, &region, iso, 1.0, [0.0; 3]);
+        for v in &mesh.vertices {
+            for c in v {
+                prop_assert!(*c >= 0.5 - 1e-9 && *c <= 11.5 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_iso_of_single_blob_means_smaller_surface(
+        cx in 5.0f64..7.0, s in 1.5f64..2.5,
+    ) {
+        let fab = blob_fab(12, &[(cx, 6.0, 6.0, s)]);
+        let region = IBox::cube(12);
+        let lo = extract_block(&fab, 0, &region, 0.3, 1.0, [0.0; 3]).area();
+        let hi = extract_block(&fab, 0, &region, 0.7, 1.0, [0.0; 3]).area();
+        // level sets of a Gaussian shrink with level
+        if lo > 0.0 && hi > 0.0 {
+            prop_assert!(hi < lo + 1e-9, "hi {} !< lo {}", hi, lo);
+        }
+    }
+
+    #[test]
+    fn downsample_conserves_weighted_mass(blobs in arb_blobs(16), x in 1u32..6) {
+        // Block-averaging conserves mass exactly when each coarse value is
+        // weighted by the number of fine cells it averaged (partial edge
+        // blocks carry partial weight).
+        let fab = blob_fab(16, &blobs);
+        let ds = downsample_fab(&fab, 0, x);
+        let src_total = fab.sum_on(&fab.ibox(), 0);
+        let mut dst_total = 0.0;
+        for civ in ds.ibox().cells() {
+            let weight = IBox::single(civ)
+                .refine(x as i64)
+                .intersect(&fab.ibox())
+                .num_cells() as f64;
+            dst_total += ds.get(civ, 0) * weight;
+        }
+        prop_assert!(
+            (src_total - dst_total).abs() <= 1e-9 * src_total.abs().max(1.0),
+            "mass {} -> {} at x={}", src_total, dst_total, x
+        );
+    }
+
+    #[test]
+    fn reconstruction_mse_nonnegative_and_zero_at_identity(blobs in arb_blobs(12)) {
+        let fab = blob_fab(12, &blobs);
+        prop_assert_eq!(reconstruction_mse(&fab, 0, 1), 0.0);
+        prop_assert!(reconstruction_mse(&fab, 0, 2) >= 0.0);
+    }
+
+    #[test]
+    fn entropy_bounds(blobs in arb_blobs(12), bins in 2usize..512) {
+        let fab = blob_fab(12, &blobs);
+        let h = block_entropy(&fab, 0, &IBox::cube(12), bins);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (bins as f64).log2() + 1e-9);
+        // also bounded by log2(#samples)
+        prop_assert!(h <= (12.0f64 * 12.0 * 12.0).log2() + 1e-9);
+    }
+
+    #[test]
+    fn entropy_invariant_to_affine_value_shift(blobs in arb_blobs(12), shift in -5.0f64..5.0, scale in 0.1f64..10.0) {
+        let fab = blob_fab(12, &blobs);
+        let mut shifted = Fab::new(fab.ibox(), 1);
+        for iv in fab.ibox().cells() {
+            shifted.set(iv, 0, fab.get(iv, 0) * scale + shift);
+        }
+        let h0 = block_entropy(&fab, 0, &IBox::cube(12), 128);
+        let h1 = block_entropy(&shifted, 0, &IBox::cube(12), 128);
+        // histogram over min..max is affine-invariant up to fp rounding
+        prop_assert!((h0 - h1).abs() < 0.2, "{} vs {}", h0, h1);
+    }
+
+    #[test]
+    fn mesh_byte_accounting_matches_counts(blobs in arb_blobs(12), iso in 0.2f64..0.8) {
+        let fab = blob_fab(12, &blobs);
+        let mesh = extract_block(&fab, 0, &IBox::cube(12), iso, 1.0, [0.0; 3]);
+        let expect = (mesh.num_vertices() * 24 + mesh.num_triangles() * 12) as u64;
+        prop_assert_eq!(mesh.bytes(), expect);
+    }
+}

@@ -1,0 +1,131 @@
+//! Workflow configuration: strategy, scale mapping and machine binding.
+
+use xlayer_core::{EngineConfig, Objective, UserHints};
+use xlayer_platform::{MachineSpec, Partition, SolverKind};
+
+/// How the analysis placement is chosen — the three bars of Fig. 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Every step analyzed in-situ (static baseline).
+    StaticInSitu,
+    /// Every step analyzed in-transit (static baseline).
+    StaticInTransit,
+    /// Traditional post-processing: every step's output written to the
+    /// parallel filesystem, read back and analyzed after the run — the
+    /// disk-bound baseline the paper's introduction argues against.
+    PostProcessing,
+    /// Adaptive placement driven by the Adaptation Engine, with the given
+    /// mechanism enable-flags ("local" = middleware only, "global" = all).
+    Adaptive(EngineConfig),
+}
+
+impl Strategy {
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::StaticInSitu => "InSitu",
+            Strategy::StaticInTransit => "InTransit",
+            Strategy::PostProcessing => "PostProc",
+            Strategy::Adaptive(c) if *c == EngineConfig::global() => "Global",
+            Strategy::Adaptive(c) if *c == EngineConfig::middleware_only() => "Local",
+            Strategy::Adaptive(_) => "Adapt",
+        }
+    }
+}
+
+/// Complete configuration of a modeled-scale workflow run.
+#[derive(Clone, Debug)]
+pub struct WorkflowConfig {
+    /// Placement strategy.
+    pub strategy: Strategy,
+    /// Target machine model.
+    pub machine: MachineSpec,
+    /// Allocation split: `N` simulation cores, `M` initial staging cores.
+    pub partition: Partition,
+    /// Which solver's cost profile the virtual simulation uses.
+    pub solver: SolverKind,
+    /// Scale factor mapping the driving (real, small) AMR run's data
+    /// volumes/cells onto the virtual machine: virtual bytes = real × scale.
+    pub scale: f64,
+    /// User objective for the adaptive strategies.
+    pub objective: Objective,
+    /// User hints (factor schedule, monitor interval).
+    pub hints: UserHints,
+    /// Fixed per-adaptation engine overhead charged to the critical path
+    /// (monitor sampling + policy evaluation), seconds.
+    pub adaptation_overhead: f64,
+    /// Upper bound on adaptive staging cores (defaults to the partition's
+    /// preallocation — the paper never grows beyond the initial staging
+    /// allocation in §5.2.4, but §5.2.3 allows growth up to the static pool).
+    pub staging_cores_max: usize,
+}
+
+impl WorkflowConfig {
+    /// A Titan configuration matching §5.2.2: `sim_cores` with a 16:1
+    /// staging ratio, advection–diffusion workload.
+    pub fn titan_advect(sim_cores: usize, strategy: Strategy) -> Self {
+        let partition = Partition::with_ratio(sim_cores, 16);
+        let staging_cores_max = partition.staging_cores;
+        WorkflowConfig {
+            strategy,
+            machine: MachineSpec::titan(),
+            partition,
+            solver: SolverKind::AdvectDiffuse,
+            scale: 1.0,
+            objective: Objective::MinimizeTimeToSolution,
+            hints: UserHints::default(),
+            adaptation_overhead: 2e-3,
+            staging_cores_max,
+        }
+    }
+
+    /// An Intrepid configuration matching §5.2.1/§5.2.3: Polytropic Gas on
+    /// 4K cores with 256 staging cores.
+    pub fn intrepid_gas(strategy: Strategy) -> Self {
+        WorkflowConfig {
+            strategy,
+            machine: MachineSpec::intrepid(),
+            partition: Partition {
+                sim_cores: 4096,
+                staging_cores: 256,
+            },
+            solver: SolverKind::Euler,
+            scale: 1.0,
+            objective: Objective::MinimizeTimeToSolution,
+            hints: UserHints::default(),
+            adaptation_overhead: 2e-3,
+            staging_cores_max: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Strategy::StaticInSitu.label(), "InSitu");
+        assert_eq!(Strategy::StaticInTransit.label(), "InTransit");
+        assert_eq!(Strategy::Adaptive(EngineConfig::global()).label(), "Global");
+        assert_eq!(
+            Strategy::Adaptive(EngineConfig::middleware_only()).label(),
+            "Local"
+        );
+    }
+
+    #[test]
+    fn titan_partition_ratio() {
+        let c = WorkflowConfig::titan_advect(4096, Strategy::StaticInSitu);
+        assert_eq!(c.partition.staging_cores, 256);
+        assert_eq!(c.machine.cores_per_node, 16);
+    }
+
+    #[test]
+    fn intrepid_matches_paper_setup() {
+        let c = WorkflowConfig::intrepid_gas(Strategy::Adaptive(EngineConfig::resource_only()));
+        assert_eq!(c.partition.sim_cores, 4096);
+        assert_eq!(c.partition.staging_cores, 256);
+        assert_eq!(c.machine.memory_per_core(), 512 << 20);
+    }
+}

@@ -1,0 +1,29 @@
+//! # xlayer-workflow — the coupled simulation–analysis workflow runtime
+//!
+//! Couples the AMR simulation (`xlayer-solvers`), the visualization service
+//! (`xlayer-viz`), the staging substrate (`xlayer-staging`) and the
+//! cross-layer adaptation runtime (`xlayer-core`) into the paper's
+//! end-to-end workflow, in two execution modes:
+//!
+//! * [`native::NativeWorkflow`] — everything real and in-process: solver
+//!   steps, staging puts, asynchronous in-transit marching cubes on worker
+//!   threads (examples and integration tests),
+//! * [`modeled::ModeledWorkflow`] — the same decision code driven by a real
+//!   small-scale AMR run, with compute/transfer durations from the
+//!   calibrated platform models: how the 2K–16K-core evaluation figures are
+//!   regenerated on one node (DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod drive;
+pub mod modeled;
+pub mod native;
+pub mod report;
+
+pub use config::{Strategy, WorkflowConfig};
+pub use drive::AmrDriver;
+pub use modeled::{DrivePoint, ModeledWorkflow, TraceDriver, WorkloadDriver};
+pub use native::{AnalysisOutcome, NativeConfig, NativeWorkflow};
+pub use report::{StepLog, WorkflowReport};

