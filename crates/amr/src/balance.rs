@@ -146,7 +146,11 @@ mod tests {
     #[test]
     fn all_ranks_in_range() {
         let boxes = mixed_boxes();
-        for bal in [Balancer::Knapsack, Balancer::MortonSfc, Balancer::RoundRobin] {
+        for bal in [
+            Balancer::Knapsack,
+            Balancer::MortonSfc,
+            Balancer::RoundRobin,
+        ] {
             let a = assign_ranks(&boxes, 3, bal);
             assert_eq!(a.len(), boxes.len());
             assert!(a.iter().all(|&r| r < 3));
@@ -176,7 +180,10 @@ mod tests {
                 seen_last = r;
             }
         }
-        assert_eq!(transitions, 3, "ranks not contiguous along the curve: {a:?}");
+        assert_eq!(
+            transitions, 3,
+            "ranks not contiguous along the curve: {a:?}"
+        );
     }
 
     #[test]
@@ -189,7 +196,11 @@ mod tests {
     #[test]
     fn single_rank_degenerate() {
         let boxes = mixed_boxes();
-        for bal in [Balancer::Knapsack, Balancer::MortonSfc, Balancer::RoundRobin] {
+        for bal in [
+            Balancer::Knapsack,
+            Balancer::MortonSfc,
+            Balancer::RoundRobin,
+        ] {
             let a = assign_ranks(&boxes, 1, bal);
             assert!(a.iter().all(|&r| r == 0));
         }

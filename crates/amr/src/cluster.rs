@@ -144,7 +144,8 @@ fn find_split(tags: &IntVectSet, bbox: &IBox, params: &ClusterParams) -> Option<
             if lap[i].signum() != lap[i + 1].signum() && lap[i] != 0 && lap[i + 1] != 0 {
                 let delta = (lap[i] - lap[i + 1]).abs();
                 let at = bbox.lo()[d] + i as i64 + 2;
-                if at > bbox.lo()[d] && at <= bbox.hi()[d]
+                if at > bbox.lo()[d]
+                    && at <= bbox.hi()[d]
                     && best_infl.is_none_or(|(_, _, bd)| delta > bd)
                 {
                     best_infl = Some((d, at, delta));
@@ -338,7 +339,9 @@ mod tests {
         let mut tags = IntVectSet::new();
         let mut state: u64 = 12345;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 33) % 32;
             let y = (state >> 23) % 32;
             let z = (state >> 13) % 32;

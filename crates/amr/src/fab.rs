@@ -71,6 +71,48 @@ impl Fab {
         f
     }
 
+    /// Build a zero-initialized fab over `bx` reusing `storage` as the
+    /// backing buffer (it is cleared and resized; its capacity is what is
+    /// being recycled). Bit-identical to [`Fab::new`], but skips the heap
+    /// allocation when the storage already has capacity — the basis of the
+    /// solver scratch arenas. Accounting-wise this counts as a fresh
+    /// allocation so it stays symmetric with `Drop`/[`Fab::into_storage`].
+    pub fn with_storage(bx: IBox, ncomp: usize, mut storage: Vec<f64>) -> Self {
+        assert!(ncomp > 0, "Fab needs at least one component");
+        let n = bx.num_cells() as usize * ncomp;
+        storage.clear();
+        storage.resize(n, 0.0);
+        track_alloc((n * std::mem::size_of::<f64>()) as u64);
+        Fab {
+            bx,
+            ncomp,
+            data: storage,
+        }
+    }
+
+    /// Copy of `self` whose payload lives in `storage` (cleared/resized as
+    /// in [`Fab::with_storage`]). A `clone()` that recycles a buffer.
+    pub fn clone_with_storage(&self, mut storage: Vec<f64>) -> Self {
+        storage.clear();
+        storage.extend_from_slice(&self.data);
+        track_alloc(self.bytes());
+        Fab {
+            bx: self.bx,
+            ncomp: self.ncomp,
+            data: storage,
+        }
+    }
+
+    /// Consume the fab, handing back its backing buffer for reuse (the
+    /// accounting sees the payload freed, exactly as if it were dropped).
+    pub fn into_storage(mut self) -> Vec<f64> {
+        let data = std::mem::take(&mut self.data);
+        // `Drop` will now see an empty payload and free 0 bytes; release
+        // the real footprint here instead.
+        track_free((data.len() * std::mem::size_of::<f64>()) as u64);
+        data
+    }
+
     /// The box this fab covers.
     #[inline]
     pub fn ibox(&self) -> IBox {
@@ -94,6 +136,22 @@ impl Fab {
     fn idx(&self, iv: IntVect, comp: usize) -> usize {
         debug_assert!(comp < self.ncomp);
         self.bx.offset(iv) + comp * self.bx.num_cells() as usize
+    }
+
+    /// Flat offset of cell `iv` within component 0's slab. Together with
+    /// [`Fab::comp_stride`] this lets stencil loops address all components
+    /// of a cell from one offset computation:
+    /// `as_slice()[cell_offset(iv) + comp * comp_stride()]`.
+    #[inline]
+    pub fn cell_offset(&self, iv: IntVect) -> usize {
+        self.bx.offset(iv)
+    }
+
+    /// Distance in the flat payload between the same cell in consecutive
+    /// components.
+    #[inline]
+    pub fn comp_stride(&self) -> usize {
+        self.bx.num_cells() as usize
     }
 
     /// Read one value.
@@ -140,16 +198,84 @@ impl Fab {
     /// component count required), with `src` read at `iv + shift`.
     ///
     /// `shift` supports periodic wrapping: destination cell `iv` receives
-    /// `src[iv + shift]`.
+    /// `src[iv + shift]`. Rows contiguous in x are moved with
+    /// `copy_from_slice` rather than per-cell index arithmetic.
     pub fn copy_from_shifted(&mut self, src: &Fab, region: &IBox, shift: IntVect) {
         assert_eq!(self.ncomp, src.ncomp, "component count mismatch");
         let dst_region = region.intersect(&self.bx);
         let src_avail = src.bx.shift(-shift);
         let r = dst_region.intersect(&src_avail);
+        if r.is_empty() {
+            return;
+        }
+        let nx = r.size()[0] as usize;
+        let dst_cells = self.bx.num_cells() as usize;
+        let src_cells = src.bx.num_cells() as usize;
         for comp in 0..self.ncomp {
-            for iv in r.cells() {
-                let v = src.get(iv + shift, comp);
-                self.set(iv, comp, v);
+            for z in r.lo()[2]..=r.hi()[2] {
+                for y in r.lo()[1]..=r.hi()[1] {
+                    let row = IntVect::new(r.lo()[0], y, z);
+                    let d0 = self.bx.offset(row) + comp * dst_cells;
+                    let s0 = src.bx.offset(row + shift) + comp * src_cells;
+                    self.data[d0..d0 + nx].copy_from_slice(&src.data[s0..s0 + nx]);
+                }
+            }
+        }
+    }
+
+    /// Pack `self`'s values over `region` (read at `iv + shift`) into `out`,
+    /// component-major and Fortran-ordered over the region's cells.
+    ///
+    /// The shifted region must lie inside this fab's box; `out` must hold
+    /// exactly `region.num_cells() * ncomp` values. Paired with
+    /// [`Fab::unpack_region`], this moves a copy-op's payload through a flat
+    /// staging buffer instead of cloning whole fabs.
+    pub fn pack_region(&self, region: &IBox, shift: IntVect, out: &mut [f64]) {
+        let cells = region.num_cells() as usize;
+        assert_eq!(out.len(), cells * self.ncomp, "pack buffer size mismatch");
+        debug_assert!(
+            self.bx.contains_box(&region.shift(shift)),
+            "pack source {:?}+{shift:?} escapes fab box {:?}",
+            region,
+            self.bx
+        );
+        let nx = region.size()[0] as usize;
+        let src_cells = self.bx.num_cells() as usize;
+        let mut o = 0;
+        for comp in 0..self.ncomp {
+            for z in region.lo()[2]..=region.hi()[2] {
+                for y in region.lo()[1]..=region.hi()[1] {
+                    let row = IntVect::new(region.lo()[0], y, z) + shift;
+                    let s0 = self.bx.offset(row) + comp * src_cells;
+                    out[o..o + nx].copy_from_slice(&self.data[s0..s0 + nx]);
+                    o += nx;
+                }
+            }
+        }
+    }
+
+    /// Unpack values produced by [`Fab::pack_region`] into `region` of this
+    /// fab. `region` must lie inside the fab's box.
+    pub fn unpack_region(&mut self, region: &IBox, data: &[f64]) {
+        let cells = region.num_cells() as usize;
+        assert_eq!(data.len(), cells * self.ncomp, "pack buffer size mismatch");
+        debug_assert!(
+            self.bx.contains_box(region),
+            "unpack target {:?} escapes fab box {:?}",
+            region,
+            self.bx
+        );
+        let nx = region.size()[0] as usize;
+        let dst_cells = self.bx.num_cells() as usize;
+        let mut o = 0;
+        for comp in 0..self.ncomp {
+            for z in region.lo()[2]..=region.hi()[2] {
+                for y in region.lo()[1]..=region.hi()[1] {
+                    let row = IntVect::new(region.lo()[0], y, z);
+                    let d0 = self.bx.offset(row) + comp * dst_cells;
+                    self.data[d0..d0 + nx].copy_from_slice(&data[o..o + nx]);
+                    o += nx;
+                }
             }
         }
     }
@@ -283,6 +409,54 @@ mod tests {
             assert_eq!(allocated_bytes(), before + f.bytes() + g.bytes());
         }
         assert_eq!(allocated_bytes(), before);
+    }
+
+    #[test]
+    fn storage_reuse_roundtrip() {
+        let f = Fab::filled(IBox::cube(4), 2, 3.0);
+        let g = f.clone_with_storage(Vec::new());
+        assert_eq!(g.ibox(), f.ibox());
+        assert_eq!(g.as_slice(), f.as_slice());
+        let live_with_g = allocated_bytes();
+        let buf = g.into_storage();
+        assert_eq!(allocated_bytes(), live_with_g - f.bytes());
+        let cap = buf.capacity();
+        // Reusing the buffer for a smaller fab must not reallocate.
+        let h = Fab::with_storage(IBox::cube(3), 1, buf);
+        assert!(h.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(h.ibox(), IBox::cube(3));
+        assert_eq!(h.into_storage().capacity(), cap);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_with_shift() {
+        let src_box = IBox::cube(4);
+        let mut src = Fab::new(src_box, 2);
+        for c in 0..2 {
+            for iv in src_box.cells() {
+                src.set(
+                    iv,
+                    c,
+                    (iv[0] * 100 + iv[1] * 10 + iv[2] + c as i64 * 10_000) as f64,
+                );
+            }
+        }
+        // Ghost slab left of the box, wrapped from the far side (shift +4).
+        let region = IBox::new(IntVect::new(-1, 0, 0), IntVect::new(-1, 3, 3));
+        let shift = IntVect::new(4, 0, 0);
+        let mut buf = vec![0.0; region.num_cells() as usize * 2];
+        src.pack_region(&region, shift, &mut buf);
+        let dst_box = IBox::new(IntVect::new(-1, 0, 0), IntVect::new(3, 3, 3));
+        let mut dst = Fab::new(dst_box, 2);
+        dst.unpack_region(&region, &buf);
+        let mut reference = Fab::new(dst_box, 2);
+        reference.copy_from_shifted(&src, &region, shift);
+        assert_eq!(dst.as_slice(), reference.as_slice());
+        for c in 0..2 {
+            for iv in region.cells() {
+                assert_eq!(dst.get(iv, c), src.get(iv + shift, c));
+            }
+        }
     }
 
     #[test]

@@ -262,10 +262,7 @@ mod tests {
         // the sign convention u_i -= dt/dx (F_hi − F_lo) with F_hi now F̄.
         let mut reg = FluxRegister::new(&fine_layout_one_box(), 2, 1);
         // Coarse flux zero; fine flux 1 only on faces at fine x-index 8.
-        let mut fflux = Fab::new(
-            IBox::new(IntVect::new(8, 8, 8), IntVect::new(8, 15, 15)),
-            1,
-        );
+        let mut fflux = Fab::new(IBox::new(IntVect::new(8, 8, 8), IntVect::new(8, 15, 15)), 1);
         fflux.fill(1.0);
         reg.increment_fine(&fflux, 0);
 

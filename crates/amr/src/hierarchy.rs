@@ -235,7 +235,12 @@ impl AmrHierarchy {
             new_levels[l + 1] = Some(layout);
         }
 
-        // Allocate and fill new level data.
+        // Allocate and fill new level data. Building fresh `LevelData`s is
+        // also what invalidates each level's cached `ExchangeCopier`: the
+        // cache lives inside the `LevelData` and dies with it. Level 0 is
+        // moved, not rebuilt — its layout never changes across a regrid, so
+        // its cached exchange schedule stays valid (and `exchange()`
+        // revalidates against the layout on every call regardless).
         let mut rebuilt: Vec<LevelData> = Vec::with_capacity(max_new);
         rebuilt.push(std::mem::replace(
             &mut self.levels[0],
@@ -307,13 +312,10 @@ impl AmrHierarchy {
         for l in 0..self.levels.len() {
             // Cell volume relative to level 0.
             let vol = 1.0 / (r.pow(l as u32 * DIM as u32) as f64);
-            let finer: Option<Vec<IBox>> = self.levels.get(l + 1).map(|f| {
-                f.layout()
-                    .grids()
-                    .iter()
-                    .map(|g| g.bx.coarsen(r))
-                    .collect()
-            });
+            let finer: Option<Vec<IBox>> = self
+                .levels
+                .get(l + 1)
+                .map(|f| f.layout().grids().iter().map(|g| g.bx.coarsen(r)).collect());
             for i in 0..self.levels[l].len() {
                 let valid = self.levels[l].valid_box(i);
                 let uncovered: Vec<IBox> = match &finer {
@@ -555,7 +557,11 @@ mod tests {
         for i in 0..h.level(1).len() {
             let vb = h.level(1).valid_box(i);
             for iv in vb.cells() {
-                assert_eq!(h.level(1).fab(i).get(iv, 0), 9.0, "lost fine data at {iv:?}");
+                assert_eq!(
+                    h.level(1).fab(i).get(iv, 0),
+                    9.0,
+                    "lost fine data at {iv:?}"
+                );
             }
         }
     }

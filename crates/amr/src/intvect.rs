@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn coarsen_floors_toward_negative_infinity() {
-        assert_eq!(IntVect::new(-1, -2, -4).coarsen(2), IntVect::new(-1, -1, -2));
+        assert_eq!(
+            IntVect::new(-1, -2, -4).coarsen(2),
+            IntVect::new(-1, -1, -2)
+        );
         assert_eq!(IntVect::new(3, 4, 5).coarsen(2), IntVect::new(1, 2, 2));
         assert_eq!(IntVect::new(-3, 0, 7).coarsen(4), IntVect::new(-1, 0, 1));
     }

@@ -2,9 +2,9 @@
 //! ghost-exchange operation (Chombo's `LevelData<FArrayBox>` + `exchange()`).
 
 use crate::boxes::IBox;
+use crate::copier::{self, ExchangeCopier};
 use crate::domain::ProblemDomain;
 use crate::fab::Fab;
-use crate::intvect::IntVect;
 use crate::layout::{BoxLayout, CopyOp};
 
 /// Cell data on every grid of a layout, each fab grown by `nghost` cells.
@@ -15,6 +15,10 @@ pub struct LevelData {
     nghost: i64,
     ncomp: usize,
     fabs: Vec<Fab>,
+    /// Cached exchange schedule, built lazily on the first [`Self::exchange`]
+    /// and revalidated against (layout, domain, nghost, ncomp) on every use.
+    /// Regridding replaces the whole `LevelData`, which drops the cache.
+    copier: Option<ExchangeCopier>,
 }
 
 impl LevelData {
@@ -32,6 +36,7 @@ impl LevelData {
             nghost,
             ncomp,
             fabs,
+            copier: None,
         }
     }
 
@@ -129,77 +134,46 @@ impl LevelData {
     /// Compute the list of copies needed to fill every grid's ghost region
     /// from other grids' valid regions, including periodic images.
     pub fn exchange_plan(&self) -> Vec<CopyOp> {
-        let mut ops = Vec::new();
-        let n = self.layout.len();
-        for dst in 0..n {
-            let valid = self.layout.ibox(dst);
-            let grown = self.domain.clip(&valid.grow(self.nghost));
-            if grown == valid {
-                continue;
-            }
-            let ghost_regions = grown.subtract(&valid);
-            for src in 0..n {
-                if src == dst {
-                    // a grid can still feed its own ghosts via periodic wrap
-                    let src_valid = self.layout.ibox(src);
-                    for region in &ghost_regions {
-                        for s in self.domain.periodic_shifts(&src_valid, region) {
-                            let img = src_valid.shift(s).intersect(region);
-                            if !img.is_empty() {
-                                ops.push(CopyOp {
-                                    src,
-                                    dst,
-                                    region: img,
-                                    shift: -s,
-                                });
-                            }
-                        }
-                    }
-                    continue;
-                }
-                let src_valid = self.layout.ibox(src);
-                for region in &ghost_regions {
-                    // direct overlap
-                    let direct = src_valid.intersect(region);
-                    if !direct.is_empty() {
-                        ops.push(CopyOp {
-                            src,
-                            dst,
-                            region: direct,
-                            shift: IntVect::ZERO,
-                        });
-                    }
-                    // periodic images
-                    for s in self.domain.periodic_shifts(&src_valid, region) {
-                        let img = src_valid.shift(s).intersect(region);
-                        if !img.is_empty() {
-                            ops.push(CopyOp {
-                                src,
-                                dst,
-                                region: img,
-                                shift: -s,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        ops
+        copier::exchange_plan(&self.layout, &self.domain, self.nghost)
     }
 
     /// Fill ghost cells from neighboring grids' valid data (and periodic
     /// images). Returns the number of bytes logically moved between ranks
     /// (copies whose src and dst grids live on different ranks), which the
     /// platform model charges as network traffic.
+    ///
+    /// The exchange schedule is cached: the first call builds an
+    /// [`ExchangeCopier`] and later calls reuse it as long as the
+    /// (layout, domain, nghost, ncomp) configuration is unchanged, skipping
+    /// the O(n_grids²) replanning entirely. See [`Self::exchange_uncached`]
+    /// for the replanning baseline.
     pub fn exchange(&mut self) -> u64 {
+        let mut copier = match self.copier.take() {
+            Some(c) if c.matches(&self.layout, &self.domain, self.nghost, self.ncomp) => c,
+            _ => ExchangeCopier::build(&self.layout, &self.domain, self.nghost, self.ncomp),
+        };
+        let cross_rank_bytes = copier.apply(&mut self.fabs);
+        self.copier = Some(copier);
+        cross_rank_bytes
+    }
+
+    /// [`Self::exchange`] without the cached schedule: replans on every call
+    /// and applies the ops one by one. Kept as the reference implementation
+    /// (property tests compare the cached path against it) and as the
+    /// baseline for the ghost-exchange benchmarks.
+    pub fn exchange_uncached(&mut self) -> u64 {
         let plan = self.exchange_plan();
         let mut cross_rank_bytes = 0u64;
+        // Region-sized staging buffer for periodic self-copies (ghost and
+        // valid regions of one fab are disjoint, but borrowck can't see
+        // that). Reused across ops; never clones the whole fab.
+        let mut scratch: Vec<f64> = Vec::new();
         for op in plan {
             if op.src == op.dst {
-                // Periodic self-copy: ghost and valid regions of one fab are
-                // disjoint, but borrowck can't see that — go through a clone.
-                let src_clone = self.fabs[op.src].clone();
-                self.fabs[op.dst].copy_from_shifted(&src_clone, &op.region, op.shift);
+                let n = op.region.num_cells() as usize * self.ncomp;
+                scratch.resize(n.max(scratch.len()), 0.0);
+                self.fabs[op.src].pack_region(&op.region, op.shift, &mut scratch[..n]);
+                self.fabs[op.dst].unpack_region(&op.region, &scratch[..n]);
             } else {
                 let (a, b) = split_two(&mut self.fabs, op.src, op.dst);
                 b.copy_from_shifted(a, &op.region, op.shift);
@@ -265,6 +239,7 @@ fn split_two<T>(v: &mut [T], a: usize, b: usize) -> (&T, &mut T) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intvect::IntVect;
     use crate::layout::Grid;
 
     fn two_grid_level(periodic: bool) -> LevelData {
@@ -377,19 +352,9 @@ mod tests {
     fn copy_between_layouts() {
         let dom_box = IBox::cube(8);
         let domain = ProblemDomain::new(dom_box);
-        let mut a = LevelData::new(
-            BoxLayout::decompose(&domain, 4, 1),
-            domain,
-            1,
-            0,
-        );
+        let mut a = LevelData::new(BoxLayout::decompose(&domain, 4, 1), domain, 1, 0);
         fill_coords(&mut a);
-        let mut b = LevelData::new(
-            BoxLayout::decompose(&domain, 8, 1),
-            domain,
-            1,
-            0,
-        );
+        let mut b = LevelData::new(BoxLayout::decompose(&domain, 8, 1), domain, 1, 0);
         b.copy_from(&a);
         for i in 0..b.len() {
             let vb = b.valid_box(i);

@@ -8,6 +8,7 @@
 //! The crate provides:
 //! * box calculus over 3-D index space ([`boxes::IBox`], [`intvect::IntVect`]),
 //! * distributed level data with ghost exchange ([`level_data::LevelData`]),
+//!   scheduled through a cached, parallel copier ([`copier::ExchangeCopier`]),
 //! * tag-driven grid generation (Berger–Rigoutsos, [`cluster`]),
 //! * a dynamic level hierarchy with regridding ([`hierarchy::AmrHierarchy`]),
 //! * load balancing strategies ([`balance`]),
@@ -20,6 +21,7 @@
 pub mod balance;
 pub mod boxes;
 pub mod cluster;
+pub mod copier;
 pub mod domain;
 pub mod fab;
 pub mod flux_register;
@@ -32,6 +34,7 @@ pub mod plotfile;
 pub mod tagging;
 
 pub use boxes::IBox;
+pub use copier::ExchangeCopier;
 pub use domain::ProblemDomain;
 pub use fab::Fab;
 pub use flux_register::FluxRegister;

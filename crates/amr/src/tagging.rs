@@ -82,7 +82,12 @@ impl IntVectSet {
     /// Retain only cells inside `b`.
     pub fn clip(&self, b: &IBox) -> IntVectSet {
         IntVectSet {
-            cells: self.cells.iter().copied().filter(|&iv| b.contains(iv)).collect(),
+            cells: self
+                .cells
+                .iter()
+                .copied()
+                .filter(|&iv| b.contains(iv))
+                .collect(),
         }
     }
 
@@ -131,8 +136,16 @@ pub fn tag_undivided_gradient(data: &LevelData, comp: usize, threshold: f64) -> 
                 let e = IntVect::basis(d);
                 // One-sided at physical boundaries where no ghost exists.
                 let (p, m) = (iv + e, iv - e);
-                let up = if avail.contains(p) { fab.get(p, comp) } else { fab.get(iv, comp) };
-                let um = if avail.contains(m) { fab.get(m, comp) } else { fab.get(iv, comp) };
+                let up = if avail.contains(p) {
+                    fab.get(p, comp)
+                } else {
+                    fab.get(iv, comp)
+                };
+                let um = if avail.contains(m) {
+                    fab.get(m, comp)
+                } else {
+                    fab.get(iv, comp)
+                };
                 g = g.max((up - um).abs() * 0.5);
             }
             if g > threshold && dom_box.contains(iv) {

@@ -1,0 +1,94 @@
+//! Regression test: periodic self-exchange must not clone fabs.
+//!
+//! The original exchange path worked around the borrow checker by cloning
+//! the whole source fab for every periodic self-copy, which for a
+//! single-grid periodic level meant 26 full-fab clones per exchange. Both
+//! exchange paths now stage the payload through a plain `f64` scratch
+//! buffer instead, so `amr::fab`'s process-wide allocation accounting must
+//! see zero new fab bytes during an exchange.
+//!
+//! This lives in its own integration-test binary on purpose: the
+//! allocation counters are process-global, and concurrently running tests
+//! in the same binary would perturb the peak.
+
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::domain::ProblemDomain;
+use xlayer_amr::fab;
+use xlayer_amr::intvect::IntVect;
+use xlayer_amr::layout::{BoxLayout, Grid};
+use xlayer_amr::level_data::LevelData;
+
+fn single_grid_periodic() -> LevelData {
+    let domain = ProblemDomain::periodic(IBox::cube(16));
+    let layout = BoxLayout::new(
+        vec![Grid {
+            bx: domain.domain_box(),
+            rank: 0,
+        }],
+        1,
+    );
+    let mut ld = LevelData::new(layout, domain, 2, 2);
+    ld.for_each_mut(|vb, f| {
+        for c in 0..f.ncomp() {
+            for iv in vb.cells() {
+                f.set(
+                    iv,
+                    c,
+                    (iv[0] * 10_000 + iv[1] * 100 + iv[2]) as f64 + c as f64 * 1e7,
+                );
+            }
+        }
+    });
+    ld
+}
+
+fn check_wrapped_ghosts(ld: &LevelData) {
+    let fb = ld.fab(0);
+    let dom = ld.domain().domain_box();
+    let n = dom.size();
+    for c in 0..fb.ncomp() {
+        for iv in fb.ibox().cells() {
+            if dom.contains(iv) {
+                continue;
+            }
+            let wrapped = IntVect::new(
+                iv[0].rem_euclid(n[0]),
+                iv[1].rem_euclid(n[1]),
+                iv[2].rem_euclid(n[2]),
+            );
+            let expect =
+                (wrapped[0] * 10_000 + wrapped[1] * 100 + wrapped[2]) as f64 + c as f64 * 1e7;
+            assert_eq!(fb.get(iv, c), expect, "ghost {iv:?} comp {c}");
+        }
+    }
+}
+
+#[test]
+fn periodic_self_exchange_allocates_no_fabs() {
+    // Cached path: first call builds the copier, second reuses it; neither
+    // may allocate fab storage.
+    let mut ld = single_grid_periodic();
+    let live = fab::allocated_bytes();
+    fab::reset_peak_allocated();
+    for _ in 0..2 {
+        ld.exchange();
+        assert_eq!(
+            fab::peak_allocated_bytes(),
+            live,
+            "exchange allocated fab storage (old clone-per-self-copy path?)"
+        );
+    }
+    check_wrapped_ghosts(&ld);
+
+    // Uncached fallback path: same guarantee.
+    let mut ld = single_grid_periodic();
+    let live = fab::allocated_bytes();
+    fab::reset_peak_allocated();
+    ld.exchange_uncached();
+    assert_eq!(
+        fab::peak_allocated_bytes(),
+        live,
+        "exchange_uncached allocated fab storage"
+    );
+    check_wrapped_ghosts(&ld);
+}

@@ -10,8 +10,7 @@ fn arb_intvect(range: std::ops::Range<i64>) -> impl Strategy<Value = IntVect> {
 }
 
 fn arb_box() -> impl Strategy<Value = IBox> {
-    (arb_intvect(-16..16), arb_intvect(0..12))
-        .prop_map(|(lo, sz)| IBox::new(lo, lo + sz))
+    (arb_intvect(-16..16), arb_intvect(0..12)).prop_map(|(lo, sz)| IBox::new(lo, lo + sz))
 }
 
 proptest! {

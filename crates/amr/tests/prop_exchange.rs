@@ -1,0 +1,128 @@
+//! Property tests of the cached ghost-exchange path: the `ExchangeCopier`
+//! must be an exact drop-in for per-call replanning — same plan, same ghost
+//! values bit-for-bit, same cross-rank byte accounting — for arbitrary
+//! layouts, domains and ghost widths, including across regrids.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::copier::{exchange_plan, ExchangeCopier};
+use xlayer_amr::domain::ProblemDomain;
+use xlayer_amr::layout::BoxLayout;
+use xlayer_amr::level_data::LevelData;
+
+/// A random exchange configuration: domain, periodicity, decomposition.
+#[derive(Clone, Debug)]
+struct Setup {
+    domain: ProblemDomain,
+    max_box: i64,
+    nranks: usize,
+    nghost: i64,
+    ncomp: usize,
+}
+
+fn arb_setup() -> impl Strategy<Value = Setup> {
+    (
+        4i64..20,
+        (0u8..2, 0u8..2, 0u8..2),
+        2i64..9,
+        1usize..5,
+        0i64..3,
+        1usize..4,
+    )
+        .prop_map(|(n, (px, py, pz), max_box, nranks, nghost, ncomp)| Setup {
+            domain: ProblemDomain::with_periodicity(IBox::cube(n), [px == 1, py == 1, pz == 1]),
+            max_box,
+            nranks,
+            nghost,
+            ncomp,
+        })
+}
+
+impl Setup {
+    fn layout(&self) -> BoxLayout {
+        BoxLayout::decompose(&self.domain, self.max_box, self.nranks)
+    }
+
+    fn level_data(&self) -> LevelData {
+        let mut ld = LevelData::new(self.layout(), self.domain, self.ncomp, self.nghost);
+        // Deterministic per-(cell, component) values on valid regions only;
+        // ghosts start at zero on both sides of every comparison.
+        ld.for_each_mut(|vb, fab| {
+            for c in 0..fab.ncomp() {
+                for iv in vb.cells() {
+                    let v = (iv[0] * 10_000 + iv[1] * 100 + iv[2]) as f64 + c as f64 * 1e7;
+                    fab.set(iv, c, v);
+                }
+            }
+        });
+        ld
+    }
+}
+
+fn assert_same_fabs(a: &LevelData, b: &LevelData) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        prop_assert_eq!(a.fab(i).ibox(), b.fab(i).ibox());
+        prop_assert!(
+            a.fab(i).as_slice() == b.fab(i).as_slice(),
+            "fab {} differs between cached and uncached exchange",
+            i
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cached_plan_equals_fresh_plan(setup in arb_setup()) {
+        let layout = setup.layout();
+        let copier = ExchangeCopier::build(&layout, &setup.domain, setup.nghost, setup.ncomp);
+        let fresh = exchange_plan(&layout, &setup.domain, setup.nghost);
+        prop_assert_eq!(copier.ops(), &fresh[..]);
+        prop_assert!(copier.matches(&layout, &setup.domain, setup.nghost, setup.ncomp));
+    }
+
+    #[test]
+    fn copier_goes_stale_on_regrid_and_rebuild_matches(setup in arb_setup()) {
+        // A regrid swaps the layout; a copier built before must refuse it,
+        // and a rebuild must equal the fresh plan for the new layout.
+        let before = setup.layout();
+        let copier = ExchangeCopier::build(&before, &setup.domain, setup.nghost, setup.ncomp);
+        let regrid = Setup { max_box: if setup.max_box > 2 { setup.max_box - 1 } else { setup.max_box + 1 }, ..setup.clone() };
+        let after = regrid.layout();
+        if after.grids() != before.grids() {
+            prop_assert!(!copier.matches(&after, &setup.domain, setup.nghost, setup.ncomp));
+        }
+        let rebuilt = ExchangeCopier::build(&after, &setup.domain, setup.nghost, setup.ncomp);
+        prop_assert_eq!(rebuilt.ops(), &exchange_plan(&after, &setup.domain, setup.nghost)[..]);
+    }
+
+    #[test]
+    fn cached_exchange_is_bit_identical_to_uncached(setup in arb_setup()) {
+        let mut cached = setup.level_data();
+        let mut uncached = setup.level_data();
+        // Two rounds: the first builds the cache, the second reuses it.
+        for round in 0..2 {
+            let a = cached.exchange();
+            let b = uncached.exchange_uncached();
+            prop_assert_eq!(a, b, "cross_rank_bytes differ in round {}", round);
+            assert_same_fabs(&cached, &uncached)?;
+        }
+    }
+
+    #[test]
+    fn cross_rank_bytes_identical_cached_vs_uncached_across_regrid(setup in arb_setup()) {
+        let mut cached = setup.level_data();
+        let mut uncached = setup.level_data();
+        prop_assert_eq!(cached.exchange(), uncached.exchange_uncached());
+        // "Regrid": rebuild both on a different decomposition, re-exchange.
+        let regrid = Setup { max_box: if setup.max_box > 2 { setup.max_box - 1 } else { setup.max_box + 1 }, ..setup.clone() };
+        let mut cached = regrid.level_data();
+        let mut uncached = regrid.level_data();
+        prop_assert_eq!(cached.exchange(), uncached.exchange_uncached());
+        assert_same_fabs(&cached, &uncached)?;
+    }
+}

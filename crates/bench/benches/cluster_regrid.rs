@@ -32,7 +32,11 @@ fn bench_cluster(c: &mut Criterion) {
     });
 
     let boxes = cluster_tags(&tags, &within, &ClusterParams::default());
-    for bal in [Balancer::Knapsack, Balancer::MortonSfc, Balancer::RoundRobin] {
+    for bal in [
+        Balancer::Knapsack,
+        Balancer::MortonSfc,
+        Balancer::RoundRobin,
+    ] {
         c.bench_function(&format!("balance_{bal:?}"), |b| {
             b.iter(|| assign_ranks(&boxes, 64, bal))
         });
@@ -58,7 +62,6 @@ fn bench_cluster(c: &mut Criterion) {
         let tags = shell_tags(32, 10.0);
         b.iter(|| tags.grow(1, &IBox::cube(32)))
     });
-
 }
 
 criterion_group!(benches, bench_cluster);

@@ -40,6 +40,35 @@ fn bench_exchange(c: &mut Criterion) {
         let mut ld = level(32, 8, false, 2);
         b.iter(|| ld.exchange())
     });
+
+    // Multi-grid periodic layout: 32³ cut into 8³ boxes is a 64-grid level,
+    // so the O(n_grids²) replanning dominates the uncached path. The
+    // cached/uncached pair measures exactly what the ExchangeCopier buys;
+    // `bench_summary` reports the same pair to BENCH_native_hotpath.json.
+    c.bench_function("exchange_plan_32c_64box_periodic", |b| {
+        let ld = level(32, 8, true, 2);
+        b.iter(|| ld.exchange_plan())
+    });
+
+    c.bench_function("exchange_32c_64box_periodic_cached", |b| {
+        let mut ld = level(32, 8, true, 2);
+        b.iter(|| ld.exchange())
+    });
+
+    c.bench_function("exchange_32c_64box_periodic_uncached", |b| {
+        let mut ld = level(32, 8, true, 2);
+        b.iter(|| ld.exchange_uncached())
+    });
+
+    c.bench_function("exchange_64c_512box_periodic_cached", |b| {
+        let mut ld = level(64, 8, true, 2);
+        b.iter(|| ld.exchange())
+    });
+
+    c.bench_function("exchange_64c_512box_periodic_uncached", |b| {
+        let mut ld = level(64, 8, true, 2);
+        b.iter(|| ld.exchange_uncached())
+    });
 }
 
 criterion_group!(benches, bench_exchange);

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use xlayer_core::policy::{app, middleware, resource};
-use xlayer_core::{
-    min_time_engine, EngineConfig, Estimator, OperationalState, UserHints,
-};
+use xlayer_core::{min_time_engine, EngineConfig, Estimator, OperationalState, UserHints};
 use xlayer_platform::{CostModel, MachineSpec};
 
 fn state() -> OperationalState {

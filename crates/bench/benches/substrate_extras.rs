@@ -53,8 +53,7 @@ fn bench_extras(c: &mut Criterion) {
         let fflux = Fab::filled(IBox::cube(34).grow(2), 1, 1.0);
         let domain = ProblemDomain::new(IBox::cube(16));
         let coarse_layout = BoxLayout::decompose(&domain, 16, 1);
-        let mut coarse =
-            xlayer_amr::LevelData::new(coarse_layout, domain, 1, 0);
+        let mut coarse = xlayer_amr::LevelData::new(coarse_layout, domain, 1, 0);
         b.iter(|| {
             reg.set_to_zero();
             for d in 0..3 {
@@ -106,7 +105,11 @@ fn bench_extras(c: &mut Criterion) {
         let bx = IBox::cube(32);
         let mut fab = Fab::new(bx, 1);
         for iv in bx.cells() {
-            fab.set(iv, 0, (iv[0] as f64 * 0.2).sin() + (iv[1] as f64 * 0.1).cos());
+            fab.set(
+                iv,
+                0,
+                (iv[0] as f64 * 0.2).sin() + (iv[1] as f64 * 0.1).cos(),
+            );
         }
         b.iter(|| xlayer_viz::compress_fab(&fab, 0, &bx, 1e-4))
     });
@@ -115,7 +118,11 @@ fn bench_extras(c: &mut Criterion) {
         let bx = IBox::cube(32);
         let mut fab = Fab::new(bx, 1);
         for iv in bx.cells() {
-            fab.set(iv, 0, (iv[0] as f64 * 0.2).sin() + (iv[1] as f64 * 0.1).cos());
+            fab.set(
+                iv,
+                0,
+                (iv[0] as f64 * 0.2).sin() + (iv[1] as f64 * 0.1).cos(),
+            );
         }
         let c2 = xlayer_viz::compress_fab(&fab, 0, &bx, 1e-4);
         b.iter(|| xlayer_viz::decompress(&c2).expect("decode"))

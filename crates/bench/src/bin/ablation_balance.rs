@@ -64,9 +64,13 @@ fn main() {
             .map(|g| g.bx)
             .collect();
         let mut row = vec![format!("{}", stats.step), format!("{}", boxes.len())];
-        for (i, bal) in [Balancer::Knapsack, Balancer::MortonSfc, Balancer::RoundRobin]
-            .iter()
-            .enumerate()
+        for (i, bal) in [
+            Balancer::Knapsack,
+            Balancer::MortonSfc,
+            Balancer::RoundRobin,
+        ]
+        .iter()
+        .enumerate()
         {
             let a = assign_ranks(&boxes, nranks, *bal);
             let imb = imbalance_of(&boxes, &a, nranks);
@@ -87,5 +91,7 @@ fn main() {
         sums[1] / count as f64,
         sums[2] / count as f64
     );
-    println!("knapsack flattens compute load; morton preserves locality at a small imbalance cost.");
+    println!(
+        "knapsack flattens compute load; morton preserves locality at a small imbalance cost."
+    );
 }

@@ -49,14 +49,8 @@ fn main() {
             for l in 0..sim.hierarchy.num_levels() {
                 let level = sim.hierarchy.level(l);
                 for i in 0..level.len() {
-                    let obj = DataObject::from_fab(
-                        "rho",
-                        v,
-                        level.fab(i),
-                        0,
-                        &level.valid_box(i),
-                        0,
-                    );
+                    let obj =
+                        DataObject::from_fab("rho", v, level.fab(i), 0, &level.valid_box(i), 0);
                     space.put(obj).expect("staging put");
                     objects += 1;
                 }

@@ -1,0 +1,171 @@
+//! Machine-readable summary of the native hot-path micro-benchmarks.
+//!
+//! Re-times the headline cases of `benches/ghost_exchange.rs`,
+//! `benches/solver_kernels.rs`, and `benches/staging_ops.rs` with a plain
+//! `std::time::Instant` harness (Criterion is a dev-dependency, not
+//! available to binaries) and writes `BENCH_native_hotpath.json` — one
+//! ns/iter figure per bench plus the cached/uncached exchange speedup —
+//! so CI and later sessions can diff hot-path performance without parsing
+//! bench output.
+//!
+//! Usage: `cargo run --release -p xlayer-bench --bin bench_summary [out.json]`
+
+use std::time::Instant;
+use xlayer_amr::domain::ProblemDomain;
+use xlayer_amr::layout::BoxLayout;
+use xlayer_amr::level_data::LevelData;
+use xlayer_amr::{Fab, IBox, IntVect};
+use xlayer_solvers::euler::{EulerSolver, Primitive};
+use xlayer_solvers::{AdvectDiffuseSolver, LevelSolver, VelocityField};
+use xlayer_staging::{DataObject, DataSpace, Sharding};
+
+/// Median ns/iter of `f`: one calibration call sizes batches to ~25 ms,
+/// then the median over five batches is reported (same shape as the
+/// Criterion harness, minus the statistics).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1) as f64;
+    let iters = ((25e6 / once).ceil() as u64).clamp(1, 1_000_000);
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn level(n: i64, max_box: i64, periodic: bool, nghost: i64) -> LevelData {
+    let b = IBox::cube(n);
+    let domain = if periodic {
+        ProblemDomain::periodic(b)
+    } else {
+        ProblemDomain::new(b)
+    };
+    let layout = BoxLayout::decompose(&domain, max_box, 4);
+    let mut ld = LevelData::new(layout, domain, 1, nghost);
+    ld.fill(1.0);
+    ld
+}
+
+fn euler_level(n: i64, max_box: i64) -> (EulerSolver, LevelData) {
+    let solver = EulerSolver::default();
+    let domain = ProblemDomain::periodic(IBox::cube(n));
+    let layout = BoxLayout::decompose(&domain, max_box, 4);
+    let mut ld = LevelData::new(layout, domain, solver.ncomp(), solver.nghost());
+    ld.for_each_mut(|vb, fab| {
+        for iv in vb.cells() {
+            let w = Primitive {
+                rho: 1.0 + 0.1 * ((iv[0] + iv[1]) % 5) as f64,
+                vel: [0.2, 0.0, 0.0],
+                p: 1.0,
+            };
+            EulerSolver::set_state(fab, iv, w.to_conserved(1.4));
+        }
+    });
+    (solver, ld)
+}
+
+fn staging_obj(version: u64, lo: i64, n: i64) -> DataObject {
+    let b = IBox::cube(n).shift(IntVect::splat(lo));
+    let fab = Fab::filled(b, 1, 1.0);
+    DataObject::from_fab("rho", version, &fab, 0, &b, 0)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_native_hotpath.json".to_string());
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    let mut run = |name: &'static str, f: &mut dyn FnMut()| {
+        let ns = time_ns(f);
+        println!("{name:<44} {ns:>14.1} ns/iter");
+        results.push((name, ns));
+    };
+
+    // Ghost exchange over a 64-grid periodic level (32³ in 8³ boxes): the
+    // cached/uncached pair is the ExchangeCopier acceptance measurement.
+    {
+        let ld = level(32, 8, true, 2);
+        run("exchange_plan_32c_64box_periodic", &mut || {
+            let _ = ld.exchange_plan();
+        });
+    }
+    {
+        let mut ld = level(32, 8, true, 2);
+        run("exchange_32c_64box_periodic_cached", &mut || {
+            let _ = ld.exchange();
+        });
+    }
+    {
+        let mut ld = level(32, 8, true, 2);
+        run("exchange_32c_64box_periodic_uncached", &mut || {
+            let _ = ld.exchange_uncached();
+        });
+    }
+
+    // Solver level steps (exchange + sweep) on the same 64-grid shape.
+    {
+        let (solver, mut ld) = euler_level(32, 8);
+        run("euler_level_step_32c_64box_periodic", &mut || {
+            ld.exchange();
+            solver.advance_level(&mut ld, 1.0, 0.05);
+        });
+    }
+    {
+        let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.5, 0.0]), 0.01, 32);
+        let domain = ProblemDomain::periodic(IBox::cube(32));
+        let layout = BoxLayout::decompose(&domain, 8, 4);
+        let mut ld = LevelData::new(layout, domain, 1, 1);
+        ld.fill(1.0);
+        run("advect_level_step_32c_64box_periodic", &mut || {
+            ld.exchange();
+            solver.advance_level(&mut ld, 1.0, 0.05);
+        });
+    }
+
+    // Staging substrate: shared-handle reads over a populated space.
+    {
+        let space = DataSpace::new(8, u64::MAX / 16, Sharding::BboxHash);
+        for i in 0..64i64 {
+            space.put(staging_obj(1, i * 8, 8)).expect("put");
+        }
+        let query = IBox::new(IntVect::splat(100), IntVect::splat(180));
+        run("staging_get_region_64obj", &mut || {
+            let _ = space.get_region("rho", 1, &query);
+        });
+        run("staging_get_handles_64obj", &mut || {
+            let _ = space.get("rho", 1, None);
+        });
+    }
+
+    let cached = results
+        .iter()
+        .find(|(n, _)| *n == "exchange_32c_64box_periodic_cached")
+        .map(|(_, ns)| *ns)
+        .unwrap_or(f64::NAN);
+    let uncached = results
+        .iter()
+        .find(|(n, _)| *n == "exchange_32c_64box_periodic_uncached")
+        .map(|(_, ns)| *ns)
+        .unwrap_or(f64::NAN);
+    let speedup = uncached / cached;
+    println!("\nexchange cached vs uncached speedup: {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"unit\": \"ns_per_iter\",\n  \"benches\": {\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{sep}\n"));
+    }
+    json.push_str(&format!(
+        "  }},\n  \"derived\": {{\n    \"exchange_cached_speedup\": {speedup:.2}\n  }}\n}}\n"
+    ));
+    std::fs::write(&out_path, json).expect("write summary");
+    println!("wrote {out_path}");
+}

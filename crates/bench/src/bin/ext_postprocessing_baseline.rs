@@ -39,7 +39,13 @@ fn main() {
     }
     print_table(
         "Extension — post-processing vs simulation-time analysis (Titan 4K, 40 steps)",
-        &["strategy", "sim (s)", "overhead (s)", "total (s)", "net moved (GB)"],
+        &[
+            "strategy",
+            "sim (s)",
+            "overhead (s)",
+            "total (s)",
+            "net moved (GB)",
+        ],
         &rows,
     );
     let pp = totals[0].1;

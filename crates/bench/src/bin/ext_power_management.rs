@@ -43,10 +43,19 @@ fn main() {
     }
     print_table(
         "Extension — energy by strategy (Titan 4K + 256 staging, MJ)",
-        &["strategy", "sim MJ", "staging MJ", "network MJ", "total MJ", "time (s)"],
+        &[
+            "strategy",
+            "sim MJ",
+            "staging MJ",
+            "network MJ",
+            "total MJ",
+            "time (s)",
+        ],
         &rows,
     );
     println!("\nCross-layer adaptation reduces energy along with time-to-solution: fewer");
     println!("idle staging core-hours, less interconnect traffic, shorter critical path.");
-    println!("(Paper §7 future work; per-core power parameters documented in xlayer-platform::power.)");
+    println!(
+        "(Paper §7 future work; per-core power parameters documented in xlayer-platform::power.)"
+    );
 }

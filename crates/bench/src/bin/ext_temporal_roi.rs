@@ -14,10 +14,8 @@ fn main() {
     let cells = 1024u64 * 1024 * 1024;
 
     let run = |max_interval: u64, budget: f64, roi: f64| {
-        let mut cfg = WorkflowConfig::titan_advect(
-            4096,
-            Strategy::Adaptive(EngineConfig::global()),
-        );
+        let mut cfg =
+            WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::global()));
         cfg.scale = trace.scale_to(cells);
         cfg.hints.max_analysis_interval = max_interval;
         cfg.hints.analysis_budget_frac = budget;
@@ -46,7 +44,13 @@ fn main() {
     }
     print_table(
         "Extension — temporal-resolution and ROI adaptation (global engine, Titan 4K)",
-        &["configuration", "steps analyzed", "overhead (s)", "moved (GB)", "energy (MJ)"],
+        &[
+            "configuration",
+            "steps analyzed",
+            "overhead (s)",
+            "moved (GB)",
+            "energy (MJ)",
+        ],
         &rows,
     );
     println!("\nBoth knobs trade analysis fidelity (fewer snapshots / smaller region) for");

@@ -45,7 +45,13 @@ fn main() {
     }
     print_table(
         "Fig. 11 — data movement: global vs local adaptation (GB)",
-        &["cores", "Local (GB)", "Global (GB)", "reduction", "in-transit steps"],
+        &[
+            "cores",
+            "Local (GB)",
+            "Global (GB)",
+            "reduction",
+            "in-transit steps",
+        ],
         &rows,
     );
     println!("\nPaper: ↓ 45.93%, 17.25%, 5.76%, 32.41% at 2K/4K/8K/16K; in-transit steps increase under global.");

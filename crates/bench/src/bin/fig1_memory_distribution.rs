@@ -64,8 +64,7 @@ fn main() {
     const WITHIN_RANK_SPREAD: f64 = 4.0;
     let virt_base_cells = 128.0 * 64.0 * 64.0;
     let real_base_cells = (n * n * n) as f64;
-    let bytes_scale = virt_base_cells / real_base_cells * SOLVER_TEMPORARIES
-        * WITHIN_RANK_SPREAD
+    let bytes_scale = virt_base_cells / real_base_cells * SOLVER_TEMPORARIES * WITHIN_RANK_SPREAD
         / (VIRT_CORES / REAL_RANKS) as f64;
 
     let mb = |b: f64| b * bytes_scale / (1 << 20) as f64;
@@ -105,14 +104,23 @@ fn main() {
     let peak_max = *peaks.iter().max().unwrap() as f64;
     let peak_min = *peaks.iter().min().unwrap() as f64;
     let growth = history.growth();
-    let sign_changes = growth.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
-    println!("\npeak per-core memory: min {:.1} MB, max {:.1} MB (x{:.1} spread across ranks)",
-        mb(peak_min), mb(peak_max), peak_max / peak_min.max(1.0));
+    let sign_changes = growth
+        .windows(2)
+        .filter(|w| w[0].signum() != w[1].signum())
+        .count();
+    println!(
+        "\npeak per-core memory: min {:.1} MB, max {:.1} MB (x{:.1} spread across ranks)",
+        mb(peak_min),
+        mb(peak_max),
+        peak_max / peak_min.max(1.0)
+    );
     println!("step-over-step growth sign changes: {sign_changes} (erratic growth)");
     println!(
         "per-node peak ({} cores/node): {:.2} GB",
         MachineSpec::intrepid().cores_per_node,
         mb(peak_max) * MachineSpec::intrepid().cores_per_node as f64 / 1024.0
     );
-    println!("\nPaper: peak memory 20 MB – >300 MB per processor, erratic growth, strong imbalance.");
+    println!(
+        "\nPaper: peak memory 20 MB – >300 MB per processor, erratic growth, strong imbalance."
+    );
 }

@@ -108,7 +108,14 @@ fn main() {
 
     print_table(
         "Fig. 6 — entropy-adaptive down-sampling of the finest-level density",
-        &["block", "entropy(bits)", "factor", "tris full", "tris adapted", "recon MSE"],
+        &[
+            "block",
+            "entropy(bits)",
+            "factor",
+            "tris full",
+            "tris adapted",
+            "recon MSE",
+        ],
         &rows,
     );
     println!("\nblock entropy range: {h_lo:.2} – {h_hi:.2} bits (paper: 5.14 – 9.85)");

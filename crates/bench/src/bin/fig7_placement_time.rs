@@ -47,7 +47,14 @@ fn main() {
     }
     print_table(
         "Fig. 7 — end-to-end execution time, static vs adaptive placement (Titan, 16:1)",
-        &["cores", "strategy", "sim time (s)", "overhead (s)", "total (s)", "ovh/sim"],
+        &[
+            "cores",
+            "strategy",
+            "sim time (s)",
+            "overhead (s)",
+            "total (s)",
+            "ovh/sim",
+        ],
         &rows,
     );
     println!("\nPaper: adaptive overhead ↓ 50–56% vs InSitu, 21–75% vs InTransit; overhead <6% of sim time.");

@@ -14,7 +14,8 @@ fn main() {
     let mut rows = Vec::new();
     for (i, (cores, cells)) in SCALE_SWEEP.iter().enumerate() {
         let trace = advect_trace(16, 2, STEPS, i as i64);
-        let rt = xlayer_bench::run_strategy(&trace, *cores, *cells, Strategy::StaticInTransit, None);
+        let rt =
+            xlayer_bench::run_strategy(&trace, *cores, *cells, Strategy::StaticInTransit, None);
         let ra = xlayer_bench::run_strategy(
             &trace,
             *cores,
@@ -36,7 +37,13 @@ fn main() {
     }
     print_table(
         "Fig. 8 — aggregated in-situ→in-transit data transfers (GB)",
-        &["cores", "InTransit (GB)", "Adaptive (GB)", "reduction", "insitu/intransit steps"],
+        &[
+            "cores",
+            "InTransit (GB)",
+            "Adaptive (GB)",
+            "reduction",
+            "insitu/intransit steps",
+        ],
         &rows,
     );
     println!("\nPaper: data movement ↓ 50.00%, 48.00%, 47.90%, 39.04% at 2K/4K/8K/16K.");

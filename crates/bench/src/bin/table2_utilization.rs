@@ -46,7 +46,15 @@ fn main() {
     }
     print_table(
         "Table 2 — in-transit core utilization buckets under global adaptation",
-        &["sim:staging", "IT steps", "100%", "75%", "50%", "<50%", "mean cores"],
+        &[
+            "sim:staging",
+            "IT steps",
+            "100%",
+            "75%",
+            "50%",
+            "<50%",
+            "mean cores",
+        ],
         &rows,
     );
     println!("\nPaper (steps per bucket): 2K:128 → 27 = 25/2/-/-; 4K:256 → 42 = 8/13/4/17;");

@@ -159,11 +159,11 @@ fn main() {
             vec!["data moved (GB)".into(), gb(r.data_moved())],
             vec!["in-situ steps".into(), insitu.to_string()],
             vec!["in-transit steps".into(), intransit.to_string()],
-            vec!["steps analyzed".into(), format!("{analyzed}/{}", args.steps)],
             vec![
-                "staging efficiency".into(),
-                pct(r.staging_efficiency()),
+                "steps analyzed".into(),
+                format!("{analyzed}/{}", args.steps),
             ],
+            vec!["staging efficiency".into(), pct(r.staging_efficiency())],
             vec![
                 "energy (MJ)".into(),
                 format!("{:.1}", r.energy.total() / 1e6),

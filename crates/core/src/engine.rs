@@ -342,8 +342,7 @@ mod tests {
         })
         .adapt(&state());
         assert!(
-            with_app.resource.unwrap().staging_cores
-                <= without_app.resource.unwrap().staging_cores
+            with_app.resource.unwrap().staging_cores <= without_app.resource.unwrap().staging_cores
         );
     }
 

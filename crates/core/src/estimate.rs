@@ -105,7 +105,9 @@ impl Estimator {
     /// `T_intransit(M, S_data)`: analysis of `cells` cells on `m` staging
     /// cores (Table 1).
     pub fn t_intransit(&self, cells: u64, surface_cells: u64, m: usize) -> SimTime {
-        self.cost.analysis_time_surface(cells, surface_cells, m.max(1)) * self.intransit_scale
+        self.cost
+            .analysis_time_surface(cells, surface_cells, m.max(1))
+            * self.intransit_scale
     }
 
     /// Default surface-cell estimate when no observation exists.

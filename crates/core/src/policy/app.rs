@@ -44,12 +44,7 @@ pub fn reduction_memory(s_data: u64, x: u32) -> u64 {
 /// Picks the smallest interval `k ∈ [1, max_interval]` such that the
 /// amortized analysis cost stays within `budget_frac` of the simulation
 /// time: `t_analysis / k ≤ budget_frac · t_sim`.
-pub fn select_interval(
-    t_analysis: f64,
-    t_sim: f64,
-    budget_frac: f64,
-    max_interval: u64,
-) -> u64 {
+pub fn select_interval(t_analysis: f64, t_sim: f64, budget_frac: f64, max_interval: u64) -> u64 {
     assert!(budget_frac > 0.0, "analysis budget must be positive");
     if t_sim <= 0.0 || !t_analysis.is_finite() {
         return max_interval.max(1);

@@ -97,7 +97,14 @@ pub fn decide_placement(
     analysis_cells: u64,
     analysis_surface: u64,
 ) -> PlacementDecision {
-    decide_placement_opts(est, state, analysis_bytes, analysis_cells, analysis_surface, false)
+    decide_placement_opts(
+        est,
+        state,
+        analysis_bytes,
+        analysis_cells,
+        analysis_surface,
+        false,
+    )
 }
 
 /// [`decide_placement`] with the hybrid placement enabled: when the staging
@@ -128,8 +135,7 @@ pub fn decide_placement_opts(
         (true, false) => (Placement::InSitu, PlacementReason::MemoryOnlyInSitu),
         (false, true) => (Placement::InTransit, PlacementReason::MemoryOnlyInTransit),
         (true, true) => {
-            let t_it_work =
-                est.t_intransit(analysis_cells, analysis_surface, state.staging_cores);
+            let t_it_work = est.t_intransit(analysis_cells, analysis_surface, state.staging_cores);
             let f_keepup = hybrid_split(
                 state.last_sim_time,
                 t_it_work,
@@ -250,8 +256,7 @@ mod tests {
         s.intransit_busy_until = 0.0; // idle queue
         let pure = decide_placement(&e, &s, s.data_bytes, s.cells, s.surface_cells);
         assert_eq!(pure.placement, Placement::InTransit);
-        let hybrid =
-            decide_placement_opts(&e, &s, s.data_bytes, s.cells, s.surface_cells, true);
+        let hybrid = decide_placement_opts(&e, &s, s.data_bytes, s.cells, s.surface_cells, true);
         assert_eq!(hybrid.placement, Placement::Hybrid);
         // f = 1 - 0.6 = 0.4 minus the small transfer term
         assert!(
@@ -293,7 +298,13 @@ mod tests {
         let s = state();
         let e = est();
         let full = decide_placement(&e, &s, s.data_bytes, s.cells, s.surface_cells);
-        let reduced = decide_placement(&e, &s, s.data_bytes / 64, s.cells / 64, s.surface_cells / 16);
+        let reduced = decide_placement(
+            &e,
+            &s,
+            s.data_bytes / 64,
+            s.cells / 64,
+            s.surface_cells / 16,
+        );
         assert!(reduced.t_insitu < full.t_insitu);
         assert!(reduced.t_intransit_completion < full.t_intransit_completion);
     }

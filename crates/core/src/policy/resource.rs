@@ -133,8 +133,17 @@ mod tests {
     fn bigger_data_demands_more_cores() {
         // Fig. 9: refinement grows the data → more staging cores.
         let e = est();
-        let small = select_staging_cores(&e, 1 << 28, (1 << 28) / 8, (1 << 28) / 80, 5.0, 4096, 1024);
-        let large = select_staging_cores(&e, 16 << 28, (16u64 << 28) / 8, (16u64 << 28) / 80, 5.0, 4096, 1024);
+        let small =
+            select_staging_cores(&e, 1 << 28, (1 << 28) / 8, (1 << 28) / 80, 5.0, 4096, 1024);
+        let large = select_staging_cores(
+            &e,
+            16 << 28,
+            (16u64 << 28) / 8,
+            (16u64 << 28) / 80,
+            5.0,
+            4096,
+            1024,
+        );
         assert!(large.staging_cores > small.staging_cores);
     }
 
@@ -142,7 +151,15 @@ mod tests {
     fn saturation_flagged_at_cap() {
         let e = est();
         // Impossible budget: huge data, immediate deadline, tiny cap.
-        let d = select_staging_cores(&e, 1 << 40, (1u64 << 40) / 8, (1u64 << 40) / 80, 1e-6, 4096, 4);
+        let d = select_staging_cores(
+            &e,
+            1 << 40,
+            (1u64 << 40) / 8,
+            (1u64 << 40) / 80,
+            1e-6,
+            4096,
+            4,
+        );
         assert!(d.saturated);
         assert_eq!(d.staging_cores, 4);
     }

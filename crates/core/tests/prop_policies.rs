@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use xlayer_core::policy::{app, middleware, resource};
 use xlayer_core::{
-    min_time_engine, EngineConfig, Estimator, Objective, OperationalState, Placement,
-    UserHints, UserPreferences,
+    min_time_engine, EngineConfig, Estimator, Objective, OperationalState, Placement, UserHints,
+    UserPreferences,
 };
 use xlayer_platform::{CostModel, MachineSpec};
 

@@ -107,12 +107,7 @@ impl CostModel {
     /// term scales with the surface, which in the paper's blast workload
     /// grows relative to the volume as the simulation evolves — the driver
     /// of the Fig. 9 staging-allocation growth.
-    pub fn analysis_time_surface(
-        &self,
-        cells: u64,
-        surface_cells: u64,
-        cores: usize,
-    ) -> SimTime {
+    pub fn analysis_time_surface(&self, cells: u64, surface_cells: u64, cores: usize) -> SimTime {
         let k = &self.kernels;
         let scan = cells as f64 * k.mc_scan_flops;
         let tris = surface_cells as f64 * k.mc_tris_per_cell * k.mc_tri_flops;
@@ -210,7 +205,8 @@ mod tests {
         let bg = CostModel::new(MachineSpec::intrepid());
         let cells = 1 << 22;
         assert!(
-            bg.sim_time(SolverKind::Euler, cells, 1024) > ti.sim_time(SolverKind::Euler, cells, 1024)
+            bg.sim_time(SolverKind::Euler, cells, 1024)
+                > ti.sim_time(SolverKind::Euler, cells, 1024)
         );
     }
 }

@@ -210,10 +210,7 @@ impl ResourcePool {
 
     /// When the whole pool is next idle.
     pub fn all_free_at(&self) -> SimTime {
-        self.members
-            .iter()
-            .map(|m| m.free_at())
-            .fold(0.0, f64::max)
+        self.members.iter().map(|m| m.free_at()).fold(0.0, f64::max)
     }
 
     /// When at least one member is free.

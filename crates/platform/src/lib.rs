@@ -12,16 +12,16 @@
 #![warn(missing_docs)]
 
 pub mod cost;
-pub mod disk;
 pub mod des;
+pub mod disk;
 pub mod machine;
 pub mod metrics;
 pub mod network;
 pub mod power;
 
 pub use cost::{CostModel, KernelCosts, SolverKind};
-pub use disk::DiskModel;
 pub use des::{EventQueue, FifoResource, ResourcePool, SimTime};
+pub use disk::DiskModel;
 pub use machine::{MachineSpec, Partition};
 pub use metrics::{EndToEnd, StagingStepRecord, StagingUtilization, UtilizationBuckets};
 pub use network::{StagingIngress, TransferModel};

@@ -151,7 +151,13 @@ impl EndToEnd {
 mod tests {
     use super::*;
 
-    fn rec(step: u64, allocated: usize, used: usize, analysis: f64, span: f64) -> StagingStepRecord {
+    fn rec(
+        step: u64,
+        allocated: usize,
+        used: usize,
+        analysis: f64,
+        span: f64,
+    ) -> StagingStepRecord {
         StagingStepRecord {
             step,
             allocated,

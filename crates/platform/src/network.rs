@@ -149,9 +149,6 @@ mod tests {
         let titan = MachineSpec::titan();
         let ing = StagingIngress::for_partition(&titan, 256);
         assert_eq!(ing.num_links(), 16); // 256 cores / 16 per node
-        assert_eq!(
-            ing.aggregate_bandwidth(),
-            16.0 * titan.injection_bandwidth
-        );
+        assert_eq!(ing.aggregate_bandwidth(), 16.0 * titan.injection_bandwidth);
     }
 }

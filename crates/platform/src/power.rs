@@ -100,10 +100,7 @@ mod tests {
     fn busy_clamped_to_span() {
         let p = PowerModel::intrepid();
         // busy longer than span counts as fully-active span
-        assert_eq!(
-            p.core_energy(1, 20.0, 10.0),
-            p.core_energy(1, 10.0, 10.0)
-        );
+        assert_eq!(p.core_energy(1, 20.0, 10.0), p.core_energy(1, 10.0, 10.0));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! (Figs. 7, 8, 10, 11, Table 2).
 
 use crate::level_solver::{LevelFluxes, LevelSolver};
+use crate::scratch;
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
 use xlayer_amr::intvect::{IntVect, DIM};
@@ -42,9 +43,7 @@ impl VelocityField {
     /// An upper bound on |velocity| over box side `n` (for CFL).
     pub fn max_speed(&self, n: i64) -> f64 {
         match *self {
-            VelocityField::Constant(v) => {
-                v.iter().map(|c| c.abs()).fold(0.0, f64::max)
-            }
+            VelocityField::Constant(v) => v.iter().map(|c| c.abs()).fold(0.0, f64::max),
             VelocityField::Vortex { strength, .. } => {
                 // max radius ~ diagonal of the domain
                 strength.abs() * (2.0f64).sqrt() * n as f64
@@ -85,7 +84,7 @@ impl AdvectDiffuseSolver {
             let mut hi = valid.hi();
             hi[d] += 1;
             let fbox = IBox::new(valid.lo(), hi);
-            let mut flux = Fab::new(fbox, 1);
+            let mut flux = scratch::take_fab(fbox, 1);
             for iv in fbox.cells() {
                 let lo_cell = iv - e;
                 let have_lo = avail.contains(lo_cell);
@@ -147,27 +146,30 @@ impl LevelSolver for AdvectDiffuseSolver {
 
     fn advance_level(&self, data: &mut LevelData, dx: f64, dt: f64) {
         let dtdx = dt / dx;
-        // Grids are independent given their ghost-filled old state.
+        // Grids are independent given their ghost-filled old state. The
+        // old-state snapshot and flux fabs come from the per-worker scratch
+        // pool: after the first grid, a step allocates nothing.
         data.par_for_each_mut(|_, valid, fab| {
-            let old = fab.clone();
+            let old = scratch::take_fab_clone(fab);
             let fluxes = self.grid_fluxes(&old, &valid, dx);
             Self::apply_fluxes(&valid, fab, &fluxes, dtdx);
+            scratch::recycle_fab(old);
+            for f in fluxes {
+                scratch::recycle_fab(f);
+            }
         });
     }
 
-    fn advance_level_capture(
-        &self,
-        data: &mut LevelData,
-        dx: f64,
-        dt: f64,
-    ) -> Option<LevelFluxes> {
+    fn advance_level_capture(&self, data: &mut LevelData, dx: f64, dt: f64) -> Option<LevelFluxes> {
         let dtdx = dt / dx;
         let mut out = Vec::with_capacity(data.len());
         for i in 0..data.len() {
             let valid = data.valid_box(i);
-            let old = data.fab(i).clone();
+            // Flux fabs escape to the caller; only the snapshot is pooled.
+            let old = scratch::take_fab_clone(data.fab(i));
             let fluxes = self.grid_fluxes(&old, &valid, dx);
             Self::apply_fluxes(&valid, data.fab_mut(i), &fluxes, dtdx);
+            scratch::recycle_fab(old);
             out.push(fluxes);
         }
         Some(out)

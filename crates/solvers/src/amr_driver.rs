@@ -189,8 +189,7 @@ impl<S: LevelSolver> AmrSimulation<S> {
         let dx = self.config.base_dx / r.pow(l as u32) as f64;
         let mut moved = self.hierarchy.fill_level_ghosts(l);
 
-        let need_fluxes =
-            self.config.reflux && (parent_reg.is_some() || l + 1 < nlev);
+        let need_fluxes = self.config.reflux && (parent_reg.is_some() || l + 1 < nlev);
         let fluxes = if need_fluxes {
             self.solver
                 .advance_level_capture(self.hierarchy.level_mut(l), dx, dt)
@@ -324,7 +323,8 @@ impl<S: LevelSolver> AmrSimulation<S> {
         self.time += dt;
 
         let mut regridded = false;
-        if self.config.regrid_interval > 0 && self.step.is_multiple_of(self.config.regrid_interval) {
+        if self.config.regrid_interval > 0 && self.step.is_multiple_of(self.config.regrid_interval)
+        {
             exchange_bytes += self.hierarchy.fill_ghosts();
             self.regrid_now();
             regridded = true;
@@ -358,8 +358,7 @@ mod tests {
 
     fn advect_sim(n: i64, max_levels: usize) -> AmrSimulation<AdvectDiffuseSolver> {
         let domain = ProblemDomain::periodic(IBox::cube(n));
-        let solver =
-            AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+        let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
         let mut sim = AmrSimulation::new(
             domain,
             HierarchyConfig {
@@ -523,14 +522,8 @@ mod tests {
         }
         let m1 = sim.hierarchy.composite_sum(RHO);
         let e1 = sim.hierarchy.composite_sum(ENERGY);
-        assert!(
-            (m1 - m0).abs() < 1e-10 * m0,
-            "mass drifted {m0} -> {m1}"
-        );
-        assert!(
-            (e1 - e0).abs() < 1e-10 * e0,
-            "energy drifted {e0} -> {e1}"
-        );
+        assert!((m1 - m0).abs() < 1e-10 * m0, "mass drifted {m0} -> {m1}");
+        assert!((e1 - e0).abs() < 1e-10 * e0, "energy drifted {e0} -> {e1}");
     }
 
     #[test]
@@ -594,8 +587,7 @@ mod tests {
     #[test]
     fn subcycled_run_is_stable_and_conservative() {
         let domain = ProblemDomain::periodic(IBox::cube(16));
-        let solver =
-            AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, 16);
+        let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, 16);
         let mut sim = AmrSimulation::new(
             domain,
             HierarchyConfig {
@@ -683,7 +675,10 @@ mod tests {
         let with = run(true);
         let without = run(false);
         assert!(with < 1e-12, "subcycled refluxed drift {with:e}");
-        assert!(with < without / 100.0, "gain too small: {with:e} vs {without:e}");
+        assert!(
+            with < without / 100.0,
+            "gain too small: {with:e} vs {without:e}"
+        );
     }
 
     #[test]

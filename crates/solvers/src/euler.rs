@@ -6,6 +6,7 @@
 //! (§5.2.1, Fig. 1, Fig. 5, Fig. 9).
 
 use crate::level_solver::{LevelFluxes, LevelSolver};
+use crate::scratch;
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
 use xlayer_amr::intvect::{IntVect, DIM};
@@ -151,8 +152,8 @@ pub fn hllc_flux(l: Primitive, r: Primitive, d: usize, gamma: f64) -> [f64; NCOM
         u_star[MX] = factor * vel[0];
         u_star[MY] = factor * vel[1];
         u_star[MZ] = factor * vel[2];
-        u_star[ENERGY] = factor
-            * (cons.energy / q.rho + (s_star - un) * (s_star + q.p / (q.rho * (s - un))));
+        u_star[ENERGY] =
+            factor * (cons.energy / q.rho + (s_star - un) * (s_star + q.p / (q.rho * (s - un))));
         u_star
     };
 
@@ -199,22 +200,30 @@ impl Default for EulerSolver {
 }
 
 impl EulerSolver {
-    /// Read the conserved state at a cell.
+    /// Read the conserved state at a cell. One flat offset computation
+    /// serves all five components (they sit `comp_stride` apart).
     pub fn state(fab: &Fab, iv: IntVect) -> Conserved {
+        let o = fab.cell_offset(iv);
+        let s = fab.comp_stride();
+        let d = fab.as_slice();
         Conserved {
-            rho: fab.get(iv, RHO),
-            mom: [fab.get(iv, MX), fab.get(iv, MY), fab.get(iv, MZ)],
-            energy: fab.get(iv, ENERGY),
+            rho: d[o + RHO * s],
+            mom: [d[o + MX * s], d[o + MY * s], d[o + MZ * s]],
+            energy: d[o + ENERGY * s],
         }
     }
 
-    /// Write a conserved state to a cell.
+    /// Write a conserved state to a cell (flat-offset counterpart of
+    /// [`Self::state`]).
     pub fn set_state(fab: &mut Fab, iv: IntVect, c: Conserved) {
-        fab.set(iv, RHO, c.rho);
-        fab.set(iv, MX, c.mom[0]);
-        fab.set(iv, MY, c.mom[1]);
-        fab.set(iv, MZ, c.mom[2]);
-        fab.set(iv, ENERGY, c.energy);
+        let o = fab.cell_offset(iv);
+        let s = fab.comp_stride();
+        let d = fab.as_mut_slice();
+        d[o + RHO * s] = c.rho;
+        d[o + MX * s] = c.mom[0];
+        d[o + MY * s] = c.mom[1];
+        d[o + MZ * s] = c.mom[2];
+        d[o + ENERGY * s] = c.energy;
     }
 
     /// Limited primitive slope at `iv` along `d` (needs ±1 neighbors).
@@ -298,27 +307,31 @@ impl LevelSolver for EulerSolver {
         let gamma = self.gamma;
         // Grids are independent given their (ghost-filled) old state, so the
         // sweep parallelizes per grid. Each interior face is solved once.
+        // The old-state snapshot and flux fabs come from the per-worker
+        // scratch pool: after the first grid, a step allocates nothing.
         data.par_for_each_mut(|_, valid, fab| {
-            let old = fab.clone();
+            let old = scratch::take_fab_clone(fab);
             let fluxes = self.grid_fluxes(&old, &valid, dtdx, gamma);
             Self::apply_fluxes(&valid, fab, &fluxes, dtdx, gamma);
+            scratch::recycle_fab(old);
+            for f in fluxes {
+                scratch::recycle_fab(f);
+            }
         });
     }
 
-    fn advance_level_capture(
-        &self,
-        data: &mut LevelData,
-        dx: f64,
-        dt: f64,
-    ) -> Option<LevelFluxes> {
+    fn advance_level_capture(&self, data: &mut LevelData, dx: f64, dt: f64) -> Option<LevelFluxes> {
         let dtdx = dt / dx;
         let gamma = self.gamma;
         let mut out = Vec::with_capacity(data.len());
         for i in 0..data.len() {
             let valid = data.valid_box(i);
-            let old = data.fab(i).clone();
+            // Flux fabs escape to the caller (refluxing keeps them), so only
+            // the old-state snapshot can come from the scratch pool here.
+            let old = scratch::take_fab_clone(data.fab(i));
             let fluxes = self.grid_fluxes(&old, &valid, dtdx, gamma);
             Self::apply_fluxes(&valid, data.fab_mut(i), &fluxes, dtdx, gamma);
+            scratch::recycle_fab(old);
             out.push(fluxes);
         }
         Some(out)
@@ -340,11 +353,14 @@ impl EulerSolver {
             let mut hi = valid.hi();
             hi[d] += 1;
             let fbox = IBox::new(valid.lo(), hi);
-            let mut flux = Fab::new(fbox, NCOMP);
+            let mut flux = scratch::take_fab(fbox, NCOMP);
+            let stride = flux.comp_stride();
             for iv in fbox.cells() {
                 let f = self.face_flux(old, &avail, iv - e, iv, d, dtdx, gamma);
+                let o = flux.cell_offset(iv);
+                let out = flux.as_mut_slice();
                 for (c, fv) in f.iter().enumerate() {
-                    flux.set(iv, c, *fv);
+                    out[o + c * stride] = *fv;
                 }
             }
             flux
@@ -357,8 +373,13 @@ impl EulerSolver {
             let mut du = [0.0; NCOMP];
             for (d, flux) in fluxes.iter().enumerate() {
                 let e = IntVect::basis(d);
+                // One offset pair per direction instead of one per component.
+                let o0 = flux.cell_offset(iv);
+                let o1 = flux.cell_offset(iv + e);
+                let s = flux.comp_stride();
+                let fd = flux.as_slice();
                 for (c, dv) in du.iter_mut().enumerate() {
-                    *dv -= dtdx * (flux.get(iv + e, c) - flux.get(iv, c));
+                    *dv -= dtdx * (fd[o1 + c * s] - fd[o0 + c * s]);
                 }
             }
             let u = Self::state(fab, iv);
@@ -394,8 +415,16 @@ impl EulerSolver {
         // Outside the domain (non-periodic boundary): reflecting-free outflow
         // — use the interior cell's state on both sides.
         let (lc, rc) = (
-            if avail.contains(left_cell) { left_cell } else { right_cell },
-            if avail.contains(right_cell) { right_cell } else { left_cell },
+            if avail.contains(left_cell) {
+                left_cell
+            } else {
+                right_cell
+            },
+            if avail.contains(right_cell) {
+                right_cell
+            } else {
+                left_cell
+            },
         );
         let wl0 = Self::state(old, lc).to_primitive(gamma);
         let wr0 = Self::state(old, rc).to_primitive(gamma);

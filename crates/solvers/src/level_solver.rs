@@ -43,12 +43,7 @@ pub trait LevelSolver {
     /// needed for conservative refluxing at coarse–fine boundaries.
     /// The default falls back to [`Self::advance_level`] and returns `None`
     /// (refluxing is then skipped).
-    fn advance_level_capture(
-        &self,
-        data: &mut LevelData,
-        dx: f64,
-        dt: f64,
-    ) -> Option<LevelFluxes> {
+    fn advance_level_capture(&self, data: &mut LevelData, dx: f64, dt: f64) -> Option<LevelFluxes> {
         self.advance_level(data, dx, dt);
         None
     }

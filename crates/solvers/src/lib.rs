@@ -23,6 +23,7 @@ pub mod euler;
 pub mod level_solver;
 pub mod problems;
 pub mod riemann_exact;
+pub mod scratch;
 
 pub use advect::{AdvectDiffuseSolver, VelocityField};
 pub use amr_driver::{AmrSimulation, DriverConfig, StepStats};

@@ -83,8 +83,7 @@ impl ExactRiemann {
 
         // Initial guess: two-rarefaction approximation, floored.
         let du = right.u - left.u;
-        let p_pv = 0.5 * (left.p + right.p)
-            - 0.125 * du * (left.rho + right.rho) * (cl + cr);
+        let p_pv = 0.5 * (left.p + right.p) - 0.125 * du * (left.rho + right.rho) * (cl + cr);
         let mut p = p_pv.max(1e-8 * (left.p.min(right.p)));
         for _ in 0..60 {
             let g = f(p, &left, cl) + f(p, &right, cr) + du;
@@ -122,9 +121,7 @@ impl ExactRiemann {
 
         if self.p_star > w.p {
             // shock on this side
-            let ms = c * ((g + 1.0) / (2.0 * g) * self.p_star / w.p
-                + (g - 1.0) / (2.0 * g))
-                .sqrt();
+            let ms = c * ((g + 1.0) / (2.0 * g) * self.p_star / w.p + (g - 1.0) / (2.0 * g)).sqrt();
             let s = u - ms; // shock speed (in mirrored frame, moving left of state)
             if xi_s <= s {
                 return mirror(w, sign);

@@ -38,7 +38,10 @@ impl BucketIndex {
 
     /// The bucket coordinates a box overlaps.
     fn bucket_range(&self, bbox: &IBox) -> IBox {
-        IBox::new(bbox.lo().coarsen(self.bucket), bbox.hi().coarsen(self.bucket))
+        IBox::new(
+            bbox.lo().coarsen(self.bucket),
+            bbox.hi().coarsen(self.bucket),
+        )
     }
 
     /// Add an object's bounding box; returns its id.

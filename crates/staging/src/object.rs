@@ -139,7 +139,10 @@ mod tests {
         let f = coord_fab(4);
         let sub = IBox::new(IntVect::splat(1), IntVect::splat(10));
         let obj = DataObject::from_fab("rho", 0, &f, 1, &sub, 0);
-        assert_eq!(obj.desc.bbox, IBox::new(IntVect::splat(1), IntVect::splat(3)));
+        assert_eq!(
+            obj.desc.bbox,
+            IBox::new(IntVect::splat(1), IntVect::splat(3))
+        );
         assert_eq!(obj.desc.bytes, 27 * 8);
     }
 

@@ -97,9 +97,7 @@ impl PubSubSpace {
         let ints = self.interests.lock();
         for i in ints.iter() {
             let name_ok = i.name == obj.desc.key.name;
-            let region_ok = i
-                .region
-                .is_none_or(|r| r.intersects(&obj.desc.bbox));
+            let region_ok = i.region.is_none_or(|r| r.intersects(&obj.desc.bbox));
             if name_ok && region_ok {
                 match i.tx.try_send(obj.clone()) {
                     Ok(()) => delivered += 1,

@@ -5,6 +5,7 @@ use crate::index::BucketIndex;
 use crate::object::{DataObject, ObjectDesc, ObjectKey};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Bucket width of the per-key spatial index (cells).
 const INDEX_BUCKET: i64 = 16;
@@ -26,7 +27,11 @@ pub enum StagingError {
 impl std::fmt::Display for StagingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StagingError::OutOfMemory { cap, used, requested } => write!(
+            StagingError::OutOfMemory {
+                cap,
+                used,
+                requested,
+            } => write!(
                 f,
                 "staging server out of memory: cap {cap} B, used {used} B, requested {requested} B"
             ),
@@ -46,7 +51,10 @@ pub struct StagingServer {
 
 #[derive(Debug, Default)]
 struct Store {
-    objects: HashMap<ObjectKey, (Vec<DataObject>, BucketIndex)>,
+    // Objects are held behind `Arc` so reads hand out refcounted handles
+    // (the payload `Bytes` is itself shared) instead of deep-cloning the
+    // descriptor vectors on every get.
+    objects: HashMap<ObjectKey, (Vec<Arc<DataObject>>, BucketIndex)>,
     used: u64,
     peak: u64,
     puts: u64,
@@ -89,8 +97,12 @@ impl StagingServer {
         (s.puts, s.gets)
     }
 
-    /// Store an object. Fails if it would exceed the memory cap.
-    pub fn put(&self, obj: DataObject) -> Result<(), StagingError> {
+    /// Store an object (a plain `DataObject` is wrapped on the way in).
+    /// Fails if it would exceed the memory cap; the shared handle the
+    /// caller kept — if any — stays usable for retrying elsewhere, so a
+    /// rejected put costs no payload copy.
+    pub fn put(&self, obj: impl Into<Arc<DataObject>>) -> Result<(), StagingError> {
+        let obj = obj.into();
         let mut s = self.inner.lock();
         let bytes = obj.desc.bytes;
         if s.used + bytes > self.memory_cap {
@@ -114,7 +126,12 @@ impl StagingServer {
 
     /// Objects under `key` whose bbox intersects `query` (all, if `query`
     /// is `None`). Spatial queries go through the per-key bucket index.
-    pub fn get(&self, key: &ObjectKey, query: Option<&xlayer_amr::boxes::IBox>) -> Vec<DataObject> {
+    /// Returns refcounted handles: no descriptor or payload is copied.
+    pub fn get(
+        &self,
+        key: &ObjectKey,
+        query: Option<&xlayer_amr::boxes::IBox>,
+    ) -> Vec<Arc<DataObject>> {
         let mut s = self.inner.lock();
         s.gets += 1;
         let Some((objs, index)) = s.objects.get(key) else {
@@ -122,8 +139,21 @@ impl StagingServer {
         };
         match query {
             None => objs.clone(),
-            Some(q) => index.query(q).into_iter().map(|id| objs[id].clone()).collect(),
+            Some(q) => index
+                .query(q)
+                .into_iter()
+                .map(|id| Arc::clone(&objs[id]))
+                .collect(),
         }
+    }
+
+    /// The single object with index `id` under `key` (ids are put order,
+    /// matching the spatial index), if present — the cheapest read path
+    /// when the caller already knows which piece it wants.
+    pub fn get_by_id(&self, key: &ObjectKey, id: usize) -> Option<Arc<DataObject>> {
+        let mut s = self.inner.lock();
+        s.gets += 1;
+        s.objects.get(key).and_then(|(v, _)| v.get(id).cloned())
     }
 
     /// Descriptors of everything under `key`.
@@ -207,7 +237,11 @@ mod tests {
         s.put(one.clone()).unwrap();
         let err = s.put(one).unwrap_err();
         match err {
-            StagingError::OutOfMemory { cap, used, requested } => {
+            StagingError::OutOfMemory {
+                cap,
+                used,
+                requested,
+            } => {
                 assert_eq!(cap, 1000);
                 assert_eq!(used, 512);
                 assert_eq!(requested, 512);

@@ -3,6 +3,7 @@
 
 use crate::object::{DataObject, ObjectDesc, ObjectKey};
 use crate::server::{StagingError, StagingServer};
+use std::sync::Arc;
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
 
@@ -98,9 +99,14 @@ impl DataSpace {
     /// Store an object; on `BboxHash` collision pressure (target full), the
     /// put spills to the least-loaded server instead of failing, mirroring
     /// DataSpaces' overflow behaviour. Fails only when every server is full.
-    pub fn put(&self, obj: DataObject) -> Result<usize, StagingError> {
+    ///
+    /// The object is wrapped in an `Arc` once on entry; a rejected put hands
+    /// the same handle to the next candidate server, so spilling across N
+    /// full servers copies no payload at all.
+    pub fn put(&self, obj: impl Into<Arc<DataObject>>) -> Result<usize, StagingError> {
+        let obj: Arc<DataObject> = obj.into();
         let target = self.shard(&obj);
-        match self.servers[target].put(obj.clone()) {
+        match self.servers[target].put(Arc::clone(&obj)) {
             Ok(()) => Ok(target),
             Err(first_err) => {
                 // Spill to the emptiest server that can take it.
@@ -110,7 +116,7 @@ impl DataSpace {
                     if i == target {
                         continue;
                     }
-                    if self.servers[i].put(obj.clone()).is_ok() {
+                    if self.servers[i].put(Arc::clone(&obj)).is_ok() {
                         return Ok(i);
                     }
                 }
@@ -120,8 +126,9 @@ impl DataSpace {
     }
 
     /// All objects under `(name, version)` intersecting `query`
-    /// (all objects of the version if `query` is `None`).
-    pub fn get(&self, name: &str, version: u64, query: Option<&IBox>) -> Vec<DataObject> {
+    /// (all objects of the version if `query` is `None`), as refcounted
+    /// handles — readers share the stored descriptors and payloads.
+    pub fn get(&self, name: &str, version: u64, query: Option<&IBox>) -> Vec<Arc<DataObject>> {
         let key = ObjectKey::new(name, version);
         let mut out = Vec::new();
         for s in &self.servers {
@@ -247,6 +254,27 @@ mod tests {
         assert_eq!(space.get("rho", 2, None).len(), 1);
         let per = space.used_per_server();
         assert_eq!(per.iter().filter(|&&u| u == 512).count(), 2);
+    }
+
+    #[test]
+    fn spill_retries_without_copying_the_object() {
+        // The spill path must hand the same shared object to each candidate
+        // server rather than deep-cloning it per retry: the stored payload
+        // is the very allocation the caller submitted.
+        let space = DataSpace::new(2, 600, Sharding::BboxHash);
+        let first = obj("rho", 1, 0, 4); // 512 B
+        let second = obj("rho", 2, 0, 4); // same lo => same shard; must spill
+        let second_payload = second.payload.as_ref().as_ptr();
+        let s1 = space.put(first).unwrap();
+        let s2 = space.put(second).unwrap();
+        assert_ne!(s1, s2, "second object must spill to the other server");
+        let got = space.get("rho", 2, None);
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            got[0].payload.as_ref().as_ptr(),
+            second_payload,
+            "stored payload is not the caller's allocation (copied on spill)"
+        );
     }
 
     #[test]

@@ -6,10 +6,12 @@ use xlayer_amr::{Fab, IBox, IntVect};
 use xlayer_staging::{DataObject, DataSpace, ObjectKey, Sharding, StagingServer};
 
 fn arb_box() -> impl Strategy<Value = IBox> {
-    ((-8i64..8, -8i64..8, -8i64..8), (1i64..6, 1i64..6, 1i64..6)).prop_map(|((x, y, z), (a, b, c))| {
-        let lo = IntVect::new(x, y, z);
-        IBox::new(lo, lo + IntVect::new(a, b, c))
-    })
+    ((-8i64..8, -8i64..8, -8i64..8), (1i64..6, 1i64..6, 1i64..6)).prop_map(
+        |((x, y, z), (a, b, c))| {
+            let lo = IntVect::new(x, y, z);
+            IBox::new(lo, lo + IntVect::new(a, b, c))
+        },
+    )
 }
 
 fn coord_fab(b: IBox) -> Fab {

@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn uniform_spread_maximizes_entropy() {
         // 512 distinct values over 512 bins-worth of range → H ≈ log2(bins).
-        let f = fab_with(
-            |iv| (iv[0] + 8 * iv[1] + 64 * iv[2]) as f64,
-            8,
-        );
+        let f = fab_with(|iv| (iv[0] + 8 * iv[1] + 64 * iv[2]) as f64, 8);
         let h = block_entropy(&f, 0, &IBox::cube(8), 512);
         assert!(h > 8.9, "H = {h}, expected ≈ 9 bits");
     }

@@ -114,10 +114,19 @@ impl TriMesh {
         let triangles = self
             .triangles
             .iter()
-            .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]])
+            .map(|t| {
+                [
+                    remap[t[0] as usize],
+                    remap[t[1] as usize],
+                    remap[t[2] as usize],
+                ]
+            })
             .filter(|t| t[0] != t[1] && t[1] != t[2] && t[0] != t[2])
             .collect();
-        TriMesh { vertices, triangles }
+        TriMesh {
+            vertices,
+            triangles,
+        }
     }
 
     /// Count boundary edges (edges used by exactly one triangle) after

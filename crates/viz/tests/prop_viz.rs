@@ -13,11 +13,7 @@ fn blob_fab(n: i64, blobs: &[(f64, f64, f64, f64)]) -> Fab {
     let b = IBox::cube(n);
     let mut f = Fab::new(b, 1);
     for iv in b.cells() {
-        let (x, y, z) = (
-            iv[0] as f64 + 0.5,
-            iv[1] as f64 + 0.5,
-            iv[2] as f64 + 0.5,
-        );
+        let (x, y, z) = (iv[0] as f64 + 0.5, iv[1] as f64 + 0.5, iv[2] as f64 + 0.5);
         let mut v = 0.0;
         for &(cx, cy, cz, s) in blobs {
             let r2 = (x - cx).powi(2) + (y - cy).powi(2) + (z - cz).powi(2);

@@ -65,8 +65,7 @@ mod tests {
     fn real_simulation_produces_drive_points() {
         let n = 16;
         let domain = ProblemDomain::periodic(IBox::cube(n));
-        let solver =
-            AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+        let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
         let mut sim = AmrSimulation::new(
             domain,
             HierarchyConfig {

@@ -156,8 +156,7 @@ impl ModeledWorkflow {
     /// Free memory on the most loaded simulation rank, given the step's
     /// virtual output and imbalance.
     fn insitu_mem_available(&self, v_bytes: u64, imbalance: f64) -> u64 {
-        let per_core_budget =
-            (self.cfg.machine.memory_per_core() as f64 * SIM_MEM_FRACTION) as u64;
+        let per_core_budget = (self.cfg.machine.memory_per_core() as f64 * SIM_MEM_FRACTION) as u64;
         let worst_share =
             (v_bytes as f64 / self.cfg.partition.sim_cores as f64 * imbalance.max(1.0)) as u64;
         per_core_budget.saturating_sub(worst_share)
@@ -215,75 +214,87 @@ impl ModeledWorkflow {
         // --- adapt ---
         let (factor, analysis_bytes, analysis_cells, analysis_surface, placement, reason, split) =
             match self.cfg.strategy {
-            Strategy::StaticInSitu => {
-                (1, v_bytes, v_cells, v_surface, Placement::InSitu, None, 0u16)
-            }
-            Strategy::StaticInTransit => {
-                (1, v_bytes, v_cells, v_surface, Placement::InTransit, None, 0)
-            }
-            Strategy::PostProcessing => {
-                (1, v_bytes, v_cells, v_surface, Placement::InSitu, None, 0)
-            }
-            Strategy::Adaptive(cfg) => {
-                let sample = self.monitor.should_sample(self.step);
-                if sample {
-                    self.monitor.record(state.clone());
-                    self.sim_clock += self.cfg.adaptation_overhead;
-                    let a = self.engine.adapt(&state);
-                    if let Some(r) = a.resource {
-                        self.staging_cores =
-                            r.staging_cores.clamp(1, self.cfg.staging_cores_max);
-                    }
-                    self.analysis_interval = a.analysis_interval.max(1);
-                    let placement = match a.placement {
-                        Some(p) => p.placement,
-                        // Without the middleware mechanism the workflow keeps
-                        // the paper's §5.2.1/§5.2.3 shape: reduce in-situ,
-                        // analyze in-transit.
-                        None if cfg.enable_resource || cfg.enable_app => Placement::InTransit,
-                        None => Placement::InSitu,
-                    };
-                    let factor = a.app.map(|d| d.factor).unwrap_or(1);
-                    let split = a.placement.map(|p| p.insitu_permille).unwrap_or(0);
-                    self.standing = Some((factor, placement, split));
-                    (
-                        factor,
-                        a.analysis_bytes,
-                        a.analysis_cells,
-                        a.analysis_surface,
-                        placement,
-                        a.placement.map(|p| p.reason),
-                        a.placement.map(|p| p.insitu_permille).unwrap_or(0),
-                    )
-                } else {
-                    // Between monitor samples the standing configuration
-                    // applies (§3: adaptations trigger at sampling points);
-                    // the ROI hint and the standing factor both persist.
-                    let (factor, placement, split) = self.standing.unwrap_or((
-                        1,
-                        if cfg.enable_middleware {
-                            Placement::InTransit
-                        } else {
-                            Placement::InSitu
-                        },
-                        0,
-                    ));
-                    let roi = self.cfg.hints.roi_fraction.clamp(0.0, 1.0);
-                    let bytes = (v_bytes as f64 * roi) as u64;
-                    let cells = (v_cells as f64 * roi) as u64;
-                    let surface = (v_surface as f64 * roi) as u64;
-                    (
-                        factor,
-                        xlayer_core::policy::app::reduced_bytes(bytes, factor),
-                        xlayer_core::policy::app::reduced_cells(cells, factor),
-                        xlayer_core::policy::app::reduced_surface(surface, factor),
-                        placement,
-                        None,
-                        split,
-                    )
+                Strategy::StaticInSitu => (
+                    1,
+                    v_bytes,
+                    v_cells,
+                    v_surface,
+                    Placement::InSitu,
+                    None,
+                    0u16,
+                ),
+                Strategy::StaticInTransit => (
+                    1,
+                    v_bytes,
+                    v_cells,
+                    v_surface,
+                    Placement::InTransit,
+                    None,
+                    0,
+                ),
+                Strategy::PostProcessing => {
+                    (1, v_bytes, v_cells, v_surface, Placement::InSitu, None, 0)
                 }
-            }
-        };
+                Strategy::Adaptive(cfg) => {
+                    let sample = self.monitor.should_sample(self.step);
+                    if sample {
+                        self.monitor.record(state.clone());
+                        self.sim_clock += self.cfg.adaptation_overhead;
+                        let a = self.engine.adapt(&state);
+                        if let Some(r) = a.resource {
+                            self.staging_cores =
+                                r.staging_cores.clamp(1, self.cfg.staging_cores_max);
+                        }
+                        self.analysis_interval = a.analysis_interval.max(1);
+                        let placement = match a.placement {
+                            Some(p) => p.placement,
+                            // Without the middleware mechanism the workflow keeps
+                            // the paper's §5.2.1/§5.2.3 shape: reduce in-situ,
+                            // analyze in-transit.
+                            None if cfg.enable_resource || cfg.enable_app => Placement::InTransit,
+                            None => Placement::InSitu,
+                        };
+                        let factor = a.app.map(|d| d.factor).unwrap_or(1);
+                        let split = a.placement.map(|p| p.insitu_permille).unwrap_or(0);
+                        self.standing = Some((factor, placement, split));
+                        (
+                            factor,
+                            a.analysis_bytes,
+                            a.analysis_cells,
+                            a.analysis_surface,
+                            placement,
+                            a.placement.map(|p| p.reason),
+                            a.placement.map(|p| p.insitu_permille).unwrap_or(0),
+                        )
+                    } else {
+                        // Between monitor samples the standing configuration
+                        // applies (§3: adaptations trigger at sampling points);
+                        // the ROI hint and the standing factor both persist.
+                        let (factor, placement, split) = self.standing.unwrap_or((
+                            1,
+                            if cfg.enable_middleware {
+                                Placement::InTransit
+                            } else {
+                                Placement::InSitu
+                            },
+                            0,
+                        ));
+                        let roi = self.cfg.hints.roi_fraction.clamp(0.0, 1.0);
+                        let bytes = (v_bytes as f64 * roi) as u64;
+                        let cells = (v_cells as f64 * roi) as u64;
+                        let surface = (v_surface as f64 * roi) as u64;
+                        (
+                            factor,
+                            xlayer_core::policy::app::reduced_bytes(bytes, factor),
+                            xlayer_core::policy::app::reduced_cells(cells, factor),
+                            xlayer_core::policy::app::reduced_surface(surface, factor),
+                            placement,
+                            None,
+                            split,
+                        )
+                    }
+                }
+            };
 
         // --- post-processing baseline: dump to disk, analyze after the run ---
         if matches!(self.cfg.strategy, Strategy::PostProcessing) {
@@ -312,7 +323,8 @@ impl ModeledWorkflow {
         }
 
         // --- temporal resolution: skip this step's analysis entirely? ---
-        let analyzed = self.analysis_interval <= 1 || self.step.is_multiple_of(self.analysis_interval);
+        let analyzed =
+            self.analysis_interval <= 1 || self.step.is_multiple_of(self.analysis_interval);
 
         // --- reduce in-situ (application layer) ---
         if analyzed && factor > 1 {
@@ -400,8 +412,7 @@ impl ModeledWorkflow {
             }
         }
 
-        let worst_share =
-            (v_bytes as f64 / n as f64 * point.imbalance.max(1.0)) as u64;
+        let worst_share = (v_bytes as f64 / n as f64 * point.imbalance.max(1.0)) as u64;
         let log = StepLog {
             step: self.step,
             t_sim,
@@ -562,10 +573,8 @@ mod tests {
     #[test]
     fn adaptive_moves_less_data_than_intransit() {
         // Fig. 8: some steps run in-situ, so less data crosses the network.
-        let cfg_a = WorkflowConfig::titan_advect(
-            2048,
-            Strategy::Adaptive(EngineConfig::middleware_only()),
-        );
+        let cfg_a =
+            WorkflowConfig::titan_advect(2048, Strategy::Adaptive(EngineConfig::middleware_only()));
         let cfg_t = WorkflowConfig::titan_advect(2048, Strategy::StaticInTransit);
         let ra = ModeledWorkflow::new(cfg_a).run(&mut growing_trace(1 << 30, 1.12, 30), 30);
         let rt = ModeledWorkflow::new(cfg_t).run(&mut growing_trace(1 << 30, 1.12, 30), 30);
@@ -587,9 +596,8 @@ mod tests {
     #[test]
     fn resource_adaptation_tracks_data_growth() {
         // Fig. 9: staging cores grow as refinement grows the data.
-        let mut cfg = WorkflowConfig::intrepid_gas(Strategy::Adaptive(
-            EngineConfig::resource_only(),
-        ));
+        let mut cfg =
+            WorkflowConfig::intrepid_gas(Strategy::Adaptive(EngineConfig::resource_only()));
         cfg.scale = 1.0;
         let wf = ModeledWorkflow::new(cfg);
         let r = wf.run(&mut growing_trace(16 << 30, 1.15, 20), 20);
@@ -610,10 +618,8 @@ mod tests {
             EngineConfig::resource_only(),
         )))
         .run(&mut trace(), 30);
-        let static_ = ModeledWorkflow::new(WorkflowConfig::intrepid_gas(
-            Strategy::StaticInTransit,
-        ))
-        .run(&mut trace(), 30);
+        let static_ = ModeledWorkflow::new(WorkflowConfig::intrepid_gas(Strategy::StaticInTransit))
+            .run(&mut trace(), 30);
         assert!(
             adaptive.staging_efficiency() > static_.staging_efficiency(),
             "adaptive {} <= static {}",
@@ -629,10 +635,8 @@ mod tests {
         let mut cfg_g =
             WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::global()));
         cfg_g.hints = hints.clone();
-        let cfg_l = WorkflowConfig::titan_advect(
-            4096,
-            Strategy::Adaptive(EngineConfig::middleware_only()),
-        );
+        let cfg_l =
+            WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::middleware_only()));
         let rg = ModeledWorkflow::new(cfg_g).run(&mut growing_trace(1 << 30, 1.1, 30), 30);
         let rl = ModeledWorkflow::new(cfg_l).run(&mut growing_trace(1 << 30, 1.1, 30), 30);
         assert!(
@@ -646,10 +650,8 @@ mod tests {
     #[test]
     fn overhead_is_small_fraction_for_adaptive() {
         // The paper: adaptive end-to-end overhead < 6% of simulation time.
-        let cfg = WorkflowConfig::titan_advect(
-            4096,
-            Strategy::Adaptive(EngineConfig::middleware_only()),
-        );
+        let cfg =
+            WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::middleware_only()));
         let r = ModeledWorkflow::new(cfg).run(&mut growing_trace(1 << 30, 1.05, 40), 40);
         assert!(
             r.end_to_end.overhead_fraction() < 0.25,
@@ -662,10 +664,8 @@ mod tests {
     fn temporal_mechanism_skips_steps_under_pressure() {
         // Allow analyzing as rarely as every 4th step with a tight budget:
         // a fast simulation with expensive analysis must skip some steps.
-        let mut cfg = WorkflowConfig::titan_advect(
-            4096,
-            Strategy::Adaptive(EngineConfig::global()),
-        );
+        let mut cfg =
+            WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::global()));
         cfg.hints.max_analysis_interval = 4;
         cfg.hints.analysis_budget_frac = 0.01;
         let r = ModeledWorkflow::new(cfg).run(&mut growing_trace(1 << 30, 1.02, 24), 24);
@@ -678,10 +678,7 @@ mod tests {
             .filter(|s| !s.analyzed)
             .all(|s| s.moved_bytes == 0));
         // default hints never skip
-        let cfg = WorkflowConfig::titan_advect(
-            4096,
-            Strategy::Adaptive(EngineConfig::global()),
-        );
+        let cfg = WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::global()));
         let r = ModeledWorkflow::new(cfg).run(&mut growing_trace(1 << 30, 1.02, 24), 24);
         assert!(r.steps.iter().all(|s| s.analyzed));
     }
@@ -711,10 +708,8 @@ mod tests {
     fn standing_decisions_persist_between_monitor_samples() {
         // §3: the Monitor samples every k steps; between samples the last
         // configuration (factor, placement) stays in force.
-        let mut cfg = WorkflowConfig::titan_advect(
-            4096,
-            Strategy::Adaptive(EngineConfig::global()),
-        );
+        let mut cfg =
+            WorkflowConfig::titan_advect(4096, Strategy::Adaptive(EngineConfig::global()));
         cfg.hints = UserHints::paper_fig5_schedule(15);
         cfg.hints.monitor_interval = 3;
         let r = ModeledWorkflow::new(cfg).run(&mut growing_trace(1 << 30, 1.03, 18), 18);
@@ -729,7 +724,11 @@ mod tests {
         // reasons only on those steps.
         for s in &r.steps {
             if s.step % 3 != 0 {
-                assert!(s.reason.is_none(), "non-sample step {} has a reason", s.step);
+                assert!(
+                    s.reason.is_none(),
+                    "non-sample step {} has a reason",
+                    s.step
+                );
             }
         }
     }

@@ -5,12 +5,12 @@
 
 use crate::report::StepLog;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use std::collections::HashMap;
 use xlayer_core::{
-    AdaptationEngine, Calibrator, EngineConfig, Estimator, OperationalState, Placement,
-    UserHints, UserPreferences,
+    AdaptationEngine, Calibrator, EngineConfig, Estimator, OperationalState, Placement, UserHints,
+    UserPreferences,
 };
 use xlayer_platform::{CostModel, MachineSpec};
 use xlayer_solvers::{AmrSimulation, LevelSolver};
@@ -186,8 +186,11 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             // Close the autonomic loop: correct the estimator with the
             // observed in-transit analysis time.
             if let Some(predicted) = self.predictions.remove(&r.version) {
-                self.calibrator
-                    .observe_intransit(self.engine.estimator_mut(), predicted, r.seconds);
+                self.calibrator.observe_intransit(
+                    self.engine.estimator_mut(),
+                    predicted,
+                    r.seconds,
+                );
             }
             self.outcomes.push(r);
         }
@@ -220,10 +223,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             staging_cores: self.cfg.workers,
             staging_cores_max: self.cfg.workers,
             mem_available_insitu: u64::MAX / 2,
-            mem_available_intransit: self
-                .space
-                .capacity()
-                .saturating_sub(self.space.used()),
+            mem_available_intransit: self.space.capacity().saturating_sub(self.space.used()),
         };
         let adaptations = self.engine.adapt(&state);
         let placement = adaptations
@@ -280,13 +280,11 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                         let obj = if factor > 1 {
                             // Application-layer reduction before transport.
                             let valid = level.valid_box(i);
-                            let mut tight =
-                                xlayer_amr::Fab::new(valid, 1);
+                            let mut tight = xlayer_amr::Fab::new(valid, 1);
                             for iv in valid.cells() {
                                 tight.set(iv, 0, level.fab(i).get(iv, self.cfg.comp));
                             }
-                            let reduced =
-                                xlayer_viz::downsample_fab(&tight, 0, factor);
+                            let reduced = xlayer_viz::downsample_fab(&tight, 0, factor);
                             DataObject::from_fab(
                                 "field",
                                 stats.step,
@@ -374,8 +372,7 @@ mod tests {
 
     fn blob_sim(n: i64) -> AmrSimulation<AdvectDiffuseSolver> {
         let domain = ProblemDomain::periodic(IBox::cube(n));
-        let solver =
-            AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+        let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
         let mut sim = AmrSimulation::new(
             domain,
             HierarchyConfig {
@@ -533,10 +530,7 @@ mod tests {
                 wf.step();
             }
             let (_, outcomes, _) = wf.finish();
-            outcomes
-                .iter()
-                .map(|o| o.triangles)
-                .collect::<Vec<_>>()
+            outcomes.iter().map(|o| o.triangles).collect::<Vec<_>>()
         };
         // Note: in-transit extracts per staged grid without cross-grid ghost
         // data; level-0 covers the domain so totals agree per level for the

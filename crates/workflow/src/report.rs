@@ -2,9 +2,7 @@
 //! figure and table of the evaluation.
 
 use xlayer_core::{Placement, PlacementReason};
-use xlayer_platform::{
-    EndToEnd, EnergyReport, SimTime, StagingUtilization, UtilizationBuckets,
-};
+use xlayer_platform::{EndToEnd, EnergyReport, SimTime, StagingUtilization, UtilizationBuckets};
 
 /// One row of the per-step log.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -89,7 +87,10 @@ impl WorkflowReport {
 
     /// The Fig. 9 series: staging cores per step.
     pub fn staging_core_series(&self) -> Vec<(u64, usize)> {
-        self.steps.iter().map(|s| (s.step, s.staging_cores)).collect()
+        self.steps
+            .iter()
+            .map(|s| (s.step, s.staging_cores))
+            .collect()
     }
 
     /// The Fig. 5 series: (step, available, used) memory in bytes.

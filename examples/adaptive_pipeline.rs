@@ -57,8 +57,10 @@ fn main() {
     let points = trace(STEPS as usize);
     let scale = (1024.0 * 1024.0 * 1024.0) / (16.0f64.powi(3)); // virtual 1024³ domain
 
-    println!("\n{:<10} {:>12} {:>12} {:>12} {:>10} {:>10}",
-        "strategy", "sim (s)", "overhead (s)", "total (s)", "moved (GB)", "insitu/it");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "strategy", "sim (s)", "overhead (s)", "total (s)", "moved (GB)", "insitu/it"
+    );
     for strategy in [
         Strategy::StaticInSitu,
         Strategy::StaticInTransit,

@@ -83,7 +83,10 @@ fn main() {
     }
 
     let report = consumer.join().expect("consumer");
-    println!("consumer saw {} versions of its region of interest:", report.len());
+    println!(
+        "consumer saw {} versions of its region of interest:",
+        report.len()
+    );
     println!("version   mean      max      (blob advects out of the ROI)");
     for (v, s) in &report {
         println!("{v:>7}   {:.4}   {:.4}", s.mean, s.max);

@@ -57,7 +57,10 @@ fn main() {
         .collect();
     let h_lo = entropies.iter().cloned().fold(f64::INFINITY, f64::min);
     let h_hi = entropies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    println!("block entropies: {h_lo:.2} – {h_hi:.2} bits over {} blocks", entropies.len());
+    println!(
+        "block entropies: {h_lo:.2} – {h_hi:.2} bits over {} blocks",
+        entropies.len()
+    );
 
     // Low-entropy blocks reduced 4× per dimension, mid 2×, high kept.
     let t1 = h_lo + 0.4 * (h_hi - h_lo);

@@ -83,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (l, level) in p.levels.iter().enumerate() {
             let dx = 1.0 / p.ref_ratio.pow(l as u32) as f64;
             let surfaces = extract_level(level, RHO, 0.9, dx);
-            total_tris += surfaces.iter().map(|s| s.mesh.num_triangles()).sum::<usize>();
+            total_tris += surfaces
+                .iter()
+                .map(|s| s.mesh.num_triangles())
+                .sum::<usize>();
         }
     }
     println!(

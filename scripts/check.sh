@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass before a commit lands.
+# Mirrors .github/workflows/ci.yml so the same script runs locally and
+# in CI without network access (all dependencies are vendored).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "==> bench targets compile"
+cargo build --release -p xlayer-bench --benches --bins
+
+echo "All checks passed."

@@ -64,8 +64,13 @@ fn restart_continues_bit_for_bit() {
         first_half.advance();
     }
     let mut buf = Vec::new();
-    write_plotfile(&mut buf, &first_half.hierarchy, first_half.step_count(), first_half.time())
-        .expect("checkpoint write");
+    write_plotfile(
+        &mut buf,
+        &first_half.hierarchy,
+        first_half.step_count(),
+        first_half.time(),
+    )
+    .expect("checkpoint write");
     let ckpt_step = first_half.step_count();
     let ckpt_time = first_half.time();
     drop(first_half);

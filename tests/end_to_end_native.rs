@@ -55,7 +55,11 @@ fn advect_workflow_analyzes_every_step() {
     assert_eq!(steps.len(), 6);
     assert_eq!(outcomes.len(), 6);
     let versions: Vec<u64> = outcomes.iter().map(|o| o.version).collect();
-    assert_eq!(versions, vec![1, 2, 3, 4, 5, 6], "each step analyzed once, in order");
+    assert_eq!(
+        versions,
+        vec![1, 2, 3, 4, 5, 6],
+        "each step analyzed once, in order"
+    );
     assert!(outcomes.iter().all(|o| o.triangles > 0));
 }
 

@@ -48,7 +48,11 @@ fn real_trace(steps: usize) -> Vec<DrivePoint> {
     (0..steps).map(|_| d.next_point()).collect()
 }
 
-fn run(points: &[DrivePoint], strategy: Strategy, hints: Option<UserHints>) -> xlayer::workflow::WorkflowReport {
+fn run(
+    points: &[DrivePoint],
+    strategy: Strategy,
+    hints: Option<UserHints>,
+) -> xlayer::workflow::WorkflowReport {
     let mut cfg = WorkflowConfig::titan_advect(4096, strategy);
     cfg.scale = (1u64 << 30) as f64 / 4096.0; // virtual 1024³-ish
     if let Some(h) = hints {

@@ -95,13 +95,21 @@ fn eviction_under_memory_pressure_keeps_newest() {
     let b = IBox::cube(16); // 4096 cells = 32 KB
     let space = DataSpace::new(1, 80 << 10, Sharding::RoundRobin);
     let fab = Fab::filled(b, 1, 1.0);
-    assert!(space.put(DataObject::from_fab("u", 1, &fab, 0, &b, 0)).is_ok());
-    assert!(space.put(DataObject::from_fab("u", 2, &fab, 0, &b, 0)).is_ok());
+    assert!(space
+        .put(DataObject::from_fab("u", 1, &fab, 0, &b, 0))
+        .is_ok());
+    assert!(space
+        .put(DataObject::from_fab("u", 2, &fab, 0, &b, 0))
+        .is_ok());
     // Third version overflows…
-    assert!(space.put(DataObject::from_fab("u", 3, &fab, 0, &b, 0)).is_err());
+    assert!(space
+        .put(DataObject::from_fab("u", 3, &fab, 0, &b, 0))
+        .is_err());
     // …until the consumer evicts the consumed version.
     space.evict_before("u", 2);
-    assert!(space.put(DataObject::from_fab("u", 3, &fab, 0, &b, 0)).is_ok());
+    assert!(space
+        .put(DataObject::from_fab("u", 3, &fab, 0, &b, 0))
+        .is_ok());
     assert!(space.get("u", 1, None).is_empty());
     assert_eq!(space.get("u", 3, None).len(), 1);
 }

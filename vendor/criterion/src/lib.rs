@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`bench_function`/
+//! `benchmark_group` API so the workspace's benches compile and run
+//! unchanged, with a simple but honest measurement loop: calibrate the
+//! iteration count to a target sample duration, take several samples, and
+//! report the median ns/iter. A positional CLI argument filters benchmarks
+//! by substring (like `cargo bench -- exchange`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const CALIBRATION_TARGET: Duration = Duration::from_millis(10);
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+const SAMPLES: usize = 7;
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, reporting the median over several timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count filling the calibration target.
+        let mut n: u64 = 1;
+        let per_iter_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let el = t0.elapsed();
+            if el >= CALIBRATION_TARGET || n >= (1 << 24) {
+                break (el.as_nanos() as f64 / n as f64).max(0.1);
+            }
+            n = n.saturating_mul(4);
+        };
+        let iters =
+            ((SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns).ceil() as u64).clamp(1, 1 << 28);
+        let mut samples = [0.0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            *s = t0.elapsed().as_nanos() as f64 / iters as f64;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[SAMPLES / 2];
+    }
+}
+
+/// Benchmark registry/driver (a tiny subset of criterion's).
+pub struct Criterion {
+    filters: Vec<String>,
+    /// `(name, median ns/iter)` for every benchmark run so far.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args act as substring filters; flags (-*, --*) from
+        // the cargo bench harness protocol are ignored.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.enabled(name) {
+            return self;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{:<44} {:>14.1} ns/iter", name, b.ns_per_iter);
+        self.results.push((name.to_string(), b.ns_per_iter));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.c.bench_function(&name, |b| f(b, input));
+        self
+    }
+
+    /// Run one plain benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Finish the group (reporting happens per-benchmark; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            filters: Vec::new(),
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("f", 32);
+        assert_eq!(id.id, "f/32");
+        let id = BenchmarkId::from_parameter(64);
+        assert_eq!(id.id, "64");
+    }
+}

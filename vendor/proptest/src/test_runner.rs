@@ -1,0 +1,126 @@
+//! Deterministic case runner support: config, RNG, error type.
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is redrawn.
+    Reject(String),
+}
+
+/// Deterministic RNG (splitmix64) used for value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from a seed; the same seed replays the same values.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, n)` (`n = 0` returns 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seed for one test case: stable across runs, distinct across
+/// (test, case, reject-round).
+pub fn case_seed(test_name: &str, case: u32, rejects: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case counters.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ ((case as u64) << 32) ^ ((rejects as u64).wrapping_mul(0x9e37_79b9))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn runner_executes_cases(a in 0i64..100, b in 0i64..100) {
+            prop_assert!(a + b >= a.min(b));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_redraws(
+            n in 0u32..64,
+        ) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn patterns_and_oneof(
+            (x, y) in (0i32..5, 5i32..9),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!(x < y);
+            prop_assert_ne!(pick, 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(
+            super::case_seed("mod::test", 3, 0),
+            super::case_seed("mod::test", 3, 0)
+        );
+        assert_ne!(
+            super::case_seed("mod::test", 3, 0),
+            super::case_seed("mod::test", 4, 0)
+        );
+    }
+}

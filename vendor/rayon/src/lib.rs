@@ -1,0 +1,320 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small parallel-iterator surface this workspace uses —
+//! `slice.par_iter_mut().enumerate().for_each(..)`, `slice.par_iter()`,
+//! and `range.into_par_iter().map(..).collect()` — on top of
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! hardware thread. Unlike real rayon there is no persistent pool, so
+//! each call pays thread-spawn cost; callers on fine-grained data should
+//! gate parallelism on problem size (the AMR exchange path does).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Import this to get `par_iter_mut` / `into_par_iter` in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn threads_for(n: usize) -> usize {
+    if n < 2 {
+        1
+    } else {
+        current_num_threads().min(n)
+    }
+}
+
+fn join_all<R>(handles: Vec<std::thread::ScopedJoinHandle<'_, R>>) -> Vec<R> {
+    handles
+        .into_iter()
+        .map(|h| match h.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(e),
+        })
+        .collect()
+}
+
+/// `par_iter_mut` on slices (and anything derefing to a slice).
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over mutable items.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// `par_iter` on slices (and anything derefing to a slice).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over shared items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { items: self.items }
+    }
+
+    /// Run `f` on every item, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        EnumerateMut { items: self.items }.for_each(|(_, item)| f(item));
+    }
+}
+
+/// Enumerated parallel iterator over `(usize, &mut T)`.
+pub struct EnumerateMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Run `f` on every `(index, item)` pair, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let n = self.items.len();
+        let nt = threads_for(n);
+        if nt <= 1 {
+            for (i, item) in self.items.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        let chunk = n.div_ceil(nt);
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nt);
+            for (ci, items) in self.items.chunks_mut(chunk).enumerate() {
+                handles.push(s.spawn(move || {
+                    for (j, item) in items.iter_mut().enumerate() {
+                        f((ci * chunk + j, item));
+                    }
+                }));
+            }
+            join_all(handles);
+        });
+    }
+}
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Run `f` on every item, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let n = self.items.len();
+        let nt = threads_for(n);
+        if nt <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(nt);
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nt);
+            for items in self.items.chunks(chunk) {
+                handles.push(s.spawn(move || {
+                    for item in items {
+                        f(item);
+                    }
+                }));
+            }
+            join_all(handles);
+        });
+    }
+
+    /// Map every item through `f`, preserving order.
+    pub fn map<R, F>(self, f: F) -> SliceMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        SliceMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator over a slice.
+pub struct SliceMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> SliceMap<'a, T, F> {
+    /// Collect mapped results in item order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        let f = &self.f;
+        let parts = run_indexed(self.items.len(), |i| f(&self.items[i]));
+        C::from_ordered_parts(parts)
+    }
+}
+
+/// `into_par_iter` for index ranges.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangePar {
+    range: Range<usize>,
+}
+
+impl RangePar {
+    /// Map every index through `f`, preserving order.
+    pub fn map<R, F>(self, f: F) -> RangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        RangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Run `f` on every index, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        run_indexed(n, |i| f(start + i));
+    }
+}
+
+/// Mapped parallel iterator over a range.
+pub struct RangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> RangeMap<F> {
+    /// Collect mapped results in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        let parts = run_indexed(n, |i| f(start + i));
+        C::from_ordered_parts(parts)
+    }
+}
+
+/// Evaluate `f(0..n)` across threads; returns per-chunk results in order.
+fn run_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<Vec<R>> {
+    let nt = threads_for(n);
+    if nt <= 1 {
+        return vec![(0..n).map(f).collect()];
+    }
+    let chunk = n.div_ceil(nt);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(nt);
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            handles.push(s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>()));
+            lo = hi;
+        }
+        join_all(handles)
+    })
+}
+
+/// Types a parallel iterator can collect into.
+pub trait FromParallelIterator<R> {
+    /// Build from ordered chunks of results.
+    fn from_ordered_parts(parts: Vec<Vec<R>>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_parts(parts: Vec<Vec<R>>) -> Self {
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0usize; 1000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..997).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 997);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * i));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let mut v = vec![7usize];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![8]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on config and
+//! metrics types — nothing serializes through serde yet (checkpoints use a
+//! hand-rolled format). So the traits are markers and the derives are
+//! no-ops; swap in real serde when an actual wire format shows up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de> {}
+
+/// Marker for types deserializable without borrowing.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` backing the
+//! offline serde stand-in: the derives accept serde attributes and emit
+//! nothing (the traits in the `serde` stand-in are markers with no
+//! methods, so no impl is required for the code to compile and run).
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and emit nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and emit nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
