@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xlayer_amr::{Fab, IBox};
-use xlayer_viz::downsample::downsample_fab;
-use xlayer_viz::entropy::block_entropy;
+use xlayer_viz::downsample::{downsample_fab, downsample_region, downsample_region_reference};
+use xlayer_viz::entropy::{block_entropy, block_entropy_reference, block_entropy_scratch};
 
 fn noisy_fab(n: i64) -> Fab {
     let b = IBox::cube(n);
@@ -37,6 +37,31 @@ fn bench_reduction(c: &mut Criterion) {
             b.iter(|| downsample_fab(&fab, 0, x))
         });
     }
+    group.finish();
+
+    // Flat strided-row kernels vs the per-cell references at 64³ — the
+    // acceptance measurement for the allocation-free analysis data path.
+    let fab = noisy_fab(64);
+    let region = IBox::cube(64);
+
+    let mut group = c.benchmark_group("downsample_64c_x4");
+    group.bench_function("flat", |b| {
+        b.iter(|| downsample_region(&fab, 0, &region, 4))
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| downsample_region_reference(&fab, 0, &region, 4))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("entropy_64c_256bins");
+    group.bench_function("flat", |b| b.iter(|| block_entropy(&fab, 0, &region, 256)));
+    group.bench_function("flat_scratch", |b| {
+        let mut hist = Vec::new();
+        b.iter(|| block_entropy_scratch(&fab, 0, &region, 256, &mut hist))
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| block_entropy_reference(&fab, 0, &region, 256))
+    });
     group.finish();
 }
 

@@ -2,8 +2,8 @@
 //! scanned plus surface crossed (the `analysis_time_surface` model).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xlayer_amr::{Fab, IBox};
-use xlayer_viz::extract_block;
+use xlayer_amr::{Fab, IBox, IntVect};
+use xlayer_viz::{extract_block, TriMesh};
 
 fn sphere_fab(n: i64) -> Fab {
     let b = IBox::cube(n);
@@ -40,6 +40,31 @@ fn bench_mc(c: &mut Criterion) {
         let mesh = extract_block(&fab, 0, &IBox::cube(32), 10.0, 1.0, [0.0; 3]);
         b.iter(|| mesh.welded(1e-9))
     });
+
+    // Merging per-grid surfaces into one level mesh: the parallel
+    // prefix-sum concat vs the serial grow-and-append baseline.
+    let fab = sphere_fab(32);
+    let parts: Vec<TriMesh> = (0..4i64)
+        .flat_map(|bz| (0..4i64).flat_map(move |by| (0..4i64).map(move |bx| (bx, by, bz))))
+        .map(|(bx, by, bz)| {
+            let lo = IntVect::new(bx * 8, by * 8, bz * 8);
+            let region = IBox::new(lo, lo + IntVect::splat(7));
+            extract_block(&fab, 0, &region, 10.0, 1.0, [0.0; 3])
+        })
+        .collect();
+    let refs: Vec<&TriMesh> = parts.iter().collect();
+    let mut group = c.benchmark_group("merge_64parts");
+    group.bench_function("concat", |b| b.iter(|| TriMesh::concat(&refs)));
+    group.bench_function("append", |b| {
+        b.iter(|| {
+            let mut total = TriMesh::new();
+            for p in &parts {
+                total.append(p);
+            }
+            total
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_mc);

@@ -1,0 +1,72 @@
+//! End-to-end native workflow: solve + pack + stage + in-transit
+//! extraction, comparing synchronous puts against the overlapped
+//! (asynchronous back-pressured) staging pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xlayer_amr::hierarchy::HierarchyConfig;
+use xlayer_amr::{IBox, ProblemDomain};
+use xlayer_core::Placement;
+use xlayer_solvers::{
+    AdvectDiffuseSolver, AmrSimulation, DriverConfig, ScalarProblem, VelocityField,
+};
+use xlayer_workflow::{NativeConfig, NativeWorkflow};
+
+fn blob_sim(n: i64) -> AmrSimulation<AdvectDiffuseSolver> {
+    let domain = ProblemDomain::periodic(IBox::cube(n));
+    let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 8,
+            ..Default::default()
+        },
+        solver,
+        DriverConfig {
+            tag_threshold: 0.02,
+            regrid_interval: 3,
+            ..Default::default()
+        },
+    );
+    ScalarProblem::Gaussian {
+        center: [n as f64 / 2.0; 3],
+        sigma: 2.5,
+    }
+    .init_hierarchy(&mut sim.hierarchy);
+    sim.regrid_now();
+    sim
+}
+
+fn run_pipeline(overlap: bool, steps: usize) -> u64 {
+    let mut wf = NativeWorkflow::new(
+        blob_sim(16),
+        NativeConfig {
+            iso_value: 0.4,
+            overlap_staging: overlap,
+            placement_override: Some(Placement::InTransit),
+            staging_servers: 1,
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    for _ in 0..steps {
+        wf.step();
+    }
+    let (_, outcomes, moved) = wf.finish();
+    assert_eq!(outcomes.len(), steps);
+    moved
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_pipeline_16c_4steps");
+    for overlap in [false, true] {
+        let name = if overlap { "overlapped" } else { "sync" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &overlap, |b, &ov| {
+            b.iter(|| run_pipeline(ov, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

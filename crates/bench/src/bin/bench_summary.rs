@@ -1,33 +1,50 @@
 //! Machine-readable summary of the native hot-path micro-benchmarks.
 //!
 //! Re-times the headline cases of `benches/ghost_exchange.rs`,
-//! `benches/solver_kernels.rs`, and `benches/staging_ops.rs` with a plain
-//! `std::time::Instant` harness (Criterion is a dev-dependency, not
-//! available to binaries) and writes `BENCH_native_hotpath.json` — one
-//! ns/iter figure per bench plus the cached/uncached exchange speedup —
-//! so CI and later sessions can diff hot-path performance without parsing
-//! bench output.
+//! `benches/solver_kernels.rs`, `benches/staging_ops.rs`,
+//! `benches/entropy_downsample.rs`, `benches/marching_cubes.rs`, and
+//! `benches/native_pipeline.rs` with a plain `std::time::Instant` harness
+//! (Criterion is a dev-dependency, not available to binaries) and writes
+//! `BENCH_native_hotpath.json` — one ns/iter figure per bench plus derived
+//! speedups — so CI and later sessions can diff hot-path performance
+//! without parsing bench output. The key set is pinned by
+//! [`xlayer_bench::EXPECTED_BENCH_KEYS`] and validated by the
+//! `bench_schema_check` binary.
 //!
 //! Usage: `cargo run --release -p xlayer-bench --bin bench_summary [out.json]`
 
 use std::time::Instant;
 use xlayer_amr::domain::ProblemDomain;
+use xlayer_amr::hierarchy::HierarchyConfig;
 use xlayer_amr::layout::BoxLayout;
 use xlayer_amr::level_data::LevelData;
 use xlayer_amr::{Fab, IBox, IntVect};
+use xlayer_bench::{EXPECTED_BENCH_KEYS, EXPECTED_DERIVED_KEYS};
+use xlayer_core::Placement;
 use xlayer_solvers::euler::{EulerSolver, Primitive};
-use xlayer_solvers::{AdvectDiffuseSolver, LevelSolver, VelocityField};
+use xlayer_solvers::{
+    AdvectDiffuseSolver, AmrSimulation, DriverConfig, LevelSolver, ScalarProblem, VelocityField,
+};
 use xlayer_staging::{DataObject, DataSpace, Sharding};
+use xlayer_viz::downsample::{
+    downsample_region, downsample_region_reference, reconstruction_mse,
+    reconstruction_mse_reference,
+};
+use xlayer_viz::entropy::{block_entropy, block_entropy_reference, level_entropies};
+use xlayer_viz::TriMesh;
+use xlayer_workflow::{NativeConfig, NativeWorkflow};
 
-/// Median ns/iter of `f`: one calibration call sizes batches to ~25 ms,
-/// then the median over five batches is reported (same shape as the
-/// Criterion harness, minus the statistics).
+/// Best-batch ns/iter of `f`: one calibration call sizes batches to
+/// ~25 ms, then the minimum over seven batches is reported. Timing noise
+/// on a shared host is strictly additive (preemption, frequency dips), so
+/// the minimum is the robust estimator of the true cost — medians still
+/// wander by tens of percent between whole-summary runs here.
 fn time_ns(mut f: impl FnMut()) -> f64 {
     let t0 = Instant::now();
     f();
     let once = t0.elapsed().as_nanos().max(1) as f64;
     let iters = ((25e6 / once).ceil() as u64).clamp(1, 1_000_000);
-    let mut samples: Vec<f64> = (0..5)
+    (0..7)
         .map(|_| {
             let t = Instant::now();
             for _ in 0..iters {
@@ -35,9 +52,7 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
             }
             t.elapsed().as_nanos() as f64 / iters as f64
         })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn level(n: i64, max_box: i64, periodic: bool, nghost: i64) -> LevelData {
@@ -75,6 +90,64 @@ fn staging_obj(version: u64, lo: i64, n: i64) -> DataObject {
     let b = IBox::cube(n).shift(IntVect::splat(lo));
     let fab = Fab::filled(b, 1, 1.0);
     DataObject::from_fab("rho", version, &fab, 0, &b, 0)
+}
+
+fn noisy_fab(n: i64) -> Fab {
+    let b = IBox::cube(n);
+    let mut f = Fab::new(b, 1);
+    let mut state: u64 = 42;
+    for iv in b.cells() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        f.set(iv, 0, (state >> 33) as f64 / (1u64 << 31) as f64);
+    }
+    f
+}
+
+fn blob_sim(n: i64) -> AmrSimulation<AdvectDiffuseSolver> {
+    let domain = ProblemDomain::periodic(IBox::cube(n));
+    let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 8,
+            ..Default::default()
+        },
+        solver,
+        DriverConfig {
+            tag_threshold: 0.02,
+            regrid_interval: 3,
+            ..Default::default()
+        },
+    );
+    ScalarProblem::Gaussian {
+        center: [n as f64 / 2.0; 3],
+        sigma: 2.5,
+    }
+    .init_hierarchy(&mut sim.hierarchy);
+    sim.regrid_now();
+    sim
+}
+
+fn run_pipeline(overlap: bool, steps: usize) {
+    let mut wf = NativeWorkflow::new(
+        blob_sim(16),
+        NativeConfig {
+            iso_value: 0.4,
+            overlap_staging: overlap,
+            placement_override: Some(Placement::InTransit),
+            staging_servers: 1,
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    for _ in 0..steps {
+        wf.step();
+    }
+    let (_, outcomes, _) = wf.finish();
+    assert_eq!(outcomes.len(), steps);
 }
 
 fn main() {
@@ -145,27 +218,173 @@ fn main() {
         });
     }
 
-    let cached = results
-        .iter()
-        .find(|(n, _)| *n == "exchange_32c_64box_periodic_cached")
-        .map(|(_, ns)| *ns)
-        .unwrap_or(f64::NAN);
-    let uncached = results
-        .iter()
-        .find(|(n, _)| *n == "exchange_32c_64box_periodic_uncached")
-        .map(|(_, ns)| *ns)
-        .unwrap_or(f64::NAN);
-    let speedup = uncached / cached;
-    println!("\nexchange cached vs uncached speedup: {speedup:.2}x");
+    // Flat viz kernels vs their per-cell references at 64³ — the
+    // acceptance measurement for the allocation-free analysis data path.
+    {
+        let fab = noisy_fab(64);
+        let region = IBox::cube(64);
+        run("downsample_flat_64c_x4", &mut || {
+            let _ = downsample_region(&fab, 0, &region, 4);
+        });
+        run("downsample_reference_64c_x4", &mut || {
+            let _ = downsample_region_reference(&fab, 0, &region, 4);
+        });
+        run("mse_flat_64c_x4", &mut || {
+            let _ = reconstruction_mse(&fab, 0, 4);
+        });
+        run("mse_reference_64c_x4", &mut || {
+            let _ = reconstruction_mse_reference(&fab, 0, 4);
+        });
+        run("entropy_flat_64c_256bins", &mut || {
+            let _ = block_entropy(&fab, 0, &region, 256);
+        });
+        run("entropy_reference_64c_256bins", &mut || {
+            let _ = block_entropy_reference(&fab, 0, &region, 256);
+        });
+    }
+
+    // The entropy-driven adaptation's real unit of work: scan every grid
+    // of a 64³ level (64 grids of 16³). Flat+parallel scan with a reused
+    // histogram vs the seed's serial per-cell loop.
+    {
+        let domain = ProblemDomain::new(IBox::cube(64));
+        let layout = BoxLayout::decompose(&domain, 16, 4);
+        let mut ld = LevelData::new(layout, domain, 1, 1);
+        let mut state: u64 = 7;
+        ld.for_each_mut(|vb, f| {
+            for iv in vb.cells() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                f.set(iv, 0, (state >> 33) as f64 / (1u64 << 31) as f64);
+            }
+        });
+        run("level_entropy_scan_64c_flat", &mut || {
+            let _ = level_entropies(&ld, 0, 256);
+        });
+        run("level_entropy_scan_64c_reference", &mut || {
+            let _: Vec<f64> = (0..ld.len())
+                .map(|i| block_entropy_reference(ld.fab(i), 0, &ld.valid_box(i), 256))
+                .collect();
+        });
+    }
+
+    // Merging 64 per-grid surfaces: parallel prefix-sum concat vs serial
+    // grow-and-append.
+    {
+        let fab = noisy_fab(32);
+        let parts: Vec<TriMesh> = (0..4i64)
+            .flat_map(|bz| (0..4i64).flat_map(move |by| (0..4i64).map(move |bx| (bx, by, bz))))
+            .map(|(bx, by, bz)| {
+                let lo = IntVect::new(bx * 8, by * 8, bz * 8);
+                let region = IBox::new(lo, lo + IntVect::splat(7));
+                xlayer_viz::extract_block(&fab, 0, &region, 0.5, 1.0, [0.0; 3])
+            })
+            .collect();
+        let refs: Vec<&TriMesh> = parts.iter().collect();
+        run("mesh_concat_64parts", &mut || {
+            let _ = TriMesh::concat(&refs);
+        });
+        run("mesh_append_64parts", &mut || {
+            let mut total = TriMesh::new();
+            for p in &parts {
+                total.append(p);
+            }
+        });
+    }
+
+    // End-to-end native pipeline (solve + pack + stage + in-transit
+    // extraction): synchronous puts vs the overlapped transport. The two
+    // variants are sampled interleaved (sync, overlapped, sync, …) so slow
+    // drift — allocator state, frequency scaling — cancels between them
+    // instead of biasing whichever ran second, and the best sample of each
+    // is reported (noise is additive, as in `time_ns`).
+    {
+        let mut sync_ns = f64::INFINITY;
+        let mut over_ns = f64::INFINITY;
+        for _ in 0..7 {
+            let t = Instant::now();
+            run_pipeline(false, 4);
+            sync_ns = sync_ns.min(t.elapsed().as_nanos() as f64);
+            let t = Instant::now();
+            run_pipeline(true, 4);
+            over_ns = over_ns.min(t.elapsed().as_nanos() as f64);
+        }
+        for (name, ns) in [
+            ("native_pipeline_sync_16c_4steps", sync_ns),
+            ("native_pipeline_overlapped_16c_4steps", over_ns),
+        ] {
+            println!("{name:<44} {ns:>14.1} ns/iter");
+            results.push((name, ns));
+        }
+    }
+
+    let produced: Vec<&str> = results.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        produced, EXPECTED_BENCH_KEYS,
+        "bench_summary and EXPECTED_BENCH_KEYS are out of sync"
+    );
+
+    let ns_of = |name: &str| -> f64 {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ns)| *ns)
+            .unwrap_or(f64::NAN)
+    };
+    let derived: Vec<(&str, f64)> = vec![
+        (
+            "exchange_cached_speedup",
+            ns_of("exchange_32c_64box_periodic_uncached")
+                / ns_of("exchange_32c_64box_periodic_cached"),
+        ),
+        (
+            "downsample_flat_speedup",
+            ns_of("downsample_reference_64c_x4") / ns_of("downsample_flat_64c_x4"),
+        ),
+        (
+            "mse_flat_speedup",
+            ns_of("mse_reference_64c_x4") / ns_of("mse_flat_64c_x4"),
+        ),
+        (
+            "entropy_flat_speedup",
+            ns_of("entropy_reference_64c_256bins") / ns_of("entropy_flat_64c_256bins"),
+        ),
+        (
+            "level_entropy_scan_speedup",
+            ns_of("level_entropy_scan_64c_reference") / ns_of("level_entropy_scan_64c_flat"),
+        ),
+        (
+            "mesh_concat_speedup",
+            ns_of("mesh_append_64parts") / ns_of("mesh_concat_64parts"),
+        ),
+        (
+            "staging_overlap_speedup",
+            ns_of("native_pipeline_sync_16c_4steps")
+                / ns_of("native_pipeline_overlapped_16c_4steps"),
+        ),
+    ];
+    let derived_names: Vec<&str> = derived.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        derived_names, EXPECTED_DERIVED_KEYS,
+        "bench_summary and EXPECTED_DERIVED_KEYS are out of sync"
+    );
+    println!();
+    for (name, v) in &derived {
+        println!("{name:<44} {v:>13.2}x");
+    }
 
     let mut json = String::from("{\n  \"unit\": \"ns_per_iter\",\n  \"benches\": {\n");
     for (i, (name, ns)) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
         json.push_str(&format!("    \"{name}\": {ns:.1}{sep}\n"));
     }
-    json.push_str(&format!(
-        "  }},\n  \"derived\": {{\n    \"exchange_cached_speedup\": {speedup:.2}\n  }}\n}}\n"
-    ));
+    json.push_str("  },\n  \"derived\": {\n");
+    for (i, (name, v)) in derived.iter().enumerate() {
+        let sep = if i + 1 < derived.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.2}{sep}\n"));
+    }
+    json.push_str("  }\n}\n");
     std::fs::write(&out_path, json).expect("write summary");
     println!("wrote {out_path}");
 }

@@ -19,6 +19,44 @@ use xlayer_solvers::{
 };
 use xlayer_workflow::{AmrDriver, DrivePoint, WorkloadDriver};
 
+/// The bench names `bench_summary` writes into `BENCH_native_hotpath.json`
+/// under `"benches"`. `bench_summary` asserts it produced exactly these
+/// (in order) and `bench_schema_check` validates a summary file against
+/// them, so a renamed or dropped hot-path measurement fails loudly instead
+/// of silently vanishing from the regression record.
+pub const EXPECTED_BENCH_KEYS: &[&str] = &[
+    "exchange_plan_32c_64box_periodic",
+    "exchange_32c_64box_periodic_cached",
+    "exchange_32c_64box_periodic_uncached",
+    "euler_level_step_32c_64box_periodic",
+    "advect_level_step_32c_64box_periodic",
+    "staging_get_region_64obj",
+    "staging_get_handles_64obj",
+    "downsample_flat_64c_x4",
+    "downsample_reference_64c_x4",
+    "mse_flat_64c_x4",
+    "mse_reference_64c_x4",
+    "entropy_flat_64c_256bins",
+    "entropy_reference_64c_256bins",
+    "level_entropy_scan_64c_flat",
+    "level_entropy_scan_64c_reference",
+    "mesh_concat_64parts",
+    "mesh_append_64parts",
+    "native_pipeline_sync_16c_4steps",
+    "native_pipeline_overlapped_16c_4steps",
+];
+
+/// The derived ratios `bench_summary` writes under `"derived"`.
+pub const EXPECTED_DERIVED_KEYS: &[&str] = &[
+    "exchange_cached_speedup",
+    "downsample_flat_speedup",
+    "mse_flat_speedup",
+    "entropy_flat_speedup",
+    "level_entropy_scan_speedup",
+    "mesh_concat_speedup",
+    "staging_overlap_speedup",
+];
+
 /// A recorded workload trace plus the real run's base-grid size, used to
 /// compute virtual-scale factors.
 #[derive(Clone, Debug)]

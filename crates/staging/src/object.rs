@@ -6,6 +6,7 @@
 use bytes::Bytes;
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
+use xlayer_amr::intvect::IntVect;
 
 /// Addressing key of a staged object.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -31,8 +32,17 @@ impl ObjectKey {
 pub struct ObjectDesc {
     /// Addressing key.
     pub key: ObjectKey,
-    /// Region of index space the object covers.
+    /// Region of index space the object covers (payload extent).
     pub bbox: IBox,
+    /// The producer's region of interest within `bbox` — e.g. the valid
+    /// (non-ghost) cells when the payload carries a halo. Defaults to
+    /// `bbox`. Consumers that anchor work on cells (isosurface extraction)
+    /// should iterate `core`, using the rest of `bbox` as read-only halo.
+    pub core: IBox,
+    /// Physical grid spacing of the cells (index → physical coordinates).
+    /// Defaults to 1.0; producers on refined AMR levels set the level's dx
+    /// so consumers reconstruct geometry placement-independently.
+    pub dx: f64,
     /// Payload size in bytes.
     pub bytes: u64,
     /// Rank that produced the object.
@@ -53,7 +63,8 @@ pub struct DataObject {
 }
 
 impl DataObject {
-    /// Package one component of a fab region into an object.
+    /// Package one component of a fab region into an object. The payload is
+    /// copied row-wise from the fab's contiguous storage (x-fastest order).
     pub fn from_fab(
         name: impl Into<String>,
         version: u64,
@@ -64,14 +75,26 @@ impl DataObject {
     ) -> Self {
         let r = region.intersect(&fab.ibox());
         let mut buf = Vec::with_capacity(r.num_cells() as usize * 8);
-        for iv in r.cells() {
-            buf.extend_from_slice(&fab.get(iv, comp).to_le_bytes());
+        if !r.is_empty() {
+            let src_box = fab.ibox();
+            let src = fab.comp_slice(comp);
+            let nx = r.size()[0] as usize;
+            for z in r.lo()[2]..=r.hi()[2] {
+                for y in r.lo()[1]..=r.hi()[1] {
+                    let s0 = src_box.offset(IntVect::new(r.lo()[0], y, z));
+                    for &v in &src[s0..s0 + nx] {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
         }
         let payload = Bytes::from(buf);
         DataObject {
             desc: ObjectDesc {
                 key: ObjectKey::new(name, version),
                 bbox: r,
+                core: r,
+                dx: 1.0,
                 bytes: payload.len() as u64,
                 origin_rank,
             },
@@ -79,30 +102,53 @@ impl DataObject {
         }
     }
 
+    /// Set the physical grid spacing carried in the descriptor.
+    pub fn with_dx(mut self, dx: f64) -> Self {
+        self.desc.dx = dx;
+        self
+    }
+
+    /// Set the core (region-of-interest) box carried in the descriptor.
+    /// `core` is clipped to the payload's bbox.
+    pub fn with_core(mut self, core: &IBox) -> Self {
+        self.desc.core = core.intersect(&self.desc.bbox);
+        self
+    }
+
     /// Reconstruct the object's values as a fab over its bbox.
     pub fn to_fab(&self) -> Fab {
         let mut fab = Fab::new(self.desc.bbox, 1);
-        let mut off = 0usize;
-        for iv in self.desc.bbox.cells() {
+        // Payload and single-component fab share the same Fortran ordering
+        // over bbox, so the unpack is one linear sweep.
+        let dst = fab.as_mut_slice();
+        for (d, chunk) in dst.iter_mut().zip(self.payload.chunks_exact(8)) {
             let mut b = [0u8; 8];
-            b.copy_from_slice(&self.payload[off..off + 8]);
-            fab.set(iv, 0, f64::from_le_bytes(b));
-            off += 8;
+            b.copy_from_slice(chunk);
+            *d = f64::from_le_bytes(b);
         }
         fab
     }
 
-    /// Copy the overlap of this object into `dst` (component 0).
+    /// Copy the overlap of this object into `dst` (component 0), row-wise.
     pub fn copy_into(&self, dst: &mut Fab) {
         let overlap = self.desc.bbox.intersect(&dst.ibox());
         if overlap.is_empty() {
             return;
         }
-        for iv in overlap.cells() {
-            let off = self.desc.bbox.offset(iv) * 8;
-            let mut b = [0u8; 8];
-            b.copy_from_slice(&self.payload[off..off + 8]);
-            dst.set(iv, 0, f64::from_le_bytes(b));
+        let src_box = self.desc.bbox;
+        let dst_box = dst.ibox();
+        let out = dst.as_mut_slice();
+        let nx = overlap.size()[0] as usize;
+        for z in overlap.lo()[2]..=overlap.hi()[2] {
+            for y in overlap.lo()[1]..=overlap.hi()[1] {
+                let s0 = src_box.offset(IntVect::new(overlap.lo()[0], y, z)) * 8;
+                let d0 = dst_box.offset(IntVect::new(overlap.lo()[0], y, z));
+                for (i, chunk) in self.payload[s0..s0 + nx * 8].chunks_exact(8).enumerate() {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(chunk);
+                    out[d0 + i] = f64::from_le_bytes(b);
+                }
+            }
         }
     }
 }
@@ -110,7 +156,6 @@ impl DataObject {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xlayer_amr::intvect::IntVect;
 
     fn coord_fab(n: i64) -> Fab {
         let b = IBox::cube(n);
@@ -144,6 +189,35 @@ mod tests {
             IBox::new(IntVect::splat(1), IntVect::splat(3))
         );
         assert_eq!(obj.desc.bytes, 27 * 8);
+    }
+
+    #[test]
+    fn subregion_payload_matches_source_cells() {
+        // A clipped region exercises the strided (non-contiguous) rows.
+        let f = coord_fab(4);
+        let sub = IBox::new(IntVect::new(1, 0, 2), IntVect::new(2, 3, 3));
+        let obj = DataObject::from_fab("rho", 0, &f, 1, &sub, 0);
+        let back = obj.to_fab();
+        for iv in sub.cells() {
+            assert_eq!(back.get(iv, 0), f.get(iv, 1), "at {iv:?}");
+        }
+    }
+
+    #[test]
+    fn dx_and_core_builders() {
+        let f = coord_fab(4);
+        let halo = IBox::cube(4);
+        let core = IBox::new(IntVect::splat(1), IntVect::splat(2));
+        let obj = DataObject::from_fab("rho", 0, &f, 1, &halo, 0)
+            .with_dx(0.25)
+            .with_core(&core);
+        assert_eq!(obj.desc.dx, 0.25);
+        assert_eq!(obj.desc.core, core);
+        assert_eq!(obj.desc.bbox, halo);
+        // Defaults: dx = 1, core = bbox.
+        let plain = DataObject::from_fab("rho", 0, &f, 1, &halo, 0);
+        assert_eq!(plain.desc.dx, 1.0);
+        assert_eq!(plain.desc.core, plain.desc.bbox);
     }
 
     #[test]

@@ -5,11 +5,20 @@
 //! immediately, and get processed as soon as in-transit cores become
 //! available" (§4.2). [`AsyncStager`] reproduces that behaviour with a
 //! bounded queue drained by transfer threads.
+//!
+//! Consumers that must observe a *specific* version's objects (an
+//! in-transit analysis worker picking up step `i` while the producer is
+//! already enqueueing step `i+1`) synchronise on
+//! [`TransportStats::wait_processed`]: per-key processed counts, not a
+//! global tally, because with multiple transfer threads later-version
+//! objects can complete while an earlier one is still in flight.
 
-use crate::object::DataObject;
+use crate::object::{DataObject, ObjectKey};
 use crate::server::StagingError;
 use crate::space::DataSpace;
 use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,6 +32,42 @@ pub struct TransportStats {
     pub bytes: AtomicU64,
     /// Puts rejected by the space (staging memory exhausted).
     pub rejected: AtomicU64,
+    /// Per-key processed counts (delivered + rejected), for consumers that
+    /// wait on a specific version's transfers.
+    processed: Mutex<HashMap<ObjectKey, u64>>,
+    cv: Condvar,
+}
+
+impl TransportStats {
+    /// Record that one object under `key` finished processing (either
+    /// stored or rejected) and wake any waiters.
+    pub fn note_processed(&self, key: &ObjectKey) {
+        let mut map = self.processed.lock();
+        *map.entry(key.clone()).or_insert(0) += 1;
+        drop(map);
+        self.cv.notify_all();
+    }
+
+    /// Objects processed so far under `key`.
+    pub fn processed(&self, name: &str, version: u64) -> u64 {
+        let key = ObjectKey::new(name, version);
+        self.processed.lock().get(&key).copied().unwrap_or(0)
+    }
+
+    /// Block until at least `expected` objects under (`name`, `version`)
+    /// have been processed — delivered *or* rejected; a rejected put still
+    /// counts as "the transfer finished", so waiters never deadlock on an
+    /// out-of-memory staging space.
+    pub fn wait_processed(&self, name: &str, version: u64, expected: u64) {
+        if expected == 0 {
+            return;
+        }
+        let key = ObjectKey::new(name, version);
+        let mut map = self.processed.lock();
+        while map.get(&key).copied().unwrap_or(0) < expected {
+            self.cv.wait(&mut map);
+        }
+    }
 }
 
 /// An asynchronous put pipeline: `put` enqueues and returns immediately;
@@ -49,6 +94,7 @@ impl AsyncStager {
                 std::thread::spawn(move || {
                     while let Ok(obj) = rx.recv() {
                         let bytes = obj.desc.bytes;
+                        let key = obj.desc.key.clone();
                         match space.put(obj) {
                             Ok(_) => {
                                 stats.delivered.fetch_add(1, Ordering::Relaxed);
@@ -58,6 +104,7 @@ impl AsyncStager {
                                 stats.rejected.fetch_add(1, Ordering::Relaxed);
                             }
                         }
+                        stats.note_processed(&key);
                     }
                 })
             })
@@ -83,6 +130,12 @@ impl AsyncStager {
     /// The staging space being written.
     pub fn space(&self) -> &Arc<DataSpace> {
         &self.space
+    }
+
+    /// Shared statistics handle — clone to let a consumer thread call
+    /// [`TransportStats::wait_processed`] independently of the stager.
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Objects delivered so far.
@@ -194,5 +247,57 @@ mod tests {
             space.used()
         };
         assert_eq!(stats_bytes, 2 * 512);
+    }
+
+    #[test]
+    fn wait_processed_blocks_until_version_lands() {
+        let space = Arc::new(DataSpace::new(2, 1 << 20, Sharding::BboxHash));
+        let stager = AsyncStager::new(Arc::clone(&space), 2, 16);
+        let stats = stager.stats();
+        let consumer = {
+            let space = Arc::clone(&space);
+            std::thread::spawn(move || {
+                stats.wait_processed("rho", 3, 4);
+                // All four version-3 objects must be visible now.
+                space.get("rho", 3, None).len()
+            })
+        };
+        for i in 0..4 {
+            stager.put(obj(3, i * 8));
+        }
+        assert_eq!(consumer.join().unwrap(), 4);
+        stager.drain();
+    }
+
+    #[test]
+    fn wait_processed_counts_rejected_puts() {
+        // Space fits one object; the second put is rejected but must still
+        // unblock the waiter.
+        let space = Arc::new(DataSpace::new(1, 600, Sharding::RoundRobin));
+        let stager = AsyncStager::new(Arc::clone(&space), 1, 4);
+        stager.put(obj(5, 0));
+        stager.put(obj(5, 8));
+        let stats = stager.stats();
+        stats.wait_processed("rho", 5, 2);
+        assert_eq!(stats.processed("rho", 5), 2);
+        let (delivered, rejected) = stager.drain();
+        assert_eq!((delivered, rejected), (1, 1));
+    }
+
+    #[test]
+    fn wait_processed_is_per_version_not_cumulative() {
+        let space = Arc::new(DataSpace::new(2, 1 << 20, Sharding::BboxHash));
+        let stager = AsyncStager::new(Arc::clone(&space), 2, 16);
+        let stats = stager.stats();
+        // Three objects at version 9 — waiting on version 9 must not be
+        // satisfied by objects of other versions.
+        stager.put(obj(8, 0));
+        stager.put(obj(8, 8));
+        stager.put(obj(9, 0));
+        let (delivered, _) = stager.drain();
+        assert_eq!(delivered, 3);
+        assert_eq!(stats.processed("rho", 8), 2);
+        assert_eq!(stats.processed("rho", 9), 1);
+        assert_eq!(stats.processed("rho", 7), 0);
     }
 }

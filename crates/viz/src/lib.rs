@@ -22,8 +22,14 @@ pub mod mesh;
 pub mod stats;
 
 pub use compress::{compress_fab, decompress, CompressedBlock};
-pub use downsample::{downsample_fab, downsample_level, reduced_bytes, reduction_memory};
-pub use entropy::{block_entropy, factors_from_entropy, level_entropies};
+pub use downsample::{
+    downsample_fab, downsample_level, downsample_region, downsample_region_reference,
+    reduced_bytes, reduction_memory,
+};
+pub use entropy::{
+    block_entropy, block_entropy_reference, block_entropy_scratch, factors_from_entropy,
+    level_entropies,
+};
 pub use marching_cubes::{extract_block, extract_level, merge_surfaces, GridSurface};
 pub use mesh::TriMesh;
 pub use stats::{level_stats, subset, BlockStats, Histogram};

@@ -59,35 +59,54 @@ pub fn extract_block(
 ) -> TriMesh {
     let mut mesh = TriMesh::new();
     let avail = fab.ibox();
-    for iv in region.cells() {
-        if !avail.contains(iv + IntVect::UNIT) || !avail.contains(iv) {
-            continue;
-        }
-        // The remaining corners are inside the hull of iv and iv+1.
-        let mut vals = [0.0f64; 8];
-        let mut pts = [[0.0f64; 3]; 8];
-        for (k, c) in CORNERS.iter().enumerate() {
-            let civ = iv + IntVect::new(c[0], c[1], c[2]);
-            vals[k] = fab.get(civ, comp);
-            pts[k] = [
-                origin[0] + (civ[0] as f64 + 0.5) * dx,
-                origin[1] + (civ[1] as f64 + 0.5) * dx,
-                origin[2] + (civ[2] as f64 + 0.5) * dx,
-            ];
-        }
-        // Quick reject: all corners on one side.
-        let any_in = vals.iter().any(|&v| v >= iso);
-        let any_out = vals.iter().any(|&v| v < iso);
-        if !(any_in && any_out) {
-            continue;
-        }
-        for tet in &TETS {
-            march_tet(
-                [pts[tet[0]], pts[tet[1]], pts[tet[2]], pts[tet[3]]],
-                [vals[tet[0]], vals[tet[1]], vals[tet[2]], vals[tet[3]]],
-                iso,
-                &mut mesh,
-            );
+    // A cube anchored at iv needs corners iv..iv+1, so the anchor set is the
+    // region clipped to avail shrunk by one on the high side — the same cells
+    // the per-cell `contains` checks admit, without testing each one.
+    let anchors = region.intersect(&IBox::new(avail.lo(), avail.hi() - IntVect::UNIT));
+    if anchors.is_empty() {
+        return mesh;
+    }
+    let src = fab.comp_slice(comp);
+    let sx = avail.size();
+    // Flat offsets of the 8 cube corners relative to the anchor cell.
+    let mut corner_off = [0usize; 8];
+    for (k, c) in CORNERS.iter().enumerate() {
+        corner_off[k] = (c[0] + sx[0] * (c[1] + sx[1] * c[2])) as usize;
+    }
+    let nx = anchors.size()[0] as usize;
+    for z in anchors.lo()[2]..=anchors.hi()[2] {
+        for y in anchors.lo()[1]..=anchors.hi()[1] {
+            let s0 = avail.offset(IntVect::new(anchors.lo()[0], y, z));
+            for i in 0..nx {
+                let base = s0 + i;
+                let mut vals = [0.0f64; 8];
+                for (k, off) in corner_off.iter().enumerate() {
+                    vals[k] = src[base + off];
+                }
+                // Quick reject: all corners on one side.
+                let any_in = vals.iter().any(|&v| v >= iso);
+                let any_out = vals.iter().any(|&v| v < iso);
+                if !(any_in && any_out) {
+                    continue;
+                }
+                let x = anchors.lo()[0] + i as i64;
+                let mut pts = [[0.0f64; 3]; 8];
+                for (k, c) in CORNERS.iter().enumerate() {
+                    pts[k] = [
+                        origin[0] + ((x + c[0]) as f64 + 0.5) * dx,
+                        origin[1] + ((y + c[1]) as f64 + 0.5) * dx,
+                        origin[2] + ((z + c[2]) as f64 + 0.5) * dx,
+                    ];
+                }
+                for tet in &TETS {
+                    march_tet(
+                        [pts[tet[0]], pts[tet[1]], pts[tet[2]], pts[tet[3]]],
+                        [vals[tet[0]], vals[tet[1]], vals[tet[2]], vals[tet[3]]],
+                        iso,
+                        &mut mesh,
+                    );
+                }
+            }
         }
     }
     mesh
@@ -204,13 +223,11 @@ pub fn extract_level(data: &LevelData, comp: usize, iso: f64, dx: f64) -> Vec<Gr
         .collect()
 }
 
-/// Merge per-grid surfaces into one mesh.
+/// Merge per-grid surfaces into one mesh (order-preserving parallel
+/// concatenation via [`TriMesh::concat`]).
 pub fn merge_surfaces(surfaces: &[GridSurface]) -> TriMesh {
-    let mut m = TriMesh::new();
-    for s in surfaces {
-        m.append(&s.mesh);
-    }
-    m
+    let parts: Vec<&TriMesh> = surfaces.iter().map(|s| &s.mesh).collect();
+    TriMesh::concat(&parts)
 }
 
 #[cfg(test)]

@@ -62,6 +62,56 @@ impl TriMesh {
         );
     }
 
+    /// Concatenate many meshes into one, in order, in parallel.
+    ///
+    /// Output sizes and per-part vertex bases are prefix sums of the input
+    /// counts, so the result buffers are allocated once at final size and
+    /// each part copies (and index-remaps) into its own disjoint slice —
+    /// equivalent to repeated [`TriMesh::append`] but without the serial
+    /// reallocation-and-copy chain.
+    pub fn concat(parts: &[&TriMesh]) -> TriMesh {
+        use rayon::prelude::*;
+        let total_v: usize = parts.iter().map(|m| m.vertices.len()).sum();
+        let total_t: usize = parts.iter().map(|m| m.triangles.len()).sum();
+        let mut vertices = vec![[0.0f64; 3]; total_v];
+        let mut triangles = vec![[0u32; 3]; total_t];
+        struct Job<'a> {
+            src: &'a TriMesh,
+            verts: &'a mut [Point],
+            tris: &'a mut [[u32; 3]],
+            base: u32,
+        }
+        let mut jobs = Vec::with_capacity(parts.len());
+        {
+            let mut vrest: &mut [Point] = &mut vertices;
+            let mut trest: &mut [[u32; 3]] = &mut triangles;
+            let mut base = 0u32;
+            for &src in parts {
+                let (v, vr) = std::mem::take(&mut vrest).split_at_mut(src.vertices.len());
+                let (t, tr) = std::mem::take(&mut trest).split_at_mut(src.triangles.len());
+                vrest = vr;
+                trest = tr;
+                jobs.push(Job {
+                    src,
+                    verts: v,
+                    tris: t,
+                    base,
+                });
+                base += src.vertices.len() as u32;
+            }
+        }
+        jobs.par_iter_mut().for_each(|job| {
+            job.verts.copy_from_slice(&job.src.vertices);
+            for (dst, t) in job.tris.iter_mut().zip(&job.src.triangles) {
+                *dst = [t[0] + job.base, t[1] + job.base, t[2] + job.base];
+            }
+        });
+        TriMesh {
+            vertices,
+            triangles,
+        }
+    }
+
     /// Total surface area.
     pub fn area(&self) -> f64 {
         self.triangles
@@ -174,6 +224,28 @@ mod tests {
         assert_eq!(m.num_triangles(), 2);
         assert_eq!(m.num_vertices(), 6);
         assert!(m.bytes() > 0);
+    }
+
+    #[test]
+    fn concat_matches_serial_append() {
+        let mut parts = Vec::new();
+        for i in 0..17 {
+            let mut m = TriMesh::new();
+            for j in 0..=(i % 5) {
+                let o = (i * 10 + j) as f64;
+                m.push_triangle([o, 0.0, 0.0], [o + 1.0, 0.0, 0.0], [o, 1.0, 0.0]);
+            }
+            parts.push(m);
+        }
+        let mut serial = TriMesh::new();
+        for p in &parts {
+            serial.append(p);
+        }
+        let refs: Vec<&TriMesh> = parts.iter().collect();
+        let par = TriMesh::concat(&refs);
+        assert_eq!(par.vertices, serial.vertices);
+        assert_eq!(par.triangles, serial.triangles);
+        assert!(TriMesh::concat(&[]).is_empty());
     }
 
     #[test]

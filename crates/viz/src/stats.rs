@@ -3,6 +3,11 @@
 //! approach could be extensible to other scalable analysis approaches with
 //! no/rare communications, such as descriptive statistic analysis, data
 //! subsetting").
+//!
+//! The compute kernels here walk contiguous flat-offset rows of the fab
+//! payload rather than per-cell `IntVect` indexing; `level_stats` fans the
+//! per-grid passes out across threads. [`BlockStats::compute_reference`]
+//! keeps the per-cell form for the equivalence property tests.
 
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
@@ -27,6 +32,42 @@ pub struct BlockStats {
 impl BlockStats {
     /// Statistics over `comp` of `fab` restricted to `region`.
     pub fn compute(fab: &Fab, comp: usize, region: &IBox) -> Self {
+        let r = region.intersect(&fab.ibox());
+        let mut count = 0u64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        if !r.is_empty() {
+            let src_box = fab.ibox();
+            let src = fab.comp_slice(comp);
+            let nx = r.size()[0] as usize;
+            for z in r.lo()[2]..=r.hi()[2] {
+                for y in r.lo()[1]..=r.hi()[1] {
+                    let s0 = src_box.offset(IntVect::new(r.lo()[0], y, z));
+                    for &v in &src[s0..s0 + nx] {
+                        count += 1;
+                        min = min.min(v);
+                        max = max.max(v);
+                        let d = v - mean;
+                        mean += d / count as f64;
+                        m2 += d * (v - mean);
+                    }
+                }
+            }
+        }
+        BlockStats {
+            count,
+            min: if count == 0 { 0.0 } else { min },
+            max: if count == 0 { 0.0 } else { max },
+            mean,
+            variance: if count == 0 { 0.0 } else { m2 / count as f64 },
+        }
+    }
+
+    /// Per-cell reference implementation of [`BlockStats::compute`]. Kept
+    /// as the equivalence baseline for property tests.
+    pub fn compute_reference(fab: &Fab, comp: usize, region: &IBox) -> Self {
         let r = region.intersect(&fab.ibox());
         let mut count = 0u64;
         let mut min = f64::INFINITY;
@@ -80,9 +121,13 @@ impl BlockStats {
     }
 }
 
-/// Per-grid statistics of a level plus the level-wide merge.
+/// Per-grid statistics of a level plus the level-wide merge. The per-grid
+/// passes run in parallel (grids are independent); the merge is the usual
+/// serial Chan reduction over the ordered per-grid partials.
 pub fn level_stats(data: &LevelData, comp: usize) -> (Vec<BlockStats>, BlockStats) {
+    use rayon::prelude::*;
     let per: Vec<BlockStats> = (0..data.len())
+        .into_par_iter()
         .map(|i| BlockStats::compute(data.fab(i), comp, &data.valid_box(i)))
         .collect();
     let total = per.iter().copied().fold(
@@ -120,14 +165,23 @@ impl Histogram {
         let scale = bins as f64 / (hi - lo);
         let mut counts = vec![0u64; bins];
         let mut outliers = (0u64, 0u64);
-        for iv in r.cells() {
-            let v = fab.get(iv, comp);
-            if v < lo {
-                outliers.0 += 1;
-            } else if v >= hi {
-                outliers.1 += 1;
-            } else {
-                counts[((v - lo) * scale) as usize] += 1;
+        if !r.is_empty() {
+            let src_box = fab.ibox();
+            let src = fab.comp_slice(comp);
+            let nx = r.size()[0] as usize;
+            for z in r.lo()[2]..=r.hi()[2] {
+                for y in r.lo()[1]..=r.hi()[1] {
+                    let s0 = src_box.offset(IntVect::new(r.lo()[0], y, z));
+                    for &v in &src[s0..s0 + nx] {
+                        if v < lo {
+                            outliers.0 += 1;
+                        } else if v >= hi {
+                            outliers.1 += 1;
+                        } else {
+                            counts[((v - lo) * scale) as usize] += 1;
+                        }
+                    }
+                }
             }
         }
         Histogram {
@@ -177,10 +231,23 @@ pub struct SubsetCell {
 pub fn subset(fab: &Fab, comp: usize, region: &IBox, lo: f64, hi: f64) -> Vec<SubsetCell> {
     let r = region.intersect(&fab.ibox());
     let mut out = Vec::new();
-    for iv in r.cells() {
-        let v = fab.get(iv, comp);
-        if (lo..=hi).contains(&v) {
-            out.push(SubsetCell { iv, value: v });
+    if r.is_empty() {
+        return out;
+    }
+    let src_box = fab.ibox();
+    let src = fab.comp_slice(comp);
+    let nx = r.size()[0] as usize;
+    for z in r.lo()[2]..=r.hi()[2] {
+        for y in r.lo()[1]..=r.hi()[1] {
+            let s0 = src_box.offset(IntVect::new(r.lo()[0], y, z));
+            for (dx, &v) in src[s0..s0 + nx].iter().enumerate() {
+                if (lo..=hi).contains(&v) {
+                    out.push(SubsetCell {
+                        iv: IntVect::new(r.lo()[0] + dx as i64, y, z),
+                        value: v,
+                    });
+                }
+            }
         }
     }
     out
@@ -213,6 +280,19 @@ mod tests {
         assert_eq!(s.max, 3.0);
         assert!((s.mean - 1.5).abs() < 1e-12);
         assert!((s.variance - 1.25).abs() < 1e-12); // Var{0,1,2,3}
+    }
+
+    #[test]
+    fn flat_matches_reference_bitwise() {
+        let b = IBox::new(IntVect::new(-2, 1, -4), IntVect::new(5, 7, 2));
+        let mut f = Fab::new(b, 2);
+        for iv in b.cells() {
+            f.set(iv, 1, ((iv[0] * 7 - iv[1] * 3 + iv[2]) as f64).sin());
+        }
+        let region = IBox::new(IntVect::new(-1, 2, -3), IntVect::new(9, 9, 9));
+        let flat = BlockStats::compute(&f, 1, &region);
+        let rf = BlockStats::compute_reference(&f, 1, &region);
+        assert_eq!(flat, rf);
     }
 
     #[test]
@@ -269,6 +349,17 @@ mod tests {
         assert!(cells.iter().all(|c| c.value == 7.0));
         // a thin feature's subset is smaller than the full block payload
         assert!(subset_bytes(cells.len()) < 512 * 8);
+    }
+
+    #[test]
+    fn subset_cells_carry_correct_indices() {
+        let f = ramp_fab(4);
+        let cells = subset(&f, 0, &IBox::cube(4), 2.0, 2.0);
+        assert_eq!(cells.len(), 16);
+        assert!(cells.iter().all(|c| c.iv[0] == 2));
+        // x-fastest traversal: indices come out in box order
+        assert_eq!(cells[0].iv, IntVect::new(2, 0, 0));
+        assert_eq!(cells[1].iv, IntVect::new(2, 1, 0));
     }
 
     #[test]

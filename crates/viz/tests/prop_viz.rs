@@ -3,10 +3,14 @@
 //! entropy bounds — over randomized fields.
 
 use proptest::prelude::*;
-use xlayer_amr::{Fab, IBox};
-use xlayer_viz::downsample::{downsample_fab, reconstruction_mse};
-use xlayer_viz::entropy::block_entropy;
+use xlayer_amr::{Fab, IBox, IntVect};
+use xlayer_viz::downsample::{
+    downsample_fab, downsample_region, downsample_region_reference, reconstruction_mse,
+    reconstruction_mse_reference,
+};
+use xlayer_viz::entropy::{block_entropy, block_entropy_reference};
 use xlayer_viz::extract_block;
+use xlayer_viz::stats::BlockStats;
 
 /// A smooth random field: sum of a few random Gaussians.
 fn blob_fab(n: i64, blobs: &[(f64, f64, f64, f64)]) -> Fab {
@@ -22,6 +26,41 @@ fn blob_fab(n: i64, blobs: &[(f64, f64, f64, f64)]) -> Fab {
         f.set(iv, 0, v);
     }
     f
+}
+
+/// A fab over an arbitrary (possibly negative-offset) box, filled with a
+/// deterministic pseudo-random field derived from cell indices.
+fn hashed_fab(lo: (i64, i64, i64), size: (i64, i64, i64), ncomp: usize) -> Fab {
+    let b = IBox::new(
+        IntVect::new(lo.0, lo.1, lo.2),
+        IntVect::new(lo.0 + size.0 - 1, lo.1 + size.1 - 1, lo.2 + size.2 - 1),
+    );
+    let mut f = Fab::new(b, ncomp);
+    for c in 0..ncomp {
+        for iv in b.cells() {
+            let h = (iv[0]
+                .wrapping_mul(73856093)
+                .wrapping_add(iv[1].wrapping_mul(19349663))
+                .wrapping_add(iv[2].wrapping_mul(83492791))
+                .wrapping_add(c as i64 * 7919))
+            .rem_euclid(10_000);
+            f.set(iv, c, h as f64 * 0.001 - 5.0);
+        }
+    }
+    f
+}
+
+type Triple = (i64, i64, i64);
+
+/// Arbitrary box origins/extents including non-divisible sizes, plus a
+/// query region that may stick out past the fab's box (clipping path).
+fn arb_geometry() -> impl Strategy<Value = (Triple, Triple, Triple, Triple)> {
+    (
+        (-7i64..7, -7i64..7, -7i64..7),
+        (1i64..12, 1i64..12, 1i64..12),
+        (-9i64..9, -9i64..9, -9i64..9),
+        (1i64..14, 1i64..14, 1i64..14),
+    )
 }
 
 fn arb_blobs(n: i64) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
@@ -134,6 +173,74 @@ proptest! {
         let h1 = block_entropy(&shifted, 0, &IBox::cube(12), 128);
         // histogram over min..max is affine-invariant up to fp rounding
         prop_assert!((h0 - h1).abs() < 0.2, "{} vs {}", h0, h1);
+    }
+
+    #[test]
+    fn flat_downsample_matches_reference_bitwise(
+        geom in arb_geometry(), x in 1u32..6,
+    ) {
+        // The flat strided-row kernel accumulates each coarse cell in the
+        // same order as the per-cell reference, so the floating-point sums
+        // are bit-identical — including non-divisible extents, negative
+        // origins, and regions clipped by fab.ibox().
+        let (lo, size, rlo, rsize) = geom;
+        let fab = hashed_fab(lo, size, 2);
+        let region = IBox::new(
+            IntVect::new(rlo.0, rlo.1, rlo.2),
+            IntVect::new(rlo.0 + rsize.0 - 1, rlo.1 + rsize.1 - 1, rlo.2 + rsize.2 - 1),
+        );
+        let flat = downsample_region(&fab, 1, &region, x);
+        let rf = downsample_region_reference(&fab, 1, &region, x);
+        prop_assert_eq!(flat.ibox(), rf.ibox());
+        let (a, b) = (flat.as_slice(), rf.as_slice());
+        prop_assert_eq!(a.len(), b.len());
+        for (va, vb) in a.iter().zip(b) {
+            prop_assert_eq!(va.to_bits(), vb.to_bits(), "{} vs {}", va, vb);
+        }
+    }
+
+    #[test]
+    fn flat_mse_matches_reference_bitwise(
+        lo in (-7i64..7, -7i64..7, -7i64..7),
+        size in (2i64..12, 2i64..12, 2i64..12),
+        x in 1u32..5,
+    ) {
+        let fab = hashed_fab(lo, size, 1);
+        let flat = reconstruction_mse(&fab, 0, x);
+        let rf = reconstruction_mse_reference(&fab, 0, x);
+        prop_assert_eq!(flat.to_bits(), rf.to_bits(), "{} vs {}", flat, rf);
+    }
+
+    #[test]
+    fn flat_entropy_matches_reference_bitwise(
+        geom in arb_geometry(), bins in 2usize..256,
+    ) {
+        let (lo, size, rlo, rsize) = geom;
+        let fab = hashed_fab(lo, size, 1);
+        let region = IBox::new(
+            IntVect::new(rlo.0, rlo.1, rlo.2),
+            IntVect::new(rlo.0 + rsize.0 - 1, rlo.1 + rsize.1 - 1, rlo.2 + rsize.2 - 1),
+        );
+        let flat = block_entropy(&fab, 0, &region, bins);
+        let rf = block_entropy_reference(&fab, 0, &region, bins);
+        prop_assert_eq!(flat.to_bits(), rf.to_bits(), "{} vs {}", flat, rf);
+    }
+
+    #[test]
+    fn flat_stats_match_reference_bitwise(geom in arb_geometry()) {
+        let (lo, size, rlo, rsize) = geom;
+        let fab = hashed_fab(lo, size, 2);
+        let region = IBox::new(
+            IntVect::new(rlo.0, rlo.1, rlo.2),
+            IntVect::new(rlo.0 + rsize.0 - 1, rlo.1 + rsize.1 - 1, rlo.2 + rsize.2 - 1),
+        );
+        let flat = BlockStats::compute(&fab, 1, &region);
+        let rf = BlockStats::compute_reference(&fab, 1, &region);
+        prop_assert_eq!(flat.count, rf.count);
+        prop_assert_eq!(flat.min.to_bits(), rf.min.to_bits());
+        prop_assert_eq!(flat.max.to_bits(), rf.max.to_bits());
+        prop_assert_eq!(flat.mean.to_bits(), rf.mean.to_bits());
+        prop_assert_eq!(flat.variance.to_bits(), rf.variance.to_bits());
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod report;
 pub use config::{Strategy, WorkflowConfig};
 pub use drive::AmrDriver;
 pub use modeled::{DrivePoint, ModeledWorkflow, TraceDriver, WorkloadDriver};
-pub use native::{AnalysisOutcome, NativeConfig, NativeWorkflow};
+pub use native::{pack_level_objects, AnalysisOutcome, NativeConfig, NativeWorkflow};
 pub use report::{StepLog, WorkflowReport};

@@ -317,6 +317,7 @@ impl ModeledWorkflow {
                 mem_available,
                 mem_used: worst_share,
                 analyzed: false,
+                analysis_secs: 0.0,
             };
             self.report.steps.push(log);
             return log;
@@ -334,6 +335,7 @@ impl ModeledWorkflow {
 
         // --- execute analysis ---
         let mut moved_bytes = 0;
+        let mut analysis_secs = 0.0;
         let production_period = t_sim.max(1e-12);
         match placement {
             _ if !analyzed => {
@@ -351,6 +353,7 @@ impl ModeledWorkflow {
             Placement::InSitu => {
                 let t_an = self.est().t_insitu(analysis_cells, analysis_surface, n);
                 self.sim_clock += t_an;
+                analysis_secs = t_an;
                 // staging cores (if any are allocated) idle this step
                 if matches!(self.cfg.strategy, Strategy::Adaptive(_)) {
                     self.utilization.record(StagingStepRecord {
@@ -368,7 +371,9 @@ impl ModeledWorkflow {
                 let f = (split as f64 / 1000.0).clamp(0.0, 1.0);
                 let is_cells = (analysis_cells as f64 * f) as u64;
                 let is_surf = (analysis_surface as f64 * f) as u64;
-                self.sim_clock += self.est().t_insitu(is_cells, is_surf, n);
+                let t_is = self.est().t_insitu(is_cells, is_surf, n);
+                self.sim_clock += t_is;
+                analysis_secs = t_is;
                 let it_bytes = (analysis_bytes as f64 * (1.0 - f)) as u64;
                 let it_cells = analysis_cells - is_cells;
                 let it_surf = analysis_surface - is_surf;
@@ -426,6 +431,7 @@ impl ModeledWorkflow {
             mem_available,
             mem_used: reduction_memory(worst_share, factor),
             analyzed,
+            analysis_secs,
         };
         self.report.steps.push(log);
         log

@@ -2,20 +2,36 @@
 //! marching cubes, staging puts/gets, asynchronous in-transit analysis on
 //! worker threads. This is the execution mode behind the examples and the
 //! end-to-end integration tests.
+//!
+//! ## The analysis data path
+//!
+//! In-transit steps pack one [`DataObject`] per grid per level — in
+//! parallel across grids, reading straight from the level fab's component
+//! (the application-layer reduction down-samples from the source fab with
+//! no tight intermediate copy). With `overlap_staging` on (the default),
+//! the puts go through [`AsyncStager`]'s bounded queue, so serialization
+//! and server ingest of step *i* overlap the solve of step *i+1*; an
+//! analysis worker picking up step *i* first blocks on
+//! [`TransportStats::wait_processed`] until all of that version's objects
+//! have landed (per-version counts — later versions finishing early cannot
+//! satisfy the wait). `finish()` stays deterministic: it drains the
+//! transport queue, then closes the job channel and joins the workers, so
+//! every step's analysis outcome is present and sorted by version.
 
 use crate::report::StepLog;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+use xlayer_amr::level_data::LevelData;
 use xlayer_core::{
     AdaptationEngine, Calibrator, EngineConfig, Estimator, OperationalState, Placement, UserHints,
     UserPreferences,
 };
 use xlayer_platform::{CostModel, MachineSpec};
 use xlayer_solvers::{AmrSimulation, LevelSolver};
-use xlayer_staging::{DataObject, DataSpace, Sharding};
-use xlayer_viz::{extract_level, merge_surfaces};
+use xlayer_staging::{AsyncStager, DataObject, DataSpace, Sharding, TransportStats};
+use xlayer_viz::{extract_level, merge_surfaces, TriMesh};
 
 /// Configuration of a native run.
 #[derive(Clone, Debug)]
@@ -30,6 +46,14 @@ pub struct NativeConfig {
     pub staging_memory: u64,
     /// In-transit analysis worker threads.
     pub workers: usize,
+    /// Route staging puts through the asynchronous back-pressured
+    /// transport so ingest overlaps the next step's solve. When false,
+    /// every put completes synchronously inside `step()` (the
+    /// pre-overlap baseline, kept for benchmarking).
+    pub overlap_staging: bool,
+    /// Force every step's placement, bypassing the engine's decision.
+    /// Used by tests and benches that need a deterministic placement.
+    pub placement_override: Option<Placement>,
     /// Adaptation mechanisms enabled.
     pub engine: EngineConfig,
     /// User hints.
@@ -44,6 +68,8 @@ impl Default for NativeConfig {
             staging_servers: 2,
             staging_memory: 256 << 20,
             workers: 2,
+            overlap_staging: true,
+            placement_override: None,
             engine: EngineConfig::middleware_only(),
             hints: UserHints::default(),
         }
@@ -68,7 +94,48 @@ pub struct AnalysisOutcome {
 struct Job {
     version: u64,
     iso: f64,
+    /// Objects the producer enqueued for this version; the worker waits
+    /// until the transport has processed that many before reading. 0 when
+    /// the puts were synchronous (nothing to wait for).
+    expected: u64,
+}
+
+/// Pack one level's grids into staged objects, in parallel across grids.
+///
+/// Each object carries the level's physical spacing `dx` and, at
+/// `factor == 1`, a one-cell halo around the valid region as payload with
+/// the valid region as `core` — so a consumer extracting isosurfaces from
+/// the object anchors exactly the cells the in-situ path anchors, with the
+/// same ghost corners. At `factor > 1` the grid is down-sampled straight
+/// from the level fab's `comp` (no tight single-component intermediate)
+/// and the object covers the coarsened valid region at spacing
+/// `dx * factor`.
+pub fn pack_level_objects(
+    level: &LevelData,
+    comp: usize,
+    name: &str,
+    version: u64,
+    factor: u32,
     dx: f64,
+) -> Vec<DataObject> {
+    use rayon::prelude::*;
+    (0..level.len())
+        .into_par_iter()
+        .map(|i| {
+            let valid = level.valid_box(i);
+            let rank = level.layout().rank(i);
+            if factor > 1 {
+                let reduced = xlayer_viz::downsample_region(level.fab(i), comp, &valid, factor);
+                DataObject::from_fab(name, version, &reduced, 0, &reduced.ibox(), rank)
+                    .with_dx(dx * factor as f64)
+            } else {
+                let halo = valid.grow(1).intersect(&level.fab(i).ibox());
+                DataObject::from_fab(name, version, level.fab(i), comp, &halo, rank)
+                    .with_dx(dx)
+                    .with_core(&valid)
+            }
+        })
+        .collect()
 }
 
 /// A fully-native coupled workflow: simulation + visualization + staging.
@@ -76,6 +143,7 @@ pub struct NativeWorkflow<S: LevelSolver> {
     sim: AmrSimulation<S>,
     cfg: NativeConfig,
     space: Arc<DataSpace>,
+    stager: Option<AsyncStager>,
     engine: AdaptationEngine,
     job_tx: Option<Sender<Job>>,
     result_rx: Receiver<AnalysisOutcome>,
@@ -97,6 +165,14 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             cfg.staging_memory,
             Sharding::BboxHash,
         ));
+        // The asynchronous transport into the space: puts from step() are
+        // enqueued here and ingested by transfer threads while the next
+        // solve runs.
+        // Queue depth sized to hold a full step's objects (every grid of
+        // every level) so an in-transit step never blocks on back-pressure
+        // unless the transport is a full step behind.
+        let stager = AsyncStager::new(Arc::clone(&space), cfg.staging_servers.max(1), 256);
+        let transport: Arc<TransportStats> = stager.stats();
         // A rough local-machine model so the middleware policy has cost
         // estimates; decisions also use live measurements via the state.
         let machine = MachineSpec {
@@ -120,24 +196,34 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                 let job_rx = job_rx.clone();
                 let result_tx = result_tx.clone();
                 let space = Arc::clone(&space);
-                let comp = 0; // staged objects are single-component
+                let transport = Arc::clone(&transport);
                 std::thread::spawn(move || {
                     while let Ok(job) = job_rx.recv() {
                         let t0 = Instant::now();
+                        // Rendezvous with the transport: all of this
+                        // version's objects must have been ingested (or
+                        // rejected) before the read.
+                        transport.wait_processed("field", job.version, job.expected);
                         let objects = space.get("field", job.version, None);
-                        let mut mesh = xlayer_viz::TriMesh::new();
-                        for obj in &objects {
-                            let fab = obj.to_fab();
-                            let m = xlayer_viz::extract_block(
-                                &fab,
-                                comp,
-                                &obj.desc.bbox,
-                                job.iso,
-                                job.dx,
-                                [0.0; 3],
-                            );
-                            mesh.append(&m);
-                        }
+                        let parts: Vec<TriMesh> = objects
+                            .iter()
+                            .map(|obj| {
+                                // Staged objects are single-component; the
+                                // descriptor carries the level's dx and the
+                                // anchor (core) region.
+                                let fab = obj.to_fab();
+                                xlayer_viz::extract_block(
+                                    &fab,
+                                    0,
+                                    &obj.desc.core,
+                                    job.iso,
+                                    obj.desc.dx,
+                                    [0.0; 3],
+                                )
+                            })
+                            .collect();
+                        let refs: Vec<&TriMesh> = parts.iter().collect();
+                        let mesh = TriMesh::concat(&refs);
                         space.evict_before("field", job.version + 1);
                         let secs = t0.elapsed().as_secs_f64();
                         let _ = result_tx.send(AnalysisOutcome {
@@ -155,6 +241,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             sim,
             cfg,
             space,
+            stager: Some(stager),
             engine,
             job_tx: Some(job_tx),
             result_rx,
@@ -226,10 +313,12 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             mem_available_intransit: self.space.capacity().saturating_sub(self.space.used()),
         };
         let adaptations = self.engine.adapt(&state);
-        let placement = adaptations
-            .placement
-            .map(|p| p.placement)
-            .unwrap_or(Placement::InTransit);
+        let placement = self.cfg.placement_override.unwrap_or_else(|| {
+            adaptations
+                .placement
+                .map(|p| p.placement)
+                .unwrap_or(Placement::InTransit)
+        });
         // In native mode the hinted factors are applied as per-dimension
         // strides to the staged grids (the policy's volumetric arithmetic
         // is then a conservative estimate of the actual X³ reduction).
@@ -237,10 +326,11 @@ impl<S: LevelSolver> NativeWorkflow<S> {
 
         let mut moved = 0;
         let mut analysis_secs = 0.0;
+        let mut analysis_bytes = stats.data_bytes;
         match placement {
             Placement::InSitu => {
                 let t0 = Instant::now();
-                let mut total = xlayer_viz::TriMesh::new();
+                let mut total = TriMesh::new();
                 for l in 0..self.sim.hierarchy.num_levels() {
                     let dx = 1.0 / self.sim.hierarchy.ref_ratio().pow(l as u32) as f64;
                     let surfaces = extract_level(
@@ -274,42 +364,34 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                 // Stage every grid of every level as objects, then queue the
                 // analysis job. (Native mode treats hybrid like in-transit:
                 // the split is a modeled-scale mechanism.)
+                let mut staged = 0u64;
                 for l in 0..self.sim.hierarchy.num_levels() {
-                    let level = self.sim.hierarchy.level(l);
-                    for i in 0..level.len() {
-                        let obj = if factor > 1 {
-                            // Application-layer reduction before transport.
-                            let valid = level.valid_box(i);
-                            let mut tight = xlayer_amr::Fab::new(valid, 1);
-                            for iv in valid.cells() {
-                                tight.set(iv, 0, level.fab(i).get(iv, self.cfg.comp));
-                            }
-                            let reduced = xlayer_viz::downsample_fab(&tight, 0, factor);
-                            DataObject::from_fab(
-                                "field",
-                                stats.step,
-                                &reduced,
-                                0,
-                                &reduced.ibox(),
-                                level.layout().rank(i),
-                            )
-                        } else {
-                            DataObject::from_fab(
-                                "field",
-                                stats.step,
-                                level.fab(i),
-                                self.cfg.comp,
-                                &level.valid_box(i),
-                                level.layout().rank(i),
-                            )
-                        };
+                    let dx = 1.0 / self.sim.hierarchy.ref_ratio().pow(l as u32) as f64;
+                    let objects = pack_level_objects(
+                        self.sim.hierarchy.level(l),
+                        self.cfg.comp,
+                        "field",
+                        stats.step,
+                        factor,
+                        dx,
+                    );
+                    for obj in objects {
                         moved += obj.desc.bytes;
-                        // Synchronous put keeps the test deterministic; the
-                        // analysis itself is what runs asynchronously.
-                        let _ = self.space.put(obj);
+                        staged += 1;
+                        if self.cfg.overlap_staging {
+                            // Asynchronous back-pressured put: serialization
+                            // already happened above; ingest overlaps the
+                            // next solve. The analysis worker rendezvouses
+                            // via wait_processed.
+                            self.stager.as_ref().expect("not finished").put(obj);
+                        } else {
+                            // Synchronous baseline: the put completes here.
+                            let _ = self.space.put(obj);
+                        }
                     }
                 }
                 self.moved_bytes += moved;
+                analysis_bytes = moved;
                 self.pending_jobs += 1;
                 let predicted = self.engine.estimator().t_intransit(
                     adaptations.analysis_cells,
@@ -323,7 +405,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                     .send(Job {
                         version: stats.step,
                         iso: self.cfg.iso_value,
-                        dx: 1.0,
+                        expected: if self.cfg.overlap_staging { staged } else { 0 },
                     })
                     .expect("workers alive");
             }
@@ -333,7 +415,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             step: stats.step,
             t_sim: stats.dt,
             raw_bytes: stats.data_bytes,
-            analysis_bytes: stats.data_bytes,
+            analysis_bytes,
             factor,
             placement,
             reason: adaptations.placement.map(|p| p.reason),
@@ -342,15 +424,23 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             mem_available: state.mem_available_insitu,
             mem_used: stats.data_bytes,
             analyzed: true,
+            analysis_secs,
         };
-        let _ = analysis_secs;
         self.steps.push(log);
         log
     }
 
     /// Stop the workers, wait for in-flight analyses, and return
     /// (per-step logs, analysis outcomes, total bytes staged).
+    ///
+    /// Deterministic drain order: first the transport queue is drained (so
+    /// every staged object is in the space and every `wait_processed`
+    /// rendezvous can complete), then the job channel closes and the
+    /// workers run down the remaining analyses before joining.
     pub fn finish(mut self) -> (Vec<StepLog>, Vec<AnalysisOutcome>, u64) {
+        if let Some(stager) = self.stager.take() {
+            stager.drain();
+        }
         drop(self.job_tx.take());
         for w in self.workers.drain(..) {
             w.join().expect("worker panicked");
@@ -422,6 +512,33 @@ mod tests {
     }
 
     #[test]
+    fn sync_staging_matches_overlapped() {
+        // The overlap is a scheduling change, not a results change.
+        let run = |overlap: bool| {
+            let sim = blob_sim(16);
+            let cfg = NativeConfig {
+                iso_value: 0.4,
+                overlap_staging: overlap,
+                placement_override: Some(Placement::InTransit),
+                ..Default::default()
+            };
+            let mut wf = NativeWorkflow::new(sim, cfg);
+            for _ in 0..3 {
+                wf.step();
+            }
+            let (steps, outcomes, moved) = wf.finish();
+            let tris: Vec<usize> = outcomes.iter().map(|o| o.triangles).collect();
+            let bytes: Vec<u64> = steps.iter().map(|s| s.moved_bytes).collect();
+            (tris, bytes, moved)
+        };
+        let (tris_sync, bytes_sync, moved_sync) = run(false);
+        let (tris_ovl, bytes_ovl, moved_ovl) = run(true);
+        assert_eq!(tris_sync, tris_ovl);
+        assert_eq!(bytes_sync, bytes_ovl);
+        assert_eq!(moved_sync, moved_ovl);
+    }
+
+    #[test]
     fn staged_versions_are_evicted_after_analysis() {
         let sim = blob_sim(16);
         let mut wf = NativeWorkflow::new(sim, NativeConfig::default());
@@ -476,13 +593,23 @@ mod tests {
         let (red_steps, red_outcomes, red_moved) = run(vec![2]);
         assert!(full_steps.iter().all(|s| s.factor == 1));
         assert!(red_steps.iter().all(|s| s.factor == 2));
-        // A per-dimension stride of 2 shrinks every staged object by ~8x.
+        // A per-dimension stride of 2 shrinks every staged object by ~8x
+        // (the full-resolution object additionally carries a 1-cell halo).
         assert!(
             red_moved * 6 < full_moved,
             "reduction ineffective: {red_moved} vs {full_moved}"
         );
         // The reduced data still produces a surface.
         assert!(red_outcomes.iter().any(|o| o.triangles > 0));
+        // In-transit steps report the staged (reduced) bytes as the
+        // analysis input, not the raw hierarchy size.
+        for s in red_steps
+            .iter()
+            .filter(|s| s.placement != Placement::InSitu)
+        {
+            assert_eq!(s.analysis_bytes, s.moved_bytes);
+            assert!(s.analysis_bytes < s.raw_bytes);
+        }
     }
 
     #[test]
@@ -514,15 +641,38 @@ mod tests {
     }
 
     #[test]
-    fn insitu_and_intransit_agree_on_triangle_counts() {
-        // Run the same simulation twice with forced placements; the
-        // extracted surfaces must be identical.
-        let run = |engine: EngineConfig, force_insitu: bool| {
+    fn insitu_steps_record_analysis_time() {
+        let sim = blob_sim(16);
+        let cfg = NativeConfig {
+            iso_value: 0.4,
+            placement_override: Some(Placement::InSitu),
+            ..Default::default()
+        };
+        let mut wf = NativeWorkflow::new(sim, cfg);
+        for _ in 0..2 {
+            wf.step();
+        }
+        let (steps, outcomes, moved) = wf.finish();
+        assert_eq!(moved, 0);
+        for s in &steps {
+            assert_eq!(s.placement, Placement::InSitu);
+            assert!(s.analysis_secs > 0.0, "in-situ analysis time not recorded");
+            assert_eq!(s.analysis_bytes, s.raw_bytes);
+        }
+        assert!(outcomes.iter().all(|o| o.placement == Placement::InSitu));
+    }
+
+    #[test]
+    fn insitu_and_intransit_meshes_are_identical() {
+        // Run the same simulation with both forced placements: the surfaces
+        // must agree in triangle count AND vertex coordinates (the staged
+        // objects carry per-level dx and a ghost halo, so the workers see
+        // exactly what the in-situ extraction sees).
+        let run = |placement: Placement| {
             let sim = blob_sim(16);
             let cfg = NativeConfig {
                 iso_value: 0.4,
-                engine,
-                workers: if force_insitu { 1 } else { 2 },
+                placement_override: Some(placement),
                 ..Default::default()
             };
             let mut wf = NativeWorkflow::new(sim, cfg);
@@ -530,13 +680,18 @@ mod tests {
                 wf.step();
             }
             let (_, outcomes, _) = wf.finish();
-            outcomes.iter().map(|o| o.triangles).collect::<Vec<_>>()
+            outcomes
         };
-        // Note: in-transit extracts per staged grid without cross-grid ghost
-        // data; level-0 covers the domain so totals agree per level for the
-        // default blob (fine level fully interior).
-        let a = run(EngineConfig::none(), false); // placement defaults in-transit
-        let b = run(EngineConfig::none(), true);
+        let a = run(Placement::InSitu);
+        let b = run(Placement::InTransit);
         assert_eq!(a.len(), b.len());
+        for (oa, ob) in a.iter().zip(&b) {
+            assert_eq!(oa.version, ob.version);
+            assert_eq!(
+                oa.triangles, ob.triangles,
+                "triangle count differs at version {}",
+                oa.version
+            );
+        }
     }
 }

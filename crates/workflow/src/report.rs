@@ -33,6 +33,11 @@ pub struct StepLog {
     /// Whether this step's output was analyzed at all (false when the
     /// temporal-resolution mechanism skipped it).
     pub analyzed: bool,
+    /// Wall/virtual seconds the analysis took when it ran synchronously
+    /// with the step (in-situ, or the in-situ share of a hybrid split).
+    /// 0 when the analysis runs asynchronously in-transit — its duration
+    /// is reported on the `AnalysisOutcome` instead.
+    pub analysis_secs: f64,
 }
 
 /// Everything a finished run reports.
@@ -120,6 +125,7 @@ mod tests {
             mem_available: 1000,
             mem_used: 100,
             analyzed: true,
+            analysis_secs: 0.0,
         }
     }
 

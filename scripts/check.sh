@@ -20,4 +20,7 @@ cargo test -q --workspace
 echo "==> bench targets compile"
 cargo build --release -p xlayer-bench --benches --bins
 
+echo "==> bench summary schema (BENCH_native_hotpath.json)"
+cargo run --release -q -p xlayer-bench --bin bench_schema_check -- BENCH_native_hotpath.json
+
 echo "All checks passed."
