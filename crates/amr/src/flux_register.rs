@@ -13,7 +13,7 @@ use crate::fab::Fab;
 use crate::intvect::{IntVect, DIM};
 use crate::layout::BoxLayout;
 use crate::level_data::LevelData;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Face key: `(direction, cell on the face's high side)` — the face lies
 /// between `iv - e_d` and `iv`.
@@ -24,8 +24,12 @@ type FaceKey = (usize, IntVect);
 pub struct FluxRegister {
     ratio: i64,
     ncomp: usize,
-    /// Defect per registered boundary face.
-    defects: HashMap<FaceKey, Vec<f64>>,
+    /// Defect per registered boundary face. A `BTreeMap` so iteration —
+    /// and therefore the order corrections are applied to a coarse cell
+    /// touched by several boundary faces — is deterministic; with a hash
+    /// map, refluxed sums differed by an ulp between otherwise identical
+    /// runs.
+    defects: BTreeMap<FaceKey, Vec<f64>>,
     /// Coarsened fine-level boxes (the covered region).
     covered: Vec<IBox>,
 }
@@ -40,7 +44,7 @@ impl FluxRegister {
             .map(|g| g.bx.coarsen(ratio))
             .collect();
         let in_union = |iv: IntVect| covered.iter().any(|b| b.contains(iv));
-        let mut defects = HashMap::new();
+        let mut defects = BTreeMap::new();
         for cb in &covered {
             for d in 0..DIM {
                 let e = IntVect::basis(d);

@@ -131,6 +131,34 @@ impl LevelData {
             .for_each(|(i, fab)| f(i, boxes[i], fab));
     }
 
+    /// Apply `f(grid_index, valid_box, fab)` to every grid in parallel,
+    /// collecting each grid's result in grid order.
+    ///
+    /// This is the indexed parallel fab access behind the solvers'
+    /// flux-capturing advance: each grid's kernel returns a value (its
+    /// face-flux fabs) that the caller keeps, so the serial
+    /// `for i in 0..len` walk of the capture path parallelizes exactly
+    /// like [`Self::par_for_each_mut`] without giving up the results.
+    pub fn par_map_mut<R: Send>(
+        &mut self,
+        f: impl Fn(usize, IBox, &mut Fab) -> R + Sync,
+    ) -> Vec<R> {
+        use rayon::prelude::*;
+        let boxes: Vec<IBox> = self.layout.grids().iter().map(|g| g.bx).collect();
+        // Pair each fab with an output slot so one mutable slice drives the
+        // parallel walk (the vendored rayon has no indexed collect-into).
+        let mut slots: Vec<(Option<R>, &mut Fab)> =
+            self.fabs.iter_mut().map(|fab| (None, fab)).collect();
+        slots
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| slot.0 = Some(f(i, boxes[i], slot.1)));
+        slots
+            .into_iter()
+            .map(|(r, _)| r.expect("every grid produced a result"))
+            .collect()
+    }
+
     /// Compute the list of copies needed to fill every grid's ghost region
     /// from other grids' valid regions, including periodic images.
     pub fn exchange_plan(&self) -> Vec<CopyOp> {

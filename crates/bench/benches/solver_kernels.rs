@@ -8,7 +8,25 @@ use xlayer_amr::layout::BoxLayout;
 use xlayer_amr::level_data::LevelData;
 use xlayer_amr::IBox;
 use xlayer_solvers::euler::{hllc_flux, EulerSolver, Primitive};
-use xlayer_solvers::{AdvectDiffuseSolver, LevelSolver, VelocityField};
+use xlayer_solvers::{scratch, AdvectDiffuseSolver, LevelSolver, VelocityField};
+
+fn euler_level_32c_64box() -> (EulerSolver, LevelData) {
+    let solver = EulerSolver::default();
+    let domain = ProblemDomain::periodic(IBox::cube(32));
+    let layout = BoxLayout::decompose(&domain, 8, 4);
+    let mut ld = LevelData::new(layout, domain, solver.ncomp(), solver.nghost());
+    ld.for_each_mut(|vb, fab| {
+        for iv in vb.cells() {
+            let w = Primitive {
+                rho: 1.0 + 0.1 * ((iv[0] + iv[1]) % 5) as f64,
+                vel: [0.2, 0.0, 0.0],
+                p: 1.0,
+            };
+            EulerSolver::set_state(fab, iv, w.to_conserved(1.4));
+        }
+    });
+    (solver, ld)
+}
 
 fn bench_solvers(c: &mut Criterion) {
     let n = 24i64;
@@ -65,24 +83,54 @@ fn bench_solvers(c: &mut Criterion) {
     // pool both engage. One iteration is a full level step: ghost exchange
     // plus the sweep.
     c.bench_function("euler_level_step_32c_64box_periodic", |b| {
-        let solver = EulerSolver::default();
-        let domain = ProblemDomain::periodic(IBox::cube(32));
-        let layout = BoxLayout::decompose(&domain, 8, 4);
-        let mut ld = LevelData::new(layout, domain, solver.ncomp(), solver.nghost());
-        ld.for_each_mut(|vb, fab| {
-            for iv in vb.cells() {
-                let w = Primitive {
-                    rho: 1.0 + 0.1 * ((iv[0] + iv[1]) % 5) as f64,
-                    vel: [0.2, 0.0, 0.0],
-                    p: 1.0,
-                };
-                EulerSolver::set_state(fab, iv, w.to_conserved(1.4));
-            }
-        });
+        let (solver, mut ld) = euler_level_32c_64box();
         b.iter(|| {
             ld.exchange();
             solver.advance_level(&mut ld, 1.0, 0.05)
         })
+    });
+
+    // The sweep-structured kernel vs the per-cell reference on one
+    // ghost-filled 8³ grid: the isolated cost of cached primitives, slopes,
+    // and predicted face states vs re-deriving them per face. Flux fabs go
+    // back through the scratch pool, as in the real level step.
+    c.bench_function("euler_sweep_kernel_32c_64box", |b| {
+        let (solver, mut ld) = euler_level_32c_64box();
+        ld.exchange();
+        let valid = ld.valid_box(0);
+        let old = ld.fab(0).clone();
+        b.iter(|| {
+            for f in solver.grid_fluxes(black_box(&old), &valid, 0.05, solver.gamma) {
+                scratch::recycle_fab(f);
+            }
+        })
+    });
+
+    c.bench_function("euler_reference_kernel_32c_64box", |b| {
+        let (solver, mut ld) = euler_level_32c_64box();
+        ld.exchange();
+        let valid = ld.valid_box(0);
+        let old = ld.fab(0).clone();
+        b.iter(|| {
+            for f in solver.grid_fluxes_reference(black_box(&old), &valid, 0.05, solver.gamma) {
+                scratch::recycle_fab(f);
+            }
+        })
+    });
+
+    // The refluxing variant: same sweep, but every grid's flux fabs are
+    // collected (in grid order) for coarse–fine flux correction.
+    c.bench_function("euler_capture_level_step_32c_64box_periodic", |b| {
+        let (solver, mut ld) = euler_level_32c_64box();
+        b.iter(|| {
+            ld.exchange();
+            solver.advance_level_capture(&mut ld, 1.0, 0.05)
+        })
+    });
+
+    c.bench_function("euler_max_wave_speed_32c_64box_periodic", |b| {
+        let (solver, ld) = euler_level_32c_64box();
+        b.iter(|| solver.max_wave_speed(&ld))
     });
 
     c.bench_function("advect_level_step_32c_64box_periodic", |b| {

@@ -203,6 +203,44 @@ fn main() {
         });
     }
 
+    // Sweep-structured Euler kernel vs the per-cell reference on one
+    // ghost-filled 8³ grid of the level above — the acceptance measurement
+    // for the cached-primitives/slopes restructuring. Flux fabs are
+    // recycled through the scratch pool exactly as the level step does.
+    {
+        let (solver, mut ld) = euler_level(32, 8);
+        ld.exchange();
+        let valid = ld.valid_box(0);
+        let old = ld.fab(0).clone();
+        run("euler_sweep_kernel_32c_64box", &mut || {
+            for f in solver.grid_fluxes(&old, &valid, 0.05, solver.gamma) {
+                xlayer_solvers::scratch::recycle_fab(f);
+            }
+        });
+        run("euler_reference_kernel_32c_64box", &mut || {
+            for f in solver.grid_fluxes_reference(&old, &valid, 0.05, solver.gamma) {
+                xlayer_solvers::scratch::recycle_fab(f);
+            }
+        });
+    }
+
+    // The refluxing variant of the level step (captures per-grid flux fabs
+    // for coarse–fine correction) and the CFL wave-speed reduction, both
+    // parallel over grids.
+    {
+        let (solver, mut ld) = euler_level(32, 8);
+        run("euler_capture_level_step_32c_64box_periodic", &mut || {
+            ld.exchange();
+            let _ = solver.advance_level_capture(&mut ld, 1.0, 0.05);
+        });
+    }
+    {
+        let (solver, ld) = euler_level(32, 8);
+        run("euler_max_wave_speed_32c_64box_periodic", &mut || {
+            let _ = solver.max_wave_speed(&ld);
+        });
+    }
+
     // Staging substrate: shared-handle reads over a populated space.
     {
         let space = DataSpace::new(8, u64::MAX / 16, Sharding::BboxHash);
@@ -337,6 +375,10 @@ fn main() {
             "exchange_cached_speedup",
             ns_of("exchange_32c_64box_periodic_uncached")
                 / ns_of("exchange_32c_64box_periodic_cached"),
+        ),
+        (
+            "euler_sweep_speedup",
+            ns_of("euler_reference_kernel_32c_64box") / ns_of("euler_sweep_kernel_32c_64box"),
         ),
         (
             "downsample_flat_speedup",

@@ -30,6 +30,10 @@ pub const EXPECTED_BENCH_KEYS: &[&str] = &[
     "exchange_32c_64box_periodic_uncached",
     "euler_level_step_32c_64box_periodic",
     "advect_level_step_32c_64box_periodic",
+    "euler_sweep_kernel_32c_64box",
+    "euler_reference_kernel_32c_64box",
+    "euler_capture_level_step_32c_64box_periodic",
+    "euler_max_wave_speed_32c_64box_periodic",
     "staging_get_region_64obj",
     "staging_get_handles_64obj",
     "downsample_flat_64c_x4",
@@ -49,6 +53,7 @@ pub const EXPECTED_BENCH_KEYS: &[&str] = &[
 /// The derived ratios `bench_summary` writes under `"derived"`.
 pub const EXPECTED_DERIVED_KEYS: &[&str] = &[
     "exchange_cached_speedup",
+    "euler_sweep_speedup",
     "downsample_flat_speedup",
     "mse_flat_speedup",
     "entropy_flat_speedup",

@@ -77,7 +77,83 @@ impl AdvectDiffuseSolver {
     /// Face fluxes for one grid: `flux[d]` at `iv` holds the upwind
     /// advective plus diffusive flux through the face between `iv - e_d`
     /// and `iv` (the flux-register convention).
-    fn grid_fluxes(&self, old: &Fab, valid: &IBox, dx: f64) -> [Fab; DIM] {
+    ///
+    /// Sweep-structured like the Euler kernel: both upwind states stream
+    /// from flat row offsets into `old` and the flux rows are written
+    /// contiguously, instead of per-face `get`/`set` index math. Bit-
+    /// identical to [`Self::grid_fluxes_reference`] (same expressions on
+    /// the same values, evaluated in the same order); property tests pin
+    /// the equivalence.
+    pub fn grid_fluxes(&self, old: &Fab, valid: &IBox, dx: f64) -> [Fab; DIM] {
+        let avail = old.ibox();
+        let src = old.as_slice();
+        std::array::from_fn(|d| {
+            let e = IntVect::basis(d);
+            let mut hi = valid.hi();
+            hi[d] += 1;
+            let fbox = IBox::new(valid.lo(), hi);
+            let mut flux = scratch::take_fab(fbox, 1);
+            let out = flux.as_mut_slice();
+            let nx = fbox.size()[0] as usize;
+            for z in fbox.lo()[2]..=fbox.hi()[2] {
+                for y in fbox.lo()[1]..=fbox.hi()[1] {
+                    let row = IntVect::new(fbox.lo()[0], y, z);
+                    let of0 = fbox.offset(row);
+                    if d == 0 {
+                        // Availability along x flips only at the row ends.
+                        let ob = avail.offset(IntVect::new(avail.lo()[0], y, z));
+                        let albx = avail.lo()[0];
+                        for i in 0..nx {
+                            let x = row[0] + i as i64;
+                            let have_lo = x > albx;
+                            let have_hi = x <= avail.hi()[0];
+                            let hx = if have_hi { x } else { x - 1 };
+                            let u_hi = src[ob + (hx - albx) as usize];
+                            let u_lo = if have_lo {
+                                src[ob + (x - 1 - albx) as usize]
+                            } else {
+                                u_hi
+                            };
+                            let iv = IntVect::new(x, y, z);
+                            let v = 0.5 * (self.velocity.at(iv - e)[d] + self.velocity.at(iv)[d]);
+                            let mut f = if v >= 0.0 { v * u_lo } else { v * u_hi };
+                            // Diffusive flux only across interior faces
+                            // (zero-gradient at physical boundaries).
+                            if self.diffusion > 0.0 && have_lo && have_hi {
+                                f -= self.diffusion * (u_hi - u_lo) / dx;
+                            }
+                            out[of0 + i] = f;
+                        }
+                    } else {
+                        // Availability along d is constant over the row;
+                        // a missing side clamps to the interior row base.
+                        let have_lo = row[d] > avail.lo()[d];
+                        let have_hi = row[d] <= avail.hi()[d];
+                        let ohi0 = avail.offset(if have_hi { row } else { row - e });
+                        let olo0 = if have_lo { avail.offset(row - e) } else { ohi0 };
+                        let diffusive = self.diffusion > 0.0 && have_lo && have_hi;
+                        for i in 0..nx {
+                            let u_hi = src[ohi0 + i];
+                            let u_lo = src[olo0 + i];
+                            let iv = IntVect::new(row[0] + i as i64, y, z);
+                            let v = 0.5 * (self.velocity.at(iv - e)[d] + self.velocity.at(iv)[d]);
+                            let mut f = if v >= 0.0 { v * u_lo } else { v * u_hi };
+                            if diffusive {
+                                f -= self.diffusion * (u_hi - u_lo) / dx;
+                            }
+                            out[of0 + i] = f;
+                        }
+                    }
+                }
+            }
+            flux
+        })
+    }
+
+    /// The retained per-face reference for [`Self::grid_fluxes`]: every
+    /// face independently resolves its cells through `Fab::get`. Kept for
+    /// the equivalence property tests and the sweep-vs-reference benches.
+    pub fn grid_fluxes_reference(&self, old: &Fab, valid: &IBox, dx: f64) -> [Fab; DIM] {
         let avail = old.ibox();
         std::array::from_fn(|d| {
             let e = IntVect::basis(d);
@@ -97,8 +173,6 @@ impl AdvectDiffuseSolver {
                 let u_lo = if have_lo { old.get(lo_cell, 0) } else { u_hi };
                 let v = 0.5 * (self.velocity.at(lo_cell)[d] + self.velocity.at(iv)[d]);
                 let mut f = if v >= 0.0 { v * u_lo } else { v * u_hi };
-                // Diffusive flux only across interior faces (zero-gradient
-                // at physical boundaries, matching the stencil form).
                 if self.diffusion > 0.0 && have_lo && have_hi {
                     f -= self.diffusion * (u_hi - u_lo) / dx;
                 }
@@ -106,6 +180,43 @@ impl AdvectDiffuseSolver {
             }
             flux
         })
+    }
+
+    /// [`LevelSolver::advance_level`] through the retained per-face
+    /// reference kernel — the baseline the sweep is tested against.
+    pub fn advance_level_reference(&self, data: &mut LevelData, dx: f64, dt: f64) {
+        let dtdx = dt / dx;
+        data.par_for_each_mut(|_, valid, fab| {
+            let old = scratch::take_fab_clone(fab);
+            let fluxes = self.grid_fluxes_reference(&old, &valid, dx);
+            Self::apply_fluxes(&valid, fab, &fluxes, dtdx);
+            scratch::recycle_fab(old);
+            for f in fluxes {
+                scratch::recycle_fab(f);
+            }
+        });
+    }
+
+    /// [`LevelSolver::advance_level_capture`] as the seed shipped it: a
+    /// serial grid loop over the reference kernel, retained for the AMR
+    /// refluxing golden tests.
+    pub fn advance_level_capture_reference(
+        &self,
+        data: &mut LevelData,
+        dx: f64,
+        dt: f64,
+    ) -> Option<LevelFluxes> {
+        let dtdx = dt / dx;
+        let mut out = Vec::with_capacity(data.len());
+        for i in 0..data.len() {
+            let valid = data.valid_box(i);
+            let old = scratch::take_fab_clone(data.fab(i));
+            let fluxes = self.grid_fluxes_reference(&old, &valid, dx);
+            Self::apply_fluxes(&valid, data.fab_mut(i), &fluxes, dtdx);
+            scratch::recycle_fab(old);
+            out.push(fluxes);
+        }
+        Some(out)
     }
 
     /// Conservative update from face fluxes.
@@ -162,17 +273,16 @@ impl LevelSolver for AdvectDiffuseSolver {
 
     fn advance_level_capture(&self, data: &mut LevelData, dx: f64, dt: f64) -> Option<LevelFluxes> {
         let dtdx = dt / dx;
-        let mut out = Vec::with_capacity(data.len());
-        for i in 0..data.len() {
-            let valid = data.valid_box(i);
-            // Flux fabs escape to the caller; only the snapshot is pooled.
-            let old = scratch::take_fab_clone(data.fab(i));
+        // Grids are independent; the indexed parallel map collects each
+        // grid's flux fabs in grid order for the refluxing caller. Flux
+        // fabs escape to the caller, so only the snapshot is pooled.
+        Some(data.par_map_mut(|_, valid, fab| {
+            let old = scratch::take_fab_clone(fab);
             let fluxes = self.grid_fluxes(&old, &valid, dx);
-            Self::apply_fluxes(&valid, data.fab_mut(i), &fluxes, dtdx);
+            Self::apply_fluxes(&valid, fab, &fluxes, dtdx);
             scratch::recycle_fab(old);
-            out.push(fluxes);
-        }
-        Some(out)
+            fluxes
+        }))
     }
 
     fn tag_cells(&self, data: &LevelData, threshold: f64) -> IntVectSet {

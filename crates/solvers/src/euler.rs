@@ -116,6 +116,28 @@ fn cons_as_array(c: Conserved) -> [f64; NCOMP] {
     [c.rho, c.mom[0], c.mom[1], c.mom[2], c.energy]
 }
 
+/// Read a 5-component state from strided slots of a flat payload. The
+/// stored values already carry their positivity floors, so no clamping
+/// happens on the way out (reloading is bit-identical to never storing).
+#[inline(always)]
+fn load_prim(s: &[f64], o: usize, st: usize) -> Primitive {
+    Primitive {
+        rho: s[o],
+        vel: [s[o + st], s[o + 2 * st], s[o + 3 * st]],
+        p: s[o + 4 * st],
+    }
+}
+
+/// Write a 5-component state array into strided slots of a flat payload.
+#[inline(always)]
+fn store5(s: &mut [f64], o: usize, st: usize, v: [f64; NCOMP]) {
+    s[o] = v[0];
+    s[o + st] = v[1];
+    s[o + 2 * st] = v[2];
+    s[o + 3 * st] = v[3];
+    s[o + 4 * st] = v[4];
+}
+
 /// HLLC approximate Riemann solver: the flux through a face with left state
 /// `l` and right state `r`, normal direction `d`.
 pub fn hllc_flux(l: Primitive, r: Primitive, d: usize, gamma: f64) -> [f64; NCOMP] {
@@ -275,6 +297,39 @@ impl EulerSolver {
             arr[c] + side * s[c] - 0.5 * dtdx * adw[c]
         }))
     }
+
+    /// Both half-step face predictions of a cell at once: the `A(w)·slope`
+    /// product of [`Self::predict`] depends only on `w` and `slope`, so the
+    /// sweep evaluates it once and forms the `side = ±0.5` states from it.
+    /// Each component is the same expression `predict` evaluates (IEEE
+    /// multiplication by −0.5 is the exact negation of multiplication by
+    /// 0.5, and `a + (−b)` is `a − b`), so the pair is bit-identical to two
+    /// `predict` calls.
+    #[inline(always)]
+    fn predict_faces(
+        &self,
+        w: Primitive,
+        slope: &[f64; NCOMP],
+        d: usize,
+        dtdx: f64,
+    ) -> ([f64; NCOMP], [f64; NCOMP]) {
+        let rho = w.rho;
+        let un = w.vel[d];
+        let c2 = self.gamma * w.p / rho;
+        let s = slope;
+        let mut adw = [0.0; NCOMP];
+        adw[0] = un * s[0] + rho * s[1 + d];
+        for v in 0..3 {
+            adw[1 + v] = un * s[1 + v];
+        }
+        adw[1 + d] += s[4] / rho;
+        adw[4] = un * s[4] + rho * c2 * s[1 + d];
+        let arr = w.as_array();
+        (
+            std::array::from_fn(|c| arr[c] + 0.5 * s[c] - 0.5 * dtdx * adw[c]),
+            std::array::from_fn(|c| arr[c] - 0.5 * s[c] - 0.5 * dtdx * adw[c]),
+        )
+    }
 }
 
 impl LevelSolver for EulerSolver {
@@ -287,19 +342,43 @@ impl LevelSolver for EulerSolver {
     }
 
     fn max_wave_speed(&self, data: &LevelData) -> f64 {
-        let mut s: f64 = 0.0;
-        for i in 0..data.len() {
-            let vb = data.valid_box(i);
-            let fab = data.fab(i);
-            for iv in vb.cells() {
-                let w = Self::state(fab, iv).to_primitive(self.gamma);
-                let c = w.sound_speed(self.gamma);
-                for d in 0..DIM {
-                    s = s.max(w.vel[d].abs() + c);
+        // Rayon reduction over grids; within a grid, contiguous row walks
+        // over the flat payload (one offset per row, five strided reads per
+        // cell). `f64::max` is commutative and associative for the non-NaN
+        // speeds produced here, so the per-grid split cannot change the
+        // result vs the serial reference.
+        use rayon::prelude::*;
+        let gamma = self.gamma;
+        let per_grid: Vec<f64> = (0..data.len())
+            .into_par_iter()
+            .map(|i| {
+                let vb = data.valid_box(i);
+                let fab = data.fab(i);
+                let st = fab.comp_stride();
+                let payload = fab.as_slice();
+                let nx = vb.size()[0] as usize;
+                let mut s: f64 = 0.0;
+                for z in vb.lo()[2]..=vb.hi()[2] {
+                    for y in vb.lo()[1]..=vb.hi()[1] {
+                        let o0 = fab.cell_offset(IntVect::new(vb.lo()[0], y, z));
+                        for o in o0..o0 + nx {
+                            let w = Conserved {
+                                rho: payload[o],
+                                mom: [payload[o + st], payload[o + 2 * st], payload[o + 3 * st]],
+                                energy: payload[o + 4 * st],
+                            }
+                            .to_primitive(gamma);
+                            let c = w.sound_speed(gamma);
+                            for d in 0..DIM {
+                                s = s.max(w.vel[d].abs() + c);
+                            }
+                        }
+                    }
                 }
-            }
-        }
-        s
+                s
+            })
+            .collect();
+        per_grid.into_iter().fold(0.0, f64::max)
     }
 
     fn advance_level(&self, data: &mut LevelData, dx: f64, dt: f64) {
@@ -323,18 +402,17 @@ impl LevelSolver for EulerSolver {
     fn advance_level_capture(&self, data: &mut LevelData, dx: f64, dt: f64) -> Option<LevelFluxes> {
         let dtdx = dt / dx;
         let gamma = self.gamma;
-        let mut out = Vec::with_capacity(data.len());
-        for i in 0..data.len() {
-            let valid = data.valid_box(i);
-            // Flux fabs escape to the caller (refluxing keeps them), so only
-            // the old-state snapshot can come from the scratch pool here.
-            let old = scratch::take_fab_clone(data.fab(i));
+        // Same per-grid independence as `advance_level`; the indexed
+        // parallel map collects each grid's flux fabs in grid order for the
+        // refluxing caller. Flux fabs escape to the caller, so only the
+        // old-state snapshot can come from the scratch pool here.
+        Some(data.par_map_mut(|_, valid, fab| {
+            let old = scratch::take_fab_clone(fab);
             let fluxes = self.grid_fluxes(&old, &valid, dtdx, gamma);
-            Self::apply_fluxes(&valid, data.fab_mut(i), &fluxes, dtdx, gamma);
+            Self::apply_fluxes(&valid, fab, &fluxes, dtdx, gamma);
             scratch::recycle_fab(old);
-            out.push(fluxes);
-        }
-        Some(out)
+            fluxes
+        }))
     }
 
     fn tag_cells(&self, data: &LevelData, threshold: f64) -> IntVectSet {
@@ -346,7 +424,175 @@ impl EulerSolver {
     /// Face fluxes for one grid, the flux-register convention: `flux[d]`
     /// at `iv` holds the HLLC flux through the face between `iv - e_d`
     /// and `iv`.
-    fn grid_fluxes(&self, old: &Fab, valid: &IBox, dtdx: f64, gamma: f64) -> [Fab; DIM] {
+    ///
+    /// Sweep-structured MUSCL–Hancock: conserved→primitive happens once
+    /// per cell into a scratch fab, then per direction the limited slopes
+    /// and both ±½-predicted face states are cached in one contiguous row
+    /// walk, and the HLLC pass reads only cached states and writes flux
+    /// rows contiguously. The per-cell reference
+    /// ([`Self::grid_fluxes_reference`]) re-derives primitives and slopes
+    /// for every face touching a cell (~20+ redundant conversions per cell
+    /// per step); this path is bit-identical to it — every cached value is
+    /// the same expression the reference evaluates, just evaluated once —
+    /// and property tests pin the equivalence.
+    pub fn grid_fluxes(&self, old: &Fab, valid: &IBox, dtdx: f64, gamma: f64) -> [Fab; DIM] {
+        let avail = old.ibox();
+        // Pass A: conserved → primitive once per cell of the ghost-filled
+        // box. One flat walk; all five components stream contiguously.
+        let mut prim = scratch::take_fab(avail, NCOMP);
+        let st = old.comp_stride();
+        {
+            let src = old.as_slice();
+            let dst = prim.as_mut_slice();
+            for o in 0..st {
+                let w = Conserved {
+                    rho: src[o],
+                    mom: [src[o + st], src[o + 2 * st], src[o + 3 * st]],
+                    energy: src[o + 4 * st],
+                }
+                .to_primitive(gamma)
+                .as_array();
+                store5(dst, o, st, w);
+            }
+        }
+        let asize = avail.size();
+        let fluxes = std::array::from_fn(|d| {
+            // Cells whose predicted face states this direction's faces read:
+            // the valid box grown by one in ±d, clipped to what exists.
+            let sbox = valid.grow_dir(d, 1).intersect(&avail);
+            let ss = sbox.num_cells() as usize;
+            let mut wlo = scratch::take_fab(sbox, NCOMP); // state at the cell's −½ face
+            let mut whi = scratch::take_fab(sbox, NCOMP); // state at the cell's +½ face
+                                                          // Flat-offset step to the ±e_d neighbor inside the prim fab.
+            let pstep = match d {
+                0 => 1usize,
+                1 => asize[0] as usize,
+                _ => (asize[0] * asize[1]) as usize,
+            };
+            // Pass B: limited slopes + MUSCL–Hancock half-step predictor,
+            // cached for both faces of every cell in contiguous row walks.
+            {
+                let p = prim.as_slice();
+                let lo_s = wlo.as_mut_slice();
+                let hi_s = whi.as_mut_slice();
+                let nx = sbox.size()[0] as usize;
+                for z in sbox.lo()[2]..=sbox.hi()[2] {
+                    for y in sbox.lo()[1]..=sbox.hi()[1] {
+                        let row = IntVect::new(sbox.lo()[0], y, z);
+                        let op0 = avail.offset(row);
+                        let os0 = sbox.offset(row);
+                        // Neighbor availability along d is per-row constant
+                        // except for d == 0, where it flips at the row ends.
+                        let (row_has_m, row_has_p) =
+                            (row[d] > avail.lo()[d], row[d] < avail.hi()[d]);
+                        for i in 0..nx {
+                            let op = op0 + i;
+                            let (has_m, has_p) = if d == 0 {
+                                let x = row[0] + i as i64;
+                                (x > avail.lo()[0], x < avail.hi()[0])
+                            } else {
+                                (row_has_m, row_has_p)
+                            };
+                            let wc = [
+                                p[op],
+                                p[op + st],
+                                p[op + 2 * st],
+                                p[op + 3 * st],
+                                p[op + 4 * st],
+                            ];
+                            let wp = if has_p {
+                                let q = op + pstep;
+                                [p[q], p[q + st], p[q + 2 * st], p[q + 3 * st], p[q + 4 * st]]
+                            } else {
+                                wc
+                            };
+                            let wm = if has_m {
+                                let q = op - pstep;
+                                [p[q], p[q + st], p[q + 2 * st], p[q + 3 * st], p[q + 4 * st]]
+                            } else {
+                                wc
+                            };
+                            let slope: [f64; NCOMP] =
+                                std::array::from_fn(|c| minmod(wp[c] - wc[c], wc[c] - wm[c]));
+                            let w = Primitive {
+                                rho: wc[0],
+                                vel: [wc[1], wc[2], wc[3]],
+                                p: wc[4],
+                            };
+                            let os = os0 + i;
+                            let (w_hi, w_lo) = self.predict_faces(w, &slope, d, dtdx);
+                            store5(hi_s, os, ss, w_hi);
+                            store5(lo_s, os, ss, w_lo);
+                        }
+                    }
+                }
+            }
+            // Pass C: HLLC over faces, reading only the cached predicted
+            // states and writing flux rows contiguously. At a physical
+            // boundary the missing cell falls back to the interior one,
+            // exactly as the reference's `face_flux` clamps.
+            let mut hi = valid.hi();
+            hi[d] += 1;
+            let fbox = IBox::new(valid.lo(), hi);
+            let mut flux = scratch::take_fab(fbox, NCOMP);
+            let sf = flux.comp_stride();
+            {
+                let lo_s = wlo.as_slice();
+                let hi_s = whi.as_slice();
+                let out = flux.as_mut_slice();
+                let nx = fbox.size()[0] as usize;
+                for z in fbox.lo()[2]..=fbox.hi()[2] {
+                    for y in fbox.lo()[1]..=fbox.hi()[1] {
+                        let row = IntVect::new(fbox.lo()[0], y, z);
+                        let of0 = fbox.offset(row);
+                        if d == 0 {
+                            let os0 = sbox.offset(IntVect::new(sbox.lo()[0], y, z));
+                            for i in 0..nx {
+                                let x = row[0] + i as i64;
+                                let lx = if x > avail.lo()[0] { x - 1 } else { x };
+                                let rx = if x <= avail.hi()[0] { x } else { x - 1 };
+                                let wl = load_prim(hi_s, os0 + (lx - sbox.lo()[0]) as usize, ss);
+                                let wr = load_prim(lo_s, os0 + (rx - sbox.lo()[0]) as usize, ss);
+                                store5(out, of0 + i, sf, hllc_flux(wl, wr, d, gamma));
+                            }
+                        } else {
+                            let fd = row[d];
+                            let ld = if fd > avail.lo()[d] { fd - 1 } else { fd };
+                            let rd = if fd <= avail.hi()[d] { fd } else { fd - 1 };
+                            let mut lrow = row;
+                            lrow[d] = ld;
+                            let mut rrow = row;
+                            rrow[d] = rd;
+                            let ol0 = sbox.offset(lrow);
+                            let or0 = sbox.offset(rrow);
+                            for i in 0..nx {
+                                let wl = load_prim(hi_s, ol0 + i, ss);
+                                let wr = load_prim(lo_s, or0 + i, ss);
+                                store5(out, of0 + i, sf, hllc_flux(wl, wr, d, gamma));
+                            }
+                        }
+                    }
+                }
+            }
+            scratch::recycle_fab(wlo);
+            scratch::recycle_fab(whi);
+            flux
+        });
+        scratch::recycle_fab(prim);
+        fluxes
+    }
+
+    /// The retained per-cell reference for [`Self::grid_fluxes`]: every
+    /// face independently re-derives both cells' primitives and slopes via
+    /// [`Self::face_flux`]. Kept for the equivalence property tests and the
+    /// sweep-vs-reference benches.
+    pub fn grid_fluxes_reference(
+        &self,
+        old: &Fab,
+        valid: &IBox,
+        dtdx: f64,
+        gamma: f64,
+    ) -> [Fab; DIM] {
         let avail = old.ibox();
         std::array::from_fn(|d| {
             let e = IntVect::basis(d);
@@ -367,34 +613,114 @@ impl EulerSolver {
         })
     }
 
-    /// Conservative update from face fluxes, with positivity floors.
-    fn apply_fluxes(valid: &IBox, fab: &mut Fab, fluxes: &[Fab; DIM], dtdx: f64, gamma: f64) {
-        for iv in valid.cells() {
-            let mut du = [0.0; NCOMP];
-            for (d, flux) in fluxes.iter().enumerate() {
-                let e = IntVect::basis(d);
-                // One offset pair per direction instead of one per component.
-                let o0 = flux.cell_offset(iv);
-                let o1 = flux.cell_offset(iv + e);
-                let s = flux.comp_stride();
-                let fd = flux.as_slice();
-                for (c, dv) in du.iter_mut().enumerate() {
-                    *dv -= dtdx * (fd[o1 + c * s] - fd[o0 + c * s]);
+    /// [`LevelSolver::advance_level`] through the retained per-cell
+    /// reference kernel (same parallel per-grid structure, reference
+    /// per-face math) — the baseline the sweep is benchmarked against.
+    pub fn advance_level_reference(&self, data: &mut LevelData, dx: f64, dt: f64) {
+        let dtdx = dt / dx;
+        let gamma = self.gamma;
+        data.par_for_each_mut(|_, valid, fab| {
+            let old = scratch::take_fab_clone(fab);
+            let fluxes = self.grid_fluxes_reference(&old, &valid, dtdx, gamma);
+            Self::apply_fluxes(&valid, fab, &fluxes, dtdx, gamma);
+            scratch::recycle_fab(old);
+            for f in fluxes {
+                scratch::recycle_fab(f);
+            }
+        });
+    }
+
+    /// [`LevelSolver::advance_level_capture`] as the seed shipped it: a
+    /// serial grid loop over the reference kernel. Retained so the AMR
+    /// golden tests can prove the parallel capture path leaves refluxed
+    /// results and flux-register sums unchanged.
+    pub fn advance_level_capture_reference(
+        &self,
+        data: &mut LevelData,
+        dx: f64,
+        dt: f64,
+    ) -> Option<LevelFluxes> {
+        let dtdx = dt / dx;
+        let gamma = self.gamma;
+        let mut out = Vec::with_capacity(data.len());
+        for i in 0..data.len() {
+            let valid = data.valid_box(i);
+            let old = scratch::take_fab_clone(data.fab(i));
+            let fluxes = self.grid_fluxes_reference(&old, &valid, dtdx, gamma);
+            Self::apply_fluxes(&valid, data.fab_mut(i), &fluxes, dtdx, gamma);
+            scratch::recycle_fab(old);
+            out.push(fluxes);
+        }
+        Some(out)
+    }
+
+    /// The retained serial per-cell reference for
+    /// [`LevelSolver::max_wave_speed`].
+    pub fn max_wave_speed_reference(&self, data: &LevelData) -> f64 {
+        let mut s: f64 = 0.0;
+        for i in 0..data.len() {
+            let vb = data.valid_box(i);
+            let fab = data.fab(i);
+            for iv in vb.cells() {
+                let w = Self::state(fab, iv).to_primitive(self.gamma);
+                let c = w.sound_speed(self.gamma);
+                for d in 0..DIM {
+                    s = s.max(w.vel[d].abs() + c);
                 }
             }
-            let u = Self::state(fab, iv);
-            let mut new = cons_as_array(u);
-            for c in 0..NCOMP {
-                new[c] += du[c];
+        }
+        s
+    }
+
+    /// Conservative update from face fluxes, with positivity floors.
+    fn apply_fluxes(valid: &IBox, fab: &mut Fab, fluxes: &[Fab; DIM], dtdx: f64, gamma: f64) {
+        // Row walks: one offset per row for the state fab and each flux fab
+        // (every Fab shares the x-fastest layout, so consecutive cells are
+        // consecutive offsets). The per-cell arithmetic and its evaluation
+        // order are unchanged from the per-cell form, so the update is
+        // bit-identical to it.
+        let lo = valid.lo();
+        let hi = valid.hi();
+        let nx = (hi[0] - lo[0] + 1) as usize;
+        let s = fab.comp_stride();
+        let sf: [usize; DIM] = std::array::from_fn(|d| fluxes[d].comp_stride());
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                let row = IntVect::new(lo[0], y, z);
+                let ob = fab.cell_offset(row);
+                let f0: [usize; DIM] = std::array::from_fn(|d| fluxes[d].cell_offset(row));
+                let f1: [usize; DIM] =
+                    std::array::from_fn(|d| fluxes[d].cell_offset(row + IntVect::basis(d)));
+                let dst = fab.as_mut_slice();
+                for i in 0..nx {
+                    let mut du = [0.0; NCOMP];
+                    for (d, flux) in fluxes.iter().enumerate() {
+                        let fd = flux.as_slice();
+                        let (o0, o1) = (f0[d] + i, f1[d] + i);
+                        for (c, dv) in du.iter_mut().enumerate() {
+                            *dv -= dtdx * (fd[o1 + c * sf[d]] - fd[o0 + c * sf[d]]);
+                        }
+                    }
+                    let o = ob + i;
+                    let u = Conserved {
+                        rho: dst[o],
+                        mom: [dst[o + s], dst[o + 2 * s], dst[o + 3 * s]],
+                        energy: dst[o + 4 * s],
+                    };
+                    let mut new = cons_as_array(u);
+                    for (c, dv) in du.iter().enumerate() {
+                        new[c] += dv;
+                    }
+                    // positivity floors via primitive roundtrip
+                    let cons = Conserved {
+                        rho: new[RHO].max(SMALL),
+                        mom: [new[MX], new[MY], new[MZ]],
+                        energy: new[ENERGY],
+                    };
+                    let w = cons.to_primitive(gamma);
+                    store5(dst, o, s, cons_as_array(w.to_conserved(gamma)));
+                }
             }
-            // positivity floors via primitive roundtrip
-            let cons = Conserved {
-                rho: new[RHO].max(SMALL),
-                mom: [new[MX], new[MY], new[MZ]],
-                energy: new[ENERGY],
-            };
-            let w = cons.to_primitive(gamma);
-            Self::set_state(fab, iv, w.to_conserved(gamma));
         }
     }
 

@@ -18,9 +18,10 @@ use std::cell::RefCell;
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
 
-/// Buffers retained per thread. A level sweep needs 1 old-state snapshot +
-/// `DIM` flux fabs in flight at once; keep a little headroom.
-const MAX_POOLED: usize = 8;
+/// Buffers retained per thread. A sweep-structured level step holds, per
+/// grid, 1 old-state snapshot + 1 primitive cache + 2 predicted-face caches
+/// + up to `DIM` flux fabs in flight at once (7 total); keep headroom.
+const MAX_POOLED: usize = 12;
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };

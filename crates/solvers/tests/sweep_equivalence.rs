@@ -1,0 +1,390 @@
+//! Equivalence pins for the sweep-structured solver hot path.
+//!
+//! The sweep kernels cache primitives and predicted face states instead of
+//! re-deriving them per face, and the capture/wave-speed paths run grids in
+//! parallel. All of that is a pure re-ordering of *where* the same
+//! floating-point expressions are evaluated, so the results must be
+//! **bit-identical** to the retained per-cell references — these tests
+//! compare `f64::to_bits`, not approximate norms.
+
+use proptest::prelude::*;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::domain::ProblemDomain;
+use xlayer_amr::fab::Fab;
+use xlayer_amr::hierarchy::HierarchyConfig;
+use xlayer_amr::intvect::{IntVect, DIM};
+use xlayer_amr::layout::BoxLayout;
+use xlayer_amr::level_data::LevelData;
+use xlayer_amr::tagging::IntVectSet;
+use xlayer_solvers::advect::{AdvectDiffuseSolver, VelocityField};
+use xlayer_solvers::amr_driver::{AmrSimulation, DriverConfig};
+use xlayer_solvers::euler::{Conserved, EulerSolver, Primitive, NCOMP};
+use xlayer_solvers::level_solver::{LevelFluxes, LevelSolver};
+use xlayer_solvers::problems::{GasProblem, ScalarProblem};
+
+const GAMMA: f64 = 1.4;
+
+/// Deterministic pseudo-random value in [0, 1) from cell indices.
+fn hash01(iv: IntVect, salt: i64) -> f64 {
+    let h = (iv[0]
+        .wrapping_mul(73856093)
+        .wrapping_add(iv[1].wrapping_mul(19349663))
+        .wrapping_add(iv[2].wrapping_mul(83492791))
+        .wrapping_add(salt.wrapping_mul(7919)))
+    .rem_euclid(10_000);
+    h as f64 / 10_000.0
+}
+
+/// A physically admissible (positive rho/p) pseudo-random gas state.
+fn gas_state(iv: IntVect, salt: i64) -> Conserved {
+    Primitive {
+        rho: 0.2 + 1.8 * hash01(iv, salt),
+        vel: [
+            2.0 * hash01(iv, salt + 1) - 1.0,
+            2.0 * hash01(iv, salt + 2) - 1.0,
+            2.0 * hash01(iv, salt + 3) - 1.0,
+        ],
+        p: 0.2 + 1.8 * hash01(iv, salt + 4),
+    }
+    .to_conserved(GAMMA)
+}
+
+/// Fill a fab over `bx` with pseudo-random gas states.
+fn gas_fab(bx: IBox, salt: i64) -> Fab {
+    let mut f = Fab::new(bx, NCOMP);
+    for iv in bx.cells() {
+        EulerSolver::set_state(&mut f, iv, gas_state(iv, salt));
+    }
+    f
+}
+
+/// Assert two fabs are bit-for-bit identical.
+fn assert_fab_bits_eq(a: &Fab, b: &Fab, what: &str) {
+    assert_eq!(a.ibox(), b.ibox(), "{what}: box mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: payload diverges at flat index {i} ({x} vs {y})"
+        );
+    }
+}
+
+fn assert_fluxes_bits_eq(a: &LevelFluxes, b: &LevelFluxes, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: grid count mismatch");
+    for (g, (fa, fb)) in a.iter().zip(b).enumerate() {
+        for d in 0..DIM {
+            assert_fab_bits_eq(&fa[d], &fb[d], &format!("{what}: grid {g} dir {d}"));
+        }
+    }
+}
+
+/// Ghost-filled boxes around `valid` that exercise every boundary-clamp
+/// combination: fully grown (all interior faces), clipped flush on the low
+/// sides, clipped flush on the high sides.
+fn avail_variants(valid: IBox, nghost: i64) -> [IBox; 3] {
+    let grown = valid.grow(nghost);
+    [
+        grown,
+        IBox::new(valid.lo(), grown.hi()),
+        IBox::new(grown.lo(), valid.hi()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Euler sweep kernel is bit-identical to the per-face reference,
+    /// including at clamped physical boundaries.
+    #[test]
+    fn euler_grid_fluxes_match_reference(
+        salt in 0i64..1000,
+        n in 4i64..10,
+        lo in -5i64..5,
+        dtdx in 0.01f64..0.4,
+    ) {
+        let solver = EulerSolver::default();
+        let valid = IBox::new(IntVect::splat(lo), IntVect::splat(lo + n - 1));
+        for avail in avail_variants(valid, 2) {
+            let old = gas_fab(avail, salt);
+            let sweep = solver.grid_fluxes(&old, &valid, dtdx, GAMMA);
+            let reference = solver.grid_fluxes_reference(&old, &valid, dtdx, GAMMA);
+            for d in 0..DIM {
+                assert_fab_bits_eq(&sweep[d], &reference[d], &format!("euler dir {d}"));
+            }
+        }
+    }
+
+    /// The advect sweep kernel is bit-identical to the per-face reference,
+    /// with and without diffusion, for both velocity-field shapes.
+    #[test]
+    fn advect_grid_fluxes_match_reference(
+        salt in 0i64..1000,
+        n in 4i64..10,
+        lo in -5i64..5,
+        diffuse in 0i64..2,
+        vortex in 0i64..2,
+    ) {
+        let diffusion = if diffuse == 1 { 0.3 } else { 0.0 };
+        let vortex = vortex == 1;
+        let field = if vortex {
+            VelocityField::Vortex { center: [lo as f64 + 2.0; 2], strength: 0.2 }
+        } else {
+            VelocityField::Constant([0.7, -0.4, 0.25])
+        };
+        let solver = AdvectDiffuseSolver::new(field, diffusion, 16);
+        let valid = IBox::new(IntVect::splat(lo), IntVect::splat(lo + n - 1));
+        for avail in avail_variants(valid, 1) {
+            let mut old = Fab::new(avail, 1);
+            for iv in avail.cells() {
+                old.set(iv, 0, 2.0 * hash01(iv, salt) - 1.0);
+            }
+            let sweep = solver.grid_fluxes(&old, &valid, 0.5);
+            let reference = solver.grid_fluxes_reference(&old, &valid, 0.5);
+            for d in 0..DIM {
+                assert_fab_bits_eq(&sweep[d], &reference[d], &format!("advect dir {d}"));
+            }
+        }
+    }
+
+    /// A full multi-grid Euler level step through the sweep path lands on
+    /// the same bits as the reference path, and so do the parallel
+    /// wave-speed reduction and the parallel flux-capturing step.
+    #[test]
+    fn euler_level_paths_match_reference(salt in 0i64..1000, periodic in 0i64..2) {
+        let periodic = periodic == 1;
+        let n = 16;
+        let b = IBox::cube(n);
+        let domain = if periodic { ProblemDomain::periodic(b) } else { ProblemDomain::new(b) };
+        let solver = EulerSolver::default();
+        let build = || {
+            let layout = BoxLayout::decompose(&domain, 8, 2);
+            let mut ld = LevelData::new(layout, domain, NCOMP, 2);
+            ld.for_each_mut(|vb, fab| {
+                for iv in vb.cells() {
+                    EulerSolver::set_state(fab, iv, gas_state(iv, salt));
+                }
+            });
+            ld.exchange();
+            ld
+        };
+
+        let reference_level = build();
+        prop_assert_eq!(
+            solver.max_wave_speed(&reference_level).to_bits(),
+            solver.max_wave_speed_reference(&reference_level).to_bits()
+        );
+
+        let (dx, dt) = (1.0 / n as f64, 0.4 / n as f64);
+        let mut sweep_level = build();
+        let mut reference_level = reference_level;
+        solver.advance_level(&mut sweep_level, dx, dt);
+        solver.advance_level_reference(&mut reference_level, dx, dt);
+        for i in 0..sweep_level.len() {
+            assert_fab_bits_eq(
+                sweep_level.fab(i),
+                reference_level.fab(i),
+                &format!("advance_level grid {i}"),
+            );
+        }
+
+        let mut cap = build();
+        let mut cap_ref = build();
+        let fluxes = solver.advance_level_capture(&mut cap, dx, dt).unwrap();
+        let fluxes_ref = solver.advance_level_capture_reference(&mut cap_ref, dx, dt).unwrap();
+        for i in 0..cap.len() {
+            assert_fab_bits_eq(cap.fab(i), cap_ref.fab(i), &format!("capture grid {i}"));
+        }
+        assert_fluxes_bits_eq(&fluxes, &fluxes_ref, "euler capture fluxes");
+    }
+
+    /// The parallel advect capture path returns the same state and flux
+    /// bits as the retained serial reference.
+    #[test]
+    fn advect_capture_matches_reference(salt in 0i64..1000) {
+        let n = 16;
+        let domain = ProblemDomain::periodic(IBox::cube(n));
+        let solver = AdvectDiffuseSolver::new(
+            VelocityField::Vortex { center: [n as f64 / 2.0; 2], strength: 0.05 },
+            0.1,
+            n,
+        );
+        let build = || {
+            let layout = BoxLayout::decompose(&domain, 8, 2);
+            let mut ld = LevelData::new(layout, domain, 1, 1);
+            ld.for_each_mut(|vb, fab| {
+                for iv in vb.cells() {
+                    fab.set(iv, 0, hash01(iv, salt));
+                }
+            });
+            ld.exchange();
+            ld
+        };
+        let mut par = build();
+        let mut ser = build();
+        let dt = solver.max_dt(1.0).min(0.2);
+        let f_par = solver.advance_level_capture(&mut par, 1.0, dt).unwrap();
+        let f_ser = solver.advance_level_capture_reference(&mut ser, 1.0, dt).unwrap();
+        for i in 0..par.len() {
+            assert_fab_bits_eq(par.fab(i), ser.fab(i), &format!("advect capture grid {i}"));
+        }
+        assert_fluxes_bits_eq(&f_par, &f_ser, "advect capture fluxes");
+    }
+}
+
+/// A `LevelSolver` that routes every overridden path through the retained
+/// references: serial capture, serial wave-speed scan, per-face fluxes.
+/// Driving a full AMR run with it reproduces the seed's behavior exactly.
+struct ReferenceEuler(EulerSolver);
+
+impl LevelSolver for ReferenceEuler {
+    fn ncomp(&self) -> usize {
+        self.0.ncomp()
+    }
+    fn nghost(&self) -> i64 {
+        self.0.nghost()
+    }
+    fn max_wave_speed(&self, data: &LevelData) -> f64 {
+        self.0.max_wave_speed_reference(data)
+    }
+    fn advance_level(&self, data: &mut LevelData, dx: f64, dt: f64) {
+        self.0.advance_level_reference(data, dx, dt);
+    }
+    fn advance_level_capture(&self, data: &mut LevelData, dx: f64, dt: f64) -> Option<LevelFluxes> {
+        self.0.advance_level_capture_reference(data, dx, dt)
+    }
+    fn tag_cells(&self, data: &LevelData, threshold: f64) -> IntVectSet {
+        self.0.tag_cells(data, threshold)
+    }
+}
+
+struct ReferenceAdvect(AdvectDiffuseSolver);
+
+impl LevelSolver for ReferenceAdvect {
+    fn ncomp(&self) -> usize {
+        self.0.ncomp()
+    }
+    fn nghost(&self) -> i64 {
+        self.0.nghost()
+    }
+    fn max_wave_speed(&self, data: &LevelData) -> f64 {
+        self.0.max_wave_speed(data)
+    }
+    fn max_dt(&self, dx: f64) -> f64 {
+        self.0.max_dt(dx)
+    }
+    fn advance_level(&self, data: &mut LevelData, dx: f64, dt: f64) {
+        self.0.advance_level_reference(data, dx, dt);
+    }
+    fn advance_level_capture(&self, data: &mut LevelData, dx: f64, dt: f64) -> Option<LevelFluxes> {
+        self.0.advance_level_capture_reference(data, dx, dt)
+    }
+    fn tag_cells(&self, data: &LevelData, threshold: f64) -> IntVectSet {
+        self.0.tag_cells(data, threshold)
+    }
+}
+
+fn assert_hierarchies_bits_eq<A: LevelSolver, B: LevelSolver>(
+    a: &AmrSimulation<A>,
+    b: &AmrSimulation<B>,
+    what: &str,
+) {
+    assert_eq!(
+        a.hierarchy.num_levels(),
+        b.hierarchy.num_levels(),
+        "{what}: level count mismatch"
+    );
+    for l in 0..a.hierarchy.num_levels() {
+        let (la, lb) = (a.hierarchy.level(l), b.hierarchy.level(l));
+        assert_eq!(la.len(), lb.len(), "{what}: level {l} grid count");
+        for g in 0..la.len() {
+            assert_fab_bits_eq(la.fab(g), lb.fab(g), &format!("{what}: level {l} grid {g}"));
+        }
+    }
+}
+
+/// Multi-level AMR golden test: a refluxing Euler run driven by the sweep
+/// kernels + parallel capture lands on exactly the same bits as one driven
+/// by the retained serial references — refluxed coarse cells included.
+#[test]
+fn amr_refluxed_euler_run_is_bit_identical_to_reference() {
+    // Density jump => the RHO-gradient tagger refines around the plane.
+    let problem = GasProblem::SodX { x_jump: 8.0 };
+    let hier = HierarchyConfig {
+        max_levels: 2,
+        base_max_box: 8,
+        nranks: 2,
+        ..Default::default()
+    };
+    let config = DriverConfig {
+        regrid_interval: 0, // fixed grids: isolate the solve + reflux paths
+        subcycle: false,
+        reflux: true,
+        base_dx: 1.0 / 16.0,
+        ..Default::default()
+    };
+    fn init<S: LevelSolver>(sim: &mut AmrSimulation<S>, problem: &GasProblem) {
+        problem.init_hierarchy(&mut sim.hierarchy, GAMMA);
+        sim.regrid_now();
+        problem.init_hierarchy(&mut sim.hierarchy, GAMMA);
+        sim.hierarchy.average_down();
+    }
+
+    let domain = ProblemDomain::periodic(IBox::cube(16));
+    let mut sweep = AmrSimulation::new(domain, hier.clone(), EulerSolver::default(), config);
+    let mut reference =
+        AmrSimulation::new(domain, hier, ReferenceEuler(EulerSolver::default()), config);
+    init(&mut sweep, &problem);
+    init(&mut reference, &problem);
+    assert!(sweep.hierarchy.num_levels() > 1, "blast must refine");
+
+    for step in 0..3 {
+        let s = sweep.advance();
+        let r = reference.advance();
+        assert_eq!(s.dt.to_bits(), r.dt.to_bits(), "dt diverged at step {step}");
+        assert_hierarchies_bits_eq(&sweep, &reference, &format!("after step {step}"));
+    }
+}
+
+/// Same golden run for the advect solver (subcycled, refluxed): the
+/// parallel capture path changes nothing about the refluxed composite.
+#[test]
+fn amr_refluxed_advect_run_is_bit_identical_to_reference() {
+    let problem = ScalarProblem::Gaussian {
+        center: [8.0; 3],
+        sigma: 2.0,
+    };
+    let hier = HierarchyConfig {
+        max_levels: 2,
+        base_max_box: 8,
+        nranks: 2,
+        ..Default::default()
+    };
+    let config = DriverConfig {
+        regrid_interval: 0,
+        subcycle: false,
+        reflux: true,
+        tag_threshold: 0.02,
+        ..Default::default()
+    };
+    let mk_solver = || AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.5, 0.0]), 0.0, 16);
+    fn init<S: LevelSolver>(sim: &mut AmrSimulation<S>, problem: &ScalarProblem) {
+        problem.init_hierarchy(&mut sim.hierarchy);
+        sim.regrid_now();
+        problem.init_hierarchy(&mut sim.hierarchy);
+        sim.hierarchy.average_down();
+    }
+
+    let domain = ProblemDomain::periodic(IBox::cube(16));
+    let mut sweep = AmrSimulation::new(domain, hier.clone(), mk_solver(), config);
+    let mut reference = AmrSimulation::new(domain, hier, ReferenceAdvect(mk_solver()), config);
+    init(&mut sweep, &problem);
+    init(&mut reference, &problem);
+    assert!(sweep.hierarchy.num_levels() > 1, "gaussian must refine");
+
+    for step in 0..4 {
+        sweep.advance();
+        reference.advance();
+        assert_hierarchies_bits_eq(&sweep, &reference, &format!("after step {step}"));
+    }
+}

@@ -3,8 +3,9 @@
 
 use crate::index::BucketIndex;
 use crate::object::{DataObject, ObjectDesc, ObjectKey};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Bucket width of the per-key spatial index (cells).
@@ -46,7 +47,14 @@ impl std::error::Error for StagingError {}
 pub struct StagingServer {
     id: usize,
     memory_cap: u64,
-    inner: Mutex<Store>,
+    /// An `RwLock` so concurrent readers (`get`/`get_by_id`/`describe`)
+    /// share the lock; only mutations (`put`/`evict_before`/`clear`) take
+    /// it exclusively.
+    inner: RwLock<Store>,
+    /// Op counters live outside the store so the read paths don't need a
+    /// write lock just to bump them.
+    puts: AtomicU64,
+    gets: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -57,8 +65,6 @@ struct Store {
     objects: HashMap<ObjectKey, (Vec<Arc<DataObject>>, BucketIndex)>,
     used: u64,
     peak: u64,
-    puts: u64,
-    gets: u64,
 }
 
 impl StagingServer {
@@ -67,7 +73,9 @@ impl StagingServer {
         StagingServer {
             id,
             memory_cap,
-            inner: Mutex::new(Store::default()),
+            inner: RwLock::new(Store::default()),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
         }
     }
 
@@ -83,18 +91,20 @@ impl StagingServer {
 
     /// Bytes currently resident.
     pub fn used(&self) -> u64 {
-        self.inner.lock().used
+        self.inner.read().used
     }
 
     /// High-water mark of resident bytes.
     pub fn peak(&self) -> u64 {
-        self.inner.lock().peak
+        self.inner.read().peak
     }
 
     /// (puts, gets) served.
     pub fn op_counts(&self) -> (u64, u64) {
-        let s = self.inner.lock();
-        (s.puts, s.gets)
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+        )
     }
 
     /// Store an object (a plain `DataObject` is wrapped on the way in).
@@ -103,7 +113,7 @@ impl StagingServer {
     /// rejected put costs no payload copy.
     pub fn put(&self, obj: impl Into<Arc<DataObject>>) -> Result<(), StagingError> {
         let obj = obj.into();
-        let mut s = self.inner.lock();
+        let mut s = self.inner.write();
         let bytes = obj.desc.bytes;
         if s.used + bytes > self.memory_cap {
             return Err(StagingError::OutOfMemory {
@@ -114,7 +124,7 @@ impl StagingServer {
         }
         s.used += bytes;
         s.peak = s.peak.max(s.used);
-        s.puts += 1;
+        self.puts.fetch_add(1, Ordering::Relaxed);
         let entry = s
             .objects
             .entry(obj.desc.key.clone())
@@ -132,8 +142,8 @@ impl StagingServer {
         key: &ObjectKey,
         query: Option<&xlayer_amr::boxes::IBox>,
     ) -> Vec<Arc<DataObject>> {
-        let mut s = self.inner.lock();
-        s.gets += 1;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let s = self.inner.read();
         let Some((objs, index)) = s.objects.get(key) else {
             return Vec::new();
         };
@@ -151,15 +161,18 @@ impl StagingServer {
     /// matching the spatial index), if present — the cheapest read path
     /// when the caller already knows which piece it wants.
     pub fn get_by_id(&self, key: &ObjectKey, id: usize) -> Option<Arc<DataObject>> {
-        let mut s = self.inner.lock();
-        s.gets += 1;
-        s.objects.get(key).and_then(|(v, _)| v.get(id).cloned())
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .read()
+            .objects
+            .get(key)
+            .and_then(|(v, _)| v.get(id).cloned())
     }
 
     /// Descriptors of everything under `key`.
     pub fn describe(&self, key: &ObjectKey) -> Vec<ObjectDesc> {
         self.inner
-            .lock()
+            .read()
             .objects
             .get(key)
             .map(|(v, _)| v.iter().map(|o| o.desc.clone()).collect())
@@ -169,7 +182,7 @@ impl StagingServer {
     /// Drop every object older than `min_version` under variable `name`
     /// (the space reclaims consumed time steps). Returns bytes freed.
     pub fn evict_before(&self, name: &str, min_version: u64) -> u64 {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.write();
         let mut freed = 0;
         s.objects.retain(|k, (v, _)| {
             if k.name == name && k.version < min_version {
@@ -185,7 +198,7 @@ impl StagingServer {
 
     /// Drop everything. Returns bytes freed.
     pub fn clear(&self) -> u64 {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.write();
         let freed = s.used;
         s.objects.clear();
         s.used = 0;

@@ -266,20 +266,35 @@ impl<S: LevelSolver> NativeWorkflow<S> {
         &self.sim
     }
 
+    /// Record one worker result: close the autonomic loop by correcting
+    /// the estimator with the observed in-transit analysis time.
+    fn absorb_result(&mut self, r: AnalysisOutcome) {
+        self.last_intransit_secs = r.seconds;
+        self.pending_jobs = self.pending_jobs.saturating_sub(1);
+        if let Some(predicted) = self.predictions.remove(&r.version) {
+            self.calibrator
+                .observe_intransit(self.engine.estimator_mut(), predicted, r.seconds);
+        }
+        self.outcomes.push(r);
+    }
+
     fn drain_results(&mut self) {
         while let Ok(r) = self.result_rx.try_recv() {
-            self.last_intransit_secs = r.seconds;
-            self.pending_jobs = self.pending_jobs.saturating_sub(1);
-            // Close the autonomic loop: correct the estimator with the
-            // observed in-transit analysis time.
-            if let Some(predicted) = self.predictions.remove(&r.version) {
-                self.calibrator.observe_intransit(
-                    self.engine.estimator_mut(),
-                    predicted,
-                    r.seconds,
-                );
+            self.absorb_result(r);
+        }
+    }
+
+    /// Block until every dispatched in-transit analysis has reported back,
+    /// absorbing each result as it lands. The blocking `recv` parks on the
+    /// result channel's condvar and is woken by worker sends — no polling
+    /// sleeps, no timing assumptions.
+    pub fn wait_for_analyses(&mut self) {
+        while self.pending_jobs > 0 {
+            match self.result_rx.recv() {
+                Ok(r) => self.absorb_result(r),
+                // Workers gone (channel closed): nothing more will arrive.
+                Err(_) => break,
             }
-            self.outcomes.push(r);
         }
     }
 
@@ -621,8 +636,8 @@ mod tests {
         let mut wf = NativeWorkflow::new(sim, NativeConfig::default());
         for _ in 0..5 {
             wf.step();
-            // let workers drain so observations arrive
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            // rendezvous with the workers so observations arrive
+            wf.wait_for_analyses();
         }
         wf.step();
         let (_, intransit_scale) = wf.calibration_scales();

@@ -9,18 +9,18 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --locked --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --locked --release
 
 echo "==> cargo test (workspace)"
-cargo test -q --workspace
+cargo test --locked -q --workspace
 
 echo "==> bench targets compile"
-cargo build --release -p xlayer-bench --benches --bins
+cargo build --locked --release -p xlayer-bench --benches --bins
 
 echo "==> bench summary schema (BENCH_native_hotpath.json)"
-cargo run --release -q -p xlayer-bench --bin bench_schema_check -- BENCH_native_hotpath.json
+cargo run --locked --release -q -p xlayer-bench --bin bench_schema_check -- BENCH_native_hotpath.json
 
 echo "All checks passed."
