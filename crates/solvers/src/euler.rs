@@ -116,9 +116,11 @@ fn cons_as_array(c: Conserved) -> [f64; NCOMP] {
     [c.rho, c.mom[0], c.mom[1], c.mom[2], c.energy]
 }
 
-/// Read a 5-component state from strided slots of a flat payload. The
-/// stored values already carry their positivity floors, so no clamping
-/// happens on the way out (reloading is bit-identical to never storing).
+/// Read a 5-component state from strided slots of a flat payload. Every
+/// writer of these slots — `to_primitive` for the pass-A primitive cache and
+/// `predict_faces` for the wlo/whi face fabs — applies the `.max(SMALL)`
+/// positivity floors before storing, so no clamping happens on the way out
+/// (reloading is bit-identical to never storing).
 #[inline(always)]
 fn load_prim(s: &[f64], o: usize, st: usize) -> Primitive {
     Primitive {
@@ -303,8 +305,9 @@ impl EulerSolver {
     /// sweep evaluates it once and forms the `side = ±0.5` states from it.
     /// Each component is the same expression `predict` evaluates (IEEE
     /// multiplication by −0.5 is the exact negation of multiplication by
-    /// 0.5, and `a + (−b)` is `a − b`), so the pair is bit-identical to two
-    /// `predict` calls.
+    /// 0.5, and `a + (−b)` is `a − b`), and the rho/p components carry the
+    /// same `.max(SMALL)` positivity floor `Primitive::from_array` applies,
+    /// so the pair is bit-identical to two `predict` calls.
     #[inline(always)]
     fn predict_faces(
         &self,
@@ -325,10 +328,18 @@ impl EulerSolver {
         adw[1 + d] += s[4] / rho;
         adw[4] = un * s[4] + rho * c2 * s[1 + d];
         let arr = w.as_array();
-        (
-            std::array::from_fn(|c| arr[c] + 0.5 * s[c] - 0.5 * dtdx * adw[c]),
-            std::array::from_fn(|c| arr[c] - 0.5 * s[c] - 0.5 * dtdx * adw[c]),
-        )
+        let mut hi: [f64; NCOMP] =
+            std::array::from_fn(|c| arr[c] + 0.5 * s[c] - 0.5 * dtdx * adw[c]);
+        let mut lo: [f64; NCOMP] =
+            std::array::from_fn(|c| arr[c] - 0.5 * s[c] - 0.5 * dtdx * adw[c]);
+        // Positivity floors, matching Primitive::from_array: without these a
+        // strong rarefaction can store rho or p ≤ 0 and hllc_flux would take
+        // sqrt of a negative sound-speed argument.
+        hi[0] = hi[0].max(SMALL);
+        hi[4] = hi[4].max(SMALL);
+        lo[0] = lo[0].max(SMALL);
+        lo[4] = lo[4].max(SMALL);
+        (hi, lo)
     }
 }
 

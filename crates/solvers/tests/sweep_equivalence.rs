@@ -58,6 +58,22 @@ fn gas_fab(bx: IBox, salt: i64) -> Fab {
     f
 }
 
+/// A near-vacuum gas state: rho and p log-uniform down to 1e-9 with large
+/// velocities, so neighboring cells form strong rarefactions whose MUSCL
+/// half-step prediction undershoots below the `SMALL` positivity floor.
+fn near_vacuum_state(iv: IntVect, salt: i64) -> Conserved {
+    Primitive {
+        rho: 10f64.powf(-9.0 + 9.5 * hash01(iv, salt)),
+        vel: [
+            20.0 * hash01(iv, salt + 1) - 10.0,
+            20.0 * hash01(iv, salt + 2) - 10.0,
+            20.0 * hash01(iv, salt + 3) - 10.0,
+        ],
+        p: 10f64.powf(-9.0 + 9.5 * hash01(iv, salt + 4)),
+    }
+    .to_conserved(GAMMA)
+}
+
 /// Assert two fabs are bit-for-bit identical.
 fn assert_fab_bits_eq(a: &Fab, b: &Fab, what: &str) {
     assert_eq!(a.ibox(), b.ibox(), "{what}: box mismatch");
@@ -111,6 +127,35 @@ proptest! {
             let reference = solver.grid_fluxes_reference(&old, &valid, dtdx, GAMMA);
             for d in 0..DIM {
                 assert_fab_bits_eq(&sweep[d], &reference[d], &format!("euler dir {d}"));
+            }
+        }
+    }
+
+    /// Near-vacuum regime: rho/p down to 1e-9 with strong jumps and large
+    /// dtdx drive the predictor below the positivity floors, so this pins
+    /// that the sweep clamps exactly like `Primitive::from_array` does in
+    /// the reference — and that no NaN escapes `hllc_flux` in either path.
+    #[test]
+    fn euler_grid_fluxes_match_reference_near_vacuum(
+        salt in 0i64..1000,
+        n in 4i64..10,
+        lo in -5i64..5,
+        dtdx in 0.2f64..1.5,
+    ) {
+        let solver = EulerSolver::default();
+        let valid = IBox::new(IntVect::splat(lo), IntVect::splat(lo + n - 1));
+        for avail in avail_variants(valid, 2) {
+            let mut old = Fab::new(avail, NCOMP);
+            for iv in avail.cells() {
+                EulerSolver::set_state(&mut old, iv, near_vacuum_state(iv, salt));
+            }
+            let sweep = solver.grid_fluxes(&old, &valid, dtdx, GAMMA);
+            let reference = solver.grid_fluxes_reference(&old, &valid, dtdx, GAMMA);
+            for d in 0..DIM {
+                for v in sweep[d].as_slice() {
+                    prop_assert!(v.is_finite(), "near-vacuum sweep flux not finite: {v}");
+                }
+                assert_fab_bits_eq(&sweep[d], &reference[d], &format!("near-vacuum dir {d}"));
             }
         }
     }
@@ -229,6 +274,41 @@ proptest! {
             assert_fab_bits_eq(par.fab(i), ser.fab(i), &format!("advect capture grid {i}"));
         }
         assert_fluxes_bits_eq(&f_par, &f_ser, "advect capture fluxes");
+    }
+}
+
+/// Deterministic pin on the floor regime: constant tiny rho/p under a steep
+/// expanding velocity ramp, where the half-step predictor provably drives
+/// rho and p negative (p_face = p·(1 − 0.5·dtdx·γ·du) with 0.5·dtdx·γ·du ≈
+/// 2.0), so the `.max(SMALL)` clamps must engage on every interior face.
+/// Without the clamp the sweep path would feed p < 0 to `hllc_flux` and emit
+/// NaN where the reference stays finite.
+#[test]
+fn euler_sweep_clamps_near_vacuum_prediction() {
+    let solver = EulerSolver::default();
+    let valid = IBox::new(IntVect::splat(0), IntVect::splat(5));
+    let avail = valid.grow(2);
+    let mut old = Fab::new(avail, NCOMP);
+    for iv in avail.cells() {
+        EulerSolver::set_state(
+            &mut old,
+            iv,
+            Primitive {
+                rho: 1e-6,
+                vel: [2.0 * iv[0] as f64, 0.0, 0.0],
+                p: 1e-6,
+            }
+            .to_conserved(GAMMA),
+        );
+    }
+    let dtdx = 1.4;
+    let sweep = solver.grid_fluxes(&old, &valid, dtdx, GAMMA);
+    let reference = solver.grid_fluxes_reference(&old, &valid, dtdx, GAMMA);
+    for d in 0..DIM {
+        for v in sweep[d].as_slice() {
+            assert!(v.is_finite(), "clamped sweep flux not finite: {v}");
+        }
+        assert_fab_bits_eq(&sweep[d], &reference[d], &format!("clamp pin dir {d}"));
     }
 }
 
