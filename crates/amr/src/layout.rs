@@ -116,6 +116,7 @@ impl BoxLayout {
         let per = self.cells_per_rank();
         let max = *per.iter().max().unwrap_or(&0) as f64;
         let mean = self.total_cells() as f64 / self.nranks as f64;
+        // xlint: allow(F) -- exact zero guard: mean is 0.0 iff the layout is empty
         if mean == 0.0 {
             1.0
         } else {

@@ -52,6 +52,7 @@ impl MemoryProfile {
     /// Max-over-mean imbalance (1.0 = perfectly even).
     pub fn imbalance(&self) -> f64 {
         let m = self.mean();
+        // xlint: allow(F) -- exact zero guard against division by an empty mean
         if m == 0.0 {
             1.0
         } else {

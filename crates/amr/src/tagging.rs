@@ -7,12 +7,16 @@
 use crate::boxes::IBox;
 use crate::intvect::{IntVect, DIM};
 use crate::level_data::LevelData;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A set of tagged cells.
+///
+/// Backed by a `BTreeSet` so iteration is lexicographic in the cell index
+/// — the Berger–Rigoutsos clusterer and anything downstream of [`Self::iter`]
+/// see the same order on every run, on every platform.
 #[derive(Clone, Debug, Default)]
 pub struct IntVectSet {
-    cells: HashSet<IntVect>,
+    cells: BTreeSet<IntVect>,
 }
 
 impl IntVectSet {
@@ -48,7 +52,7 @@ impl IntVectSet {
         self.cells.is_empty()
     }
 
-    /// Iterate over tagged cells (arbitrary order).
+    /// Iterate over tagged cells in lexicographic order.
     pub fn iter(&self) -> impl Iterator<Item = &IntVect> {
         self.cells.iter()
     }

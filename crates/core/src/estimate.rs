@@ -55,6 +55,7 @@ impl Calibrator {
         // `predicted` already includes the current scale, so the relative
         // error is the multiplicative correction still needed.
         let rel = observed / predicted;
+        // xlint: allow(F) -- 1.0 is the literal uncalibrated bootstrap scale, never computed
         if *scale == 1.0 {
             // Bootstrap: an uncalibrated model may be arbitrarily far off
             // (static constants vs an unknown machine); the first

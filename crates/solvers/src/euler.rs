@@ -295,6 +295,7 @@ impl EulerSolver {
         adw[4] = un * s[4] + rho * c2 * s[1 + d];
 
         let arr = w.as_array();
+        // xlint: floors-applied -- Primitive::from_array clamps rho and p to SMALL
         Primitive::from_array(std::array::from_fn(|c| {
             arr[c] + side * s[c] - 0.5 * dtdx * adw[c]
         }))
@@ -335,6 +336,7 @@ impl EulerSolver {
         // Positivity floors, matching Primitive::from_array: without these a
         // strong rarefaction can store rho or p ≤ 0 and hllc_flux would take
         // sqrt of a negative sound-speed argument.
+        // xlint: floors-applied
         hi[0] = hi[0].max(SMALL);
         hi[4] = hi[4].max(SMALL);
         lo[0] = lo[0].max(SMALL);

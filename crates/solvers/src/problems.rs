@@ -107,6 +107,7 @@ impl GasProblem {
                 );
                 let mut sample = self.conserved_at(base_iv, gamma);
                 // For smooth problems sample at the fine position instead.
+                // xlint: allow(F) -- scale is a literal refinement ratio compared to unrefined 1.0
                 if scale != 1.0 {
                     if let GasProblem::Blast {
                         center,

@@ -28,4 +28,4 @@ pub use object::{DataObject, ObjectDesc, ObjectKey};
 pub use pubsub::{PubSubSpace, Subscription};
 pub use server::{StagingError, StagingServer};
 pub use space::{DataSpace, Sharding};
-pub use transport::{AsyncStager, TransportStats};
+pub use transport::{AsyncStager, DrainError, TransportClosed, TransportStats};

@@ -78,10 +78,13 @@ impl DataObject {
         if !r.is_empty() {
             let src_box = fab.ibox();
             let src = fab.comp_slice(comp);
-            let nx = r.size()[0] as usize;
-            for z in r.lo()[2]..=r.hi()[2] {
-                for y in r.lo()[1]..=r.hi()[1] {
-                    let s0 = src_box.offset(IntVect::new(r.lo()[0], y, z));
+            let IntVect([lx, ly, lz]) = r.lo();
+            let IntVect([_, hy, hz]) = r.hi();
+            let IntVect([sx, _, _]) = r.size();
+            let nx = sx as usize;
+            for z in lz..=hz {
+                for y in ly..=hy {
+                    let s0 = src_box.offset(IntVect::new(lx, y, z));
                     for &v in &src[s0..s0 + nx] {
                         buf.extend_from_slice(&v.to_le_bytes());
                     }
@@ -138,11 +141,14 @@ impl DataObject {
         let src_box = self.desc.bbox;
         let dst_box = dst.ibox();
         let out = dst.as_mut_slice();
-        let nx = overlap.size()[0] as usize;
-        for z in overlap.lo()[2]..=overlap.hi()[2] {
-            for y in overlap.lo()[1]..=overlap.hi()[1] {
-                let s0 = src_box.offset(IntVect::new(overlap.lo()[0], y, z)) * 8;
-                let d0 = dst_box.offset(IntVect::new(overlap.lo()[0], y, z));
+        let IntVect([lx, ly, lz]) = overlap.lo();
+        let IntVect([_, hy, hz]) = overlap.hi();
+        let IntVect([sx, _, _]) = overlap.size();
+        let nx = sx as usize;
+        for z in lz..=hz {
+            for y in ly..=hy {
+                let s0 = src_box.offset(IntVect::new(lx, y, z)) * 8;
+                let d0 = dst_box.offset(IntVect::new(lx, y, z));
                 for (i, chunk) in self.payload[s0..s0 + nx * 8].chunks_exact(8).enumerate() {
                     let mut b = [0u8; 8];
                     b.copy_from_slice(chunk);

@@ -152,7 +152,9 @@ impl StagingServer {
             Some(q) => index
                 .query(q)
                 .into_iter()
-                .map(|id| Arc::clone(&objs[id]))
+                // The index is built alongside `objs`, so ids are in range;
+                // filter_map keeps a desynced index from panicking a reader.
+                .filter_map(|id| objs.get(id).cloned())
                 .collect(),
         }
     }
@@ -192,7 +194,7 @@ impl StagingServer {
                 true
             }
         });
-        s.used -= freed;
+        s.used = s.used.saturating_sub(freed);
         freed
     }
 

@@ -70,6 +70,48 @@ impl TransportStats {
     }
 }
 
+/// A put was refused because the transport is shut down (queue closed or
+/// every transfer thread gone). Carries the object back so the caller can
+/// retry synchronously — the payload is never lost to the error path.
+#[derive(Debug)]
+pub struct TransportClosed(pub DataObject);
+
+impl std::fmt::Display for TransportClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "async transport closed; object {:?} v{} returned to caller",
+            self.0.desc.key.name, self.0.desc.key.version
+        )
+    }
+}
+
+impl std::error::Error for TransportClosed {}
+
+/// A transfer worker panicked while the stager drained; the counts cover
+/// only what the surviving workers processed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrainError {
+    /// Workers that did not join cleanly.
+    pub panicked: usize,
+    /// Objects delivered by the workers that did.
+    pub delivered: u64,
+    /// Puts rejected by the space.
+    pub rejected: u64,
+}
+
+impl std::fmt::Display for DrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} transfer thread(s) panicked during drain ({} delivered, {} rejected)",
+            self.panicked, self.delivered, self.rejected
+        )
+    }
+}
+
+impl std::error::Error for DrainError {}
+
 /// An asynchronous put pipeline: `put` enqueues and returns immediately;
 /// transfer threads drain the queue into the [`DataSpace`].
 pub struct AsyncStager {
@@ -118,13 +160,18 @@ impl AsyncStager {
     }
 
     /// Enqueue an object for transfer. Blocks only when the queue is full
-    /// (back-pressure), never on the actual transfer.
-    pub fn put(&self, obj: DataObject) {
-        self.tx
-            .as_ref()
-            .expect("stager not shut down")
-            .send(obj)
-            .expect("transfer threads alive");
+    /// (back-pressure), never on the actual transfer. After shutdown (or
+    /// if every transfer thread died) the object comes back in the error
+    /// so the caller can store it synchronously instead.
+    // The Err variant is deliberately the full DataObject: losing the
+    // payload on a closed transport is exactly the failure mode this API
+    // exists to prevent, and the hot path (Ok) moves nothing.
+    #[allow(clippy::result_large_err)]
+    pub fn put(&self, obj: DataObject) -> Result<(), TransportClosed> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(TransportClosed(obj));
+        };
+        tx.send(obj).map_err(|e| TransportClosed(e.0))
     }
 
     /// The staging space being written.
@@ -154,16 +201,27 @@ impl AsyncStager {
     }
 
     /// Close the queue and wait until every enqueued object is delivered.
-    /// Returns (delivered, rejected).
-    pub fn drain(mut self) -> (u64, u64) {
+    /// Returns (delivered, rejected); a panicked transfer thread surfaces
+    /// as a [`DrainError`] (still carrying the surviving counts) instead
+    /// of re-panicking the caller.
+    pub fn drain(mut self) -> Result<(u64, u64), DrainError> {
         drop(self.tx.take());
+        let mut panicked = 0;
         for w in self.workers.drain(..) {
-            w.join().expect("transfer thread panicked");
+            if w.join().is_err() {
+                panicked += 1;
+            }
         }
-        (
-            self.stats.delivered.load(Ordering::Relaxed),
-            self.stats.rejected.load(Ordering::Relaxed),
-        )
+        let delivered = self.stats.delivered.load(Ordering::Relaxed);
+        let rejected = self.stats.rejected.load(Ordering::Relaxed);
+        if panicked > 0 {
+            return Err(DrainError {
+                panicked,
+                delivered,
+                rejected,
+            });
+        }
+        Ok((delivered, rejected))
     }
 }
 
@@ -195,9 +253,9 @@ mod tests {
         let space = Arc::new(DataSpace::new(4, 1 << 20, Sharding::BboxHash));
         let stager = AsyncStager::new(Arc::clone(&space), 2, 8);
         for v in 0..20 {
-            stager.put(obj(v, (v as i64 % 5) * 8));
+            stager.put(obj(v, (v as i64 % 5) * 8)).unwrap();
         }
-        let (delivered, rejected) = stager.drain();
+        let (delivered, rejected) = stager.drain().unwrap();
         assert_eq!(delivered, 20);
         assert_eq!(rejected, 0);
         for v in 0..20 {
@@ -212,10 +270,10 @@ mod tests {
         let stager = AsyncStager::new(Arc::clone(&space), 1, 64);
         let t0 = std::time::Instant::now();
         for v in 0..32 {
-            stager.put(obj(v, 0));
+            stager.put(obj(v, 0)).unwrap();
         }
         let enqueue_time = t0.elapsed();
-        let (delivered, _) = stager.drain();
+        let (delivered, _) = stager.drain().unwrap();
         assert_eq!(delivered, 32);
         // Enqueueing 32 tiny objects should be far faster than any real
         // transfer would be; this is a smoke check that put() is async.
@@ -227,9 +285,9 @@ mod tests {
         // Space fits exactly one 512 B object.
         let space = Arc::new(DataSpace::new(1, 600, Sharding::RoundRobin));
         let stager = AsyncStager::new(Arc::clone(&space), 1, 4);
-        stager.put(obj(1, 0));
-        stager.put(obj(2, 0));
-        let (delivered, rejected) = stager.drain();
+        stager.put(obj(1, 0)).unwrap();
+        stager.put(obj(2, 0)).unwrap();
+        let (delivered, rejected) = stager.drain().unwrap();
         assert_eq!(delivered, 1);
         assert_eq!(rejected, 1);
     }
@@ -238,11 +296,11 @@ mod tests {
     fn bytes_accounting() {
         let space = Arc::new(DataSpace::new(2, 1 << 20, Sharding::BboxHash));
         let stager = AsyncStager::new(Arc::clone(&space), 2, 4);
-        stager.put(obj(1, 0));
-        stager.put(obj(1, 8));
+        stager.put(obj(1, 0)).unwrap();
+        stager.put(obj(1, 8)).unwrap();
         let stats_bytes = {
             let s = stager;
-            let (d, _) = s.drain();
+            let (d, _) = s.drain().unwrap();
             assert_eq!(d, 2);
             space.used()
         };
@@ -263,10 +321,10 @@ mod tests {
             })
         };
         for i in 0..4 {
-            stager.put(obj(3, i * 8));
+            stager.put(obj(3, i * 8)).unwrap();
         }
         assert_eq!(consumer.join().unwrap(), 4);
-        stager.drain();
+        stager.drain().unwrap();
     }
 
     #[test]
@@ -275,12 +333,12 @@ mod tests {
         // unblock the waiter.
         let space = Arc::new(DataSpace::new(1, 600, Sharding::RoundRobin));
         let stager = AsyncStager::new(Arc::clone(&space), 1, 4);
-        stager.put(obj(5, 0));
-        stager.put(obj(5, 8));
+        stager.put(obj(5, 0)).unwrap();
+        stager.put(obj(5, 8)).unwrap();
         let stats = stager.stats();
         stats.wait_processed("rho", 5, 2);
         assert_eq!(stats.processed("rho", 5), 2);
-        let (delivered, rejected) = stager.drain();
+        let (delivered, rejected) = stager.drain().unwrap();
         assert_eq!((delivered, rejected), (1, 1));
     }
 
@@ -291,10 +349,10 @@ mod tests {
         let stats = stager.stats();
         // Three objects at version 9 — waiting on version 9 must not be
         // satisfied by objects of other versions.
-        stager.put(obj(8, 0));
-        stager.put(obj(8, 8));
-        stager.put(obj(9, 0));
-        let (delivered, _) = stager.drain();
+        stager.put(obj(8, 0)).unwrap();
+        stager.put(obj(8, 8)).unwrap();
+        stager.put(obj(9, 0)).unwrap();
+        let (delivered, _) = stager.drain().unwrap();
         assert_eq!(delivered, 3);
         assert_eq!(stats.processed("rho", 8), 2);
         assert_eq!(stats.processed("rho", 9), 1);

@@ -150,7 +150,9 @@ impl TriMesh {
                 (v[2] / eps).round() as i64,
             )
         };
-        let mut map = std::collections::HashMap::new();
+        // BTreeMap so the welded vertex numbering is a pure function of the
+        // input (first-occurrence order), never of a hasher's bucket layout.
+        let mut map = std::collections::BTreeMap::new();
         let mut vertices = Vec::new();
         let mut remap = Vec::with_capacity(self.vertices.len());
         for v in &self.vertices {
@@ -183,7 +185,7 @@ impl TriMesh {
     /// welding — 0 for a watertight surface.
     pub fn boundary_edge_count(&self, eps: f64) -> usize {
         let w = self.welded(eps);
-        let mut edges = std::collections::HashMap::new();
+        let mut edges = std::collections::BTreeMap::new();
         for t in &w.triangles {
             for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
                 let key = (a.min(b), a.max(b));

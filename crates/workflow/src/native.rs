@@ -20,7 +20,7 @@
 
 use crate::report::StepLog;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 use xlayer_amr::level_data::LevelData;
@@ -30,7 +30,9 @@ use xlayer_core::{
 };
 use xlayer_platform::{CostModel, MachineSpec};
 use xlayer_solvers::{AmrSimulation, LevelSolver};
-use xlayer_staging::{AsyncStager, DataObject, DataSpace, Sharding, TransportStats};
+use xlayer_staging::{
+    AsyncStager, DataObject, DataSpace, Sharding, TransportClosed, TransportStats,
+};
 use xlayer_viz::{extract_level, merge_surfaces, TriMesh};
 
 /// Configuration of a native run.
@@ -154,7 +156,9 @@ pub struct NativeWorkflow<S: LevelSolver> {
     pending_jobs: usize,
     last_intransit_secs: f64,
     calibrator: Calibrator,
-    predictions: HashMap<u64, f64>,
+    // BTreeMap: calibration replays (and debug dumps) walk predictions in
+    // step order, independent of hasher state.
+    predictions: BTreeMap<u64, f64>,
 }
 
 impl<S: LevelSolver> NativeWorkflow<S> {
@@ -252,7 +256,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             pending_jobs: 0,
             last_intransit_secs: 0.0,
             calibrator: Calibrator::default(),
-            predictions: HashMap::new(),
+            predictions: BTreeMap::new(),
         }
     }
 
@@ -392,13 +396,24 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                     );
                     for obj in objects {
                         moved += obj.desc.bytes;
-                        staged += 1;
-                        if self.cfg.overlap_staging {
+                        if let Some(stager) =
+                            self.stager.as_ref().filter(|_| self.cfg.overlap_staging)
+                        {
                             // Asynchronous back-pressured put: serialization
                             // already happened above; ingest overlaps the
                             // next solve. The analysis worker rendezvouses
-                            // via wait_processed.
-                            self.stager.as_ref().expect("not finished").put(obj);
+                            // via wait_processed, so only objects that made
+                            // it into the transport count toward `staged`.
+                            // If the transport has shut down the object
+                            // comes back in the error and we fall through to
+                            // the synchronous path — the step degrades, it
+                            // does not die.
+                            match stager.put(obj) {
+                                Ok(()) => staged += 1,
+                                Err(TransportClosed(obj)) => {
+                                    let _ = self.space.put(obj);
+                                }
+                            }
                         } else {
                             // Synchronous baseline: the put completes here.
                             let _ = self.space.put(obj);
@@ -407,22 +422,32 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                 }
                 self.moved_bytes += moved;
                 analysis_bytes = moved;
-                self.pending_jobs += 1;
                 let predicted = self.engine.estimator().t_intransit(
                     adaptations.analysis_cells,
                     adaptations.analysis_surface,
                     self.cfg.workers,
                 );
-                self.predictions.insert(stats.step, predicted);
-                self.job_tx
+                // Book the job only if it actually reached a worker: a
+                // closed channel (finished workflow, or every worker dead)
+                // means the step's analysis is skipped, not a crash, and
+                // pending_jobs / predictions stay consistent with what the
+                // workers will report back.
+                let sent = self
+                    .job_tx
                     .as_ref()
-                    .expect("not finished")
-                    .send(Job {
-                        version: stats.step,
-                        iso: self.cfg.iso_value,
-                        expected: if self.cfg.overlap_staging { staged } else { 0 },
+                    .map(|tx| {
+                        tx.send(Job {
+                            version: stats.step,
+                            iso: self.cfg.iso_value,
+                            expected: if self.cfg.overlap_staging { staged } else { 0 },
+                        })
+                        .is_ok()
                     })
-                    .expect("workers alive");
+                    .unwrap_or(false);
+                if sent {
+                    self.pending_jobs += 1;
+                    self.predictions.insert(stats.step, predicted);
+                }
             }
         }
 
@@ -454,11 +479,16 @@ impl<S: LevelSolver> NativeWorkflow<S> {
     /// workers run down the remaining analyses before joining.
     pub fn finish(mut self) -> (Vec<StepLog>, Vec<AnalysisOutcome>, u64) {
         if let Some(stager) = self.stager.take() {
-            stager.drain();
+            // A DrainError only means a transfer thread panicked; the
+            // surviving counts are already in the shared stats, so the
+            // run-down continues either way.
+            let _ = stager.drain();
         }
         drop(self.job_tx.take());
         for w in self.workers.drain(..) {
-            w.join().expect("worker panicked");
+            // A panicked analysis worker forfeits its outcomes; the other
+            // workers' results (already in result_rx) still get collected.
+            let _ = w.join();
         }
         while let Ok(r) = self.result_rx.try_recv() {
             self.outcomes.push(r);

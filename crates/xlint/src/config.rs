@@ -1,0 +1,274 @@
+//! `xlint.toml` — per-crate rule scoping.
+//!
+//! xlint is dependency-free, so this module parses the small TOML subset
+//! the config actually uses: `[section]` headers, `key = "string"`, and
+//! `key = ["array", "of", "strings"]` (single- or multi-line), with `#`
+//! comments. Anything else is a hard parse error (exit code 2), never a
+//! silent skip — a typo'd scope must not quietly stop a rule from running.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Parsed configuration: which paths each rule class scans.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Rule D: crates/paths where `HashMap`/`HashSet` are forbidden.
+    pub determinism_paths: Vec<PathBuf>,
+    /// Rule D: kernel modules where wall-clock and RNG use is forbidden.
+    pub kernel_modules: Vec<PathBuf>,
+    /// Rule P: service paths that must be panic-free.
+    pub panic_freedom_paths: Vec<PathBuf>,
+    /// Rule F: crates/paths where float `==`/`!=` is forbidden.
+    pub float_discipline_paths: Vec<PathBuf>,
+    /// Rule K: kernel modules whose predictor functions need the
+    /// `// xlint: floors-applied` marker.
+    pub kernel_floor_modules: Vec<PathBuf>,
+    /// Rule K: substrings identifying predictor functions by name.
+    pub predictor_fns: Vec<String>,
+    /// Grandfathered-violation baseline file, relative to the workspace
+    /// root (optional).
+    pub baseline: Option<PathBuf>,
+}
+
+/// A config or baseline problem. Reported as an internal error (exit 2).
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parse `xlint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let raw = parse_mini_toml(text)?;
+        let mut cfg = Config::default();
+        for (section, keys) in &raw {
+            for (key, value) in keys {
+                let slot: &mut Vec<PathBuf> = match (section.as_str(), key.as_str()) {
+                    ("determinism", "paths") => &mut cfg.determinism_paths,
+                    ("determinism", "kernel_modules") => &mut cfg.kernel_modules,
+                    ("panic_freedom", "paths") => &mut cfg.panic_freedom_paths,
+                    ("float_discipline", "paths") => &mut cfg.float_discipline_paths,
+                    ("kernel_floors", "modules") => &mut cfg.kernel_floor_modules,
+                    ("kernel_floors", "predictor_fns") => {
+                        cfg.predictor_fns = value.as_list()?;
+                        continue;
+                    }
+                    ("general", "baseline") => {
+                        cfg.baseline = Some(PathBuf::from(value.as_string()?));
+                        continue;
+                    }
+                    _ => return Err(ConfigError(format!("unknown config key [{section}] {key}"))),
+                };
+                *slot = value.as_list()?.into_iter().map(PathBuf::from).collect();
+            }
+        }
+        if cfg.predictor_fns.is_empty() {
+            cfg.predictor_fns = vec!["predict".to_string()];
+        }
+        Ok(cfg)
+    }
+
+    /// True if `file` (workspace-relative) falls under one of `scopes`.
+    pub fn in_scope(file: &Path, scopes: &[PathBuf]) -> bool {
+        scopes.iter().any(|s| file.starts_with(s) || file == s)
+    }
+
+    /// Union of every configured scope — the set of trees to walk.
+    pub fn all_scopes(&self) -> Vec<PathBuf> {
+        let mut all: Vec<PathBuf> = self
+            .determinism_paths
+            .iter()
+            .chain(&self.kernel_modules)
+            .chain(&self.panic_freedom_paths)
+            .chain(&self.float_discipline_paths)
+            .chain(&self.kernel_floor_modules)
+            .cloned()
+            .collect();
+        all.sort();
+        all.dedup();
+        // Drop scopes nested under another scope so files aren't walked twice.
+        let mut roots: Vec<PathBuf> = Vec::new();
+        for p in all {
+            if !roots.iter().any(|r| p.starts_with(r) && p != *r) {
+                roots.push(p);
+            }
+        }
+        roots
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+impl Value {
+    fn as_list(&self) -> Result<Vec<String>, ConfigError> {
+        match self {
+            Value::List(v) => Ok(v.clone()),
+            Value::Str(s) => Err(ConfigError(format!("expected a list, got \"{s}\""))),
+        }
+    }
+
+    fn as_string(&self) -> Result<String, ConfigError> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            Value::List(_) => Err(ConfigError("expected a string, got a list".into())),
+        }
+    }
+}
+
+type Sections = BTreeMap<String, Vec<(String, Value)>>;
+
+fn parse_mini_toml(text: &str) -> Result<Sections, ConfigError> {
+    let mut out: Sections = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            out.entry(section.clone()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError(format!("line {}: expected key = value", n + 1)));
+        };
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        // A multi-line array: keep consuming lines until the bracket closes.
+        if value.starts_with('[') {
+            while !value.ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(ConfigError(format!("line {}: unterminated array", n + 1)));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+        }
+        let parsed =
+            parse_value(&value).map_err(|e| ConfigError(format!("line {}: {e}", n + 1)))?;
+        if section.is_empty() {
+            return Err(ConfigError(format!(
+                "line {}: key outside a [section]",
+                n + 1
+            )));
+        }
+        out.entry(section.clone()).or_default().push((key, parsed));
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    let v = v.trim();
+    if let Some(body) = v.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(unquote(part)?);
+        }
+        return Ok(Value::List(items));
+    }
+    Ok(Value::Str(unquote(v)?))
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got {s}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# workspace invariants
+[determinism]
+paths = ["crates/amr", "crates/solvers"]
+kernel_modules = [
+    "crates/solvers/src/euler.rs",  # hot kernels
+]
+
+[panic_freedom]
+paths = ["crates/staging/src"]
+
+[float_discipline]
+paths = ["crates/amr"]
+
+[kernel_floors]
+modules = ["crates/solvers/src/euler.rs"]
+predictor_fns = ["predict"]
+
+[general]
+baseline = "xlint.baseline"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.determinism_paths.len(), 2);
+        assert_eq!(
+            cfg.kernel_modules,
+            [PathBuf::from("crates/solvers/src/euler.rs")]
+        );
+        assert_eq!(cfg.baseline, Some(PathBuf::from("xlint.baseline")));
+        assert_eq!(cfg.predictor_fns, ["predict"]);
+        let scopes = cfg.all_scopes();
+        // euler.rs nests under crates/solvers: deduped from the walk roots.
+        assert!(scopes.contains(&PathBuf::from("crates/amr")));
+        assert!(!scopes.contains(&PathBuf::from("crates/solvers/src/euler.rs")));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(Config::parse("[determinism]\npahts = [\"x\"]").is_err());
+    }
+
+    #[test]
+    fn default_predictor_pattern() {
+        let cfg = Config::parse("[kernel_floors]\nmodules = [\"a.rs\"]").unwrap();
+        assert_eq!(cfg.predictor_fns, ["predict"]);
+    }
+
+    #[test]
+    fn scope_membership() {
+        let scopes = vec![PathBuf::from("crates/amr")];
+        assert!(Config::in_scope(
+            Path::new("crates/amr/src/fab.rs"),
+            &scopes
+        ));
+        assert!(!Config::in_scope(
+            Path::new("crates/viz/src/mesh.rs"),
+            &scopes
+        ));
+    }
+}

@@ -1,0 +1,546 @@
+//! A minimal Rust lexer for invariant linting.
+//!
+//! This is not a full parser: rules operate on a flat token stream with
+//! line spans. The lexer's job is to make that stream trustworthy —
+//! comments, string/char literals, and attributes must never leak their
+//! contents into rule matching (a `"HashMap"` in a log message is not a
+//! violation), while `// xlint: ...` directive comments and attribute
+//! text (needed for `#[cfg(test)]` region detection) are preserved as
+//! first-class tokens.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    IntLit,
+    /// Float literal (has a fractional part, exponent, or f32/f64 suffix).
+    FloatLit,
+    /// String, raw-string, byte-string, or char literal. Contents dropped.
+    StrLit,
+    /// Lifetime such as `'a` (kept distinct so it never looks like a char).
+    Lifetime,
+    /// Operator or punctuation. Multi-char only for `==` and `!=`; every
+    /// other operator is emitted one char at a time (rules don't need
+    /// more, and single chars can't mask an `==`).
+    Punct,
+    /// A `#[...]` or `#![...]` attribute, full text preserved.
+    Attr,
+    /// A `// xlint: ...` directive comment, text after `xlint:` preserved.
+    LintComment,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lex a source file into a token stream.
+///
+/// Ordinary comments and doc comments are dropped; block comments nest;
+/// raw strings honour their `#` fences. The lexer is infallible: bytes it
+/// does not understand become single-char `Punct` tokens, which no rule
+/// matches.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '#' if self.peek(1) == Some('[')
+                    || (self.peek(1) == Some('!') && self.peek(2) == Some('[')) =>
+                {
+                    self.attribute(line)
+                }
+                '"' => {
+                    self.string_literal();
+                    self.push(TokKind::StrLit, String::new(), line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(line),
+                '=' if self.peek(1) == Some('=') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "==".into(), line);
+                }
+                '!' if self.peek(1) == Some('=') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "!=".into(), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `//` comment to end of line. `// xlint: ...` (also behind doc-slash
+    /// or `//!` forms) survives as a LintComment token.
+    fn line_comment(&mut self, line: u32) {
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            body.push(c);
+            self.bump();
+        }
+        let trimmed = body
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        if let Some(rest) = trimmed.strip_prefix("xlint:") {
+            self.push(TokKind::LintComment, rest.trim().to_string(), line);
+        }
+    }
+
+    /// `/* ... */`, nesting like Rust.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `#[...]` / `#![...]` with bracket-depth and string awareness.
+    fn attribute(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('#')); // '#'
+        if self.peek(0) == Some('!') {
+            text.push(self.bump().unwrap_or('!'));
+        }
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '"' => {
+                    self.string_literal();
+                    text.push_str("\"…\"");
+                    continue;
+                }
+                '[' => depth += 1,
+                ']' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        text.push(c);
+                        self.bump();
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Attr, text, line);
+    }
+
+    /// A plain `"..."` string with escape handling; cursor on the opening
+    /// quote when called, past the closing quote when it returns.
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string `r"..."` / `r#"..."#` with `hashes` fence chars; cursor
+    /// just past the opening quote when called.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `'a'` char literal vs `'a` lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        // A char literal is '\x', or 'c' where the char after c is a quote.
+        // Everything else starting with a quote is a lifetime.
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        if is_char {
+            self.bump(); // '
+            if self.peek(0) == Some('\\') {
+                self.bump();
+                self.bump(); // escape payload (enough for \n, \', \\; \u{..} ends at its own quote below)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            } else {
+                self.bump();
+                self.bump(); // payload + closing quote
+            }
+            self.push(TokKind::StrLit, String::new(), line);
+        } else {
+            self.bump(); // '
+            let mut name = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'))
+        {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::IntLit, text, line);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: a dot NOT followed by another dot (range) or an
+        // identifier start (method call like `1.max(x)`).
+        if self.peek(0) == Some('.') {
+            let is_fraction = match self.peek(1) {
+                Some('.') => false,
+                Some(c) if c == '_' || c.is_alphabetic() => false,
+                _ => true, // digit, punctuation, or end of input: `7.` is a float
+            };
+            if is_fraction {
+                float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let expo = match sign {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+') | Some('-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                _ => false,
+            };
+            if expo {
+                float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if matches!(self.peek(0), Some('+') | Some('-')) {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (f64 / f32 forces float; u8/i64/usize stay int).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f64" || suffix == "f32" {
+            float = true;
+        }
+        text.push_str(&suffix);
+        self.push(
+            if float {
+                TokKind::FloatLit
+            } else {
+                TokKind::IntLit
+            },
+            text,
+            line,
+        );
+    }
+
+    /// Identifier — unless it's the prefix of a raw/byte string literal.
+    fn ident_or_prefixed_string(&mut self, line: u32) {
+        // r"..."  r#"..."#  br"..."  b"..."  b'c'
+        let c0 = self.peek(0);
+        let starts_raw = |mut at: usize, this: &Self| -> Option<usize> {
+            // returns hash count if position `at` starts  #*"
+            let mut hashes = 0;
+            while this.peek(at) == Some('#') {
+                hashes += 1;
+                at += 1;
+            }
+            (this.peek(at) == Some('"')).then_some(hashes)
+        };
+        match c0 {
+            Some('r') => {
+                if let Some(h) = starts_raw(1, &*self) {
+                    self.bump(); // r
+                    for _ in 0..h {
+                        self.bump();
+                    }
+                    self.bump(); // "
+                    self.raw_string_body(h);
+                    self.push(TokKind::StrLit, String::new(), line);
+                    return;
+                }
+            }
+            Some('b') => {
+                if self.peek(1) == Some('"') {
+                    self.bump();
+                    self.string_literal();
+                    self.push(TokKind::StrLit, String::new(), line);
+                    return;
+                }
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.char_or_lifetime(line);
+                    return;
+                }
+                if self.peek(1) == Some('r') {
+                    if let Some(h) = starts_raw(2, &*self) {
+                        self.bump();
+                        self.bump(); // br
+                        for _ in 0..h {
+                            self.bump();
+                        }
+                        self.bump(); // "
+                        self.raw_string_body(h);
+                        self.push(TokKind::StrLit, String::new(), line);
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak() {
+        let toks = kinds(r#"let x = "HashMap"; // HashMap here too"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "HashMap"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"let s = r#"un "quoted" HashMap"#; let b = b"x"; f(r"y");"###);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::StrLit).count(),
+            3
+        );
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "f"));
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("a /* x /* HashMap */ y */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn lint_comments_survive() {
+        let toks = lex("x(); // xlint: allow(P) -- caller holds the lock\ny();");
+        let lc: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::LintComment)
+            .collect();
+        assert_eq!(lc.len(), 1);
+        assert_eq!(lc[0].text, "allow(P) -- caller holds the lock");
+        assert_eq!(lc[0].line, 1);
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call() {
+        let toks = kinds("1.5 2 0x1F 3e-2 4f64 1.max(2) 0..3 7.");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::FloatLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "3e-2", "4f64", "7."]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::IntLit && t == "1"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::IntLit && t == "0x1F"));
+    }
+
+    #[test]
+    fn eq_ne_are_single_tokens() {
+        let toks = kinds("a == b; c != d; e = f; g <= h;");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+    }
+
+    #[test]
+    fn lifetimes_and_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::StrLit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn attributes_captured() {
+        let toks = lex("#[cfg(test)]\nmod tests { #[test] fn t() {} }");
+        let attrs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Attr).collect();
+        assert_eq!(attrs.len(), 2);
+        assert!(attrs[0].text.contains("cfg(test)"));
+        assert_eq!(attrs[1].text, "#[test]");
+    }
+
+    #[test]
+    fn lines_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,319 @@
+//! `xlint` — workspace invariant linter.
+//!
+//! Enforces repo-specific invariants the compiler and clippy cannot see
+//! (DESIGN.md §6): **D** determinism (no `HashMap`/`HashSet` in numeric
+//! crates; no wall-clock/RNG in kernel modules), **P** panic-freedom in
+//! service paths, **F** float comparison discipline, and **K** kernel
+//! floor discipline (`// xlint: floors-applied` markers on predictor
+//! functions). Self-contained and dependency-free: a lexer strips
+//! comments/strings/attributes, rule passes walk the token stream with
+//! file/line spans, and `xlint.toml` scopes each rule per crate.
+//!
+//! Violations are waived only inline —
+//! `// xlint: allow(<rule>) -- <reason>` on the offending line or the
+//! line above — and a waiver without a reason is itself an error. A
+//! checked-in baseline file grandfathers existing debt (`<rule>
+//! <path>:<line>` entries) so it burns down without blocking unrelated
+//! PRs.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use rules::{Finding, Rule};
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// A rule violation attributed to a file.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub rule: Rule,
+    pub file: PathBuf,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.letter(),
+            self.message
+        )
+    }
+}
+
+/// Internal errors: unreadable files, bad config/baseline. These are exit
+/// code 2 — distinguishable in CI from "violations found" (exit 1).
+#[derive(Debug)]
+pub enum XlintError {
+    Io { path: PathBuf, err: std::io::Error },
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for XlintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XlintError::Io { path, err } => write!(f, "cannot read {}: {err}", path.display()),
+            XlintError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for XlintError {}
+
+impl From<ConfigError> for XlintError {
+    fn from(e: ConfigError) -> Self {
+        XlintError::Config(e)
+    }
+}
+
+/// Grandfathered violations: `<rule-letter> <path>:<line>` entries.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(char, PathBuf, u32)>,
+}
+
+impl Baseline {
+    /// Parse the baseline file format (`#` comments, blank lines ignored).
+    pub fn parse(text: &str) -> Result<Baseline, ConfigError> {
+        let mut entries = BTreeSet::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = || {
+                ConfigError(format!(
+                    "baseline line {}: expected `<rule> <path>:<line>`, got `{line}`",
+                    n + 1
+                ))
+            };
+            let (rule, loc) = line.split_once(char::is_whitespace).ok_or_else(err)?;
+            let rule = Rule::from_letter(rule).ok_or_else(err)?;
+            let (path, lineno) = loc.rsplit_once(':').ok_or_else(err)?;
+            let lineno: u32 = lineno.parse().map_err(|_| err())?;
+            entries.insert((rule.letter(), PathBuf::from(path), lineno));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Number of grandfathered entries (the burn-down meter).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no debt is grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn covers(&self, v: &Violation) -> bool {
+        self.entries
+            .contains(&(v.rule.letter(), v.file.clone(), v.line))
+    }
+}
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived violations — these fail the run.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an inline waiver.
+    pub waived: Vec<Violation>,
+    /// Violations suppressed by the baseline file.
+    pub grandfathered: Vec<Violation>,
+    /// Files scanned.
+    pub files: usize,
+    /// `floors-applied` markers seen (kernel attestation coverage).
+    pub markers: usize,
+}
+
+/// Scan one file's source text under `rel` (workspace-relative path used
+/// for scoping and reporting). Pure function of its inputs — the unit the
+/// fixture tests drive.
+pub fn scan_source(src: &str, rel: &Path, cfg: &Config, report: &mut Report) {
+    let analysis = rules::FileAnalysis::new(lexer::lex(src));
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let collections = Config::in_scope(rel, &cfg.determinism_paths);
+    let kernel = Config::in_scope(rel, &cfg.kernel_modules);
+    if collections || kernel {
+        findings.extend(analysis.determinism(collections, kernel));
+    }
+    if Config::in_scope(rel, &cfg.panic_freedom_paths) {
+        findings.extend(analysis.panic_freedom());
+    }
+    if Config::in_scope(rel, &cfg.float_discipline_paths) {
+        findings.extend(analysis.float_discipline());
+    }
+    if Config::in_scope(rel, &cfg.kernel_floor_modules) {
+        findings.extend(analysis.kernel_floors(&cfg.predictor_fns));
+    }
+    // Directive syntax errors apply wherever any rule applies (a broken
+    // waiver is a latent hole in whatever rule it meant to waive).
+    findings.extend(analysis.directive_errors.iter().cloned());
+
+    findings.sort_by_key(|f| (f.1, f.0));
+    report.markers += analysis.markers.len();
+    report.files += 1;
+
+    for (rule, line, message) in findings {
+        let v = Violation {
+            rule,
+            file: rel.to_path_buf(),
+            line,
+            message,
+        };
+        // A waiver suppresses a violation on its own line or the line
+        // directly below it (waiver-above style). Rule W is not waivable.
+        let waived = rule != Rule::WaiverSyntax
+            && analysis
+                .waivers
+                .iter()
+                .any(|w| w.rules.contains(&rule) && (w.line == line || w.line + 1 == line));
+        if waived {
+            report.waived.push(v);
+        } else {
+            report.violations.push(v);
+        }
+    }
+}
+
+/// Walk every configured scope under `root` and scan each `.rs` file.
+/// Crate test/bench trees and fixture corpora are skipped — the rules
+/// govern production code.
+pub fn run(root: &Path, cfg: &Config, baseline: &Baseline) -> Result<Report, XlintError> {
+    let mut files = BTreeSet::new();
+    for scope in cfg.all_scopes() {
+        collect_rs_files(&root.join(&scope), root, &mut files)?;
+    }
+    let mut report = Report::default();
+    for rel in files {
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|err| XlintError::Io {
+            path: abs.clone(),
+            err,
+        })?;
+        scan_source(&src, &rel, cfg, &mut report);
+    }
+    // Baseline pass: grandfathered violations don't fail the run.
+    let (grandfathered, failing): (Vec<_>, Vec<_>) = std::mem::take(&mut report.violations)
+        .into_iter()
+        .partition(|v| baseline.covers(v));
+    report.violations = failing;
+    report.grandfathered = grandfathered;
+    Ok(report)
+}
+
+const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "fixtures", ".git"];
+
+fn collect_rs_files(
+    path: &Path,
+    root: &Path,
+    out: &mut BTreeSet<PathBuf>,
+) -> Result<(), XlintError> {
+    let io = |err| XlintError::Io {
+        path: path.to_path_buf(),
+        err,
+    };
+    let meta = std::fs::metadata(path).map_err(io)?;
+    if meta.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.insert(rel.to_path_buf());
+            }
+        }
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(path).map_err(io)? {
+        let entry = entry.map_err(io)?;
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() && SKIP_DIRS.contains(&name.as_ref()) {
+            continue;
+        }
+        collect_rs_files(&p, root, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all(path: &str) -> Config {
+        Config {
+            determinism_paths: vec![PathBuf::from(path)],
+            kernel_modules: vec![],
+            panic_freedom_paths: vec![PathBuf::from(path)],
+            float_discipline_paths: vec![PathBuf::from(path)],
+            kernel_floor_modules: vec![PathBuf::from(path)],
+            predictor_fns: vec!["predict".into()],
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn out_of_scope_files_are_clean() {
+        let mut r = Report::default();
+        scan_source(
+            "use std::collections::HashMap; fn f() { x().unwrap(); }",
+            Path::new("crates/other/src/lib.rs"),
+            &cfg_all("crates/scoped"),
+            &mut r,
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_same_and_next_line() {
+        let mut r = Report::default();
+        scan_source(
+            "use std::collections::HashMap; // xlint: allow(D) -- not iterated\n\
+             // xlint: allow(D) -- below\n\
+             use std::collections::HashSet;\n\
+             use std::collections::HashMap;\n",
+            Path::new("crates/scoped/src/lib.rs"),
+            &cfg_all("crates/scoped"),
+            &mut r,
+        );
+        assert_eq!(r.waived.len(), 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].line, 4);
+    }
+
+    #[test]
+    fn baseline_grandfathers_exact_matches() {
+        let cfg = cfg_all("crates/scoped");
+        let baseline = Baseline::parse(
+            "# legacy debt\nD crates/scoped/src/lib.rs:1\nP crates/scoped/src/other.rs:9\n",
+        )
+        .unwrap();
+        assert_eq!(baseline.len(), 2);
+        let mut r = Report::default();
+        scan_source(
+            "use std::collections::HashMap;\nuse std::collections::HashMap;\n",
+            Path::new("crates/scoped/src/lib.rs"),
+            &cfg,
+            &mut r,
+        );
+        let (grand, fail): (Vec<_>, Vec<_>) =
+            r.violations.into_iter().partition(|v| baseline.covers(v));
+        assert_eq!(grand.len(), 1);
+        assert_eq!(fail.len(), 1);
+        assert_eq!(fail[0].line, 2);
+    }
+
+    #[test]
+    fn malformed_baseline_rejected() {
+        assert!(Baseline::parse("Q crates/x.rs:1").is_err());
+        assert!(Baseline::parse("D crates/x.rs").is_err());
+    }
+}

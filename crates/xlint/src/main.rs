@@ -1,0 +1,132 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! xlint [--root <dir>] [--config <xlint.toml>] [--baseline <file>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` internal error
+//! (unreadable file, bad config/baseline, bad arguments) — so CI can
+//! distinguish "the code is wrong" from "the linter is broken".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::{Baseline, Config, Report, XlintError};
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut path_arg = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a path argument"))
+        };
+        match a.as_str() {
+            "--root" => args.root = Some(path_arg("--root")?),
+            "--config" => args.config = Some(path_arg("--config")?),
+            "--baseline" => args.baseline = Some(path_arg("--baseline")?),
+            "--help" | "-h" => {
+                println!(
+                    "xlint — workspace invariant linter (rules D/P/F/K, see DESIGN.md §6)\n\
+                     usage: xlint [--root <dir>] [--config <xlint.toml>] [--baseline <file>]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Locate the workspace root: the nearest ancestor of the current
+/// directory containing `xlint.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("xlint.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => {
+                return Err(format!(
+                    "no xlint.toml found in {} or any parent (pass --root/--config)",
+                    cwd.display()
+                ))
+            }
+        }
+    }
+}
+
+fn run() -> Result<Report, XlintError> {
+    let args = parse_args().map_err(xlint::ConfigError)?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_root().map_err(xlint::ConfigError)?,
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("xlint.toml"));
+    let config_text = std::fs::read_to_string(&config_path).map_err(|err| XlintError::Io {
+        path: config_path.clone(),
+        err,
+    })?;
+    let cfg = Config::parse(&config_text)?;
+    let baseline_path = args
+        .baseline
+        .or_else(|| cfg.baseline.as_ref().map(|b| root.join(b)));
+    let baseline = match baseline_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).map_err(|err| XlintError::Io {
+                path: p.clone(),
+                err,
+            })?;
+            Baseline::parse(&text)?
+        }
+        None => Baseline::default(),
+    };
+    xlint::run(&root, &cfg, &baseline)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            println!(
+                "xlint: {} files scanned — {} violation{}, {} waived inline, \
+                 {} grandfathered, {} floor marker{}",
+                report.files,
+                report.violations.len(),
+                if report.violations.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                report.waived.len(),
+                report.grandfathered.len(),
+                report.markers,
+                if report.markers == 1 { "" } else { "s" },
+            );
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("xlint: internal error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

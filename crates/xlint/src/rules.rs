@@ -1,0 +1,592 @@
+//! Rule passes over the token stream.
+//!
+//! Every pass sees a [`FileAnalysis`]: the code tokens of one file with a
+//! parallel test-region mask (tokens under `#[cfg(test)]` or `#[test]`
+//! items are exempt from every rule — bit-identity tests legitimately
+//! compare floats exactly, and test code may unwrap freely), plus the
+//! parsed `// xlint:` directives (waivers and floor markers).
+
+use crate::lexer::{Tok, TokKind};
+
+/// The rule classes xlint enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D — determinism: no `HashMap`/`HashSet` in numeric crates, no
+    /// wall-clock or RNG use in kernel modules.
+    Determinism,
+    /// P — panic-freedom: no `.unwrap()`/`.expect()`/`panic!`-family/
+    /// literal indexing in service paths.
+    PanicFreedom,
+    /// F — float discipline: no `==`/`!=` against float expressions
+    /// outside `to_bits` equality.
+    FloatDiscipline,
+    /// K — kernel floor discipline: predictor functions must carry the
+    /// `// xlint: floors-applied` marker.
+    KernelFloors,
+    /// W — malformed `// xlint:` directives (reason-less waivers, unknown
+    /// directives). Not waivable.
+    WaiverSyntax,
+}
+
+impl Rule {
+    /// One-letter code used in output, waivers, and the baseline file.
+    pub fn letter(self) -> char {
+        match self {
+            Rule::Determinism => 'D',
+            Rule::PanicFreedom => 'P',
+            Rule::FloatDiscipline => 'F',
+            Rule::KernelFloors => 'K',
+            Rule::WaiverSyntax => 'W',
+        }
+    }
+
+    /// Parse a waiver/baseline rule letter. `W` is deliberately absent:
+    /// directive-syntax errors cannot be waived away.
+    pub fn from_letter(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "D" => Some(Rule::Determinism),
+            "P" => Some(Rule::PanicFreedom),
+            "F" => Some(Rule::FloatDiscipline),
+            "K" => Some(Rule::KernelFloors),
+            _ => None,
+        }
+    }
+}
+
+/// An inline waiver: `// xlint: allow(D) -- reason`.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub rules: Vec<Rule>,
+    pub line: u32,
+}
+
+/// A finding before file attribution: (rule, line, message).
+pub type Finding = (Rule, u32, String);
+
+/// One file's tokens, prepared for rule passes.
+pub struct FileAnalysis {
+    /// Code tokens only (attributes and lint comments filtered out).
+    code: Vec<Tok>,
+    /// Parallel to `code`: true for tokens inside test-only items.
+    test: Vec<bool>,
+    /// Parsed inline waivers.
+    pub waivers: Vec<Waiver>,
+    /// Lines carrying a `// xlint: floors-applied` marker.
+    pub markers: Vec<u32>,
+    /// Malformed-directive findings (rule W), produced during parsing.
+    pub directive_errors: Vec<Finding>,
+}
+
+impl FileAnalysis {
+    /// Prepare a lexed token stream: split out directives, compute the
+    /// test-region mask.
+    pub fn new(tokens: Vec<Tok>) -> FileAnalysis {
+        let mut waivers = Vec::new();
+        let mut markers = Vec::new();
+        let mut directive_errors = Vec::new();
+        for t in tokens.iter().filter(|t| t.kind == TokKind::LintComment) {
+            parse_directive(
+                &t.text,
+                t.line,
+                &mut waivers,
+                &mut markers,
+                &mut directive_errors,
+            );
+        }
+        let test_full = test_mask(&tokens);
+        let (code, test): (Vec<Tok>, Vec<bool>) = tokens
+            .into_iter()
+            .zip(test_full)
+            .filter(|(t, _)| !matches!(t.kind, TokKind::Attr | TokKind::LintComment))
+            .unzip();
+        FileAnalysis {
+            code,
+            test,
+            waivers,
+            markers,
+            directive_errors,
+        }
+    }
+
+    fn code_at(&self, i: usize) -> Option<&Tok> {
+        self.code.get(i)
+    }
+
+    fn is_test(&self, i: usize) -> bool {
+        self.test.get(i).copied().unwrap_or(false)
+    }
+
+    /// Rule D: flag `HashMap`/`HashSet` (when `collections` is true) and
+    /// wall-clock/RNG identifiers (when `kernel` is true).
+    pub fn determinism(&self, collections: bool, kernel: bool) -> Vec<Finding> {
+        const CLOCK_RNG: &[&str] = &[
+            "Instant",
+            "SystemTime",
+            "rand",
+            "thread_rng",
+            "StdRng",
+            "SmallRng",
+            "Rng",
+        ];
+        let mut out = Vec::new();
+        for (i, t) in self.code.iter().enumerate() {
+            if t.kind != TokKind::Ident || self.is_test(i) {
+                continue;
+            }
+            if collections && (t.text == "HashMap" || t.text == "HashSet") {
+                out.push((
+                    Rule::Determinism,
+                    t.line,
+                    format!(
+                        "`{}` has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                         (or waive a provably non-iterated use)",
+                        t.text
+                    ),
+                ));
+            }
+            if kernel && CLOCK_RNG.contains(&t.text.as_str()) {
+                out.push((
+                    Rule::Determinism,
+                    t.line,
+                    format!(
+                        "`{}` in a kernel module: kernels must be pure functions of their \
+                         inputs (no wall-clock, no RNG)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Rule P: `.unwrap()`, `.expect(`, `panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!`, and literal indexing `x[0]`.
+    pub fn panic_freedom(&self) -> Vec<Finding> {
+        const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+        // Keywords that can precede `[` without it being an index expression.
+        const NON_POSTFIX: &[&str] = &[
+            "return", "break", "continue", "in", "if", "else", "match", "loop", "while", "for",
+            "let", "mut", "ref", "move", "as", "yield",
+        ];
+        let mut out = Vec::new();
+        for (i, t) in self.code.iter().enumerate() {
+            if self.is_test(i) {
+                continue;
+            }
+            let prev = i.checked_sub(1).and_then(|p| self.code_at(p));
+            let next = self.code_at(i + 1);
+            match t.kind {
+                TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                    let dotted = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+                    let called = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+                    if dotted && called {
+                        out.push((
+                            Rule::PanicFreedom,
+                            t.line,
+                            format!(
+                                "`.{}()` can panic the service; propagate a Result instead",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+                TokKind::Ident
+                    if PANIC_MACROS.contains(&t.text.as_str())
+                        && next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "!") =>
+                {
+                    out.push((
+                        Rule::PanicFreedom,
+                        t.line,
+                        format!("`{}!` aborts the service thread; return an error", t.text),
+                    ));
+                }
+                TokKind::Punct if t.text == "[" => {
+                    // Postfix position: an identifier (non-keyword) or a
+                    // closing bracket directly before the `[`.
+                    let postfix = prev.is_some_and(|p| match p.kind {
+                        TokKind::Ident => !NON_POSTFIX.contains(&p.text.as_str()),
+                        TokKind::Punct => p.text == ")" || p.text == "]",
+                        _ => false,
+                    });
+                    let lit_index = next.is_some_and(|n| n.kind == TokKind::IntLit)
+                        && self
+                            .code_at(i + 2)
+                            .is_some_and(|n| n.kind == TokKind::Punct && n.text == "]");
+                    if postfix && lit_index {
+                        out.push((
+                            Rule::PanicFreedom,
+                            t.line,
+                            "literal index can panic on malformed input; use .get(..)".to_string(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Rule F: `==`/`!=` with a float-literal operand, unless `to_bits`
+    /// appears nearby (bit-equality tests are the sanctioned form).
+    ///
+    /// Token-level heuristic: comparisons of two float *variables* carry no
+    /// literal and are not caught — the rule targets the dominant pattern
+    /// (thresholds and sentinel values compared exactly).
+    pub fn float_discipline(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, t) in self.code.iter().enumerate() {
+            if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") || self.is_test(i) {
+                continue;
+            }
+            let prev_float = i
+                .checked_sub(1)
+                .and_then(|p| self.code_at(p))
+                .is_some_and(|p| p.kind == TokKind::FloatLit);
+            // RHS may start with a unary minus.
+            let next_float = match self.code_at(i + 1) {
+                Some(n) if n.kind == TokKind::FloatLit => true,
+                Some(n) if n.kind == TokKind::Punct && n.text == "-" => self
+                    .code_at(i + 2)
+                    .is_some_and(|n| n.kind == TokKind::FloatLit),
+                _ => false,
+            };
+            if !(prev_float || next_float) {
+                continue;
+            }
+            let window = i.saturating_sub(6)..(i + 7).min(self.code.len());
+            let bitwise = self.code[window]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "to_bits");
+            if bitwise {
+                continue;
+            }
+            out.push((
+                Rule::FloatDiscipline,
+                t.line,
+                format!(
+                    "float `{}` comparison; compare `.to_bits()`, use a tolerance, or waive \
+                     an intentional exact-value guard",
+                    t.text
+                ),
+            ));
+        }
+        out
+    }
+
+    /// Rule K: every non-test `fn` whose name contains one of `patterns`
+    /// must carry a `// xlint: floors-applied` marker between its `fn`
+    /// line and its closing brace. Bodiless declarations (trait methods)
+    /// are exempt — they write nothing.
+    pub fn kernel_floors(&self, patterns: &[String]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, t) in self.code.iter().enumerate() {
+            if t.kind != TokKind::Ident || t.text != "fn" || self.is_test(i) {
+                continue;
+            }
+            let Some(name) = self.code_at(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            if !patterns.iter().any(|p| name.text.contains(p.as_str())) {
+                continue;
+            }
+            let Some((body_open, body_close)) = self.body_span(i + 2) else {
+                continue;
+            };
+            let start_line = t.line;
+            let end_line = self.code[body_close].line;
+            let _ = body_open;
+            let marked = self
+                .markers
+                .iter()
+                .any(|&m| m >= start_line && m <= end_line);
+            if !marked {
+                out.push((
+                    Rule::KernelFloors,
+                    start_line,
+                    format!(
+                        "predictor `{}` writes face states into scratch; verify the \
+                         `.max(SMALL)` positivity floors and add `// xlint: floors-applied`",
+                        name.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// From `from` (just past the fn name), find the body's `{`..`}` token
+    /// indices. Returns `None` for bodiless declarations (`;` before `{`).
+    /// Paren/bracket depth is tracked so `[f64; N]` array types in the
+    /// signature don't read as the end of a declaration.
+    fn body_span(&self, from: usize) -> Option<(usize, usize)> {
+        let mut i = from;
+        let mut nest = 0usize;
+        let open = loop {
+            let t = self.code_at(i)?;
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest = nest.saturating_sub(1),
+                    "{" if nest == 0 => break i,
+                    ";" if nest == 0 => return None,
+                    _ => {}
+                }
+            }
+            i += 1;
+        };
+        let mut depth = 0usize;
+        for (j, t) in self.code.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((open, j));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Parse one `// xlint: ...` directive body.
+fn parse_directive(
+    text: &str,
+    line: u32,
+    waivers: &mut Vec<Waiver>,
+    markers: &mut Vec<u32>,
+    errors: &mut Vec<Finding>,
+) {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix("floors-applied") {
+        // Optional `-- note` after the marker; anything else is a typo'd
+        // directive and falls through to the unknown-directive error.
+        if rest.is_empty() || rest.trim_start().starts_with("--") {
+            markers.push(line);
+            return;
+        }
+    }
+    if let Some(rest) = text.strip_prefix("allow") {
+        let rest = rest.trim_start();
+        let Some(inner_and_tail) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(inner, tail)| (inner.to_string(), tail.trim().to_string()))
+        else {
+            errors.push((
+                Rule::WaiverSyntax,
+                line,
+                "malformed waiver: expected `xlint: allow(<rules>) -- <reason>`".to_string(),
+            ));
+            return;
+        };
+        let (inner, tail) = inner_and_tail;
+        let mut rules = Vec::new();
+        for part in inner.split(',') {
+            match Rule::from_letter(part) {
+                Some(r) => rules.push(r),
+                None => {
+                    errors.push((
+                        Rule::WaiverSyntax,
+                        line,
+                        format!(
+                            "unknown rule `{}` in waiver (expected D, P, F, or K)",
+                            part.trim()
+                        ),
+                    ));
+                    return;
+                }
+            }
+        }
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            errors.push((
+                Rule::WaiverSyntax,
+                line,
+                "waiver without a reason: append `-- <why this is sound>`".to_string(),
+            ));
+            return;
+        }
+        waivers.push(Waiver { rules, line });
+        return;
+    }
+    errors.push((
+        Rule::WaiverSyntax,
+        line,
+        format!("unknown xlint directive `{text}` (expected allow(..) or floors-applied)"),
+    ));
+}
+
+/// Compute the test mask over the full token stream: tokens belonging to
+/// items annotated `#[cfg(test)]` / `#[test]` are marked true.
+fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Attr && is_test_attr(&t.text) {
+            let end = item_end(tokens, i + 1);
+            for m in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+fn is_test_attr(attr: &str) -> bool {
+    let squished: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    if squished == "#[test]" {
+        return true;
+    }
+    // `#[cfg(...)]` predicates gating an item to test builds. `cfg_attr`
+    // applies an attribute without gating the item, and `not(test)` gates
+    // the item to production — neither marks test code.
+    if !squished.starts_with("#[cfg(") || squished.contains("not(") {
+        return false;
+    }
+    // Word-boundary match so e.g. `feature="backtest"` (already masked by
+    // the lexer anyway) or `testing_shim` never counts.
+    let bytes = squished.as_bytes();
+    squished.match_indices("test").any(|(i, _)| {
+        let before_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        let after = i + 4;
+        before_ok
+            && (after >= bytes.len()
+                || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_'))
+    })
+}
+
+/// Find the end (exclusive token index) of the item starting at `from`:
+/// either its matching close brace, or a `;` at depth 0 (bodiless items).
+fn item_end(tokens: &[Tok], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut nest = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(from) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => nest += 1,
+            ")" | "]" => nest = nest.saturating_sub(1),
+            ";" if depth == 0 && nest == 0 => return j + 1,
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze(src: &str) -> FileAnalysis {
+        FileAnalysis::new(lex(src))
+    }
+
+    #[test]
+    fn hashmap_flagged_outside_tests_only() {
+        let a = analyze(
+            "use std::collections::HashMap;\n\
+             #[cfg(test)]\nmod tests { use std::collections::HashMap; }",
+        );
+        let v = a.determinism(true, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 1);
+    }
+
+    #[test]
+    fn clock_rng_only_in_kernel_mode() {
+        let a = analyze("let t = Instant::now();");
+        assert!(a.determinism(true, false).is_empty());
+        assert_eq!(a.determinism(true, true).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_expect_panic_index() {
+        let a = analyze(
+            "fn f(v: &[u8]) -> u8 { let x = g().unwrap(); h().expect(\"no\"); \
+             if v.is_empty() { panic!(\"empty\") } v[0] }",
+        );
+        let v = a.panic_freedom();
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn index_by_variable_or_array_literal_ok() {
+        let a = analyze("fn f(v: &[u8], i: usize) -> u8 { let a = [0u8; 3]; v[i] + a[i] }");
+        assert!(a.panic_freedom().is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_fn_ok() {
+        let a = analyze("#[test]\nfn t() { g().unwrap(); }");
+        assert!(a.panic_freedom().is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_to_bits_exempt() {
+        let a = analyze(
+            "fn f(x: f64, y: f64) -> bool { x == 0.0 || x != -1.5 || \
+             x.to_bits() == y.to_bits() || 3 == 4 }",
+        );
+        let v = a.float_discipline();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn predictor_needs_marker() {
+        let bad = analyze("fn predict_faces(w: f64) -> f64 { w + 1.0 }");
+        assert_eq!(bad.kernel_floors(&["predict".into()]).len(), 1);
+        let good = analyze(
+            "fn predict_faces(w: f64) -> f64 {\n    // xlint: floors-applied\n    w + 1.0\n}",
+        );
+        assert!(good.kernel_floors(&["predict".into()]).is_empty());
+        let decl = analyze("trait T { fn predict(&self) -> f64; }");
+        assert!(decl.kernel_floors(&["predict".into()]).is_empty());
+    }
+
+    #[test]
+    fn predictor_with_array_type_in_signature() {
+        // The `;` inside `[f64; 5]` must not read as a bodiless decl.
+        let a = analyze("fn predict_faces(s: &[f64; 5]) -> [f64; 5] { *s }");
+        assert_eq!(a.kernel_floors(&["predict".into()]).len(), 1);
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let a = analyze(
+            "x(); // xlint: allow(D) -- bounded map, never iterated\n\
+             y(); // xlint: allow(P)\n\
+             z(); // xlint: frobnicate",
+        );
+        assert_eq!(a.waivers.len(), 1);
+        assert_eq!(a.waivers[0].rules, [Rule::Determinism]);
+        assert_eq!(a.directive_errors.len(), 2);
+        assert!(a.directive_errors.iter().all(|e| e.0 == Rule::WaiverSyntax));
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let a = analyze("// xlint: allow(D, F) -- both justified here");
+        assert_eq!(
+            a.waivers[0].rules,
+            [Rule::Determinism, Rule::FloatDiscipline]
+        );
+    }
+}

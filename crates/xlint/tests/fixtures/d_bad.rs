@@ -1,0 +1,13 @@
+//! Fixture: rule D violations — hashed collections and wall-clock use.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn hashed() -> usize {
+    let m: HashMap<u64, f64> = HashMap::new();
+    let s: HashSet<u64> = HashSet::new();
+    m.len() + s.len()
+}
+
+pub fn timed() -> std::time::Instant {
+    std::time::Instant::now()
+}

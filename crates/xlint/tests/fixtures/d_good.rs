@@ -1,0 +1,9 @@
+//! Fixture: rule D clean — ordered collections, no wall-clock.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn ordered() -> usize {
+    let m: BTreeMap<u64, f64> = BTreeMap::new();
+    let s: BTreeSet<u64> = BTreeSet::new();
+    m.len() + s.len()
+}

@@ -1,0 +1,8 @@
+//! Fixture: rule F violations — exact float comparison.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_unit(y: f64) -> bool {
+    y != 1.0
+}

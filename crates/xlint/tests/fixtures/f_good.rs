@@ -1,0 +1,8 @@
+//! Fixture: rule F clean — bit equality and tolerances.
+pub fn is_zero(x: f64) -> bool {
+    x.to_bits() == 0.0f64.to_bits()
+}
+
+pub fn near_unit(y: f64) -> bool {
+    (y - 1.0).abs() < 1e-12
+}

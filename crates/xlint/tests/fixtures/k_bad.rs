@@ -1,0 +1,8 @@
+//! Fixture: rule K violation — a predictor writing primitive states with
+//! no `floors-applied` attestation.
+pub fn predict_faces(lo: &mut [f64; 5], hi: &mut [f64; 5], slope: &[f64; 5]) {
+    for c in 0..5 {
+        lo[c] -= 0.5 * slope[c];
+        hi[c] += 0.5 * slope[c];
+    }
+}

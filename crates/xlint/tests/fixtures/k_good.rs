@@ -1,0 +1,10 @@
+//! Fixture: rule K clean — the predictor carries the marker.
+pub fn predict_faces(lo: &mut [f64; 5], hi: &mut [f64; 5], slope: &[f64; 5]) {
+    for c in 0..5 {
+        lo[c] -= 0.5 * slope[c];
+        hi[c] += 0.5 * slope[c];
+    }
+    // xlint: floors-applied -- density and pressure clamped to SMALL
+    lo[0] = lo[0].max(1.0e-12);
+    hi[0] = hi[0].max(1.0e-12);
+}

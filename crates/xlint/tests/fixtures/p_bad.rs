@@ -1,0 +1,10 @@
+//! Fixture: rule P violations — unwrap/expect/panic!/literal indexing in
+//! a service path.
+pub fn service(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("second element");
+    if *first == 0 {
+        panic!("peer sent zero");
+    }
+    v[0] + first + second
+}

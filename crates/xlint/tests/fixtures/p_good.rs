@@ -1,0 +1,6 @@
+//! Fixture: rule P clean — Result/Option propagation, checked access.
+pub fn service(v: &[u64]) -> Option<u64> {
+    let first = v.first()?;
+    let second = v.get(1)?;
+    Some(first + second)
+}

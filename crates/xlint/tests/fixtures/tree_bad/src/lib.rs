@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn hashed() -> HashMap<u64, f64> {
+    HashMap::new()
+}

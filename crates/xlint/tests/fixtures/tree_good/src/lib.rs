@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn ordered() -> BTreeMap<u64, f64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,3 @@
+//! Fixture: a reason-less waiver is itself an error, and does not waive.
+// xlint: allow(D)
+use std::collections::HashMap;

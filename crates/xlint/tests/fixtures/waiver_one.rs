@@ -1,0 +1,5 @@
+//! Fixture: an inline waiver suppresses exactly one finding — the one on
+//! its own line or the line directly below, never anything further away.
+// xlint: allow(D) -- bounded scratch map, never iterated
+use std::collections::HashMap;
+use std::collections::HashMap as AlsoHashed;

@@ -1,0 +1,217 @@
+//! Golden tests over the fixture corpus: every rule class has a failing
+//! "bad" fixture and a passing "good" fixture, waivers suppress exactly
+//! one finding, reason-less waivers are errors, the CLI's exit codes are
+//! stable, and the real workspace stays clean under the checked-in
+//! config (the acceptance criterion CI enforces).
+
+use std::path::{Path, PathBuf};
+use xlint::{scan_source, Baseline, Config, Report, Rule};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture(name: &str) -> String {
+    let p = fixture_dir().join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Scope exactly one rule class at the fixture corpus so each golden test
+/// observes only its own rule's findings.
+fn cfg_for(rule: Rule) -> Config {
+    let scope = vec![PathBuf::from("fixtures")];
+    let mut cfg = Config {
+        predictor_fns: vec!["predict".to_string()],
+        ..Config::default()
+    };
+    match rule {
+        Rule::Determinism => {
+            cfg.determinism_paths = scope.clone();
+            cfg.kernel_modules = scope;
+        }
+        Rule::PanicFreedom => cfg.panic_freedom_paths = scope,
+        Rule::FloatDiscipline => cfg.float_discipline_paths = scope,
+        Rule::KernelFloors => cfg.kernel_floor_modules = scope,
+        Rule::WaiverSyntax => cfg.determinism_paths = scope,
+    }
+    cfg
+}
+
+fn scan(name: &str, cfg: &Config) -> Report {
+    let mut report = Report::default();
+    let rel = Path::new("fixtures").join(name);
+    scan_source(&fixture(name), &rel, cfg, &mut report);
+    report
+}
+
+#[test]
+fn d_bad_flags_hashed_collections_and_clock() {
+    let r = scan("d_bad.rs", &cfg_for(Rule::Determinism));
+    assert!(!r.violations.is_empty());
+    assert!(r.violations.iter().all(|v| v.rule == Rule::Determinism));
+    for needle in ["HashMap", "HashSet", "Instant"] {
+        assert!(
+            r.violations.iter().any(|v| v.message.contains(needle)),
+            "expected a finding mentioning {needle}"
+        );
+    }
+}
+
+#[test]
+fn d_good_is_clean() {
+    let r = scan("d_good.rs", &cfg_for(Rule::Determinism));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn p_bad_flags_unwrap_expect_panic_and_literal_index() {
+    let r = scan("p_bad.rs", &cfg_for(Rule::PanicFreedom));
+    assert!(r.violations.iter().all(|v| v.rule == Rule::PanicFreedom));
+    for needle in ["unwrap", "expect", "panic!", "index"] {
+        assert!(
+            r.violations.iter().any(|v| v.message.contains(needle)),
+            "expected a finding mentioning {needle}: {:?}",
+            r.violations
+        );
+    }
+    assert_eq!(r.violations.len(), 4);
+}
+
+#[test]
+fn p_good_is_clean() {
+    let r = scan("p_good.rs", &cfg_for(Rule::PanicFreedom));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn f_bad_flags_exact_float_comparison() {
+    let r = scan("f_bad.rs", &cfg_for(Rule::FloatDiscipline));
+    assert_eq!(r.violations.len(), 2, "{:?}", r.violations);
+    assert!(r.violations.iter().all(|v| v.rule == Rule::FloatDiscipline));
+}
+
+#[test]
+fn f_good_bitwise_and_tolerance_are_clean() {
+    let r = scan("f_good.rs", &cfg_for(Rule::FloatDiscipline));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn k_bad_predictor_without_marker_fails() {
+    let r = scan("k_bad.rs", &cfg_for(Rule::KernelFloors));
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    assert_eq!(r.violations[0].rule, Rule::KernelFloors);
+    assert_eq!(r.markers, 0);
+}
+
+#[test]
+fn k_good_marker_attests_the_predictor() {
+    let r = scan("k_good.rs", &cfg_for(Rule::KernelFloors));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.markers, 1);
+}
+
+#[test]
+fn waiver_suppresses_exactly_one_finding() {
+    let r = scan("waiver_one.rs", &cfg_for(Rule::Determinism));
+    assert_eq!(r.waived.len(), 1, "waived: {:?}", r.waived);
+    assert_eq!(r.violations.len(), 1, "violations: {:?}", r.violations);
+    assert!(r.violations[0].line > r.waived[0].line);
+}
+
+#[test]
+fn reasonless_waiver_is_an_error_and_does_not_waive() {
+    let r = scan("waiver_noreason.rs", &cfg_for(Rule::Determinism));
+    assert!(
+        r.violations.iter().any(|v| v.rule == Rule::WaiverSyntax),
+        "{:?}",
+        r.violations
+    );
+    // The malformed waiver must not suppress the HashMap finding below it.
+    assert!(r.violations.iter().any(|v| v.rule == Rule::Determinism));
+    assert!(r.waived.is_empty());
+}
+
+// --- acceptance regressions over real workspace sources ---------------
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn workspace_config() -> Config {
+    let text = std::fs::read_to_string(workspace_root().join("xlint.toml")).unwrap();
+    Config::parse(&text).unwrap()
+}
+
+/// The checked-in config over the real tree: zero unwaived violations.
+/// This is the same gate `scripts/check.sh` and CI run.
+#[test]
+fn workspace_self_scan_is_clean() {
+    let root = workspace_root();
+    let cfg = workspace_config();
+    let baseline = match &cfg.baseline {
+        Some(p) => Baseline::parse(&std::fs::read_to_string(root.join(p)).unwrap()).unwrap(),
+        None => Baseline::default(),
+    };
+    let report = xlint::run(&root, &cfg, &baseline).unwrap();
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "unwaived violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.markers >= 2, "euler.rs floor markers missing");
+}
+
+/// Deleting a `floors-applied` marker from the Euler predictors must make
+/// the scan fail (K), and reintroducing a HashMap into the welded-mesh
+/// path must make it fail (D) — the two incidents this linter encodes.
+#[test]
+fn stripped_marker_and_rehashed_mesh_fail() {
+    let root = workspace_root();
+    let cfg = workspace_config();
+
+    let euler = std::fs::read_to_string(root.join("crates/solvers/src/euler.rs")).unwrap();
+    let stripped: String = euler
+        .lines()
+        .filter(|l| !l.contains("xlint: floors-applied"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let mut r = Report::default();
+    scan_source(
+        &stripped,
+        Path::new("crates/solvers/src/euler.rs"),
+        &cfg,
+        &mut r,
+    );
+    assert!(
+        r.violations.iter().any(|v| v.rule == Rule::KernelFloors),
+        "deleting markers should fail rule K"
+    );
+
+    let mesh = std::fs::read_to_string(root.join("crates/viz/src/mesh.rs")).unwrap();
+    let rehashed = mesh.replace("BTreeMap", "HashMap");
+    let mut r = Report::default();
+    scan_source(&rehashed, Path::new("crates/viz/src/mesh.rs"), &cfg, &mut r);
+    assert!(
+        r.violations.iter().any(|v| v.rule == Rule::Determinism),
+        "reverting the BTreeMap weld fix should fail rule D"
+    );
+}
+
+// --- CLI exit codes ----------------------------------------------------
+
+fn run_cli(tree: &str) -> std::process::ExitStatus {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .arg("--root")
+        .arg(fixture_dir().join(tree))
+        .status()
+        .unwrap()
+}
+
+#[test]
+fn exit_codes_distinguish_clean_violation_and_internal_error() {
+    assert_eq!(run_cli("tree_good").code(), Some(0));
+    assert_eq!(run_cli("tree_bad").code(), Some(1));
+    assert_eq!(run_cli("tree_badcfg").code(), Some(2));
+}

@@ -11,6 +11,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --locked --workspace --all-targets -- -D warnings
 
+echo "==> xlint (workspace invariants: D/P/F/K, see DESIGN.md §6)"
+# Prints the waiver and grandfathered counts in its summary line.
+# Exit 1 = violations; exit 2 = linter/config error — both fail the gate.
+cargo run --locked -q -p xlint
+
 echo "==> cargo build --release"
 cargo build --locked --release
 

@@ -75,9 +75,11 @@ fn async_stager_with_consumer_drains_cleanly() {
     let b = IBox::cube(8);
     for v in 1..=20 {
         let fab = Fab::filled(b, 1, v as f64);
-        stager.put(DataObject::from_fab("u", v, &fab, 0, &b, 0));
+        stager
+            .put(DataObject::from_fab("u", v, &fab, 0, &b, 0))
+            .unwrap();
     }
-    let (delivered, rejected) = stager.drain();
+    let (delivered, rejected) = stager.drain().unwrap();
     assert_eq!(delivered + rejected, 20);
     assert_eq!(rejected, 0, "32 MB per server fits 20 × 4 KB objects");
     for v in 1..=20 {
