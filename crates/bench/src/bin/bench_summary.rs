@@ -21,6 +21,8 @@ use xlayer_amr::level_data::LevelData;
 use xlayer_amr::{Fab, IBox, IntVect};
 use xlayer_bench::{EXPECTED_BENCH_KEYS, EXPECTED_DERIVED_KEYS};
 use xlayer_core::Placement;
+use xlayer_net::client::{ClientConfig, RemoteClient};
+use xlayer_net::service::{ServiceConfig, StagingService};
 use xlayer_solvers::euler::{EulerSolver, Primitive};
 use xlayer_solvers::{
     AdvectDiffuseSolver, AmrSimulation, DriverConfig, LevelSolver, ScalarProblem, VelocityField,
@@ -155,11 +157,13 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_native_hotpath.json".to_string());
 
-    let mut results: Vec<(&str, f64)> = Vec::new();
-    let mut run = |name: &'static str, f: &mut dyn FnMut()| {
+    // RefCell so `run` and the interleaved pipeline block below can both
+    // record results without fighting over a mutable capture.
+    let results: std::cell::RefCell<Vec<(&str, f64)>> = std::cell::RefCell::new(Vec::new());
+    let run = |name: &'static str, f: &mut dyn FnMut()| {
         let ns = time_ns(f);
         println!("{name:<44} {ns:>14.1} ns/iter");
-        results.push((name, ns));
+        results.borrow_mut().push((name, ns));
     };
 
     // Ghost exchange over a 64-grid periodic level (32³ in 8³ boxes): the
@@ -353,10 +357,42 @@ fn main() {
             ("native_pipeline_overlapped_16c_4steps", over_ns),
         ] {
             println!("{name:<44} {ns:>14.1} ns/iter");
-            results.push((name, ns));
+            results.borrow_mut().push((name, ns));
         }
     }
 
+    // Loopback staging service: full-protocol put and get round trips for
+    // one 8³ object (512 B payload + descriptor) against a live
+    // `StagingService`, warm client pool. This is the wire overhead a
+    // remote placement pays per object over the in-process path.
+    {
+        let service = StagingService::start(ServiceConfig {
+            servers: 2,
+            memory_per_server: 1 << 30,
+            ..ServiceConfig::default()
+        })
+        .expect("bind loopback staging service");
+        let client =
+            RemoteClient::connect(&service.local_addr().to_string(), ClientConfig::default())
+                .expect("loopback client");
+        let template = staging_obj(0, 0, 8);
+        let mut version = 0u64;
+        run("net_put_throughput", &mut || {
+            version += 1;
+            let mut obj = template.clone();
+            obj.desc.key.version = version;
+            client.put(&obj).expect("remote put");
+        });
+        client.evict_before("rho", u64::MAX).expect("evict");
+        client.put(&staging_obj(1, 0, 8)).expect("seed get bench");
+        run("net_get_throughput", &mut || {
+            let got = client.get("rho", 1, None).expect("remote get");
+            assert_eq!(got.len(), 1);
+        });
+        service.shutdown();
+    }
+
+    let results = results.into_inner();
     let produced: Vec<&str> = results.iter().map(|(n, _)| *n).collect();
     assert_eq!(
         produced, EXPECTED_BENCH_KEYS,

@@ -48,6 +48,8 @@ pub const EXPECTED_BENCH_KEYS: &[&str] = &[
     "mesh_append_64parts",
     "native_pipeline_sync_16c_4steps",
     "native_pipeline_overlapped_16c_4steps",
+    "net_put_throughput",
+    "net_get_throughput",
 ];
 
 /// The derived ratios `bench_summary` writes under `"derived"`.

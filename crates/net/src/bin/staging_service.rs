@@ -1,0 +1,74 @@
+//! Standalone staging service: run the staging space as its own process,
+//! the way DataSpaces runs dedicated staging nodes.
+//!
+//! ```text
+//! staging_service [--addr HOST:PORT] [--servers N] [--memory-mib M]
+//!                 [--max-conns C]
+//! ```
+//!
+//! The bound address is printed on stdout (useful with port 0). The
+//! process exits when a client sends the `Shutdown` opcode.
+
+use xlayer_net::service::{ServiceConfig, StagingService};
+
+fn parse_args(args: &[String]) -> Result<ServiceConfig, String> {
+    let mut cfg = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?.clone(),
+            "--servers" => {
+                cfg.servers = value("--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?;
+            }
+            "--memory-mib" => {
+                let mib: u64 = value("--memory-mib")?
+                    .parse()
+                    .map_err(|e| format!("--memory-mib: {e}"))?;
+                cfg.memory_per_server = mib << 20;
+            }
+            "--max-conns" => {
+                cfg.max_connections = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: staging_service [--addr HOST:PORT] [--servers N] \
+                     [--memory-mib M] [--max-conns C]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let servers = cfg.servers;
+    let per_server = cfg.memory_per_server;
+    let service = match StagingService::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start staging service: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("staging service listening on {}", service.local_addr());
+    println!(
+        "{servers} staging server(s), {} MiB each; stop with the Shutdown opcode",
+        per_server >> 20
+    );
+    service.wait();
+}

@@ -1,0 +1,478 @@
+//! Client side of the staging wire: a pooled, retrying [`RemoteClient`]
+//! and the [`RemoteStager`] drop-in for `AsyncStager`.
+//!
+//! Retry policy, in one sentence: transient transport faults (refused or
+//! reset connections, timeouts, short reads, corrupted frames, `Busy`
+//! refusals) are retried with bounded exponential backoff on a fresh
+//! connection; **`OutOfMemory` is never retried** — it is the paper's
+//! memory-pressure policy signal (Eq. 10), and hiding it behind retries
+//! would blind the adaptation engine that must react to it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use xlayer_amr::boxes::IBox;
+use xlayer_staging::{DataObject, DrainError, ObjectDesc, TransportClosed, TransportStats};
+
+use crate::wire::{
+    decode_header, verify_payload, ErrorFrame, Frame, Request, Response, ServiceSnapshot,
+    WireError, HEADER_LEN,
+};
+
+/// Configuration of a [`RemoteClient`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Timeout for establishing a connection.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on an established connection.
+    pub io_timeout: Duration,
+    /// Idle connections kept for reuse.
+    pub pool_size: usize,
+    /// Retries after the first attempt (so `max_retries = 3` means up to
+    /// four attempts).
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry, capped at
+    /// [`ClientConfig::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(5),
+            pool_size: 4,
+            max_retries: 3,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Why a remote operation failed.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Transport failure that survived every retry.
+    Io(std::io::Error),
+    /// The peer's frame could not be decoded (survived every retry).
+    Wire(WireError),
+    /// The staging space rejected the put — the memory-pressure policy
+    /// signal. Deliberately NOT retried; mirrors
+    /// [`xlayer_staging::StagingError::OutOfMemory`].
+    OutOfMemory {
+        /// Space capacity in bytes.
+        cap: u64,
+        /// Bytes already resident.
+        used: u64,
+        /// Size of the rejected object.
+        requested: u64,
+    },
+    /// The service refused the request for a non-transient reason
+    /// (`BadRequest`, `ShuttingDown`), or `Busy` outlasted the retries.
+    Refused(ErrorFrame),
+    /// The service answered with a response type that does not match the
+    /// request (protocol violation).
+    Protocol(String),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Io(e) => write!(f, "remote staging I/O error: {e}"),
+            RemoteError::Wire(e) => write!(f, "remote staging wire error: {e}"),
+            RemoteError::OutOfMemory {
+                cap,
+                used,
+                requested,
+            } => write!(
+                f,
+                "remote staging out of memory: cap {cap} B, used {used} B, requested {requested} B"
+            ),
+            RemoteError::Refused(e) => write!(f, "remote staging refused request: {e}"),
+            RemoteError::Protocol(d) => write!(f, "remote staging protocol violation: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Is this I/O failure worth a fresh connection and another attempt?
+fn transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+struct ClientInner {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    next_id: AtomicU64,
+}
+
+/// A client of a [`crate::service::StagingService`]. Cheap to clone (all
+/// clones share the connection pool); safe to use from many threads.
+#[derive(Clone)]
+pub struct RemoteClient {
+    inner: Arc<ClientInner>,
+}
+
+impl RemoteClient {
+    /// Resolve `addr` (e.g. `"127.0.0.1:7001"`) and build a client. No
+    /// connection is opened until the first request.
+    pub fn connect(addr: &str, cfg: ClientConfig) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved empty",
+            )
+        })?;
+        Ok(RemoteClient {
+            inner: Arc::new(ClientInner {
+                addr,
+                cfg,
+                pool: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// The resolved service address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    fn checkout(&self) -> std::io::Result<TcpStream> {
+        if let Some(s) = self.inner.pool.lock().pop() {
+            return Ok(s);
+        }
+        let s = TcpStream::connect_timeout(&self.inner.addr, self.inner.cfg.connect_timeout)?;
+        s.set_read_timeout(Some(self.inner.cfg.io_timeout))?;
+        s.set_write_timeout(Some(self.inner.cfg.io_timeout))?;
+        let _ = s.set_nodelay(true);
+        Ok(s)
+    }
+
+    fn checkin(&self, s: TcpStream) {
+        let mut pool = self.inner.pool.lock();
+        if pool.len() < self.inner.cfg.pool_size {
+            pool.push(s);
+        }
+    }
+
+    /// One request/response exchange on one connection. Any error means the
+    /// connection is dropped, not returned to the pool.
+    fn exchange(&self, stream: &mut TcpStream, req: &Request) -> Result<Response, RemoteError> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        stream.write_all(&req.encode(id)).map_err(RemoteError::Io)?;
+        let mut header_buf = [0u8; HEADER_LEN];
+        stream
+            .read_exact(&mut header_buf)
+            .map_err(RemoteError::Io)?;
+        let header = decode_header(&header_buf).map_err(RemoteError::Wire)?;
+        let mut payload = vec![0u8; header.payload_len as usize];
+        stream.read_exact(&mut payload).map_err(RemoteError::Io)?;
+        verify_payload(&header, &payload).map_err(RemoteError::Wire)?;
+        if header.request_id != id && header.request_id != 0 {
+            return Err(RemoteError::Protocol(format!(
+                "response id {} for request id {id}",
+                header.request_id
+            )));
+        }
+        let frame = Frame {
+            opcode: header.opcode,
+            request_id: header.request_id,
+            payload,
+        };
+        Response::decode(&frame).map_err(RemoteError::Wire)
+    }
+
+    /// Send a request, retrying transient failures with bounded exponential
+    /// backoff. `OutOfMemory`, `BadRequest` and `ShuttingDown` responses
+    /// return immediately — only the transport is retried, never policy.
+    pub fn call(&self, req: &Request) -> Result<Response, RemoteError> {
+        let cfg = &self.inner.cfg;
+        let mut backoff = cfg.backoff_base;
+        let mut last_err = None;
+        for attempt in 0..=cfg.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff.min(cfg.backoff_cap));
+                backoff = backoff.saturating_mul(2);
+            }
+            let mut stream = match self.checkout() {
+                Ok(s) => s,
+                Err(e) if transient(e.kind()) => {
+                    last_err = Some(RemoteError::Io(e));
+                    continue;
+                }
+                Err(e) => return Err(RemoteError::Io(e)),
+            };
+            match self.exchange(&mut stream, req) {
+                Ok(Response::Error(ErrorFrame::OutOfMemory {
+                    cap,
+                    used,
+                    requested,
+                })) => {
+                    // Policy signal: surface it, keep the healthy connection.
+                    self.checkin(stream);
+                    return Err(RemoteError::OutOfMemory {
+                        cap,
+                        used,
+                        requested,
+                    });
+                }
+                Ok(Response::Error(busy @ ErrorFrame::Busy { .. })) => {
+                    // Transient service-side condition; retry with backoff.
+                    last_err = Some(RemoteError::Refused(busy));
+                }
+                Ok(Response::Error(e)) => return Err(RemoteError::Refused(e)),
+                Ok(resp) => {
+                    self.checkin(stream);
+                    return Ok(resp);
+                }
+                Err(RemoteError::Io(e)) if transient(e.kind()) => {
+                    // Stale pooled connection or flaky link: fresh socket
+                    // next attempt.
+                    last_err = Some(RemoteError::Io(e));
+                }
+                Err(RemoteError::Wire(e)) => {
+                    // A corrupted or short frame may be connection-local.
+                    last_err = Some(RemoteError::Wire(e));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            RemoteError::Io(std::io::Error::other(
+                "retries exhausted without a recorded error",
+            ))
+        }))
+    }
+
+    /// Store one object; returns the shard it landed on.
+    pub fn put(&self, obj: &DataObject) -> Result<u32, RemoteError> {
+        match self.call(&Request::Put(obj.clone()))? {
+            Response::PutOk { shard } => Ok(shard),
+            other => Err(RemoteError::Protocol(format!(
+                "put answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Fetch the objects under `(name, version)`, optionally clipped to a
+    /// query box.
+    pub fn get(
+        &self,
+        name: &str,
+        version: u64,
+        query: Option<IBox>,
+    ) -> Result<Vec<DataObject>, RemoteError> {
+        let req = Request::Get {
+            name: name.to_string(),
+            version,
+            query,
+        };
+        match self.call(&req)? {
+            Response::GetOk(objs) => Ok(objs),
+            other => Err(RemoteError::Protocol(format!(
+                "get answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Fetch descriptors under `(name, version)` — metadata only.
+    pub fn describe(&self, name: &str, version: u64) -> Result<Vec<ObjectDesc>, RemoteError> {
+        let req = Request::Query {
+            name: name.to_string(),
+            version,
+        };
+        match self.call(&req)? {
+            Response::QueryOk(descs) => Ok(descs),
+            other => Err(RemoteError::Protocol(format!(
+                "query answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Evict versions of `name` older than `before_version`; returns bytes
+    /// freed.
+    pub fn evict_before(&self, name: &str, before_version: u64) -> Result<u64, RemoteError> {
+        let req = Request::Delete {
+            name: name.to_string(),
+            before_version,
+        };
+        match self.call(&req)? {
+            Response::DeleteOk { bytes_freed } => Ok(bytes_freed),
+            other => Err(RemoteError::Protocol(format!(
+                "delete answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Fetch the service's operation counters and occupancy.
+    pub fn service_stats(&self) -> Result<ServiceSnapshot, RemoteError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsOk(s) => Ok(s),
+            other => Err(RemoteError::Protocol(format!(
+                "stats answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Ask the service to shut down gracefully. Not retried: a lost ack
+    /// after the service acted would otherwise re-send into a closed
+    /// listener and mask the success.
+    pub fn shutdown(&self) -> Result<(), RemoteError> {
+        let mut stream = self.checkout().map_err(RemoteError::Io)?;
+        match self.exchange(&mut stream, &Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            Response::Error(e) => Err(RemoteError::Refused(e)),
+            other => Err(RemoteError::Protocol(format!(
+                "shutdown answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+}
+
+/// Asynchronous puts into a *remote* staging service: the same put/drain
+/// surface as [`xlayer_staging::AsyncStager`], but the transfer threads
+/// speak the wire protocol instead of calling `DataSpace::put`. Counting
+/// is identical — delivered/rejected/bytes plus the per-key rendezvous —
+/// so `workflow::native` can swap one for the other without changing its
+/// synchronisation.
+pub struct RemoteStager {
+    tx: Option<Sender<DataObject>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<TransportStats>,
+    client: RemoteClient,
+}
+
+impl RemoteStager {
+    /// Start `nthreads` transfer threads sending over `client`, with a
+    /// queue depth of `queue_depth` objects.
+    pub fn new(client: RemoteClient, nthreads: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = bounded::<DataObject>(queue_depth.max(1));
+        let stats = Arc::new(TransportStats::default());
+        let workers = (0..nthreads.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let client = client.clone();
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    while let Ok(obj) = rx.recv() {
+                        let bytes = obj.desc.bytes;
+                        let key = obj.desc.key.clone();
+                        match client.put(&obj) {
+                            Ok(_) => {
+                                stats.delivered.fetch_add(1, Ordering::Relaxed);
+                                stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+                            }
+                            Err(RemoteError::OutOfMemory { .. }) => {
+                                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                stats.failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        stats.note_processed(&key);
+                    }
+                })
+            })
+            .collect();
+        RemoteStager {
+            tx: Some(tx),
+            workers,
+            stats,
+            client,
+        }
+    }
+
+    /// Enqueue an object for transfer; blocks only on a full queue
+    /// (back-pressure). After shutdown the object comes back in the error
+    /// so the caller can handle it synchronously — same contract as
+    /// `AsyncStager::put`.
+    #[allow(clippy::result_large_err)]
+    pub fn put(&self, obj: DataObject) -> Result<(), TransportClosed> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(TransportClosed(obj));
+        };
+        tx.send(obj).map_err(|e| TransportClosed(e.0))
+    }
+
+    /// The client the transfer threads send through.
+    pub fn client(&self) -> &RemoteClient {
+        &self.client
+    }
+
+    /// Shared statistics handle (same type as `AsyncStager`'s, so
+    /// consumers can `wait_processed` on either transport).
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Objects delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.stats.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Puts rejected by the remote space's memory cap.
+    pub fn rejected(&self) -> u64 {
+        self.stats.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Close the queue and wait until every enqueued object has been sent
+    /// (or rejected/failed). Returns (delivered, rejected), like
+    /// `AsyncStager::drain`.
+    pub fn drain(mut self) -> Result<(u64, u64), DrainError> {
+        drop(self.tx.take());
+        let mut panicked = 0;
+        for w in self.workers.drain(..) {
+            if w.join().is_err() {
+                panicked += 1;
+            }
+        }
+        let delivered = self.stats.delivered.load(Ordering::Relaxed);
+        let rejected = self.stats.rejected.load(Ordering::Relaxed);
+        if panicked > 0 {
+            return Err(DrainError {
+                panicked,
+                delivered,
+                rejected,
+            });
+        }
+        Ok((delivered, rejected))
+    }
+}
+
+impl Drop for RemoteStager {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats.close();
+    }
+}

@@ -1,0 +1,35 @@
+//! Networked staging: the paper's DataSpaces/DART transport made literal.
+//!
+//! The in-process reproduction models staging as a function call —
+//! [`xlayer_staging::AsyncStager`] drains a channel into a
+//! [`xlayer_staging::DataSpace`] in the same address space. This crate puts
+//! the space behind a socket, the way DART puts it behind the interconnect:
+//!
+//! - [`wire`] — a versioned, length-prefixed binary protocol (magic,
+//!   version, opcode, request id, payload length, FNV-1a checksum) with
+//!   total, panic-free codecs for every request/response frame.
+//! - [`service`] — [`StagingService`], a multi-threaded TCP server wrapping
+//!   a `DataSpace`: one worker thread per connection under a bounded accept
+//!   pool, read/write timeouts, graceful shutdown, and per-op counters
+//!   surfaced through the `Stats` opcode. Memory-cap rejections travel as
+//!   typed `OutOfMemory` error frames — the policy signal stays visible.
+//! - [`client`] — [`RemoteClient`], a pooled connection client with bounded
+//!   exponential-backoff retry on transient I/O errors (never on
+//!   `OutOfMemory`), and [`RemoteStager`], which implements the same
+//!   put/drain surface as `AsyncStager` so `workflow::native` can run
+//!   in-transit analysis against a remote service unchanged.
+//!
+//! Everything is `std::net` — the build is offline and the workspace has no
+//! async runtime; blocking sockets plus threads match the paper's
+//! one-server-process-per-staging-node model anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod service;
+pub mod wire;
+
+pub use client::{ClientConfig, RemoteClient, RemoteError, RemoteStager};
+pub use service::{ServiceConfig, ServiceStats, StagingService};
+pub use wire::{ErrorFrame, Opcode, Request, Response, ServiceSnapshot, WireError};

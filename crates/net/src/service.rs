@@ -1,0 +1,463 @@
+//! `StagingService`: the staging space behind a TCP listener.
+//!
+//! One accept thread owns the listener; each accepted connection gets a
+//! worker thread (DART's one-server-thread-per-client model) under a
+//! bounded pool — when the pool is full, the peer receives a typed `Busy`
+//! error frame instead of a silently dropped connection. Reads carry a
+//! short timeout used as an idle tick so workers observe the stop flag;
+//! graceful shutdown is: set the flag, poke the listener with a loopback
+//! connect to unblock `accept`, join everything.
+//!
+//! Memory-cap rejections from the space ([`StagingError::OutOfMemory`])
+//! are answered with `OutOfMemory` error frames carrying cap/used/requested
+//! — the paper's Eq. 10 pressure signal crosses the wire intact instead of
+//! killing the connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use xlayer_staging::{DataSpace, Sharding, StagingError};
+
+use crate::wire::{
+    decode_header, verify_payload, ErrorFrame, Frame, Request, Response, ServiceSnapshot,
+    HEADER_LEN,
+};
+
+/// Configuration for a [`StagingService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Address to bind; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of staging servers (shards) in the backing space.
+    pub servers: usize,
+    /// Memory cap per staging server in bytes (paper Eq. 10).
+    pub memory_per_server: u64,
+    /// How objects are routed to shards.
+    pub sharding: Sharding,
+    /// Maximum concurrently served connections; excess peers get a `Busy`
+    /// error frame and are closed.
+    pub max_connections: u32,
+    /// Socket read timeout. Doubles as the idle tick at which worker
+    /// threads re-check the stop flag, so it bounds shutdown latency.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            servers: 2,
+            memory_per_server: 64 << 20,
+            sharding: Sharding::RoundRobin,
+            max_connections: 32,
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Per-operation counters, updated atomically by worker threads and
+/// surfaced to clients through the `Stats` opcode.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// `Put` requests served (accepted and rejected).
+    pub puts: AtomicU64,
+    /// `Get` requests served.
+    pub gets: AtomicU64,
+    /// `Query` requests served.
+    pub queries: AtomicU64,
+    /// `Delete` requests served.
+    pub deletes: AtomicU64,
+    /// `Stats` requests served.
+    pub stats_calls: AtomicU64,
+    /// Frames that failed to decode.
+    pub wire_errors: AtomicU64,
+    /// Puts rejected by the space's memory cap.
+    pub rejected_oom: AtomicU64,
+    /// Connections accepted into the pool.
+    pub conns_accepted: AtomicU64,
+    /// Connections refused with `Busy` because the pool was full.
+    pub conns_refused: AtomicU64,
+    /// Frame bytes received (headers + payloads).
+    pub bytes_in: AtomicU64,
+    /// Frame bytes sent (headers + payloads).
+    pub bytes_out: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Snapshot the counters together with the space's occupancy.
+    pub fn snapshot(&self, space: &DataSpace) -> ServiceSnapshot {
+        ServiceSnapshot {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            stats_calls: self.stats_calls.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            rejected_oom: self.rejected_oom.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_refused: self.conns_refused.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            used: space.used(),
+            capacity: space.capacity(),
+        }
+    }
+}
+
+struct Inner {
+    space: Arc<DataSpace>,
+    stats: Arc<ServiceStats>,
+    stop: AtomicBool,
+    active: AtomicU32,
+    addr: SocketAddr,
+    cfg: ServiceConfig,
+}
+
+impl Inner {
+    /// Unblock a thread parked in `accept` by completing one connection.
+    fn poke(&self) {
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// Decrements the active-connection count when a worker exits, however it
+/// exits.
+struct ActiveGuard(Arc<Inner>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running staging service. Dropping the handle without calling
+/// [`StagingService::shutdown`] leaves the background threads serving until
+/// the process exits; tests and the standalone binary shut down explicitly.
+pub struct StagingService {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl StagingService {
+    /// Bind a listener and start serving a freshly constructed space sized
+    /// by the config.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
+        let space = Arc::new(DataSpace::new(
+            cfg.servers.max(1),
+            cfg.memory_per_server,
+            cfg.sharding,
+        ));
+        Self::start_with_space(cfg, space)
+    }
+
+    /// Bind a listener and start serving an existing space (lets tests and
+    /// embedders share the space with in-process consumers).
+    pub fn start_with_space(cfg: ServiceConfig, space: Arc<DataSpace>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            space,
+            stats: Arc::new(ServiceStats::default()),
+            stop: AtomicBool::new(false),
+            active: AtomicU32::new(0),
+            addr,
+            cfg,
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("xlayer-net-accept".to_string())
+            .spawn(move || accept_loop(accept_inner, listener))?;
+        Ok(StagingService {
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The backing staging space.
+    pub fn space(&self) -> &Arc<DataSpace> {
+        &self.inner.space
+    }
+
+    /// The service's operation counters.
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.inner.stats
+    }
+
+    /// Whether a shutdown has been requested (locally or via the wire).
+    pub fn is_stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::Acquire)
+    }
+
+    /// Request a graceful stop and wait for the accept loop and every
+    /// worker to finish.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.poke();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the service stops (e.g. a client sent `Shutdown`).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !inner.stop.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if inner.stop.load(Ordering::Acquire) {
+            // This accept was (or raced with) the shutdown poke.
+            refuse(&inner, stream, ErrorFrame::ShuttingDown);
+            break;
+        }
+        let active = inner.active.load(Ordering::Acquire);
+        if active >= inner.cfg.max_connections {
+            inner.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
+            refuse(
+                &inner,
+                stream,
+                ErrorFrame::Busy {
+                    active,
+                    max: inner.cfg.max_connections,
+                },
+            );
+            continue;
+        }
+        inner.active.fetch_add(1, Ordering::AcqRel);
+        inner.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_inner = Arc::clone(&inner);
+        let spawned = std::thread::Builder::new()
+            .name("xlayer-net-conn".to_string())
+            .spawn(move || {
+                let guard = ActiveGuard(Arc::clone(&conn_inner));
+                serve_connection(&conn_inner, stream);
+                drop(guard);
+            });
+        match spawned {
+            Ok(h) => workers.push(h),
+            Err(_) => {
+                // Spawn failed: undo the reservation and drop the peer.
+                inner.active.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        // Reap finished workers so the handle list stays bounded on
+        // long-running services.
+        workers.retain(|h| !h.is_finished());
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// Best-effort typed refusal on a connection we will not serve.
+fn refuse(inner: &Inner, mut stream: TcpStream, err: ErrorFrame) {
+    let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+    let _ = stream.write_all(&Response::Error(err).encode(0));
+}
+
+/// Outcome of one attempt to pull a frame off a worker's socket.
+enum Recv {
+    /// A checksum-verified frame.
+    Frame(Frame),
+    /// Clean EOF or fatal I/O: drop the connection quietly.
+    Closed,
+    /// Stop flag observed while idle.
+    Stopping,
+    /// The header was framed correctly but the body failed verification;
+    /// stream sync is intact, answer `BadRequest` and keep serving.
+    Malformed(String),
+}
+
+/// Read exactly `buf.len()` bytes, treating read timeouts as idle ticks at
+/// which to re-check the stop flag. Returns `None` on clean EOF before the
+/// first byte, on fatal I/O, or when stopping mid-read.
+fn read_full(inner: &Inner, stream: &mut TcpStream, buf: &mut [u8], idle_ok: bool) -> Option<bool> {
+    let mut off = 0usize;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return None,
+            Ok(n) => off += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if inner.stop.load(Ordering::Acquire) {
+                    return if off == 0 && idle_ok {
+                        Some(false)
+                    } else {
+                        None
+                    };
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    Some(true)
+}
+
+fn recv_frame(inner: &Inner, stream: &mut TcpStream) -> Recv {
+    let mut header_buf = [0u8; HEADER_LEN];
+    match read_full(inner, stream, &mut header_buf, true) {
+        None => return Recv::Closed,
+        Some(false) => return Recv::Stopping,
+        Some(true) => {}
+    }
+    let header = match decode_header(&header_buf) {
+        Ok(h) => h,
+        Err(e) => {
+            // Framing is lost; answer once and drop the connection.
+            inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.write_all(
+                &Response::Error(ErrorFrame::BadRequest {
+                    detail: e.to_string(),
+                })
+                .encode(0),
+            );
+            return Recv::Closed;
+        }
+    };
+    let mut payload = vec![0u8; header.payload_len as usize];
+    match read_full(inner, stream, &mut payload, false) {
+        Some(true) => {}
+        _ => return Recv::Closed,
+    }
+    inner
+        .stats
+        .bytes_in
+        .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+    if let Err(e) = verify_payload(&header, &payload) {
+        return Recv::Malformed(e.to_string());
+    }
+    Recv::Frame(Frame {
+        opcode: header.opcode,
+        request_id: header.request_id,
+        payload,
+    })
+}
+
+fn serve_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let (request_id, response, shutdown) = match recv_frame(inner, &mut stream) {
+            Recv::Closed => return,
+            Recv::Stopping => return,
+            Recv::Malformed(detail) => {
+                inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                (0, Response::Error(ErrorFrame::BadRequest { detail }), false)
+            }
+            Recv::Frame(frame) => match Request::decode(&frame) {
+                Err(e) => {
+                    inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        frame.request_id,
+                        Response::Error(ErrorFrame::BadRequest {
+                            detail: e.to_string(),
+                        }),
+                        false,
+                    )
+                }
+                Ok(req) => {
+                    let shutdown = matches!(req, Request::Shutdown);
+                    (frame.request_id, handle_request(inner, req), shutdown)
+                }
+            },
+        };
+        let bytes = response.encode(request_id);
+        if stream.write_all(&bytes).is_err() {
+            return;
+        }
+        inner
+            .stats
+            .bytes_out
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        if shutdown {
+            inner.stop.store(true, Ordering::Release);
+            inner.poke();
+            return;
+        }
+    }
+}
+
+fn handle_request(inner: &Inner, req: Request) -> Response {
+    let stats = &inner.stats;
+    match req {
+        Request::Put(obj) => {
+            stats.puts.fetch_add(1, Ordering::Relaxed);
+            match inner.space.put(obj) {
+                Ok(shard) => Response::PutOk {
+                    shard: shard as u32,
+                },
+                Err(StagingError::OutOfMemory {
+                    cap,
+                    used,
+                    requested,
+                }) => {
+                    stats.rejected_oom.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(ErrorFrame::OutOfMemory {
+                        cap,
+                        used,
+                        requested,
+                    })
+                }
+            }
+        }
+        Request::Get {
+            name,
+            version,
+            query,
+        } => {
+            stats.gets.fetch_add(1, Ordering::Relaxed);
+            let objs = inner
+                .space
+                .get(&name, version, query.as_ref())
+                .iter()
+                .map(|o| o.as_ref().clone())
+                .collect();
+            Response::GetOk(objs)
+        }
+        Request::Query { name, version } => {
+            stats.queries.fetch_add(1, Ordering::Relaxed);
+            Response::QueryOk(inner.space.describe(&name, version))
+        }
+        Request::Delete {
+            name,
+            before_version,
+        } => {
+            stats.deletes.fetch_add(1, Ordering::Relaxed);
+            Response::DeleteOk {
+                bytes_freed: inner.space.evict_before(&name, before_version),
+            }
+        }
+        Request::Stats => {
+            stats.stats_calls.fetch_add(1, Ordering::Relaxed);
+            Response::StatsOk(stats.snapshot(&inner.space))
+        }
+        Request::Shutdown => Response::ShutdownOk,
+    }
+}

@@ -1,0 +1,1184 @@
+//! The staging wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic            b"XLNT"
+//!      4     2  protocol version u16 LE (currently 1)
+//!      6     1  opcode           (see [`Opcode`])
+//!      7     1  flags            reserved, must be 0
+//!      8     8  request id       u64 LE, echoed by the response
+//!     16     4  payload length   u32 LE, bytes after the header
+//!     20     4  checksum         FNV-1a-32 over the payload, u32 LE
+//!     24     …  payload          opcode-specific body
+//! ```
+//!
+//! All integers are little-endian; floats travel as `to_bits()` so the
+//! round trip is bit-exact. Strings are `u32` length + UTF-8 bytes; an
+//! [`IBox`] is its two inclusive corners (6 × `i64`); an optional box is a
+//! one-byte tag. The payload length is capped ([`MAX_PAYLOAD`]) so a
+//! hostile header cannot make a peer allocate unbounded memory, and every
+//! decode error is a typed [`WireError`] — the codec never panics on
+//! malformed bytes (xlint rule P covers this module).
+
+use bytes::Bytes;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::intvect::IntVect;
+use xlayer_staging::{DataObject, ObjectDesc, ObjectKey};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"XLNT";
+
+/// Protocol version encoded in every header.
+pub const VERSION: u16 = 1;
+
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Largest accepted payload (256 MiB). Decoders reject longer frames
+/// before allocating.
+pub const MAX_PAYLOAD: u32 = 256 << 20;
+
+/// FNV-1a 32-bit checksum, the integrity check carried in each header.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Frame opcodes. Requests occupy `0x01..=0x06`, their success responses
+/// the same code with the high bit set, and `0x7F` is the typed error
+/// response any request can receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Store one [`DataObject`].
+    Put = 0x01,
+    /// Fetch the objects under `(name, version)`, optionally intersecting
+    /// a query box.
+    Get = 0x02,
+    /// Fetch descriptors only (metadata query).
+    Query = 0x03,
+    /// Evict versions of a variable older than a watermark.
+    Delete = 0x04,
+    /// Fetch service statistics.
+    Stats = 0x05,
+    /// Ask the service to shut down gracefully.
+    Shutdown = 0x06,
+    /// Success response to [`Opcode::Put`].
+    PutOk = 0x81,
+    /// Success response to [`Opcode::Get`].
+    GetOk = 0x82,
+    /// Success response to [`Opcode::Query`].
+    QueryOk = 0x83,
+    /// Success response to [`Opcode::Delete`].
+    DeleteOk = 0x84,
+    /// Success response to [`Opcode::Stats`].
+    StatsOk = 0x85,
+    /// Success response to [`Opcode::Shutdown`].
+    ShutdownOk = 0x86,
+    /// Typed error response (see [`ErrorFrame`]).
+    Error = 0x7F,
+}
+
+impl Opcode {
+    /// Decode an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        match b {
+            0x01 => Some(Opcode::Put),
+            0x02 => Some(Opcode::Get),
+            0x03 => Some(Opcode::Query),
+            0x04 => Some(Opcode::Delete),
+            0x05 => Some(Opcode::Stats),
+            0x06 => Some(Opcode::Shutdown),
+            0x81 => Some(Opcode::PutOk),
+            0x82 => Some(Opcode::GetOk),
+            0x83 => Some(Opcode::QueryOk),
+            0x84 => Some(Opcode::DeleteOk),
+            0x85 => Some(Opcode::StatsOk),
+            0x86 => Some(Opcode::ShutdownOk),
+            0x7F => Some(Opcode::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A decode failure. Every malformed input maps to one of these — the
+/// codec is total over arbitrary bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    BadVersion(u16),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Reserved flags byte was not zero.
+    BadFlags(u8),
+    /// Payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// Payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum carried in the header.
+        header: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// The buffer ended before the field being decoded.
+    Truncated,
+    /// Payload bytes remained after the body was fully decoded.
+    TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A decoded object's descriptor and payload disagree (lengths or
+    /// core/bbox geometry).
+    InconsistentObject,
+    /// The opcode is valid but not legal in this position (e.g. a response
+    /// opcode in a request frame).
+    UnexpectedOpcode(u8),
+    /// Unknown error-frame code.
+    BadErrorCode(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
+            WireError::BadFlags(b) => write!(f, "nonzero reserved flags 0x{b:02x}"),
+            WireError::Oversize(n) => write!(f, "payload of {n} B exceeds cap of {MAX_PAYLOAD} B"),
+            WireError::ChecksumMismatch { header, computed } => write!(
+                f,
+                "payload checksum mismatch: header {header:08x}, computed {computed:08x}"
+            ),
+            WireError::Truncated => write!(f, "frame truncated mid-field"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::InconsistentObject => {
+                write!(f, "object descriptor and payload are inconsistent")
+            }
+            WireError::UnexpectedOpcode(b) => write!(f, "opcode 0x{b:02x} not legal here"),
+            WireError::BadErrorCode(c) => write!(f, "unknown error frame code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Primitive writer/reader
+// ---------------------------------------------------------------------------
+
+/// Append-only encoder over a byte vector.
+#[derive(Default)]
+struct Wr {
+    buf: Vec<u8>,
+}
+
+impl Wr {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    fn ivect(&mut self, v: IntVect) {
+        let IntVect([x, y, z]) = v;
+        self.i64(x);
+        self.i64(y);
+        self.i64(z);
+    }
+    fn ibox(&mut self, b: &IBox) {
+        self.ivect(b.lo());
+        self.ivect(b.hi());
+    }
+    fn opt_ibox(&mut self, b: Option<&IBox>) {
+        match b {
+            None => self.u8(0),
+            Some(b) => {
+                self.u8(1);
+                self.ibox(b);
+            }
+        }
+    }
+    fn desc(&mut self, d: &ObjectDesc) {
+        self.string(&d.key.name);
+        self.u64(d.key.version);
+        self.ibox(&d.bbox);
+        self.ibox(&d.core);
+        self.f64(d.dx);
+        self.u64(d.bytes);
+        self.u64(d.origin_rank as u64);
+    }
+    fn object(&mut self, o: &DataObject) {
+        self.desc(&o.desc);
+        self.bytes(o.payload.as_ref());
+    }
+}
+
+/// Cursor-style decoder over a byte slice; every read is bounds-checked.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(self.take(2)?);
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        std::str::from_utf8(self.bytes()?)
+            .map(str::to_string)
+            .map_err(|_| WireError::BadUtf8)
+    }
+
+    fn ivect(&mut self) -> Result<IntVect, WireError> {
+        Ok(IntVect::new(self.i64()?, self.i64()?, self.i64()?))
+    }
+
+    fn ibox(&mut self) -> Result<IBox, WireError> {
+        let (lo, hi) = (self.ivect()?, self.ivect()?);
+        Ok(IBox::new(lo, hi))
+    }
+
+    fn opt_ibox(&mut self) -> Result<Option<IBox>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            _ => Ok(Some(self.ibox()?)),
+        }
+    }
+
+    fn desc(&mut self) -> Result<ObjectDesc, WireError> {
+        let name = self.string()?;
+        let version = self.u64()?;
+        let bbox = self.ibox()?;
+        let core = self.ibox()?;
+        let dx = self.f64()?;
+        let bytes = self.u64()?;
+        let origin_rank = self.u64()? as usize;
+        Ok(ObjectDesc {
+            key: ObjectKey::new(name, version),
+            bbox,
+            core,
+            dx,
+            bytes,
+            origin_rank,
+        })
+    }
+
+    fn object(&mut self) -> Result<DataObject, WireError> {
+        let desc = self.desc()?;
+        let payload = Bytes::copy_from_slice(self.bytes()?);
+        DataObject::from_wire(desc, payload).ok_or(WireError::InconsistentObject)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// A raw frame: opcode + request id + verified payload bytes. The unit the
+/// transport reads and writes; [`Request`]/[`Response`] decode the payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame opcode.
+    pub opcode: Opcode,
+    /// Request id (responses echo the request's).
+    pub request_id: u64,
+    /// Opcode-specific body (checksum already verified).
+    pub payload: Vec<u8>,
+}
+
+/// Encode a complete frame (header + payload) into one buffer.
+pub fn encode_frame(opcode: Opcode, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut w = Wr {
+        buf: Vec::with_capacity(HEADER_LEN + payload.len()),
+    };
+    w.buf.extend_from_slice(&MAGIC);
+    w.u16(VERSION);
+    w.u8(opcode as u8);
+    w.u8(0); // flags, reserved
+    w.u64(request_id);
+    w.u32(payload.len() as u32);
+    w.u32(checksum(payload));
+    w.buf.extend_from_slice(payload);
+    w.buf
+}
+
+/// Parsed header fields, prior to payload arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Frame opcode.
+    pub opcode: Opcode,
+    /// Request id.
+    pub request_id: u64,
+    /// Payload length in bytes (≤ [`MAX_PAYLOAD`]).
+    pub payload_len: u32,
+    /// FNV-1a-32 checksum of the payload.
+    pub checksum: u32,
+}
+
+/// Decode and validate a 24-byte header.
+pub fn decode_header(buf: &[u8; HEADER_LEN]) -> Result<Header, WireError> {
+    let mut r = Rd::new(buf);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(magic);
+        return Err(WireError::BadMagic(m));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let op = r.u8()?;
+    let opcode = Opcode::from_u8(op).ok_or(WireError::BadOpcode(op))?;
+    let flags = r.u8()?;
+    if flags != 0 {
+        return Err(WireError::BadFlags(flags));
+    }
+    let request_id = r.u64()?;
+    let payload_len = r.u32()?;
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(payload_len));
+    }
+    let cks = r.u32()?;
+    Ok(Header {
+        opcode,
+        request_id,
+        payload_len,
+        checksum: cks,
+    })
+}
+
+/// Verify a received payload against its header's checksum.
+pub fn verify_payload(header: &Header, payload: &[u8]) -> Result<(), WireError> {
+    let computed = checksum(payload);
+    if computed != header.checksum {
+        return Err(WireError::ChecksumMismatch {
+            header: header.checksum,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Store one object in the staging space.
+    Put(DataObject),
+    /// Objects under `(name, version)`, optionally clipped to a query box.
+    Get {
+        /// Variable name.
+        name: String,
+        /// Version (simulation step).
+        version: u64,
+        /// Optional spatial filter.
+        query: Option<IBox>,
+    },
+    /// Descriptors under `(name, version)` — metadata only.
+    Query {
+        /// Variable name.
+        name: String,
+        /// Version (simulation step).
+        version: u64,
+    },
+    /// Evict versions of `name` older than `before_version`.
+    Delete {
+        /// Variable name.
+        name: String,
+        /// Versions `< before_version` are dropped.
+        before_version: u64,
+    },
+    /// Fetch service statistics.
+    Stats,
+    /// Request a graceful service shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Put(_) => Opcode::Put,
+            Request::Get { .. } => Opcode::Get,
+            Request::Query { .. } => Opcode::Query,
+            Request::Delete { .. } => Opcode::Delete,
+            Request::Stats => Opcode::Stats,
+            Request::Shutdown => Opcode::Shutdown,
+        }
+    }
+
+    /// Encode into a complete frame under `request_id`.
+    pub fn encode(&self, request_id: u64) -> Vec<u8> {
+        let mut w = Wr::default();
+        match self {
+            Request::Put(obj) => w.object(obj),
+            Request::Get {
+                name,
+                version,
+                query,
+            } => {
+                w.string(name);
+                w.u64(*version);
+                w.opt_ibox(query.as_ref());
+            }
+            Request::Query { name, version } => {
+                w.string(name);
+                w.u64(*version);
+            }
+            Request::Delete {
+                name,
+                before_version,
+            } => {
+                w.string(name);
+                w.u64(*before_version);
+            }
+            Request::Stats | Request::Shutdown => {}
+        }
+        encode_frame(self.opcode(), request_id, &w.buf)
+    }
+
+    /// Decode a request body from a verified frame.
+    pub fn decode(frame: &Frame) -> Result<Request, WireError> {
+        let mut r = Rd::new(&frame.payload);
+        let req = match frame.opcode {
+            Opcode::Put => Request::Put(r.object()?),
+            Opcode::Get => Request::Get {
+                name: r.string()?,
+                version: r.u64()?,
+                query: r.opt_ibox()?,
+            },
+            Opcode::Query => Request::Query {
+                name: r.string()?,
+                version: r.u64()?,
+            },
+            Opcode::Delete => Request::Delete {
+                name: r.string()?,
+                before_version: r.u64()?,
+            },
+            Opcode::Stats => Request::Stats,
+            Opcode::Shutdown => Request::Shutdown,
+            other => return Err(WireError::UnexpectedOpcode(other as u8)),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// A point-in-time snapshot of service counters, carried by the `Stats`
+/// response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// `Put` requests served (including rejected ones).
+    pub puts: u64,
+    /// `Get` requests served.
+    pub gets: u64,
+    /// `Query` requests served.
+    pub queries: u64,
+    /// `Delete` requests served.
+    pub deletes: u64,
+    /// `Stats` requests served.
+    pub stats_calls: u64,
+    /// Frames that failed to decode (malformed requests).
+    pub wire_errors: u64,
+    /// Puts rejected because the staging space was out of memory.
+    pub rejected_oom: u64,
+    /// Connections accepted into the worker pool.
+    pub conns_accepted: u64,
+    /// Connections refused because the pool was full.
+    pub conns_refused: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+    /// Bytes resident in the staging space.
+    pub used: u64,
+    /// Total staging capacity in bytes.
+    pub capacity: u64,
+}
+
+/// A typed error response. `OutOfMemory` mirrors
+/// [`xlayer_staging::StagingError`] so the memory-pressure policy signal
+/// crosses the wire intact; the others are transport/service conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ErrorFrame {
+    /// The staging space rejected a put (paper Eq. 10's memory cap). This
+    /// is a policy signal — clients must NOT retry it.
+    OutOfMemory {
+        /// Space capacity in bytes.
+        cap: u64,
+        /// Bytes already resident.
+        used: u64,
+        /// Size of the rejected object.
+        requested: u64,
+    },
+    /// The request could not be decoded or was not legal.
+    BadRequest {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// The connection pool is full; try again later (clients may retry
+    /// with backoff).
+    Busy {
+        /// Connections currently being served.
+        active: u32,
+        /// The configured pool bound.
+        max: u32,
+    },
+    /// The service is shutting down and takes no new work.
+    ShuttingDown,
+}
+
+impl ErrorFrame {
+    fn code(&self) -> u16 {
+        match self {
+            ErrorFrame::OutOfMemory { .. } => 1,
+            ErrorFrame::BadRequest { .. } => 2,
+            ErrorFrame::Busy { .. } => 3,
+            ErrorFrame::ShuttingDown => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorFrame::OutOfMemory {
+                cap,
+                used,
+                requested,
+            } => write!(
+                f,
+                "staging out of memory: cap {cap} B, used {used} B, requested {requested} B"
+            ),
+            ErrorFrame::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ErrorFrame::Busy { active, max } => {
+                write!(f, "service busy: {active}/{max} connections")
+            }
+            ErrorFrame::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+/// A service response.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Put accepted; the shard (server index) the object landed on.
+    PutOk {
+        /// Index of the staging server that stored the object.
+        shard: u32,
+    },
+    /// Matching objects, payloads included.
+    GetOk(Vec<DataObject>),
+    /// Matching descriptors.
+    QueryOk(Vec<ObjectDesc>),
+    /// Eviction done.
+    DeleteOk {
+        /// Bytes freed across all servers.
+        bytes_freed: u64,
+    },
+    /// Service statistics.
+    StatsOk(ServiceSnapshot),
+    /// Shutdown acknowledged; the service stops accepting work.
+    ShutdownOk,
+    /// Typed failure.
+    Error(ErrorFrame),
+}
+
+impl Response {
+    /// The opcode this response travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Response::PutOk { .. } => Opcode::PutOk,
+            Response::GetOk(_) => Opcode::GetOk,
+            Response::QueryOk(_) => Opcode::QueryOk,
+            Response::DeleteOk { .. } => Opcode::DeleteOk,
+            Response::StatsOk(_) => Opcode::StatsOk,
+            Response::ShutdownOk => Opcode::ShutdownOk,
+            Response::Error(_) => Opcode::Error,
+        }
+    }
+
+    /// Encode into a complete frame echoing `request_id`.
+    pub fn encode(&self, request_id: u64) -> Vec<u8> {
+        let mut w = Wr::default();
+        match self {
+            Response::PutOk { shard } => w.u32(*shard),
+            Response::GetOk(objs) => {
+                w.u32(objs.len() as u32);
+                for o in objs {
+                    w.object(o);
+                }
+            }
+            Response::QueryOk(descs) => {
+                w.u32(descs.len() as u32);
+                for d in descs {
+                    w.desc(d);
+                }
+            }
+            Response::DeleteOk { bytes_freed } => w.u64(*bytes_freed),
+            Response::StatsOk(s) => {
+                for v in [
+                    s.puts,
+                    s.gets,
+                    s.queries,
+                    s.deletes,
+                    s.stats_calls,
+                    s.wire_errors,
+                    s.rejected_oom,
+                    s.conns_accepted,
+                    s.conns_refused,
+                    s.bytes_in,
+                    s.bytes_out,
+                    s.used,
+                    s.capacity,
+                ] {
+                    w.u64(v);
+                }
+            }
+            Response::ShutdownOk => {}
+            Response::Error(e) => {
+                w.u16(e.code());
+                match e {
+                    ErrorFrame::OutOfMemory {
+                        cap,
+                        used,
+                        requested,
+                    } => {
+                        w.u64(*cap);
+                        w.u64(*used);
+                        w.u64(*requested);
+                    }
+                    ErrorFrame::BadRequest { detail } => w.string(detail),
+                    ErrorFrame::Busy { active, max } => {
+                        w.u32(*active);
+                        w.u32(*max);
+                    }
+                    ErrorFrame::ShuttingDown => {}
+                }
+            }
+        }
+        encode_frame(self.opcode(), request_id, &w.buf)
+    }
+
+    /// Decode a response body from a verified frame.
+    pub fn decode(frame: &Frame) -> Result<Response, WireError> {
+        let mut r = Rd::new(&frame.payload);
+        let resp = match frame.opcode {
+            Opcode::PutOk => Response::PutOk { shard: r.u32()? },
+            Opcode::GetOk => {
+                let n = r.u32()? as usize;
+                // Each object needs at least a descriptor; cap the
+                // preallocation by what the payload could possibly hold.
+                let mut objs = Vec::with_capacity(n.min(r.remaining() / 8 + 1));
+                for _ in 0..n {
+                    objs.push(r.object()?);
+                }
+                Response::GetOk(objs)
+            }
+            Opcode::QueryOk => {
+                let n = r.u32()? as usize;
+                let mut descs = Vec::with_capacity(n.min(r.remaining() / 8 + 1));
+                for _ in 0..n {
+                    descs.push(r.desc()?);
+                }
+                Response::QueryOk(descs)
+            }
+            Opcode::DeleteOk => Response::DeleteOk {
+                bytes_freed: r.u64()?,
+            },
+            Opcode::StatsOk => Response::StatsOk(ServiceSnapshot {
+                puts: r.u64()?,
+                gets: r.u64()?,
+                queries: r.u64()?,
+                deletes: r.u64()?,
+                stats_calls: r.u64()?,
+                wire_errors: r.u64()?,
+                rejected_oom: r.u64()?,
+                conns_accepted: r.u64()?,
+                conns_refused: r.u64()?,
+                bytes_in: r.u64()?,
+                bytes_out: r.u64()?,
+                used: r.u64()?,
+                capacity: r.u64()?,
+            }),
+            Opcode::ShutdownOk => Response::ShutdownOk,
+            Opcode::Error => {
+                let code = r.u16()?;
+                let e = match code {
+                    1 => ErrorFrame::OutOfMemory {
+                        cap: r.u64()?,
+                        used: r.u64()?,
+                        requested: r.u64()?,
+                    },
+                    2 => ErrorFrame::BadRequest {
+                        detail: r.string()?,
+                    },
+                    3 => ErrorFrame::Busy {
+                        active: r.u32()?,
+                        max: r.u32()?,
+                    },
+                    4 => ErrorFrame::ShuttingDown,
+                    c => return Err(WireError::BadErrorCode(c)),
+                };
+                Response::Error(e)
+            }
+            other => return Err(WireError::UnexpectedOpcode(other as u8)),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::fab::Fab;
+
+    fn tiny_object() -> DataObject {
+        // One cell at the origin holding the value 3.0.
+        let b = IBox::cube(1);
+        let fab = Fab::filled(b, 1, 3.0);
+        DataObject::from_fab("r", 2, &fab, 0, &b, 1).with_dx(0.5)
+    }
+
+    fn decode_whole(buf: &[u8]) -> Frame {
+        let mut h = [0u8; HEADER_LEN];
+        h.copy_from_slice(&buf[..HEADER_LEN]);
+        let header = decode_header(&h).unwrap();
+        let payload = buf[HEADER_LEN..].to_vec();
+        assert_eq!(payload.len(), header.payload_len as usize);
+        verify_payload(&header, &payload).unwrap();
+        Frame {
+            opcode: header.opcode,
+            request_id: header.request_id,
+            payload,
+        }
+    }
+
+    // --- golden byte-level layout pins -------------------------------------
+
+    #[test]
+    fn golden_stats_request_bytes() {
+        // The empty-payload frame is the header alone; every byte pinned.
+        let buf = Request::Stats.encode(7);
+        assert_eq!(
+            buf,
+            vec![
+                b'X', b'L', b'N', b'T', // magic
+                0x01, 0x00, // version 1 LE
+                0x05, // opcode Stats
+                0x00, // flags
+                0x07, 0, 0, 0, 0, 0, 0, 0, // request id 7 LE
+                0x00, 0x00, 0x00, 0x00, // payload length 0
+                0xc5, 0x9d, 0x1c, 0x81, // FNV-1a-32 offset basis (empty payload)
+            ]
+        );
+        assert_eq!(buf.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn golden_delete_request_bytes() {
+        let buf = Request::Delete {
+            name: "rho".into(),
+            before_version: 9,
+        }
+        .encode(1);
+        let payload = [
+            3, 0, 0, 0, // name length 3
+            b'r', b'h', b'o', // name bytes
+            9, 0, 0, 0, 0, 0, 0, 0, // before_version 9 LE
+        ];
+        let mut expect = vec![
+            b'X', b'L', b'N', b'T', 0x01, 0x00, 0x04, 0x00, // magic, v1, Delete, flags
+            0x01, 0, 0, 0, 0, 0, 0, 0, // request id 1
+            15, 0, 0, 0, // payload length 15
+        ];
+        expect.extend_from_slice(&checksum(&payload).to_le_bytes());
+        expect.extend_from_slice(&payload);
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn golden_put_request_bytes() {
+        let buf = Request::Put(tiny_object()).encode(3);
+        // Body: name "r", version 2, bbox [0,0]^3, core [0,0]^3, dx 0.5,
+        // bytes 8, origin_rank 1, payload = 3.0f64.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(b'r');
+        body.extend_from_slice(&2u64.to_le_bytes());
+        for _ in 0..2 {
+            // bbox then core: lo = (0,0,0), hi = (0,0,0)
+            for v in [0i64, 0, 0, 0, 0, 0] {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        body.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+        body.extend_from_slice(&8u64.to_le_bytes());
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&8u32.to_le_bytes());
+        body.extend_from_slice(&3.0f64.to_le_bytes());
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x01, 0x00, 0x01, 0x00];
+        expect.extend_from_slice(&3u64.to_le_bytes());
+        expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        expect.extend_from_slice(&checksum(&body).to_le_bytes());
+        expect.extend_from_slice(&body);
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn checksum_is_fnv1a32() {
+        assert_eq!(checksum(b""), 0x811c9dc5);
+        assert_eq!(checksum(b"a"), 0xe40c292c);
+        assert_eq!(checksum(b"foobar"), 0xbf9cf968);
+    }
+
+    // --- roundtrips --------------------------------------------------------
+
+    #[test]
+    fn put_roundtrip_is_bit_exact() {
+        let obj = tiny_object();
+        let frame = decode_whole(&Request::Put(obj.clone()).encode(11));
+        assert_eq!(frame.request_id, 11);
+        match Request::decode(&frame).unwrap() {
+            Request::Put(back) => {
+                assert_eq!(back.desc, obj.desc);
+                assert_eq!(back.payload.as_ref(), obj.payload.as_ref());
+                assert_eq!(back.desc.dx.to_bits(), obj.desc.dx.to_bits());
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_request_roundtrip_with_and_without_query() {
+        for query in [None, Some(IBox::cube(4))] {
+            let frame = decode_whole(
+                &Request::Get {
+                    name: "field".into(),
+                    version: 42,
+                    query,
+                }
+                .encode(5),
+            );
+            match Request::decode(&frame).unwrap() {
+                Request::Get {
+                    name,
+                    version,
+                    query: q,
+                } => {
+                    assert_eq!(name, "field");
+                    assert_eq!(version, 42);
+                    assert_eq!(q, query);
+                }
+                other => panic!("wrong request: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let objs = vec![tiny_object(), tiny_object()];
+        let descs: Vec<ObjectDesc> = objs.iter().map(|o| o.desc.clone()).collect();
+        let snap = ServiceSnapshot {
+            puts: 1,
+            gets: 2,
+            queries: 3,
+            deletes: 4,
+            stats_calls: 5,
+            wire_errors: 6,
+            rejected_oom: 7,
+            conns_accepted: 8,
+            conns_refused: 9,
+            bytes_in: 10,
+            bytes_out: 11,
+            used: 12,
+            capacity: 13,
+        };
+        let cases: Vec<Response> = vec![
+            Response::PutOk { shard: 3 },
+            Response::GetOk(objs),
+            Response::QueryOk(descs),
+            Response::DeleteOk { bytes_freed: 512 },
+            Response::StatsOk(snap),
+            Response::ShutdownOk,
+            Response::Error(ErrorFrame::OutOfMemory {
+                cap: 100,
+                used: 90,
+                requested: 20,
+            }),
+            Response::Error(ErrorFrame::BadRequest {
+                detail: "nope".into(),
+            }),
+            Response::Error(ErrorFrame::Busy { active: 4, max: 4 }),
+            Response::Error(ErrorFrame::ShuttingDown),
+        ];
+        for resp in cases {
+            let frame = decode_whole(&resp.encode(77));
+            assert_eq!(frame.request_id, 77);
+            let back = Response::decode(&frame).unwrap();
+            match (&resp, &back) {
+                (Response::PutOk { shard: a }, Response::PutOk { shard: b }) => assert_eq!(a, b),
+                (Response::GetOk(a), Response::GetOk(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.desc, y.desc);
+                        assert_eq!(x.payload.as_ref(), y.payload.as_ref());
+                    }
+                }
+                (Response::QueryOk(a), Response::QueryOk(b)) => assert_eq!(a, b),
+                (Response::DeleteOk { bytes_freed: a }, Response::DeleteOk { bytes_freed: b }) => {
+                    assert_eq!(a, b)
+                }
+                (Response::StatsOk(a), Response::StatsOk(b)) => assert_eq!(a, b),
+                (Response::ShutdownOk, Response::ShutdownOk) => {}
+                (Response::Error(a), Response::Error(b)) => assert_eq!(a, b),
+                (a, b) => panic!("mismatched roundtrip: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    // --- malformed input ---------------------------------------------------
+
+    #[test]
+    fn bad_magic_version_opcode_flags() {
+        let good = Request::Stats.encode(0);
+        let mut h = [0u8; HEADER_LEN];
+        h.copy_from_slice(&good[..HEADER_LEN]);
+
+        let mut bad = h;
+        bad[0] = b'Y';
+        assert!(matches!(decode_header(&bad), Err(WireError::BadMagic(_))));
+
+        let mut bad = h;
+        bad[4] = 9;
+        assert_eq!(decode_header(&bad), Err(WireError::BadVersion(9)));
+
+        let mut bad = h;
+        bad[6] = 0x55;
+        assert_eq!(decode_header(&bad), Err(WireError::BadOpcode(0x55)));
+
+        let mut bad = h;
+        bad[7] = 1;
+        assert_eq!(decode_header(&bad), Err(WireError::BadFlags(1)));
+    }
+
+    #[test]
+    fn oversize_payload_rejected_before_allocation() {
+        let good = Request::Stats.encode(0);
+        let mut h = [0u8; HEADER_LEN];
+        h.copy_from_slice(&good[..HEADER_LEN]);
+        h[16..20].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(decode_header(&h), Err(WireError::Oversize(MAX_PAYLOAD + 1)));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let buf = Request::Delete {
+            name: "rho".into(),
+            before_version: 1,
+        }
+        .encode(0);
+        let mut h = [0u8; HEADER_LEN];
+        h.copy_from_slice(&buf[..HEADER_LEN]);
+        let header = decode_header(&h).unwrap();
+        let mut payload = buf[HEADER_LEN..].to_vec();
+        payload[0] ^= 0xFF;
+        assert!(matches!(
+            verify_payload(&header, &payload),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_trailing_bodies_rejected() {
+        let obj = tiny_object();
+        let full = Request::Put(obj).encode(0);
+        let frame = decode_whole(&full);
+        // Truncate the body at every prefix: must error, never panic.
+        for cut in 0..frame.payload.len() {
+            let t = Frame {
+                opcode: Opcode::Put,
+                request_id: 0,
+                payload: frame.payload[..cut].to_vec(),
+            };
+            assert!(Request::decode(&t).is_err(), "prefix {cut} decoded");
+        }
+        // Trailing garbage after a valid body is also an error.
+        let mut p = frame.payload.clone();
+        p.push(0);
+        let t = Frame {
+            opcode: Opcode::Put,
+            request_id: 0,
+            payload: p,
+        };
+        match Request::decode(&t) {
+            Err(WireError::TrailingBytes(1)) => {}
+            other => panic!("expected TrailingBytes(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_object_rejected() {
+        // Declare 16 payload bytes for a 1-cell (8-byte) bbox.
+        let obj = tiny_object();
+        let mut w = Wr::default();
+        let mut desc = obj.desc.clone();
+        desc.bytes = 16;
+        w.desc(&desc);
+        w.bytes(&[0u8; 16]);
+        let frame = Frame {
+            opcode: Opcode::Put,
+            request_id: 0,
+            payload: w.buf,
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::InconsistentObject)
+        ));
+    }
+
+    #[test]
+    fn response_opcode_in_request_position_rejected() {
+        let frame = Frame {
+            opcode: Opcode::PutOk,
+            request_id: 0,
+            payload: Vec::new(),
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::UnexpectedOpcode(0x81))
+        ));
+        let frame = Frame {
+            opcode: Opcode::Put,
+            request_id: 0,
+            payload: Vec::new(),
+        };
+        assert!(Response::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder() {
+        // A cheap deterministic fuzz: feed pseudo-random bodies to every
+        // decoder entry point.
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        for len in 0..200usize {
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (state >> 56) as u8;
+            }
+            if len >= HEADER_LEN {
+                let mut h = [0u8; HEADER_LEN];
+                h.copy_from_slice(&buf[..HEADER_LEN]);
+                let _ = decode_header(&h);
+            }
+            for op in [
+                Opcode::Put,
+                Opcode::Get,
+                Opcode::GetOk,
+                Opcode::StatsOk,
+                Opcode::Error,
+            ] {
+                let frame = Frame {
+                    opcode: op,
+                    request_id: 0,
+                    payload: buf.clone(),
+                };
+                let _ = Request::decode(&frame);
+                let _ = Response::decode(&frame);
+            }
+        }
+    }
+}

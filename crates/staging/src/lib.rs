@@ -25,7 +25,7 @@ pub mod transport;
 pub use index::BucketIndex;
 pub use lock::VersionGate;
 pub use object::{DataObject, ObjectDesc, ObjectKey};
-pub use pubsub::{PubSubSpace, Subscription};
+pub use pubsub::{PubSubSpace, PublishStats, Subscription};
 pub use server::{StagingError, StagingServer};
 pub use space::{DataSpace, Sharding};
 pub use transport::{AsyncStager, DrainError, TransportClosed, TransportStats};

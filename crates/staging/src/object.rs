@@ -49,6 +49,18 @@ pub struct ObjectDesc {
     pub origin_rank: usize,
 }
 
+impl ObjectDesc {
+    /// Whether the descriptor is internally consistent: the byte count
+    /// matches the bbox's cell count (8 bytes per `f64` cell) and the core
+    /// region lies within the bbox. Wire decoders call this before trusting
+    /// a descriptor that arrived from a peer — the in-process constructors
+    /// uphold it by construction.
+    pub fn is_consistent(&self) -> bool {
+        self.bytes == self.bbox.num_cells() * 8
+            && (self.core.is_empty() || self.bbox.contains_box(&self.core))
+    }
+}
+
 /// A staged object: descriptor plus payload.
 ///
 /// The payload is reference-counted ([`Bytes`]), so copies between the
@@ -103,6 +115,18 @@ impl DataObject {
             },
             payload,
         }
+    }
+
+    /// Reassemble an object from an untrusted (descriptor, payload) pair,
+    /// e.g. one decoded off the wire. Returns `None` unless the descriptor
+    /// is self-consistent and the payload length matches it — accessors
+    /// like [`DataObject::copy_into`] index the payload by geometry and
+    /// rely on this invariant.
+    pub fn from_wire(desc: ObjectDesc, payload: Bytes) -> Option<Self> {
+        if !desc.is_consistent() || payload.len() as u64 != desc.bytes {
+            return None;
+        }
+        Some(DataObject { desc, payload })
     }
 
     /// Set the physical grid spacing carried in the descriptor.
@@ -235,6 +259,27 @@ mod tests {
         // Overlap [2,3]^3 copied, rest zero.
         assert_eq!(dst.get(IntVect::splat(3), 0), 333.0);
         assert_eq!(dst.get(IntVect::splat(5), 0), 0.0);
+    }
+
+    #[test]
+    fn from_wire_validates_descriptor_against_payload() {
+        let f = coord_fab(2);
+        let obj = DataObject::from_fab("rho", 0, &f, 0, &IBox::cube(2), 0);
+        assert!(obj.desc.is_consistent());
+        // A faithful pair reassembles.
+        assert!(DataObject::from_wire(obj.desc.clone(), obj.payload.clone()).is_some());
+        // Byte count disagreeing with the bbox is rejected.
+        let mut lying = obj.desc.clone();
+        lying.bytes += 8;
+        assert!(!lying.is_consistent());
+        assert!(DataObject::from_wire(lying, obj.payload.clone()).is_none());
+        // Core escaping the bbox is rejected.
+        let mut escaped = obj.desc.clone();
+        escaped.core = IBox::cube(4);
+        assert!(DataObject::from_wire(escaped, obj.payload.clone()).is_none());
+        // Payload shorter than the descriptor claims is rejected.
+        let short = Bytes::from(obj.payload[..obj.payload.len() - 8].to_vec());
+        assert!(DataObject::from_wire(obj.desc.clone(), short).is_none());
     }
 
     #[test]

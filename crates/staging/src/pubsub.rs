@@ -11,10 +11,26 @@
 
 use crate::object::DataObject;
 use crate::space::DataSpace;
-use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xlayer_amr::boxes::IBox;
+
+/// Publisher-side delivery counters. `dropped` is the load-bearing one:
+/// bounded subscribers lose notifications silently when their channel is
+/// full, and placement policy must be able to *observe* that loss instead
+/// of inferring it from missing versions downstream.
+#[derive(Debug, Default)]
+pub struct PublishStats {
+    /// Objects published (accepted by the space).
+    pub published: AtomicU64,
+    /// Notifications delivered into subscriber channels.
+    pub delivered: AtomicU64,
+    /// Notifications dropped because a bounded subscriber's channel was
+    /// full (the lagging consumer loses data; the publisher proceeds).
+    pub dropped: AtomicU64,
+}
 
 /// A subscriber's registered interest.
 #[derive(Clone, Debug)]
@@ -30,6 +46,7 @@ pub struct PubSubSpace {
     space: Arc<DataSpace>,
     interests: Mutex<Vec<Interest>>,
     next_id: Mutex<u64>,
+    stats: Arc<PublishStats>,
 }
 
 /// A subscription handle: receive matching objects; drop to keep the
@@ -48,6 +65,7 @@ impl PubSubSpace {
             space,
             interests: Mutex::new(Vec::new()),
             next_id: Mutex::new(0),
+            stats: Arc::new(PublishStats::default()),
         }
     }
 
@@ -56,16 +74,47 @@ impl PubSubSpace {
         &self.space
     }
 
+    /// Publisher-side delivery counters, shared so a policy thread can
+    /// watch them while publishes proceed.
+    pub fn stats(&self) -> Arc<PublishStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Register an interest in `name`, optionally restricted to objects
     /// intersecting `region`.
     pub fn subscribe(&self, name: impl Into<String>, region: Option<IBox>) -> Subscription {
         let (tx, rx) = unbounded();
+        self.register(name.into(), region, tx, rx)
+    }
+
+    /// Register an interest with a bounded notification channel of
+    /// `capacity` objects. A publish finding the channel full drops that
+    /// notification (counted in [`PublishStats::dropped`]) rather than
+    /// blocking the publisher — lossy-but-non-blocking, the trade the
+    /// paper's in-transit pipeline makes under back-pressure.
+    pub fn subscribe_bounded(
+        &self,
+        name: impl Into<String>,
+        region: Option<IBox>,
+        capacity: usize,
+    ) -> Subscription {
+        let (tx, rx) = bounded(capacity.max(1));
+        self.register(name.into(), region, tx, rx)
+    }
+
+    fn register(
+        &self,
+        name: String,
+        region: Option<IBox>,
+        tx: Sender<DataObject>,
+        rx: Receiver<DataObject>,
+    ) -> Subscription {
         let mut id_guard = self.next_id.lock();
         let id = *id_guard;
         *id_guard += 1;
         drop(id_guard);
         self.interests.lock().push(Interest {
-            name: name.into(),
+            name,
             region,
             tx,
             id,
@@ -92,6 +141,7 @@ impl PubSubSpace {
     /// subscribers only see durable data).
     pub fn publish(&self, obj: DataObject) -> Result<usize, crate::server::StagingError> {
         self.space.put(obj.clone())?;
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
         let mut delivered = 0;
         let mut dead = Vec::new();
         let ints = self.interests.lock();
@@ -102,15 +152,19 @@ impl PubSubSpace {
                 match i.tx.try_send(obj.clone()) {
                     Ok(()) => delivered += 1,
                     Err(TrySendError::Disconnected(_)) => dead.push(i.id),
-                    // Cannot occur on today's unbounded channels; if a
-                    // bounded subscriber ever appears, a lagging consumer
-                    // loses the notification rather than killing the
-                    // publisher thread.
-                    Err(TrySendError::Full(_)) => {}
+                    // A bounded subscriber is lagging: it loses this
+                    // notification rather than blocking the publisher —
+                    // but the loss is counted, not silent.
+                    Err(TrySendError::Full(_)) => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
         drop(ints);
+        self.stats
+            .delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
         if !dead.is_empty() {
             let mut ints = self.interests.lock();
             ints.retain(|i| !dead.contains(&i.id));
@@ -202,6 +256,43 @@ mod tests {
         assert!(ps.publish(obj("rho", 2, 0, 4)).is_err());
         assert_eq!(sub.rx.try_recv().unwrap().desc.key.version, 1);
         assert!(sub.rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn bounded_subscriber_overflow_is_counted_not_silent() {
+        let ps = space();
+        let stats = ps.stats();
+        // Capacity 2: the third and fourth matching publishes overflow.
+        let sub = ps.subscribe_bounded("rho", None, 2);
+        for v in 1..=4 {
+            ps.publish(obj("rho", v, 0, 4)).unwrap();
+        }
+        assert_eq!(stats.published.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.delivered.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.dropped.load(Ordering::Relaxed), 2);
+        // The lagging consumer sees the oldest two; the rest were lost —
+        // visibly, via the counter.
+        assert_eq!(sub.rx.try_recv().unwrap().desc.key.version, 1);
+        assert_eq!(sub.rx.try_recv().unwrap().desc.key.version, 2);
+        assert!(sub.rx.try_recv().is_err());
+        // Every published object is still durable in the space: only the
+        // notification is lossy, never the data.
+        for v in 1..=4 {
+            assert_eq!(ps.space().get("rho", v, None).len(), 1);
+        }
+    }
+
+    #[test]
+    fn unbounded_subscriber_never_drops() {
+        let ps = space();
+        let stats = ps.stats();
+        let sub = ps.subscribe("rho", None);
+        for v in 1..=16 {
+            ps.publish(obj("rho", v, 0, 4)).unwrap();
+        }
+        assert_eq!(stats.dropped.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.delivered.load(Ordering::Relaxed), 16);
+        assert_eq!(sub.rx.len(), 16);
     }
 
     #[test]

@@ -23,6 +23,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// The per-key rendezvous state behind [`TransportStats`]. The counts map
+/// is transient bookkeeping: it exists to let consumers wait for in-flight
+/// transfers, and is pruned wholesale when the transport closes — a
+/// long-running workflow must not leak an entry per (key, version) forever.
+#[derive(Debug, Default)]
+struct ProcessedMap {
+    counts: HashMap<ObjectKey, u64>,
+    closed: bool,
+}
+
 /// Statistics of an async transport session.
 #[derive(Debug, Default)]
 pub struct TransportStats {
@@ -32,41 +42,73 @@ pub struct TransportStats {
     pub bytes: AtomicU64,
     /// Puts rejected by the space (staging memory exhausted).
     pub rejected: AtomicU64,
-    /// Per-key processed counts (delivered + rejected), for consumers that
-    /// wait on a specific version's transfers.
-    processed: Mutex<HashMap<ObjectKey, u64>>,
+    /// Objects lost to terminal transport failure (e.g. a remote staging
+    /// service unreachable after retries). Always zero for the in-process
+    /// [`AsyncStager`]; remote transports count here so delivered +
+    /// rejected + failed covers every enqueued object.
+    pub failed: AtomicU64,
+    /// Per-key processed counts (delivered + rejected + failed), for
+    /// consumers that wait on a specific version's transfers.
+    processed: Mutex<ProcessedMap>,
     cv: Condvar,
 }
 
 impl TransportStats {
-    /// Record that one object under `key` finished processing (either
-    /// stored or rejected) and wake any waiters.
+    /// Record that one object under `key` finished processing (stored,
+    /// rejected, or failed) and wake any waiters.
     pub fn note_processed(&self, key: &ObjectKey) {
         let mut map = self.processed.lock();
-        *map.entry(key.clone()).or_insert(0) += 1;
+        if !map.closed {
+            *map.counts.entry(key.clone()).or_insert(0) += 1;
+        }
         drop(map);
         self.cv.notify_all();
     }
 
-    /// Objects processed so far under `key`.
+    /// Objects processed so far under `key`. Returns 0 after the transport
+    /// closed (the rendezvous map is pruned then).
     pub fn processed(&self, name: &str, version: u64) -> u64 {
         let key = ObjectKey::new(name, version);
-        self.processed.lock().get(&key).copied().unwrap_or(0)
+        self.processed.lock().counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of (key, version) entries currently held in the rendezvous
+    /// map. Exposed so tests can assert the map is pruned on drain.
+    pub fn tracked_keys(&self) -> usize {
+        self.processed.lock().counts.len()
     }
 
     /// Block until at least `expected` objects under (`name`, `version`)
-    /// have been processed — delivered *or* rejected; a rejected put still
-    /// counts as "the transfer finished", so waiters never deadlock on an
-    /// out-of-memory staging space.
+    /// have been processed — delivered, rejected *or* failed; a rejected
+    /// put still counts as "the transfer finished", so waiters never
+    /// deadlock on an out-of-memory staging space.
+    ///
+    /// Also returns once the transport closes: after close no further
+    /// transfers can arrive, every in-flight one has finished, and the
+    /// per-key counts have been pruned, so continuing to wait on a count
+    /// could only deadlock.
     pub fn wait_processed(&self, name: &str, version: u64, expected: u64) {
         if expected == 0 {
             return;
         }
         let key = ObjectKey::new(name, version);
         let mut map = self.processed.lock();
-        while map.get(&key).copied().unwrap_or(0) < expected {
+        while !map.closed && map.counts.get(&key).copied().unwrap_or(0) < expected {
             self.cv.wait(&mut map);
         }
+    }
+
+    /// Mark the transport closed and prune the rendezvous map. Called by
+    /// the owning stager once its transfer workers have joined — every
+    /// waiter is released (all transfers are finished by then) and the
+    /// per-key entries, which would otherwise accumulate for the life of
+    /// the workflow, are dropped.
+    pub fn close(&self) {
+        let mut map = self.processed.lock();
+        map.closed = true;
+        map.counts = HashMap::new();
+        drop(map);
+        self.cv.notify_all();
     }
 }
 
@@ -226,11 +268,14 @@ impl AsyncStager {
 }
 
 impl Drop for AsyncStager {
+    // `drain(mut self)` ends here too, so close-and-prune runs on both the
+    // explicit and the implicit shutdown path.
     fn drop(&mut self) {
         drop(self.tx.take());
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.stats.close();
     }
 }
 
@@ -352,10 +397,47 @@ mod tests {
         stager.put(obj(8, 0)).unwrap();
         stager.put(obj(8, 8)).unwrap();
         stager.put(obj(9, 0)).unwrap();
-        let (delivered, _) = stager.drain().unwrap();
-        assert_eq!(delivered, 3);
+        stats.wait_processed("rho", 8, 2);
+        stats.wait_processed("rho", 9, 1);
         assert_eq!(stats.processed("rho", 8), 2);
         assert_eq!(stats.processed("rho", 9), 1);
         assert_eq!(stats.processed("rho", 7), 0);
+        let (delivered, _) = stager.drain().unwrap();
+        assert_eq!(delivered, 3);
+    }
+
+    #[test]
+    fn processed_map_is_pruned_on_drain() {
+        // Regression: the per-(key, version) rendezvous map used to grow
+        // without bound for the life of the workflow — one entry per put
+        // key, never removed. Drain must prune it.
+        let space = Arc::new(DataSpace::new(2, 1 << 20, Sharding::BboxHash));
+        let stager = AsyncStager::new(Arc::clone(&space), 2, 16);
+        let stats = stager.stats();
+        for v in 0..50 {
+            stager.put(obj(v, 0)).unwrap();
+        }
+        stager.drain().unwrap();
+        assert_eq!(stats.tracked_keys(), 0, "rendezvous map leaked entries");
+        // Released waiters, not deadlock: waiting on a count that can no
+        // longer arrive returns immediately once the transport is closed.
+        stats.wait_processed("rho", 1000, 5);
+        // Aggregate counters survive the prune.
+        assert_eq!(stats.delivered.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn drop_also_prunes_and_releases_waiters() {
+        let space = Arc::new(DataSpace::new(1, 1 << 20, Sharding::RoundRobin));
+        let stager = AsyncStager::new(Arc::clone(&space), 1, 4);
+        let stats = stager.stats();
+        stager.put(obj(0, 0)).unwrap();
+        let waiter = {
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || stats.wait_processed("rho", 7, 1))
+        };
+        drop(stager);
+        waiter.join().unwrap();
+        assert_eq!(stats.tracked_keys(), 0);
     }
 }

@@ -28,6 +28,7 @@ use xlayer_core::{
     AdaptationEngine, Calibrator, EngineConfig, Estimator, OperationalState, Placement, UserHints,
     UserPreferences,
 };
+use xlayer_net::client::{ClientConfig, RemoteClient, RemoteStager};
 use xlayer_platform::{CostModel, MachineSpec};
 use xlayer_solvers::{AmrSimulation, LevelSolver};
 use xlayer_staging::{
@@ -56,6 +57,13 @@ pub struct NativeConfig {
     /// Force every step's placement, bypassing the engine's decision.
     /// Used by tests and benches that need a deterministic placement.
     pub placement_override: Option<Placement>,
+    /// Address of a remote staging service (e.g. `"127.0.0.1:7001"`). When
+    /// set, staging puts/gets go over the wire through
+    /// [`RemoteClient`]/[`RemoteStager`] instead of an in-process
+    /// [`DataSpace`] — the paper's dedicated-staging-nodes deployment. When
+    /// the service is unreachable at construction the workflow degrades to
+    /// the in-process space rather than dying.
+    pub remote: Option<String>,
     /// Adaptation mechanisms enabled.
     pub engine: EngineConfig,
     /// User hints.
@@ -72,6 +80,7 @@ impl Default for NativeConfig {
             workers: 2,
             overlap_staging: true,
             placement_override: None,
+            remote: None,
             engine: EngineConfig::middleware_only(),
             hints: UserHints::default(),
         }
@@ -140,12 +149,90 @@ pub fn pack_level_objects(
         .collect()
 }
 
+/// Where staged data lives: the in-process space, or a staging service
+/// across a socket. Both carry an optional asynchronous stager with the
+/// same put/drain/stats surface, so `step()` and `finish()` treat the two
+/// uniformly.
+enum Backend {
+    Local {
+        space: Arc<DataSpace>,
+        stager: Option<AsyncStager>,
+    },
+    Remote {
+        client: RemoteClient,
+        stager: Option<RemoteStager>,
+    },
+}
+
+impl Backend {
+    /// Synchronous put, used by the non-overlapped baseline and as the
+    /// fallback when the asynchronous transport has shut down. Rejections
+    /// (memory cap, unreachable service) drop the object — same policy on
+    /// both sides of the wire.
+    fn put_sync(&self, obj: DataObject) {
+        match self {
+            Backend::Local { space, .. } => {
+                let _ = space.put(obj);
+            }
+            Backend::Remote { client, .. } => {
+                let _ = client.put(&obj);
+            }
+        }
+    }
+
+    /// Bytes the staging side can still accept, for the engine's
+    /// memory-pressure input. The remote probe costs one RTT; if the
+    /// service cannot answer, report zero headroom so the policy treats an
+    /// unreachable service as full rather than infinite.
+    fn mem_available(&self) -> u64 {
+        match self {
+            Backend::Local { space, .. } => space.capacity().saturating_sub(space.used()),
+            Backend::Remote { client, .. } => client
+                .service_stats()
+                .map(|s| s.capacity.saturating_sub(s.used))
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// The analysis workers' read handle onto staged data — the consumer-side
+/// mirror of [`Backend`].
+enum Reader {
+    Local(Arc<DataSpace>),
+    Remote(RemoteClient),
+}
+
+impl Reader {
+    /// All objects under `(name, version)`. A remote fetch that fails
+    /// (service gone mid-run) yields an empty read: the analysis reports a
+    /// zero-triangle outcome instead of crashing the worker.
+    fn fetch(&self, name: &str, version: u64) -> Vec<Arc<DataObject>> {
+        match self {
+            Reader::Local(space) => space.get(name, version, None),
+            Reader::Remote(client) => client
+                .get(name, version, None)
+                .map(|objs| objs.into_iter().map(Arc::new).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    fn evict_before(&self, name: &str, min_version: u64) {
+        match self {
+            Reader::Local(space) => {
+                space.evict_before(name, min_version);
+            }
+            Reader::Remote(client) => {
+                let _ = client.evict_before(name, min_version);
+            }
+        }
+    }
+}
+
 /// A fully-native coupled workflow: simulation + visualization + staging.
 pub struct NativeWorkflow<S: LevelSolver> {
     sim: AmrSimulation<S>,
     cfg: NativeConfig,
-    space: Arc<DataSpace>,
-    stager: Option<AsyncStager>,
+    backend: Backend,
     engine: AdaptationEngine,
     job_tx: Option<Sender<Job>>,
     result_rx: Receiver<AnalysisOutcome>,
@@ -164,19 +251,52 @@ pub struct NativeWorkflow<S: LevelSolver> {
 impl<S: LevelSolver> NativeWorkflow<S> {
     /// Build the workflow around an initialized simulation.
     pub fn new(sim: AmrSimulation<S>, cfg: NativeConfig) -> Self {
-        let space = Arc::new(DataSpace::new(
-            cfg.staging_servers,
-            cfg.staging_memory,
-            Sharding::BboxHash,
-        ));
-        // The asynchronous transport into the space: puts from step() are
-        // enqueued here and ingested by transfer threads while the next
-        // solve runs.
-        // Queue depth sized to hold a full step's objects (every grid of
-        // every level) so an in-transit step never blocks on back-pressure
-        // unless the transport is a full step behind.
-        let stager = AsyncStager::new(Arc::clone(&space), cfg.staging_servers.max(1), 256);
-        let transport: Arc<TransportStats> = stager.stats();
+        // The asynchronous transport into the staging side: puts from
+        // step() are enqueued and ingested by transfer threads while the
+        // next solve runs. Queue depth sized to hold a full step's objects
+        // (every grid of every level) so an in-transit step never blocks on
+        // back-pressure unless the transport is a full step behind.
+        // With cfg.remote set, the transfer threads speak the wire protocol
+        // to a staging service; a remote address that fails to resolve
+        // degrades to the in-process space instead of failing construction.
+        let remote_client = cfg
+            .remote
+            .as_deref()
+            .and_then(|addr| RemoteClient::connect(addr, ClientConfig::default()).ok());
+        let (backend, reader, transport): (Backend, Reader, Arc<TransportStats>) =
+            match remote_client {
+                Some(client) => {
+                    let stager = RemoteStager::new(client.clone(), cfg.staging_servers.max(1), 256);
+                    let transport = stager.stats();
+                    (
+                        Backend::Remote {
+                            client: client.clone(),
+                            stager: Some(stager),
+                        },
+                        Reader::Remote(client),
+                        transport,
+                    )
+                }
+                None => {
+                    let space = Arc::new(DataSpace::new(
+                        cfg.staging_servers,
+                        cfg.staging_memory,
+                        Sharding::BboxHash,
+                    ));
+                    let stager =
+                        AsyncStager::new(Arc::clone(&space), cfg.staging_servers.max(1), 256);
+                    let transport = stager.stats();
+                    (
+                        Backend::Local {
+                            space: Arc::clone(&space),
+                            stager: Some(stager),
+                        },
+                        Reader::Local(space),
+                        transport,
+                    )
+                }
+            };
+        let reader = Arc::new(reader);
         // A rough local-machine model so the middleware policy has cost
         // estimates; decisions also use live measurements via the state.
         let machine = MachineSpec {
@@ -199,7 +319,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             .map(|_| {
                 let job_rx = job_rx.clone();
                 let result_tx = result_tx.clone();
-                let space = Arc::clone(&space);
+                let reader = Arc::clone(&reader);
                 let transport = Arc::clone(&transport);
                 std::thread::spawn(move || {
                     while let Ok(job) = job_rx.recv() {
@@ -208,7 +328,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                         // version's objects must have been ingested (or
                         // rejected) before the read.
                         transport.wait_processed("field", job.version, job.expected);
-                        let objects = space.get("field", job.version, None);
+                        let objects = reader.fetch("field", job.version);
                         let parts: Vec<TriMesh> = objects
                             .iter()
                             .map(|obj| {
@@ -228,7 +348,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                             .collect();
                         let refs: Vec<&TriMesh> = parts.iter().collect();
                         let mesh = TriMesh::concat(&refs);
-                        space.evict_before("field", job.version + 1);
+                        reader.evict_before("field", job.version + 1);
                         let secs = t0.elapsed().as_secs_f64();
                         let _ = result_tx.send(AnalysisOutcome {
                             version: job.version,
@@ -244,8 +364,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
         NativeWorkflow {
             sim,
             cfg,
-            space,
-            stager: Some(stager),
+            backend,
             engine,
             job_tx: Some(job_tx),
             result_rx,
@@ -260,9 +379,32 @@ impl<S: LevelSolver> NativeWorkflow<S> {
         }
     }
 
-    /// The staging space (for inspection).
-    pub fn space(&self) -> &Arc<DataSpace> {
-        &self.space
+    /// The in-process staging space, when there is one (None when staging
+    /// goes to a remote service).
+    pub fn space(&self) -> Option<&Arc<DataSpace>> {
+        match &self.backend {
+            Backend::Local { space, .. } => Some(space),
+            Backend::Remote { .. } => None,
+        }
+    }
+
+    /// The remote staging client, when staging goes over the wire.
+    pub fn remote_client(&self) -> Option<&RemoteClient> {
+        match &self.backend {
+            Backend::Local { .. } => None,
+            Backend::Remote { client, .. } => Some(client),
+        }
+    }
+
+    /// The asynchronous transport's statistics (delivered/rejected/failed
+    /// accounting plus the per-version rendezvous), identical in shape for
+    /// the local and the remote transport. None once the workflow has
+    /// finished, or when `overlap_staging` never started a transport.
+    pub fn transport_stats(&self) -> Option<Arc<TransportStats>> {
+        match &self.backend {
+            Backend::Local { stager, .. } => stager.as_ref().map(AsyncStager::stats),
+            Backend::Remote { stager, .. } => stager.as_ref().map(RemoteStager::stats),
+        }
     }
 
     /// The underlying simulation.
@@ -329,7 +471,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             staging_cores: self.cfg.workers,
             staging_cores_max: self.cfg.workers,
             mem_available_insitu: u64::MAX / 2,
-            mem_available_intransit: self.space.capacity().saturating_sub(self.space.used()),
+            mem_available_intransit: self.backend.mem_available(),
         };
         let adaptations = self.engine.adapt(&state);
         let placement = self.cfg.placement_override.unwrap_or_else(|| {
@@ -396,27 +538,42 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                     );
                     for obj in objects {
                         moved += obj.desc.bytes;
-                        if let Some(stager) =
-                            self.stager.as_ref().filter(|_| self.cfg.overlap_staging)
-                        {
-                            // Asynchronous back-pressured put: serialization
-                            // already happened above; ingest overlaps the
-                            // next solve. The analysis worker rendezvouses
-                            // via wait_processed, so only objects that made
-                            // it into the transport count toward `staged`.
-                            // If the transport has shut down the object
-                            // comes back in the error and we fall through to
-                            // the synchronous path — the step degrades, it
-                            // does not die.
-                            match stager.put(obj) {
-                                Ok(()) => staged += 1,
-                                Err(TransportClosed(obj)) => {
-                                    let _ = self.space.put(obj);
+                        // Asynchronous back-pressured put: serialization
+                        // already happened above; ingest (local or over the
+                        // wire) overlaps the next solve. The analysis worker
+                        // rendezvouses via wait_processed, so only objects
+                        // that made it into the transport count toward
+                        // `staged`. If the transport has shut down the
+                        // object comes back in the error and we fall through
+                        // to the synchronous path — the step degrades, it
+                        // does not die.
+                        let overlap = self.cfg.overlap_staging;
+                        let put_back = match &self.backend {
+                            Backend::Local {
+                                stager: Some(stager),
+                                ..
+                            } if overlap => match stager.put(obj) {
+                                Ok(()) => {
+                                    staged += 1;
+                                    None
                                 }
-                            }
-                        } else {
-                            // Synchronous baseline: the put completes here.
-                            let _ = self.space.put(obj);
+                                Err(TransportClosed(obj)) => Some(obj),
+                            },
+                            Backend::Remote {
+                                stager: Some(stager),
+                                ..
+                            } if overlap => match stager.put(obj) {
+                                Ok(()) => {
+                                    staged += 1;
+                                    None
+                                }
+                                Err(TransportClosed(obj)) => Some(obj),
+                            },
+                            // Synchronous baseline (or no transport left).
+                            _ => Some(obj),
+                        };
+                        if let Some(obj) = put_back {
+                            self.backend.put_sync(obj);
                         }
                     }
                 }
@@ -478,11 +635,20 @@ impl<S: LevelSolver> NativeWorkflow<S> {
     /// rendezvous can complete), then the job channel closes and the
     /// workers run down the remaining analyses before joining.
     pub fn finish(mut self) -> (Vec<StepLog>, Vec<AnalysisOutcome>, u64) {
-        if let Some(stager) = self.stager.take() {
-            // A DrainError only means a transfer thread panicked; the
-            // surviving counts are already in the shared stats, so the
-            // run-down continues either way.
-            let _ = stager.drain();
+        // A DrainError only means a transfer thread panicked; the
+        // surviving counts are already in the shared stats, so the
+        // run-down continues either way.
+        match &mut self.backend {
+            Backend::Local { stager, .. } => {
+                if let Some(stager) = stager.take() {
+                    let _ = stager.drain();
+                }
+            }
+            Backend::Remote { stager, .. } => {
+                if let Some(stager) = stager.take() {
+                    let _ = stager.drain();
+                }
+            }
         }
         drop(self.job_tx.take());
         for w in self.workers.drain(..) {
@@ -590,7 +756,7 @@ mod tests {
         for _ in 0..3 {
             wf.step();
         }
-        let space = Arc::clone(wf.space());
+        let space = Arc::clone(wf.space().expect("local backend has a space"));
         let (_, outcomes, _) = wf.finish();
         // After finish, every analyzed version's objects were evicted.
         for o in outcomes {

@@ -22,6 +22,12 @@ cargo build --locked --release
 echo "==> cargo test (workspace)"
 cargo test --locked -q --workspace
 
+echo "==> net loopback tests (wire protocol, staging service, remote stager)"
+# Already covered by the workspace run above; re-run as a named step so a
+# networking regression is visible at a glance, same pattern as xlint.
+cargo test --locked -q -p xlayer-net
+cargo test --locked -q --test remote_staging
+
 echo "==> bench targets compile"
 cargo build --locked --release -p xlayer-bench --benches --bins
 

@@ -15,6 +15,8 @@
 //! * [`solvers`] — the Polytropic Gas and Advection–Diffusion workloads;
 //! * [`viz`] — marching cubes, per-block entropy, down-sampling;
 //! * [`staging`] — the DataSpaces-like staging substrate;
+//! * [`net`] — the staging wire protocol, TCP staging service and
+//!   pooled retrying client (DART's transport, made literal);
 //! * [`platform`] — machine models, DES engine, cost models, metrics;
 //! * [`workflow`] — the coupled native and modeled-scale workflow runtimes.
 //!
@@ -24,6 +26,7 @@
 pub use xlayer_core as adapt;
 
 pub use xlayer_amr as amr;
+pub use xlayer_net as net;
 pub use xlayer_platform as platform;
 pub use xlayer_solvers as solvers;
 pub use xlayer_staging as staging;

@@ -1,0 +1,154 @@
+//! End-to-end remote staging: the native workflow run once with the
+//! in-process staging space and once through `StagingService` +
+//! `RemoteStager` on a loopback socket, asserting bit-identical analysis
+//! results and matching transport accounting. This is the paper's
+//! deployment claim in test form — moving the staging area onto dedicated
+//! nodes must change *where* the data sits, never *what* the in-transit
+//! analysis computes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+use xlayer::adapt::Placement;
+use xlayer::amr::hierarchy::HierarchyConfig;
+use xlayer::amr::{IBox, ProblemDomain};
+use xlayer::net::service::{ServiceConfig, StagingService};
+use xlayer::solvers::{
+    AdvectDiffuseSolver, AmrSimulation, DriverConfig, ScalarProblem, VelocityField,
+};
+use xlayer::staging::Sharding;
+use xlayer::workflow::native::{AnalysisOutcome, NativeConfig, NativeWorkflow};
+use xlayer::workflow::StepLog;
+
+fn blob_sim(n: i64) -> AmrSimulation<AdvectDiffuseSolver> {
+    let domain = ProblemDomain::periodic(IBox::cube(n));
+    let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 8,
+            ..Default::default()
+        },
+        solver,
+        DriverConfig {
+            tag_threshold: 0.02,
+            regrid_interval: 3,
+            ..Default::default()
+        },
+    );
+    ScalarProblem::Gaussian {
+        center: [n as f64 / 2.0; 3],
+        sigma: 2.5,
+    }
+    .init_hierarchy(&mut sim.hierarchy);
+    sim.regrid_now();
+    sim
+}
+
+struct RunResult {
+    steps: Vec<StepLog>,
+    outcomes: Vec<AnalysisOutcome>,
+    moved: u64,
+    delivered: u64,
+    rejected: u64,
+    failed: u64,
+}
+
+fn run(remote: Option<String>, steps: usize) -> RunResult {
+    let cfg = NativeConfig {
+        iso_value: 0.4,
+        placement_override: Some(Placement::InTransit),
+        remote,
+        ..Default::default()
+    };
+    let mut wf = NativeWorkflow::new(blob_sim(16), cfg);
+    for _ in 0..steps {
+        wf.step();
+    }
+    let stats = wf
+        .transport_stats()
+        .expect("transport active before finish");
+    let (steps, outcomes, moved) = wf.finish();
+    RunResult {
+        steps,
+        outcomes,
+        moved,
+        delivered: stats.delivered.load(Ordering::Relaxed),
+        rejected: stats.rejected.load(Ordering::Relaxed),
+        failed: stats.failed.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-version (triangles, mesh_bytes): totals are invariant under the
+/// order in which a version's object parts were stored, which concurrent
+/// puts do not preserve.
+fn by_version(outcomes: &[AnalysisOutcome]) -> BTreeMap<u64, (usize, u64)> {
+    outcomes
+        .iter()
+        .map(|o| (o.version, (o.triangles, o.mesh_bytes)))
+        .collect()
+}
+
+#[test]
+fn remote_workflow_is_bit_identical_to_local() {
+    let service = StagingService::start(ServiceConfig {
+        servers: 2,
+        memory_per_server: 256 << 20,
+        sharding: Sharding::RoundRobin,
+        ..ServiceConfig::default()
+    })
+    .expect("bind loopback service");
+    let addr = service.local_addr().to_string();
+
+    const STEPS: usize = 3;
+    let local = run(None, STEPS);
+    let remote = run(Some(addr), STEPS);
+
+    // Identical analysis results, version by version. Triangle counts and
+    // mesh byte totals pin the marching-cubes output; payloads travel as
+    // f64 bit patterns, so any wire-introduced perturbation would show.
+    assert_eq!(local.outcomes.len(), STEPS);
+    assert_eq!(remote.outcomes.len(), STEPS);
+    let lv = by_version(&local.outcomes);
+    let rv = by_version(&remote.outcomes);
+    assert_eq!(lv, rv, "analysis results differ between local and remote");
+    assert!(
+        lv.values().all(|&(tris, _)| tris > 0),
+        "degenerate surfaces"
+    );
+
+    // Identical movement and transport accounting: every staged object was
+    // delivered on both paths, none rejected or failed.
+    assert_eq!(local.moved, remote.moved);
+    let per_step_local: Vec<u64> = local.steps.iter().map(|s| s.moved_bytes).collect();
+    let per_step_remote: Vec<u64> = remote.steps.iter().map(|s| s.moved_bytes).collect();
+    assert_eq!(per_step_local, per_step_remote);
+    assert_eq!(
+        (local.delivered, local.rejected, local.failed),
+        (remote.delivered, remote.rejected, remote.failed),
+        "transport accounting differs"
+    );
+    assert!(remote.delivered > 0, "nothing went over the wire");
+    assert_eq!(remote.failed, 0);
+
+    // The service actually carried the traffic: as many puts as objects
+    // delivered, and the analysis workers' evictions emptied the space.
+    let snap = service.stats().snapshot(service.space());
+    assert_eq!(snap.puts, remote.delivered);
+    assert_eq!(snap.rejected_oom, 0);
+    assert_eq!(snap.used, 0, "remote space not drained after analysis");
+
+    service.shutdown();
+}
+
+#[test]
+fn unresolvable_remote_degrades_to_local_staging() {
+    // A remote address that cannot resolve must not kill the workflow —
+    // construction falls back to the in-process space and the run
+    // completes normally.
+    let result = run(Some("@definitely-not-an-address@:0".to_string()), 2);
+    assert_eq!(result.outcomes.len(), 2);
+    assert!(result.outcomes.iter().all(|o| o.triangles > 0));
+    assert_eq!(result.failed, 0);
+}
