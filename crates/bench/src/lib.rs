@@ -50,6 +50,10 @@ pub const EXPECTED_BENCH_KEYS: &[&str] = &[
     "native_pipeline_overlapped_16c_4steps",
     "net_put_throughput",
     "net_get_throughput",
+    "net_put_whole_64mib",
+    "net_get_whole_64mib",
+    "net_put_chunked_throughput",
+    "net_get_chunked_throughput",
 ];
 
 /// The derived ratios `bench_summary` writes under `"derived"`.
@@ -62,6 +66,7 @@ pub const EXPECTED_DERIVED_KEYS: &[&str] = &[
     "level_entropy_scan_speedup",
     "mesh_concat_speedup",
     "staging_overlap_speedup",
+    "net_chunked_speedup_large",
 ];
 
 /// A recorded workload trace plus the real run's base-grid size, used to

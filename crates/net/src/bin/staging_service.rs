@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! staging_service [--addr HOST:PORT] [--servers N] [--memory-mib M]
-//!                 [--max-conns C]
+//!                 [--max-conns C] [--chunk-kib K]
 //! ```
 //!
 //! The bound address is printed on stdout (useful with port 0). The
@@ -36,9 +36,15 @@ fn parse_args(args: &[String]) -> Result<ServiceConfig, String> {
                     .parse()
                     .map_err(|e| format!("--max-conns: {e}"))?;
             }
+            "--chunk-kib" => {
+                let kib: u32 = value("--chunk-kib")?
+                    .parse()
+                    .map_err(|e| format!("--chunk-kib: {e}"))?;
+                cfg.chunk_size = kib.saturating_mul(1024);
+            }
             "--help" | "-h" => {
                 return Err("usage: staging_service [--addr HOST:PORT] [--servers N] \
-                     [--memory-mib M] [--max-conns C]"
+                     [--memory-mib M] [--max-conns C] [--chunk-kib K]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),

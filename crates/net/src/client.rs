@@ -15,14 +15,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use xlayer_amr::boxes::IBox;
-use xlayer_staging::{DataObject, DrainError, ObjectDesc, TransportClosed, TransportStats};
+use xlayer_staging::{
+    BatchClosed, DataObject, DrainError, ObjectDesc, ObjectKey, StageTask, TransportClosed,
+    TransportStats,
+};
 
+use crate::iovec::write_vectored_all;
+use crate::pool::BufferPool;
 use crate::wire::{
-    decode_header, verify_payload, ErrorFrame, Frame, Request, Response, ServiceSnapshot,
-    WireError, HEADER_LEN,
+    checksum, chunk_data_parts, clamp_chunk_size, decode_chunk_end, decode_chunk_prefix,
+    decode_header, encode_chunk_end, frame_header, put_frame_parts, verify_payload, ChunkEnd,
+    ErrorFrame, Opcode, Request, Response, ServiceSnapshot, WireError, CHUNK_PREFIX_LEN,
+    DEFAULT_CHUNK_SIZE, HEADER_LEN,
 };
 
 /// Configuration of a [`RemoteClient`].
@@ -42,6 +50,15 @@ pub struct ClientConfig {
     pub backoff_base: Duration,
     /// Upper bound on a single backoff sleep.
     pub backoff_cap: Duration,
+    /// Chunk size proposed for chunked streams (the service clamps it to
+    /// the protocol's bounds).
+    pub chunk_size: u32,
+    /// Objects at least this many bytes are put with the chunked stream
+    /// protocol instead of a single frame. The default is the largest
+    /// buffer-pool size class: below it a whole frame recycles through the
+    /// pool, above it single-frame transfers would allocate transiently
+    /// per op (and past `MAX_PAYLOAD` they cannot be framed at all).
+    pub chunk_threshold: u64,
 }
 
 impl Default for ClientConfig {
@@ -53,6 +70,8 @@ impl Default for ClientConfig {
             max_retries: 3,
             backoff_base: Duration::from_millis(20),
             backoff_cap: Duration::from_millis(500),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            chunk_threshold: 8 << 20,
         }
     }
 }
@@ -124,6 +143,7 @@ struct ClientInner {
     addr: SocketAddr,
     cfg: ClientConfig,
     pool: Mutex<Vec<TcpStream>>,
+    bufs: Arc<BufferPool>,
     next_id: AtomicU64,
 }
 
@@ -149,6 +169,7 @@ impl RemoteClient {
                 addr,
                 cfg,
                 pool: Mutex::new(Vec::new()),
+                bufs: Arc::new(BufferPool::new()),
                 next_id: AtomicU64::new(1),
             }),
         })
@@ -157,6 +178,12 @@ impl RemoteClient {
     /// The resolved service address.
     pub fn addr(&self) -> SocketAddr {
         self.inner.addr
+    }
+
+    /// The client-side buffer pool (scratch for frame bodies and received
+    /// payloads; all clones of this client share it).
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.inner.bufs
     }
 
     fn checkout(&self) -> std::io::Result<TcpStream> {
@@ -177,17 +204,36 @@ impl RemoteClient {
         }
     }
 
-    /// One request/response exchange on one connection. Any error means the
-    /// connection is dropped, not returned to the pool.
-    fn exchange(&self, stream: &mut TcpStream, req: &Request) -> Result<Response, RemoteError> {
-        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        stream.write_all(&req.encode(id)).map_err(RemoteError::Io)?;
+    /// Send one request frame: body encoded into pooled scratch, header +
+    /// body written vectored. For `Put`, the payload bytes are written as
+    /// their own segment straight from the object — never copied into the
+    /// frame.
+    fn send_request(
+        &self,
+        stream: &mut TcpStream,
+        req: &Request,
+        id: u64,
+    ) -> Result<(), RemoteError> {
+        let mut scratch = self.inner.bufs.acquire(0);
+        if let Request::Put(obj) = req {
+            let header = put_frame_parts(obj, id, &mut scratch);
+            write_vectored_all(stream, &[&header, &scratch, obj.payload.as_ref()])
+                .map_err(RemoteError::Io)
+        } else {
+            req.encode_body(&mut scratch);
+            let header = frame_header(req.opcode(), id, scratch.len() as u32, checksum(&scratch));
+            write_vectored_all(stream, &[&header, &scratch]).map_err(RemoteError::Io)
+        }
+    }
+
+    /// Read one response frame into pooled scratch and decode it.
+    fn read_response(&self, stream: &mut TcpStream, id: u64) -> Result<Response, RemoteError> {
         let mut header_buf = [0u8; HEADER_LEN];
         stream
             .read_exact(&mut header_buf)
             .map_err(RemoteError::Io)?;
         let header = decode_header(&header_buf).map_err(RemoteError::Wire)?;
-        let mut payload = vec![0u8; header.payload_len as usize];
+        let mut payload = self.inner.bufs.acquire(header.payload_len as usize);
         stream.read_exact(&mut payload).map_err(RemoteError::Io)?;
         verify_payload(&header, &payload).map_err(RemoteError::Wire)?;
         if header.request_id != id && header.request_id != 0 {
@@ -196,18 +242,26 @@ impl RemoteClient {
                 header.request_id
             )));
         }
-        let frame = Frame {
-            opcode: header.opcode,
-            request_id: header.request_id,
-            payload,
-        };
-        Response::decode(&frame).map_err(RemoteError::Wire)
+        Response::decode_body(header.opcode, &payload).map_err(RemoteError::Wire)
     }
 
-    /// Send a request, retrying transient failures with bounded exponential
-    /// backoff. `OutOfMemory`, `BadRequest` and `ShuttingDown` responses
-    /// return immediately — only the transport is retried, never policy.
-    pub fn call(&self, req: &Request) -> Result<Response, RemoteError> {
+    /// One request/response exchange on one connection. Any error means the
+    /// connection is dropped, not returned to the pool.
+    fn exchange(&self, stream: &mut TcpStream, req: &Request) -> Result<Response, RemoteError> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.send_request(stream, req, id)?;
+        self.read_response(stream, id)
+    }
+
+    /// Run one-attempt exchanges under the retry policy: transient
+    /// transport failures retry with bounded exponential backoff on a
+    /// fresh connection; `OutOfMemory`, `BadRequest` and `ShuttingDown`
+    /// responses return immediately — only the transport is retried,
+    /// never policy.
+    fn call_with(
+        &self,
+        attempt_once: impl Fn(&Self, &mut TcpStream) -> Result<Response, RemoteError>,
+    ) -> Result<Response, RemoteError> {
         let cfg = &self.inner.cfg;
         let mut backoff = cfg.backoff_base;
         let mut last_err = None;
@@ -224,7 +278,7 @@ impl RemoteClient {
                 }
                 Err(e) => return Err(RemoteError::Io(e)),
             };
-            match self.exchange(&mut stream, req) {
+            match attempt_once(self, &mut stream) {
                 Ok(Response::Error(ErrorFrame::OutOfMemory {
                     cap,
                     used,
@@ -266,8 +320,26 @@ impl RemoteClient {
         }))
     }
 
-    /// Store one object; returns the shard it landed on.
+    /// Send a request under the retry policy (see [`Self::call_with`]).
+    pub fn call(&self, req: &Request) -> Result<Response, RemoteError> {
+        self.call_with(|me, stream| me.exchange(stream, req))
+    }
+
+    /// Store one object; returns the shard it landed on. Picks the
+    /// transfer protocol by size: objects at or above
+    /// [`ClientConfig::chunk_threshold`] stream as chunks, smaller ones go
+    /// as a single frame.
     pub fn put(&self, obj: &DataObject) -> Result<u32, RemoteError> {
+        if obj.desc.bytes >= self.inner.cfg.chunk_threshold {
+            self.put_chunked(obj)
+        } else {
+            self.put_whole(obj)
+        }
+    }
+
+    /// Store one object as a single `Put` frame, regardless of size (fails
+    /// on objects too large for one frame — use [`Self::put_chunked`]).
+    pub fn put_whole(&self, obj: &DataObject) -> Result<u32, RemoteError> {
         match self.call(&Request::Put(obj.clone()))? {
             Response::PutOk { shard } => Ok(shard),
             other => Err(RemoteError::Protocol(format!(
@@ -277,9 +349,70 @@ impl RemoteClient {
         }
     }
 
+    /// Store one object as a chunked stream: a `PutChunked` descriptor
+    /// frame, the payload as checksummed chunk frames sliced straight from
+    /// the object (never copied), and a terminal frame — then one
+    /// response. No object size ceiling; retried like any other call.
+    pub fn put_chunked(&self, obj: &DataObject) -> Result<u32, RemoteError> {
+        let resp = self.call_with(|me, stream| me.exchange_put_chunked(stream, obj))?;
+        match resp {
+            Response::PutChunkedOk { shard } => Ok(shard),
+            other => Err(RemoteError::Protocol(format!(
+                "chunked put answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    fn exchange_put_chunked(
+        &self,
+        stream: &mut TcpStream,
+        obj: &DataObject,
+    ) -> Result<Response, RemoteError> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let chunk = clamp_chunk_size(self.inner.cfg.chunk_size) as usize;
+        let head = Request::PutChunked {
+            desc: obj.desc.clone(),
+            chunk_size: chunk as u32,
+        };
+        self.send_request(stream, &head, id)?;
+        let payload: &[u8] = obj.payload.as_ref();
+        let mut off = 0usize;
+        while off < payload.len() {
+            let n = chunk.min(payload.len() - off);
+            let data = &payload[off..off + n];
+            let (header, prefix) = chunk_data_parts(id, 0, off as u64, data);
+            write_vectored_all(stream, &[&header, &prefix, data]).map_err(RemoteError::Io)?;
+            off += n;
+        }
+        let end = encode_chunk_end(
+            id,
+            ChunkEnd {
+                objects: 1,
+                total_bytes: payload.len() as u64,
+            },
+        );
+        stream.write_all(&end).map_err(RemoteError::Io)?;
+        self.read_response(stream, id)
+    }
+
     /// Fetch the objects under `(name, version)`, optionally clipped to a
-    /// query box.
+    /// query box. Always uses the chunked stream protocol: the service
+    /// serves it zero-copy and it has no object size ceiling, so there is
+    /// no size the single-frame path handles better by more than a frame
+    /// of overhead.
     pub fn get(
+        &self,
+        name: &str,
+        version: u64,
+        query: Option<IBox>,
+    ) -> Result<Vec<DataObject>, RemoteError> {
+        self.get_chunked(name, version, query)
+    }
+
+    /// Fetch objects as a single `GetOk` frame (fails when the result
+    /// exceeds the frame payload ceiling — use [`Self::get_chunked`]).
+    pub fn get_whole(
         &self,
         name: &str,
         version: u64,
@@ -297,6 +430,135 @@ impl RemoteClient {
                 other.opcode()
             ))),
         }
+    }
+
+    /// Fetch objects as a chunked stream, assembling each payload directly
+    /// into its destination buffer.
+    pub fn get_chunked(
+        &self,
+        name: &str,
+        version: u64,
+        query: Option<IBox>,
+    ) -> Result<Vec<DataObject>, RemoteError> {
+        let resp =
+            self.call_with(|me, stream| me.exchange_get_chunked(stream, name, version, &query))?;
+        match resp {
+            Response::GetOk(objs) => Ok(objs),
+            other => Err(RemoteError::Protocol(format!(
+                "chunked get answered with {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    fn exchange_get_chunked(
+        &self,
+        stream: &mut TcpStream,
+        name: &str,
+        version: u64,
+        query: &Option<IBox>,
+    ) -> Result<Response, RemoteError> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = Request::GetChunked {
+            name: name.to_string(),
+            version,
+            query: *query,
+            chunk_size: self.inner.cfg.chunk_size,
+        };
+        self.send_request(stream, &req, id)?;
+        let (descs, chunk_size) = match self.read_response(stream, id)? {
+            Response::GetChunkedOk { descs, chunk_size } => (descs, chunk_size),
+            // Typed refusals surface to the retry loop's classification.
+            Response::Error(e) => return Ok(Response::Error(e)),
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "chunked get answered with {:?}",
+                    other.opcode()
+                )))
+            }
+        };
+        let chunk = chunk_size as u64;
+        // Destination allocations double as the final object payloads.
+        let mut bufs: Vec<Vec<u8>> = descs.iter().map(|d| vec![0u8; d.bytes as usize]).collect();
+        let mut next: Vec<u64> = vec![0; descs.len()];
+        let end = loop {
+            let mut header_buf = [0u8; HEADER_LEN];
+            stream
+                .read_exact(&mut header_buf)
+                .map_err(RemoteError::Io)?;
+            let header = decode_header(&header_buf).map_err(RemoteError::Wire)?;
+            if header.request_id != id {
+                return Err(RemoteError::Protocol(format!(
+                    "frame for request {} interleaved into stream {id}",
+                    header.request_id
+                )));
+            }
+            match header.opcode {
+                Opcode::ChunkData if header.payload_len as usize >= CHUNK_PREFIX_LEN => {
+                    let mut prefix = [0u8; CHUNK_PREFIX_LEN];
+                    stream.read_exact(&mut prefix).map_err(RemoteError::Io)?;
+                    let (index, offset) = decode_chunk_prefix(&prefix);
+                    let data_len = (header.payload_len as usize - CHUNK_PREFIX_LEN) as u64;
+                    let dst = next
+                        .get(index as usize)
+                        .copied()
+                        .filter(|&expected| {
+                            let total = descs[index as usize].bytes;
+                            match offset.checked_add(data_len) {
+                                Some(end_off) => {
+                                    offset == expected
+                                        && end_off <= total
+                                        && (data_len == chunk || end_off == total)
+                                }
+                                None => false,
+                            }
+                        })
+                        .map(|_| offset as usize);
+                    let Some(at) = dst else {
+                        return Err(RemoteError::Protocol(format!(
+                            "chunk (object {index}, offset {offset}) out of sequence"
+                        )));
+                    };
+                    let buf = &mut bufs[index as usize][at..at + data_len as usize];
+                    stream.read_exact(buf).map_err(RemoteError::Io)?;
+                    let cks = checksum(&prefix) ^ checksum(buf);
+                    if cks != header.checksum {
+                        return Err(RemoteError::Wire(WireError::ChecksumMismatch {
+                            header: header.checksum,
+                            computed: cks,
+                        }));
+                    }
+                    next[index as usize] = offset + data_len;
+                }
+                Opcode::ChunkEnd => {
+                    let mut payload = self.inner.bufs.acquire(header.payload_len as usize);
+                    stream.read_exact(&mut payload).map_err(RemoteError::Io)?;
+                    verify_payload(&header, &payload).map_err(RemoteError::Wire)?;
+                    break decode_chunk_end(&payload).map_err(RemoteError::Wire)?;
+                }
+                other => {
+                    return Err(RemoteError::Protocol(format!(
+                        "opcode {:#04x} inside a chunk stream",
+                        other as u8
+                    )))
+                }
+            }
+        };
+        let received: u64 = next.iter().sum();
+        if end.objects as usize != descs.len()
+            || end.total_bytes != received
+            || next.iter().zip(&descs).any(|(&got, d)| got != d.bytes)
+        {
+            return Err(RemoteError::Wire(WireError::Truncated));
+        }
+        let mut objs = Vec::with_capacity(descs.len());
+        for (desc, buf) in descs.into_iter().zip(bufs) {
+            match DataObject::from_wire(desc, Bytes::from(buf)) {
+                Some(o) => objs.push(o),
+                None => return Err(RemoteError::Wire(WireError::InconsistentObject)),
+            }
+        }
+        Ok(Response::GetOk(objs))
     }
 
     /// Fetch descriptors under `(name, version)` — metadata only.
@@ -364,7 +626,7 @@ impl RemoteClient {
 /// so `workflow::native` can swap one for the other without changing its
 /// synchronisation.
 pub struct RemoteStager {
-    tx: Option<Sender<DataObject>>,
+    tx: Option<Sender<StageTask>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<TransportStats>,
     client: RemoteClient,
@@ -372,9 +634,14 @@ pub struct RemoteStager {
 
 impl RemoteStager {
     /// Start `nthreads` transfer threads sending over `client`, with a
-    /// queue depth of `queue_depth` objects.
+    /// queue depth of `queue_depth` tasks.
+    ///
+    /// Unlike [`xlayer_staging::AsyncStager`], the queue carries tasks
+    /// singly: a batch fans out across the worker pool so a step's wire
+    /// puts go down `nthreads` connections concurrently instead of
+    /// serializing on whichever worker drew the batch.
     pub fn new(client: RemoteClient, nthreads: usize, queue_depth: usize) -> Self {
-        let (tx, rx) = bounded::<DataObject>(queue_depth.max(1));
+        let (tx, rx) = bounded::<StageTask>(queue_depth.max(1));
         let stats = Arc::new(TransportStats::default());
         let workers = (0..nthreads.max(1))
             .map(|_| {
@@ -382,22 +649,50 @@ impl RemoteStager {
                 let client = client.clone();
                 let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
-                    while let Ok(obj) = rx.recv() {
-                        let bytes = obj.desc.bytes;
-                        let key = obj.desc.key.clone();
-                        match client.put(&obj) {
-                            Ok(_) => {
-                                stats.delivered.fetch_add(1, Ordering::Relaxed);
-                                stats.bytes.fetch_add(bytes, Ordering::Relaxed);
-                            }
-                            Err(RemoteError::OutOfMemory { .. }) => {
-                                stats.rejected.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(_) => {
-                                stats.failed.fetch_add(1, Ordering::Relaxed);
+                    // Greedy drain: a step's batch lands on the queue in
+                    // one go, so after the blocking recv pull whatever
+                    // else is already queued and answer the rendezvous
+                    // once per run — one waiter wake-up per drained run
+                    // instead of one per object. The run is capped so a
+                    // producer that outpaces the wire still sees
+                    // back-pressure from the bounded queue.
+                    let mut run: Vec<StageTask> = Vec::new();
+                    while let Ok(task) = rx.recv() {
+                        run.push(task);
+                        while run.len() < 64 {
+                            match rx.try_recv() {
+                                Ok(t) => run.push(t),
+                                Err(_) => break,
                             }
                         }
-                        stats.note_processed(&key);
+                        // Per-key processed tally for this run; a run
+                        // rarely spans more than one key, so a flat Vec
+                        // beats a map.
+                        let mut notes: Vec<(ObjectKey, u64)> = Vec::new();
+                        for task in run.drain(..) {
+                            let obj = task.materialize();
+                            let bytes = obj.desc.bytes;
+                            let key = obj.desc.key.clone();
+                            match client.put(&obj) {
+                                Ok(_) => {
+                                    stats.delivered.fetch_add(1, Ordering::Relaxed);
+                                    stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+                                }
+                                Err(RemoteError::OutOfMemory { .. }) => {
+                                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            match notes.iter_mut().find(|(k, _)| *k == key) {
+                                Some((_, n)) => *n += 1,
+                                None => notes.push((key, 1)),
+                            }
+                        }
+                        for (key, n) in notes {
+                            stats.note_processed_n(&key, n);
+                        }
                     }
                 })
             })
@@ -419,7 +714,34 @@ impl RemoteStager {
         let Some(tx) = self.tx.as_ref() else {
             return Err(TransportClosed(obj));
         };
-        tx.send(obj).map_err(|e| TransportClosed(e.0))
+        tx.send(StageTask::Ready(obj))
+            .map_err(|e| TransportClosed(e.0.materialize()))
+    }
+
+    /// Enqueue a batch of tasks, fanning them out across the worker pool.
+    /// On a closed transport the unsent remainder comes back in the error
+    /// (tasks already accepted stay in flight and are counted by the
+    /// workers) — same contract as `AsyncStager::put_batch`.
+    pub fn put_batch(&self, tasks: Vec<StageTask>) -> Result<(), BatchClosed> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(BatchClosed {
+                enqueued: 0,
+                rest: tasks,
+            });
+        };
+        let mut enqueued = 0u64;
+        let mut it = tasks.into_iter();
+        while let Some(task) = it.next() {
+            match tx.send(task) {
+                Ok(()) => enqueued += 1,
+                Err(e) => {
+                    let mut rest = vec![e.0];
+                    rest.extend(it);
+                    return Err(BatchClosed { enqueued, rest });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The client the transfer threads send through.

@@ -1,0 +1,166 @@
+//! Vectored socket writes for the wire hot path.
+//!
+//! Every frame is a header plus zero or more body segments. Writing them
+//! with separate `write_all` calls either costs one syscall per segment or
+//! forces a copy into a contiguous scratch buffer; `write_vectored` submits
+//! all segments in one syscall with no copy. Kernels are free to accept a
+//! short count, so [`write_vectored_all`] wraps the call in a continuation
+//! loop that re-slices the iovec array past whatever was consumed —
+//! including restarting mid-segment — until every byte is on the wire.
+
+use std::io::{IoSlice, Write};
+
+/// Upper bound on the segment count a frame send needs (header + chunk
+/// prefix + data is the widest shape today; headroom for future layouts).
+pub const MAX_SEGMENTS: usize = 8;
+
+/// Write all bytes of every segment, in order, using vectored I/O.
+///
+/// Equivalent to `write_all` over the concatenation of `segments`, but
+/// without materialising the concatenation (and without allocating: the
+/// iovec array lives on the stack, which is why `segments` is capped at
+/// [`MAX_SEGMENTS`]). Handles short writes both between and inside
+/// segments via a cursor `(seg_idx, offset)` that the iovec array is
+/// rebuilt from after each call, retries `Interrupted`, and treats an
+/// `Ok(0)` from the writer as `WriteZero`.
+pub fn write_vectored_all(w: &mut impl Write, segments: &[&[u8]]) -> std::io::Result<()> {
+    if segments.len() > MAX_SEGMENTS {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "too many segments for one vectored frame",
+        ));
+    }
+    let mut seg_idx = 0usize; // first segment not fully written
+    let mut offset = 0usize; // bytes of segments[seg_idx] already written
+    loop {
+        // Rebuild the iovec array from the cursor, skipping empty tails.
+        let mut bufs = [IoSlice::new(&[]); MAX_SEGMENTS];
+        let mut n_bufs = 0usize;
+        for (i, seg) in segments.iter().enumerate().skip(seg_idx) {
+            let s = if i == seg_idx { &seg[offset..] } else { seg };
+            if !s.is_empty() {
+                bufs[n_bufs] = IoSlice::new(s);
+                n_bufs += 1;
+            }
+        }
+        if n_bufs == 0 {
+            return Ok(());
+        }
+        match w.write_vectored(&bufs[..n_bufs]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole vectored frame",
+                ));
+            }
+            Ok(mut n) => {
+                // Advance the cursor by n bytes across segment boundaries.
+                // (The bound also shields against a writer reporting more
+                // bytes than it was given.)
+                while n > 0 && seg_idx < segments.len() {
+                    let rem = segments[seg_idx].len() - offset;
+                    if n >= rem {
+                        n -= rem;
+                        seg_idx += 1;
+                        offset = 0;
+                    } else {
+                        offset += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `cap` bytes per call, exercising the
+    /// continuation loop both between and inside segments.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut left = self.cap;
+            let mut written = 0;
+            for b in bufs {
+                if left == 0 {
+                    break;
+                }
+                let n = b.len().min(left);
+                self.out.extend_from_slice(&b[..n]);
+                left -= n;
+                written += n;
+            }
+            Ok(written)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_all_segments_in_order() {
+        for cap in [1usize, 2, 3, 5, 7, 100] {
+            let mut w = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            let segs: [&[u8]; 4] = [b"head", b"", b"er-", b"payload"];
+            write_vectored_all(&mut w, &segs).expect("vectored write");
+            assert_eq!(w.out, b"header-payload", "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let mut w = Dribble {
+            out: Vec::new(),
+            cap: 8,
+        };
+        write_vectored_all(&mut w, &[]).expect("empty");
+        write_vectored_all(&mut w, &[b"", b""]).expect("all-empty");
+        assert!(w.out.is_empty());
+    }
+
+    #[test]
+    fn zero_write_is_an_error() {
+        struct Stuck;
+        impl Write for Stuck {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_vectored_all(&mut Stuck, &[b"x"]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn large_segments_survive_dribbling() {
+        let a: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let b: Vec<u8> = (0..7_777u32).map(|i| (i % 241) as u8).collect();
+        let mut w = Dribble {
+            out: Vec::new(),
+            cap: 997,
+        };
+        write_vectored_all(&mut w, &[&a, &b]).expect("vectored write");
+        let mut expect = a.clone();
+        expect.extend_from_slice(&b);
+        assert_eq!(w.out, expect);
+    }
+}

@@ -18,6 +18,18 @@
 //!   `OutOfMemory`), and [`RemoteStager`], which implements the same
 //!   put/drain surface as `AsyncStager` so `workflow::native` can run
 //!   in-transit analysis against a remote service unchanged.
+//! - [`pool`] — [`BufferPool`], a bounded size-classed buffer recycler
+//!   shared by service workers and clients so steady-state put/get traffic
+//!   allocates nothing per op (hit/miss counters travel in `Stats`).
+//! - [`iovec`] — [`iovec::write_vectored_all`], the short-write-safe
+//!   vectored send loop both hot paths use to put header and payload on
+//!   the wire in one syscall without concatenating them.
+//!
+//! Large objects stream as chunked sub-frames (`PutChunked`/`GetChunked`,
+//! default 1 MiB chunks): the service assembles puts directly into the
+//! destination buffer and serves gets straight out of the `Arc`-held
+//! payload, so the chunked path has no whole-object copies and no 256 MiB
+//! frame ceiling.
 //!
 //! Everything is `std::net` — the build is offline and the workspace has no
 //! async runtime; blocking sockets plus threads match the paper's
@@ -27,9 +39,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod iovec;
+pub mod pool;
 pub mod service;
 pub mod wire;
 
 pub use client::{ClientConfig, RemoteClient, RemoteError, RemoteStager};
+pub use pool::{BufferPool, PooledBuf};
 pub use service::{ServiceConfig, ServiceStats, StagingService};
 pub use wire::{ErrorFrame, Opcode, Request, Response, ServiceSnapshot, WireError};

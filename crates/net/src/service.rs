@@ -20,11 +20,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use xlayer_staging::{DataSpace, Sharding, StagingError};
+use bytes::Bytes;
+use xlayer_staging::{DataObject, DataSpace, ObjectDesc, Sharding, StagingError};
 
+use crate::iovec::write_vectored_all;
+use crate::pool::{BufferPool, PooledBuf};
 use crate::wire::{
-    decode_header, verify_payload, ErrorFrame, Frame, Request, Response, ServiceSnapshot,
-    HEADER_LEN,
+    checksum, chunk_data_parts, chunk_data_parts_cached, clamp_chunk_size, decode_chunk_end,
+    decode_chunk_prefix, decode_header, encode_chunk_end, frame_header, verify_payload, ChunkEnd,
+    ErrorFrame, Opcode, Request, Response, ServiceSnapshot, CHUNK_PREFIX_LEN, HEADER_LEN,
+    MAX_CHUNKED_OBJECT,
 };
 
 /// Configuration for a [`StagingService`].
@@ -46,6 +51,12 @@ pub struct ServiceConfig {
     pub read_timeout: Duration,
     /// Socket write timeout.
     pub write_timeout: Duration,
+    /// Upper bound on the chunk size this service uses for chunked GET
+    /// streams: a client's proposal is capped here, then clamped to the
+    /// protocol bounds, and the effective size is announced in the
+    /// `GetChunkedOk` head frame. (PUT streams are paced by the sender, so
+    /// this does not apply to them.)
+    pub chunk_size: u32,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +69,7 @@ impl Default for ServiceConfig {
             max_connections: 32,
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_secs(5),
+            chunk_size: crate::wire::DEFAULT_CHUNK_SIZE,
         }
     }
 }
@@ -91,8 +103,9 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Snapshot the counters together with the space's occupancy.
-    pub fn snapshot(&self, space: &DataSpace) -> ServiceSnapshot {
+    /// Snapshot the counters together with the space's occupancy and the
+    /// wire buffer pool's hit/miss/outstanding counts.
+    pub fn snapshot(&self, space: &DataSpace, pool: &BufferPool) -> ServiceSnapshot {
         ServiceSnapshot {
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
@@ -107,6 +120,9 @@ impl ServiceStats {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             used: space.used(),
             capacity: space.capacity(),
+            pool_hits: pool.hits(),
+            pool_misses: pool.misses(),
+            pool_outstanding: pool.outstanding(),
         }
     }
 }
@@ -114,10 +130,80 @@ impl ServiceStats {
 struct Inner {
     space: Arc<DataSpace>,
     stats: Arc<ServiceStats>,
+    pool: Arc<BufferPool>,
+    chunk_sums: ChunkSumCache,
     stop: AtomicBool,
     active: AtomicU32,
     addr: SocketAddr,
     cfg: ServiceConfig,
+}
+
+/// Per-chunk data checksums of stored objects, keyed by payload identity.
+///
+/// A chunk frame's checksum is `checksum(prefix) ^ checksum(data)`
+/// (see `wire::chunk_data_parts_cached`), so the data half depends only on
+/// the stored bytes and the chunk size — not on the request or the chunk's
+/// position in a response. Stored objects are immutable behind their
+/// `Arc`, which makes those sums cacheable: `serve_put_chunked` learns
+/// them for free while verifying the inbound stream, and `serve_get_chunked`
+/// then streams the object without a single checksum pass over the
+/// payload. For a memory-bound staging service that pass is the dominant
+/// per-get CPU cost (the data bytes are otherwise only touched by the
+/// kernel's socket copy).
+///
+/// Entries are keyed by the `Arc`'s allocation address and hold a `Weak`
+/// back-reference: the weak keeps the allocation's address from being
+/// reused while the entry lives, and an entry whose weak no longer
+/// upgrades to the queried object is dead (evicted object) and is ignored.
+struct ChunkSumCache {
+    // BTreeMap: prune order is a pure function of the keys, never of a
+    // hasher's bucket layout.
+    map: std::sync::Mutex<std::collections::BTreeMap<usize, ChunkSumEntry>>,
+}
+
+struct ChunkSumEntry {
+    holder: std::sync::Weak<DataObject>,
+    chunk: u32,
+    sums: Arc<Vec<u32>>,
+}
+
+impl ChunkSumCache {
+    /// Entries kept before dead-weak pruning, then wholesale clearing.
+    const CAP: usize = 256;
+
+    fn new() -> Self {
+        ChunkSumCache {
+            map: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// The cached sums for `obj` chunked at `chunk` bytes, if present and
+    /// still referring to this exact allocation.
+    fn lookup(&self, obj: &Arc<DataObject>, chunk: u32) -> Option<Arc<Vec<u32>>> {
+        let map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = map.get(&(Arc::as_ptr(obj) as usize))?;
+        let live = entry
+            .holder
+            .upgrade()
+            .is_some_and(|held| Arc::ptr_eq(&held, obj));
+        (live && entry.chunk == chunk).then(|| Arc::clone(&entry.sums))
+    }
+
+    fn insert(&self, obj: &Arc<DataObject>, chunk: u32, sums: Arc<Vec<u32>>) {
+        let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        map.retain(|_, e| e.holder.upgrade().is_some());
+        if map.len() >= Self::CAP {
+            map.clear();
+        }
+        map.insert(
+            Arc::as_ptr(obj) as usize,
+            ChunkSumEntry {
+                holder: Arc::downgrade(obj),
+                chunk,
+                sums,
+            },
+        );
+    }
 }
 
 impl Inner {
@@ -165,6 +251,8 @@ impl StagingService {
         let inner = Arc::new(Inner {
             space,
             stats: Arc::new(ServiceStats::default()),
+            pool: Arc::new(BufferPool::new()),
+            chunk_sums: ChunkSumCache::new(),
             stop: AtomicBool::new(false),
             active: AtomicU32::new(0),
             addr,
@@ -193,6 +281,11 @@ impl StagingService {
     /// The service's operation counters.
     pub fn stats(&self) -> &Arc<ServiceStats> {
         &self.inner.stats
+    }
+
+    /// The buffer pool connection workers recycle wire scratch through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.inner.pool
     }
 
     /// Whether a shutdown has been requested (locally or via the wire).
@@ -277,8 +370,15 @@ fn refuse(inner: &Inner, mut stream: TcpStream, err: ErrorFrame) {
 
 /// Outcome of one attempt to pull a frame off a worker's socket.
 enum Recv {
-    /// A checksum-verified frame.
-    Frame(Frame),
+    /// A checksum-verified frame, its payload in a pooled buffer.
+    Frame {
+        /// Frame opcode.
+        opcode: Opcode,
+        /// Frame request id.
+        request_id: u64,
+        /// Verified payload bytes (returned to the pool on drop).
+        payload: PooledBuf,
+    },
     /// Clean EOF or fatal I/O: drop the connection quietly.
     Closed,
     /// Stop flag observed while idle.
@@ -340,7 +440,7 @@ fn recv_frame(inner: &Inner, stream: &mut TcpStream) -> Recv {
             return Recv::Closed;
         }
     };
-    let mut payload = vec![0u8; header.payload_len as usize];
+    let mut payload = inner.pool.acquire(header.payload_len as usize);
     match read_full(inner, stream, &mut payload, false) {
         Some(true) => {}
         _ => return Recv::Closed,
@@ -352,11 +452,34 @@ fn recv_frame(inner: &Inner, stream: &mut TcpStream) -> Recv {
     if let Err(e) = verify_payload(&header, &payload) {
         return Recv::Malformed(e.to_string());
     }
-    Recv::Frame(Frame {
+    Recv::Frame {
         opcode: header.opcode,
         request_id: header.request_id,
         payload,
-    })
+    }
+}
+
+/// Encode `response` into pooled scratch and send it header+body vectored.
+fn send_response(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    request_id: u64,
+    response: &Response,
+) -> std::io::Result<()> {
+    let mut scratch = inner.pool.acquire(0);
+    response.encode_body(&mut scratch);
+    let header = frame_header(
+        response.opcode(),
+        request_id,
+        scratch.len() as u32,
+        checksum(&scratch),
+    );
+    write_vectored_all(stream, &[&header, &scratch])?;
+    inner
+        .stats
+        .bytes_out
+        .fetch_add((HEADER_LEN + scratch.len()) as u64, Ordering::Relaxed);
+    Ok(())
 }
 
 fn serve_connection(inner: &Inner, mut stream: TcpStream) {
@@ -371,37 +494,423 @@ fn serve_connection(inner: &Inner, mut stream: TcpStream) {
                 inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                 (0, Response::Error(ErrorFrame::BadRequest { detail }), false)
             }
-            Recv::Frame(frame) => match Request::decode(&frame) {
-                Err(e) => {
-                    inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                    (
-                        frame.request_id,
-                        Response::Error(ErrorFrame::BadRequest {
-                            detail: e.to_string(),
-                        }),
-                        false,
-                    )
+            Recv::Frame {
+                opcode,
+                request_id,
+                payload,
+            } => {
+                let decoded = Request::decode_body(opcode, &payload);
+                drop(payload); // back to the pool before serving
+                match decoded {
+                    Err(e) => {
+                        inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                        (
+                            request_id,
+                            Response::Error(ErrorFrame::BadRequest {
+                                detail: e.to_string(),
+                            }),
+                            false,
+                        )
+                    }
+                    Ok(Request::PutChunked { desc, chunk_size }) => {
+                        if serve_put_chunked(inner, &mut stream, request_id, desc, chunk_size) {
+                            continue;
+                        }
+                        return;
+                    }
+                    Ok(Request::GetChunked {
+                        name,
+                        version,
+                        query,
+                        chunk_size,
+                    }) => {
+                        if serve_get_chunked(
+                            inner,
+                            &mut stream,
+                            request_id,
+                            &name,
+                            version,
+                            query,
+                            chunk_size,
+                        ) {
+                            continue;
+                        }
+                        return;
+                    }
+                    Ok(req) => {
+                        let shutdown = matches!(req, Request::Shutdown);
+                        (request_id, handle_request(inner, req), shutdown)
+                    }
                 }
-                Ok(req) => {
-                    let shutdown = matches!(req, Request::Shutdown);
-                    (frame.request_id, handle_request(inner, req), shutdown)
-                }
-            },
+            }
         };
-        let bytes = response.encode(request_id);
-        if stream.write_all(&bytes).is_err() {
+        if send_response(inner, &mut stream, request_id, &response).is_err() {
             return;
         }
-        inner
-            .stats
-            .bytes_out
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         if shutdown {
             inner.stop.store(true, Ordering::Release);
             inner.poke();
             return;
         }
     }
+}
+
+/// One received chunk-stream frame, already length-read off the socket.
+enum StreamFrame {
+    /// A `ChunkData` frame: decoded prefix plus where its data landed.
+    Data {
+        /// Object index from the 12-byte prefix.
+        index: u32,
+        /// Byte offset from the 12-byte prefix.
+        offset: u64,
+        /// Length of the data bytes that followed the prefix.
+        data_len: usize,
+        /// `checksum(data)` over the data bytes as received — the cacheable
+        /// half of the frame checksum.
+        data_sum: u32,
+        /// Whether the frame checksum (`checksum(prefix) ^ checksum(data)`)
+        /// verified.
+        checksum_ok: bool,
+    },
+    /// The stream's `ChunkEnd` terminal frame.
+    End(ChunkEnd),
+}
+
+/// Read one frame of an inbound chunk stream. `ChunkData` data bytes land
+/// in `dst` when the prefix passes `place` (which maps a decoded
+/// `(index, offset, data_len)` to a destination range), otherwise in a
+/// pooled discard buffer so the stream stays framed.
+///
+/// Returns `Ok(None)` when the connection died or the header desynced
+/// (caller drops the connection); `Err(detail)` for in-stream protocol
+/// violations where framing survives (caller keeps draining).
+fn recv_stream_frame(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    request_id: u64,
+    dst: &mut [u8],
+    place: impl Fn(u32, u64, usize) -> Option<usize>,
+) -> Option<Result<StreamFrame, String>> {
+    let mut header_buf = [0u8; HEADER_LEN];
+    match read_full(inner, stream, &mut header_buf, false) {
+        Some(true) => {}
+        _ => return None,
+    }
+    let header = match decode_header(&header_buf) {
+        Ok(h) => h,
+        Err(_) => {
+            inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+    };
+    let frame_bytes = (HEADER_LEN + header.payload_len as usize) as u64;
+    // Any in-stream violation still has to consume the frame's payload to
+    // keep the connection framed; collect the verdict, then read.
+    let verdict: Result<(), String> = if header.request_id != request_id {
+        Err(format!(
+            "frame for request {} interleaved into stream {request_id}",
+            header.request_id
+        ))
+    } else {
+        Ok(())
+    };
+    match header.opcode {
+        Opcode::ChunkData if header.payload_len as usize >= CHUNK_PREFIX_LEN => {
+            let mut prefix = [0u8; CHUNK_PREFIX_LEN];
+            match read_full(inner, stream, &mut prefix, false) {
+                Some(true) => {}
+                _ => return None,
+            }
+            let (index, offset) = decode_chunk_prefix(&prefix);
+            let data_len = header.payload_len as usize - CHUNK_PREFIX_LEN;
+            let mut data_sum = checksum(&[]);
+            let placed = if verdict.is_ok() {
+                place(index, offset, data_len)
+            } else {
+                None
+            };
+            let read_ok = match placed {
+                Some(at) => read_full(inner, stream, &mut dst[at..at + data_len], false)
+                    .map(|_| {
+                        data_sum = checksum(&dst[at..at + data_len]);
+                    })
+                    .is_some(),
+                None => {
+                    let mut discard = inner.pool.acquire(data_len);
+                    read_full(inner, stream, &mut discard, false)
+                        .map(|_| {
+                            data_sum = checksum(&discard);
+                        })
+                        .is_some()
+                }
+            };
+            if !read_ok {
+                return None;
+            }
+            inner
+                .stats
+                .bytes_in
+                .fetch_add(frame_bytes, Ordering::Relaxed);
+            if let Err(detail) = verdict {
+                return Some(Err(detail));
+            }
+            if placed.is_none() {
+                return Some(Err(format!(
+                    "chunk (object {index}, offset {offset}, {data_len} B) out of sequence"
+                )));
+            }
+            Some(Ok(StreamFrame::Data {
+                index,
+                offset,
+                data_len,
+                data_sum,
+                checksum_ok: checksum(&prefix) ^ data_sum == header.checksum,
+            }))
+        }
+        _ => {
+            // ChunkEnd, an undersized ChunkData, or a foreign opcode: small
+            // payload, read it whole.
+            let mut payload = inner.pool.acquire(header.payload_len as usize);
+            match read_full(inner, stream, &mut payload, false) {
+                Some(true) => {}
+                _ => return None,
+            }
+            inner
+                .stats
+                .bytes_in
+                .fetch_add(frame_bytes, Ordering::Relaxed);
+            if let Err(detail) = verdict {
+                return Some(Err(detail));
+            }
+            if verify_payload(&header, &payload).is_err() {
+                return Some(Err("chunk stream frame checksum mismatch".to_string()));
+            }
+            match header.opcode {
+                Opcode::ChunkEnd => match decode_chunk_end(&payload) {
+                    Ok(end) => Some(Ok(StreamFrame::End(end))),
+                    Err(e) => Some(Err(e.to_string())),
+                },
+                other => Some(Err(format!(
+                    "opcode {:#04x} inside a chunk stream",
+                    other as u8
+                ))),
+            }
+        }
+    }
+}
+
+/// Serve one inbound `PutChunked` stream: assemble chunks directly into
+/// the destination payload buffer, then commit it to the space. Returns
+/// `false` when the connection must close.
+fn serve_put_chunked(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    request_id: u64,
+    desc: ObjectDesc,
+    chunk_size: u32,
+) -> bool {
+    inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+    let chunk = clamp_chunk_size(chunk_size) as u64;
+    // Head-of-stream rejections: the client is already committed to
+    // sending the whole stream (blocking sockets both sides), so drain to
+    // its ChunkEnd before answering, and keep the connection.
+    let early = if !desc.is_consistent() || desc.bytes > MAX_CHUNKED_OBJECT {
+        Some(ErrorFrame::BadRequest {
+            detail: "inconsistent chunked object descriptor".to_string(),
+        })
+    } else if desc.bytes > inner.space.capacity() {
+        inner.stats.rejected_oom.fetch_add(1, Ordering::Relaxed);
+        Some(ErrorFrame::OutOfMemory {
+            cap: inner.space.capacity(),
+            used: inner.space.used(),
+            requested: desc.bytes,
+        })
+    } else {
+        None
+    };
+    let total = desc.bytes as usize;
+    // The destination allocation IS the stored object's payload — chunks
+    // assemble into it in place; there is no whole-payload staging copy.
+    let mut buf = if early.is_none() {
+        vec![0u8; total]
+    } else {
+        Vec::new()
+    };
+    let mut failed: Option<String> = early.as_ref().map(|e| e.to_string());
+    let mut next_offset = 0u64;
+    // Per-chunk data checksums, learned for free from the stream's own
+    // verification — cached with the committed object so later chunked
+    // gets never re-hash the payload.
+    let mut sums: Vec<u32> = Vec::with_capacity((total / chunk.max(1) as usize) + 1);
+    let end = loop {
+        let expected = next_offset;
+        let dead = failed.is_some();
+        let frame = recv_stream_frame(inner, stream, request_id, &mut buf, |index, offset, len| {
+            // Single-object put stream: index 0, strictly sequential
+            // offsets, full chunks except the last. Once the stream has
+            // failed, everything drains to discard.
+            let len = len as u64;
+            let end_off = offset.checked_add(len)?;
+            let sequential = !dead && index == 0 && offset == expected && end_off <= desc.bytes;
+            let full_or_last = len == chunk || end_off == desc.bytes;
+            if sequential && full_or_last {
+                Some(offset as usize)
+            } else {
+                None
+            }
+        });
+        match frame {
+            None => return false,
+            Some(Ok(StreamFrame::Data {
+                index,
+                offset,
+                data_len,
+                data_sum,
+                checksum_ok,
+            })) => {
+                if !checksum_ok {
+                    failed.get_or_insert_with(|| {
+                        format!("chunk (object {index}, offset {offset}) failed its checksum")
+                    });
+                } else if failed.is_none() {
+                    next_offset = offset + data_len as u64;
+                    sums.push(data_sum);
+                }
+            }
+            Some(Ok(StreamFrame::End(end))) => break end,
+            Some(Err(detail)) => {
+                failed.get_or_insert(detail);
+            }
+        }
+    };
+    if failed.is_none() && (next_offset != desc.bytes || end.objects != 1) {
+        failed = Some(format!(
+            "chunk stream ended after {next_offset} of {} bytes",
+            desc.bytes
+        ));
+    }
+    if failed.is_none() && end.total_bytes != desc.bytes {
+        failed = Some(format!(
+            "chunk stream total {} does not match descriptor {}",
+            end.total_bytes, desc.bytes
+        ));
+    }
+    let response = if let Some(err) = early {
+        Response::Error(err)
+    } else if let Some(detail) = failed {
+        inner.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+        Response::Error(ErrorFrame::BadRequest { detail })
+    } else {
+        match DataObject::from_wire(desc, Bytes::from(buf)) {
+            None => Response::Error(ErrorFrame::BadRequest {
+                detail: "assembled object is inconsistent".to_string(),
+            }),
+            Some(obj) => {
+                let obj = Arc::new(obj);
+                match inner.space.put(Arc::clone(&obj)) {
+                    Ok(shard) => {
+                        inner.chunk_sums.insert(&obj, chunk as u32, Arc::new(sums));
+                        Response::PutChunkedOk {
+                            shard: shard as u32,
+                        }
+                    }
+                    Err(StagingError::OutOfMemory {
+                        cap,
+                        used,
+                        requested,
+                    }) => {
+                        inner.stats.rejected_oom.fetch_add(1, Ordering::Relaxed);
+                        Response::Error(ErrorFrame::OutOfMemory {
+                            cap,
+                            used,
+                            requested,
+                        })
+                    }
+                }
+            }
+        }
+    };
+    send_response(inner, stream, request_id, &response).is_ok()
+}
+
+/// Serve one `GetChunked`: answer with the matching descriptors, then
+/// stream every object's payload as chunk frames sliced straight out of
+/// the `Arc`-held objects — no payload copy. Returns `false` when the
+/// connection must close.
+fn serve_get_chunked(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    request_id: u64,
+    name: &str,
+    version: u64,
+    query: Option<xlayer_amr::boxes::IBox>,
+    chunk_size: u32,
+) -> bool {
+    inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+    let chunk = clamp_chunk_size(chunk_size.min(inner.cfg.chunk_size)) as usize;
+    let objs = inner.space.get(name, version, query.as_ref());
+    let descs: Vec<ObjectDesc> = objs.iter().map(|o| o.desc.clone()).collect();
+    let head = Response::GetChunkedOk {
+        descs,
+        chunk_size: chunk as u32,
+    };
+    if send_response(inner, stream, request_id, &head).is_err() {
+        return false;
+    }
+    let mut total = 0u64;
+    for (i, obj) in objs.iter().enumerate() {
+        let payload: &[u8] = obj.payload.as_ref();
+        // One hash pass per (object, chunk size) for the object's lifetime:
+        // learned at put time or computed on the first get, then every
+        // frame's checksum comes from the cache and the payload bytes are
+        // only touched by the socket write.
+        let sums = inner
+            .chunk_sums
+            .lookup(obj, chunk as u32)
+            .unwrap_or_else(|| {
+                let fresh: Vec<u32> = payload.chunks(chunk.max(1)).map(checksum).collect();
+                let fresh = Arc::new(fresh);
+                inner
+                    .chunk_sums
+                    .insert(obj, chunk as u32, Arc::clone(&fresh));
+                fresh
+            });
+        let mut off = 0usize;
+        let mut k = 0usize;
+        while off < payload.len() {
+            let n = chunk.min(payload.len() - off);
+            let data = &payload[off..off + n];
+            let (header, prefix) = match sums.get(k) {
+                Some(&s) => chunk_data_parts_cached(request_id, i as u32, off as u64, s, n),
+                None => chunk_data_parts(request_id, i as u32, off as u64, data),
+            };
+            if write_vectored_all(stream, &[&header, &prefix, data]).is_err() {
+                return false;
+            }
+            inner.stats.bytes_out.fetch_add(
+                (HEADER_LEN + CHUNK_PREFIX_LEN + n) as u64,
+                Ordering::Relaxed,
+            );
+            off += n;
+            k += 1;
+            total += n as u64;
+        }
+    }
+    let end = encode_chunk_end(
+        request_id,
+        ChunkEnd {
+            objects: objs.len() as u32,
+            total_bytes: total,
+        },
+    );
+    if stream.write_all(&end).is_err() {
+        return false;
+    }
+    inner
+        .stats
+        .bytes_out
+        .fetch_add(end.len() as u64, Ordering::Relaxed);
+    true
 }
 
 fn handle_request(inner: &Inner, req: Request) -> Response {
@@ -456,8 +965,15 @@ fn handle_request(inner: &Inner, req: Request) -> Response {
         }
         Request::Stats => {
             stats.stats_calls.fetch_add(1, Ordering::Relaxed);
-            Response::StatsOk(stats.snapshot(&inner.space))
+            Response::StatsOk(stats.snapshot(&inner.space, &inner.pool))
         }
         Request::Shutdown => Response::ShutdownOk,
+        // Chunked streams never reach here — serve_connection owns the
+        // socket for the stream's lifetime and intercepts them.
+        Request::PutChunked { .. } | Request::GetChunked { .. } => {
+            Response::Error(ErrorFrame::BadRequest {
+                detail: "chunked request outside a connection stream".to_string(),
+            })
+        }
     }
 }

@@ -37,21 +37,58 @@ pub const VERSION: u16 = 1;
 pub const HEADER_LEN: usize = 24;
 
 /// Largest accepted payload (256 MiB). Decoders reject longer frames
-/// before allocating.
+/// before allocating. Objects above this limit must travel chunked
+/// ([`Opcode::PutChunked`]/[`Opcode::GetChunked`]), whose streams are
+/// bounded per-frame by [`MAX_CHUNK_SIZE`] and in total by
+/// [`MAX_CHUNKED_OBJECT`].
 pub const MAX_PAYLOAD: u32 = 256 << 20;
+
+/// Default sub-frame size of a chunked stream (1 MiB).
+pub const DEFAULT_CHUNK_SIZE: u32 = 1 << 20;
+
+/// Smallest negotiable sub-frame size (4 KiB).
+pub const MIN_CHUNK_SIZE: u32 = 4 << 10;
+
+/// Largest negotiable sub-frame size (8 MiB).
+pub const MAX_CHUNK_SIZE: u32 = 8 << 20;
+
+/// Ceiling on one chunked object's total payload (16 GiB) — the chunked
+/// path removes [`MAX_PAYLOAD`]'s per-frame cap, not the principle that a
+/// hostile descriptor must not size an unbounded allocation.
+pub const MAX_CHUNKED_OBJECT: u64 = 16 << 30;
+
+/// Byte length of the [`Opcode::ChunkData`] body prefix that precedes the
+/// chunk's data bytes: `u32` object index + `u64` stream offset.
+pub const CHUNK_PREFIX_LEN: usize = 12;
+
+/// Clamp a proposed sub-frame size into the negotiable
+/// [`MIN_CHUNK_SIZE`]..=[`MAX_CHUNK_SIZE`] window. Both peers apply this,
+/// so a stream's effective chunk size is a pure function of the opening
+/// frame.
+pub fn clamp_chunk_size(proposed: u32) -> u32 {
+    proposed.clamp(MIN_CHUNK_SIZE, MAX_CHUNK_SIZE)
+}
 
 /// FNV-1a 32-bit checksum, the integrity check carried in each header.
 pub fn checksum(data: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in data {
-        h ^= b as u32;
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
+    checksum_update(0x811c_9dc5, data)
 }
 
-/// Frame opcodes. Requests occupy `0x01..=0x06`, their success responses
-/// the same code with the high bit set, and `0x7F` is the typed error
+/// Fold more bytes into a running FNV-1a-32 state (seed it with
+/// `checksum(b"")`). `checksum_update(checksum(a), b) == checksum(a ++ b)`,
+/// which lets the vectored send and direct-into-buffer receive paths
+/// checksum a frame's prefix and data without concatenating them.
+pub fn checksum_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state ^= b as u32;
+        state = state.wrapping_mul(0x0100_0193);
+    }
+    state
+}
+
+/// Frame opcodes. Requests occupy `0x01..=0x08`, their success responses
+/// the same code with the high bit set, `0x09`/`0x0A` are the sub-frames
+/// of a chunked stream (either direction), and `0x7F` is the typed error
 /// response any request can receive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
@@ -69,6 +106,18 @@ pub enum Opcode {
     Stats = 0x05,
     /// Ask the service to shut down gracefully.
     Shutdown = 0x06,
+    /// Open a chunked put stream: descriptor + negotiated chunk size now,
+    /// payload in [`Opcode::ChunkData`] sub-frames after.
+    PutChunked = 0x07,
+    /// Fetch objects as a chunked stream (the streaming counterpart of
+    /// [`Opcode::Get`]).
+    GetChunked = 0x08,
+    /// One sub-frame of payload inside a chunked stream: object index +
+    /// stream offset + data, checksummed per chunk by the frame header.
+    ChunkData = 0x09,
+    /// Terminal frame of a chunked stream, carrying object and byte totals
+    /// for an end-to-end cross-check.
+    ChunkEnd = 0x0A,
     /// Success response to [`Opcode::Put`].
     PutOk = 0x81,
     /// Success response to [`Opcode::Get`].
@@ -81,6 +130,12 @@ pub enum Opcode {
     StatsOk = 0x85,
     /// Success response to [`Opcode::Shutdown`].
     ShutdownOk = 0x86,
+    /// Success response to [`Opcode::PutChunked`], sent after the entire
+    /// stream has been assembled and stored.
+    PutChunkedOk = 0x87,
+    /// Response header of a [`Opcode::GetChunked`] stream: descriptors +
+    /// effective chunk size, followed by `ChunkData`/`ChunkEnd` frames.
+    GetChunkedOk = 0x88,
     /// Typed error response (see [`ErrorFrame`]).
     Error = 0x7F,
 }
@@ -95,12 +150,18 @@ impl Opcode {
             0x04 => Some(Opcode::Delete),
             0x05 => Some(Opcode::Stats),
             0x06 => Some(Opcode::Shutdown),
+            0x07 => Some(Opcode::PutChunked),
+            0x08 => Some(Opcode::GetChunked),
+            0x09 => Some(Opcode::ChunkData),
+            0x0A => Some(Opcode::ChunkEnd),
             0x81 => Some(Opcode::PutOk),
             0x82 => Some(Opcode::GetOk),
             0x83 => Some(Opcode::QueryOk),
             0x84 => Some(Opcode::DeleteOk),
             0x85 => Some(Opcode::StatsOk),
             0x86 => Some(Opcode::ShutdownOk),
+            0x87 => Some(Opcode::PutChunkedOk),
+            0x88 => Some(Opcode::GetChunkedOk),
             0x7F => Some(Opcode::Error),
             _ => None,
         }
@@ -441,6 +502,175 @@ pub fn verify_payload(header: &Header, payload: &[u8]) -> Result<(), WireError> 
     Ok(())
 }
 
+/// Build a 24-byte frame header for a payload whose bytes are sent
+/// separately (the vectored-I/O send path): the caller supplies the total
+/// payload length and its FNV-1a-32 checksum (composed with
+/// [`checksum_update`] when the payload is scattered across buffers).
+pub fn frame_header(
+    opcode: Opcode,
+    request_id: u64,
+    payload_len: u32,
+    cks: u32,
+) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    h[6..8].copy_from_slice(&[opcode as u8, 0]); // opcode, reserved flags
+    h[8..16].copy_from_slice(&request_id.to_le_bytes());
+    h[16..20].copy_from_slice(&payload_len.to_le_bytes());
+    h[20..24].copy_from_slice(&cks.to_le_bytes());
+    h
+}
+
+/// Encode a single-frame `Put` as vectored parts: fills `scratch` with the
+/// body minus the payload bytes (descriptor + payload length prefix) and
+/// returns the frame header. Sending `[header, scratch, payload]` is
+/// byte-identical to `Request::Put(obj).encode(request_id)` but never
+/// copies the payload into a contiguous frame.
+pub fn put_frame_parts(
+    obj: &DataObject,
+    request_id: u64,
+    scratch: &mut Vec<u8>,
+) -> [u8; HEADER_LEN] {
+    scratch.clear();
+    let mut w = Wr {
+        buf: std::mem::take(scratch),
+    };
+    w.desc(&obj.desc);
+    w.u32(obj.payload.len() as u32);
+    *scratch = w.buf;
+    let total = (scratch.len() + obj.payload.len()) as u32;
+    let cks = checksum_update(checksum(scratch), obj.payload.as_ref());
+    frame_header(Opcode::Put, request_id, total, cks)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked stream sub-frames
+// ---------------------------------------------------------------------------
+//
+// A chunked stream is opened by a `PutChunked` request (client → service)
+// or a `GetChunkedOk` response (service → client), and then consists of
+// zero or more `ChunkData` frames followed by exactly one `ChunkEnd`, all
+// carrying the stream's request id. Each `ChunkData` body is a fixed
+// 12-byte prefix — `u32` object index + `u64` stream offset — followed by
+// the chunk's data bytes; the frame header's checksum is
+// `checksum(prefix) XOR checksum(data)` — two independent FNV-1a-32
+// passes combined by XOR rather than one streaming pass over the
+// concatenation. The XOR split keeps per-chunk integrity (either half
+// flipping flips the result) while making the data component independent
+// of the prefix, i.e. of the chunk's object index and stream offset in
+// *this* response — so a service can compute each stored object's chunk
+// sums once and reuse them across every later get stream
+// ([`chunk_data_parts_cached`]). Offsets must
+// be strictly sequential per object and every chunk except an object's
+// last must be exactly the negotiated chunk size, so a receiver can
+// assemble directly into a pre-sized destination buffer.
+
+/// A decoded [`Opcode::ChunkData`] body, borrowing the chunk's data bytes
+/// so the caller decides whether (and where) to copy them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkData<'a> {
+    /// Which object of the stream this chunk belongs to (0-based; always 0
+    /// for a put stream, which carries one object).
+    pub index: u32,
+    /// Byte offset of this chunk within the object's payload.
+    pub offset: u64,
+    /// The chunk's data bytes.
+    pub data: &'a [u8],
+}
+
+/// Encode the header + body-prefix pair of a [`Opcode::ChunkData`] frame
+/// whose data bytes are written separately (vectored), so the data —
+/// typically a slice of an `Arc`-held object payload — is never copied
+/// into a frame buffer.
+pub fn chunk_data_parts(
+    request_id: u64,
+    index: u32,
+    offset: u64,
+    data: &[u8],
+) -> ([u8; HEADER_LEN], [u8; CHUNK_PREFIX_LEN]) {
+    chunk_data_parts_cached(request_id, index, offset, checksum(data), data.len())
+}
+
+/// [`chunk_data_parts`] with the data half of the checksum —
+/// `checksum(data)` — supplied by the caller instead of recomputed. The
+/// chunk checksum is `checksum(prefix) ^ checksum(data)`, so a sender
+/// holding pre-computed per-chunk data sums for an immutable payload
+/// (learned while verifying the put stream that delivered it, or from a
+/// prior get) emits every later stream without touching the data bytes
+/// beyond the socket write itself.
+pub fn chunk_data_parts_cached(
+    request_id: u64,
+    index: u32,
+    offset: u64,
+    data_checksum: u32,
+    data_len: usize,
+) -> ([u8; HEADER_LEN], [u8; CHUNK_PREFIX_LEN]) {
+    let mut prefix = [0u8; CHUNK_PREFIX_LEN];
+    prefix[..4].copy_from_slice(&index.to_le_bytes());
+    prefix[4..12].copy_from_slice(&offset.to_le_bytes());
+    let cks = checksum(&prefix) ^ data_checksum;
+    let len = (CHUNK_PREFIX_LEN + data_len) as u32;
+    (
+        frame_header(Opcode::ChunkData, request_id, len, cks),
+        prefix,
+    )
+}
+
+/// Decode a [`Opcode::ChunkData`] body (prefix + borrowed data).
+pub fn decode_chunk_data(payload: &[u8]) -> Result<ChunkData<'_>, WireError> {
+    let mut r = Rd::new(payload);
+    let index = r.u32()?;
+    let offset = r.u64()?;
+    let data = r.take(r.remaining())?;
+    Ok(ChunkData {
+        index,
+        offset,
+        data,
+    })
+}
+
+/// Decode just the fixed 12-byte [`Opcode::ChunkData`] prefix (object
+/// index, stream offset). The receive hot path reads the prefix and the
+/// data bytes in separate reads — the data lands directly in the
+/// destination object buffer — so the prefix is decoded alone.
+pub fn decode_chunk_prefix(prefix: &[u8; CHUNK_PREFIX_LEN]) -> (u32, u64) {
+    let mut idx = [0u8; 4];
+    idx.copy_from_slice(&prefix[..4]);
+    let mut off = [0u8; 8];
+    off.copy_from_slice(&prefix[4..12]);
+    (u32::from_le_bytes(idx), u64::from_le_bytes(off))
+}
+
+/// Totals carried by a stream's terminal [`Opcode::ChunkEnd`] frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkEnd {
+    /// Number of objects the stream carried.
+    pub objects: u32,
+    /// Total data bytes across all chunks (excluding prefixes).
+    pub total_bytes: u64,
+}
+
+/// Encode a complete [`Opcode::ChunkEnd`] frame.
+pub fn encode_chunk_end(request_id: u64, end: ChunkEnd) -> Vec<u8> {
+    let mut body = [0u8; 12];
+    body[..4].copy_from_slice(&end.objects.to_le_bytes());
+    body[4..12].copy_from_slice(&end.total_bytes.to_le_bytes());
+    encode_frame(Opcode::ChunkEnd, request_id, &body)
+}
+
+/// Decode a [`Opcode::ChunkEnd`] body.
+pub fn decode_chunk_end(payload: &[u8]) -> Result<ChunkEnd, WireError> {
+    let mut r = Rd::new(payload);
+    let objects = r.u32()?;
+    let total_bytes = r.u64()?;
+    r.done()?;
+    Ok(ChunkEnd {
+        objects,
+        total_bytes,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
@@ -477,6 +707,27 @@ pub enum Request {
     Stats,
     /// Request a graceful service shutdown.
     Shutdown,
+    /// Open a chunked put stream: the descriptor travels now, the payload
+    /// follows in `ChunkData` sub-frames under the same request id.
+    PutChunked {
+        /// Descriptor of the object being streamed (carries total length).
+        desc: ObjectDesc,
+        /// Proposed sub-frame size; both sides clamp it with
+        /// [`clamp_chunk_size`].
+        chunk_size: u32,
+    },
+    /// Fetch objects as a chunked stream.
+    GetChunked {
+        /// Variable name.
+        name: String,
+        /// Version (simulation step).
+        version: u64,
+        /// Optional spatial filter.
+        query: Option<IBox>,
+        /// Proposed sub-frame size; the service clamps it and echoes the
+        /// effective size in `GetChunkedOk`.
+        chunk_size: u32,
+    },
 }
 
 impl Request {
@@ -489,12 +740,19 @@ impl Request {
             Request::Delete { .. } => Opcode::Delete,
             Request::Stats => Opcode::Stats,
             Request::Shutdown => Opcode::Shutdown,
+            Request::PutChunked { .. } => Opcode::PutChunked,
+            Request::GetChunked { .. } => Opcode::GetChunked,
         }
     }
 
-    /// Encode into a complete frame under `request_id`.
-    pub fn encode(&self, request_id: u64) -> Vec<u8> {
-        let mut w = Wr::default();
+    /// Encode the body (everything after the header) into `out`, which is
+    /// cleared first. Split from [`Request::encode`] so send paths can fill
+    /// a pooled scratch buffer and write header + body vectored.
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut w = Wr {
+            buf: std::mem::take(out),
+        };
         match self {
             Request::Put(obj) => w.object(obj),
             Request::Get {
@@ -518,14 +776,36 @@ impl Request {
                 w.u64(*before_version);
             }
             Request::Stats | Request::Shutdown => {}
+            Request::PutChunked { desc, chunk_size } => {
+                w.desc(desc);
+                w.u32(*chunk_size);
+            }
+            Request::GetChunked {
+                name,
+                version,
+                query,
+                chunk_size,
+            } => {
+                w.string(name);
+                w.u64(*version);
+                w.opt_ibox(query.as_ref());
+                w.u32(*chunk_size);
+            }
         }
-        encode_frame(self.opcode(), request_id, &w.buf)
+        *out = w.buf;
     }
 
-    /// Decode a request body from a verified frame.
-    pub fn decode(frame: &Frame) -> Result<Request, WireError> {
-        let mut r = Rd::new(&frame.payload);
-        let req = match frame.opcode {
+    /// Encode into a complete frame under `request_id`.
+    pub fn encode(&self, request_id: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.encode_body(&mut body);
+        encode_frame(self.opcode(), request_id, &body)
+    }
+
+    /// Decode a request body from its opcode and verified payload bytes.
+    pub fn decode_body(opcode: Opcode, payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Rd::new(payload);
+        let req = match opcode {
             Opcode::Put => Request::Put(r.object()?),
             Opcode::Get => Request::Get {
                 name: r.string()?,
@@ -542,10 +822,25 @@ impl Request {
             },
             Opcode::Stats => Request::Stats,
             Opcode::Shutdown => Request::Shutdown,
+            Opcode::PutChunked => Request::PutChunked {
+                desc: r.desc()?,
+                chunk_size: r.u32()?,
+            },
+            Opcode::GetChunked => Request::GetChunked {
+                name: r.string()?,
+                version: r.u64()?,
+                query: r.opt_ibox()?,
+                chunk_size: r.u32()?,
+            },
             other => return Err(WireError::UnexpectedOpcode(other as u8)),
         };
         r.done()?;
         Ok(req)
+    }
+
+    /// Decode a request body from a verified frame.
+    pub fn decode(frame: &Frame) -> Result<Request, WireError> {
+        Request::decode_body(frame.opcode, &frame.payload)
     }
 }
 
@@ -583,6 +878,12 @@ pub struct ServiceSnapshot {
     pub used: u64,
     /// Total staging capacity in bytes.
     pub capacity: u64,
+    /// Wire-buffer acquisitions satisfied from the service's buffer pool.
+    pub pool_hits: u64,
+    /// Wire-buffer acquisitions that had to allocate fresh memory.
+    pub pool_misses: u64,
+    /// Pooled buffers currently checked out by service workers.
+    pub pool_outstanding: u64,
 }
 
 /// A typed error response. `OutOfMemory` mirrors
@@ -669,6 +970,21 @@ pub enum Response {
     StatsOk(ServiceSnapshot),
     /// Shutdown acknowledged; the service stops accepting work.
     ShutdownOk,
+    /// Chunked put assembled and stored; the shard it landed on.
+    PutChunkedOk {
+        /// Index of the staging server that stored the object.
+        shard: u32,
+    },
+    /// Header of a chunked get stream: the matching descriptors and the
+    /// effective (clamped) chunk size. `ChunkData`/`ChunkEnd` frames with
+    /// the same request id follow immediately.
+    GetChunkedOk {
+        /// Descriptors of the objects about to be streamed, in stream
+        /// (object-index) order.
+        descs: Vec<ObjectDesc>,
+        /// The chunk size the service will actually use.
+        chunk_size: u32,
+    },
     /// Typed failure.
     Error(ErrorFrame),
 }
@@ -683,13 +999,20 @@ impl Response {
             Response::DeleteOk { .. } => Opcode::DeleteOk,
             Response::StatsOk(_) => Opcode::StatsOk,
             Response::ShutdownOk => Opcode::ShutdownOk,
+            Response::PutChunkedOk { .. } => Opcode::PutChunkedOk,
+            Response::GetChunkedOk { .. } => Opcode::GetChunkedOk,
             Response::Error(_) => Opcode::Error,
         }
     }
 
-    /// Encode into a complete frame echoing `request_id`.
-    pub fn encode(&self, request_id: u64) -> Vec<u8> {
-        let mut w = Wr::default();
+    /// Encode the body (everything after the header) into `out`, which is
+    /// cleared first — the scratch-buffer counterpart of
+    /// [`Response::encode`].
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut w = Wr {
+            buf: std::mem::take(out),
+        };
         match self {
             Response::PutOk { shard } => w.u32(*shard),
             Response::GetOk(objs) => {
@@ -720,11 +1043,22 @@ impl Response {
                     s.bytes_out,
                     s.used,
                     s.capacity,
+                    s.pool_hits,
+                    s.pool_misses,
+                    s.pool_outstanding,
                 ] {
                     w.u64(v);
                 }
             }
             Response::ShutdownOk => {}
+            Response::PutChunkedOk { shard } => w.u32(*shard),
+            Response::GetChunkedOk { descs, chunk_size } => {
+                w.u32(descs.len() as u32);
+                for d in descs {
+                    w.desc(d);
+                }
+                w.u32(*chunk_size);
+            }
             Response::Error(e) => {
                 w.u16(e.code());
                 match e {
@@ -746,13 +1080,20 @@ impl Response {
                 }
             }
         }
-        encode_frame(self.opcode(), request_id, &w.buf)
+        *out = w.buf;
     }
 
-    /// Decode a response body from a verified frame.
-    pub fn decode(frame: &Frame) -> Result<Response, WireError> {
-        let mut r = Rd::new(&frame.payload);
-        let resp = match frame.opcode {
+    /// Encode into a complete frame echoing `request_id`.
+    pub fn encode(&self, request_id: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.encode_body(&mut body);
+        encode_frame(self.opcode(), request_id, &body)
+    }
+
+    /// Decode a response body from its opcode and verified payload bytes.
+    pub fn decode_body(opcode: Opcode, payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Rd::new(payload);
+        let resp = match opcode {
             Opcode::PutOk => Response::PutOk { shard: r.u32()? },
             Opcode::GetOk => {
                 let n = r.u32()? as usize;
@@ -789,8 +1130,23 @@ impl Response {
                 bytes_out: r.u64()?,
                 used: r.u64()?,
                 capacity: r.u64()?,
+                pool_hits: r.u64()?,
+                pool_misses: r.u64()?,
+                pool_outstanding: r.u64()?,
             }),
             Opcode::ShutdownOk => Response::ShutdownOk,
+            Opcode::PutChunkedOk => Response::PutChunkedOk { shard: r.u32()? },
+            Opcode::GetChunkedOk => {
+                let n = r.u32()? as usize;
+                let mut descs = Vec::with_capacity(n.min(r.remaining() / 8 + 1));
+                for _ in 0..n {
+                    descs.push(r.desc()?);
+                }
+                Response::GetChunkedOk {
+                    descs,
+                    chunk_size: r.u32()?,
+                }
+            }
             Opcode::Error => {
                 let code = r.u16()?;
                 let e = match code {
@@ -815,6 +1171,11 @@ impl Response {
         };
         r.done()?;
         Ok(resp)
+    }
+
+    /// Decode a response body from a verified frame.
+    pub fn decode(frame: &Frame) -> Result<Response, WireError> {
+        Response::decode_body(frame.opcode, &frame.payload)
     }
 }
 
@@ -922,6 +1283,221 @@ mod tests {
         assert_eq!(checksum(b"foobar"), 0xbf9cf968);
     }
 
+    #[test]
+    fn checksum_update_composes() {
+        // Streaming over split buffers equals one pass over the
+        // concatenation — the invariant the vectored send/receive paths
+        // rely on.
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..=data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(checksum_update(checksum(a), b), checksum(data));
+        }
+    }
+
+    // --- chunked stream sub-frames -----------------------------------------
+
+    #[test]
+    fn golden_chunk_data_bytes() {
+        // Header + prefix of a chunk at offset 2^20 of object 1, with the
+        // data bytes themselves vectored separately. Every byte pinned.
+        let data = [0xAAu8, 0xBB, 0xCC];
+        let (header, prefix) = chunk_data_parts(9, 1, 1 << 20, &data);
+        let mut whole = Vec::new();
+        whole.extend_from_slice(&prefix);
+        whole.extend_from_slice(&data);
+        let cks = checksum(&prefix) ^ checksum(&data);
+        assert_eq!(
+            header,
+            [
+                b'X',
+                b'L',
+                b'N',
+                b'T', // magic
+                0x01,
+                0x00, // version 1 LE
+                0x09, // opcode ChunkData
+                0x00, // flags
+                0x09,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0, // request id 9 LE
+                15,
+                0,
+                0,
+                0, // payload length 12 + 3
+                // checksum(prefix) XOR checksum(data)
+                cks.to_le_bytes()[0],
+                cks.to_le_bytes()[1],
+                cks.to_le_bytes()[2],
+                cks.to_le_bytes()[3],
+            ]
+        );
+        // Supplying the data sum from a cache produces the identical frame.
+        assert_eq!(
+            chunk_data_parts_cached(9, 1, 1 << 20, checksum(&data), data.len()),
+            (header, prefix)
+        );
+        assert_eq!(
+            prefix,
+            [
+                0x01, 0, 0, 0, // object index 1 LE
+                0, 0, 0x10, 0, 0, 0, 0, 0, // offset 2^20 LE
+            ]
+        );
+        // The vectored parts reassemble into exactly what decode expects.
+        let cd = decode_chunk_data(&whole).unwrap();
+        assert_eq!(cd.index, 1);
+        assert_eq!(cd.offset, 1 << 20);
+        assert_eq!(cd.data, &data);
+        let mut p = [0u8; CHUNK_PREFIX_LEN];
+        p.copy_from_slice(&prefix);
+        assert_eq!(decode_chunk_prefix(&p), (1, 1 << 20));
+    }
+
+    #[test]
+    fn golden_chunk_end_bytes() {
+        let buf = encode_chunk_end(
+            4,
+            ChunkEnd {
+                objects: 2,
+                total_bytes: 0x0102,
+            },
+        );
+        let payload = [
+            2, 0, 0, 0, // objects 2 LE
+            0x02, 0x01, 0, 0, 0, 0, 0, 0, // total_bytes 0x0102 LE
+        ];
+        let mut expect = vec![
+            b'X', b'L', b'N', b'T', 0x01, 0x00, 0x0A, 0x00, // magic, v1, ChunkEnd, flags
+            0x04, 0, 0, 0, 0, 0, 0, 0, // request id 4
+            12, 0, 0, 0, // payload length 12
+        ];
+        expect.extend_from_slice(&checksum(&payload).to_le_bytes());
+        expect.extend_from_slice(&payload);
+        assert_eq!(buf, expect);
+        let end = decode_chunk_end(&payload).unwrap();
+        assert_eq!(end.objects, 2);
+        assert_eq!(end.total_bytes, 0x0102);
+    }
+
+    #[test]
+    fn golden_put_chunked_request_bytes() {
+        let obj = tiny_object();
+        let buf = Request::PutChunked {
+            desc: obj.desc.clone(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+        .encode(6);
+        // Body: desc (as in golden_put_request_bytes, without payload) +
+        // chunk size.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(b'r');
+        body.extend_from_slice(&2u64.to_le_bytes());
+        for _ in 0..2 {
+            for v in [0i64, 0, 0, 0, 0, 0] {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        body.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+        body.extend_from_slice(&8u64.to_le_bytes());
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&DEFAULT_CHUNK_SIZE.to_le_bytes());
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x01, 0x00, 0x07, 0x00];
+        expect.extend_from_slice(&6u64.to_le_bytes());
+        expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        expect.extend_from_slice(&checksum(&body).to_le_bytes());
+        expect.extend_from_slice(&body);
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn chunked_request_roundtrips() {
+        let obj = tiny_object();
+        let frame = decode_whole(
+            &Request::PutChunked {
+                desc: obj.desc.clone(),
+                chunk_size: 4096,
+            }
+            .encode(8),
+        );
+        match Request::decode(&frame).unwrap() {
+            Request::PutChunked { desc, chunk_size } => {
+                assert_eq!(desc, obj.desc);
+                assert_eq!(chunk_size, 4096);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        for query in [None, Some(IBox::cube(2))] {
+            let frame = decode_whole(
+                &Request::GetChunked {
+                    name: "field".into(),
+                    version: 3,
+                    query,
+                    chunk_size: 1 << 16,
+                }
+                .encode(9),
+            );
+            match Request::decode(&frame).unwrap() {
+                Request::GetChunked {
+                    name,
+                    version,
+                    query: q,
+                    chunk_size,
+                } => {
+                    assert_eq!(name, "field");
+                    assert_eq!(version, 3);
+                    assert_eq!(q, query);
+                    assert_eq!(chunk_size, 1 << 16);
+                }
+                other => panic!("wrong request: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn put_frame_parts_matches_whole_encode() {
+        let obj = tiny_object();
+        let mut scratch = Vec::new();
+        let header = put_frame_parts(&obj, 3, &mut scratch);
+        let mut vectored = header.to_vec();
+        vectored.extend_from_slice(&scratch);
+        vectored.extend_from_slice(obj.payload.as_ref());
+        assert_eq!(vectored, Request::Put(obj).encode(3));
+    }
+
+    #[test]
+    fn chunk_size_negotiation_clamps() {
+        assert_eq!(clamp_chunk_size(0), MIN_CHUNK_SIZE);
+        assert_eq!(clamp_chunk_size(MIN_CHUNK_SIZE), MIN_CHUNK_SIZE);
+        assert_eq!(clamp_chunk_size(DEFAULT_CHUNK_SIZE), DEFAULT_CHUNK_SIZE);
+        assert_eq!(clamp_chunk_size(u32::MAX), MAX_CHUNK_SIZE);
+    }
+
+    #[test]
+    fn chunk_stream_frames_not_legal_as_requests_or_responses() {
+        for op in [Opcode::ChunkData, Opcode::ChunkEnd] {
+            let frame = Frame {
+                opcode: op,
+                request_id: 0,
+                payload: vec![0u8; CHUNK_PREFIX_LEN],
+            };
+            assert!(matches!(
+                Request::decode(&frame),
+                Err(WireError::UnexpectedOpcode(_))
+            ));
+            assert!(matches!(
+                Response::decode(&frame),
+                Err(WireError::UnexpectedOpcode(_))
+            ));
+        }
+    }
+
     // --- roundtrips --------------------------------------------------------
 
     #[test]
@@ -983,14 +1559,22 @@ mod tests {
             bytes_out: 11,
             used: 12,
             capacity: 13,
+            pool_hits: 14,
+            pool_misses: 15,
+            pool_outstanding: 16,
         };
         let cases: Vec<Response> = vec![
             Response::PutOk { shard: 3 },
             Response::GetOk(objs),
-            Response::QueryOk(descs),
+            Response::QueryOk(descs.clone()),
             Response::DeleteOk { bytes_freed: 512 },
             Response::StatsOk(snap),
             Response::ShutdownOk,
+            Response::PutChunkedOk { shard: 1 },
+            Response::GetChunkedOk {
+                descs,
+                chunk_size: DEFAULT_CHUNK_SIZE,
+            },
             Response::Error(ErrorFrame::OutOfMemory {
                 cap: 100,
                 used: 90,
@@ -1021,6 +1605,22 @@ mod tests {
                 }
                 (Response::StatsOk(a), Response::StatsOk(b)) => assert_eq!(a, b),
                 (Response::ShutdownOk, Response::ShutdownOk) => {}
+                (Response::PutChunkedOk { shard: a }, Response::PutChunkedOk { shard: b }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    Response::GetChunkedOk {
+                        descs: a,
+                        chunk_size: ca,
+                    },
+                    Response::GetChunkedOk {
+                        descs: b,
+                        chunk_size: cb,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(ca, cb);
+                }
                 (Response::Error(a), Response::Error(b)) => assert_eq!(a, b),
                 (a, b) => panic!("mismatched roundtrip: {a:?} vs {b:?}"),
             }
@@ -1170,6 +1770,12 @@ mod tests {
                 Opcode::GetOk,
                 Opcode::StatsOk,
                 Opcode::Error,
+                Opcode::PutChunked,
+                Opcode::GetChunked,
+                Opcode::ChunkData,
+                Opcode::ChunkEnd,
+                Opcode::PutChunkedOk,
+                Opcode::GetChunkedOk,
             ] {
                 let frame = Frame {
                     opcode: op,
@@ -1178,6 +1784,13 @@ mod tests {
                 };
                 let _ = Request::decode(&frame);
                 let _ = Response::decode(&frame);
+            }
+            let _ = decode_chunk_data(&buf);
+            let _ = decode_chunk_end(&buf);
+            if len >= CHUNK_PREFIX_LEN {
+                let mut p = [0u8; CHUNK_PREFIX_LEN];
+                p.copy_from_slice(&buf[..CHUNK_PREFIX_LEN]);
+                let _ = decode_chunk_prefix(&p);
             }
         }
     }

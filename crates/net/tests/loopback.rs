@@ -33,6 +33,7 @@ fn quick_client(addr: &str) -> RemoteClient {
             max_retries: 2,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(20),
+            ..ClientConfig::default()
         },
     )
     .unwrap()

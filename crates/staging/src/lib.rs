@@ -28,4 +28,6 @@ pub use object::{DataObject, ObjectDesc, ObjectKey};
 pub use pubsub::{PubSubSpace, PublishStats, Subscription};
 pub use server::{StagingError, StagingServer};
 pub use space::{DataSpace, Sharding};
-pub use transport::{AsyncStager, DrainError, TransportClosed, TransportStats};
+pub use transport::{
+    AsyncStager, BatchClosed, DrainError, StageTask, TransportClosed, TransportStats,
+};

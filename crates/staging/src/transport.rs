@@ -57,9 +57,19 @@ impl TransportStats {
     /// Record that one object under `key` finished processing (stored,
     /// rejected, or failed) and wake any waiters.
     pub fn note_processed(&self, key: &ObjectKey) {
+        self.note_processed_n(key, 1);
+    }
+
+    /// Record `n` processed objects under `key` in one lock acquisition —
+    /// the batch hand-off path counts a whole step's transfers with a
+    /// single notify instead of one waiter wake-up per object.
+    pub fn note_processed_n(&self, key: &ObjectKey, n: u64) {
+        if n == 0 {
+            return;
+        }
         let mut map = self.processed.lock();
         if !map.closed {
-            *map.counts.entry(key.clone()).or_insert(0) += 1;
+            *map.counts.entry(key.clone()).or_insert(0) += n;
         }
         drop(map);
         self.cv.notify_all();
@@ -112,6 +122,72 @@ impl TransportStats {
     }
 }
 
+/// One unit of work for the transfer threads: an object ready to store,
+/// or a deferred pack the transfer thread materializes first. Deferral is
+/// how a producer moves the payload copy itself off its critical path —
+/// it snapshots the cheap-to-copy source, hands the stager a closure, and
+/// returns to the solve while a transfer thread runs the actual pack.
+pub enum StageTask {
+    /// A fully-packed object.
+    Ready(DataObject),
+    /// A pack to run on the transfer thread. The closure owns everything
+    /// it reads (no borrows of live simulation state), so it can run any
+    /// time before the transport drains.
+    Deferred(Box<dyn FnOnce() -> DataObject + Send>),
+}
+
+impl StageTask {
+    /// Wrap a deferred pack.
+    pub fn deferred(pack: impl FnOnce() -> DataObject + Send + 'static) -> Self {
+        StageTask::Deferred(Box::new(pack))
+    }
+
+    /// Produce the object: identity for `Ready`, runs the pack for
+    /// `Deferred`.
+    pub fn materialize(self) -> DataObject {
+        match self {
+            StageTask::Ready(obj) => obj,
+            StageTask::Deferred(pack) => pack(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StageTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageTask::Ready(obj) => f.debug_tuple("Ready").field(&obj.desc.key).finish(),
+            StageTask::Deferred(_) => f.write_str("Deferred(..)"),
+        }
+    }
+}
+
+/// A batch put was refused because the transport is shut down. Carries
+/// back every task that did *not* enter the queue (`rest`), plus how many
+/// of the batch did (`enqueued`) — the caller runs the remainder
+/// synchronously and counts only the enqueued ones toward the transport's
+/// rendezvous.
+#[derive(Debug)]
+pub struct BatchClosed {
+    /// Tasks from the front of the batch that the queue accepted before
+    /// closing (always 0 for the all-or-nothing [`AsyncStager`]).
+    pub enqueued: u64,
+    /// The tasks handed back, in their original order.
+    pub rest: Vec<StageTask>,
+}
+
+impl std::fmt::Display for BatchClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "async transport closed; {} of a batch enqueued, {} task(s) returned to caller",
+            self.enqueued,
+            self.rest.len()
+        )
+    }
+}
+
+impl std::error::Error for BatchClosed {}
+
 /// A put was refused because the transport is shut down (queue closed or
 /// every transfer thread gone). Carries the object back so the caller can
 /// retry synchronously — the payload is never lost to the error path.
@@ -156,8 +232,14 @@ impl std::error::Error for DrainError {}
 
 /// An asynchronous put pipeline: `put` enqueues and returns immediately;
 /// transfer threads drain the queue into the [`DataSpace`].
+///
+/// The queue carries *batches* of [`StageTask`]s: a producer hands off a
+/// whole step's objects in one channel send, and the transfer thread
+/// answers with one rendezvous notification per key — not one wake-up per
+/// object ping-ponging the stats lock between the transfer thread and a
+/// waiting consumer.
 pub struct AsyncStager {
-    tx: Option<Sender<DataObject>>,
+    tx: Option<Sender<Vec<StageTask>>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<TransportStats>,
     space: Arc<DataSpace>,
@@ -165,10 +247,10 @@ pub struct AsyncStager {
 
 impl AsyncStager {
     /// Start `nthreads` transfer threads over `space` with a queue depth of
-    /// `queue_depth` objects.
+    /// `queue_depth` batches.
     pub fn new(space: Arc<DataSpace>, nthreads: usize, queue_depth: usize) -> Self {
         assert!(nthreads > 0);
-        let (tx, rx) = bounded::<DataObject>(queue_depth.max(1));
+        let (tx, rx) = bounded::<Vec<StageTask>>(queue_depth.max(1));
         let stats = Arc::new(TransportStats::default());
         let workers = (0..nthreads)
             .map(|_| {
@@ -176,19 +258,32 @@ impl AsyncStager {
                 let space = Arc::clone(&space);
                 let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
-                    while let Ok(obj) = rx.recv() {
-                        let bytes = obj.desc.bytes;
-                        let key = obj.desc.key.clone();
-                        match space.put(obj) {
-                            Ok(_) => {
-                                stats.delivered.fetch_add(1, Ordering::Relaxed);
-                                stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+                    while let Ok(batch) = rx.recv() {
+                        // Per-key processed tally for this batch; a batch
+                        // rarely spans more than one key, so a flat Vec
+                        // beats a map.
+                        let mut notes: Vec<(ObjectKey, u64)> = Vec::new();
+                        for task in batch {
+                            let obj = task.materialize();
+                            let bytes = obj.desc.bytes;
+                            let key = obj.desc.key.clone();
+                            match space.put(obj) {
+                                Ok(_) => {
+                                    stats.delivered.fetch_add(1, Ordering::Relaxed);
+                                    stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+                                }
+                                Err(StagingError::OutOfMemory { .. }) => {
+                                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
-                            Err(StagingError::OutOfMemory { .. }) => {
-                                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            match notes.iter_mut().find(|(k, _)| *k == key) {
+                                Some((_, n)) => *n += 1,
+                                None => notes.push((key, 1)),
                             }
                         }
-                        stats.note_processed(&key);
+                        for (key, n) in notes {
+                            stats.note_processed_n(&key, n);
+                        }
                     }
                 })
             })
@@ -210,10 +305,34 @@ impl AsyncStager {
     // exists to prevent, and the hot path (Ok) moves nothing.
     #[allow(clippy::result_large_err)]
     pub fn put(&self, obj: DataObject) -> Result<(), TransportClosed> {
+        match self.put_batch(vec![StageTask::Ready(obj)]) {
+            Ok(()) => Ok(()),
+            Err(closed) => match closed.rest.into_iter().next() {
+                Some(task) => Err(TransportClosed(task.materialize())),
+                // The batch held exactly one task, so an empty remainder
+                // means it was enqueued after all.
+                None => Ok(()),
+            },
+        }
+    }
+
+    /// Enqueue a whole batch of tasks in one channel send — all or
+    /// nothing. On a closed transport every task comes back in the error
+    /// so the caller can materialize and store them synchronously.
+    pub fn put_batch(&self, tasks: Vec<StageTask>) -> Result<(), BatchClosed> {
+        if tasks.is_empty() {
+            return Ok(());
+        }
         let Some(tx) = self.tx.as_ref() else {
-            return Err(TransportClosed(obj));
+            return Err(BatchClosed {
+                enqueued: 0,
+                rest: tasks,
+            });
         };
-        tx.send(obj).map_err(|e| TransportClosed(e.0))
+        tx.send(tasks).map_err(|e| BatchClosed {
+            enqueued: 0,
+            rest: e.0,
+        })
     }
 
     /// The staging space being written.
@@ -424,6 +543,80 @@ mod tests {
         stats.wait_processed("rho", 1000, 5);
         // Aggregate counters survive the prune.
         assert_eq!(stats.delivered.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn batch_put_delivers_ready_and_deferred_alike() {
+        let space = Arc::new(DataSpace::new(2, 1 << 20, Sharding::BboxHash));
+        let stager = AsyncStager::new(Arc::clone(&space), 2, 4);
+        let stats = stager.stats();
+        // One batch mixing a packed object with deferred packs that run on
+        // the transfer thread.
+        let producer = std::thread::current().id();
+        stager
+            .put_batch(vec![
+                StageTask::Ready(obj(1, 0)),
+                StageTask::deferred(move || {
+                    assert_ne!(
+                        std::thread::current().id(),
+                        producer,
+                        "deferred pack ran on the producer thread"
+                    );
+                    obj(1, 8)
+                }),
+                StageTask::deferred(|| obj(1, 16)),
+            ])
+            .unwrap();
+        stats.wait_processed("rho", 1, 3);
+        assert_eq!(space.get("rho", 1, None).len(), 3);
+        let (delivered, rejected) = stager.drain().unwrap();
+        assert_eq!((delivered, rejected), (3, 0));
+    }
+
+    #[test]
+    fn batch_put_after_drain_returns_every_task() {
+        let space = Arc::new(DataSpace::new(1, 1 << 20, Sharding::RoundRobin));
+        let stager = AsyncStager::new(Arc::clone(&space), 1, 4);
+        let stats = stager.stats();
+        // Empty batches are a no-op even on a live transport.
+        stager.put_batch(Vec::new()).unwrap();
+        // Steal the sender to simulate a dead transport while keeping the
+        // stager value alive.
+        let dead = AsyncStager {
+            tx: None,
+            workers: Vec::new(),
+            stats: Arc::clone(&stats),
+            space: Arc::clone(&space),
+        };
+        let err = dead
+            .put_batch(vec![
+                StageTask::Ready(obj(2, 0)),
+                StageTask::deferred(|| obj(2, 8)),
+            ])
+            .unwrap_err();
+        assert_eq!(err.enqueued, 0);
+        assert_eq!(err.rest.len(), 2);
+        // Nothing was lost: the caller can materialize and store directly.
+        for task in err.rest {
+            space.put(task.materialize()).unwrap();
+        }
+        assert_eq!(space.get("rho", 2, None).len(), 2);
+        stager.drain().unwrap();
+    }
+
+    #[test]
+    fn single_put_round_trips_through_the_batch_channel() {
+        // `put` is now a one-task batch; the closed-transport error must
+        // still hand the object itself back.
+        let space = Arc::new(DataSpace::new(1, 1 << 20, Sharding::RoundRobin));
+        let dead = AsyncStager {
+            tx: None,
+            workers: Vec::new(),
+            stats: Arc::new(TransportStats::default()),
+            space: Arc::clone(&space),
+        };
+        let TransportClosed(back) = dead.put(obj(3, 0)).unwrap_err();
+        assert_eq!(back.desc.key, crate::object::ObjectKey::new("rho", 3));
     }
 
     #[test]

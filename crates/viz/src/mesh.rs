@@ -62,17 +62,46 @@ impl TriMesh {
         );
     }
 
-    /// Concatenate many meshes into one, in order, in parallel.
+    /// Concatenate many meshes into one, in order.
     ///
     /// Output sizes and per-part vertex bases are prefix sums of the input
-    /// counts, so the result buffers are allocated once at final size and
-    /// each part copies (and index-remaps) into its own disjoint slice —
+    /// counts, so the result buffers are allocated once at final size —
     /// equivalent to repeated [`TriMesh::append`] but without the serial
-    /// reallocation-and-copy chain.
+    /// reallocation-and-copy chain. Small merges (under
+    /// [`CONCAT_PARALLEL_MIN_BYTES`] of output) copy serially into the
+    /// exact-capacity buffers; larger ones index-remap each part into its
+    /// own disjoint slice in parallel.
     pub fn concat(parts: &[&TriMesh]) -> TriMesh {
+        // With a single rayon thread there is no parallelism to buy with
+        // the parallel path's fork-join and zero-fill overhead, whatever
+        // the output size — stay serial.
+        let min_bytes = if rayon::current_num_threads() > 1 {
+            CONCAT_PARALLEL_MIN_BYTES
+        } else {
+            usize::MAX
+        };
+        Self::concat_impl(parts, min_bytes)
+    }
+
+    fn concat_impl(parts: &[&TriMesh], parallel_min_bytes: usize) -> TriMesh {
         use rayon::prelude::*;
         let total_v: usize = parts.iter().map(|m| m.vertices.len()).sum();
         let total_t: usize = parts.iter().map(|m| m.triangles.len()).sum();
+        let out_bytes =
+            total_v * std::mem::size_of::<Point>() + total_t * std::mem::size_of::<[u32; 3]>();
+        if out_bytes < parallel_min_bytes {
+            // Small output: the fork-join and zero-fill overhead of the
+            // parallel path exceeds the copy it saves. Build serially into
+            // exact-capacity buffers (no reallocation chain, no memset).
+            let mut out = TriMesh {
+                vertices: Vec::with_capacity(total_v),
+                triangles: Vec::with_capacity(total_t),
+            };
+            for src in parts {
+                out.append(src);
+            }
+            return out;
+        }
         let mut vertices = vec![[0.0f64; 3]; total_v];
         let mut triangles = vec![[0u32; 3]; total_t];
         struct Job<'a> {
@@ -196,6 +225,10 @@ impl TriMesh {
     }
 }
 
+/// Output size below which [`TriMesh::concat`] copies serially instead of
+/// fanning out to rayon: ~2 MiB, a few hundred per-grid surface patches.
+pub const CONCAT_PARALLEL_MIN_BYTES: usize = 2 << 20;
+
 /// Area of a single triangle.
 pub fn triangle_area(a: Point, b: Point, c: Point) -> f64 {
     let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
@@ -244,6 +277,14 @@ mod tests {
             serial.append(p);
         }
         let refs: Vec<&TriMesh> = parts.iter().collect();
+        // Both branches must agree with the serial reference: the
+        // exact-capacity path (threshold above the output size) and the
+        // parallel prefix-sum path (threshold 0 forces the rayon fan-out).
+        for threshold in [usize::MAX, 0] {
+            let got = TriMesh::concat_impl(&refs, threshold);
+            assert_eq!(got.vertices, serial.vertices);
+            assert_eq!(got.triangles, serial.triangles);
+        }
         let par = TriMesh::concat(&refs);
         assert_eq!(par.vertices, serial.vertices);
         assert_eq!(par.triangles, serial.triangles);

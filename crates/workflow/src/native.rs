@@ -32,7 +32,7 @@ use xlayer_net::client::{ClientConfig, RemoteClient, RemoteStager};
 use xlayer_platform::{CostModel, MachineSpec};
 use xlayer_solvers::{AmrSimulation, LevelSolver};
 use xlayer_staging::{
-    AsyncStager, DataObject, DataSpace, Sharding, TransportClosed, TransportStats,
+    AsyncStager, BatchClosed, DataObject, DataSpace, Sharding, StageTask, TransportStats,
 };
 use xlayer_viz::{extract_level, merge_surfaces, TriMesh};
 
@@ -161,8 +161,17 @@ enum Backend {
     Remote {
         client: RemoteClient,
         stager: Option<RemoteStager>,
+        /// Cached service headroom: `(calls_since_probe, bytes)`. The
+        /// stats round-trip is a policy input, not a correctness input,
+        /// and staging occupancy moves slowly — so the probe runs every
+        /// [`HEADROOM_STRIDE`]-th step instead of serializing an extra
+        /// RTT into every step of both the sync and overlapped paths.
+        headroom: std::cell::Cell<(u32, u64)>,
     },
 }
+
+/// Steps between remote headroom probes (see [`Backend::mem_available`]).
+const HEADROOM_STRIDE: u32 = 8;
 
 impl Backend {
     /// Synchronous put, used by the non-overlapped baseline and as the
@@ -180,6 +189,42 @@ impl Backend {
         }
     }
 
+    /// Whether an asynchronous transport is running.
+    fn overlapped(&self) -> bool {
+        match self {
+            Backend::Local { stager, .. } => stager.is_some(),
+            Backend::Remote { stager, .. } => stager.is_some(),
+        }
+    }
+
+    /// Hand a step's batch to the asynchronous transport. Returns how many
+    /// tasks entered the queue plus any refused remainder, which the
+    /// caller materializes and stores synchronously — the step degrades,
+    /// it does not die.
+    fn send_batch(&self, tasks: Vec<StageTask>) -> (u64, Vec<StageTask>) {
+        let total = tasks.len() as u64;
+        let result = match self {
+            Backend::Local {
+                stager: Some(stager),
+                ..
+            } => stager.put_batch(tasks),
+            Backend::Remote {
+                stager: Some(stager),
+                ..
+            } => stager.put_batch(tasks),
+            Backend::Local { stager: None, .. } | Backend::Remote { stager: None, .. } => {
+                Err(BatchClosed {
+                    enqueued: 0,
+                    rest: tasks,
+                })
+            }
+        };
+        match result {
+            Ok(()) => (total, Vec::new()),
+            Err(BatchClosed { enqueued, rest }) => (enqueued, rest),
+        }
+    }
+
     /// Bytes the staging side can still accept, for the engine's
     /// memory-pressure input. The remote probe costs one RTT; if the
     /// service cannot answer, report zero headroom so the policy treats an
@@ -187,10 +232,22 @@ impl Backend {
     fn mem_available(&self) -> u64 {
         match self {
             Backend::Local { space, .. } => space.capacity().saturating_sub(space.used()),
-            Backend::Remote { client, .. } => client
-                .service_stats()
-                .map(|s| s.capacity.saturating_sub(s.used))
-                .unwrap_or(0),
+            Backend::Remote {
+                client, headroom, ..
+            } => {
+                let (calls, cached) = headroom.get();
+                if calls == 0 {
+                    let fresh = client
+                        .service_stats()
+                        .map(|s| s.capacity.saturating_sub(s.used))
+                        .unwrap_or(0);
+                    headroom.set((HEADROOM_STRIDE - 1, fresh));
+                    fresh
+                } else {
+                    headroom.set((calls - 1, cached));
+                    cached
+                }
+            }
         }
     }
 }
@@ -272,6 +329,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                         Backend::Remote {
                             client: client.clone(),
                             stager: Some(stager),
+                            headroom: std::cell::Cell::new((0, 0)),
                         },
                         Reader::Remote(client),
                         transport,
@@ -526,55 +584,33 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                 // analysis job. (Native mode treats hybrid like in-transit:
                 // the split is a modeled-scale mechanism.)
                 let mut staged = 0u64;
+                let overlap = self.cfg.overlap_staging && self.backend.overlapped();
+                let mut tasks: Vec<StageTask> = Vec::new();
                 for l in 0..self.sim.hierarchy.num_levels() {
                     let dx = 1.0 / self.sim.hierarchy.ref_ratio().pow(l as u32) as f64;
-                    let objects = pack_level_objects(
-                        self.sim.hierarchy.level(l),
-                        self.cfg.comp,
-                        "field",
-                        stats.step,
-                        factor,
-                        dx,
-                    );
+                    let level = self.sim.hierarchy.level(l);
+                    let objects =
+                        pack_level_objects(level, self.cfg.comp, "field", stats.step, factor, dx);
                     for obj in objects {
                         moved += obj.desc.bytes;
-                        // Asynchronous back-pressured put: serialization
-                        // already happened above; ingest (local or over the
-                        // wire) overlaps the next solve. The analysis worker
-                        // rendezvouses via wait_processed, so only objects
-                        // that made it into the transport count toward
-                        // `staged`. If the transport has shut down the
-                        // object comes back in the error and we fall through
-                        // to the synchronous path — the step degrades, it
-                        // does not die.
-                        let overlap = self.cfg.overlap_staging;
-                        let put_back = match &self.backend {
-                            Backend::Local {
-                                stager: Some(stager),
-                                ..
-                            } if overlap => match stager.put(obj) {
-                                Ok(()) => {
-                                    staged += 1;
-                                    None
-                                }
-                                Err(TransportClosed(obj)) => Some(obj),
-                            },
-                            Backend::Remote {
-                                stager: Some(stager),
-                                ..
-                            } if overlap => match stager.put(obj) {
-                                Ok(()) => {
-                                    staged += 1;
-                                    None
-                                }
-                                Err(TransportClosed(obj)) => Some(obj),
-                            },
-                            // Synchronous baseline (or no transport left).
-                            _ => Some(obj),
-                        };
-                        if let Some(obj) = put_back {
+                        if overlap {
+                            tasks.push(StageTask::Ready(obj));
+                        } else {
                             self.backend.put_sync(obj);
                         }
+                    }
+                }
+                // One hand-off for the whole step: a single channel send
+                // and a single rendezvous notification per key, instead of
+                // a lock ping-pong per object between the transfer thread
+                // and the waiting analysis worker. Only tasks the transport
+                // accepted count toward the worker's rendezvous; a refused
+                // remainder is stored synchronously.
+                if overlap {
+                    let (enqueued, rest) = self.backend.send_batch(tasks);
+                    staged = enqueued;
+                    for task in rest {
+                        self.backend.put_sync(task.materialize());
                     }
                 }
                 self.moved_bytes += moved;
@@ -596,7 +632,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                         tx.send(Job {
                             version: stats.step,
                             iso: self.cfg.iso_value,
-                            expected: if self.cfg.overlap_staging { staged } else { 0 },
+                            expected: staged,
                         })
                         .is_ok()
                     })

@@ -1,0 +1,171 @@
+//! Ignored-by-default timing probe for the sync-vs-overlapped staging
+//! pipeline. Run with `--ignored --nocapture` to see where a step spends
+//! its time; CI never runs it (timing asserts on shared machines lie).
+
+use xlayer_amr::hierarchy::HierarchyConfig;
+use xlayer_amr::{IBox, ProblemDomain};
+use xlayer_core::Placement;
+use xlayer_solvers::{
+    AdvectDiffuseSolver, AmrSimulation, DriverConfig, ScalarProblem, VelocityField,
+};
+use xlayer_workflow::native::{NativeConfig, NativeWorkflow};
+
+fn blob_sim(n: i64) -> AmrSimulation<AdvectDiffuseSolver> {
+    let domain = ProblemDomain::periodic(IBox::cube(n));
+    let solver = AdvectDiffuseSolver::new(VelocityField::Constant([1.0, 0.0, 0.0]), 0.0, n);
+    let mut sim = AmrSimulation::new(
+        domain,
+        HierarchyConfig {
+            max_levels: 2,
+            base_max_box: 8,
+            ..Default::default()
+        },
+        solver,
+        DriverConfig {
+            tag_threshold: 0.02,
+            regrid_interval: 3,
+            ..Default::default()
+        },
+    );
+    ScalarProblem::Gaussian {
+        center: [n as f64 / 2.0; 3],
+        sigma: 2.5,
+    }
+    .init_hierarchy(&mut sim.hierarchy);
+    sim.regrid_now();
+    sim
+}
+
+fn run_pipeline(overlap: bool, steps: usize, remote: Option<String>) -> std::time::Duration {
+    let mut wf = NativeWorkflow::new(
+        blob_sim(16),
+        NativeConfig {
+            iso_value: 0.4,
+            overlap_staging: overlap,
+            placement_override: Some(Placement::InTransit),
+            staging_servers: 1,
+            workers: 1,
+            remote,
+            ..Default::default()
+        },
+    );
+    // Time the pipeline itself — steps plus drain — not the construction
+    // (hierarchy init, thread spawns, socket connects), which differs
+    // between the modes for reasons unrelated to staging overlap.
+    let t0 = std::time::Instant::now();
+    for _ in 0..steps {
+        wf.step();
+    }
+    let stepped = t0.elapsed();
+    let (_, outcomes, _) = wf.finish();
+    assert_eq!(outcomes.len(), steps);
+    let total = t0.elapsed();
+    if std::env::var("XLAYER_STEP_TIMING").is_ok() {
+        eprintln!(
+            "{}: steps {:.3} ms  drain {:.3} ms",
+            if overlap { "overlap" } else { "sync" },
+            stepped.as_secs_f64() * 1e3,
+            (total - stepped).as_secs_f64() * 1e3
+        );
+    }
+    if std::env::var("XLAYER_STEPS_ONLY").is_ok() {
+        stepped
+    } else {
+        total
+    }
+}
+
+#[test]
+#[ignore = "timing probe, run by hand with --nocapture"]
+fn component_costs() {
+    use xlayer_workflow::native::pack_level_objects;
+    // Solve-only loop: the floor the pipeline cannot beat.
+    let mut sim = blob_sim(16);
+    let t0 = std::time::Instant::now();
+    for _ in 0..4 {
+        sim.advance();
+        sim.hierarchy.fill_ghosts();
+    }
+    let solve = t0.elapsed();
+    // Pack cost per step, on the state after those solves.
+    let t0 = std::time::Instant::now();
+    let mut n_objects = 0;
+    for l in 0..sim.hierarchy.num_levels() {
+        let objs = pack_level_objects(sim.hierarchy.level(l), 0, "field", 0, 1, 1.0);
+        n_objects += objs.len();
+    }
+    let pack = t0.elapsed();
+    // Analysis cost: fetch-shaped extract over the packed objects.
+    let mut objects = Vec::new();
+    for l in 0..sim.hierarchy.num_levels() {
+        objects.extend(pack_level_objects(
+            sim.hierarchy.level(l),
+            0,
+            "field",
+            0,
+            1,
+            1.0,
+        ));
+    }
+    let t0 = std::time::Instant::now();
+    let parts: Vec<xlayer_viz::TriMesh> = objects
+        .iter()
+        .map(|obj| {
+            let fab = obj.to_fab();
+            xlayer_viz::extract_block(&fab, 0, &obj.desc.core, 0.4, obj.desc.dx, [0.0; 3])
+        })
+        .collect();
+    let refs: Vec<&xlayer_viz::TriMesh> = parts.iter().collect();
+    let mesh = xlayer_viz::TriMesh::concat(&refs);
+    let analysis = t0.elapsed();
+    println!(
+        "4 solves: {:.3} ms | pack x1 ({} objects): {:.3} ms | analysis x1: {:.3} ms ({} tris)",
+        solve.as_secs_f64() * 1e3,
+        n_objects,
+        pack.as_secs_f64() * 1e3,
+        analysis.as_secs_f64() * 1e3,
+        mesh.num_triangles(),
+    );
+}
+
+#[test]
+#[ignore = "timing probe, run by hand with --nocapture"]
+fn sync_vs_overlap_wall_time() {
+    let mut sync_best = f64::INFINITY;
+    let mut over_best = f64::INFINITY;
+    for _ in 0..7 {
+        sync_best = sync_best.min(run_pipeline(false, 4, None).as_secs_f64());
+        over_best = over_best.min(run_pipeline(true, 4, None).as_secs_f64());
+    }
+    println!(
+        "sync: {:.3} ms  overlapped: {:.3} ms  ratio: {:.3}",
+        sync_best * 1e3,
+        over_best * 1e3,
+        sync_best / over_best
+    );
+}
+
+#[test]
+#[ignore = "timing probe, run by hand with --nocapture"]
+fn sync_vs_overlap_wall_time_remote() {
+    let service = xlayer_net::service::StagingService::start(xlayer_net::service::ServiceConfig {
+        servers: 1,
+        memory_per_server: 1 << 30,
+        ..Default::default()
+    })
+    .expect("bind loopback staging service");
+    let addr = service.local_addr().to_string();
+    let mut sync_best = f64::INFINITY;
+    let mut over_best = f64::INFINITY;
+    for _ in 0..7 {
+        sync_best = sync_best.min(run_pipeline(false, 4, Some(addr.clone())).as_secs_f64());
+        over_best = over_best.min(run_pipeline(true, 4, Some(addr.clone())).as_secs_f64());
+    }
+    println!(
+        "sync: {:.3} ms  overlapped: {:.3} ms  ratio: {:.3}",
+        sync_best * 1e3,
+        over_best * 1e3,
+        sync_best / over_best
+    );
+    service.shutdown();
+}

@@ -134,7 +134,7 @@ fn remote_workflow_is_bit_identical_to_local() {
 
     // The service actually carried the traffic: as many puts as objects
     // delivered, and the analysis workers' evictions emptied the space.
-    let snap = service.stats().snapshot(service.space());
+    let snap = service.stats().snapshot(service.space(), service.pool());
     assert_eq!(snap.puts, remote.delivered);
     assert_eq!(snap.rejected_oom, 0);
     assert_eq!(snap.used, 0, "remote space not drained after analysis");

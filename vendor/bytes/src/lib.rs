@@ -3,7 +3,10 @@
 //! Provides [`Bytes`]: an immutable, reference-counted byte buffer. Clones
 //! share one heap allocation (the property the staging layer relies on for
 //! its zero-copy semantics); everything else is a thin veneer over
-//! `Arc<[u8]>`.
+//! `Arc<Vec<u8>>`. Backing the buffer with a `Vec` (rather than `Arc<[u8]>`)
+//! makes `From<Vec<u8>>` free — the conversion adopts the existing
+//! allocation instead of copying it — which the staging layer's pack and
+//! chunked-assembly paths rely on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,7 +18,7 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable chunk of contiguous memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -26,7 +29,9 @@ impl Bytes {
 
     /// Copy `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes {
+            data: Arc::new(data.to_vec()),
+        }
     }
 
     /// Length in bytes.
@@ -59,22 +64,21 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Adopts the vector's allocation without copying.
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        Bytes { data: Arc::new(v) }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes { data: v.into() }
+        Bytes::copy_from_slice(v)
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes {
-            data: v.as_bytes().into(),
-        }
+        Bytes::copy_from_slice(v.as_bytes())
     }
 }
 
@@ -122,5 +126,13 @@ mod tests {
         assert_eq!(a.len(), 16);
         assert!(!a.is_empty());
         assert_eq!(a[4..8].len(), 4);
+    }
+
+    #[test]
+    fn from_vec_adopts_the_allocation() {
+        let v = vec![9u8; 32];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), p);
     }
 }
