@@ -54,6 +54,18 @@ pub const EXPECTED_BENCH_KEYS: &[&str] = &[
     "net_get_whole_64mib",
     "net_put_chunked_throughput",
     "net_get_chunked_throughput",
+    "net_put_latency_p50",
+    "net_put_latency_p95",
+    "net_put_latency_p99",
+    "net_put_latency_max",
+    "net_get_latency_p50",
+    "net_get_latency_p95",
+    "net_get_latency_p99",
+    "net_get_latency_max",
+    "net_single_put_throughput",
+    "net_single_get_throughput",
+    "net_sharded_put_throughput",
+    "net_sharded_get_throughput",
 ];
 
 /// The derived ratios `bench_summary` writes under `"derived"`.
@@ -67,6 +79,7 @@ pub const EXPECTED_DERIVED_KEYS: &[&str] = &[
     "mesh_concat_speedup",
     "staging_overlap_speedup",
     "net_chunked_speedup_large",
+    "net_sharded_speedup",
 ];
 
 /// A recorded workload trace plus the real run's base-grid size, used to

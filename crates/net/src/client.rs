@@ -24,6 +24,7 @@ use xlayer_staging::{
     TransportStats,
 };
 
+use crate::hist::{LatencyHistogram, LatencySnapshot};
 use crate::iovec::write_vectored_all;
 use crate::pool::BufferPool;
 use crate::wire::{
@@ -145,6 +146,13 @@ struct ClientInner {
     pool: Mutex<Vec<TcpStream>>,
     bufs: Arc<BufferPool>,
     next_id: AtomicU64,
+    put_ns: LatencyHistogram,
+    get_ns: LatencyHistogram,
+}
+
+/// Nanoseconds since `t0`, saturating.
+pub(crate) fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// A client of a [`crate::service::StagingService`]. Cheap to clone (all
@@ -171,6 +179,8 @@ impl RemoteClient {
                 pool: Mutex::new(Vec::new()),
                 bufs: Arc::new(BufferPool::new()),
                 next_id: AtomicU64::new(1),
+                put_ns: LatencyHistogram::new(),
+                get_ns: LatencyHistogram::new(),
             }),
         })
     }
@@ -330,11 +340,16 @@ impl RemoteClient {
     /// [`ClientConfig::chunk_threshold`] stream as chunks, smaller ones go
     /// as a single frame.
     pub fn put(&self, obj: &DataObject) -> Result<u32, RemoteError> {
-        if obj.desc.bytes >= self.inner.cfg.chunk_threshold {
+        let t0 = std::time::Instant::now();
+        let res = if obj.desc.bytes >= self.inner.cfg.chunk_threshold {
             self.put_chunked(obj)
         } else {
             self.put_whole(obj)
+        };
+        if res.is_ok() {
+            self.inner.put_ns.record(elapsed_ns(t0));
         }
+        res
     }
 
     /// Store one object as a single `Put` frame, regardless of size (fails
@@ -407,7 +422,12 @@ impl RemoteClient {
         version: u64,
         query: Option<IBox>,
     ) -> Result<Vec<DataObject>, RemoteError> {
-        self.get_chunked(name, version, query)
+        let t0 = std::time::Instant::now();
+        let res = self.get_chunked(name, version, query);
+        if res.is_ok() {
+            self.inner.get_ns.record(elapsed_ns(t0));
+        }
+        res
     }
 
     /// Fetch objects as a single `GetOk` frame (fails when the result
@@ -590,6 +610,27 @@ impl RemoteClient {
                 other.opcode()
             ))),
         }
+    }
+
+    /// Percentile summary of successful [`Self::put`] wall times (includes
+    /// retries and backoff — the latency the producer actually saw).
+    pub fn put_latency(&self) -> LatencySnapshot {
+        self.inner.put_ns.snapshot()
+    }
+
+    /// Percentile summary of successful [`Self::get`] wall times.
+    pub fn get_latency(&self) -> LatencySnapshot {
+        self.inner.get_ns.snapshot()
+    }
+
+    /// The put-latency histogram itself (for cluster-wide aggregation).
+    pub(crate) fn put_hist(&self) -> &LatencyHistogram {
+        &self.inner.put_ns
+    }
+
+    /// The get-latency histogram itself (for cluster-wide aggregation).
+    pub(crate) fn get_hist(&self) -> &LatencyHistogram {
+        &self.inner.get_ns
     }
 
     /// Fetch the service's operation counters and occupancy.

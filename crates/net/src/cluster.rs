@@ -1,0 +1,735 @@
+//! A sharded staging cluster: N independent [`StagingService`] processes
+//! presented as one staging space.
+//!
+//! DataSpaces partitions its staging index spatially across servers so
+//! aggregate capacity and bandwidth scale with server count (Docan et
+//! al.). This module is that architecture over the xlayer wire protocol:
+//!
+//! * [`StagingCluster`] — an in-process harness spawning N services, each
+//!   with its own `DataSpace`, listener, and memory cap (paper Eq. 10 now
+//!   sizes the cluster in *servers*, the deployable unit, instead of
+//!   modeled cores);
+//! * [`ShardedClient`] — one pooled [`RemoteClient`] per shard, routing
+//!   puts by the object's region through a [`ShardMap`] and serving
+//!   region queries by concurrent scatter/gather over the shards the
+//!   query box can intersect, merged deterministically;
+//! * [`ShardedStager`] — the asynchronous put pipeline over a
+//!   `ShardedClient`, accounting-compatible with `AsyncStager` and
+//!   `RemoteStager`, with per-shard rejection counters.
+//!
+//! Degradation contract: a full shard answers a put with the typed
+//! `OutOfMemory` policy signal. The client first *spills* the object to
+//! sibling shards in ascending order (the same overflow rule as the
+//! in-process `DataSpace`); only when every shard is full does the error
+//! surface — tagged with the shard that owned the object — so the
+//! workflow can fall back per-object instead of failing the step. A
+//! transport-dead shard, by contrast, is never spilled around: its typed
+//! error surfaces immediately, and the other shards' pooled connections
+//! are untouched.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use xlayer_amr::boxes::IBox;
+use xlayer_staging::{
+    BatchClosed, DataObject, DrainError, ObjectDesc, ObjectKey, ShardMap, StageTask,
+    TransportClosed, TransportStats,
+};
+
+use crate::client::{elapsed_ns, ClientConfig, RemoteClient, RemoteError};
+use crate::hist::{LatencyHistogram, LatencySnapshot};
+use crate::service::{ServiceConfig, StagingService};
+use crate::wire::ServiceSnapshot;
+
+/// A remote operation failed on a specific shard.
+#[derive(Debug)]
+pub struct ShardedError {
+    /// The shard the failing operation was routed to (for a put that
+    /// exhausted every spill candidate: the shard that *owns* the object).
+    pub shard: usize,
+    /// That shard's service address.
+    pub addr: SocketAddr,
+    /// The underlying failure.
+    pub source: RemoteError,
+}
+
+impl std::fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} ({}): {}", self.shard, self.addr, self.source)
+    }
+}
+
+impl std::error::Error for ShardedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+struct ShardedInner {
+    shards: Vec<RemoteClient>,
+    map: ShardMap,
+    /// Set once any object leaves its home shard (spill) or exceeds the
+    /// placement span (oversized): region queries then broaden to every
+    /// shard, trading fan-out for guaranteed coverage.
+    broaden: AtomicBool,
+    put_ns: LatencyHistogram,
+    get_ns: LatencyHistogram,
+}
+
+/// A client of a sharded staging cluster. Cheap to clone (clones share
+/// the per-shard connection pools); safe to use from many threads.
+#[derive(Clone)]
+pub struct ShardedClient {
+    inner: Arc<ShardedInner>,
+}
+
+impl ShardedClient {
+    /// Build a client over one service address per shard, placing regions
+    /// with `span`-cell buckets (see [`ShardMap`]). Shard order is
+    /// placement: every client of the cluster must list the same
+    /// addresses in the same order.
+    pub fn connect(
+        addrs: &[impl AsRef<str>],
+        span: i64,
+        cfg: ClientConfig,
+    ) -> std::io::Result<Self> {
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "sharded client needs at least one shard address",
+            ));
+        }
+        let shards = addrs
+            .iter()
+            .map(|a| RemoteClient::connect(a.as_ref(), cfg.clone()))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ShardedClient {
+            inner: Arc::new(ShardedInner {
+                map: ShardMap::new(shards.len(), span),
+                shards,
+                broaden: AtomicBool::new(false),
+                put_ns: LatencyHistogram::new(),
+                get_ns: LatencyHistogram::new(),
+            }),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The placement map (shared by construction with every other client
+    /// of the same address list).
+    pub fn map(&self) -> &ShardMap {
+        &self.inner.map
+    }
+
+    /// The per-shard client, if `shard` is in range.
+    pub fn shard_client(&self, shard: usize) -> Option<&RemoteClient> {
+        self.inner.shards.get(shard)
+    }
+
+    /// Resolved per-shard addresses, in shard order.
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.inner.shards.iter().map(|c| c.addr()).collect()
+    }
+
+    fn err_on(&self, shard: usize, source: RemoteError) -> ShardedError {
+        let addr = self
+            .inner
+            .shards
+            .get(shard)
+            .map(|c| c.addr())
+            .unwrap_or_else(|| SocketAddr::from(([0, 0, 0, 0], 0)));
+        ShardedError {
+            shard,
+            addr,
+            source,
+        }
+    }
+
+    /// Store one object on its home shard; returns the shard it landed
+    /// on. On `OutOfMemory` the put spills to sibling shards in ascending
+    /// order (mirroring the in-process `DataSpace` overflow rule) and the
+    /// typed error — tagged with the owning shard — surfaces only when
+    /// the whole cluster is full. Transport failures never spill: a dead
+    /// shard must be visible, not silently remapped.
+    pub fn put(&self, obj: &DataObject) -> Result<usize, ShardedError> {
+        let t0 = std::time::Instant::now();
+        let home = self.inner.map.shard_of(&obj.desc.bbox);
+        if !self.inner.map.fits(&obj.desc.bbox) {
+            // Oversized for the span: placement still lands it on exactly
+            // one shard, but region queries can no longer prove coverage.
+            self.inner.broaden.store(true, Ordering::Relaxed);
+        }
+        let Some(home_client) = self.inner.shards.get(home) else {
+            return Err(self.err_on(
+                home,
+                RemoteError::Protocol(format!("placement chose shard {home} out of range")),
+            ));
+        };
+        let first = match home_client.put(obj) {
+            Ok(_) => {
+                self.inner.put_ns.record(elapsed_ns(t0));
+                return Ok(home);
+            }
+            Err(e @ RemoteError::OutOfMemory { .. }) => e,
+            Err(e) => return Err(self.err_on(home, e)),
+        };
+        for (i, sibling) in self.inner.shards.iter().enumerate() {
+            if i == home {
+                continue;
+            }
+            match sibling.put(obj) {
+                Ok(_) => {
+                    self.inner.broaden.store(true, Ordering::Relaxed);
+                    self.inner.put_ns.record(elapsed_ns(t0));
+                    return Ok(i);
+                }
+                Err(RemoteError::OutOfMemory { .. }) => continue,
+                // A sibling with transport trouble is no reason to fail
+                // the put: keep looking for room elsewhere.
+                Err(_) => continue,
+            }
+        }
+        Err(self.err_on(home, first))
+    }
+
+    /// The shards a fetch must consult for `query`.
+    fn fetch_targets(&self, query: &Option<IBox>) -> Vec<usize> {
+        match query {
+            None => self.inner.map.all_shards(),
+            Some(q) => {
+                if self.inner.broaden.load(Ordering::Relaxed) {
+                    if q.is_empty() {
+                        Vec::new()
+                    } else {
+                        self.inner.map.all_shards()
+                    }
+                } else {
+                    self.inner.map.query_shards(q)
+                }
+            }
+        }
+    }
+
+    /// Fetch the objects under `(name, version)` intersecting `query`
+    /// (all objects of the version if `None`) by scatter/gather: a
+    /// concurrent fetch per intersecting shard, merged into one list
+    /// sorted by `(name, version, bbox.lo, bbox.hi, origin_rank)` — the
+    /// same total order no matter how objects were distributed, so the
+    /// sharded read path is bit-compatible with a single server's.
+    ///
+    /// The first failing shard (lowest shard id) surfaces as the typed
+    /// error; healthy shards' pooled connections are unaffected.
+    pub fn get(
+        &self,
+        name: &str,
+        version: u64,
+        query: Option<IBox>,
+    ) -> Result<Vec<DataObject>, ShardedError> {
+        let t0 = std::time::Instant::now();
+        let targets = self.fetch_targets(&query);
+        let fetched = self.scatter(&targets, |c| c.get(name, version, query))?;
+        let mut out: Vec<DataObject> = fetched.into_iter().flatten().collect();
+        sort_objects(&mut out);
+        self.inner.get_ns.record(elapsed_ns(t0));
+        Ok(out)
+    }
+
+    /// Fetch descriptors under `(name, version)` from every shard —
+    /// metadata only, merged in the same deterministic order as
+    /// [`Self::get`].
+    pub fn describe(&self, name: &str, version: u64) -> Result<Vec<ObjectDesc>, ShardedError> {
+        let targets = self.inner.map.all_shards();
+        let fetched = self.scatter(&targets, |c| c.describe(name, version))?;
+        let mut out: Vec<ObjectDesc> = fetched.into_iter().flatten().collect();
+        sort_descs(&mut out);
+        Ok(out)
+    }
+
+    /// Run `op` against each target shard concurrently; results come back
+    /// in target order, and the failure on the lowest shard id wins.
+    fn scatter<T: Send>(
+        &self,
+        targets: &[usize],
+        op: impl Fn(&RemoteClient) -> Result<T, RemoteError> + Sync,
+    ) -> Result<Vec<T>, ShardedError> {
+        // One target: skip the thread machinery (the common case for
+        // span-local queries).
+        if targets.len() <= 1 {
+            let mut out = Vec::new();
+            for &i in targets {
+                let Some(client) = self.inner.shards.get(i) else {
+                    continue;
+                };
+                out.push(op(client).map_err(|e| self.err_on(i, e))?);
+            }
+            return Ok(out);
+        }
+        let op = &op;
+        let results: Vec<(usize, Result<T, RemoteError>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = targets
+                .iter()
+                .filter_map(|&i| {
+                    self.inner
+                        .shards
+                        .get(i)
+                        .map(|client| (i, s.spawn(move || op(client))))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(i, h)| {
+                    let r = h.join().unwrap_or_else(|_| {
+                        Err(RemoteError::Protocol(
+                            "shard fetch worker panicked".to_string(),
+                        ))
+                    });
+                    (i, r)
+                })
+                .collect()
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (i, r) in results {
+            out.push(r.map_err(|e| self.err_on(i, e))?);
+        }
+        Ok(out)
+    }
+
+    /// Evict versions of `name` older than `before_version` on every
+    /// shard; returns total bytes freed. Visits every shard even when one
+    /// fails, then reports the failure on the lowest shard id.
+    pub fn evict_before(&self, name: &str, before_version: u64) -> Result<u64, ShardedError> {
+        let mut freed = 0u64;
+        let mut first_err = None;
+        for (i, c) in self.inner.shards.iter().enumerate() {
+            match c.evict_before(name, before_version) {
+                Ok(b) => freed += b,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(self.err_on(i, e));
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(freed),
+        }
+    }
+
+    /// Per-shard service snapshots, in shard order — the cluster's Eq. 10
+    /// accounting view (per-shard `used`/`capacity`, op counters).
+    pub fn shard_stats(&self) -> Vec<Result<ServiceSnapshot, ShardedError>> {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.service_stats().map_err(|e| self.err_on(i, e)))
+            .collect()
+    }
+
+    /// Total free bytes across reachable shards — what the resource
+    /// policy (Eq. 9–10) sizes against. Unreachable shards count zero.
+    pub fn total_headroom(&self) -> u64 {
+        self.shard_stats()
+            .into_iter()
+            .filter_map(|r| r.ok())
+            .map(|s| s.capacity.saturating_sub(s.used))
+            .sum()
+    }
+
+    /// Percentile summary of successful sharded put wall times (includes
+    /// any spill attempts).
+    pub fn put_latency(&self) -> LatencySnapshot {
+        self.inner.put_ns.snapshot()
+    }
+
+    /// Percentile summary of successful scatter/gather get wall times.
+    pub fn get_latency(&self) -> LatencySnapshot {
+        self.inner.get_ns.snapshot()
+    }
+
+    /// Cluster-wide per-link put latency: every shard client's histogram
+    /// folded together.
+    pub fn link_put_latency(&self) -> LatencySnapshot {
+        let all = LatencyHistogram::new();
+        for c in &self.inner.shards {
+            all.absorb(c.put_hist());
+        }
+        all.snapshot()
+    }
+
+    /// Cluster-wide per-link get latency.
+    pub fn link_get_latency(&self) -> LatencySnapshot {
+        let all = LatencyHistogram::new();
+        for c in &self.inner.shards {
+            all.absorb(c.get_hist());
+        }
+        all.snapshot()
+    }
+
+    /// Ask every shard to shut down. Visits all shards; reports the first
+    /// failure (lowest shard id).
+    pub fn shutdown_all(&self) -> Result<(), ShardedError> {
+        let mut first_err = None;
+        for (i, c) in self.inner.shards.iter().enumerate() {
+            if let Err(e) = c.shutdown() {
+                if first_err.is_none() {
+                    first_err = Some(self.err_on(i, e));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Sort objects into the cluster's canonical merge order.
+fn sort_objects(objs: &mut [DataObject]) {
+    objs.sort_by(|a, b| desc_order(&a.desc, &b.desc));
+}
+
+/// Sort descriptors into the cluster's canonical merge order.
+fn sort_descs(descs: &mut [ObjectDesc]) {
+    descs.sort_by(desc_order);
+}
+
+/// The canonical `(name, version, bbox.lo, bbox.hi, origin_rank)` order
+/// gathered results are merged in. Total for distinct objects: two
+/// objects of one `(name, version)` are distinct by region or producer.
+fn desc_order(a: &ObjectDesc, b: &ObjectDesc) -> std::cmp::Ordering {
+    (
+        &a.key.name,
+        a.key.version,
+        a.bbox.lo(),
+        a.bbox.hi(),
+        a.origin_rank,
+    )
+        .cmp(&(
+            &b.key.name,
+            b.key.version,
+            b.bbox.lo(),
+            b.bbox.hi(),
+            b.origin_rank,
+        ))
+}
+
+/// Asynchronous puts into a sharded cluster: the same put/drain surface
+/// and `TransportStats` accounting as `AsyncStager`/`RemoteStager`, so
+/// `workflow::native` swaps it in without changing its synchronisation.
+/// Adds per-shard rejection counters: when the cluster is full, the
+/// policy layer can see *which* shard's region of space is hot.
+pub struct ShardedStager {
+    tx: Option<Sender<StageTask>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<TransportStats>,
+    rejected_by_shard: Arc<Vec<AtomicU64>>,
+    client: ShardedClient,
+}
+
+impl ShardedStager {
+    /// Start `nthreads` transfer threads sending over `client`, with a
+    /// queue depth of `queue_depth` tasks.
+    pub fn new(client: ShardedClient, nthreads: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = bounded::<StageTask>(queue_depth.max(1));
+        let stats = Arc::new(TransportStats::default());
+        let rejected_by_shard: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..client.num_shards())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
+        let workers = (0..nthreads.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let client = client.clone();
+                let stats = Arc::clone(&stats);
+                let by_shard = Arc::clone(&rejected_by_shard);
+                std::thread::spawn(move || {
+                    // Greedy drain, same shape as RemoteStager: answer the
+                    // rendezvous once per drained run.
+                    let mut run: Vec<StageTask> = Vec::new();
+                    while let Ok(task) = rx.recv() {
+                        run.push(task);
+                        while run.len() < 64 {
+                            match rx.try_recv() {
+                                Ok(t) => run.push(t),
+                                Err(_) => break,
+                            }
+                        }
+                        let mut notes: Vec<(ObjectKey, u64)> = Vec::new();
+                        for task in run.drain(..) {
+                            let obj = task.materialize();
+                            let bytes = obj.desc.bytes;
+                            let key = obj.desc.key.clone();
+                            match client.put(&obj) {
+                                Ok(_) => {
+                                    stats.delivered.fetch_add(1, Ordering::Relaxed);
+                                    stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+                                }
+                                Err(ShardedError {
+                                    shard,
+                                    source: RemoteError::OutOfMemory { .. },
+                                    ..
+                                }) => {
+                                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(n) = by_shard.get(shard) {
+                                        n.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(_) => {
+                                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            match notes.iter_mut().find(|(k, _)| *k == key) {
+                                Some((_, n)) => *n += 1,
+                                None => notes.push((key, 1)),
+                            }
+                        }
+                        for (key, n) in notes {
+                            stats.note_processed_n(&key, n);
+                        }
+                    }
+                })
+            })
+            .collect();
+        ShardedStager {
+            tx: Some(tx),
+            workers,
+            stats,
+            rejected_by_shard,
+            client,
+        }
+    }
+
+    /// Enqueue an object for transfer; blocks only on a full queue. Same
+    /// contract as `AsyncStager::put`.
+    #[allow(clippy::result_large_err)]
+    pub fn put(&self, obj: DataObject) -> Result<(), TransportClosed> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(TransportClosed(obj));
+        };
+        tx.send(StageTask::Ready(obj))
+            .map_err(|e| TransportClosed(e.0.materialize()))
+    }
+
+    /// Enqueue a batch of tasks. Same contract as `AsyncStager::put_batch`.
+    pub fn put_batch(&self, tasks: Vec<StageTask>) -> Result<(), BatchClosed> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(BatchClosed {
+                enqueued: 0,
+                rest: tasks,
+            });
+        };
+        let mut enqueued = 0u64;
+        let mut it = tasks.into_iter();
+        while let Some(task) = it.next() {
+            match tx.send(task) {
+                Ok(()) => enqueued += 1,
+                Err(e) => {
+                    let mut rest = vec![e.0];
+                    rest.extend(it);
+                    return Err(BatchClosed { enqueued, rest });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The sharded client the transfer threads send through.
+    pub fn client(&self) -> &ShardedClient {
+        &self.client
+    }
+
+    /// Shared statistics handle (rendezvous-compatible with the other
+    /// stagers).
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Objects delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.stats.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Puts rejected by cluster-wide memory exhaustion.
+    pub fn rejected(&self) -> u64 {
+        self.stats.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Rejections attributed to each object's *home* shard, in shard
+    /// order — where in space the pressure is.
+    pub fn rejected_by_shard(&self) -> Vec<u64> {
+        self.rejected_by_shard
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Close the queue and wait until every enqueued object is resolved.
+    /// Returns (delivered, rejected), like `AsyncStager::drain`.
+    pub fn drain(mut self) -> Result<(u64, u64), DrainError> {
+        drop(self.tx.take());
+        let mut panicked = 0;
+        for w in self.workers.drain(..) {
+            if w.join().is_err() {
+                panicked += 1;
+            }
+        }
+        let delivered = self.stats.delivered.load(Ordering::Relaxed);
+        let rejected = self.stats.rejected.load(Ordering::Relaxed);
+        if panicked > 0 {
+            return Err(DrainError {
+                panicked,
+                delivered,
+                rejected,
+            });
+        }
+        Ok((delivered, rejected))
+    }
+}
+
+impl Drop for ShardedStager {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats.close();
+    }
+}
+
+/// An in-process staging cluster: N [`StagingService`] instances, each
+/// with its own listener, `DataSpace`, and memory cap. The harness the
+/// `staging_cluster` binary, benches, and tests run.
+pub struct StagingCluster {
+    services: Vec<Option<StagingService>>,
+}
+
+impl StagingCluster {
+    /// Spawn `shards` services from `template`, each bound to an
+    /// ephemeral port on the template address's interface. The template's
+    /// `memory_per_server` (× its internal `servers`) is the *per-shard*
+    /// cap, so cluster capacity is `shards ×` that — Eq. 10 sized in
+    /// servers.
+    pub fn start(shards: usize, template: &ServiceConfig) -> std::io::Result<Self> {
+        let host = template
+            .addr
+            .rsplit_once(':')
+            .map(|(h, _)| h)
+            .unwrap_or("127.0.0.1");
+        let addrs: Vec<String> = (0..shards.max(1)).map(|_| format!("{host}:0")).collect();
+        Self::start_on(&addrs, template)
+    }
+
+    /// Spawn one service per address in `addrs` (shard order = address
+    /// order). On any bind failure, already-started shards are shut down
+    /// before the error returns.
+    pub fn start_on(addrs: &[String], template: &ServiceConfig) -> std::io::Result<Self> {
+        let mut services: Vec<Option<StagingService>> = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut cfg = template.clone();
+            cfg.addr = addr.clone();
+            match StagingService::start(cfg) {
+                Ok(s) => services.push(Some(s)),
+                Err(e) => {
+                    for s in services.drain(..).flatten() {
+                        s.shutdown();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(StagingCluster { services })
+    }
+
+    /// Number of shards (including any already stopped).
+    pub fn num_shards(&self) -> usize {
+        self.services.len()
+    }
+
+    /// The running service for `shard`, if any.
+    pub fn service(&self, shard: usize) -> Option<&StagingService> {
+        self.services.get(shard).and_then(|s| s.as_ref())
+    }
+
+    /// Bound addresses in shard order (a stopped shard keeps reporting
+    /// the address it had, resolved at start).
+    pub fn addrs(&self) -> Vec<String> {
+        self.services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                Some(svc) => svc.local_addr().to_string(),
+                None => format!("shard-{i}-stopped"),
+            })
+            .collect()
+    }
+
+    /// The comma-separated shard list `workflow::native`'s `remote:`
+    /// backend and `ShardedClient::connect` accept.
+    pub fn addr_list(&self) -> String {
+        self.addrs().join(",")
+    }
+
+    /// Per-shard accounting snapshots (None for stopped shards): the
+    /// cluster-level `Stats` view the resource policy reads.
+    pub fn snapshots(&self) -> Vec<Option<ServiceSnapshot>> {
+        self.services
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .map(|svc| svc.stats().snapshot(svc.space(), svc.pool()))
+            })
+            .collect()
+    }
+
+    /// Resident bytes per shard (0 for stopped shards).
+    pub fn used_per_shard(&self) -> Vec<u64> {
+        self.services
+            .iter()
+            .map(|s| s.as_ref().map(|svc| svc.space().used()).unwrap_or(0))
+            .collect()
+    }
+
+    /// Stop one shard (for fault testing); returns true if it was
+    /// running. The other shards keep serving.
+    pub fn stop_shard(&mut self, shard: usize) -> bool {
+        match self.services.get_mut(shard).and_then(Option::take) {
+            Some(svc) => {
+                svc.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shut every shard down and wait for their threads.
+    pub fn shutdown(mut self) {
+        for s in self.services.drain(..).flatten() {
+            s.shutdown();
+        }
+    }
+
+    /// Block until every shard exits (e.g. via a client `Shutdown`).
+    pub fn wait(mut self) {
+        for s in self.services.drain(..).flatten() {
+            s.wait();
+        }
+    }
+}
+
+impl Drop for StagingCluster {
+    fn drop(&mut self) {
+        for s in self.services.drain(..).flatten() {
+            s.shutdown();
+        }
+    }
+}

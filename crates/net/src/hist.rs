@@ -1,0 +1,218 @@
+//! Fixed-bucket latency histograms for per-op wire timing.
+//!
+//! The staging wire needs percentiles, not means: one slow put behind a
+//! retry loop hides in an average but shows in p99. A
+//! [`LatencyHistogram`] records nanosecond samples into 256 fixed
+//! log-spaced buckets (power-of-two decades, four sub-buckets each, ~25 %
+//! resolution) with lock-free atomic counters — recording is a couple of
+//! shifts and one `fetch_add`, cheap enough to sit on every client op.
+//! Quantiles are read back as the lower bound of the covering bucket, so
+//! reported values never overstate the observed latency.
+//!
+//! Timing sources live in the *callers* (this crate only — kernel crates
+//! stay wall-clock-free); the histogram itself never reads a clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: 8 exact low buckets + 4 sub-buckets for each of
+/// the 61 remaining power-of-two decades of a u64 (8 + 61*4); every
+/// index is reachable and every floor fits in a u64.
+const NBUCKETS: usize = 252;
+
+/// Bucket index of a nanosecond sample.
+fn bucket_of(ns: u64) -> usize {
+    if ns < 8 {
+        return ns as usize;
+    }
+    let e = 63 - ns.leading_zeros() as u64; // >= 3
+    let sub = (ns >> (e - 2)) & 3;
+    (8 + (e - 3) * 4 + sub) as usize
+}
+
+/// Lower bound (ns) of bucket `idx` — the value quantiles report.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < 8 {
+        return idx as u64;
+    }
+    let e = 3 + ((idx - 8) / 4) as u64;
+    let sub = ((idx - 8) % 4) as u64;
+    (1u64 << e) + (sub << (e - 2))
+}
+
+/// A lock-free, fixed-memory latency histogram (nanoseconds).
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NBUCKETS],
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &s.count)
+            .field("p50_ns", &s.p50_ns)
+            .field("p99_ns", &s.p99_ns)
+            .field("max_ns", &s.max_ns)
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, ns: u64) {
+        if let Some(b) = self.buckets.get(bucket_of(ns)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (exact, not bucketed). 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the lower bound of the covering
+    /// bucket; 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_floor(idx);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// A consistent-enough point-in-time read of the percentiles. Readers
+    /// racing writers may see a sample in `count` before its bucket — fine
+    /// for metrics, which is all this is for.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count(),
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max_ns(),
+        }
+    }
+
+    /// Fold another histogram's buckets into this one (cluster-wide views).
+    pub fn absorb(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time percentile summary of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, ns (bucket floor).
+    pub p50_ns: u64,
+    /// 95th percentile, ns (bucket floor).
+    pub p95_ns: u64,
+    /// 99th percentile, ns (bucket floor).
+    pub p99_ns: u64,
+    /// Largest sample, ns (exact).
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for idx in 1..NBUCKETS {
+            let f = bucket_floor(idx);
+            assert!(f > prev, "bucket {idx} floor {f} <= {prev}");
+            prev = f;
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(7), 7);
+        assert!(bucket_of(u64::MAX) < NBUCKETS);
+    }
+
+    #[test]
+    fn bucket_floor_is_a_true_lower_bound() {
+        for ns in [0u64, 1, 7, 8, 9, 100, 1000, 123_456, 1 << 40, u64::MAX] {
+            let idx = bucket_of(ns);
+            assert!(bucket_floor(idx) <= ns, "floor of bucket({ns}) exceeds it");
+            if idx + 1 < NBUCKETS {
+                assert!(bucket_floor(idx + 1) > ns);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(ns * 1000); // 1 µs .. 1 ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_ns, 1_000_000);
+        // Bucket resolution is ~25 %: check within a factor of 1.5.
+        assert!(s.p50_ns >= 300_000 && s.p50_ns <= 550_000, "{}", s.p50_ns);
+        assert!(s.p99_ns >= 600_000 && s.p99_ns <= 1_000_000, "{}", s.p99_ns);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, LatencySnapshot::default());
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_max() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        b.record(200);
+        a.absorb(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 1_000_000);
+    }
+}

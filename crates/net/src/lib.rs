@@ -18,6 +18,14 @@
 //!   `OutOfMemory`), and [`RemoteStager`], which implements the same
 //!   put/drain surface as `AsyncStager` so `workflow::native` can run
 //!   in-transit analysis against a remote service unchanged.
+//! - [`cluster`] — the sharded staging cluster: [`StagingCluster`] spawns
+//!   N services (one listener + `DataSpace` + memory cap each), and
+//!   [`ShardedClient`] routes puts by object region through a
+//!   `ShardMap` and serves region queries by concurrent scatter/gather
+//!   with a deterministic merge order, so aggregate staging capacity
+//!   scales in servers (paper Eq. 9–10) with per-shard accounting.
+//! - [`hist`] — [`hist::LatencyHistogram`], fixed-bucket lock-free
+//!   latency percentiles (p50/p95/p99/max) recorded on every client op.
 //! - [`pool`] — [`BufferPool`], a bounded size-classed buffer recycler
 //!   shared by service workers and clients so steady-state put/get traffic
 //!   allocates nothing per op (hit/miss counters travel in `Stats`).
@@ -39,12 +47,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
+pub mod hist;
 pub mod iovec;
 pub mod pool;
 pub mod service;
 pub mod wire;
 
 pub use client::{ClientConfig, RemoteClient, RemoteError, RemoteStager};
+pub use cluster::{ShardedClient, ShardedError, ShardedStager, StagingCluster};
+pub use hist::{LatencyHistogram, LatencySnapshot};
 pub use pool::{BufferPool, PooledBuf};
 pub use service::{ServiceConfig, ServiceStats, StagingService};
 pub use wire::{ErrorFrame, Opcode, Request, Response, ServiceSnapshot, WireError};

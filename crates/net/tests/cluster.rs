@@ -1,0 +1,349 @@
+//! Loopback tests of the sharded staging cluster: scatter/gather parity
+//! with a single server, exactly-one-shard routing, typed per-shard
+//! failures that leave the other shards healthy, and spill-then-reject
+//! degradation when shards fill.
+
+use std::time::Duration;
+
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::fab::Fab;
+use xlayer_amr::intvect::IntVect;
+use xlayer_net::client::{ClientConfig, RemoteError};
+use xlayer_net::cluster::{ShardedClient, ShardedStager, StagingCluster};
+use xlayer_net::service::ServiceConfig;
+use xlayer_staging::{DataObject, Sharding, StageTask};
+
+fn service_cfg(memory_per_server: u64) -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        servers: 1,
+        memory_per_server,
+        sharding: Sharding::RoundRobin,
+        ..ServiceConfig::default()
+    }
+}
+
+/// A client that fails fast on dead shards (no backoff waits in tests).
+fn fast_cfg() -> ClientConfig {
+    ClientConfig {
+        max_retries: 0,
+        connect_timeout: Duration::from_millis(500),
+        ..ClientConfig::default()
+    }
+}
+
+fn obj_at(name: &str, version: u64, lo: IntVect, n: i64) -> DataObject {
+    let b = IBox::cube(n).shift(lo);
+    let mut fab = Fab::new(b, 1);
+    for iv in b.cells() {
+        fab.set(
+            iv,
+            0,
+            (iv[0] * 3 + iv[1] * 5 + iv[2] * 7 + version as i64) as f64,
+        );
+    }
+    DataObject::from_fab(name, version, &fab, 0, &b, 0)
+}
+
+/// Deterministic pseudo-random stream (no external RNG in this test:
+/// the sequence must be identical on every run).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn key_of(o: &DataObject) -> (String, u64, IntVect, IntVect, usize) {
+    (
+        o.desc.key.name.clone(),
+        o.desc.key.version,
+        o.desc.bbox.lo(),
+        o.desc.bbox.hi(),
+        o.desc.origin_rank,
+    )
+}
+
+#[test]
+fn scatter_gather_matches_single_server() {
+    let span = 16i64;
+    let four = StagingCluster::start(4, &service_cfg(64 << 20)).expect("start 4-shard cluster");
+    let one = StagingCluster::start(1, &service_cfg(64 << 20)).expect("start single");
+    let c4 = ShardedClient::connect(&four.addrs(), span, ClientConfig::default()).expect("c4");
+    let c1 = ShardedClient::connect(&one.addrs(), span, ClientConfig::default()).expect("c1");
+
+    let mut seed = 0x5eed_cafe_u64;
+    let mut objs = Vec::new();
+    for _ in 0..60 {
+        let lo = IntVect::new(
+            (lcg(&mut seed) % 200) as i64 - 100,
+            (lcg(&mut seed) % 200) as i64 - 100,
+            (lcg(&mut seed) % 200) as i64 - 100,
+        );
+        let n = 1 + (lcg(&mut seed) % span as u64) as i64;
+        objs.push(obj_at("rho", 7, lo, n));
+    }
+    for o in &objs {
+        c4.put(o).expect("sharded put");
+        c1.put(o).expect("single put");
+    }
+
+    let mut queries = vec![
+        IBox::new(IntVect::splat(-100), IntVect::splat(115)), // everything
+        IBox::new(IntVect::splat(-10), IntVect::splat(40)),   // multi-shard span
+        IBox::new(IntVect::new(-100, 0, -100), IntVect::new(100, 3, 100)), // slab
+        IBox::cube(2).shift(IntVect::splat(400)),             // miss
+    ];
+    // Plus a handful of exact object boxes.
+    queries.extend(objs.iter().step_by(13).map(|o| o.desc.bbox));
+
+    for q in &queries {
+        let got4 = c4.get("rho", 7, Some(*q)).expect("sharded get");
+        let got1 = c1.get("rho", 7, Some(*q)).expect("single get");
+        assert_eq!(
+            got4.iter().map(key_of).collect::<Vec<_>>(),
+            got1.iter().map(key_of).collect::<Vec<_>>(),
+            "result sets differ for query {q:?}"
+        );
+        for (a, b) in got4.iter().zip(&got1) {
+            assert_eq!(
+                a.payload.as_ref(),
+                b.payload.as_ref(),
+                "payload differs for {:?}",
+                a.desc.bbox
+            );
+        }
+    }
+
+    // Full-version fetch and metadata agree too.
+    let all4 = c4.get("rho", 7, None).expect("sharded get all");
+    let all1 = c1.get("rho", 7, None).expect("single get all");
+    assert_eq!(all4.len(), objs.len());
+    assert_eq!(
+        all4.iter().map(key_of).collect::<Vec<_>>(),
+        all1.iter().map(key_of).collect::<Vec<_>>()
+    );
+    let d4 = c4.describe("rho", 7).expect("describe");
+    assert_eq!(d4.len(), objs.len());
+
+    c4.shutdown_all().expect("shutdown 4");
+    c1.shutdown_all().expect("shutdown 1");
+    four.wait();
+    one.wait();
+}
+
+#[test]
+fn every_object_routes_to_exactly_one_shard() {
+    let cluster = StagingCluster::start(4, &service_cfg(64 << 20)).expect("start cluster");
+    let client =
+        ShardedClient::connect(&cluster.addrs(), 16, ClientConfig::default()).expect("client");
+
+    let mut seed = 1234_u64;
+    let mut total_bytes = 0u64;
+    let mut put_shards = Vec::new();
+    let mut objs = Vec::new();
+    for _ in 0..40 {
+        let lo = IntVect::new(
+            (lcg(&mut seed) % 160) as i64 - 80,
+            (lcg(&mut seed) % 160) as i64 - 80,
+            (lcg(&mut seed) % 160) as i64 - 80,
+        );
+        let o = obj_at("rho", 3, lo, 4);
+        total_bytes += o.desc.bytes;
+        let s = client.put(&o).expect("put");
+        assert_eq!(s, client.map().shard_of(&o.desc.bbox), "no spill expected");
+        put_shards.push(s);
+        objs.push(o);
+    }
+    // Server-side accounting: every object counted on exactly one shard.
+    let snaps: Vec<_> = cluster.snapshots().into_iter().flatten().collect();
+    assert_eq!(snaps.len(), 4);
+    assert_eq!(snaps.iter().map(|s| s.puts).sum::<u64>(), 40);
+    assert_eq!(snaps.iter().map(|s| s.used).sum::<u64>(), total_bytes);
+    for (i, snap) in snaps.iter().enumerate() {
+        let expected = put_shards.iter().filter(|&&s| s == i).count() as u64;
+        assert_eq!(snap.puts, expected, "shard {i} put count");
+    }
+    // Client-side: each object is found exactly once by its exact box.
+    for o in &objs {
+        let got = client
+            .get("rho", 3, Some(o.desc.bbox))
+            .expect("exact-box get");
+        let hits = got.iter().filter(|g| g.desc.bbox == o.desc.bbox).count();
+        assert_eq!(hits, 1, "object {:?} seen {hits} times", o.desc.bbox);
+    }
+
+    client.shutdown_all().expect("shutdown");
+    cluster.wait();
+}
+
+#[test]
+fn shard_down_is_typed_and_leaves_other_shards_healthy() {
+    let mut cluster = StagingCluster::start(3, &service_cfg(64 << 20)).expect("start cluster");
+    let client = ShardedClient::connect(&cluster.addrs(), 8, fast_cfg()).expect("client");
+    let map = *client.map();
+
+    // Deterministically probe for boxes homed on each shard.
+    let homed_on = |shard: usize| -> IBox {
+        (0..)
+            .map(|i| IBox::cube(4).shift(IntVect::splat(i * 8)))
+            .find(|b| map.shard_of(b) == shard)
+            .expect("some box homes on every shard")
+    };
+    let on_dead = homed_on(1);
+    let on_live = homed_on(0);
+    // A box whose whole query fan-out avoids shard 1 (pure function of
+    // the map, so the search is deterministic).
+    let live_query = (0..10_000i64)
+        .map(|i| IBox::cube(4).shift(IntVect::new((i % 100) * 8, (i / 100) * 8, 0)))
+        .find(|b| !map.query_shards(b).contains(&1))
+        .expect("some box routes around shard 1");
+
+    // Warm every shard before the fault.
+    let mut fab = Fab::new(live_query, 1);
+    for iv in live_query.cells() {
+        fab.set(iv, 0, 1.0);
+    }
+    client
+        .put(&DataObject::from_fab("rho", 1, &fab, 0, &live_query, 0))
+        .expect("pre-fault put");
+
+    assert!(cluster.stop_shard(1), "shard 1 was running");
+
+    // Put routed to the dead shard: typed error naming it. Transport
+    // faults must NOT spill — a dead shard stays visible.
+    let mut fab = Fab::new(on_dead, 1);
+    for iv in on_dead.cells() {
+        fab.set(iv, 0, 2.0);
+    }
+    let err = client
+        .put(&DataObject::from_fab("rho", 2, &fab, 0, &on_dead, 0))
+        .expect_err("put to dead shard must fail");
+    assert_eq!(err.shard, 1);
+    assert!(
+        matches!(err.source, RemoteError::Io(_)),
+        "expected transport error, got {:?}",
+        err.source
+    );
+
+    // Full-version gather touches the dead shard: typed error again.
+    let err = client
+        .get("rho", 1, None)
+        .expect_err("gather across dead shard must fail");
+    assert_eq!(err.shard, 1);
+
+    // A query routed only to live shards still answers, and the live
+    // shards' pooled connections were not poisoned by the failures.
+    let targets = map.query_shards(&live_query);
+    assert!(
+        !targets.contains(&1),
+        "probe query unexpectedly routed to the dead shard: {targets:?}"
+    );
+    let got = client
+        .get("rho", 1, Some(live_query))
+        .expect("live-shard query after fault");
+    assert_eq!(got.len(), 1);
+    client
+        .put(&obj_at("rho", 3, on_live.lo(), 4))
+        .expect("put to live shard after fault");
+    let stats = client
+        .shard_client(0)
+        .expect("shard 0 client")
+        .service_stats()
+        .expect("live shard stats after fault");
+    assert!(stats.puts >= 1);
+
+    client
+        .shard_client(0)
+        .expect("shard 0")
+        .shutdown()
+        .expect("shutdown 0");
+    client
+        .shard_client(2)
+        .expect("shard 2")
+        .shutdown()
+        .expect("shutdown 2");
+    cluster.wait();
+}
+
+#[test]
+fn full_cluster_spills_then_reports_owning_shard() {
+    // Two shards, 2 KiB each; 512 B objects sharing one home bucket.
+    let cluster = StagingCluster::start(2, &service_cfg(2048)).expect("start cluster");
+    let client =
+        ShardedClient::connect(&cluster.addrs(), 8, ClientConfig::default()).expect("client");
+    let lo = IntVect::ZERO;
+    let home = client.map().shard_of(&IBox::cube(4));
+
+    // Four fill the home shard.
+    for v in 1..=4 {
+        assert_eq!(client.put(&obj_at("rho", v, lo, 4)).expect("fill"), home);
+    }
+    // The fifth spills to the sibling instead of failing (graceful
+    // degradation: the workflow keeps its object).
+    let spilled_to = client.put(&obj_at("rho", 5, lo, 4)).expect("spill");
+    assert_ne!(spilled_to, home, "expected a spill off the full home shard");
+    // The spilled object is still found by a region query (the client
+    // broadens queries once placement stops being authoritative).
+    let got = client
+        .get("rho", 5, Some(IBox::cube(4)))
+        .expect("get spilled");
+    assert_eq!(got.len(), 1);
+
+    // Fill the sibling too, then the cluster is full: typed OutOfMemory
+    // naming the owning shard.
+    for v in 6..=8 {
+        client.put(&obj_at("rho", v, lo, 4)).expect("fill sibling");
+    }
+    let err = client
+        .put(&obj_at("rho", 9, lo, 4))
+        .expect_err("cluster full");
+    assert_eq!(err.shard, home, "error must name the owning shard");
+    assert!(
+        matches!(err.source, RemoteError::OutOfMemory { .. }),
+        "expected OutOfMemory, got {:?}",
+        err.source
+    );
+    // Accounting: both shards full.
+    assert_eq!(cluster.used_per_shard(), vec![2048, 2048]);
+
+    client.shutdown_all().expect("shutdown");
+    cluster.wait();
+}
+
+#[test]
+fn sharded_stager_counts_per_shard_rejections() {
+    let cluster = StagingCluster::start(2, &service_cfg(2048)).expect("start cluster");
+    let client =
+        ShardedClient::connect(&cluster.addrs(), 8, ClientConfig::default()).expect("client");
+    let stager = ShardedStager::new(client, 1, 64);
+
+    // 10 × 512 B into 2 × 2 KiB: 8 delivered (4 + 4 via spill), 2
+    // rejected — all owned by the same home shard.
+    let tasks: Vec<StageTask> = (1..=10)
+        .map(|v| StageTask::Ready(obj_at("rho", v, IntVect::ZERO, 4)))
+        .collect();
+    use std::sync::atomic::Ordering::Relaxed;
+    let stats = stager.stats();
+    stager.put_batch(tasks).expect("enqueue");
+    // Wait until every task is resolved, then read the per-shard view
+    // (drain consumes the stager).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while stats.delivered.load(Relaxed) + stats.rejected.load(Relaxed) + stats.failed.load(Relaxed)
+        < 10
+    {
+        assert!(std::time::Instant::now() < deadline, "stager stalled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let by_shard = stager.rejected_by_shard();
+    let client = stager.client().clone();
+    let home = client.map().shard_of(&IBox::cube(4));
+    let (delivered, rejected) = stager.drain().expect("drain");
+    assert_eq!((delivered, rejected), (8, 2));
+    assert_eq!(stats.failed.load(Relaxed), 0);
+    assert_eq!(by_shard.iter().sum::<u64>(), 2);
+    assert_eq!(by_shard[home], 2, "rejections attributed to the home shard");
+
+    client.shutdown_all().expect("shutdown");
+    cluster.wait();
+}

@@ -3,7 +3,7 @@
 //! `(variable, version, bbox)` queries without scanning every object
 //! (DataSpaces indexes object extents the same way).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::intvect::IntVect;
 
@@ -77,11 +77,12 @@ impl BucketIndex {
     }
 
     /// Rebuild keeping only the ids for which `keep` returns true; returns
-    /// the mapping old-id → new-id.
-    pub fn retain(&mut self, keep: impl Fn(usize) -> bool) -> HashMap<usize, usize> {
+    /// the mapping old-id → new-id, ordered so callers iterating the remap
+    /// (e.g. to rewrite dependent tables) do so deterministically.
+    pub fn retain(&mut self, keep: impl Fn(usize) -> bool) -> BTreeMap<usize, usize> {
         let old = std::mem::take(&mut self.bboxes);
         self.buckets.clear();
-        let mut remap = HashMap::new();
+        let mut remap = BTreeMap::new();
         for (old_id, bbox) in old.into_iter().enumerate() {
             if keep(old_id) {
                 let new_id = self.insert(bbox);

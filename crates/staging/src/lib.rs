@@ -7,6 +7,7 @@
 //!
 //! * [`object`] — `(variable, version, bbox)`-addressed data objects,
 //! * [`server`] — staging servers with memory caps (paper Eq. 10),
+//! * [`shard`] — deterministic box-hash placement of regions onto shards,
 //! * [`space`] — the sharded put/get/query space,
 //! * [`transport`] — asynchronous transfers with back-pressure,
 //! * [`lock`] — version gates for coupled producer/consumer coordination.
@@ -19,6 +20,7 @@ pub mod lock;
 pub mod object;
 pub mod pubsub;
 pub mod server;
+pub mod shard;
 pub mod space;
 pub mod transport;
 
@@ -27,6 +29,7 @@ pub use lock::VersionGate;
 pub use object::{DataObject, ObjectDesc, ObjectKey};
 pub use pubsub::{PubSubSpace, PublishStats, Subscription};
 pub use server::{StagingError, StagingServer};
+pub use shard::ShardMap;
 pub use space::{DataSpace, Sharding};
 pub use transport::{
     AsyncStager, BatchClosed, DrainError, StageTask, TransportClosed, TransportStats,

@@ -3,6 +3,7 @@
 
 use crate::object::{DataObject, ObjectDesc, ObjectKey};
 use crate::server::{StagingError, StagingServer};
+use crate::shard::ShardMap;
 use std::sync::Arc;
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
@@ -76,16 +77,9 @@ impl DataSpace {
     fn shard(&self, obj: &DataObject) -> usize {
         match self.sharding {
             Sharding::BboxHash => {
-                let lo = obj.desc.bbox.lo();
-                // FNV-1a over the three coordinates.
-                let mut h: u64 = 0xcbf29ce484222325;
-                for d in 0..3 {
-                    for b in lo[d].to_le_bytes() {
-                        h ^= b as u64;
-                        h = h.wrapping_mul(0x100000001b3);
-                    }
-                }
-                (h % self.servers.len() as u64) as usize
+                // Span-1 ShardMap: the per-corner FNV placement this space
+                // has always used, now shared with the networked cluster.
+                ShardMap::new(self.servers.len(), 1).shard_of(&obj.desc.bbox)
             }
             Sharding::RoundRobin => {
                 let mut n = self.rr_next.lock();

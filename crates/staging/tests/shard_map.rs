@@ -1,0 +1,70 @@
+//! Property tests for the deterministic shard placement map: every object
+//! routes to exactly one shard, placement is stable across map instances,
+//! and region-query routing covers every fitting object that intersects.
+
+use proptest::prelude::*;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::intvect::IntVect;
+use xlayer_staging::ShardMap;
+
+fn boxes() -> impl Strategy<Value = IBox> {
+    (
+        -200i64..200,
+        -200i64..200,
+        -200i64..200,
+        1i64..16,
+        1i64..16,
+        1i64..16,
+    )
+        .prop_map(|(x, y, z, sx, sy, sz)| {
+            IBox::new(
+                IntVect::new(x, y, z),
+                IntVect::new(x + sx - 1, y + sy - 1, z + sz - 1),
+            )
+        })
+}
+
+proptest! {
+    /// Every object routes to exactly one shard: the placement is total,
+    /// in range, and identical across independently constructed maps.
+    #[test]
+    fn routes_to_exactly_one_shard(b in boxes(), n in 1usize..9, span in 1i64..65) {
+        let map = ShardMap::new(n, span);
+        let twin = ShardMap::new(n, span);
+        let s = map.shard_of(&b);
+        prop_assert!(s < n);
+        prop_assert_eq!(s, map.shard_of(&b));
+        prop_assert_eq!(s, twin.shard_of(&b));
+    }
+
+    /// A fitting object intersecting a query is always reachable through
+    /// the query's routed shard set (scatter/gather completeness).
+    #[test]
+    fn query_routing_covers_intersecting_objects(
+        obj in boxes(),
+        q in boxes(),
+        n in 1usize..9,
+    ) {
+        let map = ShardMap::new(n, 16);
+        prop_assert!(map.fits(&obj));
+        if obj.intersects(&q) {
+            let routed = map.query_shards(&q);
+            prop_assert!(
+                routed.contains(&map.shard_of(&obj)),
+                "object {:?} not covered by query {:?} -> {:?}", obj, q, routed
+            );
+        }
+    }
+
+    /// Routed shard sets are ascending, deduped, and within range.
+    #[test]
+    fn query_shards_is_canonical(q in boxes(), n in 1usize..9, span in 1i64..33) {
+        let map = ShardMap::new(n, span);
+        let routed = map.query_shards(&q);
+        let mut canon = routed.clone();
+        canon.sort_unstable();
+        canon.dedup();
+        prop_assert_eq!(&routed, &canon);
+        prop_assert!(routed.iter().all(|&s| s < n));
+    }
+}

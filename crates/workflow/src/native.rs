@@ -29,6 +29,7 @@ use xlayer_core::{
     UserPreferences,
 };
 use xlayer_net::client::{ClientConfig, RemoteClient, RemoteStager};
+use xlayer_net::cluster::{ShardedClient, ShardedStager};
 use xlayer_platform::{CostModel, MachineSpec};
 use xlayer_solvers::{AmrSimulation, LevelSolver};
 use xlayer_staging::{
@@ -57,13 +58,21 @@ pub struct NativeConfig {
     /// Force every step's placement, bypassing the engine's decision.
     /// Used by tests and benches that need a deterministic placement.
     pub placement_override: Option<Placement>,
-    /// Address of a remote staging service (e.g. `"127.0.0.1:7001"`). When
-    /// set, staging puts/gets go over the wire through
-    /// [`RemoteClient`]/[`RemoteStager`] instead of an in-process
-    /// [`DataSpace`] — the paper's dedicated-staging-nodes deployment. When
-    /// the service is unreachable at construction the workflow degrades to
-    /// the in-process space rather than dying.
+    /// Address of a remote staging service (e.g. `"127.0.0.1:7001"`), or a
+    /// comma-separated shard list (e.g. `"127.0.0.1:7001,127.0.0.1:7002"`)
+    /// naming a sharded staging cluster. When set, staging puts/gets go
+    /// over the wire — through [`RemoteClient`]/[`RemoteStager`] for one
+    /// address, or region-routed through
+    /// [`ShardedClient`]/[`ShardedStager`] for several — instead of an
+    /// in-process [`DataSpace`]: the paper's dedicated-staging-nodes
+    /// deployment. When the service (any shard of it) is unreachable at
+    /// construction the workflow degrades to the in-process space rather
+    /// than dying.
     pub remote: Option<String>,
+    /// Placement-bucket side, in cells, for the sharded remote backend
+    /// (see [`xlayer_staging::ShardMap`]). Every client of a cluster must
+    /// use the same value.
+    pub shard_span: i64,
     /// Adaptation mechanisms enabled.
     pub engine: EngineConfig,
     /// User hints.
@@ -81,6 +90,7 @@ impl Default for NativeConfig {
             overlap_staging: true,
             placement_override: None,
             remote: None,
+            shard_span: xlayer_staging::shard::DEFAULT_SPAN,
             engine: EngineConfig::middleware_only(),
             hints: UserHints::default(),
         }
@@ -168,6 +178,15 @@ enum Backend {
         /// RTT into every step of both the sync and overlapped paths.
         headroom: std::cell::Cell<(u32, u64)>,
     },
+    Sharded {
+        client: ShardedClient,
+        stager: Option<ShardedStager>,
+        /// Cached cluster headroom, same stride policy as `Remote` (the
+        /// probe here is one stats RTT *per shard*, so caching matters
+        /// more). Summed across reachable shards: the Eq. 9–10 policy
+        /// sizes against aggregate cluster capacity in servers.
+        headroom: std::cell::Cell<(u32, u64)>,
+    },
 }
 
 /// Steps between remote headroom probes (see [`Backend::mem_available`]).
@@ -186,6 +205,12 @@ impl Backend {
             Backend::Remote { client, .. } => {
                 let _ = client.put(&obj);
             }
+            Backend::Sharded { client, .. } => {
+                // Per-object fallback is inside the client: a full home
+                // shard spills to siblings, and only a cluster-wide
+                // rejection drops the object.
+                let _ = client.put(&obj);
+            }
         }
     }
 
@@ -194,6 +219,7 @@ impl Backend {
         match self {
             Backend::Local { stager, .. } => stager.is_some(),
             Backend::Remote { stager, .. } => stager.is_some(),
+            Backend::Sharded { stager, .. } => stager.is_some(),
         }
     }
 
@@ -212,12 +238,16 @@ impl Backend {
                 stager: Some(stager),
                 ..
             } => stager.put_batch(tasks),
-            Backend::Local { stager: None, .. } | Backend::Remote { stager: None, .. } => {
-                Err(BatchClosed {
-                    enqueued: 0,
-                    rest: tasks,
-                })
-            }
+            Backend::Sharded {
+                stager: Some(stager),
+                ..
+            } => stager.put_batch(tasks),
+            Backend::Local { stager: None, .. }
+            | Backend::Remote { stager: None, .. }
+            | Backend::Sharded { stager: None, .. } => Err(BatchClosed {
+                enqueued: 0,
+                rest: tasks,
+            }),
         };
         match result {
             Ok(()) => (total, Vec::new()),
@@ -248,6 +278,19 @@ impl Backend {
                     cached
                 }
             }
+            Backend::Sharded {
+                client, headroom, ..
+            } => {
+                let (calls, cached) = headroom.get();
+                if calls == 0 {
+                    let fresh = client.total_headroom();
+                    headroom.set((HEADROOM_STRIDE - 1, fresh));
+                    fresh
+                } else {
+                    headroom.set((calls - 1, cached));
+                    cached
+                }
+            }
         }
     }
 }
@@ -257,6 +300,7 @@ impl Backend {
 enum Reader {
     Local(Arc<DataSpace>),
     Remote(RemoteClient),
+    Sharded(ShardedClient),
 }
 
 impl Reader {
@@ -270,6 +314,13 @@ impl Reader {
                 .get(name, version, None)
                 .map(|objs| objs.into_iter().map(Arc::new).collect())
                 .unwrap_or_default(),
+            // Scatter/gather across the shards; the merge order is the
+            // cluster's canonical one, so analysis over the fetched list
+            // is deterministic regardless of placement.
+            Reader::Sharded(client) => client
+                .get(name, version, None)
+                .map(|objs| objs.into_iter().map(Arc::new).collect())
+                .unwrap_or_default(),
         }
     }
 
@@ -279,6 +330,9 @@ impl Reader {
                 space.evict_before(name, min_version);
             }
             Reader::Remote(client) => {
+                let _ = client.evict_before(name, min_version);
+            }
+            Reader::Sharded(client) => {
                 let _ = client.evict_before(name, min_version);
             }
         }
@@ -314,46 +368,83 @@ impl<S: LevelSolver> NativeWorkflow<S> {
         // (every grid of every level) so an in-transit step never blocks on
         // back-pressure unless the transport is a full step behind.
         // With cfg.remote set, the transfer threads speak the wire protocol
-        // to a staging service; a remote address that fails to resolve
-        // degrades to the in-process space instead of failing construction.
-        let remote_client = cfg
-            .remote
-            .as_deref()
-            .and_then(|addr| RemoteClient::connect(addr, ClientConfig::default()).ok());
-        let (backend, reader, transport): (Backend, Reader, Arc<TransportStats>) =
-            match remote_client {
-                Some(client) => {
-                    let stager = RemoteStager::new(client.clone(), cfg.staging_servers.max(1), 256);
-                    let transport = stager.stats();
-                    (
-                        Backend::Remote {
-                            client: client.clone(),
-                            stager: Some(stager),
-                            headroom: std::cell::Cell::new((0, 0)),
-                        },
-                        Reader::Remote(client),
-                        transport,
-                    )
-                }
-                None => {
-                    let space = Arc::new(DataSpace::new(
-                        cfg.staging_servers,
-                        cfg.staging_memory,
-                        Sharding::BboxHash,
-                    ));
-                    let stager =
-                        AsyncStager::new(Arc::clone(&space), cfg.staging_servers.max(1), 256);
-                    let transport = stager.stats();
-                    (
-                        Backend::Local {
-                            space: Arc::clone(&space),
-                            stager: Some(stager),
-                        },
-                        Reader::Local(space),
-                        transport,
-                    )
-                }
-            };
+        // to a staging service — or, for a comma-separated shard list, to a
+        // sharded cluster with region routing. A remote address that fails
+        // to resolve (any shard of it) degrades to the in-process space
+        // instead of failing construction.
+        enum Target {
+            InProcess,
+            Single(RemoteClient),
+            Cluster(ShardedClient),
+        }
+        let target = {
+            let addrs: Vec<&str> = cfg
+                .remote
+                .as_deref()
+                .map(|s| {
+                    s.split(',')
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .collect()
+                })
+                .unwrap_or_default();
+            if addrs.len() > 1 {
+                ShardedClient::connect(&addrs, cfg.shard_span, ClientConfig::default())
+                    .map(Target::Cluster)
+                    .unwrap_or(Target::InProcess)
+            } else if let Some(addr) = addrs.first() {
+                RemoteClient::connect(addr, ClientConfig::default())
+                    .map(Target::Single)
+                    .unwrap_or(Target::InProcess)
+            } else {
+                Target::InProcess
+            }
+        };
+        let (backend, reader, transport): (Backend, Reader, Arc<TransportStats>) = match target {
+            Target::Single(client) => {
+                let stager = RemoteStager::new(client.clone(), cfg.staging_servers.max(1), 256);
+                let transport = stager.stats();
+                (
+                    Backend::Remote {
+                        client: client.clone(),
+                        stager: Some(stager),
+                        headroom: std::cell::Cell::new((0, 0)),
+                    },
+                    Reader::Remote(client),
+                    transport,
+                )
+            }
+            Target::Cluster(client) => {
+                let stager = ShardedStager::new(client.clone(), cfg.staging_servers.max(1), 256);
+                let transport = stager.stats();
+                (
+                    Backend::Sharded {
+                        client: client.clone(),
+                        stager: Some(stager),
+                        headroom: std::cell::Cell::new((0, 0)),
+                    },
+                    Reader::Sharded(client),
+                    transport,
+                )
+            }
+            Target::InProcess => {
+                let space = Arc::new(DataSpace::new(
+                    cfg.staging_servers,
+                    cfg.staging_memory,
+                    Sharding::BboxHash,
+                ));
+                let stager = AsyncStager::new(Arc::clone(&space), cfg.staging_servers.max(1), 256);
+                let transport = stager.stats();
+                (
+                    Backend::Local {
+                        space: Arc::clone(&space),
+                        stager: Some(stager),
+                    },
+                    Reader::Local(space),
+                    transport,
+                )
+            }
+        };
         let reader = Arc::new(reader);
         // A rough local-machine model so the middleware policy has cost
         // estimates; decisions also use live measurements via the state.
@@ -442,15 +533,25 @@ impl<S: LevelSolver> NativeWorkflow<S> {
     pub fn space(&self) -> Option<&Arc<DataSpace>> {
         match &self.backend {
             Backend::Local { space, .. } => Some(space),
-            Backend::Remote { .. } => None,
+            Backend::Remote { .. } | Backend::Sharded { .. } => None,
         }
     }
 
-    /// The remote staging client, when staging goes over the wire.
+    /// The remote staging client, when staging goes over the wire to a
+    /// single service.
     pub fn remote_client(&self) -> Option<&RemoteClient> {
         match &self.backend {
-            Backend::Local { .. } => None,
+            Backend::Local { .. } | Backend::Sharded { .. } => None,
             Backend::Remote { client, .. } => Some(client),
+        }
+    }
+
+    /// The sharded cluster client, when staging goes over the wire to a
+    /// shard list.
+    pub fn sharded_client(&self) -> Option<&ShardedClient> {
+        match &self.backend {
+            Backend::Local { .. } | Backend::Remote { .. } => None,
+            Backend::Sharded { client, .. } => Some(client),
         }
     }
 
@@ -462,6 +563,7 @@ impl<S: LevelSolver> NativeWorkflow<S> {
         match &self.backend {
             Backend::Local { stager, .. } => stager.as_ref().map(AsyncStager::stats),
             Backend::Remote { stager, .. } => stager.as_ref().map(RemoteStager::stats),
+            Backend::Sharded { stager, .. } => stager.as_ref().map(ShardedStager::stats),
         }
     }
 
@@ -681,6 +783,11 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                 }
             }
             Backend::Remote { stager, .. } => {
+                if let Some(stager) = stager.take() {
+                    let _ = stager.drain();
+                }
+            }
+            Backend::Sharded { stager, .. } => {
                 if let Some(stager) = stager.take() {
                     let _ = stager.drain();
                 }

@@ -28,6 +28,11 @@ echo "==> net loopback tests (wire protocol, staging service, remote stager)"
 cargo test --locked -q -p xlayer-net
 cargo test --locked -q --test remote_staging
 
+echo "==> multi-shard loopback cluster (routing, scatter/gather, shard faults)"
+# Also inside the -p xlayer-net run above; named so a sharding regression
+# is distinguishable from a single-server transport one.
+cargo test --locked -q -p xlayer-net --test cluster
+
 echo "==> bench targets compile"
 cargo build --locked --release -p xlayer-bench --benches --bins
 

@@ -12,6 +12,7 @@ use std::sync::atomic::Ordering;
 use xlayer::adapt::Placement;
 use xlayer::amr::hierarchy::HierarchyConfig;
 use xlayer::amr::{IBox, ProblemDomain};
+use xlayer::net::cluster::StagingCluster;
 use xlayer::net::service::{ServiceConfig, StagingService};
 use xlayer::solvers::{
     AdvectDiffuseSolver, AmrSimulation, DriverConfig, ScalarProblem, VelocityField,
@@ -140,6 +141,73 @@ fn remote_workflow_is_bit_identical_to_local() {
     assert_eq!(snap.used, 0, "remote space not drained after analysis");
 
     service.shutdown();
+}
+
+#[test]
+fn sharded_remote_workflow_is_bit_identical_to_local() {
+    // Three independent staging services presented as one sharded cluster:
+    // the workflow's `remote:` backend takes the comma-separated shard
+    // list, routes puts by object region, and scatter/gathers reads — and
+    // none of that may change what the in-transit analysis computes.
+    let cluster = StagingCluster::start(
+        3,
+        &ServiceConfig {
+            servers: 1,
+            memory_per_server: 256 << 20,
+            sharding: Sharding::RoundRobin,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("start loopback cluster");
+
+    const STEPS: usize = 3;
+    let local = run(None, STEPS);
+    let sharded = run(Some(cluster.addr_list()), STEPS);
+
+    assert_eq!(local.outcomes.len(), STEPS);
+    assert_eq!(sharded.outcomes.len(), STEPS);
+    let lv = by_version(&local.outcomes);
+    let sv = by_version(&sharded.outcomes);
+    assert_eq!(lv, sv, "analysis results differ between local and sharded");
+    assert!(
+        lv.values().all(|&(tris, _)| tris > 0),
+        "degenerate surfaces"
+    );
+
+    // Identical movement and transport accounting across the paths.
+    assert_eq!(local.moved, sharded.moved);
+    let per_step_local: Vec<u64> = local.steps.iter().map(|s| s.moved_bytes).collect();
+    let per_step_sharded: Vec<u64> = sharded.steps.iter().map(|s| s.moved_bytes).collect();
+    assert_eq!(per_step_local, per_step_sharded);
+    assert_eq!(
+        (local.delivered, local.rejected, local.failed),
+        (sharded.delivered, sharded.rejected, sharded.failed),
+        "transport accounting differs"
+    );
+    assert!(sharded.delivered > 0, "nothing went over the wire");
+    assert_eq!(sharded.failed, 0);
+
+    // Per-shard accounting sums to the cluster totals: every delivered
+    // object was counted by exactly one shard, and the analysis workers'
+    // evictions drained every shard.
+    let snaps: Vec<_> = cluster.snapshots().into_iter().flatten().collect();
+    assert_eq!(snaps.len(), 3);
+    assert_eq!(snaps.iter().map(|s| s.puts).sum::<u64>(), sharded.delivered);
+    assert_eq!(snaps.iter().map(|s| s.rejected_oom).sum::<u64>(), 0);
+    assert_eq!(
+        snaps.iter().map(|s| s.used).sum::<u64>(),
+        0,
+        "cluster not drained after analysis"
+    );
+    // The traffic really was spread: with region routing over many grids,
+    // no single shard carried everything.
+    assert!(
+        snaps.iter().filter(|s| s.puts > 0).count() >= 2,
+        "puts all landed on one shard: {:?}",
+        snaps.iter().map(|s| s.puts).collect::<Vec<_>>()
+    );
+
+    cluster.shutdown();
 }
 
 #[test]
