@@ -490,6 +490,37 @@ fn main() {
                 results.borrow_mut().push((name, ns as f64));
             }
         }
+
+        // Cache effectiveness on the service side, read from the same
+        // snapshot the Stats opcode serves: the fraction of wire-buffer
+        // acquisitions the recycling pool satisfied without allocating,
+        // and the fraction of chunked-get streams whose per-chunk sums
+        // came from the chunk-sum cache (the repeated 64 MiB gets above
+        // recompute once, then hit).
+        {
+            let snap = client.service_stats().expect("service stats");
+            let rate = |hits: u64, misses: u64| -> f64 {
+                let total = hits + misses;
+                if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                }
+            };
+            let pool_rate = rate(snap.pool_hits, snap.pool_misses);
+            let sum_rate = rate(snap.chunksum_hits, snap.chunksum_misses);
+            assert!(
+                snap.chunksum_hits > 0,
+                "chunked gets never hit the chunk-sum cache"
+            );
+            for (name, v) in [
+                ("net_pool_hit_rate", pool_rate),
+                ("net_chunksum_hit_rate", sum_rate),
+            ] {
+                println!("{name:<44} {v:>14.3} ratio");
+                results.borrow_mut().push((name, v));
+            }
+        }
         service.shutdown();
     }
 
@@ -590,6 +621,78 @@ fn main() {
         }
     }
 
+    // Disk spill tier: the demote and promote directions of the tier pipe
+    // in ns per MiB (2 MiB object, chunked + checksummed extents through
+    // the shared buffer pool), and the disk-hit rate of a working set held
+    // at 4x the staging memory — every get past the resident quarter is
+    // answered by the tier instead of a rejection. The capacity gain that
+    // buys is the derived `staging_tier_capacity_gain`.
+    let tier_capacity_gain;
+    {
+        use std::sync::Arc;
+        use xlayer_staging::{BufferPool, DiskTier, ObjectKey, StagingServer, TierConfig};
+
+        let dir = std::env::temp_dir().join(format!("xlayer-tier-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tier scratch dir");
+        let b = IBox::cube(64);
+        let fab = Fab::filled(b, 1, 1.0);
+        let obj = DataObject::from_fab("spill", 1, &fab, 0, &b, 0);
+        let mib = obj.desc.bytes as f64 / (1u64 << 20) as f64;
+        assert_eq!(obj.desc.bytes, 2 << 20, "bench object is 2 MiB");
+        let key = ObjectKey::new("spill", 1);
+        // Compact eagerly so the log's on-disk footprint stays bounded by
+        // the batch loop instead of growing with every timed iteration.
+        let cfg = TierConfig::new(&dir).with_compact_min_dead(32 << 20);
+        let tier =
+            DiskTier::open(dir.join("bench.log"), &cfg, Arc::new(BufferPool::new())).expect("tier");
+        let spill_ns = time_ns(|| {
+            tier.spill(&obj).expect("spill");
+            tier.remove(&key).expect("remove");
+        });
+        tier.spill(&obj).expect("seed promote bench");
+        let promote_ns = time_ns(|| {
+            let got = tier.fetch(&key, None).expect("fetch");
+            assert_eq!(got.len(), 1, "promote read lost the object");
+        });
+
+        // Hit rate: 8 x 2 MiB versions against 4 MiB of memory (4x the
+        // cap). Walking every version front to back promotes each cold
+        // version and demotes a resident one, so most gets touch disk.
+        let hit_cfg = TierConfig::new(&dir).with_compact_min_dead(32 << 20);
+        let hit_tier = Arc::new(
+            DiskTier::open(dir.join("hit.log"), &hit_cfg, Arc::new(BufferPool::new()))
+                .expect("hit tier"),
+        );
+        let cap = 2 * obj.desc.bytes;
+        let server = StagingServer::with_tier(0, cap, Arc::clone(&hit_tier));
+        for v in 1..=8u64 {
+            let mut o = obj.clone();
+            o.desc.key.version = v;
+            server.put(o).expect("tiered put");
+        }
+        let mut served = 0u64;
+        for v in 1..=8u64 {
+            let got = server.get(&ObjectKey::new("spill", v), None);
+            assert_eq!(got.len(), 1, "4x working set lost version {v}");
+            served += 1;
+        }
+        let snap = hit_tier.snapshot();
+        let hit_rate = snap.disk_hits as f64 / served as f64;
+        tier_capacity_gain = (server.used() + hit_tier.disk_used()) as f64 / cap as f64;
+        assert!(snap.disk_hits > 0, "4x working set never touched the tier");
+
+        for (name, v, unit) in [
+            ("staging_spill_throughput", spill_ns / mib, "ns/MiB"),
+            ("staging_promote_throughput", promote_ns / mib, "ns/MiB"),
+            ("staging_tier_hit_rate", hit_rate, "ratio"),
+        ] {
+            println!("{name:<44} {v:>14.3} {unit}");
+            results.borrow_mut().push((name, v));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     let results = results.into_inner();
     let produced: Vec<&str> = results.iter().map(|(n, _)| *n).collect();
     assert_eq!(
@@ -650,6 +753,7 @@ fn main() {
                 + ns_of("net_single_get_throughput") / ns_of("net_sharded_get_throughput"))
                 / 2.0,
         ),
+        ("staging_tier_capacity_gain", tier_capacity_gain),
     ];
     let derived_names: Vec<&str> = derived.iter().map(|(n, _)| *n).collect();
     assert_eq!(

@@ -62,10 +62,15 @@ pub const EXPECTED_BENCH_KEYS: &[&str] = &[
     "net_get_latency_p95",
     "net_get_latency_p99",
     "net_get_latency_max",
+    "net_pool_hit_rate",
+    "net_chunksum_hit_rate",
     "net_single_put_throughput",
     "net_single_get_throughput",
     "net_sharded_put_throughput",
     "net_sharded_get_throughput",
+    "staging_spill_throughput",
+    "staging_promote_throughput",
+    "staging_tier_hit_rate",
 ];
 
 /// The derived ratios `bench_summary` writes under `"derived"`.
@@ -80,6 +85,7 @@ pub const EXPECTED_DERIVED_KEYS: &[&str] = &[
     "staging_overlap_speedup",
     "net_chunked_speedup_large",
     "net_sharded_speedup",
+    "staging_tier_capacity_gain",
 ];
 
 /// A recorded workload trace plus the real run's base-grid size, used to

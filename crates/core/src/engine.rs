@@ -6,10 +6,12 @@ use crate::estimate::Estimator;
 use crate::policy::app::{self, AppDecision};
 use crate::policy::cross::{self, Mechanism};
 use crate::policy::middleware::{self, PlacementDecision};
+use crate::policy::pressure::{self, PressureAction, PressureDecision};
 use crate::policy::resource::{self, ResourceDecision};
 use crate::prefs::{Objective, UserHints, UserPreferences};
 use crate::state::OperationalState;
 use serde::{Deserialize, Serialize};
+use xlayer_platform::DiskModel;
 
 /// Which mechanisms the engine may execute. The evaluation's "local"
 /// configurations enable a single layer (§5.2.1–5.2.3); "global" enables
@@ -24,6 +26,11 @@ pub struct EngineConfig {
     pub enable_resource: bool,
     /// Allow the hybrid (split in-situ + in-transit) placement (§3).
     pub enable_hybrid: bool,
+    /// Staging-pressure relief (spill / downsample / reject — the tiered
+    /// staging extension). Defaults off so serialized pre-tier configs
+    /// keep their meaning.
+    #[serde(default)]
+    pub enable_pressure: bool,
 }
 
 impl EngineConfig {
@@ -34,6 +41,7 @@ impl EngineConfig {
             enable_app: true,
             enable_middleware: true,
             enable_resource: true,
+            enable_pressure: true,
         }
     }
 
@@ -44,6 +52,7 @@ impl EngineConfig {
             enable_app: true,
             enable_middleware: false,
             enable_resource: false,
+            enable_pressure: false,
         }
     }
 
@@ -54,6 +63,7 @@ impl EngineConfig {
             enable_app: false,
             enable_middleware: true,
             enable_resource: false,
+            enable_pressure: false,
         }
     }
 
@@ -64,6 +74,7 @@ impl EngineConfig {
             enable_app: false,
             enable_middleware: false,
             enable_resource: true,
+            enable_pressure: false,
         }
     }
 
@@ -74,6 +85,7 @@ impl EngineConfig {
             enable_app: false,
             enable_middleware: false,
             enable_resource: false,
+            enable_pressure: false,
         }
     }
 }
@@ -87,6 +99,9 @@ pub struct Adaptations {
     pub resource: Option<ResourceDecision>,
     /// Middleware-layer decision (placement), if executed.
     pub placement: Option<PlacementDecision>,
+    /// Staging-pressure decision (spill / downsample / reject), if the
+    /// pressure layer ran and found an overflow.
+    pub pressure: Option<PressureDecision>,
     /// The analysis input size after any reduction — what downstream
     /// mechanisms saw as `S_data`.
     pub analysis_bytes: u64,
@@ -107,6 +122,7 @@ impl Default for Adaptations {
             app: None,
             resource: None,
             placement: None,
+            pressure: None,
             analysis_bytes: 0,
             analysis_cells: 0,
             analysis_surface: 0,
@@ -151,6 +167,8 @@ pub struct AdaptationEngine {
     /// Mechanism enable flags.
     pub config: EngineConfig,
     estimator: Estimator,
+    /// Disk model pricing the pressure layer's spill/promote paths.
+    disk: DiskModel,
 }
 
 impl AdaptationEngine {
@@ -166,7 +184,20 @@ impl AdaptationEngine {
             hints,
             config,
             estimator,
+            disk: DiskModel::titan(),
         }
+    }
+
+    /// Replace the disk model pricing the pressure layer's spill and
+    /// promote paths (defaults to [`DiskModel::titan`]).
+    pub fn with_disk_model(mut self, disk: DiskModel) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// The disk model the pressure layer prices against.
+    pub fn disk_model(&self) -> &DiskModel {
+        &self.disk
     }
 
     /// The estimator (exposed for policy-level diagnostics).
@@ -211,6 +242,29 @@ impl AdaptationEngine {
                     out.analysis_cells = app::reduced_cells(state.cells, d.factor);
                     out.analysis_surface = app::reduced_surface(state.surface_cells, d.factor);
                     out.app = Some(d);
+                }
+                Mechanism::PressureLayer if self.config.enable_pressure => {
+                    let d = pressure::decide(
+                        &self.disk,
+                        out.analysis_bytes,
+                        state.mem_available_intransit,
+                        state.disk_available_intransit,
+                        &self.hints.factors_at(state.step),
+                        state.last_sim_time,
+                        self.hints.analysis_budget_frac,
+                    );
+                    if let Some(d) = d {
+                        // A downsample verdict shrinks the inputs the
+                        // resource and middleware formulations see, the
+                        // same way the application layer's does.
+                        if let PressureAction::Downsample { factor } = d.action {
+                            out.analysis_bytes = app::reduced_bytes(out.analysis_bytes, factor);
+                            out.analysis_cells = app::reduced_cells(out.analysis_cells, factor);
+                            out.analysis_surface =
+                                app::reduced_surface(out.analysis_surface, factor);
+                        }
+                        out.pressure = Some(d);
+                    }
                 }
                 Mechanism::ResourceLayer if self.config.enable_resource => {
                     let d = resource::select_staging_cores(
@@ -339,6 +393,7 @@ mod tests {
             enable_middleware: true,
             enable_resource: true,
             enable_hybrid: false,
+            enable_pressure: false,
         })
         .adapt(&state());
         assert!(
@@ -410,6 +465,49 @@ mod tests {
         assert_eq!(a.analysis_bytes, s.data_bytes / 4);
         assert_eq!(a.analysis_cells, s.cells / 4);
         assert_eq!(a.analysis_surface, s.surface_cells / 4);
+    }
+
+    #[test]
+    fn pressure_layer_runs_between_app_and_resource() {
+        // Tight staging memory, roomy disk, long step: the pressure layer
+        // should choose Spill and leave the analysis inputs alone.
+        let mut s = state();
+        s.mem_available_intransit = 1 << 30;
+        s.disk_available_intransit = u64::MAX;
+        s.last_sim_time = 1e4;
+        let a = engine(EngineConfig::global()).adapt(&s);
+        let p = a.pressure.expect("overflow must reach the pressure layer");
+        assert_eq!(p.action, crate::policy::pressure::PressureAction::Spill);
+        // The app layer halved 8 GiB; the overflow is what's left beyond
+        // the 1 GiB staging memory.
+        assert_eq!(p.overflow_bytes, (8u64 << 30) / 2 - (1 << 30));
+    }
+
+    #[test]
+    fn pressure_downsample_feeds_downstream_mechanisms() {
+        // A sub-millisecond step makes any spill unaffordable, so the
+        // verdict degrades to downsampling — and the resource layer must
+        // see the shrunken bytes.
+        let mut s = state();
+        s.mem_available_intransit = 3 << 30;
+        s.disk_available_intransit = u64::MAX;
+        s.last_sim_time = 1e-3;
+        let a = engine(EngineConfig::global()).adapt(&s);
+        let p = a.pressure.expect("overflow must reach the pressure layer");
+        assert_eq!(
+            p.action,
+            crate::policy::pressure::PressureAction::Downsample { factor: 2 }
+        );
+        // 8 GiB → 4 GiB (app factor 2) → 2 GiB (pressure factor 2).
+        assert_eq!(a.analysis_bytes, 2 << 30);
+    }
+
+    #[test]
+    fn pressure_disabled_leaves_decision_empty() {
+        let mut s = state();
+        s.mem_available_intransit = 1 << 30;
+        let a = engine(EngineConfig::middleware_only()).adapt(&s);
+        assert!(a.pressure.is_none());
     }
 
     #[test]

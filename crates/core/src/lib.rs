@@ -31,6 +31,7 @@ pub use monitor::Monitor;
 pub use policy::app::AppDecision;
 pub use policy::cross::{plan, CrossLayerPlan, Mechanism};
 pub use policy::middleware::{hybrid_split, Placement, PlacementDecision, PlacementReason};
+pub use policy::pressure::{PressureAction, PressureDecision};
 pub use policy::resource::ResourceDecision;
 pub use prefs::{FactorPhase, Objective, UserHints, UserPreferences};
 pub use state::OperationalState;

@@ -20,6 +20,10 @@ pub enum Mechanism {
     Middleware,
     /// Resource layer: number of in-transit cores (§4.3).
     ResourceLayer,
+    /// Staging-pressure layer: spill / downsample / reject when the step
+    /// output exceeds free staging memory (the tiered-staging extension;
+    /// see [`crate::policy::pressure`]).
+    PressureLayer,
 }
 
 /// An execution plan: which mechanisms run, in what order, and which are
@@ -41,11 +45,20 @@ pub fn plan(objective: Objective) -> CrossLayerPlan {
         // S_data (application layer) and M (resource layer) are its inputs.
         // Application runs first because S_data also feeds the resource
         // mechanism.
+        // The pressure layer is a further leaf: it consumes the reduced
+        // S_data (so it runs after the application layer) and its
+        // downsample verdict shrinks the inputs the resource and
+        // middleware formulations see.
         Objective::MinimizeTimeToSolution => CrossLayerPlan {
             roots: vec![Mechanism::Middleware],
-            leaves: vec![Mechanism::AppLayer, Mechanism::ResourceLayer],
+            leaves: vec![
+                Mechanism::AppLayer,
+                Mechanism::PressureLayer,
+                Mechanism::ResourceLayer,
+            ],
             order: vec![
                 Mechanism::AppLayer,
+                Mechanism::PressureLayer,
                 Mechanism::ResourceLayer,
                 Mechanism::Middleware,
             ],

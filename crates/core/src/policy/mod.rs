@@ -4,4 +4,5 @@
 pub mod app;
 pub mod cross;
 pub mod middleware;
+pub mod pressure;
 pub mod resource;

@@ -49,6 +49,9 @@ pub struct OperationalState {
     pub mem_available_insitu: u64,
     /// Free staging-area memory in bytes.
     pub mem_available_intransit: u64,
+    /// Free budget on the staging area's disk spill tier, in bytes
+    /// (0 = no tier attached — the pre-tier behaviour).
+    pub disk_available_intransit: u64,
 }
 
 impl OperationalState {
@@ -80,6 +83,7 @@ impl Default for OperationalState {
             staging_cores_max: 1,
             mem_available_insitu: u64::MAX,
             mem_available_intransit: u64::MAX,
+            disk_available_intransit: 0,
         }
     }
 }

@@ -5,7 +5,13 @@
 //! ```text
 //! staging_cluster [--shards N] [--addr HOST:PORT] [--servers S]
 //!                 [--memory-mib M] [--max-conns C] [--chunk-kib K]
+//!                 [--disk-dir PATH] [--disk-budget-mib D]
 //! ```
+//!
+//! `--disk-dir` attaches a disk spill tier to every shard: each shard
+//! logs spilled versions under `PATH/svc-<port>` (the bound port keeps
+//! shards sharing one directory apart), capped per staging server by
+//! `--disk-budget-mib`.
 //!
 //! With `--addr HOST:0` (the default) every shard binds an ephemeral
 //! port; with an explicit port P, shard `i` binds `P + i`. Each shard's
@@ -67,9 +73,19 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--chunk-kib: {e}"))?;
                 cfg.chunk_size = kib.saturating_mul(1024);
             }
+            "--disk-dir" => {
+                cfg.disk_dir = Some(std::path::PathBuf::from(value("--disk-dir")?));
+            }
+            "--disk-budget-mib" => {
+                let mib: u64 = value("--disk-budget-mib")?
+                    .parse()
+                    .map_err(|e| format!("--disk-budget-mib: {e}"))?;
+                cfg.disk_budget = mib << 20;
+            }
             "--help" | "-h" => {
                 return Err("usage: staging_cluster [--shards N] [--addr HOST:PORT] \
-                     [--servers S] [--memory-mib M] [--max-conns C] [--chunk-kib K]"
+                     [--servers S] [--memory-mib M] [--max-conns C] [--chunk-kib K] \
+                     [--disk-dir PATH] [--disk-budget-mib D]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),

@@ -4,7 +4,14 @@
 //! ```text
 //! staging_service [--addr HOST:PORT] [--servers N] [--memory-mib M]
 //!                 [--max-conns C] [--chunk-kib K]
+//!                 [--disk-dir PATH] [--disk-budget-mib D]
 //! ```
+//!
+//! `--disk-dir` attaches a disk spill tier: puts beyond the memory cap
+//! demote cold versions to per-server object logs under
+//! `PATH/svc-<port>` instead of being rejected, and hot gets promote
+//! them back. `--disk-budget-mib` caps live spilled bytes per staging
+//! server (unbounded by default).
 //!
 //! The bound address is printed on stdout (useful with port 0). The
 //! process exits when a client sends the `Shutdown` opcode.
@@ -42,9 +49,19 @@ fn parse_args(args: &[String]) -> Result<ServiceConfig, String> {
                     .map_err(|e| format!("--chunk-kib: {e}"))?;
                 cfg.chunk_size = kib.saturating_mul(1024);
             }
+            "--disk-dir" => {
+                cfg.disk_dir = Some(std::path::PathBuf::from(value("--disk-dir")?));
+            }
+            "--disk-budget-mib" => {
+                let mib: u64 = value("--disk-budget-mib")?
+                    .parse()
+                    .map_err(|e| format!("--disk-budget-mib: {e}"))?;
+                cfg.disk_budget = mib << 20;
+            }
             "--help" | "-h" => {
                 return Err("usage: staging_service [--addr HOST:PORT] [--servers N] \
-                     [--memory-mib M] [--max-conns C] [--chunk-kib K]"
+                     [--memory-mib M] [--max-conns C] [--chunk-kib K] \
+                     [--disk-dir PATH] [--disk-budget-mib D]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -64,6 +81,7 @@ fn main() {
     };
     let servers = cfg.servers;
     let per_server = cfg.memory_per_server;
+    let tiered = cfg.disk_dir.is_some();
     let service = match StagingService::start(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -73,8 +91,9 @@ fn main() {
     };
     println!("staging service listening on {}", service.local_addr());
     println!(
-        "{servers} staging server(s), {} MiB each; stop with the Shutdown opcode",
-        per_server >> 20
+        "{servers} staging server(s), {} MiB each{}; stop with the Shutdown opcode",
+        per_server >> 20,
+        if tiered { ", disk spill tier on" } else { "" }
     );
     service.wait();
 }

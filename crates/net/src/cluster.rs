@@ -77,6 +77,10 @@ struct ShardedInner {
     broaden: AtomicBool,
     put_ns: LatencyHistogram,
     get_ns: LatencyHistogram,
+    /// Put wall times bucketed by the shard the object actually landed on
+    /// (the *owner* after any sibling spill), in shard order — so a shard
+    /// whose puts run slow because they keep spilling shows up by name.
+    put_ns_by_owner: Vec<LatencyHistogram>,
 }
 
 /// A client of a sharded staging cluster. Cheap to clone (clones share
@@ -106,6 +110,7 @@ impl ShardedClient {
             .iter()
             .map(|a| RemoteClient::connect(a.as_ref(), cfg.clone()))
             .collect::<std::io::Result<Vec<_>>>()?;
+        let put_ns_by_owner = (0..shards.len()).map(|_| LatencyHistogram::new()).collect();
         Ok(ShardedClient {
             inner: Arc::new(ShardedInner {
                 map: ShardMap::new(shards.len(), span),
@@ -113,6 +118,7 @@ impl ShardedClient {
                 broaden: AtomicBool::new(false),
                 put_ns: LatencyHistogram::new(),
                 get_ns: LatencyHistogram::new(),
+                put_ns_by_owner,
             }),
         })
     }
@@ -174,7 +180,7 @@ impl ShardedClient {
         };
         let first = match home_client.put(obj) {
             Ok(_) => {
-                self.inner.put_ns.record(elapsed_ns(t0));
+                self.record_put(home, elapsed_ns(t0));
                 return Ok(home);
             }
             Err(e @ RemoteError::OutOfMemory { .. }) => e,
@@ -187,7 +193,7 @@ impl ShardedClient {
             match sibling.put(obj) {
                 Ok(_) => {
                     self.inner.broaden.store(true, Ordering::Relaxed);
-                    self.inner.put_ns.record(elapsed_ns(t0));
+                    self.record_put(i, elapsed_ns(t0));
                     return Ok(i);
                 }
                 Err(RemoteError::OutOfMemory { .. }) => continue,
@@ -344,10 +350,29 @@ impl ShardedClient {
             .sum()
     }
 
+    /// Record a completed put against both the aggregate histogram and
+    /// the owning shard's.
+    fn record_put(&self, owner: usize, ns: u64) {
+        self.inner.put_ns.record(ns);
+        if let Some(h) = self.inner.put_ns_by_owner.get(owner) {
+            h.record(ns);
+        }
+    }
+
     /// Percentile summary of successful sharded put wall times (includes
     /// any spill attempts).
     pub fn put_latency(&self) -> LatencySnapshot {
         self.inner.put_ns.snapshot()
+    }
+
+    /// Put latency percentiles bucketed by the shard each object actually
+    /// landed on (its post-spill owner), in shard order.
+    pub fn put_latency_by_owner(&self) -> Vec<LatencySnapshot> {
+        self.inner
+            .put_ns_by_owner
+            .iter()
+            .map(|h| h.snapshot())
+            .collect()
     }
 
     /// Percentile summary of successful scatter/gather get wall times.
@@ -432,6 +457,9 @@ pub struct ShardedStager {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<TransportStats>,
     rejected_by_shard: Arc<Vec<AtomicU64>>,
+    /// Per *home* shard: deliveries that landed on a sibling because the
+    /// home shard (memory and disk tier both) had no room.
+    spill_redirects: Arc<Vec<AtomicU64>>,
     client: ShardedClient,
 }
 
@@ -446,12 +474,18 @@ impl ShardedStager {
                 .map(|_| AtomicU64::new(0))
                 .collect(),
         );
+        let spill_redirects: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..client.num_shards())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
         let workers = (0..nthreads.max(1))
             .map(|_| {
                 let rx = rx.clone();
                 let client = client.clone();
                 let stats = Arc::clone(&stats);
                 let by_shard = Arc::clone(&rejected_by_shard);
+                let redirects = Arc::clone(&spill_redirects);
                 std::thread::spawn(move || {
                     // Greedy drain, same shape as RemoteStager: answer the
                     // rendezvous once per drained run.
@@ -469,10 +503,16 @@ impl ShardedStager {
                             let obj = task.materialize();
                             let bytes = obj.desc.bytes;
                             let key = obj.desc.key.clone();
+                            let home = client.map().shard_of(&obj.desc.bbox);
                             match client.put(&obj) {
-                                Ok(_) => {
+                                Ok(owner) => {
                                     stats.delivered.fetch_add(1, Ordering::Relaxed);
                                     stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+                                    if owner != home {
+                                        if let Some(n) = redirects.get(home) {
+                                            n.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
                                 }
                                 Err(ShardedError {
                                     shard,
@@ -505,6 +545,7 @@ impl ShardedStager {
             workers,
             stats,
             rejected_by_shard,
+            spill_redirects,
             client,
         }
     }
@@ -568,6 +609,16 @@ impl ShardedStager {
     /// order — where in space the pressure is.
     pub fn rejected_by_shard(&self) -> Vec<u64> {
         self.rejected_by_shard
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Deliveries that left each *home* shard for a sibling, in shard
+    /// order. Non-zero entries mean that shard exhausted both its memory
+    /// cap and its disk tier — the cluster-level relief valve engaged.
+    pub fn spill_redirects_by_shard(&self) -> Vec<u64> {
+        self.spill_redirects
             .iter()
             .map(|n| n.load(Ordering::Relaxed))
             .collect()

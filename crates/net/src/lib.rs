@@ -28,7 +28,9 @@
 //!   latency percentiles (p50/p95/p99/max) recorded on every client op.
 //! - [`pool`] — [`BufferPool`], a bounded size-classed buffer recycler
 //!   shared by service workers and clients so steady-state put/get traffic
-//!   allocates nothing per op (hit/miss counters travel in `Stats`).
+//!   allocates nothing per op (hit/miss counters travel in `Stats`). The
+//!   implementation lives in `xlayer_staging::pool` — the disk tier reads
+//!   extents through the same pool — and is re-exported here.
 //! - [`iovec`] — [`iovec::write_vectored_all`], the short-write-safe
 //!   vectored send loop both hot paths use to put header and payload on
 //!   the wire in one syscall without concatenating them.
@@ -50,7 +52,7 @@ pub mod client;
 pub mod cluster;
 pub mod hist;
 pub mod iovec;
-pub mod pool;
+pub use xlayer_staging::pool;
 pub mod service;
 pub mod wire;
 

@@ -57,6 +57,15 @@ pub struct ServiceConfig {
     /// `GetChunkedOk` head frame. (PUT streams are paced by the sender, so
     /// this does not apply to them.)
     pub chunk_size: u32,
+    /// Directory for the disk spill tier's per-server object logs. `None`
+    /// disables the tier (puts beyond the memory cap are rejected, the
+    /// pre-tier behaviour). Each service instance logs under its own
+    /// `svc-<port>` subdirectory, so shards of a cluster can share one
+    /// template directory without colliding.
+    pub disk_dir: Option<std::path::PathBuf>,
+    /// Per staging server, the cap on live spilled payload bytes (only
+    /// meaningful with `disk_dir` set).
+    pub disk_budget: u64,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +79,8 @@ impl Default for ServiceConfig {
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_secs(5),
             chunk_size: crate::wire::DEFAULT_CHUNK_SIZE,
+            disk_dir: None,
+            disk_budget: u64::MAX,
         }
     }
 }
@@ -100,12 +111,18 @@ pub struct ServiceStats {
     pub bytes_in: AtomicU64,
     /// Frame bytes sent (headers + payloads).
     pub bytes_out: AtomicU64,
+    /// Chunked-get streams whose per-chunk sums came from the cache.
+    pub chunksum_hits: AtomicU64,
+    /// Chunked-get streams that had to recompute per-chunk sums.
+    pub chunksum_misses: AtomicU64,
 }
 
 impl ServiceStats {
-    /// Snapshot the counters together with the space's occupancy and the
-    /// wire buffer pool's hit/miss/outstanding counts.
+    /// Snapshot the counters together with the space's occupancy, the wire
+    /// buffer pool's hit/miss/outstanding counts, and the disk tier's
+    /// spill/promote/hit counters (zeros when no tier is attached).
     pub fn snapshot(&self, space: &DataSpace, pool: &BufferPool) -> ServiceSnapshot {
+        let tier = space.tier_stats();
         ServiceSnapshot {
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
@@ -123,6 +140,12 @@ impl ServiceStats {
             pool_hits: pool.hits(),
             pool_misses: pool.misses(),
             pool_outstanding: pool.outstanding(),
+            tier_spilled: tier.spilled,
+            tier_promoted: tier.promoted,
+            tier_disk_used: tier.disk_used,
+            tier_disk_hits: tier.disk_hits,
+            chunksum_hits: self.chunksum_hits.load(Ordering::Relaxed),
+            chunksum_misses: self.chunksum_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -233,14 +256,37 @@ pub struct StagingService {
 
 impl StagingService {
     /// Bind a listener and start serving a freshly constructed space sized
-    /// by the config.
+    /// by the config. With `disk_dir` set, the space gets a disk spill tier
+    /// logging under `disk_dir/svc-<port>` — the listener is bound first so
+    /// the port disambiguates shards sharing one template directory — and
+    /// the tier reads extents through the same buffer pool the wire path
+    /// recycles scratch from.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
-        let space = Arc::new(DataSpace::new(
-            cfg.servers.max(1),
-            cfg.memory_per_server,
-            cfg.sharding,
-        ));
-        Self::start_with_space(cfg, space)
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(BufferPool::new());
+        let space = match &cfg.disk_dir {
+            None => Arc::new(DataSpace::new(
+                cfg.servers.max(1),
+                cfg.memory_per_server,
+                cfg.sharding,
+            )),
+            Some(dir) => {
+                let tier =
+                    xlayer_staging::TierConfig::new(dir.join(format!("svc-{}", addr.port())))
+                        .with_budget(cfg.disk_budget);
+                let space = DataSpace::new_tiered(
+                    cfg.servers.max(1),
+                    cfg.memory_per_server,
+                    cfg.sharding,
+                    &tier,
+                    Arc::clone(&pool),
+                )
+                .map_err(|e| std::io::Error::other(format!("disk tier: {e}")))?;
+                Arc::new(space)
+            }
+        };
+        Self::start_on_listener(cfg, listener, addr, space, pool)
     }
 
     /// Bind a listener and start serving an existing space (lets tests and
@@ -248,10 +294,21 @@ impl StagingService {
     pub fn start_with_space(cfg: ServiceConfig, space: Arc<DataSpace>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let pool = Arc::new(BufferPool::new());
+        Self::start_on_listener(cfg, listener, addr, space, pool)
+    }
+
+    fn start_on_listener(
+        cfg: ServiceConfig,
+        listener: TcpListener,
+        addr: SocketAddr,
+        space: Arc<DataSpace>,
+        pool: Arc<BufferPool>,
+    ) -> std::io::Result<Self> {
         let inner = Arc::new(Inner {
             space,
             stats: Arc::new(ServiceStats::default()),
-            pool: Arc::new(BufferPool::new()),
+            pool,
             chunk_sums: ChunkSumCache::new(),
             stop: AtomicBool::new(false),
             active: AtomicU32::new(0),
@@ -718,7 +775,9 @@ fn serve_put_chunked(
         Some(ErrorFrame::BadRequest {
             detail: "inconsistent chunked object descriptor".to_string(),
         })
-    } else if desc.bytes > inner.space.capacity() {
+    } else if desc.bytes > inner.space.capacity() && !inner.space.has_tier() {
+        // With a disk tier attached, an object larger than RAM can still
+        // land on the spill log — let the space's own policy decide.
         inner.stats.rejected_oom.fetch_add(1, Ordering::Relaxed);
         Some(ErrorFrame::OutOfMemory {
             cap: inner.space.capacity(),
@@ -826,6 +885,10 @@ fn serve_put_chunked(
                             requested,
                         })
                     }
+                    Err(StagingError::NeedsReduction { factor }) => {
+                        inner.stats.rejected_oom.fetch_add(1, Ordering::Relaxed);
+                        Response::Error(ErrorFrame::NeedsReduction { factor })
+                    }
                 }
             }
         }
@@ -864,17 +927,21 @@ fn serve_get_chunked(
         // learned at put time or computed on the first get, then every
         // frame's checksum comes from the cache and the payload bytes are
         // only touched by the socket write.
-        let sums = inner
-            .chunk_sums
-            .lookup(obj, chunk as u32)
-            .unwrap_or_else(|| {
+        let sums = match inner.chunk_sums.lookup(obj, chunk as u32) {
+            Some(sums) => {
+                inner.stats.chunksum_hits.fetch_add(1, Ordering::Relaxed);
+                sums
+            }
+            None => {
+                inner.stats.chunksum_misses.fetch_add(1, Ordering::Relaxed);
                 let fresh: Vec<u32> = payload.chunks(chunk.max(1)).map(checksum).collect();
                 let fresh = Arc::new(fresh);
                 inner
                     .chunk_sums
                     .insert(obj, chunk as u32, Arc::clone(&fresh));
                 fresh
-            });
+            }
+        };
         let mut off = 0usize;
         let mut k = 0usize;
         while off < payload.len() {
@@ -933,6 +1000,10 @@ fn handle_request(inner: &Inner, req: Request) -> Response {
                         used,
                         requested,
                     })
+                }
+                Err(StagingError::NeedsReduction { factor }) => {
+                    stats.rejected_oom.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(ErrorFrame::NeedsReduction { factor })
                 }
             }
         }

@@ -70,21 +70,10 @@ pub fn clamp_chunk_size(proposed: u32) -> u32 {
 }
 
 /// FNV-1a 32-bit checksum, the integrity check carried in each header.
-pub fn checksum(data: &[u8]) -> u32 {
-    checksum_update(0x811c_9dc5, data)
-}
-
-/// Fold more bytes into a running FNV-1a-32 state (seed it with
-/// `checksum(b"")`). `checksum_update(checksum(a), b) == checksum(a ++ b)`,
-/// which lets the vectored send and direct-into-buffer receive paths
-/// checksum a frame's prefix and data without concatenating them.
-pub fn checksum_update(mut state: u32, data: &[u8]) -> u32 {
-    for &b in data {
-        state ^= b as u32;
-        state = state.wrapping_mul(0x0100_0193);
-    }
-    state
-}
+/// The implementation lives in `xlayer_staging::sum` — the disk tier
+/// checksums its extents with the very same function, so per-chunk sums
+/// computed on the wire stay valid on disk and back.
+pub use xlayer_staging::sum::{checksum, checksum_update};
 
 /// Frame opcodes. Requests occupy `0x01..=0x08`, their success responses
 /// the same code with the high bit set, `0x09`/`0x0A` are the sub-frames
@@ -884,6 +873,19 @@ pub struct ServiceSnapshot {
     pub pool_misses: u64,
     /// Pooled buffers currently checked out by service workers.
     pub pool_outstanding: u64,
+    /// Objects demoted to the disk tier.
+    pub tier_spilled: u64,
+    /// Objects promoted from the disk tier back into memory.
+    pub tier_promoted: u64,
+    /// Live payload bytes currently on the disk tier.
+    pub tier_disk_used: u64,
+    /// Gets answered (at least partly) from the disk tier.
+    pub tier_disk_hits: u64,
+    /// Chunked-get streams whose per-chunk sums came from the chunk-sum
+    /// cache.
+    pub chunksum_hits: u64,
+    /// Chunked-get streams that had to recompute per-chunk sums.
+    pub chunksum_misses: u64,
 }
 
 /// A typed error response. `OutOfMemory` mirrors
@@ -916,6 +918,13 @@ pub enum ErrorFrame {
     },
     /// The service is shutting down and takes no new work.
     ShuttingDown,
+    /// The tier policy asks the producer to coarsen the object by `factor`
+    /// per axis and retry. Like `OutOfMemory`, this is a policy signal —
+    /// clients must NOT retry it unchanged.
+    NeedsReduction {
+        /// Per-axis coarsening factor to apply before retrying.
+        factor: u32,
+    },
 }
 
 impl ErrorFrame {
@@ -925,6 +934,7 @@ impl ErrorFrame {
             ErrorFrame::BadRequest { .. } => 2,
             ErrorFrame::Busy { .. } => 3,
             ErrorFrame::ShuttingDown => 4,
+            ErrorFrame::NeedsReduction { .. } => 5,
         }
     }
 }
@@ -945,6 +955,10 @@ impl std::fmt::Display for ErrorFrame {
                 write!(f, "service busy: {active}/{max} connections")
             }
             ErrorFrame::ShuttingDown => write!(f, "service shutting down"),
+            ErrorFrame::NeedsReduction { factor } => write!(
+                f,
+                "staging under pressure: downsample by {factor} per axis and retry"
+            ),
         }
     }
 }
@@ -1046,6 +1060,12 @@ impl Response {
                     s.pool_hits,
                     s.pool_misses,
                     s.pool_outstanding,
+                    s.tier_spilled,
+                    s.tier_promoted,
+                    s.tier_disk_used,
+                    s.tier_disk_hits,
+                    s.chunksum_hits,
+                    s.chunksum_misses,
                 ] {
                     w.u64(v);
                 }
@@ -1077,6 +1097,7 @@ impl Response {
                         w.u32(*max);
                     }
                     ErrorFrame::ShuttingDown => {}
+                    ErrorFrame::NeedsReduction { factor } => w.u32(*factor),
                 }
             }
         }
@@ -1133,6 +1154,12 @@ impl Response {
                 pool_hits: r.u64()?,
                 pool_misses: r.u64()?,
                 pool_outstanding: r.u64()?,
+                tier_spilled: r.u64()?,
+                tier_promoted: r.u64()?,
+                tier_disk_used: r.u64()?,
+                tier_disk_hits: r.u64()?,
+                chunksum_hits: r.u64()?,
+                chunksum_misses: r.u64()?,
             }),
             Opcode::ShutdownOk => Response::ShutdownOk,
             Opcode::PutChunkedOk => Response::PutChunkedOk { shard: r.u32()? },
@@ -1163,6 +1190,7 @@ impl Response {
                         max: r.u32()?,
                     },
                     4 => ErrorFrame::ShuttingDown,
+                    5 => ErrorFrame::NeedsReduction { factor: r.u32()? },
                     c => return Err(WireError::BadErrorCode(c)),
                 };
                 Response::Error(e)
@@ -1562,6 +1590,12 @@ mod tests {
             pool_hits: 14,
             pool_misses: 15,
             pool_outstanding: 16,
+            tier_spilled: 17,
+            tier_promoted: 18,
+            tier_disk_used: 19,
+            tier_disk_hits: 20,
+            chunksum_hits: 21,
+            chunksum_misses: 22,
         };
         let cases: Vec<Response> = vec![
             Response::PutOk { shard: 3 },
@@ -1585,6 +1619,7 @@ mod tests {
             }),
             Response::Error(ErrorFrame::Busy { active: 4, max: 4 }),
             Response::Error(ErrorFrame::ShuttingDown),
+            Response::Error(ErrorFrame::NeedsReduction { factor: 2 }),
         ];
         for resp in cases {
             let frame = decode_whole(&resp.encode(77));

@@ -47,6 +47,27 @@ impl DiskModel {
     pub fn read_time(&self, bytes: u64) -> SimTime {
         self.op_latency + bytes as f64 / self.read_bandwidth
     }
+
+    /// Time to demote `bytes` from staging memory to the node's spill
+    /// log: one sequential append — a single op charge, then streaming
+    /// writes. Prices the tier's spill path.
+    pub fn spill_time(&self, bytes: u64) -> SimTime {
+        self.write_time(bytes)
+    }
+
+    /// Time to promote `bytes` from the spill log back into staging
+    /// memory: the extents are contiguous per object, so one op charge
+    /// plus a streaming read. Prices the tier's promote-on-access path.
+    pub fn promote_time(&self, bytes: u64) -> SimTime {
+        self.read_time(bytes)
+    }
+
+    /// The worst-case round trip a spilled object pays: demoted once and
+    /// promoted back on its first access. What the pressure policy weighs
+    /// against asking the producer to downsample.
+    pub fn spill_roundtrip(&self, bytes: u64) -> SimTime {
+        self.spill_time(bytes) + self.promote_time(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -62,6 +83,19 @@ mod tests {
         };
         assert!((d.write_time(1_000_000_000) - 1.01).abs() < 1e-12);
         assert!((d.read_time(1_000_000_000) - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_roundtrip_sums_both_directions() {
+        let d = DiskModel {
+            write_bandwidth: 1e9,
+            read_bandwidth: 2e9,
+            op_latency: 0.01,
+        };
+        let n = 1_000_000_000u64;
+        assert_eq!(d.spill_time(n), d.write_time(n));
+        assert_eq!(d.promote_time(n), d.read_time(n));
+        assert!((d.spill_roundtrip(n) - (1.01 + 0.51)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,864 @@
+//! The disk tier's object log: spilled versions as chunked, checksummed
+//! extents in one append-only file per staging server.
+//!
+//! Layout of one record (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic            "XTLG"
+//!      4     2  name_len         u16
+//!      6     8  version          u64
+//!     14    48  bbox             lo.x lo.y lo.z hi.x hi.y hi.z, i64 each
+//!     62    48  core             same encoding as bbox
+//!    110     8  dx               f64 bit pattern
+//!    118     8  origin_rank      u64
+//!    126     8  payload_len      u64
+//!    134     4  chunk_size       u32
+//!    138     4  nsums            u32 (= ceil(payload_len / chunk_size))
+//!    142     …  name             name_len bytes, UTF-8
+//!      …     …  sums             nsums × u32, FNV-1a-32 per payload chunk
+//!      …     4  head_sum         FNV-1a-32 over every byte above
+//!      …     …  payload          payload_len bytes, LE f64 Fortran order
+//! ```
+//!
+//! The in-memory extent index (`BTreeMap<ObjectKey, Vec<Extent>>`) is
+//! rebuilt on open by scanning the log; lookups never touch the file. Each
+//! record carries its own integrity evidence: `head_sum` covers the
+//! metadata, and the per-chunk payload sums (the same FNV-1a-32 chunk-sum
+//! scheme the wire protocol streams with) are re-verified on every read, so
+//! a truncated or bit-flipped extent surfaces as a typed [`TierError`] —
+//! never as a panic and never as silently wrong data. A torn tail record
+//! (the crash case) is detected during the open scan, reported through
+//! [`DiskLog::recovery`], and truncated away so the log appends cleanly
+//! again.
+//!
+//! Deletes only mark extents dead in the index; the bytes are reclaimed by
+//! [`DiskLog::maybe_compact`], which rewrites live records into a fresh
+//! file once the dead fraction crosses the configured floor.
+
+use crate::object::{DataObject, ObjectDesc, ObjectKey};
+use crate::pool::BufferPool;
+use crate::sum::{checksum, chunk_sums};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use xlayer_amr::boxes::IBox;
+use xlayer_amr::intvect::IntVect;
+
+/// Record magic: "XTLG" (xlayer tier log).
+const MAGIC: [u8; 4] = *b"XTLG";
+/// Fixed-size prefix of a record, before the name/sums tail.
+const FIXED_HEAD: usize = 142;
+/// Longest accepted variable name (matches the wire protocol's cap).
+const MAX_NAME: usize = 4096;
+
+/// Why a disk-tier operation failed.
+#[derive(Debug)]
+pub enum TierError {
+    /// An I/O operation on the log failed.
+    Io {
+        /// What the log was doing (`"open"`, `"append"`, `"read"`, …).
+        op: &'static str,
+        /// The underlying error, stringified.
+        detail: String,
+    },
+    /// A record failed its checksum or structural validation — a torn
+    /// write, a truncated file, or corruption at rest.
+    Corrupt {
+        /// File offset of the offending record.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Appending would exceed the disk budget: the spill tier itself is
+    /// full, the cluster's signal to fall back to sibling shards.
+    DiskFull {
+        /// Configured budget for live payload bytes.
+        budget: u64,
+        /// Live payload bytes already in the log.
+        used: u64,
+        /// Payload size of the rejected append.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::Io { op, detail } => write!(f, "disk tier {op} failed: {detail}"),
+            TierError::Corrupt { offset, detail } => {
+                write!(f, "disk tier record at offset {offset} corrupt: {detail}")
+            }
+            TierError::DiskFull {
+                budget,
+                used,
+                requested,
+            } => write!(
+                f,
+                "disk tier full: budget {budget} B, live {used} B, requested {requested} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+fn io_err(op: &'static str, e: std::io::Error) -> TierError {
+    TierError::Io {
+        op,
+        detail: e.to_string(),
+    }
+}
+
+/// One spilled object's location and metadata: everything a lookup needs
+/// without touching the file.
+#[derive(Clone, Debug)]
+pub struct Extent {
+    /// File offset of the record's first byte.
+    offset: u64,
+    /// Total record length (header + name + sums + head_sum + payload).
+    record_len: u64,
+    /// Absolute file offset of the payload.
+    payload_off: u64,
+    /// The object's descriptor, as stored.
+    desc: ObjectDesc,
+    /// Chunk size the payload sums were computed at.
+    chunk: u32,
+    /// Per-chunk FNV-1a-32 payload sums (shared so a promote can hand them
+    /// to the wire layer's chunk-sum cache without recomputation).
+    sums: Arc<Vec<u32>>,
+}
+
+impl Extent {
+    /// The stored descriptor.
+    pub fn desc(&self) -> &ObjectDesc {
+        &self.desc
+    }
+
+    /// Chunk size and shared per-chunk sums, reusable by chunked senders.
+    pub fn chunk_sums(&self) -> (u32, Arc<Vec<u32>>) {
+        (self.chunk, Arc::clone(&self.sums))
+    }
+}
+
+fn put_ibox(buf: &mut Vec<u8>, b: &IBox) {
+    let IntVect([lx, ly, lz]) = b.lo();
+    let IntVect([hx, hy, hz]) = b.hi();
+    for v in [lx, ly, lz, hx, hy, hz] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cur<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| {
+            let mut b = [0u8; 2];
+            b.copy_from_slice(s);
+            u16::from_le_bytes(b)
+        })
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(s);
+            u32::from_le_bytes(b)
+        })
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            u64::from_le_bytes(b)
+        })
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.u64().map(|v| v as i64)
+    }
+
+    fn ibox(&mut self) -> Option<IBox> {
+        let (lx, ly, lz) = (self.i64()?, self.i64()?, self.i64()?);
+        let (hx, hy, hz) = (self.i64()?, self.i64()?, self.i64()?);
+        Some(IBox::new(
+            IntVect::new(lx, ly, lz),
+            IntVect::new(hx, hy, hz),
+        ))
+    }
+}
+
+/// The decoded fixed+variable header of one record.
+struct RecordHead {
+    desc: ObjectDesc,
+    chunk: u32,
+    sums: Vec<u32>,
+    /// Length of header + name + sums + head_sum (payload starts here).
+    head_len: u64,
+}
+
+/// The per-server on-disk object log with its in-memory extent index.
+#[derive(Debug)]
+pub struct DiskLog {
+    path: PathBuf,
+    file: File,
+    index: BTreeMap<ObjectKey, Vec<Extent>>,
+    /// Append position: end of the last valid record.
+    tail: u64,
+    /// Payload bytes referenced by the index.
+    live_payload: u64,
+    /// Payload bytes of deleted extents awaiting compaction.
+    dead_payload: u64,
+    budget: u64,
+    chunk: u32,
+    recovery: Vec<TierError>,
+    compactions: u64,
+    pool: Arc<BufferPool>,
+}
+
+impl DiskLog {
+    /// Open (or create) the log at `path`, scanning existing records into
+    /// the index. `budget` caps live payload bytes; `chunk` is the chunk
+    /// size payload sums are computed at. A torn or corrupt tail is
+    /// truncated away and reported through [`DiskLog::recovery`]; only an
+    /// unusable file (unreadable, bad permissions) fails the open itself.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        budget: u64,
+        chunk: u32,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, TierError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open", e))?;
+        let mut log = DiskLog {
+            path,
+            file,
+            index: BTreeMap::new(),
+            tail: 0,
+            live_payload: 0,
+            dead_payload: 0,
+            budget,
+            chunk: chunk.max(1),
+            recovery: Vec::new(),
+            compactions: 0,
+            pool,
+        };
+        log.scan()?;
+        Ok(log)
+    }
+
+    /// Errors found while scanning the log on open (empty after a clean
+    /// shutdown). Each entry describes one record that had to be dropped.
+    pub fn recovery(&self) -> &[TierError] {
+        &self.recovery
+    }
+
+    /// Live payload bytes (what counts against the budget).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_payload
+    }
+
+    /// Payload bytes of deleted extents not yet reclaimed by compaction.
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_payload
+    }
+
+    /// The live-payload budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Whether `bytes` more payload would fit under the budget.
+    pub fn has_room(&self, bytes: u64) -> bool {
+        self.live_payload.saturating_add(bytes) <= self.budget
+    }
+
+    /// Number of `(name, version)` keys with at least one live extent.
+    pub fn num_keys(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Compactions performed since open.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Whether any live extent exists under `key`.
+    pub fn contains(&self, key: &ObjectKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Descriptors of every live extent under `key` — index only, no I/O.
+    pub fn describe(&self, key: &ObjectKey) -> Vec<ObjectDesc> {
+        self.index
+            .get(key)
+            .map(|v| v.iter().map(|e| e.desc.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every live key, in `(name, version)` order — the deterministic walk
+    /// the space's tier accounting and drain paths use.
+    pub fn keys(&self) -> Vec<ObjectKey> {
+        self.index.keys().cloned().collect()
+    }
+
+    fn encode_head(obj: &DataObject, chunk: u32, sums: &[u32]) -> Vec<u8> {
+        let name = obj.desc.key.name.as_bytes();
+        let mut head = Vec::with_capacity(FIXED_HEAD + name.len() + sums.len() * 4 + 4);
+        head.extend_from_slice(&MAGIC);
+        head.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        head.extend_from_slice(&obj.desc.key.version.to_le_bytes());
+        put_ibox(&mut head, &obj.desc.bbox);
+        put_ibox(&mut head, &obj.desc.core);
+        head.extend_from_slice(&obj.desc.dx.to_bits().to_le_bytes());
+        head.extend_from_slice(&(obj.desc.origin_rank as u64).to_le_bytes());
+        head.extend_from_slice(&obj.desc.bytes.to_le_bytes());
+        head.extend_from_slice(&chunk.to_le_bytes());
+        head.extend_from_slice(&(sums.len() as u32).to_le_bytes());
+        head.extend_from_slice(name);
+        for s in sums {
+            head.extend_from_slice(&s.to_le_bytes());
+        }
+        let hs = checksum(&head);
+        head.extend_from_slice(&hs.to_le_bytes());
+        head
+    }
+
+    /// Append `obj` as a new extent. Fails with [`TierError::DiskFull`]
+    /// when the live payload would exceed the budget; the file is only
+    /// written after that check, so a rejected append changes nothing.
+    pub fn append(&mut self, obj: &DataObject) -> Result<(), TierError> {
+        let bytes = obj.desc.bytes;
+        if !self.has_room(bytes) {
+            return Err(TierError::DiskFull {
+                budget: self.budget,
+                used: self.live_payload,
+                requested: bytes,
+            });
+        }
+        let sums = chunk_sums(obj.payload.as_ref(), self.chunk as usize);
+        let head = Self::encode_head(obj, self.chunk, &sums);
+        let offset = self.tail;
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("append", e))?;
+        self.file
+            .write_all(&head)
+            .map_err(|e| io_err("append", e))?;
+        self.file
+            .write_all(obj.payload.as_ref())
+            .map_err(|e| io_err("append", e))?;
+        let head_len = head.len() as u64;
+        let record_len = head_len + bytes;
+        self.tail = offset + record_len;
+        self.live_payload += bytes;
+        self.index
+            .entry(obj.desc.key.clone())
+            .or_default()
+            .push(Extent {
+                offset,
+                record_len,
+                payload_off: offset + head_len,
+                desc: obj.desc.clone(),
+                chunk: self.chunk,
+                sums: Arc::new(sums),
+            });
+        Ok(())
+    }
+
+    /// Read one extent's payload back, verifying every chunk sum, and
+    /// rebuild the object. A mismatch is [`TierError::Corrupt`].
+    fn read_extent(&mut self, ext: &Extent) -> Result<DataObject, TierError> {
+        let len = ext.desc.bytes as usize;
+        let mut buf = self.pool.acquire(len);
+        self.file
+            .seek(SeekFrom::Start(ext.payload_off))
+            .map_err(|e| io_err("read", e))?;
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| io_err("read", e))?;
+        let got = chunk_sums(&buf, ext.chunk as usize);
+        if got != *ext.sums {
+            return Err(TierError::Corrupt {
+                offset: ext.offset,
+                detail: "payload chunk sums do not match the stored sums".to_string(),
+            });
+        }
+        // The buffer becomes the long-lived payload: detach it from the
+        // pool rather than copying it out.
+        DataObject::from_wire(ext.desc.clone(), Bytes::from(buf.into_vec())).ok_or(
+            TierError::Corrupt {
+                offset: ext.offset,
+                detail: "stored descriptor is inconsistent with its payload".to_string(),
+            },
+        )
+    }
+
+    /// Read every live extent under `key` whose bbox intersects `query`
+    /// (all of them if `query` is `None`), in append order.
+    pub fn read(
+        &mut self,
+        key: &ObjectKey,
+        query: Option<&IBox>,
+    ) -> Result<Vec<DataObject>, TierError> {
+        let extents: Vec<Extent> = self
+            .index
+            .get(key)
+            .map(|v| {
+                v.iter()
+                    .filter(|e| match query {
+                        None => true,
+                        Some(q) => !e.desc.bbox.intersect(q).is_empty(),
+                    })
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut out = Vec::with_capacity(extents.len());
+        for ext in &extents {
+            out.push(self.read_extent(ext)?);
+        }
+        Ok(out)
+    }
+
+    /// Drop every live extent under `key` (the bytes become dead weight
+    /// until compaction). Returns payload bytes freed.
+    pub fn remove(&mut self, key: &ObjectKey) -> u64 {
+        let Some(extents) = self.index.remove(key) else {
+            return 0;
+        };
+        let freed: u64 = extents.iter().map(|e| e.desc.bytes).sum();
+        self.live_payload = self.live_payload.saturating_sub(freed);
+        self.dead_payload += freed;
+        freed
+    }
+
+    /// Drop every extent of variable `name` older than `min_version`.
+    /// Returns payload bytes freed.
+    pub fn evict_before(&mut self, name: &str, min_version: u64) -> u64 {
+        let victims: Vec<ObjectKey> = self
+            .index
+            .keys()
+            .filter(|k| k.name == name && k.version < min_version)
+            .cloned()
+            .collect();
+        victims.iter().map(|k| self.remove(k)).sum()
+    }
+
+    /// Drop everything. Returns payload bytes freed.
+    pub fn clear(&mut self) -> u64 {
+        let keys = self.keys();
+        keys.iter().map(|k| self.remove(k)).sum()
+    }
+
+    /// Rewrite live records into a fresh file when at least `min_dead`
+    /// payload bytes are dead, atomically replacing the log. Returns
+    /// whether a compaction ran.
+    pub fn maybe_compact(&mut self, min_dead: u64) -> Result<bool, TierError> {
+        if self.dead_payload < min_dead.max(1) {
+            return Ok(false);
+        }
+        let tmp_path = self.path.with_extension("compact");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| io_err("compact", e))?;
+        let mut new_tail = 0u64;
+        // Move live records in index order; raw byte copy, offsets patched.
+        let keys = self.keys();
+        let mut moved: BTreeMap<ObjectKey, Vec<Extent>> = BTreeMap::new();
+        for key in keys {
+            let extents = self.index.get(&key).cloned().unwrap_or_default();
+            let mut fresh = Vec::with_capacity(extents.len());
+            for mut ext in extents {
+                let mut buf = self.pool.acquire(ext.record_len as usize);
+                self.file
+                    .seek(SeekFrom::Start(ext.offset))
+                    .map_err(|e| io_err("compact", e))?;
+                self.file
+                    .read_exact(&mut buf)
+                    .map_err(|e| io_err("compact", e))?;
+                tmp.write_all(&buf).map_err(|e| io_err("compact", e))?;
+                let head_len = ext.payload_off - ext.offset;
+                ext.offset = new_tail;
+                ext.payload_off = new_tail + head_len;
+                new_tail += ext.record_len;
+                fresh.push(ext);
+            }
+            moved.insert(key, fresh);
+        }
+        tmp.flush().map_err(|e| io_err("compact", e))?;
+        std::fs::rename(&tmp_path, &self.path).map_err(|e| io_err("compact", e))?;
+        self.file = tmp;
+        self.index = moved;
+        self.tail = new_tail;
+        self.dead_payload = 0;
+        self.compactions += 1;
+        Ok(true)
+    }
+
+    /// Decode and validate one record head starting at `offset`; the file
+    /// cursor is left at the start of the payload.
+    fn read_head(&mut self, offset: u64) -> Result<RecordHead, TierError> {
+        let corrupt = |detail: String| TierError::Corrupt { offset, detail };
+        let mut fixed = [0u8; FIXED_HEAD];
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("scan", e))?;
+        self.file
+            .read_exact(&mut fixed)
+            .map_err(|_| corrupt("record head truncated".to_string()))?;
+        let mut c = Cur::new(&fixed);
+        let bad = || corrupt("record head fields truncated".to_string());
+        if c.take(4) != Some(MAGIC.as_slice()) {
+            return Err(corrupt("bad record magic".to_string()));
+        }
+        let name_len = c.u16().ok_or_else(bad)? as usize;
+        let version = c.u64().ok_or_else(bad)?;
+        let bbox = c.ibox().ok_or_else(bad)?;
+        let core = c.ibox().ok_or_else(bad)?;
+        let dx = f64::from_bits(c.u64().ok_or_else(bad)?);
+        let origin_rank = c.u64().ok_or_else(bad)? as usize;
+        let bytes = c.u64().ok_or_else(bad)?;
+        let chunk = c.u32().ok_or_else(bad)?.max(1);
+        let nsums = c.u32().ok_or_else(bad)? as usize;
+        if name_len > MAX_NAME {
+            return Err(corrupt(format!("name length {name_len} exceeds cap")));
+        }
+        let want_sums = (bytes as usize).div_ceil(chunk as usize);
+        if nsums != want_sums {
+            return Err(corrupt(format!(
+                "{nsums} chunk sums stored for a {bytes}-byte payload at chunk {chunk}"
+            )));
+        }
+        let mut tailbuf = vec![0u8; name_len + nsums * 4 + 4];
+        self.file
+            .read_exact(&mut tailbuf)
+            .map_err(|_| corrupt("record name/sums truncated".to_string()))?;
+        let mut c = Cur::new(&tailbuf);
+        let name_bytes = c.take(name_len).ok_or_else(bad)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| corrupt("record name is not UTF-8".to_string()))?
+            .to_string();
+        let mut sums = Vec::with_capacity(nsums);
+        for _ in 0..nsums {
+            sums.push(c.u32().ok_or_else(bad)?);
+        }
+        let stored_sum = c.u32().ok_or_else(bad)?;
+        let head_bytes = FIXED_HEAD + name_len + nsums * 4;
+        let mut whole = Vec::with_capacity(head_bytes);
+        whole.extend_from_slice(&fixed);
+        whole.extend_from_slice(tailbuf.get(..name_len + nsums * 4).unwrap_or_default());
+        if checksum(&whole) != stored_sum {
+            return Err(corrupt("record head checksum mismatch".to_string()));
+        }
+        let desc = ObjectDesc {
+            key: ObjectKey::new(name, version),
+            bbox,
+            core,
+            dx,
+            bytes,
+            origin_rank,
+        };
+        if !desc.is_consistent() {
+            return Err(corrupt("record descriptor is inconsistent".to_string()));
+        }
+        Ok(RecordHead {
+            desc,
+            chunk,
+            sums,
+            head_len: (head_bytes + 4) as u64,
+        })
+    }
+
+    /// Scan the whole file on open, rebuilding the index. Stops at the
+    /// first invalid record, truncates the file there, and records the
+    /// reason in `recovery` — a torn tail must not poison later appends.
+    fn scan(&mut self) -> Result<(), TierError> {
+        let file_len = self.file.metadata().map_err(|e| io_err("open", e))?.len();
+        let mut offset = 0u64;
+        while offset < file_len {
+            let head = match self.read_head(offset) {
+                Ok(h) => h,
+                Err(e @ TierError::Corrupt { .. }) => {
+                    self.recovery.push(e);
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let payload_off = offset + head.head_len;
+            let record_len = head.head_len + head.desc.bytes;
+            if payload_off + head.desc.bytes > file_len {
+                self.recovery.push(TierError::Corrupt {
+                    offset,
+                    detail: format!(
+                        "payload truncated: record needs {} bytes, file ends at {file_len}",
+                        offset + record_len
+                    ),
+                });
+                break;
+            }
+            let ext = Extent {
+                offset,
+                record_len,
+                payload_off,
+                desc: head.desc,
+                chunk: head.chunk,
+                sums: Arc::new(head.sums),
+            };
+            // Verify the payload sums now: a record whose payload was torn
+            // mid-write is detected at open, not at first read.
+            match self.read_extent(&ext) {
+                Ok(_) => {}
+                Err(e @ TierError::Corrupt { .. }) => {
+                    self.recovery.push(e);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            self.live_payload += ext.desc.bytes;
+            self.index
+                .entry(ext.desc.key.clone())
+                .or_default()
+                .push(ext);
+            offset += record_len;
+        }
+        self.tail = offset;
+        if offset < file_len {
+            // Drop the torn tail so future appends start from a clean edge.
+            self.file.set_len(offset).map_err(|e| io_err("open", e))?;
+        }
+        Ok(())
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::fab::Fab;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("xlayer-disklog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn obj(name: &str, version: u64, lo: i64, n: i64) -> DataObject {
+        let b = IBox::cube(n).shift(IntVect::splat(lo));
+        let mut fab = Fab::new(b, 1);
+        for iv in b.cells() {
+            fab.set(
+                iv,
+                0,
+                (iv[0] * 100 + iv[1] * 10 + iv[2] + version as i64) as f64,
+            );
+        }
+        DataObject::from_fab(name, version, &fab, 0, &b, 3).with_dx(0.5)
+    }
+
+    fn open(dir: &Path, budget: u64) -> DiskLog {
+        DiskLog::open(
+            dir.join("test.log"),
+            budget,
+            256,
+            Arc::new(BufferPool::new()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_read_roundtrip_bit_identical() {
+        let dir = tmpdir("roundtrip");
+        let mut log = open(&dir, 1 << 20);
+        let a = obj("rho", 1, 0, 4);
+        let b = obj("rho", 1, 8, 4);
+        log.append(&a).unwrap();
+        log.append(&b).unwrap();
+        let back = log.read(&ObjectKey::new("rho", 1), None).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].payload, a.payload);
+        assert_eq!(back[1].payload, b.payload);
+        assert_eq!(back[0].desc, a.desc);
+        assert_eq!(back[1].desc.dx, 0.5);
+        // Spatial filter hits only the intersecting extent.
+        let q = IBox::cube(4);
+        let hits = log.read(&ObjectKey::new("rho", 1), Some(&q)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].desc.bbox, IBox::cube(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_rebuilds_index() {
+        let dir = tmpdir("reopen");
+        {
+            let mut log = open(&dir, 1 << 20);
+            log.append(&obj("rho", 1, 0, 4)).unwrap();
+            log.append(&obj("p", 2, 8, 4)).unwrap();
+        }
+        let mut log = open(&dir, 1 << 20);
+        assert!(log.recovery().is_empty());
+        assert_eq!(log.num_keys(), 2);
+        assert_eq!(log.live_bytes(), 2 * 512);
+        let back = log.read(&ObjectKey::new("p", 2), None).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].payload, obj("p", 2, 8, 4).payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_detected_and_dropped() {
+        let dir = tmpdir("torn");
+        let path = dir.join("test.log");
+        let full_len = {
+            let mut log = open(&dir, 1 << 20);
+            log.append(&obj("rho", 1, 0, 4)).unwrap();
+            log.append(&obj("rho", 2, 0, 4)).unwrap();
+            std::fs::metadata(&path).unwrap().len()
+        };
+        // Tear the second record's payload: the crash-mid-write case.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full_len - 100).unwrap();
+        drop(f);
+        let mut log = open(&dir, 1 << 20);
+        assert_eq!(log.recovery().len(), 1, "torn tail must be reported");
+        assert!(matches!(
+            log.recovery().first(),
+            Some(TierError::Corrupt { .. })
+        ));
+        // First record survives, second is gone, file truncated clean.
+        assert!(log.contains(&ObjectKey::new("rho", 1)));
+        assert!(!log.contains(&ObjectKey::new("rho", 2)));
+        let back = log.read(&ObjectKey::new("rho", 1), None).unwrap();
+        assert_eq!(back[0].payload, obj("rho", 1, 0, 4).payload);
+        // The log appends cleanly after recovery.
+        log.append(&obj("rho", 3, 0, 4)).unwrap();
+        assert!(log.contains(&ObjectKey::new("rho", 3)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_is_typed_not_a_panic() {
+        let dir = tmpdir("flip");
+        let path = dir.join("test.log");
+        {
+            let mut log = open(&dir, 1 << 20);
+            log.append(&obj("rho", 1, 0, 4)).unwrap();
+        }
+        // Flip a byte in the payload (the record tail).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 9] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // Open-scan verification reports it and drops the record.
+        let log = open(&dir, 1 << 20);
+        assert_eq!(log.recovery().len(), 1);
+        assert!(!log.contains(&ObjectKey::new("rho", 1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_enforced_before_any_write() {
+        let dir = tmpdir("budget");
+        let mut log = open(&dir, 1000);
+        log.append(&obj("rho", 1, 0, 4)).unwrap(); // 512 B
+        let err = log.append(&obj("rho", 2, 0, 4)).unwrap_err();
+        assert!(matches!(
+            err,
+            TierError::DiskFull {
+                budget: 1000,
+                used: 512,
+                requested: 512,
+            }
+        ));
+        // Removal frees budget; dead bytes await compaction.
+        assert_eq!(log.remove(&ObjectKey::new("rho", 1)), 512);
+        assert_eq!(log.dead_bytes(), 512);
+        log.append(&obj("rho", 2, 0, 4)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_extents() {
+        let dir = tmpdir("compact");
+        let path = dir.join("test.log");
+        let mut log = open(&dir, 1 << 20);
+        for v in 1..=4 {
+            log.append(&obj("rho", v, 0, 4)).unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(log.evict_before("rho", 3), 2 * 512);
+        assert!(!log.maybe_compact(u64::MAX).unwrap(), "below threshold");
+        assert!(log.maybe_compact(512).unwrap());
+        assert_eq!(log.dead_bytes(), 0);
+        assert_eq!(log.compactions(), 1);
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction must shrink the file");
+        // Survivors still read back bit-identically through patched offsets.
+        for v in [3u64, 4] {
+            let back = log.read(&ObjectKey::new("rho", v), None).unwrap();
+            assert_eq!(back.len(), 1);
+            assert_eq!(back[0].payload, obj("rho", v, 0, 4).payload);
+        }
+        // And the compacted file reopens cleanly.
+        drop(log);
+        let log = open(&dir, 1 << 20);
+        assert!(log.recovery().is_empty());
+        assert_eq!(log.num_keys(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deterministic_key_walk() {
+        let dir = tmpdir("order");
+        let mut log = open(&dir, 1 << 20);
+        log.append(&obj("rho", 2, 0, 4)).unwrap();
+        log.append(&obj("p", 9, 0, 4)).unwrap();
+        log.append(&obj("rho", 1, 0, 4)).unwrap();
+        let keys = log.keys();
+        assert_eq!(
+            keys,
+            vec![
+                ObjectKey::new("p", 9),
+                ObjectKey::new("rho", 1),
+                ObjectKey::new("rho", 2),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,28 +9,40 @@
 //! * [`server`] — staging servers with memory caps (paper Eq. 10),
 //! * [`shard`] — deterministic box-hash placement of regions onto shards,
 //! * [`space`] — the sharded put/get/query space,
+//! * [`tier`] / [`disklog`] — the disk spill tier: policy-driven demotion
+//!   of cold versions to a checksummed on-disk object log, with
+//!   promote-on-access back into memory,
 //! * [`transport`] — asynchronous transfers with back-pressure,
-//! * [`lock`] — version gates for coupled producer/consumer coordination.
+//! * [`lock`] — version gates for coupled producer/consumer coordination,
+//! * [`sum`] / [`pool`] — FNV-1a-32 checksums and the size-classed buffer
+//!   pool, shared with the wire layer (`xlayer-net`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disklog;
 pub mod index;
 pub mod lock;
 pub mod object;
+pub mod pool;
 pub mod pubsub;
 pub mod server;
 pub mod shard;
 pub mod space;
+pub mod sum;
+pub mod tier;
 pub mod transport;
 
+pub use disklog::{DiskLog, TierError};
 pub use index::BucketIndex;
 pub use lock::VersionGate;
 pub use object::{DataObject, ObjectDesc, ObjectKey};
+pub use pool::{BufferPool, PooledBuf};
 pub use pubsub::{PubSubSpace, PublishStats, Subscription};
 pub use server::{StagingError, StagingServer};
 pub use shard::ShardMap;
 pub use space::{DataSpace, Sharding};
+pub use tier::{DiskTier, ObjectHints, Persistence, SpillAction, TierConfig, TierSnapshot};
 pub use transport::{
     AsyncStager, BatchClosed, DrainError, StageTask, TransportClosed, TransportStats,
 };

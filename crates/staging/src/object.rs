@@ -8,8 +8,10 @@ use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
 use xlayer_amr::intvect::IntVect;
 
-/// Addressing key of a staged object.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// Addressing key of a staged object. Ordered by `(name, version)` — the
+/// deterministic iteration order of the disk tier's extent index and the
+/// tiebreak order of spill-victim selection.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectKey {
     /// Variable name (e.g. `"density"`).
     pub name: String,

@@ -1,14 +1,14 @@
-//! A size-classed pool of reusable byte buffers for the wire hot path.
+//! A size-classed pool of reusable byte buffers for the data hot paths.
 //!
-//! Every frame the service or client touches needs a scratch `Vec<u8>` —
-//! for an encoded body, a received payload, or a chunk in flight. Allocating
-//! one per operation puts the allocator on the steady-state put/get path;
-//! the pool instead recycles buffers through power-of-two size classes so a
+//! Every frame the networked service or client touches — and every extent
+//! the disk tier reads back — needs a scratch `Vec<u8>`: an encoded body, a
+//! received payload, a chunk in flight, a promoted extent. Allocating one
+//! per operation puts the allocator on the steady-state put/get path; the
+//! pool instead recycles buffers through power-of-two size classes so a
 //! warmed-up connection performs **zero allocations per op**. That claim is
 //! checkable: the pool counts hits, misses and outstanding buffers with
-//! relaxed atomics, and the service surfaces the counters through the
-//! `Stats` opcode (`pool_hits`/`pool_misses`/`pool_outstanding` in
-//! [`crate::wire::ServiceSnapshot`]).
+//! relaxed atomics, and the networked service surfaces the counters through
+//! its `Stats` opcode (`pool_hits`/`pool_misses`/`pool_outstanding`).
 //!
 //! Lifecycle: [`BufferPool::acquire`] hands out a [`PooledBuf`] guard sized
 //! (and zero-filled) to the requested length; dropping the guard returns
@@ -28,7 +28,7 @@ use parking_lot::Mutex;
 
 /// Smallest size class: 1 KiB.
 const MIN_CLASS_BYTES: usize = 1 << 10;
-/// Largest size class: 8 MiB (= [`crate::wire::MAX_CHUNK_SIZE`]).
+/// Largest size class: 8 MiB (the wire protocol's maximum chunk size).
 const MAX_CLASS_BYTES: usize = 8 << 20;
 /// Number of power-of-two classes between the bounds, inclusive.
 const NUM_CLASSES: usize = 14; // 2^10 ..= 2^23

@@ -1,10 +1,12 @@
 //! A staging server: one in-transit node's share of the space, with a
-//! memory cap (the in-transit memory constraint of paper Eq. 10).
+//! memory cap (the in-transit memory constraint of paper Eq. 10) and an
+//! optional disk spill tier behind it ([`crate::tier`]).
 
 use crate::index::BucketIndex;
 use crate::object::{DataObject, ObjectDesc, ObjectKey};
+use crate::tier::{DiskTier, SpillAction};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,7 +16,8 @@ const INDEX_BUCKET: i64 = 16;
 /// Why a put was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StagingError {
-    /// Accepting the object would exceed the server's memory cap.
+    /// Accepting the object would exceed the server's memory cap (and the
+    /// disk tier, if any, could not absorb it either).
     OutOfMemory {
         /// The server's capacity in bytes.
         cap: u64,
@@ -22,6 +25,12 @@ pub enum StagingError {
         used: u64,
         /// Size of the rejected object.
         requested: u64,
+    },
+    /// The tier policy asks the producer to coarsen the object by `factor`
+    /// per axis and retry — the "downsample" arm of spill/downsample/reject.
+    NeedsReduction {
+        /// Per-axis coarsening factor to apply before retrying.
+        factor: u32,
     },
 }
 
@@ -35,6 +44,10 @@ impl std::fmt::Display for StagingError {
             } => write!(
                 f,
                 "staging server out of memory: cap {cap} B, used {used} B, requested {requested} B"
+            ),
+            StagingError::NeedsReduction { factor } => write!(
+                f,
+                "staging server under pressure: downsample by {factor} per axis and retry"
             ),
         }
     }
@@ -55,6 +68,10 @@ pub struct StagingServer {
     /// write lock just to bump them.
     puts: AtomicU64,
     gets: AtomicU64,
+    /// The disk spill tier, if one is attached. Tier mutations only happen
+    /// under the store's write lock, so demotion, promotion and victim
+    /// selection are serialised per server.
+    tier: Option<Arc<DiskTier>>,
 }
 
 #[derive(Debug, Default)]
@@ -65,10 +82,16 @@ struct Store {
     objects: HashMap<ObjectKey, (Vec<Arc<DataObject>>, BucketIndex)>,
     used: u64,
     peak: u64,
+    /// Logical access clock and per-key last-touch ticks (puts and tiered
+    /// gets advance it) — the recency half of spill-victim ordering. A
+    /// `BTreeMap` so victim candidates enumerate deterministically.
+    ticks: BTreeMap<ObjectKey, u64>,
+    clock: u64,
 }
 
 impl StagingServer {
-    /// A server with `memory_cap` bytes of staging memory.
+    /// A server with `memory_cap` bytes of staging memory and no disk tier
+    /// (puts beyond the cap are rejected, the pre-tier behaviour).
     pub fn new(id: usize, memory_cap: u64) -> Self {
         StagingServer {
             id,
@@ -76,7 +99,28 @@ impl StagingServer {
             inner: RwLock::new(Store::default()),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
+            tier: None,
         }
+    }
+
+    /// A server with `memory_cap` bytes of staging memory backed by a disk
+    /// spill tier: puts that exceed the cap demote cold versions to `tier`
+    /// (or are refused/downsampled, per its policy), and gets promote
+    /// spilled versions back on access.
+    pub fn with_tier(id: usize, memory_cap: u64, tier: Arc<DiskTier>) -> Self {
+        StagingServer {
+            id,
+            memory_cap,
+            inner: RwLock::new(Store::default()),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            tier: Some(tier),
+        }
+    }
+
+    /// The attached disk tier, if any.
+    pub fn tier(&self) -> Option<&Arc<DiskTier>> {
+        self.tier.as_ref()
     }
 
     /// Server id (its index in the staging partition).
@@ -108,7 +152,16 @@ impl StagingServer {
     }
 
     /// Store an object (a plain `DataObject` is wrapped on the way in).
-    /// Fails if it would exceed the memory cap; the shared handle the
+    ///
+    /// Under the memory cap this is the pre-tier fast path. Over it, the
+    /// attached tier (if any) decides spill / downsample / reject: spilling
+    /// demotes the coldest resident keys — expired-deadline keys first,
+    /// then least-recently-touched, version order breaking ties — to the
+    /// disk log until the object fits, falling back to writing the object
+    /// itself to disk when the cap is smaller than the object. Only when
+    /// the disk is exhausted too (or the policy says reject) does the put
+    /// fail with `OutOfMemory`; a `Reducible` hint fails fast with
+    /// [`StagingError::NeedsReduction`] instead. The shared handle the
     /// caller kept — if any — stays usable for retrying elsewhere, so a
     /// rejected put costs no payload copy.
     pub fn put(&self, obj: impl Into<Arc<DataObject>>) -> Result<(), StagingError> {
@@ -116,15 +169,45 @@ impl StagingServer {
         let mut s = self.inner.write();
         let bytes = obj.desc.bytes;
         if s.used + bytes > self.memory_cap {
-            return Err(StagingError::OutOfMemory {
+            let oom = StagingError::OutOfMemory {
                 cap: self.memory_cap,
                 used: s.used,
                 requested: bytes,
-            });
+            };
+            let Some(tier) = &self.tier else {
+                return Err(oom);
+            };
+            match tier.decide(&obj.desc.key.name, bytes) {
+                SpillAction::Reject => return Err(oom),
+                SpillAction::Downsample { factor } => {
+                    return Err(StagingError::NeedsReduction { factor })
+                }
+                SpillAction::Spill => {
+                    Self::demote_victims(&mut s, tier, self.memory_cap, bytes, &obj.desc.key);
+                    if s.used + bytes > self.memory_cap {
+                        // Demotion could not make room (the cap is smaller
+                        // than the object, or the disk filled up): spill
+                        // the incoming object itself.
+                        return match tier.spill(&obj) {
+                            Ok(()) => {
+                                self.puts.fetch_add(1, Ordering::Relaxed);
+                                s.clock += 1;
+                                let tick = s.clock;
+                                s.ticks.insert(obj.desc.key.clone(), tick);
+                                Ok(())
+                            }
+                            Err(_) => Err(oom),
+                        };
+                    }
+                }
+            }
         }
         s.used += bytes;
         s.peak = s.peak.max(s.used);
         self.puts.fetch_add(1, Ordering::Relaxed);
+        s.clock += 1;
+        let tick = s.clock;
+        s.ticks.insert(obj.desc.key.clone(), tick);
         let entry = s
             .objects
             .entry(obj.desc.key.clone())
@@ -134,16 +217,91 @@ impl StagingServer {
         Ok(())
     }
 
+    /// Demote whole resident keys to `tier` until `need` more bytes fit
+    /// under `cap` (or no demotable victim remains). Victim order: keys
+    /// past their deadline hint first, then least-recently-touched, with
+    /// `(name, version)` order breaking ties — so the coldest, oldest
+    /// versions leave memory first (LRU-by-version). The incoming key is
+    /// never demoted to make room for itself. Demotion stops early when the
+    /// disk budget cannot hold the next victim: a victim is only removed
+    /// from memory after every one of its objects is safely on disk.
+    fn demote_victims(s: &mut Store, tier: &DiskTier, cap: u64, need: u64, incoming: &ObjectKey) {
+        if s.used.saturating_add(need) <= cap {
+            return;
+        }
+        let now = incoming.version;
+        let mut victims: Vec<(bool, u64, ObjectKey)> = s
+            .objects
+            .keys()
+            .filter(|k| *k != incoming)
+            .map(|k| {
+                let fresh = !tier.past_deadline(k, now);
+                let tick = s.ticks.get(k).copied().unwrap_or(0);
+                (fresh, tick, k.clone())
+            })
+            .collect();
+        victims.sort();
+        for (_, _, key) in victims {
+            if s.used.saturating_add(need) <= cap {
+                break;
+            }
+            let Some((objs, _)) = s.objects.get(&key) else {
+                continue;
+            };
+            let objs: Vec<Arc<DataObject>> = objs.clone();
+            let key_bytes: u64 = objs.iter().map(|o| o.desc.bytes).sum();
+            if !tier.has_room(key_bytes) {
+                break;
+            }
+            let mut spilled_all = true;
+            for o in &objs {
+                if tier.spill(o).is_err() {
+                    // Only real I/O failures land here (room was checked,
+                    // and the store lock serialises tier writers). Leave
+                    // the key resident; gets deduplicate by geometry.
+                    spilled_all = false;
+                    break;
+                }
+            }
+            if !spilled_all {
+                break;
+            }
+            s.objects.remove(&key);
+            s.used = s.used.saturating_sub(key_bytes);
+        }
+    }
+
     /// Objects under `key` whose bbox intersects `query` (all, if `query`
     /// is `None`). Spatial queries go through the per-key bucket index.
     /// Returns refcounted handles: no descriptor or payload is copied.
+    ///
+    /// With a disk tier attached, a key with spilled versions is promoted
+    /// back into memory on access (demoting colder keys if the cap is
+    /// tight); when promotion cannot fit, the spilled extents are served
+    /// straight from disk without residency. The hot path is untouched
+    /// while nothing is spilled: one lock-free gauge read decides that, so
+    /// an idle tier costs RAM-resident gets nothing.
     pub fn get(
         &self,
         key: &ObjectKey,
         query: Option<&xlayer_amr::boxes::IBox>,
     ) -> Vec<Arc<DataObject>> {
         self.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(tier) = &self.tier {
+            if tier.spilled_key_count() > 0 && tier.has_spilled(key) {
+                return self.get_promoting(tier, key, query);
+            }
+        }
         let s = self.inner.read();
+        Self::match_resident(&s, key, query)
+    }
+
+    /// The in-memory matches for `key` under an already-held store lock.
+    fn match_resident(
+        s: &Store,
+        key: &ObjectKey,
+        query: Option<&xlayer_amr::boxes::IBox>,
+    ) -> Vec<Arc<DataObject>> {
         let Some((objs, index)) = s.objects.get(key) else {
             return Vec::new();
         };
@@ -159,6 +317,56 @@ impl StagingServer {
         }
     }
 
+    /// The get slow path: `key` has spilled extents. Promote them into
+    /// memory when they fit (after demoting colder keys), else serve them
+    /// from disk without promotion. Runs under the write lock, so a promote
+    /// racing a drain resolves as one of the two serial orders — never a
+    /// torn in-between state.
+    fn get_promoting(
+        &self,
+        tier: &DiskTier,
+        key: &ObjectKey,
+        query: Option<&xlayer_amr::boxes::IBox>,
+    ) -> Vec<Arc<DataObject>> {
+        let mut s = self.inner.write();
+        let spilled_bytes = tier.spilled_bytes_for(key);
+        if spilled_bytes == 0 {
+            // A racing promote or drain got here first.
+            return Self::match_resident(&s, key, query);
+        }
+        if s.used.saturating_add(spilled_bytes) > self.memory_cap {
+            Self::demote_victims(&mut s, tier, self.memory_cap, spilled_bytes, key);
+        }
+        if s.used.saturating_add(spilled_bytes) <= self.memory_cap {
+            // Promote: move the extents into memory, then serve from there.
+            if let Ok(objs) = tier.take(key) {
+                s.used += spilled_bytes;
+                s.peak = s.peak.max(s.used);
+                s.clock += 1;
+                let tick = s.clock;
+                s.ticks.insert(key.clone(), tick);
+                let entry = s
+                    .objects
+                    .entry(key.clone())
+                    .or_insert_with(|| (Vec::new(), BucketIndex::new(INDEX_BUCKET)));
+                for obj in objs {
+                    entry.1.insert(obj.desc.bbox);
+                    entry.0.push(Arc::new(obj));
+                }
+            }
+            // On a tier read error the disk side is unreadable; serve what
+            // memory has rather than failing the whole get.
+            return Self::match_resident(&s, key, query);
+        }
+        // Promotion cannot fit even after demotion: serve spilled extents
+        // from disk alongside any resident ones, leaving residency alone.
+        let mut out = Self::match_resident(&s, key, query);
+        if let Ok(disk) = tier.fetch(key, query) {
+            out.extend(disk.into_iter().map(Arc::new));
+        }
+        out
+    }
+
     /// The single object with index `id` under `key` (ids are put order,
     /// matching the spatial index), if present — the cheapest read path
     /// when the caller already knows which piece it wants.
@@ -171,18 +379,27 @@ impl StagingServer {
             .and_then(|(v, _)| v.get(id).cloned())
     }
 
-    /// Descriptors of everything under `key`.
+    /// Descriptors of everything under `key`, across both tiers.
     pub fn describe(&self, key: &ObjectKey) -> Vec<ObjectDesc> {
-        self.inner
+        let mut out: Vec<ObjectDesc> = self
+            .inner
             .read()
             .objects
             .get(key)
             .map(|(v, _)| v.iter().map(|o| o.desc.clone()).collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if let Some(tier) = &self.tier {
+            if tier.spilled_key_count() > 0 {
+                out.extend(tier.describe(key));
+            }
+        }
+        out
     }
 
     /// Drop every object older than `min_version` under variable `name`
-    /// (the space reclaims consumed time steps). Returns bytes freed.
+    /// (the space reclaims consumed time steps), in memory and on disk.
+    /// Returns bytes freed across both tiers; dead disk extents are
+    /// truncated by the tier's periodic compaction.
     pub fn evict_before(&self, name: &str, min_version: u64) -> u64 {
         let mut s = self.inner.write();
         let mut freed = 0;
@@ -195,16 +412,31 @@ impl StagingServer {
             }
         });
         s.used = s.used.saturating_sub(freed);
+        s.ticks
+            .retain(|k, _| !(k.name == name && k.version < min_version));
+        if let Some(tier) = &self.tier {
+            freed += tier.evict_before(name, min_version).unwrap_or(0);
+        }
         freed
     }
 
-    /// Drop everything. Returns bytes freed.
+    /// Drop everything, in memory and on disk. Returns bytes freed.
     pub fn clear(&self) -> u64 {
         let mut s = self.inner.write();
-        let freed = s.used;
+        let mut freed = s.used;
         s.objects.clear();
+        s.ticks.clear();
         s.used = 0;
+        if let Some(tier) = &self.tier {
+            freed += tier.clear().unwrap_or(0);
+        }
         freed
+    }
+
+    /// Live spilled payload bytes on this server's disk tier (0 without
+    /// one).
+    pub fn disk_used(&self) -> u64 {
+        self.tier.as_ref().map(|t| t.disk_used()).unwrap_or(0)
     }
 }
 
@@ -251,17 +483,14 @@ mod tests {
         let s = StagingServer::new(0, 1000);
         s.put(one.clone()).unwrap();
         let err = s.put(one).unwrap_err();
-        match err {
+        assert_eq!(
+            err,
             StagingError::OutOfMemory {
-                cap,
-                used,
-                requested,
-            } => {
-                assert_eq!(cap, 1000);
-                assert_eq!(used, 512);
-                assert_eq!(requested, 512);
+                cap: 1000,
+                used: 512,
+                requested: 512,
             }
-        }
+        );
     }
 
     #[test]
@@ -296,5 +525,212 @@ mod tests {
         s.get(&ObjectKey::new("rho", 1), None);
         s.get(&ObjectKey::new("rho", 1), None);
         assert_eq!(s.op_counts(), (1, 2));
+    }
+
+    mod tiered {
+        use super::*;
+        use crate::pool::BufferPool;
+        use crate::tier::{DiskTier, ObjectHints, Persistence, TierConfig};
+        use std::path::PathBuf;
+
+        fn tmpdir(tag: &str) -> PathBuf {
+            let d = std::env::temp_dir()
+                .join(format!("xlayer-tiered-server-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            std::fs::create_dir_all(&d).unwrap();
+            d
+        }
+
+        fn server(dir: &std::path::Path, cap: u64, disk: u64) -> (StagingServer, Arc<DiskTier>) {
+            let cfg = TierConfig::new(dir).with_budget(disk).with_chunk_size(256);
+            let tier = Arc::new(
+                DiskTier::open(dir.join("srv.log"), &cfg, Arc::new(BufferPool::new())).unwrap(),
+            );
+            (StagingServer::with_tier(0, cap, Arc::clone(&tier)), tier)
+        }
+
+        /// A distinctive payload per (name, version) so bit-identity checks
+        /// mean something.
+        fn vobj(name: &str, version: u64) -> DataObject {
+            let b = IBox::cube(4);
+            let mut fab = Fab::new(b, 1);
+            for iv in b.cells() {
+                fab.set(
+                    iv,
+                    0,
+                    (iv[0] * 100 + iv[1] * 10 + iv[2]) as f64 + version as f64 * 1e4,
+                );
+            }
+            DataObject::from_fab(name, version, &fab, 0, &b, 0)
+        }
+
+        #[test]
+        fn pressure_spills_cold_versions_lru_by_version() {
+            let dir = tmpdir("lru");
+            // Cap fits two 512 B objects; disk takes the overflow.
+            let (s, tier) = server(&dir, 1024, 1 << 20);
+            s.put(vobj("rho", 1)).unwrap();
+            s.put(vobj("rho", 2)).unwrap();
+            s.put(vobj("rho", 3)).unwrap(); // demotes v1 (oldest tick)
+            assert_eq!(s.used(), 1024);
+            assert!(tier.has_spilled(&ObjectKey::new("rho", 1)));
+            assert!(!tier.has_spilled(&ObjectKey::new("rho", 3)));
+            // The spilled version is still fully readable (promotes back,
+            // displacing the now-coldest v2).
+            let got = s.get(&ObjectKey::new("rho", 1), None);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].payload, vobj("rho", 1).payload);
+            assert!(!tier.has_spilled(&ObjectKey::new("rho", 1)));
+            assert!(tier.has_spilled(&ObjectKey::new("rho", 2)));
+            let snap = tier.snapshot();
+            assert_eq!(snap.promoted, 1);
+            assert!(snap.spilled >= 2);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn object_larger_than_cap_lives_on_disk() {
+            let dir = tmpdir("bigobj");
+            let (s, tier) = server(&dir, 100, 1 << 20); // cap < one object
+            s.put(vobj("rho", 1)).unwrap();
+            assert_eq!(s.used(), 0, "object must not be charged to memory");
+            assert_eq!(tier.snapshot().disk_used, 512);
+            // Served straight from disk (cannot promote), bit-identical.
+            let got = s.get(&ObjectKey::new("rho", 1), None);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].payload, vobj("rho", 1).payload);
+            assert!(tier.has_spilled(&ObjectKey::new("rho", 1)));
+            assert_eq!(tier.snapshot().disk_hits, 1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn both_tiers_full_is_out_of_memory() {
+            let dir = tmpdir("full");
+            let (s, _tier) = server(&dir, 512, 600); // disk fits one object
+            s.put(vobj("rho", 1)).unwrap();
+            s.put(vobj("rho", 2)).unwrap(); // v1 demoted, disk now full
+            let err = s.put(vobj("rho", 3)).unwrap_err();
+            assert!(matches!(err, StagingError::OutOfMemory { .. }));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn reducible_hint_asks_for_downsampling() {
+            let dir = tmpdir("reduce");
+            let (s, tier) = server(&dir, 512, 1 << 20);
+            tier.set_hints(
+                "rho",
+                ObjectHints {
+                    persistence: Persistence::Reducible { factor: 2 },
+                    deadline: None,
+                },
+            );
+            s.put(vobj("rho", 1)).unwrap();
+            let err = s.put(vobj("rho", 2)).unwrap_err();
+            assert_eq!(err, StagingError::NeedsReduction { factor: 2 });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn expired_deadlines_are_demoted_first() {
+            let dir = tmpdir("deadline");
+            let (s, tier) = server(&dir, 1024, 1 << 20);
+            // "old" versions expire 2 steps after production; "rho" never.
+            tier.set_hints(
+                "old",
+                ObjectHints {
+                    persistence: Persistence::Transient,
+                    deadline: Some(2),
+                },
+            );
+            s.put(vobj("old", 1)).unwrap();
+            s.put(vobj("rho", 1)).unwrap();
+            // At rho v5, old v1 is expired (1 + 2 <= 5): expiry outranks
+            // recency, so the expired key is the one demoted to disk.
+            s.put(vobj("rho", 5)).unwrap();
+            assert!(tier.has_spilled(&ObjectKey::new("old", 1)));
+            assert!(!tier.has_spilled(&ObjectKey::new("rho", 1)));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn describe_and_evict_span_both_tiers() {
+            let dir = tmpdir("span");
+            let (s, tier) = server(&dir, 1024, 1 << 20);
+            for v in 1..=3 {
+                s.put(vobj("rho", v)).unwrap();
+            }
+            assert!(tier.has_spilled(&ObjectKey::new("rho", 1)));
+            assert_eq!(s.describe(&ObjectKey::new("rho", 1)).len(), 1);
+            assert_eq!(s.describe(&ObjectKey::new("rho", 3)).len(), 1);
+            // Draining consumed steps reclaims disk extents too.
+            let freed = s.evict_before("rho", 3);
+            assert_eq!(freed, 1024, "one RAM version + one disk version");
+            assert!(!tier.has_spilled(&ObjectKey::new("rho", 1)));
+            assert!(s.get(&ObjectKey::new("rho", 1), None).is_empty());
+            assert_eq!(s.get(&ObjectKey::new("rho", 3), None).len(), 1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn spatial_queries_reach_spilled_extents() {
+            let dir = tmpdir("spatial");
+            let (s, tier) = server(&dir, 100, 1 << 20); // everything on disk
+            let b1 = IBox::cube(4);
+            let b2 = IBox::cube(4).shift(IntVect::splat(8));
+            let f1 = Fab::filled(b1, 1, 1.0);
+            let f2 = Fab::filled(b2, 1, 2.0);
+            s.put(DataObject::from_fab("rho", 1, &f1, 0, &b1, 0))
+                .unwrap();
+            s.put(DataObject::from_fab("rho", 1, &f2, 0, &b2, 0))
+                .unwrap();
+            assert_eq!(tier.snapshot().spilled, 2);
+            let hits = s.get(&ObjectKey::new("rho", 1), Some(&IBox::cube(4)));
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].desc.bbox, b1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        /// Satellite: a promote racing a drain must resolve as one of the
+        /// two serial orders. Whichever wins, the drained versions end up
+        /// gone from BOTH tiers and the memory accounting balances.
+        #[test]
+        fn promote_during_drain_resolves_deterministically() {
+            for round in 0..20 {
+                let dir = tmpdir(&format!("race-{round}"));
+                let (s, tier) = server(&dir, 1024, 1 << 20);
+                for v in 1..=3 {
+                    s.put(vobj("rho", v)).unwrap();
+                }
+                assert!(tier.has_spilled(&ObjectKey::new("rho", 1)));
+                let s = Arc::new(s);
+                let getter = {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || s.get(&ObjectKey::new("rho", 1), None))
+                };
+                let drainer = {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || s.evict_before("rho", 2))
+                };
+                let got = getter.join().expect("getter");
+                drainer.join().expect("drainer");
+                // Serial order A (promote first): the get saw v1 intact.
+                // Serial order B (drain first): the get saw nothing.
+                match got.len() {
+                    0 => {}
+                    1 => assert_eq!(got[0].payload, vobj("rho", 1).payload),
+                    n => panic!("impossible interleaving: {n} objects"),
+                }
+                // Post-state is identical either way: v1 fully gone.
+                assert!(s.get(&ObjectKey::new("rho", 1), None).is_empty());
+                assert!(!tier.has_spilled(&ObjectKey::new("rho", 1)));
+                // v2 and v3 survive with balanced accounting.
+                assert_eq!(s.get(&ObjectKey::new("rho", 2), None).len(), 1);
+                assert_eq!(s.get(&ObjectKey::new("rho", 3), None).len(), 1);
+                assert_eq!(s.used() + s.disk_used(), 1024);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
     }
 }

@@ -2,8 +2,11 @@
 //! DataSpaces-style `put`/`get`/`query` API over `(variable, version, bbox)`.
 
 use crate::object::{DataObject, ObjectDesc, ObjectKey};
+use crate::pool::BufferPool;
 use crate::server::{StagingError, StagingServer};
 use crate::shard::ShardMap;
+use crate::tier::{DiskTier, ObjectHints, SpillAction, TierConfig, TierSnapshot};
+use crate::TierError;
 use std::sync::Arc;
 use xlayer_amr::boxes::IBox;
 use xlayer_amr::fab::Fab;
@@ -53,6 +56,101 @@ impl DataSpace {
         }
     }
 
+    /// A space whose servers each carry a disk spill tier: puts beyond the
+    /// memory budget demote cold versions to per-server object logs under
+    /// `tier.dir` (`server-<id>.log`) instead of failing, and spilled data
+    /// promotes back into memory on access. One buffer pool feeds every
+    /// server's disk I/O; pass the service's pool to share further.
+    pub fn new_tiered(
+        nservers: usize,
+        memory_per_server: u64,
+        sharding: Sharding,
+        tier: &TierConfig,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, TierError> {
+        assert!(nservers > 0);
+        std::fs::create_dir_all(&tier.dir).map_err(|e| TierError::Io {
+            op: "open",
+            detail: e.to_string(),
+        })?;
+        let mut servers = Vec::with_capacity(nservers);
+        for i in 0..nservers {
+            let t = DiskTier::open(
+                tier.dir.join(format!("server-{i}.log")),
+                tier,
+                Arc::clone(&pool),
+            )?;
+            servers.push(StagingServer::with_tier(i, memory_per_server, Arc::new(t)));
+        }
+        Ok(DataSpace {
+            servers,
+            sharding,
+            rr_next: parking_lot::Mutex::new(0),
+        })
+    }
+
+    /// Set placement hints for variable `name` on every server's tier (a
+    /// no-op without tiers).
+    pub fn set_hints(&self, name: &str, hints: ObjectHints) {
+        for s in &self.servers {
+            if let Some(t) = s.tier() {
+                t.set_hints(name, hints);
+            }
+        }
+    }
+
+    /// Force every tier's pressure decision to `action` (the adaptation
+    /// engine's hook); `None` restores hint-driven policy. No-op without
+    /// tiers.
+    pub fn set_pressure_action(&self, action: Option<SpillAction>) {
+        for s in &self.servers {
+            if let Some(t) = s.tier() {
+                t.set_forced(action);
+            }
+        }
+    }
+
+    /// Aggregate tier counters across servers (zeros without tiers).
+    pub fn tier_stats(&self) -> TierSnapshot {
+        let mut agg = TierSnapshot::default();
+        for snap in self
+            .servers
+            .iter()
+            .filter_map(|s| s.tier())
+            .map(|t| t.snapshot())
+        {
+            agg.spilled += snap.spilled;
+            agg.spilled_bytes += snap.spilled_bytes;
+            agg.promoted += snap.promoted;
+            agg.promoted_bytes += snap.promoted_bytes;
+            agg.disk_hits += snap.disk_hits;
+            agg.disk_used += snap.disk_used;
+            agg.spilled_keys += snap.spilled_keys;
+            agg.compactions += snap.compactions;
+        }
+        agg
+    }
+
+    /// Total live spilled payload bytes across servers.
+    pub fn disk_used(&self) -> u64 {
+        self.servers.iter().map(|s| s.disk_used()).sum()
+    }
+
+    /// Whether the space has a disk spill tier behind its memory caps.
+    pub fn has_tier(&self) -> bool {
+        self.servers.iter().any(|s| s.tier().is_some())
+    }
+
+    /// Free bytes left under the disk tiers' budgets, summed across
+    /// servers (0 without tiers; saturates on unbounded budgets).
+    pub fn disk_headroom(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter_map(|s| s.tier())
+            .map(|t| t.budget().saturating_sub(t.disk_used()))
+            .fold(0u64, u64::saturating_add)
+    }
+
     /// Number of servers.
     pub fn num_servers(&self) -> usize {
         self.servers.len()
@@ -92,7 +190,12 @@ impl DataSpace {
 
     /// Store an object; on `BboxHash` collision pressure (target full), the
     /// put spills to the least-loaded server instead of failing, mirroring
-    /// DataSpaces' overflow behaviour. Fails only when every server is full.
+    /// DataSpaces' overflow behaviour. With disk tiers attached, a server
+    /// only reports `OutOfMemory` after its own disk is exhausted too, so
+    /// sibling spill is the relief valve of last resort. Fails only when
+    /// every server is full; a `NeedsReduction` verdict propagates
+    /// immediately — it is an instruction to the producer, not a capacity
+    /// failure another server could absorb.
     ///
     /// The object is wrapped in an `Arc` once on entry; a rejected put hands
     /// the same handle to the next candidate server, so spilling across N
@@ -102,6 +205,7 @@ impl DataSpace {
         let target = self.shard(&obj);
         match self.servers[target].put(Arc::clone(&obj)) {
             Ok(()) => Ok(target),
+            Err(reduce @ StagingError::NeedsReduction { .. }) => Err(reduce),
             Err(first_err) => {
                 // Spill to the emptiest server that can take it.
                 let mut order: Vec<usize> = (0..self.servers.len()).collect();

@@ -1,0 +1,537 @@
+//! The policy layer of the disk spill tier: placement decisions, per-object
+//! hints, and counters over a [`DiskLog`].
+//!
+//! The staging server owns DRAM; this module owns what happens when DRAM is
+//! full. A put that would exceed the memory budget asks [`DiskTier::decide`]
+//! for a [`SpillAction`] — **spill** cold versions to the on-disk object
+//! log, **downsample** (tell the producer to coarsen and retry), or
+//! **reject** (the old hard `OutOfMemory`). The decision is driven by
+//! per-variable [`ObjectHints`] (MaDaTS-style data properties: persistence
+//! class and a version deadline) and can be overridden wholesale by the
+//! adaptation engine via [`DiskTier::set_forced`] — placement across tiers
+//! is a policy decision informed by workflow knowledge, not a crash path.
+//!
+//! Counters follow the same discipline as the buffer pool: relaxed atomics,
+//! surfaced through [`DiskTier::snapshot`] and, one layer up, the networked
+//! service's `Stats` opcode (`tier_spilled` / `tier_promoted` /
+//! `tier_disk_used` / `tier_disk_hits`). The `spilled_keys` gauge is
+//! deliberately lock-free so the server's get hot path can prove "nothing
+//! is on disk" without touching the tier lock — that check is what keeps
+//! warm-tier latency at parity when the tier is enabled but idle.
+
+use crate::disklog::{DiskLog, TierError};
+use crate::object::{DataObject, ObjectKey};
+use crate::pool::BufferPool;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xlayer_amr::boxes::IBox;
+
+/// What to do with a put that does not fit in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillAction {
+    /// Demote cold versions (or the incoming object) to the disk log.
+    Spill,
+    /// Ask the producer to coarsen by `factor` per axis and retry.
+    Downsample {
+        /// Per-axis coarsening factor the producer should apply.
+        factor: u32,
+    },
+    /// Refuse the put — the pre-tier `OutOfMemory` behaviour.
+    Reject,
+}
+
+/// Persistence class of a variable — the MaDaTS-style "data property" that
+/// tells the tier how much the data is worth under memory pressure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Persistence {
+    /// Must not be dropped: always spill, even if the disk budget check
+    /// looks tight (the append's own budget check is the final arbiter).
+    Durable,
+    /// Worth spilling while the disk has room; rejectable once it doesn't.
+    Transient,
+    /// The producer can regenerate a coarser version: prefer asking for a
+    /// downsample over consuming either tier.
+    Reducible {
+        /// Per-axis coarsening factor to request.
+        factor: u32,
+    },
+}
+
+/// Per-variable placement hints, set once by the workflow layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectHints {
+    /// How much the variable's data is worth under pressure.
+    pub persistence: Persistence,
+    /// Version (time step) after which old versions are dead weight: when
+    /// choosing spill victims, versions whose `version + deadline` lies at
+    /// or before the incoming put's version are demoted first. `None`
+    /// means versions never expire.
+    pub deadline: Option<u64>,
+}
+
+impl Default for ObjectHints {
+    fn default() -> Self {
+        ObjectHints {
+            persistence: Persistence::Transient,
+            deadline: None,
+        }
+    }
+}
+
+/// Configuration of a space's disk tier.
+#[derive(Clone, Debug)]
+pub struct TierConfig {
+    /// Directory the per-server log files live in (created if absent).
+    pub dir: PathBuf,
+    /// Per-server cap on live spilled payload bytes.
+    pub disk_budget: u64,
+    /// Chunk size extents are checksummed at.
+    pub chunk_size: u32,
+    /// Dead payload bytes that trigger a compaction sweep.
+    pub compact_min_dead: u64,
+}
+
+impl TierConfig {
+    /// Defaults: unbounded budget, 1 MiB chunks (the wire protocol's
+    /// default chunk size, so spilled sums are reusable by chunked sends),
+    /// compaction once 64 MiB of dead extents accumulate.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TierConfig {
+            dir: dir.into(),
+            disk_budget: u64::MAX,
+            chunk_size: 1 << 20,
+            compact_min_dead: 64 << 20,
+        }
+    }
+
+    /// Cap live spilled payload at `bytes` per server.
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.disk_budget = bytes;
+        self
+    }
+
+    /// Checksum extents at `bytes`-sized chunks.
+    pub fn with_chunk_size(mut self, bytes: u32) -> Self {
+        self.chunk_size = bytes.max(1);
+        self
+    }
+
+    /// Compact once `bytes` of dead extents accumulate.
+    pub fn with_compact_min_dead(mut self, bytes: u64) -> Self {
+        self.compact_min_dead = bytes.max(1);
+        self
+    }
+}
+
+/// Point-in-time view of the tier counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Objects demoted to disk.
+    pub spilled: u64,
+    /// Payload bytes demoted to disk.
+    pub spilled_bytes: u64,
+    /// Objects promoted back into memory.
+    pub promoted: u64,
+    /// Payload bytes promoted back into memory.
+    pub promoted_bytes: u64,
+    /// Gets answered (at least partly) from the disk tier.
+    pub disk_hits: u64,
+    /// Live payload bytes currently on disk.
+    pub disk_used: u64,
+    /// `(name, version)` keys currently resident on disk.
+    pub spilled_keys: u64,
+    /// Compaction sweeps performed.
+    pub compactions: u64,
+}
+
+/// A staging server's disk tier: one [`DiskLog`] plus the placement policy
+/// and counters around it. All methods take `&self`; internal locking keeps
+/// the log consistent, and the owning server serialises mutations under its
+/// own store lock so victim selection and demotion are race-free.
+#[derive(Debug)]
+pub struct DiskTier {
+    log: Mutex<DiskLog>,
+    hints: RwLock<BTreeMap<String, ObjectHints>>,
+    /// Adaptation-engine override: when set, every pressure decision is
+    /// this action, regardless of hints.
+    forced: Mutex<Option<SpillAction>>,
+    compact_min_dead: u64,
+    spilled: AtomicU64,
+    spilled_bytes: AtomicU64,
+    promoted: AtomicU64,
+    promoted_bytes: AtomicU64,
+    disk_hits: AtomicU64,
+    /// Gauge mirror of the log's live byte count (lock-free reads).
+    disk_used: AtomicU64,
+    /// Gauge mirror of the log's key count. The get hot path reads this to
+    /// skip the tier entirely while nothing is spilled.
+    spilled_keys: AtomicU64,
+    /// Messages describing records dropped during open-time recovery.
+    recovered: Vec<String>,
+}
+
+impl DiskTier {
+    /// Open the tier's log at `path` (budget, chunking and compaction
+    /// threshold from `cfg`). Records that fail validation on the open scan
+    /// are dropped and reported via [`DiskTier::recovery`].
+    pub fn open(
+        path: impl Into<PathBuf>,
+        cfg: &TierConfig,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, TierError> {
+        let log = DiskLog::open(path, cfg.disk_budget, cfg.chunk_size, pool)?;
+        let recovered = log.recovery().iter().map(|e| e.to_string()).collect();
+        let tier = DiskTier {
+            spilled: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            promoted: AtomicU64::new(0),
+            promoted_bytes: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_used: AtomicU64::new(log.live_bytes()),
+            spilled_keys: AtomicU64::new(log.num_keys() as u64),
+            log: Mutex::new(log),
+            hints: RwLock::new(BTreeMap::new()),
+            forced: Mutex::new(None),
+            compact_min_dead: cfg.compact_min_dead,
+            recovered,
+        };
+        Ok(tier)
+    }
+
+    /// Descriptions of records dropped during open-time recovery (empty
+    /// after a clean shutdown).
+    pub fn recovery(&self) -> &[String] {
+        &self.recovered
+    }
+
+    /// Set (replace) the placement hints for variable `name`.
+    pub fn set_hints(&self, name: impl Into<String>, hints: ObjectHints) {
+        self.hints.write().insert(name.into(), hints);
+    }
+
+    /// The hints for `name`, or the default ([`Persistence::Transient`], no
+    /// deadline).
+    pub fn hints_for(&self, name: &str) -> ObjectHints {
+        self.hints.read().get(name).copied().unwrap_or_default()
+    }
+
+    /// Force every pressure decision to `action` (the adaptation engine's
+    /// root–leaf mechanism hook); `None` restores hint-driven policy.
+    pub fn set_forced(&self, action: Option<SpillAction>) {
+        *self.forced.lock() = action;
+    }
+
+    /// Decide what to do with a `bytes`-sized put of variable `name` that
+    /// does not fit in memory.
+    pub fn decide(&self, name: &str, bytes: u64) -> SpillAction {
+        if let Some(forced) = *self.forced.lock() {
+            return forced;
+        }
+        match self.hints_for(name).persistence {
+            Persistence::Durable => SpillAction::Spill,
+            Persistence::Transient => {
+                if self.log.lock().has_room(bytes) {
+                    SpillAction::Spill
+                } else {
+                    SpillAction::Reject
+                }
+            }
+            Persistence::Reducible { factor } => SpillAction::Downsample { factor },
+        }
+    }
+
+    /// Whether `key`'s versions are past their deadline as of the put that
+    /// is `now` versions in — such keys are demoted first.
+    pub fn past_deadline(&self, key: &ObjectKey, now: u64) -> bool {
+        match self.hints_for(&key.name).deadline {
+            Some(d) => key.version.saturating_add(d) <= now,
+            None => false,
+        }
+    }
+
+    fn refresh_gauges(&self, log: &DiskLog) {
+        self.disk_used.store(log.live_bytes(), Ordering::Relaxed);
+        self.spilled_keys
+            .store(log.num_keys() as u64, Ordering::Relaxed);
+    }
+
+    /// Demote `obj` to the log. [`TierError::DiskFull`] means the local
+    /// disk is exhausted too — the caller escalates to `OutOfMemory`, which
+    /// is what lets sibling-shard spill remain the relief valve of last
+    /// resort.
+    pub fn spill(&self, obj: &DataObject) -> Result<(), TierError> {
+        let mut log = self.log.lock();
+        log.append(obj)?;
+        self.spilled.fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes
+            .fetch_add(obj.desc.bytes, Ordering::Relaxed);
+        self.refresh_gauges(&log);
+        Ok(())
+    }
+
+    /// `(name, version)` keys currently on disk — lock-free gauge read; the
+    /// get hot path short-circuits on zero.
+    pub fn spilled_key_count(&self) -> u64 {
+        self.spilled_keys.load(Ordering::Relaxed)
+    }
+
+    /// Whether any extent is spilled under `key`.
+    pub fn has_spilled(&self, key: &ObjectKey) -> bool {
+        self.log.lock().contains(key)
+    }
+
+    /// Whether `bytes` more payload fits under the disk budget right now.
+    /// Callers that must not observe a failing spill (victim demotion)
+    /// check this first; the owning server's store lock serialises tier
+    /// writers, so the answer cannot go stale before the spill.
+    pub fn has_room(&self, bytes: u64) -> bool {
+        self.log.lock().has_room(bytes)
+    }
+
+    /// The tier's live-payload budget in bytes (`u64::MAX` = unbounded).
+    pub fn budget(&self) -> u64 {
+        self.log.lock().budget()
+    }
+
+    /// Total payload bytes spilled under `key`.
+    pub fn spilled_bytes_for(&self, key: &ObjectKey) -> u64 {
+        self.log.lock().describe(key).iter().map(|d| d.bytes).sum()
+    }
+
+    /// Descriptors of every extent spilled under `key` (no payload I/O).
+    pub fn describe(&self, key: &ObjectKey) -> Vec<crate::object::ObjectDesc> {
+        self.log.lock().describe(key)
+    }
+
+    /// Read `key`'s extents intersecting `query` without removing them —
+    /// the serve-from-disk path when promotion is not worthwhile. Counts a
+    /// disk hit when anything matched.
+    pub fn fetch(
+        &self,
+        key: &ObjectKey,
+        query: Option<&IBox>,
+    ) -> Result<Vec<DataObject>, TierError> {
+        let objs = self.log.lock().read(key, query)?;
+        if !objs.is_empty() {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(objs)
+    }
+
+    /// Promote: read every extent under `key`, drop them from the log, and
+    /// hand the objects back for reinsertion into memory. Counts a disk hit
+    /// and the promote counters; compaction runs opportunistically.
+    pub fn take(&self, key: &ObjectKey) -> Result<Vec<DataObject>, TierError> {
+        let mut log = self.log.lock();
+        let objs = log.read(key, None)?;
+        if objs.is_empty() {
+            return Ok(objs);
+        }
+        log.remove(key);
+        let bytes: u64 = objs.iter().map(|o| o.desc.bytes).sum();
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.promoted
+            .fetch_add(objs.len() as u64, Ordering::Relaxed);
+        self.promoted_bytes.fetch_add(bytes, Ordering::Relaxed);
+        log.maybe_compact(self.compact_min_dead)?;
+        self.refresh_gauges(&log);
+        Ok(objs)
+    }
+
+    /// Drop `key`'s extents without reading them (delete path).
+    pub fn remove(&self, key: &ObjectKey) -> Result<u64, TierError> {
+        let mut log = self.log.lock();
+        let freed = log.remove(key);
+        if freed > 0 {
+            log.maybe_compact(self.compact_min_dead)?;
+            self.refresh_gauges(&log);
+        }
+        Ok(freed)
+    }
+
+    /// Drop every extent of `name` older than `min_version` (drain path).
+    pub fn evict_before(&self, name: &str, min_version: u64) -> Result<u64, TierError> {
+        let mut log = self.log.lock();
+        let freed = log.evict_before(name, min_version);
+        if freed > 0 {
+            log.maybe_compact(self.compact_min_dead)?;
+            self.refresh_gauges(&log);
+        }
+        Ok(freed)
+    }
+
+    /// Drop everything on disk.
+    pub fn clear(&self) -> Result<u64, TierError> {
+        let mut log = self.log.lock();
+        let freed = log.clear();
+        if freed > 0 {
+            log.maybe_compact(self.compact_min_dead)?;
+        }
+        self.refresh_gauges(&log);
+        Ok(freed)
+    }
+
+    /// Live spilled payload bytes (lock-free gauge).
+    pub fn disk_used(&self) -> u64 {
+        self.disk_used.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time counters.
+    pub fn snapshot(&self) -> TierSnapshot {
+        TierSnapshot {
+            spilled: self.spilled.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            promoted: self.promoted.load(Ordering::Relaxed),
+            promoted_bytes: self.promoted_bytes.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_used: self.disk_used.load(Ordering::Relaxed),
+            spilled_keys: self.spilled_keys.load(Ordering::Relaxed),
+            compactions: self.log.lock().compactions(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlayer_amr::fab::Fab;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("xlayer-tier-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn obj(name: &str, version: u64, n: i64) -> DataObject {
+        let b = IBox::cube(n);
+        let mut fab = Fab::new(b, 1);
+        for iv in b.cells() {
+            fab.set(iv, 0, (iv[0] + iv[1] + iv[2]) as f64 + version as f64);
+        }
+        DataObject::from_fab(name, version, &fab, 0, &b, 0)
+    }
+
+    fn tier(dir: &std::path::Path, budget: u64) -> DiskTier {
+        let cfg = TierConfig::new(dir)
+            .with_budget(budget)
+            .with_chunk_size(256);
+        DiskTier::open(dir.join("tier.log"), &cfg, Arc::new(BufferPool::new())).unwrap()
+    }
+
+    #[test]
+    fn default_policy_spills_while_disk_has_room() {
+        let dir = tmpdir("policy");
+        let t = tier(&dir, 600);
+        assert_eq!(t.decide("rho", 512), SpillAction::Spill);
+        t.spill(&obj("rho", 1, 4)).unwrap(); // 512 B
+                                             // Disk now holds 512 of 600: another 512 would not fit.
+        assert_eq!(t.decide("rho", 512), SpillAction::Reject);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hints_steer_the_decision() {
+        let dir = tmpdir("hints");
+        let t = tier(&dir, 0); // no disk room at all
+        t.set_hints(
+            "must-keep",
+            ObjectHints {
+                persistence: Persistence::Durable,
+                deadline: None,
+            },
+        );
+        t.set_hints(
+            "coarse-ok",
+            ObjectHints {
+                persistence: Persistence::Reducible { factor: 2 },
+                deadline: None,
+            },
+        );
+        assert_eq!(t.decide("must-keep", 512), SpillAction::Spill);
+        assert_eq!(
+            t.decide("coarse-ok", 512),
+            SpillAction::Downsample { factor: 2 }
+        );
+        assert_eq!(t.decide("unhinted", 512), SpillAction::Reject);
+        // The engine override trumps everything.
+        t.set_forced(Some(SpillAction::Reject));
+        assert_eq!(t.decide("must-keep", 512), SpillAction::Reject);
+        t.set_forced(None);
+        assert_eq!(t.decide("must-keep", 512), SpillAction::Spill);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadlines_mark_stale_versions() {
+        let dir = tmpdir("deadline");
+        let t = tier(&dir, 1 << 20);
+        t.set_hints(
+            "rho",
+            ObjectHints {
+                persistence: Persistence::Transient,
+                deadline: Some(3),
+            },
+        );
+        // Version 5 expires once the put stream reaches version 8.
+        assert!(!t.past_deadline(&ObjectKey::new("rho", 5), 7));
+        assert!(t.past_deadline(&ObjectKey::new("rho", 5), 8));
+        // No deadline hint: never stale.
+        assert!(!t.past_deadline(&ObjectKey::new("p", 1), u64::MAX));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_take_roundtrip_updates_counters() {
+        let dir = tmpdir("counters");
+        let t = tier(&dir, 1 << 20);
+        let a = obj("rho", 1, 4);
+        t.spill(&a).unwrap();
+        t.spill(&obj("rho", 2, 4)).unwrap();
+        assert_eq!(t.spilled_key_count(), 2);
+        assert!(t.has_spilled(&ObjectKey::new("rho", 1)));
+        // Fetch serves without removing.
+        let served = t.fetch(&ObjectKey::new("rho", 1), None).unwrap();
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].payload, a.payload);
+        assert_eq!(t.spilled_key_count(), 2);
+        // Take promotes: removed from disk, counters move.
+        let promoted = t.take(&ObjectKey::new("rho", 1)).unwrap();
+        assert_eq!(promoted.len(), 1);
+        assert_eq!(promoted[0].payload, a.payload);
+        assert_eq!(t.spilled_key_count(), 1);
+        let s = t.snapshot();
+        assert_eq!(s.spilled, 2);
+        assert_eq!(s.spilled_bytes, 1024);
+        assert_eq!(s.promoted, 1);
+        assert_eq!(s.promoted_bytes, 512);
+        assert_eq!(s.disk_hits, 2);
+        assert_eq!(s.disk_used, 512);
+        assert_eq!(s.spilled_keys, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_restores_gauges_and_reports_recovery() {
+        let dir = tmpdir("reopen");
+        let cfg = TierConfig::new(&dir)
+            .with_budget(1 << 20)
+            .with_chunk_size(256);
+        let path = dir.join("tier.log");
+        {
+            let t = DiskTier::open(&path, &cfg, Arc::new(BufferPool::new())).unwrap();
+            t.spill(&obj("rho", 1, 4)).unwrap();
+            assert!(t.recovery().is_empty());
+        }
+        let t = DiskTier::open(&path, &cfg, Arc::new(BufferPool::new())).unwrap();
+        assert!(t.recovery().is_empty());
+        assert_eq!(t.spilled_key_count(), 1);
+        assert_eq!(t.disk_used(), 512);
+        let back = t.fetch(&ObjectKey::new("rho", 1), None).unwrap();
+        assert_eq!(back[0].payload, obj("rho", 1, 4).payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -272,7 +272,13 @@ impl AsyncStager {
                                     stats.delivered.fetch_add(1, Ordering::Relaxed);
                                     stats.bytes.fetch_add(bytes, Ordering::Relaxed);
                                 }
-                                Err(StagingError::OutOfMemory { .. }) => {
+                                // NeedsReduction counts as rejected too: an
+                                // async pipeline has no producer on the line
+                                // to coarsen and retry.
+                                Err(
+                                    StagingError::OutOfMemory { .. }
+                                    | StagingError::NeedsReduction { .. },
+                                ) => {
                                     stats.rejected.fetch_add(1, Ordering::Relaxed);
                                 }
                             }

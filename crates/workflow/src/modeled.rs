@@ -209,6 +209,9 @@ impl ModeledWorkflow {
             staging_cores_max: self.cfg.staging_cores_max,
             mem_available_insitu: mem_available,
             mem_available_intransit: self.intransit_mem_available(),
+            // The modeled scale has no disk tier; pressure beyond staging
+            // memory is handled by the paper's three mechanisms alone.
+            disk_available_intransit: 0,
         };
 
         // --- adapt ---

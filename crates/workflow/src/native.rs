@@ -25,15 +25,17 @@ use std::sync::Arc;
 use std::time::Instant;
 use xlayer_amr::level_data::LevelData;
 use xlayer_core::{
-    AdaptationEngine, Calibrator, EngineConfig, Estimator, OperationalState, Placement, UserHints,
-    UserPreferences,
+    AdaptationEngine, Calibrator, EngineConfig, Estimator, OperationalState, Placement,
+    PressureAction, UserHints, UserPreferences,
 };
-use xlayer_net::client::{ClientConfig, RemoteClient, RemoteStager};
-use xlayer_net::cluster::{ShardedClient, ShardedStager};
+use xlayer_net::client::{ClientConfig, RemoteClient, RemoteError, RemoteStager};
+use xlayer_net::cluster::{ShardedClient, ShardedError, ShardedStager};
+use xlayer_net::wire::ErrorFrame;
 use xlayer_platform::{CostModel, MachineSpec};
 use xlayer_solvers::{AmrSimulation, LevelSolver};
 use xlayer_staging::{
-    AsyncStager, BatchClosed, DataObject, DataSpace, Sharding, StageTask, TransportStats,
+    AsyncStager, BatchClosed, BufferPool, DataObject, DataSpace, Sharding, SpillAction, StageTask,
+    StagingError, TierConfig, TransportStats,
 };
 use xlayer_viz::{extract_level, merge_surfaces, TriMesh};
 
@@ -73,6 +75,17 @@ pub struct NativeConfig {
     /// (see [`xlayer_staging::ShardMap`]). Every client of a cluster must
     /// use the same value.
     pub shard_span: i64,
+    /// Directory for the local backend's disk spill tier. When set, puts
+    /// beyond the staging memory cap demote cold versions to per-server
+    /// object logs there instead of being rejected, and hot gets promote
+    /// them back — the working set can exceed `staging_memory` without
+    /// dropping data. `None` (the default) keeps the memory-only
+    /// behaviour. Ignored by the remote backends (the service attaches
+    /// its own tier via its `--disk-dir`).
+    pub disk_dir: Option<std::path::PathBuf>,
+    /// Cap on live spilled bytes per staging server (only meaningful with
+    /// `disk_dir` set; unbounded by default).
+    pub disk_budget: u64,
     /// Adaptation mechanisms enabled.
     pub engine: EngineConfig,
     /// User hints.
@@ -91,6 +104,8 @@ impl Default for NativeConfig {
             placement_override: None,
             remote: None,
             shard_span: xlayer_staging::shard::DEFAULT_SPAN,
+            disk_dir: None,
+            disk_budget: u64::MAX,
             engine: EngineConfig::middleware_only(),
             hints: UserHints::default(),
         }
@@ -198,18 +213,39 @@ impl Backend {
     /// (memory cap, unreachable service) drop the object — same policy on
     /// both sides of the wire.
     fn put_sync(&self, obj: DataObject) {
+        // A `NeedsReduction` answer is the tier's downsample verdict: the
+        // producer is on the line here (unlike the async transport), so
+        // coarsen by the requested factor and retry once.
         match self {
             Backend::Local { space, .. } => {
-                let _ = space.put(obj);
+                if let Err(StagingError::NeedsReduction { factor }) = space.put(obj.clone()) {
+                    if let Some(reduced) = reduce_object(&obj, factor) {
+                        let _ = space.put(reduced);
+                    }
+                }
             }
             Backend::Remote { client, .. } => {
-                let _ = client.put(&obj);
+                if let Err(RemoteError::Refused(ErrorFrame::NeedsReduction { factor })) =
+                    client.put(&obj)
+                {
+                    if let Some(reduced) = reduce_object(&obj, factor) {
+                        let _ = client.put(&reduced);
+                    }
+                }
             }
             Backend::Sharded { client, .. } => {
                 // Per-object fallback is inside the client: a full home
                 // shard spills to siblings, and only a cluster-wide
                 // rejection drops the object.
-                let _ = client.put(&obj);
+                if let Err(ShardedError {
+                    source: RemoteError::Refused(ErrorFrame::NeedsReduction { factor }),
+                    ..
+                }) = client.put(&obj)
+                {
+                    if let Some(reduced) = reduce_object(&obj, factor) {
+                        let _ = client.put(&reduced);
+                    }
+                }
             }
         }
     }
@@ -293,6 +329,39 @@ impl Backend {
             }
         }
     }
+
+    /// Free bytes under the disk tier's budget, for the pressure policy.
+    /// The remote backends report zero: the wire snapshot carries the
+    /// tier's usage counters but not its budget, and the service applies
+    /// its own spill policy autonomously anyway.
+    fn disk_available(&self) -> u64 {
+        match self {
+            Backend::Local { space, .. } => space.disk_headroom(),
+            Backend::Remote { .. } | Backend::Sharded { .. } => 0,
+        }
+    }
+}
+
+/// Producer-side response to a `NeedsReduction` verdict: the same object
+/// down-sampled by the requested volumetric factor (per-dimension stride),
+/// at coarsened spacing. `None` when the factor cannot reduce (< 2).
+fn reduce_object(obj: &DataObject, factor: u32) -> Option<DataObject> {
+    if factor < 2 {
+        return None;
+    }
+    let fab = obj.to_fab();
+    let reduced = xlayer_viz::downsample_region(&fab, 0, &obj.desc.core, factor);
+    Some(
+        DataObject::from_fab(
+            &obj.desc.key.name,
+            obj.desc.key.version,
+            &reduced,
+            0,
+            &reduced.ibox(),
+            obj.desc.origin_rank,
+        )
+        .with_dx(obj.desc.dx * factor as f64),
+    )
 }
 
 /// The analysis workers' read handle onto staged data — the consumer-side
@@ -428,11 +497,29 @@ impl<S: LevelSolver> NativeWorkflow<S> {
                 )
             }
             Target::InProcess => {
-                let space = Arc::new(DataSpace::new(
-                    cfg.staging_servers,
-                    cfg.staging_memory,
-                    Sharding::BboxHash,
-                ));
+                // With a disk_dir the space gets a spill tier; a tier that
+                // fails to open (unwritable directory, corrupt log beyond
+                // recovery) degrades to the memory-only space, mirroring
+                // the unreachable-remote fallback above.
+                let space = Arc::new(
+                    match &cfg.disk_dir {
+                        Some(dir) => {
+                            let tier = TierConfig::new(dir.clone()).with_budget(cfg.disk_budget);
+                            DataSpace::new_tiered(
+                                cfg.staging_servers,
+                                cfg.staging_memory,
+                                Sharding::BboxHash,
+                                &tier,
+                                Arc::new(BufferPool::new()),
+                            )
+                            .ok()
+                        }
+                        None => None,
+                    }
+                    .unwrap_or_else(|| {
+                        DataSpace::new(cfg.staging_servers, cfg.staging_memory, Sharding::BboxHash)
+                    }),
+                );
                 let stager = AsyncStager::new(Arc::clone(&space), cfg.staging_servers.max(1), 256);
                 let transport = stager.stats();
                 (
@@ -632,8 +719,21 @@ impl<S: LevelSolver> NativeWorkflow<S> {
             staging_cores_max: self.cfg.workers,
             mem_available_insitu: u64::MAX / 2,
             mem_available_intransit: self.backend.mem_available(),
+            disk_available_intransit: self.backend.disk_available(),
         };
         let adaptations = self.engine.adapt(&state);
+        // Forward the pressure verdict to the local tier: the engine's
+        // cross-layer choice overrides the servers' hint-driven default
+        // until the next sampling point (None restores it).
+        if self.cfg.engine.enable_pressure {
+            if let Backend::Local { space, .. } = &self.backend {
+                space.set_pressure_action(adaptations.pressure.map(|p| match p.action {
+                    PressureAction::Spill => SpillAction::Spill,
+                    PressureAction::Downsample { factor } => SpillAction::Downsample { factor },
+                    PressureAction::Reject => SpillAction::Reject,
+                }));
+            }
+        }
         let placement = self.cfg.placement_override.unwrap_or_else(|| {
             adaptations
                 .placement
@@ -932,6 +1032,7 @@ mod tests {
                     enable_middleware: false,
                     enable_resource: false,
                     enable_hybrid: false,
+                    enable_pressure: false,
                 },
                 hints,
                 ..Default::default()
@@ -964,6 +1065,125 @@ mod tests {
             assert_eq!(s.analysis_bytes, s.moved_bytes);
             assert!(s.analysis_bytes < s.raw_bytes);
         }
+    }
+
+    /// A fresh per-test scratch directory under the system temp dir.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "xlayer-native-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// Run `steps` forced-in-transit steps and report per-version
+    /// (triangles, mesh_bytes), rejected-put count, and max staged bytes
+    /// in any one step.
+    fn tiered_run(
+        steps: usize,
+        staging_memory: u64,
+        disk_dir: Option<std::path::PathBuf>,
+        remote: Option<String>,
+    ) -> (Vec<(u64, usize, u64)>, u64, u64) {
+        let sim = blob_sim(16);
+        let cfg = NativeConfig {
+            iso_value: 0.4,
+            staging_servers: 1,
+            staging_memory,
+            placement_override: Some(Placement::InTransit),
+            disk_dir,
+            remote,
+            ..Default::default()
+        };
+        let mut wf = NativeWorkflow::new(sim, cfg);
+        for _ in 0..steps {
+            wf.step();
+        }
+        let transport = wf.transport_stats().expect("transport running");
+        let (step_logs, outcomes, _) = wf.finish();
+        let rejected = transport
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let max_step_bytes = step_logs.iter().map(|s| s.moved_bytes).max().unwrap_or(0);
+        let per_version = outcomes
+            .iter()
+            .map(|o| (o.version, o.triangles, o.mesh_bytes))
+            .collect();
+        (per_version, rejected, max_step_bytes)
+    }
+
+    #[test]
+    fn tiered_backend_survives_4x_working_set_bit_identically() {
+        // Reference: memory-only staging with room to spare.
+        let (reference, ref_rejected, step_bytes) = tiered_run(4, 1 << 30, None, None);
+        assert_eq!(ref_rejected, 0);
+        assert!(step_bytes > 0);
+        // Squeeze the cap to a quarter of one step's staged bytes: the
+        // working set is now 4x staging memory, impossible without the
+        // tier. With it, every put lands (spilled, not rejected) and the
+        // analysis reads back bit-identical data.
+        let dir = scratch_dir("4x");
+        let (tiered, rejected, _) = tiered_run(4, (step_bytes / 4).max(1), Some(dir.clone()), None);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(rejected, 0, "tiered staging must not reject");
+        assert_eq!(
+            tiered, reference,
+            "spilled+promoted analysis output must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn remote_tiered_service_survives_4x_working_set() {
+        use xlayer_net::service::{ServiceConfig, StagingService};
+        let (reference, _, step_bytes) = tiered_run(4, 1 << 30, None, None);
+        let dir = scratch_dir("remote-4x");
+        let svc = StagingService::start(ServiceConfig {
+            servers: 1,
+            memory_per_server: (step_bytes / 4).max(1),
+            disk_dir: Some(dir.clone()),
+            ..Default::default()
+        })
+        .expect("tiered service starts");
+        let addr = svc.local_addr().to_string();
+        let (tiered, rejected, _) = tiered_run(4, 1 << 30, None, Some(addr));
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(rejected, 0, "tiered remote staging must not reject");
+        assert_eq!(tiered, reference, "remote tier must be bit-identical");
+    }
+
+    #[test]
+    fn needs_reduction_coarsens_and_retries_in_sync_mode() {
+        use xlayer_staging::{ObjectHints, Persistence};
+        // Reducible hints force the tier's downsample verdict; the sync
+        // producer must coarsen and land the retry instead of dropping.
+        let sim = blob_sim(16);
+        let dir = scratch_dir("reduce");
+        let cfg = NativeConfig {
+            iso_value: 0.4,
+            staging_servers: 1,
+            staging_memory: 4 << 10, // far below one step's objects
+            overlap_staging: false,
+            placement_override: Some(Placement::InTransit),
+            disk_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let mut wf = NativeWorkflow::new(sim, cfg);
+        let space = Arc::clone(wf.space().expect("local backend"));
+        space.set_hints(
+            "field",
+            ObjectHints {
+                persistence: Persistence::Reducible { factor: 2 },
+                deadline: None,
+            },
+        );
+        wf.step();
+        let (_, outcomes, _) = wf.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+        // The coarsened retries still produce an analyzable surface.
+        assert!(outcomes.iter().any(|o| o.triangles > 0));
     }
 
     #[test]

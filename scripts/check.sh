@@ -33,6 +33,18 @@ echo "==> multi-shard loopback cluster (routing, scatter/gather, shard faults)"
 # is distinguishable from a single-server transport one.
 cargo test --locked -q -p xlayer-net --test cluster
 
+echo "==> disk tier tests (extent log, spill policy, tiered workflows)"
+# Also inside the workspace run above; named so a tier regression is
+# visible at a glance. Tier tests create their scratch directories under
+# $TMPDIR (unique per process + sequence number) and remove them on
+# success; sweep any leftovers from earlier failed runs first so disk
+# usage cannot accumulate across CI attempts.
+rm -rf "${TMPDIR:-/tmp}"/xlayer-tierprop-* "${TMPDIR:-/tmp}"/xlayer-native-* \
+       "${TMPDIR:-/tmp}"/xlayer-tier-* "${TMPDIR:-/tmp}"/xlayer-disklog-* \
+       "${TMPDIR:-/tmp}"/xlayer-tiered-server-*
+cargo test --locked -q -p xlayer-staging
+cargo test --locked -q -p xlayer-workflow --lib tiered
+
 echo "==> bench targets compile"
 cargo build --locked --release -p xlayer-bench --benches --bins
 
