@@ -775,9 +775,19 @@ fn serve_put_chunked(
         Some(ErrorFrame::BadRequest {
             detail: "inconsistent chunked object descriptor".to_string(),
         })
-    } else if desc.bytes > inner.space.capacity() && !inner.space.has_tier() {
+    } else if desc.bytes
+        > inner
+            .space
+            .capacity()
+            .saturating_add(inner.space.disk_headroom())
+    {
         // With a disk tier attached, an object larger than RAM can still
-        // land on the spill log — let the space's own policy decide.
+        // land on the spill log, so the bound is memory capacity plus the
+        // tier's remaining disk budget (headroom is 0 without a tier). An
+        // object that cannot fit in either tier is rejected here, before
+        // its declared size is allocated for chunk assembly — a hostile
+        // descriptor must not size the allocation; MAX_CHUNKED_OBJECT
+        // stays the absolute ceiling when the disk budget is unbounded.
         inner.stats.rejected_oom.fetch_add(1, Ordering::Relaxed);
         Some(ErrorFrame::OutOfMemory {
             cap: inner.space.capacity(),

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic            b"XLNT"
-//!      4     2  protocol version u16 LE (currently 1)
+//!      4     2  protocol version u16 LE (currently 2)
 //!      6     1  opcode           (see [`Opcode`])
 //!      7     1  flags            reserved, must be 0
 //!      8     8  request id       u64 LE, echoed by the response
@@ -30,8 +30,12 @@ use xlayer_staging::{DataObject, ObjectDesc, ObjectKey};
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"XLNT";
 
-/// Protocol version encoded in every header.
-pub const VERSION: u16 = 1;
+/// Protocol version encoded in every header. Peers refuse any other
+/// version outright ([`WireError::BadVersion`]), so a body-layout change
+/// MUST bump this — version 2 widened the `StatsOk` body with the tier
+/// and cache counters and added error code 5 (`NeedsReduction`); a
+/// version-1 peer would misparse both.
+pub const VERSION: u16 = 2;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 24;
@@ -1243,7 +1247,7 @@ mod tests {
             buf,
             vec![
                 b'X', b'L', b'N', b'T', // magic
-                0x01, 0x00, // version 1 LE
+                0x02, 0x00, // version 2 LE
                 0x05, // opcode Stats
                 0x00, // flags
                 0x07, 0, 0, 0, 0, 0, 0, 0, // request id 7 LE
@@ -1267,7 +1271,7 @@ mod tests {
             9, 0, 0, 0, 0, 0, 0, 0, // before_version 9 LE
         ];
         let mut expect = vec![
-            b'X', b'L', b'N', b'T', 0x01, 0x00, 0x04, 0x00, // magic, v1, Delete, flags
+            b'X', b'L', b'N', b'T', 0x02, 0x00, 0x04, 0x00, // magic, v2, Delete, flags
             0x01, 0, 0, 0, 0, 0, 0, 0, // request id 1
             15, 0, 0, 0, // payload length 15
         ];
@@ -1296,7 +1300,7 @@ mod tests {
         body.extend_from_slice(&1u64.to_le_bytes());
         body.extend_from_slice(&8u32.to_le_bytes());
         body.extend_from_slice(&3.0f64.to_le_bytes());
-        let mut expect = vec![b'X', b'L', b'N', b'T', 0x01, 0x00, 0x01, 0x00];
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x02, 0x00, 0x01, 0x00];
         expect.extend_from_slice(&3u64.to_le_bytes());
         expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
         expect.extend_from_slice(&checksum(&body).to_le_bytes());
@@ -1342,8 +1346,8 @@ mod tests {
                 b'L',
                 b'N',
                 b'T', // magic
-                0x01,
-                0x00, // version 1 LE
+                0x02,
+                0x00, // version 2 LE
                 0x09, // opcode ChunkData
                 0x00, // flags
                 0x09,
@@ -1401,7 +1405,7 @@ mod tests {
             0x02, 0x01, 0, 0, 0, 0, 0, 0, // total_bytes 0x0102 LE
         ];
         let mut expect = vec![
-            b'X', b'L', b'N', b'T', 0x01, 0x00, 0x0A, 0x00, // magic, v1, ChunkEnd, flags
+            b'X', b'L', b'N', b'T', 0x02, 0x00, 0x0A, 0x00, // magic, v2, ChunkEnd, flags
             0x04, 0, 0, 0, 0, 0, 0, 0, // request id 4
             12, 0, 0, 0, // payload length 12
         ];
@@ -1436,7 +1440,7 @@ mod tests {
         body.extend_from_slice(&8u64.to_le_bytes());
         body.extend_from_slice(&1u64.to_le_bytes());
         body.extend_from_slice(&DEFAULT_CHUNK_SIZE.to_le_bytes());
-        let mut expect = vec![b'X', b'L', b'N', b'T', 0x01, 0x00, 0x07, 0x00];
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x02, 0x00, 0x07, 0x00];
         expect.extend_from_slice(&6u64.to_le_bytes());
         expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
         expect.extend_from_slice(&checksum(&body).to_le_bytes());

@@ -35,6 +35,17 @@
 //! Deletes only mark extents dead in the index; the bytes are reclaimed by
 //! [`DiskLog::maybe_compact`], which rewrites live records into a fresh
 //! file once the dead fraction crosses the configured floor.
+//!
+//! **Durability scope.** The log is a spill tier, not a database:
+//! appends are written but not fsynced, so records spilled shortly before
+//! a *power* failure may be lost (they reappear on reopen as a torn tail
+//! and are truncated away); everything already in the page cache survives
+//! a *process* crash. Compaction is the one place that syncs — the
+//! rewritten file is `sync_all`'d before it atomically replaces the log
+//! (and the directory entry is fsynced best-effort after), so a completed
+//! compaction never loses previously-stable records to power loss. The
+//! `Persistence::Durable` hint is a memory-pressure priority (never
+//! reject, always spill), not a power-loss guarantee.
 
 use crate::object::{DataObject, ObjectDesc, ObjectKey};
 use crate::pool::BufferPool;
@@ -516,8 +527,20 @@ impl DiskLog {
             }
             moved.insert(key, fresh);
         }
-        tmp.flush().map_err(|e| io_err("compact", e))?;
+        // Flush the rewrite to stable storage BEFORE the rename makes it
+        // the log: rename-over is only atomic for readers; on power loss a
+        // renamed-but-unsynced file can come back empty, losing every live
+        // record. A failure here leaves the old log untouched.
+        tmp.sync_all().map_err(|e| io_err("compact", e))?;
         std::fs::rename(&tmp_path, &self.path).map_err(|e| io_err("compact", e))?;
+        // Persist the rename itself (the directory entry). Best-effort:
+        // the data is already safe under either name, and not every
+        // filesystem supports fsync on a directory handle.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         self.file = tmp;
         self.index = moved;
         self.tail = new_tail;

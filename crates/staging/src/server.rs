@@ -278,21 +278,29 @@ impl StagingServer {
     /// With a disk tier attached, a key with spilled versions is promoted
     /// back into memory on access (demoting colder keys if the cap is
     /// tight); when promotion cannot fit, the spilled extents are served
-    /// straight from disk without residency. The hot path is untouched
-    /// while nothing is spilled: one lock-free gauge read decides that, so
-    /// an idle tier costs RAM-resident gets nothing.
+    /// straight from disk without residency. The hot path is barely
+    /// touched while nothing is spilled: under the read lock it costs one
+    /// lock-free gauge read, so an idle tier keeps RAM-resident gets at
+    /// parity.
     pub fn get(
         &self,
         key: &ObjectKey,
         query: Option<&xlayer_amr::boxes::IBox>,
     ) -> Vec<Arc<DataObject>> {
         self.gets.fetch_add(1, Ordering::Relaxed);
+        let s = self.inner.read();
+        // The tier check must run under the store lock: demotions happen
+        // only under the write lock, so a key observed un-spilled here
+        // cannot move to disk before the resident match below. Checked
+        // before the lock, a concurrent demoting put could spill the key
+        // in the gap and this get would return empty for data that lives
+        // on disk.
         if let Some(tier) = &self.tier {
             if tier.spilled_key_count() > 0 && tier.has_spilled(key) {
+                drop(s);
                 return self.get_promoting(tier, key, query);
             }
         }
-        let s = self.inner.read();
         Self::match_resident(&s, key, query)
     }
 
@@ -731,6 +739,39 @@ mod tests {
                 assert_eq!(s.used() + s.disk_used(), 1024);
                 let _ = std::fs::remove_dir_all(&dir);
             }
+        }
+
+        #[test]
+        fn concurrent_demotion_never_hides_a_stored_key() {
+            // Regression: the tier check in get() used to run before the
+            // store lock was taken, so a put demoting the requested key in
+            // that gap made the get return empty for data that was on
+            // disk. Churn puts under a two-object cap so "rho" v1 keeps
+            // bouncing between memory and disk while a reader hammers it:
+            // every read must see exactly the object that was stored.
+            let dir = tmpdir("demote-race");
+            let (s, _tier) = server(&dir, 1024, 1 << 30);
+            let s = Arc::new(s);
+            s.put(vobj("rho", 1)).unwrap();
+            let putter = {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for v in 2..2000u64 {
+                        s.put(vobj("churn", v)).unwrap();
+                    }
+                })
+            };
+            let want = vobj("rho", 1).payload;
+            while !putter.is_finished() {
+                let got = s.get(&ObjectKey::new("rho", 1), None);
+                assert_eq!(got.len(), 1, "a stored key must never read empty");
+                assert_eq!(got[0].payload, want);
+            }
+            putter.join().expect("putter");
+            let got = s.get(&ObjectKey::new("rho", 1), None);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].payload, want);
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 }

@@ -127,6 +127,7 @@ impl DataSpace {
             agg.disk_used += snap.disk_used;
             agg.spilled_keys += snap.spilled_keys;
             agg.compactions += snap.compactions;
+            agg.compact_errors += snap.compact_errors;
         }
         agg
     }

@@ -47,8 +47,10 @@ pub enum SpillAction {
 /// tells the tier how much the data is worth under memory pressure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Persistence {
-    /// Must not be dropped: always spill, even if the disk budget check
-    /// looks tight (the append's own budget check is the final arbiter).
+    /// Must not be dropped under memory pressure: always spill, even if
+    /// the disk budget check looks tight (the append's own budget check is
+    /// the final arbiter). This is a placement priority, not a power-loss
+    /// guarantee — see the durability note in [`crate::disklog`].
     Durable,
     /// Worth spilling while the disk has room; rejectable once it doesn't.
     Transient,
@@ -145,6 +147,9 @@ pub struct TierSnapshot {
     pub spilled_keys: u64,
     /// Compaction sweeps performed.
     pub compactions: u64,
+    /// Opportunistic compaction sweeps that failed with an I/O error (the
+    /// log keeps serving; dead bytes are retried on the next mutation).
+    pub compact_errors: u64,
 }
 
 /// A staging server's disk tier: one [`DiskLog`] plus the placement policy
@@ -169,6 +174,8 @@ pub struct DiskTier {
     /// Gauge mirror of the log's key count. The get hot path reads this to
     /// skip the tier entirely while nothing is spilled.
     spilled_keys: AtomicU64,
+    /// Opportunistic compactions that failed with an I/O error.
+    compact_errors: AtomicU64,
     /// Messages describing records dropped during open-time recovery.
     recovered: Vec<String>,
 }
@@ -192,6 +199,7 @@ impl DiskTier {
             disk_hits: AtomicU64::new(0),
             disk_used: AtomicU64::new(log.live_bytes()),
             spilled_keys: AtomicU64::new(log.num_keys() as u64),
+            compact_errors: AtomicU64::new(0),
             log: Mutex::new(log),
             hints: RwLock::new(BTreeMap::new()),
             forced: Mutex::new(None),
@@ -256,6 +264,18 @@ impl DiskTier {
         self.disk_used.store(log.live_bytes(), Ordering::Relaxed);
         self.spilled_keys
             .store(log.num_keys() as u64, Ordering::Relaxed);
+    }
+
+    /// Run compaction opportunistically. Compaction is pure space
+    /// reclamation — a failed sweep leaves the old log fully intact and
+    /// the dead bytes are retried on the next mutation — so its I/O errors
+    /// are counted, never propagated: propagating one from a promote or
+    /// delete would misreport (or, worse, discard) work that already
+    /// succeeded.
+    fn compact_best_effort(&self, log: &mut DiskLog) {
+        if log.maybe_compact(self.compact_min_dead).is_err() {
+            self.compact_errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Demote `obj` to the log. [`TierError::DiskFull`] means the local
@@ -323,7 +343,10 @@ impl DiskTier {
 
     /// Promote: read every extent under `key`, drop them from the log, and
     /// hand the objects back for reinsertion into memory. Counts a disk hit
-    /// and the promote counters; compaction runs opportunistically.
+    /// and the promote counters; compaction runs opportunistically. Once
+    /// the extents are read and unindexed, this cannot fail — the objects
+    /// are the only remaining copy, so a compaction error here must not
+    /// (and does not) discard them.
     pub fn take(&self, key: &ObjectKey) -> Result<Vec<DataObject>, TierError> {
         let mut log = self.log.lock();
         let objs = log.read(key, None)?;
@@ -336,7 +359,7 @@ impl DiskTier {
         self.promoted
             .fetch_add(objs.len() as u64, Ordering::Relaxed);
         self.promoted_bytes.fetch_add(bytes, Ordering::Relaxed);
-        log.maybe_compact(self.compact_min_dead)?;
+        self.compact_best_effort(&mut log);
         self.refresh_gauges(&log);
         Ok(objs)
     }
@@ -346,7 +369,7 @@ impl DiskTier {
         let mut log = self.log.lock();
         let freed = log.remove(key);
         if freed > 0 {
-            log.maybe_compact(self.compact_min_dead)?;
+            self.compact_best_effort(&mut log);
             self.refresh_gauges(&log);
         }
         Ok(freed)
@@ -357,7 +380,7 @@ impl DiskTier {
         let mut log = self.log.lock();
         let freed = log.evict_before(name, min_version);
         if freed > 0 {
-            log.maybe_compact(self.compact_min_dead)?;
+            self.compact_best_effort(&mut log);
             self.refresh_gauges(&log);
         }
         Ok(freed)
@@ -368,7 +391,7 @@ impl DiskTier {
         let mut log = self.log.lock();
         let freed = log.clear();
         if freed > 0 {
-            log.maybe_compact(self.compact_min_dead)?;
+            self.compact_best_effort(&mut log);
         }
         self.refresh_gauges(&log);
         Ok(freed)
@@ -390,6 +413,7 @@ impl DiskTier {
             disk_used: self.disk_used.load(Ordering::Relaxed),
             spilled_keys: self.spilled_keys.load(Ordering::Relaxed),
             compactions: self.log.lock().compactions(),
+            compact_errors: self.compact_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -511,6 +535,32 @@ mod tests {
         assert_eq!(s.disk_hits, 2);
         assert_eq!(s.disk_used, 512);
         assert_eq!(s.spilled_keys, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_survives_compaction_failure() {
+        let dir = tmpdir("compactfail");
+        let cfg = TierConfig::new(&dir)
+            .with_budget(1 << 20)
+            .with_chunk_size(256)
+            .with_compact_min_dead(1);
+        let t = DiskTier::open(dir.join("tier.log"), &cfg, Arc::new(BufferPool::new())).unwrap();
+        let a = obj("rho", 1, 4);
+        t.spill(&a).unwrap();
+        // Squat the compaction scratch path with a directory so every
+        // compaction attempt fails with an I/O error.
+        std::fs::create_dir(dir.join("tier.compact")).unwrap();
+        // The promote must still hand the objects back: once they are
+        // read and unindexed they are the only copy, and compaction is
+        // only opportunistic space reclamation.
+        let back = t.take(&ObjectKey::new("rho", 1)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].payload, a.payload);
+        assert!(!t.has_spilled(&ObjectKey::new("rho", 1)));
+        let s = t.snapshot();
+        assert_eq!(s.compact_errors, 1, "the failed sweep is counted");
+        assert_eq!(s.compactions, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
