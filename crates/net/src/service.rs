@@ -144,6 +144,8 @@ impl ServiceStats {
             tier_promoted: tier.promoted,
             tier_disk_used: tier.disk_used,
             tier_disk_hits: tier.disk_hits,
+            tier_disk_budget: tier.disk_budget,
+            tier_disk_headroom: tier.disk_budget.saturating_sub(tier.disk_used),
             chunksum_hits: self.chunksum_hits.load(Ordering::Relaxed),
             chunksum_misses: self.chunksum_misses.load(Ordering::Relaxed),
         }

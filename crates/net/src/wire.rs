@@ -33,9 +33,13 @@ pub const MAGIC: [u8; 4] = *b"XLNT";
 /// Protocol version encoded in every header. Peers refuse any other
 /// version outright ([`WireError::BadVersion`]), so a body-layout change
 /// MUST bump this — version 2 widened the `StatsOk` body with the tier
-/// and cache counters and added error code 5 (`NeedsReduction`); a
-/// version-1 peer would misparse both.
-pub const VERSION: u16 = 2;
+/// and cache counters and added error code 5 (`NeedsReduction`); version
+/// 3 appended the disk-budget pair (`tier_disk_budget`,
+/// `tier_disk_headroom`) to `StatsOk`; an older peer would misparse the
+/// body. The layout fingerprint is additionally pinned in `xlint.wire`
+/// (rule S): regenerate it with `xlint --write-wire-pin` alongside any
+/// bump.
+pub const VERSION: u16 = 3;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 24;
@@ -885,6 +889,12 @@ pub struct ServiceSnapshot {
     pub tier_disk_used: u64,
     /// Gets answered (at least partly) from the disk tier.
     pub tier_disk_hits: u64,
+    /// Configured disk-tier capacity in bytes, summed across servers
+    /// (`u64::MAX`-saturating; 0 when no tier is attached).
+    pub tier_disk_budget: u64,
+    /// Disk bytes still free under the budget (`budget - used`,
+    /// saturating) — the headroom a placement policy steers by.
+    pub tier_disk_headroom: u64,
     /// Chunked-get streams whose per-chunk sums came from the chunk-sum
     /// cache.
     pub chunksum_hits: u64,
@@ -1068,6 +1078,8 @@ impl Response {
                     s.tier_promoted,
                     s.tier_disk_used,
                     s.tier_disk_hits,
+                    s.tier_disk_budget,
+                    s.tier_disk_headroom,
                     s.chunksum_hits,
                     s.chunksum_misses,
                 ] {
@@ -1162,6 +1174,8 @@ impl Response {
                 tier_promoted: r.u64()?,
                 tier_disk_used: r.u64()?,
                 tier_disk_hits: r.u64()?,
+                tier_disk_budget: r.u64()?,
+                tier_disk_headroom: r.u64()?,
                 chunksum_hits: r.u64()?,
                 chunksum_misses: r.u64()?,
             }),
@@ -1247,7 +1261,7 @@ mod tests {
             buf,
             vec![
                 b'X', b'L', b'N', b'T', // magic
-                0x02, 0x00, // version 2 LE
+                0x03, 0x00, // version 3 LE
                 0x05, // opcode Stats
                 0x00, // flags
                 0x07, 0, 0, 0, 0, 0, 0, 0, // request id 7 LE
@@ -1271,7 +1285,7 @@ mod tests {
             9, 0, 0, 0, 0, 0, 0, 0, // before_version 9 LE
         ];
         let mut expect = vec![
-            b'X', b'L', b'N', b'T', 0x02, 0x00, 0x04, 0x00, // magic, v2, Delete, flags
+            b'X', b'L', b'N', b'T', 0x03, 0x00, 0x04, 0x00, // magic, v3, Delete, flags
             0x01, 0, 0, 0, 0, 0, 0, 0, // request id 1
             15, 0, 0, 0, // payload length 15
         ];
@@ -1300,7 +1314,7 @@ mod tests {
         body.extend_from_slice(&1u64.to_le_bytes());
         body.extend_from_slice(&8u32.to_le_bytes());
         body.extend_from_slice(&3.0f64.to_le_bytes());
-        let mut expect = vec![b'X', b'L', b'N', b'T', 0x02, 0x00, 0x01, 0x00];
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x03, 0x00, 0x01, 0x00];
         expect.extend_from_slice(&3u64.to_le_bytes());
         expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
         expect.extend_from_slice(&checksum(&body).to_le_bytes());
@@ -1346,8 +1360,8 @@ mod tests {
                 b'L',
                 b'N',
                 b'T', // magic
-                0x02,
-                0x00, // version 2 LE
+                0x03,
+                0x00, // version 3 LE
                 0x09, // opcode ChunkData
                 0x00, // flags
                 0x09,
@@ -1405,7 +1419,7 @@ mod tests {
             0x02, 0x01, 0, 0, 0, 0, 0, 0, // total_bytes 0x0102 LE
         ];
         let mut expect = vec![
-            b'X', b'L', b'N', b'T', 0x02, 0x00, 0x0A, 0x00, // magic, v2, ChunkEnd, flags
+            b'X', b'L', b'N', b'T', 0x03, 0x00, 0x0A, 0x00, // magic, v3, ChunkEnd, flags
             0x04, 0, 0, 0, 0, 0, 0, 0, // request id 4
             12, 0, 0, 0, // payload length 12
         ];
@@ -1440,7 +1454,7 @@ mod tests {
         body.extend_from_slice(&8u64.to_le_bytes());
         body.extend_from_slice(&1u64.to_le_bytes());
         body.extend_from_slice(&DEFAULT_CHUNK_SIZE.to_le_bytes());
-        let mut expect = vec![b'X', b'L', b'N', b'T', 0x02, 0x00, 0x07, 0x00];
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x03, 0x00, 0x07, 0x00];
         expect.extend_from_slice(&6u64.to_le_bytes());
         expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
         expect.extend_from_slice(&checksum(&body).to_le_bytes());
@@ -1598,8 +1612,10 @@ mod tests {
             tier_promoted: 18,
             tier_disk_used: 19,
             tier_disk_hits: 20,
-            chunksum_hits: 21,
-            chunksum_misses: 22,
+            tier_disk_budget: 21,
+            tier_disk_headroom: 22,
+            chunksum_hits: 23,
+            chunksum_misses: 24,
         };
         let cases: Vec<Response> = vec![
             Response::PutOk { shard: 3 },

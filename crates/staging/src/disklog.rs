@@ -326,7 +326,7 @@ impl DiskLog {
     }
 
     /// Descriptors of every live extent under `key` — index only, no I/O.
-    pub fn describe(&self, key: &ObjectKey) -> Vec<ObjectDesc> {
+    pub fn extents_for(&self, key: &ObjectKey) -> Vec<ObjectDesc> {
         self.index
             .get(key)
             .map(|v| v.iter().map(|e| e.desc.clone()).collect())
@@ -472,7 +472,7 @@ impl DiskLog {
 
     /// Drop every extent of variable `name` older than `min_version`.
     /// Returns payload bytes freed.
-    pub fn evict_before(&mut self, name: &str, min_version: u64) -> u64 {
+    pub fn drop_before(&mut self, name: &str, min_version: u64) -> u64 {
         let victims: Vec<ObjectKey> = self
             .index
             .keys()
@@ -845,7 +845,7 @@ mod tests {
             log.append(&obj("rho", v, 0, 4)).unwrap();
         }
         let before = std::fs::metadata(&path).unwrap().len();
-        assert_eq!(log.evict_before("rho", 3), 2 * 512);
+        assert_eq!(log.drop_before("rho", 3), 2 * 512);
         assert!(!log.maybe_compact(u64::MAX).unwrap(), "below threshold");
         assert!(log.maybe_compact(512).unwrap());
         assert_eq!(log.dead_bytes(), 0);

@@ -37,6 +37,7 @@ impl VersionGate {
 
     /// Block until version `v` (or newer) is published.
     pub fn wait_for(&self, v: u64) {
+        // xlint: allow(L) -- the condvar wait releases this guard while blocked
         let mut cur = self.state.lock();
         while *cur < v {
             self.cv.wait(&mut cur);

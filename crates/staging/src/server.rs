@@ -336,6 +336,7 @@ impl StagingServer {
         key: &ObjectKey,
         query: Option<&xlayer_amr::boxes::IBox>,
     ) -> Vec<Arc<DataObject>> {
+        // xlint: allow(L) -- promote/serve-from-disk runs under the write lock so a promote racing a drain resolves as one serial order
         let mut s = self.inner.write();
         let spilled_bytes = tier.spilled_bytes_for(key);
         if spilled_bytes == 0 {
@@ -387,18 +388,21 @@ impl StagingServer {
             .and_then(|(v, _)| v.get(id).cloned())
     }
 
-    /// Descriptors of everything under `key`, across both tiers.
+    /// Descriptors of everything under `key`, across both tiers. The read
+    /// guard stays live across the spilled probe: demotions take the write
+    /// lock, so the resident snapshot and the disk-side listing describe
+    /// one consistent partition (an extent cannot slip between tiers after
+    /// the resident walk and be missed — or counted twice — below).
     pub fn describe(&self, key: &ObjectKey) -> Vec<ObjectDesc> {
-        let mut out: Vec<ObjectDesc> = self
-            .inner
-            .read()
+        let s = self.inner.read();
+        let mut out: Vec<ObjectDesc> = s
             .objects
             .get(key)
             .map(|(v, _)| v.iter().map(|o| o.desc.clone()).collect())
             .unwrap_or_default();
         if let Some(tier) = &self.tier {
             if tier.spilled_key_count() > 0 {
-                out.extend(tier.describe(key));
+                out.extend(tier.spilled_descs(key));
             }
         }
         out
@@ -409,6 +413,7 @@ impl StagingServer {
     /// Returns bytes freed across both tiers; dead disk extents are
     /// truncated by the tier's periodic compaction.
     pub fn evict_before(&self, name: &str, min_version: u64) -> u64 {
+        // xlint: allow(L) -- eviction must drop both tiers atomically with the resident map; the store lock serializes tier writers
         let mut s = self.inner.write();
         let mut freed = 0;
         s.objects.retain(|k, (v, _)| {

@@ -126,6 +126,9 @@ impl DataSpace {
             agg.disk_hits += snap.disk_hits;
             agg.disk_used += snap.disk_used;
             agg.spilled_keys += snap.spilled_keys;
+            // Budgets saturate: an unbounded tier reports `u64::MAX`, and
+            // a sum across servers must stay "unbounded", not wrap.
+            agg.disk_budget = agg.disk_budget.saturating_add(snap.disk_budget);
             agg.compactions += snap.compactions;
             agg.compact_errors += snap.compact_errors;
         }

@@ -145,6 +145,8 @@ pub struct TierSnapshot {
     pub disk_used: u64,
     /// `(name, version)` keys currently resident on disk.
     pub spilled_keys: u64,
+    /// Configured disk capacity in bytes (`u64::MAX` when unbounded).
+    pub disk_budget: u64,
     /// Compaction sweeps performed.
     pub compactions: u64,
     /// Opportunistic compaction sweeps that failed with an I/O error (the
@@ -318,12 +320,17 @@ impl DiskTier {
 
     /// Total payload bytes spilled under `key`.
     pub fn spilled_bytes_for(&self, key: &ObjectKey) -> u64 {
-        self.log.lock().describe(key).iter().map(|d| d.bytes).sum()
+        self.log
+            .lock()
+            .extents_for(key)
+            .iter()
+            .map(|d| d.bytes)
+            .sum()
     }
 
     /// Descriptors of every extent spilled under `key` (no payload I/O).
-    pub fn describe(&self, key: &ObjectKey) -> Vec<crate::object::ObjectDesc> {
-        self.log.lock().describe(key)
+    pub fn spilled_descs(&self, key: &ObjectKey) -> Vec<crate::object::ObjectDesc> {
+        self.log.lock().extents_for(key)
     }
 
     /// Read `key`'s extents intersecting `query` without removing them —
@@ -334,6 +341,7 @@ impl DiskTier {
         key: &ObjectKey,
         query: Option<&IBox>,
     ) -> Result<Vec<DataObject>, TierError> {
+        // xlint: allow(L) -- the log mutex serializes the log file itself; I/O under it is the tier's design
         let objs = self.log.lock().read(key, query)?;
         if !objs.is_empty() {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -348,6 +356,7 @@ impl DiskTier {
     /// are the only remaining copy, so a compaction error here must not
     /// (and does not) discard them.
     pub fn take(&self, key: &ObjectKey) -> Result<Vec<DataObject>, TierError> {
+        // xlint: allow(L) -- the log mutex serializes the log file itself; I/O under it is the tier's design
         let mut log = self.log.lock();
         let objs = log.read(key, None)?;
         if objs.is_empty() {
@@ -366,6 +375,7 @@ impl DiskTier {
 
     /// Drop `key`'s extents without reading them (delete path).
     pub fn remove(&self, key: &ObjectKey) -> Result<u64, TierError> {
+        // xlint: allow(L) -- the log mutex serializes the log file itself; I/O under it is the tier's design
         let mut log = self.log.lock();
         let freed = log.remove(key);
         if freed > 0 {
@@ -377,8 +387,9 @@ impl DiskTier {
 
     /// Drop every extent of `name` older than `min_version` (drain path).
     pub fn evict_before(&self, name: &str, min_version: u64) -> Result<u64, TierError> {
+        // xlint: allow(L) -- the log mutex serializes the log file itself; I/O under it is the tier's design
         let mut log = self.log.lock();
-        let freed = log.evict_before(name, min_version);
+        let freed = log.drop_before(name, min_version);
         if freed > 0 {
             self.compact_best_effort(&mut log);
             self.refresh_gauges(&log);
@@ -388,6 +399,7 @@ impl DiskTier {
 
     /// Drop everything on disk.
     pub fn clear(&self) -> Result<u64, TierError> {
+        // xlint: allow(L) -- the log mutex serializes the log file itself; I/O under it is the tier's design
         let mut log = self.log.lock();
         let freed = log.clear();
         if freed > 0 {
@@ -404,6 +416,10 @@ impl DiskTier {
 
     /// Point-in-time counters.
     pub fn snapshot(&self) -> TierSnapshot {
+        let (compactions, disk_budget) = {
+            let log = self.log.lock();
+            (log.compactions(), log.budget())
+        };
         TierSnapshot {
             spilled: self.spilled.load(Ordering::Relaxed),
             spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
@@ -412,7 +428,8 @@ impl DiskTier {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_used: self.disk_used.load(Ordering::Relaxed),
             spilled_keys: self.spilled_keys.load(Ordering::Relaxed),
-            compactions: self.log.lock().compactions(),
+            disk_budget,
+            compactions,
             compact_errors: self.compact_errors.load(Ordering::Relaxed),
         }
     }

@@ -102,6 +102,7 @@ impl TransportStats {
             return;
         }
         let key = ObjectKey::new(name, version);
+        // xlint: allow(L) -- the condvar wait releases this guard while blocked
         let mut map = self.processed.lock();
         while !map.closed && map.counts.get(&key).copied().unwrap_or(0) < expected {
             self.cv.wait(&mut map);

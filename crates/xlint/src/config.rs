@@ -25,6 +25,18 @@ pub struct Config {
     pub kernel_floor_modules: Vec<PathBuf>,
     /// Rule K: substrings identifying predictor functions by name.
     pub predictor_fns: Vec<String>,
+    /// Rule L: paths whose lock usage feeds the cross-file acquisition-
+    /// order graph and held-across-I/O checks.
+    pub lock_paths: Vec<PathBuf>,
+    /// Rule L(c): `probe=lock` pairs — in any function that acquires
+    /// `lock`, calls to `probe` must happen under a live guard of it.
+    pub guarded_by: Vec<(String, String)>,
+    /// Rule A: paths whose atomic fields must keep one Ordering class.
+    pub atomics_paths: Vec<PathBuf>,
+    /// Rule S: the wire module whose layout fingerprint is pinned.
+    pub wire_file: Option<PathBuf>,
+    /// Rule S: the committed fingerprint pin file.
+    pub wire_pin: Option<PathBuf>,
     /// Grandfathered-violation baseline file, relative to the workspace
     /// root (optional).
     pub baseline: Option<PathBuf>,
@@ -59,6 +71,28 @@ impl Config {
                         cfg.predictor_fns = value.as_list()?;
                         continue;
                     }
+                    ("lock_discipline", "paths") => &mut cfg.lock_paths,
+                    ("lock_discipline", "guarded_by") => {
+                        for item in value.as_list()? {
+                            let Some((probe, lock)) = item.split_once('=') else {
+                                return Err(ConfigError(format!(
+                                    "guarded_by entry `{item}`: expected `probe=lock`"
+                                )));
+                            };
+                            cfg.guarded_by
+                                .push((probe.trim().to_string(), lock.trim().to_string()));
+                        }
+                        continue;
+                    }
+                    ("atomics", "paths") => &mut cfg.atomics_paths,
+                    ("wire_schema", "file") => {
+                        cfg.wire_file = Some(PathBuf::from(value.as_string()?));
+                        continue;
+                    }
+                    ("wire_schema", "pin") => {
+                        cfg.wire_pin = Some(PathBuf::from(value.as_string()?));
+                        continue;
+                    }
                     ("general", "baseline") => {
                         cfg.baseline = Some(PathBuf::from(value.as_string()?));
                         continue;
@@ -88,6 +122,8 @@ impl Config {
             .chain(&self.panic_freedom_paths)
             .chain(&self.float_discipline_paths)
             .chain(&self.kernel_floor_modules)
+            .chain(&self.lock_paths)
+            .chain(&self.atomics_paths)
             .cloned()
             .collect();
         all.sort();
@@ -246,6 +282,42 @@ baseline = "xlint.baseline"
         // euler.rs nests under crates/solvers: deduped from the walk roots.
         assert!(scopes.contains(&PathBuf::from("crates/amr")));
         assert!(!scopes.contains(&PathBuf::from("crates/solvers/src/euler.rs")));
+    }
+
+    #[test]
+    fn parses_crossfile_sections() {
+        let cfg = Config::parse(
+            r#"
+[lock_discipline]
+paths = ["crates/staging/src", "crates/net/src"]
+guarded_by = ["spilled_key_count=inner", "has_spilled=inner"]
+
+[atomics]
+paths = ["crates/net/src"]
+
+[wire_schema]
+file = "crates/net/src/wire.rs"
+pin = "xlint.wire"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.lock_paths.len(), 2);
+        assert_eq!(
+            cfg.guarded_by,
+            [
+                ("spilled_key_count".to_string(), "inner".to_string()),
+                ("has_spilled".to_string(), "inner".to_string())
+            ]
+        );
+        assert_eq!(cfg.wire_file, Some(PathBuf::from("crates/net/src/wire.rs")));
+        assert_eq!(cfg.wire_pin, Some(PathBuf::from("xlint.wire")));
+        // Lock/atomics scopes join the walk roots.
+        assert!(cfg.all_scopes().contains(&PathBuf::from("crates/net/src")));
+    }
+
+    #[test]
+    fn malformed_guarded_by_is_an_error() {
+        assert!(Config::parse("[lock_discipline]\nguarded_by = [\"no_eq_sign\"]").is_err());
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //! PRs.
 
 pub mod config;
+pub mod crossfile;
 pub mod lexer;
 pub mod rules;
+pub mod wire_schema;
 
 pub use config::{Config, ConfigError};
+pub use crossfile::CrossFile;
 pub use rules::{Finding, Rule};
 
 use std::collections::BTreeSet;
@@ -187,13 +190,16 @@ pub fn scan_source(src: &str, rel: &Path, cfg: &Config, report: &mut Report) {
 
 /// Walk every configured scope under `root` and scan each `.rs` file.
 /// Crate test/bench trees and fixture corpora are skipped — the rules
-/// govern production code.
+/// govern production code. After the per-file passes, the cross-file
+/// passes (rules L and A) run over the accumulated facts, and the wire
+/// fingerprint (rule S) is checked against its committed pin.
 pub fn run(root: &Path, cfg: &Config, baseline: &Baseline) -> Result<Report, XlintError> {
     let mut files = BTreeSet::new();
     for scope in cfg.all_scopes() {
         collect_rs_files(&root.join(&scope), root, &mut files)?;
     }
     let mut report = Report::default();
+    let mut cross = CrossFile::new();
     for rel in files {
         let abs = root.join(&rel);
         let src = std::fs::read_to_string(&abs).map_err(|err| XlintError::Io {
@@ -201,7 +207,15 @@ pub fn run(root: &Path, cfg: &Config, baseline: &Baseline) -> Result<Report, Xli
             err,
         })?;
         scan_source(&src, &rel, cfg, &mut report);
+        cross.add_file(&src, &rel, cfg);
     }
+    let cr = cross.finish(cfg);
+    report.violations.extend(cr.violations);
+    report.waived.extend(cr.waived);
+    check_wire(root, cfg, &mut report)?;
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     // Baseline pass: grandfathered violations don't fail the run.
     let (grandfathered, failing): (Vec<_>, Vec<_>) = std::mem::take(&mut report.violations)
         .into_iter()
@@ -209,6 +223,94 @@ pub fn run(root: &Path, cfg: &Config, baseline: &Baseline) -> Result<Report, Xli
     report.violations = failing;
     report.grandfathered = grandfathered;
     Ok(report)
+}
+
+/// Rule S: fingerprint the configured wire module and compare it to the
+/// committed pin. A missing pin is a violation (not an internal error):
+/// the fix is `--write-wire-pin`, and the build must stay red until the
+/// pin is committed.
+fn check_wire(root: &Path, cfg: &Config, report: &mut Report) -> Result<(), XlintError> {
+    let Some(wire_rel) = &cfg.wire_file else {
+        return Ok(());
+    };
+    let abs = root.join(wire_rel);
+    let src = std::fs::read_to_string(&abs).map_err(|err| XlintError::Io { path: abs, err })?;
+    let ws = wire_schema::extract(&src);
+    let mut findings: Vec<Finding> = ws.pairing.clone();
+    if let Some(pin_rel) = &cfg.wire_pin {
+        match std::fs::read_to_string(root.join(pin_rel)) {
+            Ok(text) => {
+                if let Some(f) = wire_schema::compare(&ws, &wire_schema::parse_pin(&text)) {
+                    findings.push(f);
+                }
+            }
+            Err(_) => findings.push((
+                Rule::WireSchema,
+                ws.version_line,
+                format!(
+                    "wire pin `{}` missing; generate it with --write-wire-pin",
+                    pin_rel.display()
+                ),
+            )),
+        }
+    }
+    for (rule, line, message) in findings {
+        let v = Violation {
+            rule,
+            file: wire_rel.clone(),
+            line,
+            message,
+        };
+        let waived = ws
+            .waivers
+            .iter()
+            .any(|w| w.rules.contains(&rule) && (w.line == line || w.line + 1 == line));
+        if waived {
+            report.waived.push(v);
+        } else {
+            report.violations.push(v);
+        }
+    }
+    Ok(())
+}
+
+/// One inline waiver, attributed for the `--waivers` audit listing.
+#[derive(Clone, Debug)]
+pub struct WaiverEntry {
+    pub file: PathBuf,
+    pub line: u32,
+    /// Rule letters the waiver covers, e.g. `"D,F"`.
+    pub rules: String,
+    pub reason: String,
+}
+
+/// Collect every inline waiver across the configured scopes (the
+/// `--waivers` audit mode).
+pub fn collect_waivers(root: &Path, cfg: &Config) -> Result<Vec<WaiverEntry>, XlintError> {
+    let mut files = BTreeSet::new();
+    for scope in cfg.all_scopes() {
+        collect_rs_files(&root.join(&scope), root, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for rel in files {
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|err| XlintError::Io {
+            path: abs.clone(),
+            err,
+        })?;
+        let analysis = rules::FileAnalysis::new(lexer::lex(&src));
+        for w in &analysis.waivers {
+            let rules: Vec<String> = w.rules.iter().map(|r| r.letter().to_string()).collect();
+            out.push(WaiverEntry {
+                file: rel.clone(),
+                line: w.line,
+                rules: rules.join(","),
+                reason: w.reason.clone(),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
 }
 
 const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "fixtures", ".git"];
@@ -251,12 +353,11 @@ mod tests {
     fn cfg_all(path: &str) -> Config {
         Config {
             determinism_paths: vec![PathBuf::from(path)],
-            kernel_modules: vec![],
             panic_freedom_paths: vec![PathBuf::from(path)],
             float_discipline_paths: vec![PathBuf::from(path)],
             kernel_floor_modules: vec![PathBuf::from(path)],
             predictor_fns: vec!["predict".into()],
-            baseline: None,
+            ..Config::default()
         }
     }
 

@@ -2,20 +2,44 @@
 //!
 //! ```text
 //! xlint [--root <dir>] [--config <xlint.toml>] [--baseline <file>]
+//!       [--format text|json] [--waivers | --write-wire-pin | --check-wire-pin]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` internal error
-//! (unreadable file, bad config/baseline, bad arguments) — so CI can
-//! distinguish "the code is wrong" from "the linter is broken".
+//! Modes: the default scans the workspace; `--waivers` lists every
+//! inline waiver (file:line, rules, reason) as an audit trail;
+//! `--write-wire-pin` regenerates the committed wire fingerprint after
+//! an intentional layout change; `--check-wire-pin` runs only the
+//! fingerprint-vs-pin comparison (the `scripts/check.sh` drift gate).
+//!
+//! Exit codes: `0` clean, `1` violations found (or pin drift), `2`
+//! internal error (unreadable file, bad config/baseline, bad arguments)
+//! — so CI can distinguish "the code is wrong" from "the linter is
+//! broken".
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xlint::{Baseline, Config, Report, XlintError};
+use xlint::{wire_schema, Baseline, Config, Report, XlintError};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Lint,
+    Waivers,
+    WriteWirePin,
+    CheckWirePin,
+}
 
 struct Args {
     root: Option<PathBuf>,
     config: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    format: Format,
+    mode: Mode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         config: None,
         baseline: None,
+        format: Format::Text,
+        mode: Mode::Lint,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -35,10 +61,22 @@ fn parse_args() -> Result<Args, String> {
             "--root" => args.root = Some(path_arg("--root")?),
             "--config" => args.config = Some(path_arg("--config")?),
             "--baseline" => args.baseline = Some(path_arg("--baseline")?),
+            "--format" => {
+                let v = path_arg("--format")?;
+                args.format = match v.to_string_lossy().as_ref() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format must be text or json, got `{other}`")),
+                };
+            }
+            "--waivers" => args.mode = Mode::Waivers,
+            "--write-wire-pin" => args.mode = Mode::WriteWirePin,
+            "--check-wire-pin" => args.mode = Mode::CheckWirePin,
             "--help" | "-h" => {
                 println!(
-                    "xlint — workspace invariant linter (rules D/P/F/K, see DESIGN.md §6)\n\
-                     usage: xlint [--root <dir>] [--config <xlint.toml>] [--baseline <file>]"
+                    "xlint — workspace invariant linter (rules D/P/F/K/L/S/A, see DESIGN.md §6)\n\
+                     usage: xlint [--root <dir>] [--config <xlint.toml>] [--baseline <file>]\n\
+                     \x20            [--format text|json] [--waivers | --write-wire-pin | --check-wire-pin]"
                 );
                 std::process::exit(0);
             }
@@ -69,13 +107,21 @@ fn find_root() -> Result<PathBuf, String> {
     }
 }
 
-fn run() -> Result<Report, XlintError> {
-    let args = parse_args().map_err(xlint::ConfigError)?;
+struct Loaded {
+    root: PathBuf,
+    cfg: Config,
+    baseline: Baseline,
+}
+
+fn load(args: &Args) -> Result<Loaded, XlintError> {
     let root = match &args.root {
         Some(r) => r.clone(),
         None => find_root().map_err(xlint::ConfigError)?,
     };
-    let config_path = args.config.unwrap_or_else(|| root.join("xlint.toml"));
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("xlint.toml"));
     let config_text = std::fs::read_to_string(&config_path).map_err(|err| XlintError::Io {
         path: config_path.clone(),
         err,
@@ -83,6 +129,7 @@ fn run() -> Result<Report, XlintError> {
     let cfg = Config::parse(&config_text)?;
     let baseline_path = args
         .baseline
+        .clone()
         .or_else(|| cfg.baseline.as_ref().map(|b| root.join(b)));
     let baseline = match baseline_path {
         Some(p) => {
@@ -94,12 +141,35 @@ fn run() -> Result<Report, XlintError> {
         }
         None => Baseline::default(),
     };
-    xlint::run(&root, &cfg, &baseline)
+    Ok(Loaded {
+        root,
+        cfg,
+        baseline,
+    })
 }
 
-fn main() -> ExitCode {
-    match run() {
-        Ok(report) => {
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn print_report(report: &Report, format: Format) {
+    match format {
+        Format::Text => {
             for v in &report.violations {
                 println!("{v}");
             }
@@ -118,12 +188,155 @@ fn main() -> ExitCode {
                 report.markers,
                 if report.markers == 1 { "" } else { "s" },
             );
-            if report.violations.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
+        }
+        Format::Json => {
+            let items: Vec<String> = report
+                .violations
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                        json_str(&v.file.display().to_string()),
+                        v.line,
+                        json_str(&v.rule.letter().to_string()),
+                        json_str(&v.message)
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"violations\":[{}],\"files\":{},\"waived\":{},\"grandfathered\":{},\"markers\":{}}}",
+                items.join(","),
+                report.files,
+                report.waived.len(),
+                report.grandfathered.len(),
+                report.markers
+            );
+        }
+    }
+}
+
+fn wire_config(loaded: &Loaded) -> Result<(PathBuf, PathBuf, wire_schema::WireSchema), XlintError> {
+    let (Some(wire_rel), Some(pin_rel)) = (&loaded.cfg.wire_file, &loaded.cfg.wire_pin) else {
+        return Err(XlintError::Config(xlint::ConfigError(
+            "wire pin modes need [wire_schema] file/pin in xlint.toml".into(),
+        )));
+    };
+    let abs = loaded.root.join(wire_rel);
+    let src = std::fs::read_to_string(&abs).map_err(|err| XlintError::Io { path: abs, err })?;
+    Ok((
+        wire_rel.clone(),
+        loaded.root.join(pin_rel),
+        wire_schema::extract(&src),
+    ))
+}
+
+fn run_mode(args: &Args) -> Result<u8, XlintError> {
+    let loaded = load(args)?;
+    match args.mode {
+        Mode::Lint => {
+            let report = xlint::run(&loaded.root, &loaded.cfg, &loaded.baseline)?;
+            print_report(&report, args.format);
+            Ok(u8::from(!report.violations.is_empty()))
+        }
+        Mode::Waivers => {
+            let waivers = xlint::collect_waivers(&loaded.root, &loaded.cfg)?;
+            match args.format {
+                Format::Text => {
+                    for w in &waivers {
+                        println!(
+                            "{}:{}: [{}] {}",
+                            w.file.display(),
+                            w.line,
+                            w.rules,
+                            w.reason
+                        );
+                    }
+                    println!(
+                        "xlint: {} inline waiver{}",
+                        waivers.len(),
+                        if waivers.len() == 1 { "" } else { "s" }
+                    );
+                }
+                Format::Json => {
+                    let items: Vec<String> = waivers
+                        .iter()
+                        .map(|w| {
+                            format!(
+                                "{{\"file\":{},\"line\":{},\"rules\":{},\"reason\":{}}}",
+                                json_str(&w.file.display().to_string()),
+                                w.line,
+                                json_str(&w.rules),
+                                json_str(&w.reason)
+                            )
+                        })
+                        .collect();
+                    println!("{{\"waivers\":[{}]}}", items.join(","));
+                }
+            }
+            Ok(0)
+        }
+        Mode::WriteWirePin => {
+            let (_, pin_abs, ws) = wire_config(&loaded)?;
+            std::fs::write(&pin_abs, wire_schema::render(&ws)).map_err(|err| XlintError::Io {
+                path: pin_abs.clone(),
+                err,
+            })?;
+            println!(
+                "xlint: wrote {} ({} fingerprint line{})",
+                pin_abs.display(),
+                ws.lines.len(),
+                if ws.lines.len() == 1 { "" } else { "s" }
+            );
+            Ok(0)
+        }
+        Mode::CheckWirePin => {
+            let (wire_rel, pin_abs, ws) = wire_config(&loaded)?;
+            let pin_text = match std::fs::read_to_string(&pin_abs) {
+                Ok(t) => t,
+                Err(_) => {
+                    println!(
+                        "{}:{}: [S] wire pin `{}` missing; generate it with --write-wire-pin",
+                        wire_rel.display(),
+                        ws.version_line,
+                        pin_abs.display()
+                    );
+                    return Ok(1);
+                }
+            };
+            match wire_schema::compare(&ws, &wire_schema::parse_pin(&pin_text)) {
+                None => {
+                    println!(
+                        "xlint: wire pin matches ({} fingerprint line{})",
+                        ws.lines.len(),
+                        if ws.lines.len() == 1 { "" } else { "s" }
+                    );
+                    Ok(0)
+                }
+                Some((rule, line, message)) => {
+                    println!(
+                        "{}:{}: [{}] {}",
+                        wire_rel.display(),
+                        line,
+                        rule.letter(),
+                        message
+                    );
+                    Ok(1)
+                }
             }
         }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xlint: internal error: config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_mode(&args) {
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("xlint: internal error: {e}");
             ExitCode::from(2)

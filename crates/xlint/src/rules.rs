@@ -23,6 +23,20 @@ pub enum Rule {
     /// K — kernel floor discipline: predictor functions must carry the
     /// `// xlint: floors-applied` marker.
     KernelFloors,
+    /// L — lock discipline: no cyclic lock-acquisition orders, no guards
+    /// held across blocking I/O on service paths, and no lock-guarded
+    /// state probed outside the guard in functions that take the lock
+    /// (the re-check-after-release/TOCTOU shape). Cross-file.
+    LockDiscipline,
+    /// S — wire-schema pin: the wire module's layout fingerprint
+    /// (opcodes, frame body field sequences, error codes, `VERSION`)
+    /// must match the committed `xlint.wire` pin, and every opcode must
+    /// have paired encode/decode arms.
+    WireSchema,
+    /// A — atomics discipline: each atomic field keeps one `Ordering`
+    /// class across every site, and load-then-store sequences on the
+    /// same atomic must be `fetch_*` RMWs. Cross-file.
+    Atomics,
     /// W — malformed `// xlint:` directives (reason-less waivers, unknown
     /// directives). Not waivable.
     WaiverSyntax,
@@ -36,6 +50,9 @@ impl Rule {
             Rule::PanicFreedom => 'P',
             Rule::FloatDiscipline => 'F',
             Rule::KernelFloors => 'K',
+            Rule::LockDiscipline => 'L',
+            Rule::WireSchema => 'S',
+            Rule::Atomics => 'A',
             Rule::WaiverSyntax => 'W',
         }
     }
@@ -48,6 +65,9 @@ impl Rule {
             "P" => Some(Rule::PanicFreedom),
             "F" => Some(Rule::FloatDiscipline),
             "K" => Some(Rule::KernelFloors),
+            "L" => Some(Rule::LockDiscipline),
+            "S" => Some(Rule::WireSchema),
+            "A" => Some(Rule::Atomics),
             _ => None,
         }
     }
@@ -58,6 +78,9 @@ impl Rule {
 pub struct Waiver {
     pub rules: Vec<Rule>,
     pub line: u32,
+    /// The mandatory `-- <why this is sound>` text (the `--waivers` audit
+    /// surfaces it).
+    pub reason: String,
 }
 
 /// A finding before file attribution: (rule, line, message).
@@ -66,9 +89,9 @@ pub type Finding = (Rule, u32, String);
 /// One file's tokens, prepared for rule passes.
 pub struct FileAnalysis {
     /// Code tokens only (attributes and lint comments filtered out).
-    code: Vec<Tok>,
+    pub(crate) code: Vec<Tok>,
     /// Parallel to `code`: true for tokens inside test-only items.
-    test: Vec<bool>,
+    pub(crate) test: Vec<bool>,
     /// Parsed inline waivers.
     pub waivers: Vec<Waiver>,
     /// Lines carrying a `// xlint: floors-applied` marker.
@@ -318,7 +341,7 @@ impl FileAnalysis {
     /// indices. Returns `None` for bodiless declarations (`;` before `{`).
     /// Paren/bracket depth is tracked so `[f64; N]` array types in the
     /// signature don't read as the end of a declaration.
-    fn body_span(&self, from: usize) -> Option<(usize, usize)> {
+    pub(crate) fn body_span(&self, from: usize) -> Option<(usize, usize)> {
         let mut i = from;
         let mut nest = 0usize;
         let open = loop {
@@ -394,7 +417,7 @@ fn parse_directive(
                         Rule::WaiverSyntax,
                         line,
                         format!(
-                            "unknown rule `{}` in waiver (expected D, P, F, or K)",
+                            "unknown rule `{}` in waiver (expected D, P, F, K, L, S, or A)",
                             part.trim()
                         ),
                     ));
@@ -411,7 +434,11 @@ fn parse_directive(
             ));
             return;
         }
-        waivers.push(Waiver { rules, line });
+        waivers.push(Waiver {
+            rules,
+            line,
+            reason: reason.to_string(),
+        });
         return;
     }
     errors.push((

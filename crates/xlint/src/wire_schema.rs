@@ -1,0 +1,525 @@
+//! Rule S — wire-schema pin.
+//!
+//! Extracts a layout fingerprint from the wire module's token stream:
+//! the `VERSION` constant, every pub enum whose variants all carry
+//! explicit discriminants (opcode tables), the error-code mapping from
+//! functions named `code`, pub struct field sequences, and pub enum
+//! variant shapes (frame bodies). The fingerprint is rendered as sorted
+//! text lines and pinned to a committed `xlint.wire` file: any change to
+//! the on-wire layout shows up as a pin mismatch, and the finding's
+//! message distinguishes "you forgot to bump VERSION" from "VERSION
+//! bumped — regenerate the pin".
+//!
+//! Enums whose name ends in `Error` are excluded from the fingerprint:
+//! they are decode-failure taxonomy, not wire layout.
+//!
+//! Additionally, every opcode variant must have paired encode/decode
+//! arms: it must appear in a `from_u8` body (decode side) and in at
+//! least one other function body (encode side).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{FileAnalysis, Finding, Rule, Waiver};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The extracted fingerprint plus per-file context needed by the caller.
+pub struct WireSchema {
+    /// Sorted canonical fingerprint lines; `version N` is always first.
+    pub lines: Vec<String>,
+    /// Line of the `VERSION` constant (fingerprint findings anchor here).
+    pub version_line: u32,
+    /// Unpaired encode/decode arm findings.
+    pub pairing: Vec<Finding>,
+    /// Inline waivers from the wire file (S findings honor them).
+    pub waivers: Vec<Waiver>,
+}
+
+/// Extract the fingerprint from wire-module source text.
+pub fn extract(src: &str) -> WireSchema {
+    let a = FileAnalysis::new(lex(src));
+    let mut version: Option<(String, u32)> = None;
+    let mut layout: Vec<String> = Vec::new();
+    let mut opcode_variants: Vec<(String, u32)> = Vec::new();
+    let mut fn_bodies: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut pairing: Vec<Finding> = Vec::new();
+
+    let code = &a.code;
+    let is_test = |i: usize| a.test.get(i).copied().unwrap_or(false);
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident || is_test(i) {
+            continue;
+        }
+        match t.text.as_str() {
+            "const"
+                if code
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && n.text == "VERSION")
+                    && version.is_none() =>
+            {
+                // `const VERSION: u16 = N;`
+                let mut j = i + 2;
+                while j < code.len() && !(code[j].kind == TokKind::Punct && code[j].text == "=") {
+                    j += 1;
+                }
+                if let Some(v) = code.get(j + 1).filter(|v| v.kind == TokKind::IntLit) {
+                    version = Some((format_int(&v.text), t.line));
+                }
+            }
+            "enum" if is_pub(code, i) => {
+                let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    continue;
+                };
+                let Some((open, close)) = a.body_span(i + 2) else {
+                    continue;
+                };
+                let variants = parse_variants(code, open, close);
+                if !variants.is_empty() && variants.iter().all(|v| v.disc.is_some()) {
+                    // An opcode table: every variant explicitly numbered.
+                    for v in &variants {
+                        layout.push(format!(
+                            "opcode {}::{} = {}",
+                            name.text,
+                            v.name,
+                            v.disc.clone().unwrap_or_default()
+                        ));
+                        opcode_variants.push((v.name.clone(), v.line));
+                    }
+                } else if !name.text.ends_with("Error") {
+                    let shapes: Vec<String> = variants
+                        .iter()
+                        .map(|v| format!("{}{}", v.name, v.shape))
+                        .collect();
+                    layout.push(format!("enum {} {{ {} }}", name.text, shapes.join(", ")));
+                }
+            }
+            "struct" if is_pub(code, i) => {
+                let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    continue;
+                };
+                match a.body_span(i + 2) {
+                    Some((open, close)) => {
+                        let fields = parse_fields(code, open, close);
+                        layout.push(format!("struct {} {{ {} }}", name.text, fields.join(", ")));
+                    }
+                    None => layout.push(format!("struct {} (unit-or-tuple)", name.text)),
+                }
+            }
+            "fn" => {
+                let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    continue;
+                };
+                let Some((open, close)) = a.body_span(i + 2) else {
+                    continue;
+                };
+                let idents: BTreeSet<String> = code[open..=close]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .collect();
+                fn_bodies
+                    .entry(name.text.clone())
+                    .or_default()
+                    .extend(idents);
+                if name.text == "code" {
+                    for (variant, value) in parse_error_codes(code, open, close) {
+                        layout.push(format!("errorcode {variant} = {value}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Paired-arm check: each opcode variant decodes in `from_u8` and
+    // encodes somewhere outside it.
+    let empty = BTreeSet::new();
+    let from_u8 = fn_bodies.get("from_u8").unwrap_or(&empty);
+    for (variant, line) in &opcode_variants {
+        if !from_u8.contains(variant) {
+            pairing.push((
+                Rule::WireSchema,
+                *line,
+                format!("opcode `{variant}` has no `from_u8` decode arm"),
+            ));
+        }
+        let encoded = fn_bodies
+            .iter()
+            .any(|(name, idents)| name != "from_u8" && idents.contains(variant));
+        if !encoded {
+            pairing.push((
+                Rule::WireSchema,
+                *line,
+                format!("opcode `{variant}` never appears outside `from_u8`; missing encode arm"),
+            ));
+        }
+    }
+
+    let (version_value, version_line) = version.unwrap_or_else(|| ("MISSING".to_string(), 1));
+    layout.sort();
+    layout.dedup();
+    let mut lines = vec![format!("version {version_value}")];
+    lines.extend(layout);
+    WireSchema {
+        lines,
+        version_line,
+        pairing,
+        waivers: a.waivers,
+    }
+}
+
+/// Render the fingerprint as pin-file text.
+pub fn render(ws: &WireSchema) -> String {
+    let mut out = String::from(
+        "# xlint wire-schema pin — the committed layout fingerprint of the wire module.\n\
+         # Regenerate after an intentional layout change (with a VERSION bump):\n\
+         #   cargo run -p xlint -- --write-wire-pin\n",
+    );
+    for l in &ws.lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse pin-file text back into fingerprint lines.
+pub fn parse_pin(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Compare the current fingerprint against the pin. `None` means they
+/// match; otherwise one S finding anchored at the VERSION line.
+pub fn compare(ws: &WireSchema, pin: &[String]) -> Option<Finding> {
+    if ws.lines == pin {
+        return None;
+    }
+    let version_of = |lines: &[String]| {
+        lines
+            .iter()
+            .find(|l| l.starts_with("version "))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let version_bumped = version_of(&ws.lines) != version_of(pin);
+    let added: Vec<&String> = ws.lines.iter().filter(|l| !pin.contains(l)).collect();
+    let removed: Vec<&String> = pin.iter().filter(|l| !ws.lines.contains(l)).collect();
+    let mut detail = String::new();
+    for l in added.iter().take(3) {
+        detail.push_str(&format!(" +`{l}`"));
+    }
+    for l in removed.iter().take(3) {
+        detail.push_str(&format!(" -`{l}`"));
+    }
+    let message = if version_bumped {
+        format!(
+            "wire fingerprint differs from the committed pin (VERSION changed;{detail}); \
+             regenerate the pin: cargo run -p xlint -- --write-wire-pin"
+        )
+    } else {
+        format!(
+            "wire layout changed without a VERSION bump ({} line(s) changed:{detail}); \
+             bump VERSION and regenerate the pin with --write-wire-pin",
+            added.len() + removed.len()
+        )
+    };
+    Some((Rule::WireSchema, ws.version_line, message))
+}
+
+/// True if the item keyword at `i` is `pub` (including `pub(crate)`).
+fn is_pub(code: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    // Walk back over a possible `(crate)` / `(super)` qualifier.
+    for _ in 0..5 {
+        let Some(p) = j.checked_sub(1) else {
+            return false;
+        };
+        j = p;
+        let t = &code[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "pub") => return true,
+            (TokKind::Punct, "(") | (TokKind::Punct, ")") => continue,
+            (TokKind::Ident, "crate") | (TokKind::Ident, "super") => continue,
+            _ => return false,
+        }
+    }
+    false
+}
+
+struct Variant {
+    name: String,
+    line: u32,
+    disc: Option<String>,
+    /// `{a,b}` for struct variants, `(n)` for tuple variants, `` for unit.
+    shape: String,
+}
+
+/// Parse enum variants between the body braces at `open`..`close`.
+fn parse_variants(code: &[Tok], open: usize, close: usize) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        let t = &code[j];
+        if t.kind == TokKind::Ident {
+            let prev = &code[j - 1];
+            let at_variant = prev.kind == TokKind::Punct && (prev.text == "{" || prev.text == ",");
+            if at_variant {
+                let mut v = Variant {
+                    name: t.text.clone(),
+                    line: t.line,
+                    disc: None,
+                    shape: String::new(),
+                };
+                match code.get(j + 1) {
+                    Some(n) if n.kind == TokKind::Punct && n.text == "=" => {
+                        if let Some(d) = code.get(j + 2).filter(|d| d.kind == TokKind::IntLit) {
+                            v.disc = Some(format_int(&d.text));
+                        }
+                        j += 3;
+                    }
+                    Some(n) if n.kind == TokKind::Punct && n.text == "{" => {
+                        let end = matching(code, j + 1, "{", "}", close);
+                        let fields = parse_fields(code, j + 1, end);
+                        v.shape = format!("{{{}}}", fields.join(","));
+                        j = end + 1;
+                    }
+                    Some(n) if n.kind == TokKind::Punct && n.text == "(" => {
+                        let end = matching(code, j + 1, "(", ")", close);
+                        let mut arity = 1usize;
+                        let mut depth = 0usize;
+                        for t in &code[j + 1..end] {
+                            if t.kind == TokKind::Punct {
+                                match t.text.as_str() {
+                                    "(" | "[" | "<" => depth += 1,
+                                    ")" | "]" | ">" => depth = depth.saturating_sub(1),
+                                    "," if depth == 1 => arity += 1,
+                                    _ => {}
+                                }
+                            }
+                        }
+                        if end == j + 2 {
+                            arity = 0;
+                        }
+                        v.shape = format!("({arity})");
+                        j = end + 1;
+                    }
+                    _ => j += 1,
+                }
+                out.push(v);
+                // Skip to the comma that ends this variant.
+                while j < close && !(code[j].kind == TokKind::Punct && code[j].text == ",") {
+                    j += 1;
+                }
+                continue;
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Parse named fields (idents followed by a single `:`) at brace depth 1.
+fn parse_fields(code: &[Tok], open: usize, close: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < close {
+        let t = &code[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && depth == 1 && t.text != "pub" {
+            let colon = code
+                .get(j + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == ":");
+            let double = code
+                .get(j + 2)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == ":");
+            let prev_ok = matches!(
+                (&code[j - 1].kind, code[j - 1].text.as_str()),
+                (TokKind::Punct, "{") | (TokKind::Punct, ",") | (TokKind::Punct, ")")
+            ) || code[j - 1].text == "pub";
+            if colon && !double && prev_ok {
+                out.push(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Find the token index of the close matching the open bracket at `at`.
+fn matching(code: &[Tok], at: usize, open: &str, close_c: &str, limit: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().take(limit + 1).skip(at) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close_c {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    limit
+}
+
+/// Error-code arms inside a `fn code` body: `Path::Variant .. => N`.
+fn parse_error_codes(code: &[Tok], open: usize, close: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut last_qualified: Option<String> = None;
+    let mut j = open;
+    while j < close {
+        let t = &code[j];
+        if t.kind == TokKind::Ident
+            && j >= 2
+            && code[j - 1].kind == TokKind::Punct
+            && code[j - 1].text == ":"
+            && code[j - 2].kind == TokKind::Punct
+            && code[j - 2].text == ":"
+        {
+            last_qualified = Some(t.text.clone());
+        }
+        if t.kind == TokKind::Punct
+            && t.text == "="
+            && code
+                .get(j + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == ">")
+        {
+            if let Some(v) = code.get(j + 2).filter(|v| v.kind == TokKind::IntLit) {
+                if let Some(q) = last_qualified.take() {
+                    out.push((q, format_int(&v.text)));
+                }
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Normalize an integer literal (hex/octal/binary/underscores) to decimal.
+fn format_int(text: &str) -> String {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let parsed = if let Some(h) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        u64::from_str_radix(h, 16).ok()
+    } else if let Some(o) = clean.strip_prefix("0o") {
+        u64::from_str_radix(o, 8).ok()
+    } else if let Some(b) = clean.strip_prefix("0b") {
+        u64::from_str_radix(b, 2).ok()
+    } else {
+        clean.parse().ok()
+    };
+    parsed.map_or_else(|| clean.clone(), |n| n.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+pub const VERSION: u16 = 1;
+
+pub enum Op { Put = 0x01, Get = 0x02 }
+
+impl Op {
+    pub fn from_u8(v: u8) -> Option<Op> {
+        match v { 1 => Some(Op::Put), 2 => Some(Op::Get), _ => None }
+    }
+}
+
+pub struct Snap { pub puts: u64, pub gets: u64 }
+
+pub enum Req { Put { key: String, value: Vec<u8> }, Get { key: String } }
+
+impl Req {
+    pub fn opcode(&self) -> Op {
+        match self { Req::Put { .. } => Op::Put, Req::Get { .. } => Op::Get }
+    }
+}
+
+pub enum WireError { Short }
+
+pub enum Frame { Ack, Data(Vec<u8>) }
+
+pub enum Code2 { Bad }
+impl Code2 { pub fn code(&self) -> u8 { match self { Code2::Bad => 2 } } }
+"#;
+
+    #[test]
+    fn fingerprint_extracts_all_sections() {
+        let ws = extract(MINI);
+        assert_eq!(ws.lines[0], "version 1");
+        assert!(ws.lines.contains(&"opcode Op::Put = 1".to_string()));
+        assert!(ws.lines.contains(&"opcode Op::Get = 2".to_string()));
+        assert!(ws.lines.contains(&"struct Snap { puts, gets }".to_string()));
+        assert!(ws
+            .lines
+            .contains(&"enum Req { Put{key,value}, Get{key} }".to_string()));
+        assert!(ws
+            .lines
+            .contains(&"enum Frame { Ack, Data(1) }".to_string()));
+        assert!(ws.lines.contains(&"errorcode Bad = 2".to_string()));
+        // WireError excluded: decode taxonomy, not layout.
+        assert!(!ws.lines.iter().any(|l| l.contains("WireError")));
+        assert!(ws.pairing.is_empty(), "{:?}", ws.pairing);
+    }
+
+    #[test]
+    fn roundtrip_through_pin_text() {
+        let ws = extract(MINI);
+        let pin = parse_pin(&render(&ws));
+        assert!(compare(&ws, &pin).is_none());
+    }
+
+    #[test]
+    fn field_change_without_version_bump_is_flagged() {
+        let ws = extract(MINI);
+        let pin = parse_pin(&render(&ws));
+        let mutated = extract(&MINI.replace("pub gets: u64", "pub getz: u64"));
+        let f = compare(&mutated, &pin).expect("mismatch");
+        assert!(f.2.contains("without a VERSION bump"), "{}", f.2);
+    }
+
+    #[test]
+    fn version_bump_asks_for_pin_regen() {
+        let ws = extract(MINI);
+        let pin = parse_pin(&render(&ws));
+        let mutated = extract(
+            &MINI
+                .replace("VERSION: u16 = 1", "VERSION: u16 = 2")
+                .replace("pub gets: u64", "pub getz: u64"),
+        );
+        let f = compare(&mutated, &pin).expect("mismatch");
+        assert!(f.2.contains("regenerate"), "{}", f.2);
+    }
+
+    #[test]
+    fn error_code_change_is_flagged() {
+        let ws = extract(MINI);
+        let pin = parse_pin(&render(&ws));
+        let mutated = extract(&MINI.replace("Code2::Bad => 2", "Code2::Bad => 3"));
+        let f = compare(&mutated, &pin).expect("mismatch");
+        assert!(f.2.contains("without a VERSION bump"), "{}", f.2);
+    }
+
+    #[test]
+    fn unpaired_opcode_is_flagged() {
+        let src = MINI.replace("2 => Some(Op::Get), ", "");
+        let ws = extract(&src);
+        assert!(
+            ws.pairing.iter().any(|p| p.2.contains("from_u8")),
+            "{:?}",
+            ws.pairing
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Rule A fixture: one field mixes Ordering classes across sites, and an
+//! unlocked load-then-store sequence should be a `fetch_add`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct C {
+    hits: AtomicU64,
+    total: AtomicU64,
+}
+
+impl C {
+    fn bump(&self) {
+        let v = self.hits.load(Ordering::Relaxed);
+        self.hits.store(v + 1, Ordering::Relaxed);
+    }
+
+    fn read1(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    fn read2(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    fn write3(&self) {
+        self.total.store(1, Ordering::SeqCst);
+    }
+}

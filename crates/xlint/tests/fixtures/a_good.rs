@@ -1,0 +1,23 @@
+//! Rule A fixture, clean variant: one Ordering class per field and an
+//! RMW where the increment must be atomic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct C {
+    hits: AtomicU64,
+    total: AtomicU64,
+}
+
+impl C {
+    fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> u64 {
+        self.total.load(Ordering::Acquire)
+    }
+
+    fn write(&self) {
+        self.total.store(1, Ordering::Release);
+    }
+}

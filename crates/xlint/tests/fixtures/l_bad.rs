@@ -1,0 +1,40 @@
+//! Rule L fixture: an a/b vs b/a acquisition-order cycle, a guard held
+//! across file I/O, and a guarded probe called outside its guard.
+
+use parking_lot::{Mutex, RwLock};
+use std::io::Write;
+
+pub struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    inner: RwLock<u64>,
+    file: std::fs::File,
+}
+
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let _ = (*ga, *gb);
+    }
+
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        let _ = (*ga, *gb);
+    }
+
+    fn held_io(&mut self) {
+        let g = self.a.lock();
+        let _ = self.file.write_all(&[*g as u8]);
+    }
+
+    fn probe_late(&self) -> bool {
+        let resident = self.inner.read().count_ones();
+        resident == 0 && self.has_spilled(7)
+    }
+
+    fn has_spilled(&self, _k: u64) -> bool {
+        false
+    }
+}

@@ -1,0 +1,43 @@
+//! Rule L fixture, clean variant: one consistent acquisition order, the
+//! guard dropped before I/O, and the probe called under a live guard.
+
+use parking_lot::{Mutex, RwLock};
+use std::io::Write;
+
+pub struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    inner: RwLock<u64>,
+    file: std::fs::File,
+}
+
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let _ = (*ga, *gb);
+    }
+
+    fn ab_again(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let _ = (*ga, *gb);
+    }
+
+    fn io_after(&mut self) {
+        let v = {
+            let g = self.a.lock();
+            *g as u8
+        };
+        let _ = self.file.write_all(&[v]);
+    }
+
+    fn probe_under(&self) -> bool {
+        let s = self.inner.read();
+        *s == 0 && self.has_spilled(7)
+    }
+
+    fn has_spilled(&self, _k: u64) -> bool {
+        false
+    }
+}

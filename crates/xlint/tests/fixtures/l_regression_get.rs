@@ -1,0 +1,33 @@
+//! Rule L regression fixture: the pre-PR 8 `get()` shape. The spilled
+//! probes run before the store lock is taken, so a concurrent demoting
+//! put can spill the key in the gap and this get returns empty for data
+//! that lives on disk. The fixed shape probes under the read guard
+//! (see `StagingServer::get`); reverting it must re-trigger rule L.
+
+use parking_lot::RwLock;
+
+pub struct S {
+    inner: RwLock<u64>,
+}
+
+impl S {
+    fn get(&self, key: u64) -> u64 {
+        if self.spilled_key_count(key) > 0 && self.has_spilled(key) {
+            return self.promote(key);
+        }
+        let s = self.inner.read();
+        *s
+    }
+
+    fn spilled_key_count(&self, _k: u64) -> u64 {
+        0
+    }
+
+    fn has_spilled(&self, _k: u64) -> bool {
+        false
+    }
+
+    fn promote(&self, k: u64) -> u64 {
+        k
+    }
+}

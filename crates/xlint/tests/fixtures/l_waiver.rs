@@ -1,0 +1,23 @@
+//! Rule L fixture: two identical guard-across-I/O holds, one carrying a
+//! reasoned waiver on its acquisition line. Exactly one must survive.
+
+use parking_lot::Mutex;
+use std::io::Write;
+
+pub struct S {
+    a: Mutex<u64>,
+    file: std::fs::File,
+}
+
+impl S {
+    fn waived(&mut self) {
+        // xlint: allow(L) -- this mutex serializes the file itself by design
+        let g = self.a.lock();
+        let _ = self.file.write_all(&[*g as u8]);
+    }
+
+    fn unwaived(&mut self) {
+        let g = self.a.lock();
+        let _ = self.file.write_all(&[*g as u8]);
+    }
+}

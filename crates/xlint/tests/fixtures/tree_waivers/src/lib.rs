@@ -1,0 +1,8 @@
+// xlint: allow(D) -- counts only, never iterated
+use std::collections::HashMap;
+
+pub fn count(m: &HashMap<u64, u64>) -> usize {
+    // xlint: allow(D) -- length query, order-free
+    let n: HashMap<u64, u64> = m.clone();
+    n.len()
+}

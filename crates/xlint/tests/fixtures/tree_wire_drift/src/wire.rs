@@ -1,0 +1,49 @@
+//! A miniature wire module for the pin-check CLI fixtures.
+
+pub const VERSION: u16 = 1;
+
+pub enum Op {
+    Put = 0x01,
+    Get = 0x02,
+}
+
+impl Op {
+    pub fn from_u8(v: u8) -> Option<Op> {
+        match v {
+            1 => Some(Op::Put),
+            2 => Some(Op::Get),
+            _ => None,
+        }
+    }
+}
+
+pub struct Header {
+    pub opcode: u8,
+    pub request_id: u64,
+}
+
+pub enum Frame {
+    Put { key: u64, body: Vec<u8> },
+    Get { key: u64 },
+}
+
+impl Frame {
+    pub fn opcode(&self) -> Op {
+        match self {
+            Frame::Put { .. } => Op::Put,
+            Frame::Get { .. } => Op::Get,
+        }
+    }
+}
+
+pub enum Code {
+    Bad,
+}
+
+impl Code {
+    pub fn code(&self) -> u16 {
+        match self {
+            Code::Bad => 2,
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! config (the acceptance criterion CI enforces).
 
 use std::path::{Path, PathBuf};
-use xlint::{scan_source, Baseline, Config, Report, Rule};
+use xlint::crossfile::CrossReport;
+use xlint::{scan_source, wire_schema, Baseline, Config, CrossFile, Report, Rule};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -33,8 +34,26 @@ fn cfg_for(rule: Rule) -> Config {
         Rule::FloatDiscipline => cfg.float_discipline_paths = scope,
         Rule::KernelFloors => cfg.kernel_floor_modules = scope,
         Rule::WaiverSyntax => cfg.determinism_paths = scope,
+        Rule::LockDiscipline => {
+            cfg.lock_paths = scope;
+            cfg.guarded_by = vec![
+                ("spilled_key_count".to_string(), "inner".to_string()),
+                ("has_spilled".to_string(), "inner".to_string()),
+            ];
+        }
+        Rule::Atomics => cfg.atomics_paths = scope,
+        // Rule S runs over the wire module directly (see the s_* tests);
+        // fixture-tree scans don't need a scope for it.
+        Rule::WireSchema => {}
     }
     cfg
+}
+
+/// Run the cross-file passes (rules L and A) over a single fixture.
+fn cross_scan(name: &str, cfg: &Config) -> CrossReport {
+    let mut cf = CrossFile::new();
+    cf.add_file(&fixture(name), &Path::new("fixtures").join(name), cfg);
+    cf.finish(cfg)
 }
 
 fn scan(name: &str, cfg: &Config) -> Report {
@@ -109,6 +128,118 @@ fn k_good_marker_attests_the_predictor() {
     let r = scan("k_good.rs", &cfg_for(Rule::KernelFloors));
     assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert_eq!(r.markers, 1);
+}
+
+#[test]
+fn l_bad_flags_cycle_held_io_and_late_probe() {
+    let r = cross_scan("l_bad.rs", &cfg_for(Rule::LockDiscipline));
+    assert!(r.violations.iter().all(|v| v.rule == Rule::LockDiscipline));
+    assert!(
+        r.violations.iter().any(|v| v.message.contains("cycle")),
+        "{:?}",
+        r.violations
+    );
+    assert!(r
+        .violations
+        .iter()
+        .any(|v| v.message.contains("blocking I/O")));
+    assert!(r
+        .violations
+        .iter()
+        .any(|v| v.message.contains("has_spilled")));
+}
+
+#[test]
+fn l_good_is_clean() {
+    let r = cross_scan("l_good.rs", &cfg_for(Rule::LockDiscipline));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn l_waiver_suppresses_exactly_one_hold() {
+    let r = cross_scan("l_waiver.rs", &cfg_for(Rule::LockDiscipline));
+    assert_eq!(r.waived.len(), 1, "waived: {:?}", r.waived);
+    assert_eq!(r.violations.len(), 1, "violations: {:?}", r.violations);
+    assert!(r.violations[0].line > r.waived[0].line);
+}
+
+/// Reverting the PR 8 `get()` race fix — probing the tier's spilled state
+/// before taking the store lock — must re-trigger rule L.
+#[test]
+fn l_regression_pre_fix_get_shape_fails() {
+    let r = cross_scan("l_regression_get.rs", &cfg_for(Rule::LockDiscipline));
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| v.message.contains("re-check-after-release")),
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn a_bad_flags_mixed_ordering_and_unfused_rmw() {
+    let r = cross_scan("a_bad.rs", &cfg_for(Rule::Atomics));
+    assert_eq!(r.violations.len(), 2, "{:?}", r.violations);
+    assert!(r.violations.iter().all(|v| v.rule == Rule::Atomics));
+    assert!(r.violations.iter().any(|v| v.message.contains("fetch_")));
+    assert!(r.violations.iter().any(|v| v.message.contains("SeqCst")));
+}
+
+#[test]
+fn a_good_is_clean() {
+    let r = cross_scan("a_good.rs", &cfg_for(Rule::Atomics));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// --- rule S: the real wire module against the committed pin ------------
+
+fn wire_source() -> String {
+    std::fs::read_to_string(workspace_root().join("crates/net/src/wire.rs")).unwrap()
+}
+
+fn committed_pin() -> Vec<String> {
+    wire_schema::parse_pin(&std::fs::read_to_string(workspace_root().join("xlint.wire")).unwrap())
+}
+
+#[test]
+fn s_wire_fingerprint_matches_committed_pin() {
+    let ws = wire_schema::extract(&wire_source());
+    assert_eq!(wire_schema::compare(&ws, &committed_pin()), None);
+}
+
+/// Mutating a `StatsOk` body field without bumping `VERSION` must fail
+/// the scan, and the message must say so — the acceptance criterion.
+#[test]
+fn s_field_mutation_without_version_bump_fails() {
+    let mutated = wire_source().replace("pub tier_disk_hits: u64", "pub tier_hits_disk: u64");
+    let ws = wire_schema::extract(&mutated);
+    let (rule, _, message) = wire_schema::compare(&ws, &committed_pin()).expect("must drift");
+    assert_eq!(rule, Rule::WireSchema);
+    assert!(message.contains("without a VERSION bump"), "{message}");
+}
+
+#[test]
+fn s_error_code_renumber_without_version_bump_fails() {
+    let mutated = wire_source().replace(
+        "ErrorFrame::ShuttingDown => 4,",
+        "ErrorFrame::ShuttingDown => 6,",
+    );
+    let ws = wire_schema::extract(&mutated);
+    let (_, _, message) = wire_schema::compare(&ws, &committed_pin()).expect("must drift");
+    assert!(message.contains("without a VERSION bump"), "{message}");
+}
+
+/// The same layout change *with* a bump still drifts (the pin is stale),
+/// but the message flips to "regenerate the pin".
+#[test]
+fn s_version_bump_asks_for_pin_regeneration() {
+    let mutated = wire_source()
+        .replace("pub tier_disk_hits: u64", "pub tier_hits_disk: u64")
+        .replace("pub const VERSION: u16 = 3;", "pub const VERSION: u16 = 4;");
+    let ws = wire_schema::extract(&mutated);
+    let (_, _, message) = wire_schema::compare(&ws, &committed_pin()).expect("must drift");
+    assert!(message.contains("--write-wire-pin"), "{message}");
 }
 
 #[test]
@@ -214,4 +345,60 @@ fn exit_codes_distinguish_clean_violation_and_internal_error() {
     assert_eq!(run_cli("tree_good").code(), Some(0));
     assert_eq!(run_cli("tree_bad").code(), Some(1));
     assert_eq!(run_cli("tree_badcfg").code(), Some(2));
+}
+
+fn run_cli_args(tree: &str, args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .arg("--root")
+        .arg(fixture_dir().join(tree))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn check_wire_pin_distinguishes_match_and_drift() {
+    let ok = run_cli_args("tree_wire", &["--check-wire-pin"]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    let drift = run_cli_args("tree_wire_drift", &["--check-wire-pin"]);
+    assert_eq!(drift.status.code(), Some(1));
+    let text = String::from_utf8(drift.stdout).unwrap();
+    assert!(text.contains("[S]"), "{text}");
+    assert!(text.contains("src/wire.rs"), "{text}");
+}
+
+/// The `--waivers` audit lists every inline waiver as `file:line: [RULES]
+/// reason` — pinned verbatim so the output stays machine-greppable.
+#[test]
+fn waivers_audit_output_is_pinned() {
+    let out = run_cli_args("tree_waivers", &["--waivers"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        text,
+        "src/lib.rs:1: [D] counts only, never iterated\n\
+         src/lib.rs:5: [D] length query, order-free\n\
+         xlint: 2 inline waivers\n"
+    );
+}
+
+#[test]
+fn json_format_emits_machine_readable_violations() {
+    let out = run_cli_args("tree_bad", &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("{\"violations\":["), "{text}");
+    assert!(text.contains("\"rule\":\"D\""), "{text}");
+    assert!(text.contains("\"file\":"), "{text}");
+    assert!(text.contains("\"line\":"), "{text}");
+    // Exactly one line of output: a single JSON object.
+    assert_eq!(text.lines().count(), 1, "{text}");
+
+    let waivers = run_cli_args("tree_waivers", &["--waivers", "--format", "json"]);
+    let text = String::from_utf8(waivers.stdout).unwrap();
+    assert!(text.starts_with("{\"waivers\":["), "{text}");
+    assert!(
+        text.contains("\"reason\":\"counts only, never iterated\""),
+        "{text}"
+    );
 }

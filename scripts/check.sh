@@ -11,10 +11,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --locked --workspace --all-targets -- -D warnings
 
-echo "==> xlint (workspace invariants: D/P/F/K, see DESIGN.md §6)"
+echo "==> xlint (workspace invariants: D/P/F/K/L/S/A, see DESIGN.md §6)"
 # Prints the waiver and grandfathered counts in its summary line.
 # Exit 1 = violations; exit 2 = linter/config error — both fail the gate.
 cargo run --locked -q -p xlint
+
+echo "==> xlint --check-wire-pin (wire-format drift vs committed xlint.wire)"
+# A layout change in crates/net/src/wire.rs must bump wire::VERSION and
+# regenerate the pin (cargo run -p xlint -- --write-wire-pin) to pass.
+cargo run --locked -q -p xlint -- --check-wire-pin
 
 echo "==> cargo build --release"
 cargo build --locked --release
