@@ -693,6 +693,57 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // xbench: a short loopback saturation sweep — 2 staging shards and 2
+    // in-process load agents on ephemeral ports, offered load doubled
+    // once. The goodput at the knee, the knee's offered load, and the
+    // fleet-wide retry amplification (wire attempts per completed op,
+    // exactly 1.0 when no retry fired) land in the summary so regressions
+    // in the distributed path are caught by the same schema gate as the
+    // kernel numbers.
+    {
+        use xlayer_xbench::ctl::{run_loopback_sweep, SweepOptions};
+        use xlayer_xbench::WorkloadSpec;
+
+        let spec = WorkloadSpec {
+            seed: 7,
+            agents: 2,
+            connections: 2,
+            ops_per_conn: 30,
+            warmup_ops: 5,
+            side_min: 4,
+            side_max: 8,
+            names: 3,
+            spread: 2,
+            ..WorkloadSpec::default()
+        };
+        let opts = SweepOptions {
+            start_rate_bytes_per_sec: 4 << 20,
+            max_steps: 2,
+            improve_frac: 0.05,
+        };
+        let sweep = run_loopback_sweep(2, 2, &spec, &opts).expect("xbench loopback sweep");
+        assert!(
+            !sweep.rows.is_empty() && sweep.saturation_goodput_mibps > 0.0,
+            "xbench sweep measured nothing"
+        );
+        for (name, v, unit) in [
+            (
+                "xbench_saturation_goodput_mibps",
+                sweep.saturation_goodput_mibps,
+                "MiB/s",
+            ),
+            (
+                "xbench_knee_offered_load",
+                sweep.knee_offered_mibps,
+                "MiB/s",
+            ),
+            ("xbench_retry_amplification", sweep.retry_amplification, "x"),
+        ] {
+            println!("{name:<44} {v:>14.3} {unit}");
+            results.borrow_mut().push((name, v));
+        }
+    }
+
     let results = results.into_inner();
     let produced: Vec<&str> = results.iter().map(|(n, _)| *n).collect();
     assert_eq!(

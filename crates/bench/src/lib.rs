@@ -71,6 +71,9 @@ pub const EXPECTED_BENCH_KEYS: &[&str] = &[
     "staging_spill_throughput",
     "staging_promote_throughput",
     "staging_tier_hit_rate",
+    "xbench_saturation_goodput_mibps",
+    "xbench_knee_offered_load",
+    "xbench_retry_amplification",
 ];
 
 /// The derived ratios `bench_summary` writes under `"derived"`.

@@ -140,6 +140,48 @@ fn transient(kind: std::io::ErrorKind) -> bool {
     )
 }
 
+/// Point-in-time copy of a client's retry counters, by cause. Each field
+/// counts one retryable-failure classification inside the
+/// [`RemoteClient`] retry loop — including the failure that exhausts the
+/// budget — so `busy + io + wire` is the number of extra attempts the
+/// client made beyond the first try of each op. Feed it to a
+/// retry-amplification metric as `1 + retries / completed_ops`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Retries triggered by a `Busy` refusal frame from the service.
+    pub retries_busy: u64,
+    /// Retries triggered by a transient transport failure (refused or
+    /// reset connection, timeout, short read, …).
+    pub retries_io: u64,
+    /// Retries triggered by an undecodable or corrupted response frame.
+    pub retries_wire: u64,
+}
+
+impl ClientStats {
+    /// Total retries across all causes.
+    pub fn total(&self) -> u64 {
+        self.retries_busy
+            .saturating_add(self.retries_io)
+            .saturating_add(self.retries_wire)
+    }
+
+    /// Field-wise sum (aggregating per-shard clients into a cluster view).
+    pub fn add(&mut self, other: &ClientStats) {
+        self.retries_busy = self.retries_busy.saturating_add(other.retries_busy);
+        self.retries_io = self.retries_io.saturating_add(other.retries_io);
+        self.retries_wire = self.retries_wire.saturating_add(other.retries_wire);
+    }
+}
+
+/// Atomic backing store for [`ClientStats`]. Pure event counters: Relaxed
+/// everywhere, nothing is ordered against them.
+#[derive(Default)]
+struct RetryCounters {
+    busy: AtomicU64,
+    io: AtomicU64,
+    wire: AtomicU64,
+}
+
 struct ClientInner {
     addr: SocketAddr,
     cfg: ClientConfig,
@@ -148,6 +190,7 @@ struct ClientInner {
     next_id: AtomicU64,
     put_ns: LatencyHistogram,
     get_ns: LatencyHistogram,
+    retries: RetryCounters,
 }
 
 /// Nanoseconds since `t0`, saturating.
@@ -181,6 +224,7 @@ impl RemoteClient {
                 next_id: AtomicU64::new(1),
                 put_ns: LatencyHistogram::new(),
                 get_ns: LatencyHistogram::new(),
+                retries: RetryCounters::default(),
             }),
         })
     }
@@ -283,6 +327,7 @@ impl RemoteClient {
             let mut stream = match self.checkout() {
                 Ok(s) => s,
                 Err(e) if transient(e.kind()) => {
+                    self.inner.retries.io.fetch_add(1, Ordering::Relaxed);
                     last_err = Some(RemoteError::Io(e));
                     continue;
                 }
@@ -304,6 +349,7 @@ impl RemoteClient {
                 }
                 Ok(Response::Error(busy @ ErrorFrame::Busy { .. })) => {
                     // Transient service-side condition; retry with backoff.
+                    self.inner.retries.busy.fetch_add(1, Ordering::Relaxed);
                     last_err = Some(RemoteError::Refused(busy));
                 }
                 Ok(Response::Error(e)) => return Err(RemoteError::Refused(e)),
@@ -314,10 +360,12 @@ impl RemoteClient {
                 Err(RemoteError::Io(e)) if transient(e.kind()) => {
                     // Stale pooled connection or flaky link: fresh socket
                     // next attempt.
+                    self.inner.retries.io.fetch_add(1, Ordering::Relaxed);
                     last_err = Some(RemoteError::Io(e));
                 }
                 Err(RemoteError::Wire(e)) => {
                     // A corrupted or short frame may be connection-local.
+                    self.inner.retries.wire.fetch_add(1, Ordering::Relaxed);
                     last_err = Some(RemoteError::Wire(e));
                 }
                 Err(e) => return Err(e),
@@ -631,6 +679,16 @@ impl RemoteClient {
     /// The get-latency histogram itself (for cluster-wide aggregation).
     pub(crate) fn get_hist(&self) -> &LatencyHistogram {
         &self.inner.get_ns
+    }
+
+    /// Point-in-time copy of the retry counters, by cause (shared by all
+    /// clones of this client).
+    pub fn client_stats(&self) -> ClientStats {
+        ClientStats {
+            retries_busy: self.inner.retries.busy.load(Ordering::Relaxed),
+            retries_io: self.inner.retries.io.load(Ordering::Relaxed),
+            retries_wire: self.inner.retries.wire.load(Ordering::Relaxed),
+        }
     }
 
     /// Fetch the service's operation counters and occupancy.

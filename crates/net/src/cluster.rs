@@ -399,6 +399,16 @@ impl ShardedClient {
         all.snapshot()
     }
 
+    /// Cluster-wide retry counters: every shard client's [`ClientStats`]
+    /// summed field-wise.
+    pub fn client_stats_total(&self) -> crate::client::ClientStats {
+        let mut total = crate::client::ClientStats::default();
+        for c in &self.inner.shards {
+            total.add(&c.client_stats());
+        }
+        total
+    }
+
     /// Ask every shard to shut down. Visits all shards; reports the first
     /// failure (lowest shard id).
     pub fn shutdown_all(&self) -> Result<(), ShardedError> {

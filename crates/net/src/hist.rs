@@ -137,6 +137,154 @@ impl LatencyHistogram {
         self.max
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
+
+    /// An owned copy of the current bucket contents, suitable for
+    /// shipping across a control wire and merging offline. Racing
+    /// writers may leave the copied `count` slightly ahead of the bucket
+    /// sum; the owned copy recomputes its count from the buckets so it
+    /// is internally consistent.
+    pub fn to_hist(&self) -> Hist {
+        let mut h = Hist::new();
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                h.add_bucket(idx as u16, n);
+            }
+        }
+        h.raise_max(self.max_ns());
+        h
+    }
+}
+
+/// An owned, mergeable latency histogram with the same bucket layout as
+/// [`LatencyHistogram`], but plain `u64` counters instead of atomics.
+///
+/// This is the transport/aggregation form: a load-generation agent
+/// serialises its per-op histograms as sparse `(bucket, count)` pairs, a
+/// controller rebuilds them with [`Hist::add_bucket`] and folds many
+/// agents together with [`Hist::merge`]. Quantile semantics are
+/// identical to the atomic histogram (bucket floors, never overstated).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; NBUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Hist")
+            .field("count", &s.count)
+            .field("p50_ns", &s.p50_ns)
+            .field("p99_ns", &s.p99_ns)
+            .field("max_ns", &s.max_ns)
+            .finish()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist {
+            buckets: [0; NBUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one nanosecond sample.
+    pub fn record(&mut self, ns: u64) {
+        if let Some(b) = self.buckets.get_mut(bucket_of(ns)) {
+            *b = b.saturating_add(1);
+        }
+        self.count = self.count.saturating_add(1);
+        self.max = self.max.max(ns);
+    }
+
+    /// Fold `other` into `self`: bucket-wise saturating add, counts
+    /// summed, max reconciled to the larger of the two.
+    pub fn merge(&mut self, other: &Hist) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (exact, not bucketed). 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the lower bound of the covering
+    /// bucket; 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(*n);
+            if cum >= target {
+                return bucket_floor(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Percentile summary, same shape as the atomic histogram's.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count,
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max,
+        }
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, ascending by index —
+    /// the sparse wire form (most histograms occupy a handful of the 252
+    /// buckets).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u16, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(idx, n)| (idx as u16, *n))
+    }
+
+    /// Add `count` samples directly into bucket `idx` (wire decode path).
+    /// Returns `false` — and records nothing — if `idx` is out of range.
+    pub fn add_bucket(&mut self, idx: u16, count: u64) -> bool {
+        match self.buckets.get_mut(idx as usize) {
+            Some(b) => {
+                *b = b.saturating_add(count);
+                self.count = self.count.saturating_add(count);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Raise the recorded maximum to at least `ns` (wire decode path —
+    /// the exact max travels beside the sparse buckets).
+    pub fn raise_max(&mut self, ns: u64) {
+        self.max = self.max.max(ns);
+    }
 }
 
 /// Point-in-time percentile summary of a [`LatencyHistogram`].
@@ -214,5 +362,75 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn hist_merge_equals_combined_samples() {
+        // Recording the union of two sample sets into one Hist must give
+        // the same quantiles as recording each half and merging.
+        let samples_a = [100u64, 2_000, 40_000, 40_001, 1 << 30];
+        let samples_b = [7u64, 900, 40_002, 5_000_000];
+        let mut merged = Hist::new();
+        let mut left = Hist::new();
+        let mut right = Hist::new();
+        for ns in samples_a {
+            merged.record(ns);
+            left.record(ns);
+        }
+        for ns in samples_b {
+            merged.record(ns);
+            right.record(ns);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), merged.count());
+        assert_eq!(left.max_ns(), merged.max_ns());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(left.quantile_ns(q), merged.quantile_ns(q), "q={q}");
+        }
+        assert_eq!(left.snapshot(), merged.snapshot());
+    }
+
+    #[test]
+    fn hist_merge_reconciles_count_and_max() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.record(500);
+        a.record(600);
+        b.record(9_999_999);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 9_999_999);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Hist::new());
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 9_999_999);
+    }
+
+    #[test]
+    fn hist_sparse_pairs_roundtrip() {
+        let mut h = Hist::new();
+        for ns in [3u64, 3, 77, 1_000_000, u64::MAX] {
+            h.record(ns);
+        }
+        let mut rebuilt = Hist::new();
+        for (idx, n) in h.nonzero_buckets() {
+            assert!(rebuilt.add_bucket(idx, n));
+        }
+        rebuilt.raise_max(h.max_ns());
+        assert_eq!(rebuilt.snapshot(), h.snapshot());
+        // Out-of-range bucket indices are rejected without effect.
+        let before = rebuilt.count();
+        assert!(!rebuilt.add_bucket(NBUCKETS as u16, 5));
+        assert_eq!(rebuilt.count(), before);
+    }
+
+    #[test]
+    fn to_hist_matches_atomic_snapshot() {
+        let h = LatencyHistogram::new();
+        for ns in [12u64, 90, 5_000, 123_456_789] {
+            h.record(ns);
+        }
+        let owned = h.to_hist();
+        assert_eq!(owned.snapshot(), h.snapshot());
     }
 }

@@ -25,7 +25,9 @@
 //!   with a deterministic merge order, so aggregate staging capacity
 //!   scales in servers (paper Eq. 9–10) with per-shard accounting.
 //! - [`hist`] — [`hist::LatencyHistogram`], fixed-bucket lock-free
-//!   latency percentiles (p50/p95/p99/max) recorded on every client op.
+//!   latency percentiles (p50/p95/p99/max) recorded on every client op,
+//!   and [`hist::Hist`], its owned mergeable form that load-generation
+//!   agents ship to a controller for cross-agent aggregation.
 //! - [`pool`] — [`BufferPool`], a bounded size-classed buffer recycler
 //!   shared by service workers and clients so steady-state put/get traffic
 //!   allocates nothing per op (hit/miss counters travel in `Stats`). The
@@ -56,9 +58,9 @@ pub use xlayer_staging::pool;
 pub mod service;
 pub mod wire;
 
-pub use client::{ClientConfig, RemoteClient, RemoteError, RemoteStager};
+pub use client::{ClientConfig, ClientStats, RemoteClient, RemoteError, RemoteStager};
 pub use cluster::{ShardedClient, ShardedError, ShardedStager, StagingCluster};
-pub use hist::{LatencyHistogram, LatencySnapshot};
+pub use hist::{Hist, LatencyHistogram, LatencySnapshot};
 pub use pool::{BufferPool, PooledBuf};
 pub use service::{ServiceConfig, ServiceStats, StagingService};
 pub use wire::{ErrorFrame, Opcode, Request, Response, ServiceSnapshot, WireError};

@@ -115,6 +115,11 @@ pub struct ServiceStats {
     pub chunksum_hits: AtomicU64,
     /// Chunked-get streams that had to recompute per-chunk sums.
     pub chunksum_misses: AtomicU64,
+    /// `Busy` error frames actually written to refused peers. Differs from
+    /// `conns_refused` (which counts refusal decisions) when the refusal
+    /// frame itself fails to send — this one is what load generators can
+    /// reconcile against client-side Busy retries.
+    pub busy_frames: AtomicU64,
 }
 
 impl ServiceStats {
@@ -148,6 +153,7 @@ impl ServiceStats {
             tier_disk_headroom: tier.disk_budget.saturating_sub(tier.disk_used),
             chunksum_hits: self.chunksum_hits.load(Ordering::Relaxed),
             chunksum_misses: self.chunksum_misses.load(Ordering::Relaxed),
+            busy_frames: self.busy_frames.load(Ordering::Relaxed),
         }
     }
 }
@@ -424,7 +430,10 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
 /// Best-effort typed refusal on a connection we will not serve.
 fn refuse(inner: &Inner, mut stream: TcpStream, err: ErrorFrame) {
     let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
-    let _ = stream.write_all(&Response::Error(err).encode(0));
+    let is_busy = matches!(err, ErrorFrame::Busy { .. });
+    if stream.write_all(&Response::Error(err).encode(0)).is_ok() && is_busy {
+        inner.stats.busy_frames.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Outcome of one attempt to pull a frame off a worker's socket.

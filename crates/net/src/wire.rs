@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic            b"XLNT"
-//!      4     2  protocol version u16 LE (currently 2)
+//!      4     2  protocol version u16 LE (currently 4)
 //!      6     1  opcode           (see [`Opcode`])
 //!      7     1  flags            reserved, must be 0
 //!      8     8  request id       u64 LE, echoed by the response
@@ -35,11 +35,12 @@ pub const MAGIC: [u8; 4] = *b"XLNT";
 /// MUST bump this — version 2 widened the `StatsOk` body with the tier
 /// and cache counters and added error code 5 (`NeedsReduction`); version
 /// 3 appended the disk-budget pair (`tier_disk_budget`,
-/// `tier_disk_headroom`) to `StatsOk`; an older peer would misparse the
-/// body. The layout fingerprint is additionally pinned in `xlint.wire`
-/// (rule S): regenerate it with `xlint --write-wire-pin` alongside any
-/// bump.
-pub const VERSION: u16 = 3;
+/// `tier_disk_headroom`) to `StatsOk`; version 4 appended `busy_frames`
+/// (Busy refusals actually written) to `StatsOk` for load-generation
+/// accounting; an older peer would misparse the body. The layout
+/// fingerprint is additionally pinned in `xlint.wire` (rule S):
+/// regenerate it with `xlint --write-wire-pin` alongside any bump.
+pub const VERSION: u16 = 4;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 24;
@@ -900,6 +901,10 @@ pub struct ServiceSnapshot {
     pub chunksum_hits: u64,
     /// Chunked-get streams that had to recompute per-chunk sums.
     pub chunksum_misses: u64,
+    /// `Busy` error frames actually written to refused peers (wire
+    /// version 4; load generators reconcile this against client-side
+    /// Busy-retry counts).
+    pub busy_frames: u64,
 }
 
 /// A typed error response. `OutOfMemory` mirrors
@@ -1082,6 +1087,7 @@ impl Response {
                     s.tier_disk_headroom,
                     s.chunksum_hits,
                     s.chunksum_misses,
+                    s.busy_frames,
                 ] {
                     w.u64(v);
                 }
@@ -1178,6 +1184,7 @@ impl Response {
                 tier_disk_headroom: r.u64()?,
                 chunksum_hits: r.u64()?,
                 chunksum_misses: r.u64()?,
+                busy_frames: r.u64()?,
             }),
             Opcode::ShutdownOk => Response::ShutdownOk,
             Opcode::PutChunkedOk => Response::PutChunkedOk { shard: r.u32()? },
@@ -1261,7 +1268,7 @@ mod tests {
             buf,
             vec![
                 b'X', b'L', b'N', b'T', // magic
-                0x03, 0x00, // version 3 LE
+                0x04, 0x00, // version 4 LE
                 0x05, // opcode Stats
                 0x00, // flags
                 0x07, 0, 0, 0, 0, 0, 0, 0, // request id 7 LE
@@ -1285,7 +1292,7 @@ mod tests {
             9, 0, 0, 0, 0, 0, 0, 0, // before_version 9 LE
         ];
         let mut expect = vec![
-            b'X', b'L', b'N', b'T', 0x03, 0x00, 0x04, 0x00, // magic, v3, Delete, flags
+            b'X', b'L', b'N', b'T', 0x04, 0x00, 0x04, 0x00, // magic, v4, Delete, flags
             0x01, 0, 0, 0, 0, 0, 0, 0, // request id 1
             15, 0, 0, 0, // payload length 15
         ];
@@ -1314,7 +1321,7 @@ mod tests {
         body.extend_from_slice(&1u64.to_le_bytes());
         body.extend_from_slice(&8u32.to_le_bytes());
         body.extend_from_slice(&3.0f64.to_le_bytes());
-        let mut expect = vec![b'X', b'L', b'N', b'T', 0x03, 0x00, 0x01, 0x00];
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x04, 0x00, 0x01, 0x00];
         expect.extend_from_slice(&3u64.to_le_bytes());
         expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
         expect.extend_from_slice(&checksum(&body).to_le_bytes());
@@ -1360,8 +1367,8 @@ mod tests {
                 b'L',
                 b'N',
                 b'T', // magic
-                0x03,
-                0x00, // version 3 LE
+                0x04,
+                0x00, // version 4 LE
                 0x09, // opcode ChunkData
                 0x00, // flags
                 0x09,
@@ -1419,7 +1426,7 @@ mod tests {
             0x02, 0x01, 0, 0, 0, 0, 0, 0, // total_bytes 0x0102 LE
         ];
         let mut expect = vec![
-            b'X', b'L', b'N', b'T', 0x03, 0x00, 0x0A, 0x00, // magic, v3, ChunkEnd, flags
+            b'X', b'L', b'N', b'T', 0x04, 0x00, 0x0A, 0x00, // magic, v4, ChunkEnd, flags
             0x04, 0, 0, 0, 0, 0, 0, 0, // request id 4
             12, 0, 0, 0, // payload length 12
         ];
@@ -1454,7 +1461,7 @@ mod tests {
         body.extend_from_slice(&8u64.to_le_bytes());
         body.extend_from_slice(&1u64.to_le_bytes());
         body.extend_from_slice(&DEFAULT_CHUNK_SIZE.to_le_bytes());
-        let mut expect = vec![b'X', b'L', b'N', b'T', 0x03, 0x00, 0x07, 0x00];
+        let mut expect = vec![b'X', b'L', b'N', b'T', 0x04, 0x00, 0x07, 0x00];
         expect.extend_from_slice(&6u64.to_le_bytes());
         expect.extend_from_slice(&(body.len() as u32).to_le_bytes());
         expect.extend_from_slice(&checksum(&body).to_le_bytes());
@@ -1616,6 +1623,7 @@ mod tests {
             tier_disk_headroom: 22,
             chunksum_hits: 23,
             chunksum_misses: 24,
+            busy_frames: 25,
         };
         let cases: Vec<Response> = vec![
             Response::PutOk { shard: 3 },

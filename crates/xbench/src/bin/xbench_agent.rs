@@ -1,0 +1,62 @@
+//! Standalone xbench load-generation agent.
+//!
+//! ```text
+//! xbench-agent [--listen HOST:PORT] [--name NAME]
+//! ```
+//!
+//! Binds a control listener (default `127.0.0.1:0` — an ephemeral port,
+//! printed on stdout so a controller script can scrape it) and serves
+//! controllers until one sends `Stop`. The staging targets, connection
+//! counts, and op mix all arrive with each `Run` command's workload
+//! spec, so one running agent can serve many different experiments.
+
+use xlayer_xbench::AgentServer;
+
+struct Args {
+    listen: String,
+    name: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut name = "agent".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag_name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("{flag_name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen")?.clone(),
+            "--name" => name = value("--name")?.clone(),
+            "--help" | "-h" => {
+                return Err("usage: xbench-agent [--listen HOST:PORT] [--name NAME]".to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args { listen, name })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Args { listen, name } = match parse_args(&args) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let server = match AgentServer::bind(&listen, &name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("agent {name} listening on {}", server.local_addr());
+    if let Err(e) = server.serve() {
+        eprintln!("agent terminated: {e}");
+        std::process::exit(1);
+    }
+}

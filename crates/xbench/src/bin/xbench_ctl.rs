@@ -1,0 +1,164 @@
+//! The xbench controller binary.
+//!
+//! ```text
+//! xbench-ctl --agents HOST:P1,HOST:P2 --spec FILE [--out FILE]
+//!            [--start-rate-mib R] [--max-steps N]
+//! xbench-ctl --smoke
+//! ```
+//!
+//! With `--agents`/`--spec`, connects to each running `xbench-agent`,
+//! drives the saturation sweep (warmup → measure → drain per offered-load
+//! step) against the staging targets named in the spec, prints a
+//! human-readable curve on stdout, and writes the bench-summary-style
+//! JSON to `--out` (default `xbench_summary.json`).
+//!
+//! `--smoke` needs no external processes: it spins up an in-process
+//! 2-shard staging cluster plus two in-process agents on loopback, runs
+//! a short two-step sweep, validates the sweep invariants, and prints
+//! the JSON on stdout. CI runs exactly this.
+
+use std::time::Duration;
+
+use xlayer_xbench::ctl::{saturation_sweep, summary_json, AgentConn, SweepOptions, SweepResult};
+use xlayer_xbench::WorkloadSpec;
+
+struct Args {
+    agents: Vec<String>,
+    spec_path: Option<String>,
+    out: String,
+    smoke: bool,
+    opts: SweepOptions,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        agents: Vec::new(),
+        spec_path: None,
+        out: "xbench_summary.json".to_string(),
+        smoke: false,
+        opts: SweepOptions::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag_name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("{flag_name} needs a value"))
+        };
+        match flag.as_str() {
+            "--agents" => {
+                parsed.agents = value("--agents")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--spec" => parsed.spec_path = Some(value("--spec")?.clone()),
+            "--out" => parsed.out = value("--out")?.clone(),
+            "--smoke" => parsed.smoke = true,
+            "--start-rate-mib" => {
+                let mib: u64 = value("--start-rate-mib")?
+                    .parse()
+                    .map_err(|e| format!("--start-rate-mib: {e}"))?;
+                parsed.opts.start_rate_bytes_per_sec = mib << 20;
+            }
+            "--max-steps" => {
+                parsed.opts.max_steps = value("--max-steps")?
+                    .parse()
+                    .map_err(|e| format!("--max-steps: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: xbench-ctl --agents A1,A2 --spec FILE [--out FILE] \
+                     [--start-rate-mib R] [--max-steps N] | xbench-ctl --smoke"
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !parsed.smoke {
+        if parsed.agents.is_empty() {
+            return Err("--agents is required (or use --smoke)".to_string());
+        }
+        if parsed.spec_path.is_none() {
+            return Err("--spec is required (or use --smoke)".to_string());
+        }
+    }
+    Ok(parsed)
+}
+
+fn print_curve(result: &SweepResult) {
+    println!("offered_mibps  goodput_mibps  put_p99_us  busy/s  retry_amp");
+    for row in &result.rows {
+        println!(
+            "{:>13.2}  {:>13.2}  {:>10.1}  {:>6.1}  {:>9.3}",
+            row.offered_mibps,
+            row.goodput_mibps,
+            row.put_lat.p99_ns as f64 / 1e3,
+            row.busy_per_sec,
+            row.retry_amplification
+        );
+    }
+    println!(
+        "knee at {:.2} MiB/s offered, {:.2} MiB/s goodput, retry amplification {:.3}",
+        result.knee_offered_mibps, result.saturation_goodput_mibps, result.retry_amplification
+    );
+}
+
+fn run_sweep(args: &Args) -> Result<SweepResult, String> {
+    let Some(spec_path) = &args.spec_path else {
+        return Err("--spec is required".to_string());
+    };
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read spec {spec_path}: {e}"))?;
+    let spec = WorkloadSpec::parse(&text).map_err(|e| format!("bad spec {spec_path}: {e}"))?;
+    if spec.targets.is_empty() {
+        return Err(format!("spec {spec_path} names no staging targets"));
+    }
+    let mut conns = Vec::with_capacity(args.agents.len());
+    for addr in &args.agents {
+        let conn = AgentConn::connect(addr, Duration::from_secs(10))
+            .map_err(|e| format!("cannot reach agent {addr}: {e}"))?;
+        println!("agent {} at {addr}", conn.name());
+        conns.push(conn);
+    }
+    saturation_sweep(&mut conns, &spec, &args.opts).map_err(|e| format!("sweep failed: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&args) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if args.smoke {
+        match xlayer_xbench::ctl::run_smoke() {
+            Ok(result) => {
+                print_curve(&result);
+                print!("{}", summary_json(&result));
+                println!("smoke OK");
+            }
+            Err(e) => {
+                eprintln!("smoke failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    match run_sweep(&args) {
+        Ok(result) => {
+            print_curve(&result);
+            let json = summary_json(&result);
+            if let Err(e) = std::fs::write(&args.out, &json) {
+                eprintln!("cannot write {}: {e}", args.out);
+                std::process::exit(1);
+            }
+            println!("wrote {}", args.out);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end loopback test: a controller drives two in-process agents
+//! against a two-shard staging cluster, and the merged measure-phase
+//! report must match the spec's predicted totals *exactly* — the
+//! workload streams are seeded, so the controller can know in advance
+//! how many ops and how many put bytes a phase will deliver.
+
+use std::time::Duration;
+
+use xlayer_net::service::ServiceConfig;
+use xlayer_net::StagingCluster;
+use xlayer_xbench::ctl::merge_reports;
+use xlayer_xbench::{AgentConn, AgentServer, Phase, RunCmd, WorkloadSpec};
+
+#[test]
+fn controller_drives_two_agents_to_the_spec_exact_totals() {
+    let cluster = StagingCluster::start(2, &ServiceConfig::default()).expect("cluster start");
+    let spec = WorkloadSpec {
+        seed: 11,
+        agents: 2,
+        connections: 2,
+        ops_per_conn: 30,
+        warmup_ops: 5,
+        side_min: 4,
+        side_max: 8,
+        names: 3,
+        spread: 2,
+        targets: cluster.addrs(),
+        ..WorkloadSpec::default()
+    };
+    let expected = spec.expected_totals();
+    assert!(expected.puts > 0, "spec must plan at least one put");
+
+    // Two agents on ephemeral loopback ports, served from plain threads.
+    let mut conns: Vec<AgentConn> = Vec::new();
+    let mut serve_threads = Vec::new();
+    for i in 0..2 {
+        let server = std::sync::Arc::new(
+            AgentServer::bind("127.0.0.1:0", &format!("e2e-{i}")).expect("agent bind"),
+        );
+        let addr = server.local_addr();
+        let srv = std::sync::Arc::clone(&server);
+        serve_threads.push(std::thread::spawn(move || {
+            let _ = srv.serve();
+        }));
+        let conn =
+            AgentConn::connect(&addr.to_string(), Duration::from_secs(5)).expect("agent connect");
+        assert_eq!(conn.name(), &format!("e2e-{i}"));
+        conns.push(conn);
+    }
+
+    // One unpaced measure phase per agent. Sequential on the controller
+    // side: determinism is the point of this test, and each agent still
+    // runs its connections concurrently internally.
+    let spec_text = spec.to_text();
+    let mut reports = Vec::new();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let report = conn
+            .run(RunCmd {
+                phase: Phase::Measure,
+                agent_index: i as u32,
+                version_base: 1,
+                rate_bytes_per_sec: 0,
+                spec_text: spec_text.clone(),
+            })
+            .expect("measure phase");
+        assert_eq!(report.failed, 0, "agent {i} had failed ops");
+        assert_eq!(report.rejected_oom, 0, "agent {i} hit the memory cap");
+        reports.push(report);
+    }
+
+    // The merge must be the component-wise sum of the per-agent reports…
+    let merged = merge_reports(&reports);
+    let sum = |f: fn(&xlayer_xbench::AgentReport) -> u64| reports.iter().map(f).sum::<u64>();
+    assert_eq!(merged.puts, sum(|r| r.puts));
+    assert_eq!(merged.gets, sum(|r| r.gets));
+    assert_eq!(merged.drains, sum(|r| r.drains));
+    assert_eq!(merged.put_bytes, sum(|r| r.put_bytes));
+    assert_eq!(merged.get_bytes, sum(|r| r.get_bytes));
+    assert_eq!(
+        merged.put_ns.count(),
+        reports.iter().map(|r| r.put_ns.count()).sum::<u64>()
+    );
+
+    // …and the sum must equal what the spec predicted, op for op and
+    // byte for byte.
+    assert_eq!(merged.puts, expected.puts);
+    assert_eq!(merged.gets, expected.gets);
+    assert_eq!(merged.drains, expected.drains);
+    assert_eq!(merged.put_bytes, expected.put_bytes);
+    // Every get re-reads this connection's last put, so delivered get
+    // bytes are at least one minimum-sized object per get.
+    let min_obj = 8 * u64::from(spec.side_min).pow(3);
+    assert!(merged.get_bytes >= merged.gets * min_obj);
+
+    for conn in &mut conns {
+        conn.stop().expect("agent stop");
+    }
+    for t in serve_threads {
+        t.join().expect("serve thread");
+    }
+    cluster.shutdown();
+}

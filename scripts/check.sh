@@ -50,6 +50,17 @@ rm -rf "${TMPDIR:-/tmp}"/xlayer-tierprop-* "${TMPDIR:-/tmp}"/xlayer-native-* \
 cargo test --locked -q -p xlayer-staging
 cargo test --locked -q -p xlayer-workflow --lib tiered
 
+echo "==> xbench load-generation tests (spec parser, control protocol, e2e loopback)"
+# Also inside the workspace run above; named so a load-harness regression
+# is distinguishable from a transport one.
+cargo test --locked -q -p xlayer-xbench
+
+echo "==> xbench smoke (2-shard cluster + 2 agents on loopback, 2-step sweep)"
+# In-process end to end: validates the saturation sweep's invariants
+# (monotone offered load, positive knee and goodput) and prints the
+# bench-style JSON. Seconds of wall time, ephemeral ports only.
+cargo run --locked --release -q -p xlayer-xbench --bin xbench-ctl -- --smoke
+
 echo "==> bench targets compile"
 cargo build --locked --release -p xlayer-bench --benches --bins
 
